@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+The IL policy is trained once per session (or loaded from the cache in
+``artifacts/il_policy.npz``) and reused by every benchmark, mirroring the
+paper's protocol of training the DNN once and evaluating it everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ICOILConfig
+from repro.eval.runner import EpisodeRunner
+from repro.eval.training import train_default_policy
+
+
+@pytest.fixture(scope="session")
+def trained_policy():
+    policy, report, dataset = train_default_policy(num_episodes=4, epochs=6)
+    return policy
+
+
+@pytest.fixture(scope="session")
+def runner(trained_policy):
+    return EpisodeRunner(il_policy=trained_policy, config=ICOILConfig(), time_limit=70.0)

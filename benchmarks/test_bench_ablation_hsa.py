@@ -1,0 +1,39 @@
+"""Ablation — HSA switching threshold and guard time.
+
+DESIGN.md calls out the threshold ``lambda`` (Eq. 1) and the 20-frame guard
+time (§V-C) as the design choices that govern mode switching.  This ablation
+sweeps the threshold at a fixed guard time and checks the expected monotone
+behaviour: a very small threshold keeps the system in the CO mode almost
+always, a very large threshold hands control to IL almost always.
+"""
+
+import pytest
+
+from repro.eval.experiments import hsa_ablation_experiment
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_hsa_threshold_ablation(benchmark, trained_policy):
+    points = benchmark.pedantic(
+        hsa_ablation_experiment,
+        kwargs=dict(
+            policy=trained_policy,
+            thresholds=(0.002, 5.0),
+            guard_frames=(20,),
+            num_episodes=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for point in points:
+        print(
+            f"lambda={point.switch_threshold:<5} guard={point.guard_frames:<3} "
+            f"success={point.success_rate:.2f} time={point.mean_parking_time:6.1f}s "
+            f"co_fraction={point.co_mode_fraction:.2f} switches={point.mean_switches:.1f}"
+        )
+
+    by_threshold = {point.switch_threshold: point for point in points}
+    # A tiny threshold means the HSA score almost always exceeds it -> CO mode;
+    # a huge threshold means it almost never does -> IL mode.
+    assert by_threshold[0.002].co_mode_fraction > by_threshold[5.0].co_mode_fraction

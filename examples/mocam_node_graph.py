@@ -1,0 +1,50 @@
+"""Run the MoCAM-style node graph: the distributed deployment of Fig. 2 / §V-A.
+
+Run with::
+
+    python examples/mocam_node_graph.py
+
+Instead of calling the controllers directly, this example wires the same
+pipeline the paper deploys on ROS — perception node, IL node, CO node, HSA
+node, command mux and simulator bridge — over the in-process message bus, and
+runs a complete parking episode through it, reporting per-topic traffic and
+the mode trace.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.eval import train_default_policy
+from repro.metaverse import MoCAMPlatform, Topics
+from repro.world import DifficultyLevel, ScenarioConfig, SpawnMode, build_scenario
+
+
+def main() -> None:
+    policy, _, _ = train_default_policy(num_episodes=3, epochs=5)
+    scenario = build_scenario(
+        ScenarioConfig(difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.CLOSE, seed=2)
+    )
+    platform = MoCAMPlatform(scenario, policy, time_limit=70.0)
+
+    print("Spinning the node graph ...")
+    result = platform.run_episode()
+
+    print(f"  outcome      : {result.status.value}")
+    print(f"  parking time : {result.parking_time:.1f} s over {result.num_frames} simulator frames")
+    mode_counts = Counter(result.mode_trace)
+    print(f"  mode usage   : {dict(mode_counts)}")
+    print("  topic traffic:")
+    for topic in (
+        Topics.BEV_IMAGE,
+        Topics.DETECTIONS,
+        Topics.IL_COMMAND,
+        Topics.CO_COMMAND,
+        Topics.HSA_STATUS,
+        Topics.CONTROL_COMMAND,
+    ):
+        print(f"    {topic:<30} {platform.bus.publish_count(topic):>6} messages")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Scenario sweep: Table II and Fig. 8 style evaluation from the command line.
+
+Run with::
+
+    python examples/scenario_sweep.py [--episodes N]
+
+Evaluates iCOIL and the pure-IL baseline across the easy / normal / hard
+difficulty levels (Table II) and sweeps starting points and obstacle counts
+for iCOIL (Fig. 8), printing the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.eval import EpisodeRunner, train_default_policy
+from repro.eval.experiments import fig8_sensitivity_experiment, table2_experiment
+from repro.eval.report import format_fig8_grid, format_table2
+from repro.world.scenario import SpawnMode
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=3, help="episodes per configuration")
+    args = parser.parse_args()
+
+    policy, _, _ = train_default_policy(num_episodes=4, epochs=6)
+    runner = EpisodeRunner(il_policy=policy, time_limit=70.0)
+
+    print("=== Table II: parking time and success rate ===")
+    rows = table2_experiment(policy, num_episodes=args.episodes, runner=runner)
+    print(format_table2(rows))
+
+    print("=== Fig. 8: parking time vs starting point and #obstacles (iCOIL) ===")
+    cells = fig8_sensitivity_experiment(
+        policy,
+        num_episodes=max(1, args.episodes // 2),
+        obstacle_counts=(1, 2, 3),
+        spawn_modes=(SpawnMode.CLOSE, SpawnMode.REMOTE, SpawnMode.RANDOM),
+        runner=runner,
+    )
+    print(format_fig8_grid(cells))
+
+
+if __name__ == "__main__":
+    main()

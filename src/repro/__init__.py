@@ -1,0 +1,54 @@
+"""repro — a full-Python reproduction of the iCOIL autonomous-parking system.
+
+iCOIL (ICDCS 2023) integrates constrained optimization (CO) and imitation
+learning (IL) for autonomous parking, switching between the two modes with a
+hybrid scenario analysis (HSA) model.  This package reproduces the system and
+every substrate it depends on:
+
+* ``repro.geometry``, ``repro.vehicle``, ``repro.world`` — a deterministic
+  2-D parking simulator standing in for CARLA/MoCAM,
+* ``repro.perception`` — BEV rendering and noisy object detection,
+* ``repro.nn`` — a from-scratch numpy neural-network framework,
+* ``repro.planning`` — Reeds-Shepp curves, hybrid A*, reverse-park maneuvers,
+* ``repro.il`` — the IL policy, scripted expert and training pipeline,
+* ``repro.co`` — the MPC-style constrained-optimization controller,
+* ``repro.core`` — HSA and the integrated iCOIL controller (the paper's
+  contribution),
+* ``repro.middleware`` / ``repro.metaverse`` — a ROS-like pub/sub layer and
+  the MoCAM-style node graph,
+* ``repro.eval`` — the experiment harness regenerating every table/figure.
+
+Quickstart::
+
+    from repro.eval import EpisodeRunner, train_default_policy
+    from repro.world import DifficultyLevel, ScenarioConfig
+
+    policy, _, _ = train_default_policy(num_episodes=4, epochs=6)
+    runner = EpisodeRunner(il_policy=policy)
+    result, trace = runner.run_episode(
+        "icoil", ScenarioConfig(difficulty=DifficultyLevel.NORMAL, seed=0)
+    )
+    print(result.status, result.parking_time)
+"""
+
+from repro.core import HSAModel, ICOILConfig, ICOILController
+from repro.vehicle import Action, ActionSpace, VehicleParams, VehicleState
+from repro.world import DifficultyLevel, ParkingWorld, Scenario, ScenarioConfig, SpawnMode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Action",
+    "ActionSpace",
+    "DifficultyLevel",
+    "HSAModel",
+    "ICOILConfig",
+    "ICOILController",
+    "ParkingWorld",
+    "Scenario",
+    "ScenarioConfig",
+    "SpawnMode",
+    "VehicleParams",
+    "VehicleState",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Constrained-optimization module (paper §IV-B).
+
+The CO module plans collision-free actions by solving, at every frame, the
+finite-horizon optimal-control problem of Eq. 6: minimise the distance cost
+to the reference waypoints (Eq. 4) subject to collision-avoidance constraints
+(Eq. 5) and bounds on the driving actions, under Ackermann kinematics.
+
+* :mod:`repro.co.constraints` — control bounds and per-obstacle collision
+  constraints with predicted obstacle positions,
+* :mod:`repro.co.mpc` — the MPC problem container and its residual /
+  penalty formulation,
+* :mod:`repro.co.solver` — a damped Gauss-Newton (sequential-convexification)
+  solver with box projection, standing in for CVXPY,
+* :mod:`repro.co.controller` — the frame-by-frame CO controller ``f_CO`` with
+  warm starting and solve-time instrumentation.
+"""
+
+from repro.co.constraints import CollisionConstraintSet, ControlBounds, ObstaclePrediction
+from repro.co.controller import COController, COSolveInfo
+from repro.co.mpc import MPCProblem
+from repro.co.solver import GaussNewtonSolver, SolverResult
+
+__all__ = [
+    "COController",
+    "COSolveInfo",
+    "CollisionConstraintSet",
+    "ControlBounds",
+    "GaussNewtonSolver",
+    "MPCProblem",
+    "ObstaclePrediction",
+    "SolverResult",
+]

@@ -1,0 +1,220 @@
+"""Constraints of the CO problem: control bounds and collision avoidance.
+
+Collision avoidance uses the standard multi-circle approximation: the ego
+footprint and every obstacle box are covered by a small number of discs, and
+Eq. 5 becomes a set of centre-to-centre distance constraints
+``dist(ego_circle, obstacle_circle) >= r_ego + r_obs + margin``.  This keeps
+the constraints smooth (the solver only needs point distances) while being
+tight enough to reverse-park between two cars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.shapes import OrientedBox
+from repro.perception.detector import Detection
+from repro.vehicle.params import VehicleParams
+from repro.world.obstacles import DynamicObstacle, Obstacle
+
+
+@dataclass(frozen=True)
+class ControlBounds:
+    """Box bounds on the control variables (acceleration, steering angle).
+
+    This is the boundary set ``A`` in Eq. 6.
+    """
+
+    max_acceleration: float
+    max_deceleration: float
+    max_steer: float
+
+    @staticmethod
+    def from_vehicle(params: VehicleParams) -> "ControlBounds":
+        return ControlBounds(
+            max_acceleration=params.max_acceleration,
+            max_deceleration=params.max_deceleration,
+            max_steer=params.max_steer,
+        )
+
+    def lower(self, horizon: int) -> np.ndarray:
+        """Lower bounds for a flattened ``(H, 2)`` control sequence."""
+        return np.tile([-self.max_deceleration, -self.max_steer], horizon)
+
+    def upper(self, horizon: int) -> np.ndarray:
+        """Upper bounds for a flattened ``(H, 2)`` control sequence."""
+        return np.tile([self.max_acceleration, self.max_steer], horizon)
+
+    def clip(self, controls: np.ndarray) -> np.ndarray:
+        """Project a ``(H, 2)`` control sequence onto the bounds."""
+        controls = np.asarray(controls, dtype=float).reshape(-1, 2)
+        clipped = controls.copy()
+        clipped[:, 0] = np.clip(clipped[:, 0], -self.max_deceleration, self.max_acceleration)
+        clipped[:, 1] = np.clip(clipped[:, 1], -self.max_steer, self.max_steer)
+        return clipped
+
+
+def covering_circles(box: OrientedBox) -> Tuple[np.ndarray, float]:
+    """Cover an oriented box with discs placed along its long axis.
+
+    Returns
+    -------
+    (offsets, radius):
+        ``offsets`` is an ``(C, 2)`` array of circle centres in the box's
+        local frame; ``radius`` is the common disc radius.
+    """
+    length = max(box.length, box.width)
+    width = min(box.length, box.width)
+    count = max(1, int(math.ceil(length / max(width, 1e-6))))
+    segment = length / count
+    radius = float(math.hypot(segment / 2.0, width / 2.0))
+    centers = np.linspace(-length / 2.0 + segment / 2.0, length / 2.0 - segment / 2.0, count)
+    if box.length >= box.width:
+        offsets = np.stack([centers, np.zeros(count)], axis=1)
+    else:
+        offsets = np.stack([np.zeros(count), centers], axis=1)
+    return offsets, radius
+
+
+def ego_covering_circles(params: VehicleParams, num_circles: int = 2) -> Tuple[np.ndarray, float]:
+    """Cover the ego footprint with discs, expressed relative to the rear axle.
+
+    Returns ``(longitudinal_offsets, radius)`` where offsets are measured
+    along the vehicle's heading from the rear-axle reference point.
+    """
+    if num_circles < 1:
+        raise ValueError(f"num_circles must be at least 1, got {num_circles}")
+    segment = params.length / num_circles
+    radius = float(math.hypot(segment / 2.0, params.width / 2.0))
+    rear_bumper = -params.rear_overhang
+    offsets = np.array(
+        [rear_bumper + segment * (index + 0.5) for index in range(num_circles)], dtype=float
+    )
+    return offsets, radius
+
+
+@dataclass(frozen=True)
+class ObstaclePrediction:
+    """Predicted covering-circle centres of one obstacle over the horizon.
+
+    Attributes
+    ----------
+    circle_positions:
+        Array of shape ``(H, C, 2)``: for each future step ``h`` the world
+        positions of the obstacle's ``C`` covering-circle centres (the
+        ``o_{h,k}`` of Eq. 5, one entry per circle).
+    circle_radius:
+        Radius of the obstacle's covering circles.
+    safety_margin:
+        Extra clearance added on top of the circle radii.
+    obstacle_id:
+        Identity for bookkeeping, if known.
+    """
+
+    circle_positions: np.ndarray
+    circle_radius: float
+    safety_margin: float = 0.0
+    obstacle_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        positions = np.asarray(self.circle_positions, dtype=float)
+        if positions.ndim != 3 or positions.shape[2] != 2:
+            raise ValueError(f"circle_positions must have shape (H, C, 2), got {positions.shape}")
+        if self.circle_radius < 0.0 or self.safety_margin < 0.0:
+            raise ValueError("circle_radius and safety_margin must be non-negative")
+        object.__setattr__(self, "circle_positions", positions)
+
+    @property
+    def horizon(self) -> int:
+        return int(self.circle_positions.shape[0])
+
+    @property
+    def num_circles(self) -> int:
+        return int(self.circle_positions.shape[1])
+
+    def required_clearance(self, ego_radius: float) -> float:
+        """Minimum centre-to-centre distance against an ego circle (``d_safe``)."""
+        return self.circle_radius + ego_radius + self.safety_margin
+
+
+class CollisionConstraintSet:
+    """Builds per-obstacle predictions/constraints for the planning horizon."""
+
+    def __init__(
+        self,
+        vehicle_params: Optional[VehicleParams] = None,
+        safety_margin: float = 0.1,
+        num_ego_circles: int = 3,
+    ) -> None:
+        if safety_margin < 0.0:
+            raise ValueError(f"safety_margin must be non-negative, got {safety_margin}")
+        self.vehicle_params = vehicle_params or VehicleParams()
+        self.safety_margin = safety_margin
+        offsets, radius = ego_covering_circles(self.vehicle_params, num_ego_circles)
+        self.ego_circle_offsets = offsets
+        self.ego_circle_radius = radius
+
+    # ------------------------------------------------------------------
+    # Prediction builders
+    # ------------------------------------------------------------------
+    def _box_circles_at(self, box: OrientedBox) -> np.ndarray:
+        """World positions of a box's covering-circle centres, shape ``(C, 2)``."""
+        offsets, _ = covering_circles(box)
+        return box.pose.transform_points(offsets)
+
+    def _box_circle_radius(self, box: OrientedBox) -> float:
+        _, radius = covering_circles(box)
+        return radius
+
+    def from_obstacles(
+        self, obstacles: Sequence[Obstacle], start_time: float, dt: float, horizon: int
+    ) -> List[ObstaclePrediction]:
+        """Ground-truth-based predictions (used by tests and ablations)."""
+        predictions: List[ObstaclePrediction] = []
+        for obstacle in obstacles:
+            per_step = []
+            for step in range(1, horizon + 1):
+                moved = obstacle.at_time(start_time + step * dt)
+                per_step.append(self._box_circles_at(moved.box))
+            predictions.append(
+                ObstaclePrediction(
+                    circle_positions=np.stack(per_step),
+                    circle_radius=self._box_circle_radius(obstacle.box),
+                    safety_margin=self.safety_margin,
+                    obstacle_id=obstacle.obstacle_id,
+                )
+            )
+        return predictions
+
+    def from_detections(
+        self, detections: Sequence[Detection], dt: float, horizon: int
+    ) -> List[ObstaclePrediction]:
+        """Detection-based predictions with constant-velocity extrapolation.
+
+        This is the ``z_i -> constraints`` path used by the deployed CO node,
+        which only sees the (noisy) detector output.
+        """
+        predictions: List[ObstaclePrediction] = []
+        for detection in detections:
+            base_circles = self._box_circles_at(detection.box)
+            steps = np.arange(1, horizon + 1, dtype=float)[:, None, None]
+            displacement = steps * dt * detection.velocity[None, None, :]
+            circle_positions = base_circles[None, :, :] + displacement
+            # Moving obstacles get a larger standoff: their future position is
+            # uncertain and they will not yield, so the planner should stay
+            # well clear of their corridor instead of stopping at its edge.
+            speed = float(np.hypot(*detection.velocity))
+            margin = self.safety_margin + (0.9 if speed > 0.15 else 0.0)
+            predictions.append(
+                ObstaclePrediction(
+                    circle_positions=circle_positions,
+                    circle_radius=self._box_circle_radius(detection.box),
+                    safety_margin=margin,
+                    obstacle_id=detection.obstacle_id,
+                )
+            )
+        return predictions

@@ -1,0 +1,189 @@
+"""The finite-horizon MPC problem of Eq. 4–6.
+
+The decision variable is the flattened control sequence
+``U = [(a_0, delta_0), ..., (a_{H-1}, delta_{H-1})]`` (acceleration and
+steering angle).  The problem couples:
+
+* the distance cost to the reference waypoints (Eq. 4),
+* collision-avoidance constraints against predicted obstacle positions
+  (Eq. 5), handled as hinge penalties by the solver,
+* control bounds (the set ``A`` in Eq. 6), handled by box projection,
+* a small control-effort and smoothness regulariser that keeps the maneuver
+  physically plausible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.co.constraints import (
+    ControlBounds,
+    ObstaclePrediction,
+    ego_covering_circles,
+)
+from repro.vehicle.kinematics import AckermannModel
+from repro.vehicle.state import VehicleState
+
+
+@dataclass
+class MPCProblem:
+    """One instance of the constrained parking problem (Eq. 6).
+
+    Attributes
+    ----------
+    model:
+        The Ackermann state-evolution model.
+    initial_state:
+        The state ``s_i`` at the current frame.
+    reference_positions:
+        Array of shape ``(H, 2)`` with the target waypoints ``s*`` (Eq. 4).
+    reference_headings:
+        Optional array of shape ``(H,)`` with target headings; when provided a
+        small heading-tracking term is added (helps the terminal alignment).
+    obstacle_predictions:
+        Collision constraints (Eq. 5).
+    bounds:
+        Control box bounds (the set ``A``).
+    collision_weight:
+        Penalty weight used by the solver's convexified subproblems.
+    """
+
+    model: AckermannModel
+    initial_state: VehicleState
+    reference_positions: np.ndarray
+    reference_headings: Optional[np.ndarray] = None
+    obstacle_predictions: List[ObstaclePrediction] = field(default_factory=list)
+    bounds: Optional[ControlBounds] = None
+    position_weight: float = 1.0
+    heading_weight: float = 0.4
+    control_weight: float = 0.03
+    smoothness_weight: float = 0.05
+    collision_weight: float = 80.0
+    ego_circle_offsets: Optional[np.ndarray] = None
+    ego_circle_radius: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.reference_positions = np.asarray(self.reference_positions, dtype=float).reshape(-1, 2)
+        if self.reference_positions.shape[0] < 1:
+            raise ValueError("reference_positions must contain at least one waypoint")
+        if self.reference_headings is not None:
+            self.reference_headings = np.asarray(self.reference_headings, dtype=float).reshape(-1)
+            if self.reference_headings.shape[0] != self.horizon:
+                raise ValueError(
+                    "reference_headings must match the horizon length "
+                    f"({self.reference_headings.shape[0]} vs {self.horizon})"
+                )
+        if self.bounds is None:
+            self.bounds = ControlBounds.from_vehicle(self.model.params)
+        if self.ego_circle_offsets is None or self.ego_circle_radius is None:
+            offsets, radius = ego_covering_circles(self.model.params)
+            self.ego_circle_offsets = offsets
+            self.ego_circle_radius = radius
+        self.ego_circle_offsets = np.asarray(self.ego_circle_offsets, dtype=float).reshape(-1)
+        for prediction in self.obstacle_predictions:
+            if prediction.horizon < self.horizon:
+                raise ValueError(
+                    "obstacle prediction horizon shorter than problem horizon "
+                    f"({prediction.horizon} < {self.horizon})"
+                )
+
+    @property
+    def horizon(self) -> int:
+        """Prediction horizon ``H``."""
+        return int(self.reference_positions.shape[0])
+
+    @property
+    def num_variables(self) -> int:
+        """Dimension of the flattened control vector."""
+        return 2 * self.horizon
+
+    # ------------------------------------------------------------------
+    # Rollout and cost terms
+    # ------------------------------------------------------------------
+    def rollout(self, controls: np.ndarray) -> np.ndarray:
+        """States of shape ``(H + 1, 4)`` under a ``(H, 2)`` control sequence."""
+        controls = np.asarray(controls, dtype=float).reshape(self.horizon, 2)
+        return self.model.rollout_controls_array(self.initial_state, controls)
+
+    def residuals(self, controls: np.ndarray) -> np.ndarray:
+        """Stacked weighted residual vector used by the Gauss-Newton solver.
+
+        Contains tracking residuals, control-effort residuals, smoothness
+        residuals and hinge collision residuals; the objective value is the
+        sum of squared residuals.
+        """
+        controls = np.asarray(controls, dtype=float).reshape(self.horizon, 2)
+        states = self.rollout(controls)
+        future = states[1:]
+
+        residual_parts: List[np.ndarray] = []
+        # Eq. 4: distance to target waypoints.
+        position_error = (future[:, :2] - self.reference_positions) * np.sqrt(self.position_weight)
+        residual_parts.append(position_error.ravel())
+        if self.reference_headings is not None:
+            heading_error = np.arctan2(
+                np.sin(future[:, 2] - self.reference_headings),
+                np.cos(future[:, 2] - self.reference_headings),
+            )
+            residual_parts.append(heading_error * np.sqrt(self.heading_weight))
+        # Control effort and smoothness regularisers.
+        residual_parts.append(controls.ravel() * np.sqrt(self.control_weight))
+        if self.horizon > 1:
+            residual_parts.append(np.diff(controls, axis=0).ravel() * np.sqrt(self.smoothness_weight))
+        # Eq. 5: hinge penalty for violated safety distances.
+        violations = self.constraint_violations(states)
+        if violations.size:
+            residual_parts.append(violations * np.sqrt(self.collision_weight))
+        return np.concatenate(residual_parts)
+
+    def _ego_circle_centers(self, states: np.ndarray) -> np.ndarray:
+        """Ego covering-circle centres over the horizon, shape ``(H, E, 2)``."""
+        future = states[1:]
+        headings = future[:, 2]
+        directions = np.stack([np.cos(headings), np.sin(headings)], axis=1)
+        # centres[h, e] = position[h] + offset[e] * heading_direction[h]
+        return future[:, None, :2] + self.ego_circle_offsets[None, :, None] * directions[:, None, :]
+
+    def constraint_violations(self, states: np.ndarray) -> np.ndarray:
+        """Per-(step, obstacle circle, ego circle) violation ``max(0, d_safe - distance)``."""
+        if not self.obstacle_predictions:
+            return np.zeros(0)
+        ego_centers = self._ego_circle_centers(states)
+        violations = []
+        for prediction in self.obstacle_predictions:
+            clearance = prediction.required_clearance(float(self.ego_circle_radius))
+            obstacle_centers = prediction.circle_positions[: self.horizon]
+            # distances[h, c, e] between obstacle circle c and ego circle e at step h.
+            deltas = obstacle_centers[:, :, None, :] - ego_centers[:, None, :, :]
+            distances = np.linalg.norm(deltas, axis=-1)
+            violations.append(np.maximum(0.0, clearance - distances).ravel())
+        return np.concatenate(violations)
+
+    def objective(self, controls: np.ndarray) -> float:
+        """Scalar objective value (sum of squared residuals)."""
+        residuals = self.residuals(controls)
+        return float(residuals @ residuals)
+
+    def min_clearance(self, controls: np.ndarray) -> float:
+        """Minimum (distance - required_clearance) margin over the horizon."""
+        if not self.obstacle_predictions:
+            return float("inf")
+        states = self.rollout(controls)
+        ego_centers = self._ego_circle_centers(states)
+        margins = []
+        for prediction in self.obstacle_predictions:
+            clearance = prediction.required_clearance(float(self.ego_circle_radius))
+            obstacle_centers = prediction.circle_positions[: self.horizon]
+            deltas = obstacle_centers[:, :, None, :] - ego_centers[:, None, :, :]
+            distances = np.linalg.norm(deltas, axis=-1)
+            margins.append(float(np.min(distances) - clearance))
+        return float(min(margins))
+
+    def is_feasible(self, controls: np.ndarray, tolerance: float = 1e-6) -> bool:
+        """Whether the collision constraints hold along the rollout."""
+        states = self.rollout(controls)
+        violations = self.constraint_violations(states)
+        return bool(violations.size == 0 or float(violations.max()) <= tolerance)

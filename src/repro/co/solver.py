@@ -1,0 +1,142 @@
+"""Sequential-convexification solver for the MPC problem.
+
+The paper converts the nonconvex problem (Eq. 6) into a sequence of convex
+problems solved with an off-the-shelf package (CVXPY).  This module plays the
+same role without external dependencies: at each outer iteration the residual
+vector is linearised around the current control sequence (finite-difference
+Jacobian) and the resulting convex least-squares subproblem is solved in
+closed form with Levenberg-Marquardt damping, followed by projection onto the
+control box bounds.  A backtracking line search guarantees monotone descent
+of the penalised objective.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.co.mpc import MPCProblem
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Outcome of one MPC solve."""
+
+    controls: np.ndarray
+    objective: float
+    iterations: int
+    converged: bool
+    solve_time: float
+    feasible: bool
+
+    @property
+    def first_control(self) -> np.ndarray:
+        """The control applied to the plant (receding-horizon principle)."""
+        return self.controls[0]
+
+
+class GaussNewtonSolver:
+    """Damped Gauss-Newton with box projection and backtracking line search.
+
+    Parameters
+    ----------
+    max_iterations:
+        Maximum number of outer (convexification) iterations.
+    tolerance:
+        Convergence threshold on the relative objective improvement.
+    damping:
+        Initial Levenberg-Marquardt damping value.
+    finite_difference_step:
+        Step used for the forward-difference Jacobian of the rollout.
+    """
+
+    def __init__(
+        self,
+        max_iterations: int = 12,
+        tolerance: float = 1e-4,
+        damping: float = 1e-2,
+        finite_difference_step: float = 1e-4,
+        max_line_search_steps: int = 6,
+    ) -> None:
+        if max_iterations <= 0:
+            raise ValueError(f"max_iterations must be positive, got {max_iterations}")
+        if tolerance <= 0.0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.damping = damping
+        self.finite_difference_step = finite_difference_step
+        self.max_line_search_steps = max_line_search_steps
+
+    def solve(self, problem: MPCProblem, initial_controls: Optional[np.ndarray] = None) -> SolverResult:
+        """Solve one MPC instance, optionally warm-started."""
+        start_time = time.perf_counter()
+        horizon = problem.horizon
+        bounds = problem.bounds
+        if initial_controls is None:
+            controls = np.zeros((horizon, 2))
+        else:
+            controls = np.asarray(initial_controls, dtype=float).reshape(horizon, 2).copy()
+        controls = bounds.clip(controls)
+
+        objective = problem.objective(controls)
+        converged = False
+        iteration = 0
+        damping = self.damping
+
+        for iteration in range(1, self.max_iterations + 1):
+            residuals = problem.residuals(controls)
+            jacobian = self._jacobian(problem, controls, residuals)
+            gradient = jacobian.T @ residuals
+            hessian = jacobian.T @ jacobian
+
+            improved = False
+            for _ in range(self.max_line_search_steps):
+                regularised = hessian + damping * np.eye(hessian.shape[0])
+                try:
+                    step = np.linalg.solve(regularised, -gradient)
+                except np.linalg.LinAlgError:
+                    damping *= 10.0
+                    continue
+                candidate = bounds.clip(controls + step.reshape(horizon, 2))
+                candidate_objective = problem.objective(candidate)
+                if candidate_objective < objective - 1e-12:
+                    relative_improvement = (objective - candidate_objective) / max(objective, 1e-9)
+                    controls = candidate
+                    objective = candidate_objective
+                    damping = max(damping * 0.5, 1e-6)
+                    improved = True
+                    if relative_improvement < self.tolerance:
+                        converged = True
+                    break
+                damping *= 10.0
+            if not improved:
+                converged = True
+            if converged:
+                break
+
+        solve_time = time.perf_counter() - start_time
+        return SolverResult(
+            controls=controls,
+            objective=objective,
+            iterations=iteration,
+            converged=converged,
+            solve_time=solve_time,
+            feasible=problem.is_feasible(controls, tolerance=1e-3),
+        )
+
+    def _jacobian(self, problem: MPCProblem, controls: np.ndarray, residuals: np.ndarray) -> np.ndarray:
+        """Forward-difference Jacobian of the residual vector w.r.t. the controls."""
+        flat = controls.ravel()
+        num_variables = flat.shape[0]
+        jacobian = np.zeros((residuals.shape[0], num_variables))
+        step = self.finite_difference_step
+        for index in range(num_variables):
+            perturbed = flat.copy()
+            perturbed[index] += step
+            perturbed_residuals = problem.residuals(perturbed.reshape(controls.shape))
+            jacobian[:, index] = (perturbed_residuals - residuals) / step
+        return jacobian

@@ -1,0 +1,59 @@
+"""Configuration for the iCOIL controller and the HSA model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ICOILConfig:
+    """Tunable parameters of the iCOIL system.
+
+    Attributes
+    ----------
+    window_size:
+        Length ``T`` of the HSA averaging window (frames), Eq. 7–8.
+    switch_threshold:
+        The threshold ``lambda`` in Eq. 1 applied to the *normalised* HSA
+        score (see :class:`repro.core.hsa.HSAModel`); scores above the
+        threshold select the CO mode.  The default is tuned empirically for
+        this substrate (the paper tunes its lambda the same way): IL takes
+        over only once its output entropy falls to the "below 0.1" regime the
+        paper reports for the final approach (Fig. 7).
+    guard_frames:
+        Number of frames after a mode switch during which the mode is held
+        fixed ("a guard time with 20 time stamps is added ... to smooth the
+        transition between different modes", §V-C).
+    horizon:
+        The CO prediction horizon ``H`` (also used in Eq. 8).
+    action_dimension:
+        The dimension ``Na`` of the action space used in Eq. 8.
+    danger_distance:
+        The "most dangerous obstacle distance" ``D0`` in Eq. 8 (m).
+    normalize_hsa:
+        When True (default) the uncertainty is normalised by ``log M`` and
+        the complexity by its obstacle-free baseline so the switching score
+        is scale-free; the raw paper quantities are still reported.
+    """
+
+    window_size: int = 10
+    switch_threshold: float = 0.01
+    guard_frames: int = 20
+    horizon: int = 10
+    action_dimension: int = 2
+    danger_distance: float = 3.0
+    normalize_hsa: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window_size <= 0:
+            raise ValueError(f"window_size must be positive, got {self.window_size}")
+        if self.guard_frames < 0:
+            raise ValueError(f"guard_frames must be non-negative, got {self.guard_frames}")
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+        if self.action_dimension <= 0:
+            raise ValueError(f"action_dimension must be positive, got {self.action_dimension}")
+        if self.switch_threshold <= 0.0:
+            raise ValueError(f"switch_threshold must be positive, got {self.switch_threshold}")
+        if self.danger_distance < 0.0:
+            raise ValueError(f"danger_distance must be non-negative, got {self.danger_distance}")

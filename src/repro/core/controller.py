@@ -1,0 +1,184 @@
+"""The integrated iCOIL controller (Eq. 1).
+
+The controller owns the full inference mapping ``f: X -> A`` of Fig. 2: it
+renders the BEV observation, runs the IL policy (whose output distribution
+always feeds HSA, regardless of the active mode), runs the object detector
+for the CO constraints, evaluates HSA and executes either the IL action or
+the CO action.  A guard time keeps the mode fixed for a number of frames
+after each switch to smooth the transition (§V-C).
+"""
+
+from __future__ import annotations
+
+import enum
+import time as time_module
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.co.controller import COController, COSolveInfo
+from repro.core.config import ICOILConfig
+from repro.core.hsa import HSAModel, HSAReading
+from repro.il.policy import ILPolicy
+from repro.perception.bev import BEVImage, BEVRenderer
+from repro.perception.detector import Detection, ObjectDetector
+from repro.planning.waypoints import WaypointPath
+from repro.vehicle.actions import Action
+from repro.vehicle.state import VehicleState
+from repro.world.obstacles import Obstacle
+from repro.world.parking_lot import ParkingLot
+
+
+class DrivingMode(enum.Enum):
+    """The two candidate working modes of iCOIL."""
+
+    IL = "il"
+    CO = "co"
+
+
+@dataclass(frozen=True)
+class ICOILStepInfo:
+    """Telemetry of one iCOIL control step (used by Fig. 6–7 reproductions)."""
+
+    mode: DrivingMode
+    action: Action
+    hsa: HSAReading
+    il_probabilities: np.ndarray
+    num_detections: int
+    il_inference_time: float
+    co_solve_info: Optional[COSolveInfo]
+    switched: bool
+
+    @property
+    def uncertainty(self) -> float:
+        """Average scenario uncertainty ``U_i`` at this frame."""
+        return self.hsa.average_uncertainty
+
+
+class ICOILController:
+    """Scenario-aware controller switching between IL and CO.
+
+    Parameters
+    ----------
+    il_policy:
+        The (trained) imitation-learning policy.
+    co_controller:
+        The constrained-optimization controller; its reference path must be
+        installed before driving (see :meth:`prepare`).
+    renderer / detector:
+        Perception components; injected so experiments can vary noise levels.
+    config:
+        HSA window, threshold, guard time and complexity parameters.
+    """
+
+    def __init__(
+        self,
+        il_policy: ILPolicy,
+        co_controller: COController,
+        renderer: Optional[BEVRenderer] = None,
+        detector: Optional[ObjectDetector] = None,
+        config: Optional[ICOILConfig] = None,
+    ) -> None:
+        self.il_policy = il_policy
+        self.co_controller = co_controller
+        self.renderer = renderer or BEVRenderer()
+        self.detector = detector or ObjectDetector()
+        self.config = config or ICOILConfig()
+        self.hsa = HSAModel(self.config, num_classes=il_policy.action_space.num_classes)
+        self._mode = DrivingMode.CO
+        self._frames_since_switch = 0
+        self._history: List[ICOILStepInfo] = []
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def prepare(self, reference_path: WaypointPath) -> None:
+        """Install the global reference path and reset per-episode state."""
+        self.co_controller.set_reference_path(reference_path)
+        self.co_controller.reset()
+        self.hsa.reset()
+        self._mode = DrivingMode.CO
+        self._frames_since_switch = 0
+        self._history = []
+
+    @property
+    def mode(self) -> DrivingMode:
+        return self._mode
+
+    @property
+    def history(self) -> List[ICOILStepInfo]:
+        """Per-frame telemetry recorded since the last :meth:`prepare`."""
+        return list(self._history)
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        state: VehicleState,
+        obstacles: Sequence[Obstacle],
+        lot: ParkingLot,
+        time: float = 0.0,
+    ) -> ICOILStepInfo:
+        """Run one full perception + decision + control cycle."""
+        image = self.renderer.render(state, obstacles, lot)
+        il_start = time_module.perf_counter()
+        il_action, probabilities = self.il_policy.predict_action(image)
+        il_inference_time = time_module.perf_counter() - il_start
+
+        detections = self.detector.detect(state, obstacles, time=time)
+        obstacle_distances = (
+            np.linalg.norm(
+                np.array([detection.center for detection in detections]) - state.position, axis=1
+            )
+            if detections
+            else np.zeros(0)
+        )
+
+        reading = self.hsa.update(probabilities, obstacle_distances)
+        switched = self._update_mode(reading)
+
+        co_info: Optional[COSolveInfo] = None
+        if self._mode is DrivingMode.CO:
+            action = self.co_controller.act(state, detections, time=time)
+            co_info = self.co_controller.last_info
+        else:
+            action = il_action
+
+        info = ICOILStepInfo(
+            mode=self._mode,
+            action=action,
+            hsa=reading,
+            il_probabilities=probabilities,
+            num_detections=len(detections),
+            il_inference_time=il_inference_time,
+            co_solve_info=co_info,
+            switched=switched,
+        )
+        self._history.append(info)
+        return info
+
+    def act(
+        self,
+        state: VehicleState,
+        obstacles: Sequence[Obstacle],
+        lot: ParkingLot,
+        time: float = 0.0,
+    ) -> Action:
+        """Convenience wrapper returning only the action."""
+        return self.step(state, obstacles, lot, time=time).action
+
+    # ------------------------------------------------------------------
+    # Mode switching (Eq. 1 + guard time)
+    # ------------------------------------------------------------------
+    def _update_mode(self, reading: HSAReading) -> bool:
+        self._frames_since_switch += 1
+        if self._frames_since_switch <= self.config.guard_frames:
+            return False
+        desired = DrivingMode.CO if reading.use_co else DrivingMode.IL
+        if desired is not self._mode:
+            self._mode = desired
+            self._frames_since_switch = 0
+            return True
+        return False

@@ -1,0 +1,162 @@
+"""Hybrid scenario analysis (HSA): uncertainty, complexity and mode selection.
+
+Implements paper §IV-C:
+
+* the *instant scenario uncertainty* ``omega_i`` is the entropy of the IL
+  policy's output distribution; the *average scenario uncertainty* ``U_i``
+  averages it over the past ``T`` frames (Eq. 7),
+* the *instant scenario complexity* models the CO solve cost as
+  ``[H (Na + sum_k exp(-|D0 - D_{i,k}|))]^3.5``; the *average scenario
+  complexity* ``C_i`` averages it over the window (Eq. 8),
+* the switching score is ``U_i / C_i`` compared against the threshold
+  ``lambda`` (Eq. 1): a score above the threshold means the scenario poses a
+  threat to IL relative to what CO can afford, so the CO mode is selected.
+
+Because the raw complexity value spans several orders of magnitude (the 3.5
+exponent), the model also exposes *normalised* quantities — entropy divided by
+``log M`` and complexity divided by its obstacle-free baseline — which make
+the threshold scale-free.  The raw paper quantities are always available on
+the returned :class:`HSAReading`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import ICOILConfig
+
+
+@dataclass(frozen=True)
+class HSAReading:
+    """One HSA evaluation at a given frame."""
+
+    instant_uncertainty: float
+    average_uncertainty: float
+    instant_complexity: float
+    average_complexity: float
+    normalized_uncertainty: float
+    normalized_complexity: float
+    score: float
+    use_co: bool
+
+    @property
+    def recommended_mode(self) -> str:
+        """``"co"`` or ``"il"`` according to Eq. 1."""
+        return "co" if self.use_co else "il"
+
+
+def scenario_uncertainty(probabilities: np.ndarray, epsilon: float = 1e-12) -> float:
+    """Instant scenario uncertainty: entropy of the IL output distribution."""
+    probabilities = np.asarray(probabilities, dtype=float).reshape(-1)
+    if probabilities.size == 0:
+        raise ValueError("probabilities must not be empty")
+    clipped = np.clip(probabilities, epsilon, 1.0)
+    return float(-np.sum(clipped * np.log(clipped)))
+
+
+def scenario_complexity(
+    obstacle_distances: Sequence[float],
+    horizon: int,
+    action_dimension: int,
+    danger_distance: float,
+    exponent: float = 3.5,
+) -> float:
+    """Instant scenario complexity (Eq. 8 inner term).
+
+    Parameters
+    ----------
+    obstacle_distances:
+        Distances ``D_{i,k}`` from the ego-vehicle to each obstacle (m).
+    horizon:
+        Prediction horizon ``H``.
+    action_dimension:
+        Action-space dimension ``Na``.
+    danger_distance:
+        Most dangerous obstacle distance ``D0`` (m); obstacles near this
+        distance contribute the most to the solve cost.
+    """
+    if horizon <= 0 or action_dimension <= 0:
+        raise ValueError("horizon and action_dimension must be positive")
+    distances = np.asarray(list(obstacle_distances), dtype=float)
+    obstacle_term = float(np.sum(np.exp(-np.abs(danger_distance - distances)))) if distances.size else 0.0
+    return float((horizon * (action_dimension + obstacle_term)) ** exponent)
+
+
+class HSAModel:
+    """Sliding-window HSA evaluator implementing Eq. 1, 7 and 8."""
+
+    def __init__(self, config: Optional[ICOILConfig] = None, num_classes: int = 30) -> None:
+        if num_classes < 2:
+            raise ValueError(f"num_classes must be at least 2, got {num_classes}")
+        self.config = config or ICOILConfig()
+        self.num_classes = num_classes
+        window = self.config.window_size
+        self._uncertainty_window: Deque[float] = deque(maxlen=window)
+        self._complexity_window: Deque[float] = deque(maxlen=window)
+
+    # ------------------------------------------------------------------
+    # Normalisation references
+    # ------------------------------------------------------------------
+    @property
+    def max_uncertainty(self) -> float:
+        """Entropy of the uniform distribution, ``log M``."""
+        return math.log(self.num_classes)
+
+    @property
+    def baseline_complexity(self) -> float:
+        """Complexity of an obstacle-free scene, ``(H * Na)^3.5``."""
+        return float((self.config.horizon * self.config.action_dimension) ** 3.5)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update(
+        self, probabilities: np.ndarray, obstacle_distances: Sequence[float]
+    ) -> HSAReading:
+        """Push one frame of evidence and return the current HSA reading."""
+        config = self.config
+        instant_uncertainty = scenario_uncertainty(probabilities)
+        instant_complexity = scenario_complexity(
+            obstacle_distances,
+            horizon=config.horizon,
+            action_dimension=config.action_dimension,
+            danger_distance=config.danger_distance,
+        )
+        self._uncertainty_window.append(instant_uncertainty)
+        self._complexity_window.append(instant_complexity)
+
+        average_uncertainty = float(np.mean(self._uncertainty_window))
+        average_complexity = float(np.mean(self._complexity_window))
+        normalized_uncertainty = average_uncertainty / self.max_uncertainty
+        normalized_complexity = average_complexity / self.baseline_complexity
+
+        if config.normalize_hsa:
+            score = normalized_uncertainty / max(normalized_complexity, 1e-9)
+        else:
+            score = average_uncertainty / max(average_complexity, 1e-9)
+        use_co = score > config.switch_threshold
+        return HSAReading(
+            instant_uncertainty=instant_uncertainty,
+            average_uncertainty=average_uncertainty,
+            instant_complexity=instant_complexity,
+            average_complexity=average_complexity,
+            normalized_uncertainty=normalized_uncertainty,
+            normalized_complexity=normalized_complexity,
+            score=score,
+            use_co=use_co,
+        )
+
+    def reset(self) -> None:
+        """Clear the sliding windows (between episodes)."""
+        self._uncertainty_window.clear()
+        self._complexity_window.clear()
+
+    @property
+    def window_fill(self) -> int:
+        """Number of frames currently inside the averaging window."""
+        return len(self._uncertainty_window)

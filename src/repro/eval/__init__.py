@@ -1,0 +1,55 @@
+"""Evaluation harness: episode running, metrics and paper experiments.
+
+* :mod:`repro.eval.metrics` — per-episode results and Table-II style
+  aggregates (success rate, average / max / min parking time),
+* :mod:`repro.eval.runner` — builds a controller ("icoil", "il" or "co") for
+  a scenario and runs one episode, recording per-frame traces,
+* :mod:`repro.eval.training` — trains (and caches) the default IL policy used
+  across experiments,
+* :mod:`repro.eval.experiments` — one entry point per table / figure of the
+  paper's evaluation section,
+* :mod:`repro.eval.report` — plain-text rendering of the experiment outputs.
+"""
+
+from repro.eval.metrics import EpisodeResult, MethodStatistics, aggregate_results
+from repro.eval.runner import EpisodeRunner, EpisodeTrace
+from repro.eval.training import train_default_policy, default_policy_path
+from repro.eval.experiments import (
+    ExecutionFrequencyResult,
+    Fig8Cell,
+    SteeringComparison,
+    Table2Row,
+    execution_frequency_experiment,
+    fig5_steering_experiment,
+    fig6_trajectory_experiment,
+    fig7_mode_switching_experiment,
+    fig8_sensitivity_experiment,
+    fig9_parking_time_experiment,
+    hsa_ablation_experiment,
+    table2_experiment,
+)
+from repro.eval.report import format_fig8_grid, format_table2
+
+__all__ = [
+    "EpisodeResult",
+    "EpisodeRunner",
+    "EpisodeTrace",
+    "ExecutionFrequencyResult",
+    "Fig8Cell",
+    "MethodStatistics",
+    "SteeringComparison",
+    "Table2Row",
+    "aggregate_results",
+    "default_policy_path",
+    "execution_frequency_experiment",
+    "fig5_steering_experiment",
+    "fig6_trajectory_experiment",
+    "fig7_mode_switching_experiment",
+    "fig8_sensitivity_experiment",
+    "fig9_parking_time_experiment",
+    "format_fig8_grid",
+    "format_table2",
+    "hsa_ablation_experiment",
+    "table2_experiment",
+    "train_default_policy",
+]

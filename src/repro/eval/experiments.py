@@ -1,0 +1,374 @@
+"""One entry point per table / figure of the paper's evaluation section.
+
+Every function is deterministic given its seed list and returns plain data
+(dataclasses, numpy arrays) so the benchmark harness can both assert on the
+qualitative shape and print the same rows/series the paper reports.
+
+| Function                          | Paper artefact                     |
+|-----------------------------------|------------------------------------|
+| ``fig5_steering_experiment``      | Fig. 5 — IL vs demonstrator steering |
+| ``fig6_trajectory_experiment``    | Fig. 6 — iCOIL vs IL trajectories  |
+| ``fig7_mode_switching_experiment``| Fig. 7 — HSA uncertainty & commands|
+| ``table2_experiment``             | Table II — time & success rate     |
+| ``fig8_sensitivity_experiment``   | Fig. 8 — spawn point x #obstacles  |
+| ``fig9_parking_time_experiment``  | Fig. 9 — parking-time comparison   |
+| ``execution_frequency_experiment``| §V-E — IL vs CO execution rate     |
+| ``hsa_ablation_experiment``       | ablation of lambda / guard time    |
+"""
+
+from __future__ import annotations
+
+import time as time_module
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import ICOILConfig
+from repro.eval.metrics import EpisodeResult, MethodStatistics, aggregate_results
+from repro.eval.runner import EpisodeRunner, EpisodeTrace
+from repro.il.policy import ILPolicy
+from repro.world.scenario import DifficultyLevel, ScenarioConfig, SpawnMode
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — steering traces of IL vs the demonstrator
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SteeringComparison:
+    """Steering traces for the demonstrator and the IL policy on one scenario."""
+
+    expert_times: np.ndarray
+    expert_steering: np.ndarray
+    il_times: np.ndarray
+    il_steering: np.ndarray
+    il_distinct_values: int
+
+    @property
+    def il_is_stepped(self) -> bool:
+        """IL steering takes few distinct values because of action discretisation."""
+        return self.il_distinct_values <= 16
+
+
+def fig5_steering_experiment(
+    policy: ILPolicy, seed: int = 0, runner: Optional[EpisodeRunner] = None
+) -> SteeringComparison:
+    """Reproduce Fig. 5: compare IL steering with the demonstrator's."""
+    runner = runner or EpisodeRunner(il_policy=policy)
+    config = ScenarioConfig(difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.RANDOM, seed=seed)
+    _, expert_trace = runner.run_episode("expert", config)
+    _, il_trace = runner.run_episode("il", config)
+    return SteeringComparison(
+        expert_times=expert_trace.times,
+        expert_steering=expert_trace.steering,
+        il_times=il_trace.times,
+        il_steering=il_trace.steering,
+        il_distinct_values=int(np.unique(np.round(il_trace.steering, 3)).size),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — parking processes and trajectories of iCOIL vs IL
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrajectoryComparison:
+    """Trajectories and outcomes for iCOIL and IL on the same scenario."""
+
+    icoil_result: EpisodeResult
+    icoil_trace: EpisodeTrace
+    il_result: EpisodeResult
+    il_trace: EpisodeTrace
+
+
+def fig6_trajectory_experiment(
+    policy: ILPolicy,
+    seed: int = 3,
+    difficulty: DifficultyLevel = DifficultyLevel.NORMAL,
+    runner: Optional[EpisodeRunner] = None,
+) -> TrajectoryComparison:
+    """Reproduce Fig. 6: a full parking run for iCOIL and for pure IL."""
+    runner = runner or EpisodeRunner(il_policy=policy)
+    config = ScenarioConfig(difficulty=difficulty, spawn_mode=SpawnMode.RANDOM, seed=seed)
+    icoil_result, icoil_trace = runner.run_episode("icoil", config)
+    il_result, il_trace = runner.run_episode("il", config)
+    return TrajectoryComparison(icoil_result, icoil_trace, il_result, il_trace)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — HSA uncertainty, mode switching and control commands over time
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ModeSwitchingTrace:
+    """Per-frame HSA and command traces of one iCOIL episode."""
+
+    result: EpisodeResult
+    times: np.ndarray
+    uncertainties: np.ndarray
+    modes: Tuple[str, ...]
+    steering: np.ndarray
+    reverse: np.ndarray
+
+    @property
+    def num_switches(self) -> int:
+        return sum(1 for a, b in zip(self.modes[:-1], self.modes[1:]) if a != b)
+
+    @property
+    def late_uncertainty(self) -> float:
+        """Mean normalised uncertainty over the final quarter of the episode."""
+        quarter = max(1, len(self.uncertainties) // 4)
+        return float(np.mean(self.uncertainties[-quarter:]))
+
+    @property
+    def early_uncertainty(self) -> float:
+        """Mean normalised uncertainty over the first quarter of the episode."""
+        quarter = max(1, len(self.uncertainties) // 4)
+        return float(np.mean(self.uncertainties[:quarter]))
+
+
+def fig7_mode_switching_experiment(
+    policy: ILPolicy,
+    seed: int = 0,
+    difficulty: DifficultyLevel = DifficultyLevel.EASY,
+    config: Optional[ICOILConfig] = None,
+    runner: Optional[EpisodeRunner] = None,
+) -> ModeSwitchingTrace:
+    """Reproduce Fig. 7: uncertainty and commands during one iCOIL episode."""
+    runner = runner or EpisodeRunner(il_policy=policy, config=config)
+    scenario_config = ScenarioConfig(
+        difficulty=difficulty, spawn_mode=SpawnMode.RANDOM, seed=seed
+    )
+    result, trace = runner.run_episode("icoil", scenario_config)
+    return ModeSwitchingTrace(
+        result=result,
+        times=trace.times,
+        uncertainties=trace.uncertainties,
+        modes=trace.modes,
+        steering=trace.steering,
+        reverse=trace.reverse,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table II — parking time and success rate per difficulty level
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table II."""
+
+    difficulty: str
+    method: str
+    statistics: MethodStatistics
+
+
+def table2_experiment(
+    policy: ILPolicy,
+    num_episodes: int = 6,
+    methods: Sequence[str] = ("icoil", "il"),
+    difficulties: Sequence[DifficultyLevel] = (
+        DifficultyLevel.EASY,
+        DifficultyLevel.NORMAL,
+        DifficultyLevel.HARD,
+    ),
+    base_seed: int = 100,
+    runner: Optional[EpisodeRunner] = None,
+) -> List[Table2Row]:
+    """Reproduce Table II: success rate and parking time per difficulty level."""
+    runner = runner or EpisodeRunner(il_policy=policy)
+    rows: List[Table2Row] = []
+    seeds = [base_seed + index for index in range(num_episodes)]
+    for difficulty in difficulties:
+        for method in methods:
+            results = runner.run_batch(method, difficulty, seeds)
+            rows.append(Table2Row(difficulty.value, method, aggregate_results(results)))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — parking time vs starting point and number of obstacles
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig8Cell:
+    """One bar of Fig. 8: a (spawn mode, #obstacles) combination."""
+
+    spawn_mode: str
+    num_obstacles: int
+    mean_parking_time: float
+    std_parking_time: float
+    success_rate: float
+
+
+def fig8_sensitivity_experiment(
+    policy: ILPolicy,
+    num_episodes: int = 4,
+    obstacle_counts: Sequence[int] = (1, 2, 3),
+    spawn_modes: Sequence[SpawnMode] = (SpawnMode.CLOSE, SpawnMode.REMOTE, SpawnMode.RANDOM),
+    base_seed: int = 200,
+    runner: Optional[EpisodeRunner] = None,
+) -> List[Fig8Cell]:
+    """Reproduce Fig. 8: iCOIL parking time per spawn mode and obstacle count."""
+    runner = runner or EpisodeRunner(il_policy=policy)
+    cells: List[Fig8Cell] = []
+    for spawn_mode in spawn_modes:
+        for count in obstacle_counts:
+            seeds = [base_seed + index for index in range(num_episodes)]
+            results = runner.run_batch(
+                "icoil",
+                DifficultyLevel.EASY,
+                seeds,
+                spawn_mode=spawn_mode,
+                num_static_obstacles=count,
+                num_dynamic_obstacles=0,
+            )
+            successes = [r for r in results if r.success]
+            times = np.array([r.parking_time for r in successes], dtype=float)
+            cells.append(
+                Fig8Cell(
+                    spawn_mode=spawn_mode.value,
+                    num_obstacles=count,
+                    mean_parking_time=float(times.mean()) if times.size else float("nan"),
+                    std_parking_time=float(times.std()) if times.size else float("nan"),
+                    success_rate=len(successes) / max(1, len(results)),
+                )
+            )
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — parking time comparison between methods
+# ---------------------------------------------------------------------------
+def fig9_parking_time_experiment(
+    policy: ILPolicy,
+    num_episodes: int = 6,
+    methods: Sequence[str] = ("icoil", "il"),
+    difficulty: DifficultyLevel = DifficultyLevel.EASY,
+    base_seed: int = 300,
+    runner: Optional[EpisodeRunner] = None,
+) -> Dict[str, np.ndarray]:
+    """Reproduce Fig. 9: the distribution of parking times per method.
+
+    Returns a mapping from method name to the array of successful parking
+    times.
+    """
+    runner = runner or EpisodeRunner(il_policy=policy)
+    seeds = [base_seed + index for index in range(num_episodes)]
+    distributions: Dict[str, np.ndarray] = {}
+    for method in methods:
+        results = runner.run_batch(method, difficulty, seeds)
+        distributions[method] = np.array(
+            [result.parking_time for result in results if result.success], dtype=float
+        )
+    return distributions
+
+
+# ---------------------------------------------------------------------------
+# §V-E — execution frequency of the IL and CO modules
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExecutionFrequencyResult:
+    """Measured per-step latency and frequency of the IL and CO modules."""
+
+    il_mean_latency: float
+    co_mean_latency: float
+
+    @property
+    def il_frequency(self) -> float:
+        return 1.0 / self.il_mean_latency if self.il_mean_latency > 0 else float("inf")
+
+    @property
+    def co_frequency(self) -> float:
+        return 1.0 / self.co_mean_latency if self.co_mean_latency > 0 else float("inf")
+
+    @property
+    def speed_ratio(self) -> float:
+        """How many times faster one IL step is than one CO step."""
+        return self.co_mean_latency / max(self.il_mean_latency, 1e-12)
+
+
+def execution_frequency_experiment(
+    policy: ILPolicy,
+    num_steps: int = 40,
+    seed: int = 0,
+    runner: Optional[EpisodeRunner] = None,
+) -> ExecutionFrequencyResult:
+    """Reproduce the §V-E execution-frequency measurement.
+
+    The paper reports 75 Hz for IL and 18 Hz for CO on its hardware; the
+    reproduction asserts on the *ordering* (IL several times faster per step)
+    rather than the absolute rates.
+    """
+    runner = runner or EpisodeRunner(il_policy=policy)
+    config = ScenarioConfig(difficulty=DifficultyLevel.NORMAL, spawn_mode=SpawnMode.RANDOM, seed=seed)
+    _, il_trace = runner.run_episode("il", config, max_steps=num_steps)
+    _, co_trace = runner.run_episode("co", config, max_steps=num_steps)
+
+    # Re-run the controllers directly to time the module calls in isolation.
+    from repro.world.scenario import build_scenario
+    from repro.world.world import ParkingWorld
+
+    scenario = build_scenario(config)
+    world = ParkingWorld(scenario, runner.vehicle_params, dt=runner.dt, time_limit=runner.time_limit)
+    il_controller = runner.build_controller("il", scenario)
+    co_controller = runner.build_controller("co", scenario)
+    il_latencies: List[float] = []
+    co_latencies: List[float] = []
+    for _ in range(num_steps):
+        if world.status.is_terminal:
+            break
+        state = world.state
+        obstacles = world.current_obstacles()
+        start = time_module.perf_counter()
+        il_info = il_controller.step(state, obstacles, scenario.lot, time=world.time)
+        il_latencies.append(time_module.perf_counter() - start)
+        start = time_module.perf_counter()
+        co_info = co_controller.step(state, obstacles, scenario.lot, time=world.time)
+        co_latencies.append(time_module.perf_counter() - start)
+        world.step(co_info.action)
+    return ExecutionFrequencyResult(
+        il_mean_latency=float(np.mean(il_latencies)),
+        co_mean_latency=float(np.mean(co_latencies)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation — HSA threshold and guard time
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AblationPoint:
+    """Outcome of one (threshold, guard) configuration."""
+
+    switch_threshold: float
+    guard_frames: int
+    success_rate: float
+    mean_parking_time: float
+    mean_switches: float
+    co_mode_fraction: float
+
+
+def hsa_ablation_experiment(
+    policy: ILPolicy,
+    thresholds: Sequence[float] = (0.1, 0.35, 1.0),
+    guard_frames: Sequence[int] = (0, 20),
+    num_episodes: int = 3,
+    base_seed: int = 400,
+) -> List[AblationPoint]:
+    """Sweep the HSA threshold and guard time (design choices of §III / §V-C)."""
+    points: List[AblationPoint] = []
+    for threshold in thresholds:
+        for guard in guard_frames:
+            config = ICOILConfig(switch_threshold=threshold, guard_frames=guard)
+            runner = EpisodeRunner(il_policy=policy, config=config)
+            seeds = [base_seed + index for index in range(num_episodes)]
+            results = runner.run_batch("icoil", DifficultyLevel.NORMAL, seeds)
+            successes = [r for r in results if r.success]
+            times = np.array([r.parking_time for r in successes], dtype=float)
+            points.append(
+                AblationPoint(
+                    switch_threshold=threshold,
+                    guard_frames=guard,
+                    success_rate=len(successes) / max(1, len(results)),
+                    mean_parking_time=float(times.mean()) if times.size else float("nan"),
+                    mean_switches=float(np.mean([r.num_mode_switches for r in results])),
+                    co_mode_fraction=float(np.mean([r.co_mode_fraction for r in results])),
+                )
+            )
+    return points

@@ -1,0 +1,72 @@
+"""Plain-text rendering of experiment outputs (the rows the paper prints)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.eval.experiments import Fig8Cell, Table2Row
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    """Render Table II rows in the paper's layout (per-difficulty blocks)."""
+    lines: List[str] = []
+    difficulties = []
+    for row in rows:
+        if row.difficulty not in difficulties:
+            difficulties.append(row.difficulty)
+    for difficulty in difficulties:
+        lines.append(f"{difficulty.capitalize()} Task")
+        lines.append(f"{'Method':<10}{'Average':>10}{'Max':>10}{'Min':>10}{'Success':>10}")
+        for row in rows:
+            if row.difficulty != difficulty:
+                continue
+            stats = row.statistics
+            lines.append(
+                f"{row.method:<10}"
+                f"{stats.average_time:>10.2f}"
+                f"{stats.max_time:>10.2f}"
+                f"{stats.min_time:>10.2f}"
+                f"{stats.success_percentage:>9.0f}%"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def format_fig8_grid(cells: Sequence[Fig8Cell]) -> str:
+    """Render the Fig. 8 sensitivity grid: spawn mode rows x obstacle-count columns."""
+    spawn_modes: List[str] = []
+    counts: List[int] = []
+    for cell in cells:
+        if cell.spawn_mode not in spawn_modes:
+            spawn_modes.append(cell.spawn_mode)
+        if cell.num_obstacles not in counts:
+            counts.append(cell.num_obstacles)
+    counts = sorted(counts)
+    lines = [f"{'spawn mode':<12}" + "".join(f"{f'{c} obst.':>14}" for c in counts)]
+    lookup: Dict[tuple, Fig8Cell] = {(c.spawn_mode, c.num_obstacles): c for c in cells}
+    for spawn_mode in spawn_modes:
+        row = [f"{spawn_mode:<12}"]
+        for count in counts:
+            cell = lookup.get((spawn_mode, count))
+            if cell is None or np.isnan(cell.mean_parking_time):
+                row.append(f"{'-':>14}")
+            else:
+                row.append(f"{cell.mean_parking_time:>9.1f}s ±{cell.std_parking_time:>3.1f}")
+        lines.append("".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def format_parking_time_distributions(distributions: Dict[str, np.ndarray]) -> str:
+    """Render Fig. 9 parking-time distributions as summary statistics."""
+    lines = [f"{'Method':<10}{'N':>5}{'Mean':>10}{'Std':>10}{'Min':>10}{'Max':>10}"]
+    for method, times in distributions.items():
+        if times.size == 0:
+            lines.append(f"{method:<10}{0:>5}" + "         -" * 4)
+            continue
+        lines.append(
+            f"{method:<10}{times.size:>5}"
+            f"{times.mean():>10.2f}{times.std():>10.2f}{times.min():>10.2f}{times.max():>10.2f}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,70 @@
+"""Training and caching of the default IL policy.
+
+The paper trains its IL DNN once on 5171 expert samples and reuses it across
+all experiments.  This module mirrors that workflow: demonstrations are
+collected from the scripted expert, the policy is trained with the
+cross-entropy objective, and the resulting parameters are cached on disk so
+tests, examples and benchmarks share one policy instead of re-training.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.il.dataset import DemonstrationDataset, collect_demonstrations
+from repro.il.policy import ILPolicy
+from repro.il.trainer import ILTrainer, TrainingReport
+from repro.vehicle.actions import ActionSpace
+from repro.world.scenario import DifficultyLevel, ScenarioConfig, SpawnMode
+
+
+def default_policy_path(root: Optional[Path] = None) -> Path:
+    """Location of the cached trained-policy parameters."""
+    base = root or Path(__file__).resolve().parents[3] / "artifacts"
+    return base / "il_policy.npz"
+
+
+def train_default_policy(
+    num_episodes: int = 6,
+    epochs: int = 12,
+    cache_path: Optional[Path] = None,
+    force_retrain: bool = False,
+    seed: int = 0,
+) -> Tuple[ILPolicy, Optional[TrainingReport], DemonstrationDataset]:
+    """Train (or load from cache) the IL policy used by the experiments.
+
+    Demonstrations are collected at the easy level with random spawn points,
+    matching the paper's protocol of gathering forward-moving and
+    reverse-parking samples from the demonstrator.
+
+    Returns
+    -------
+    (policy, report, dataset):
+        ``report`` is ``None`` when the policy was loaded from the cache (the
+        dataset is still collected only if training is needed, so it is empty
+        in that case).
+    """
+    if num_episodes <= 0 or epochs <= 0:
+        raise ValueError("num_episodes and epochs must be positive")
+    action_space = ActionSpace()
+    policy = ILPolicy(action_space=action_space, seed=seed)
+    cache = cache_path or default_policy_path()
+
+    if cache.exists() and not force_retrain:
+        policy.load(cache)
+        return policy, None, DemonstrationDataset(action_space)
+
+    dataset = collect_demonstrations(
+        num_episodes=num_episodes,
+        action_space=action_space,
+        scenario_config=ScenarioConfig(
+            difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.RANDOM
+        ),
+        scenario_seeds=list(range(seed, seed + num_episodes)),
+    )
+    trainer = ILTrainer(policy, seed=seed)
+    report = trainer.train(dataset, epochs=epochs)
+    cache.parent.mkdir(parents=True, exist_ok=True)
+    policy.save(cache)
+    return policy, report, dataset

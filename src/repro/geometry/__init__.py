@@ -1,0 +1,56 @@
+"""Geometric primitives used throughout the parking stack.
+
+The geometry package is a dependency-free substrate providing:
+
+* angle utilities (:mod:`repro.geometry.angles`),
+* SE(2) rigid-body poses (:mod:`repro.geometry.se2`),
+* convex shapes — circles, axis-aligned boxes, oriented boxes and convex
+  polygons (:mod:`repro.geometry.shapes`),
+* collision and distance queries between those shapes
+  (:mod:`repro.geometry.collision`).
+
+All shapes are immutable value objects backed by ``numpy`` arrays so they can
+be used safely across middleware nodes without defensive copying.
+"""
+
+from repro.geometry.angles import (
+    angle_diff,
+    normalize_angle,
+    unwrap_angles,
+)
+from repro.geometry.se2 import SE2
+from repro.geometry.shapes import (
+    AxisAlignedBox,
+    Circle,
+    ConvexPolygon,
+    OrientedBox,
+)
+from repro.geometry.collision import (
+    circle_circle_collision,
+    circle_polygon_collision,
+    closest_point_on_segment,
+    distance_between,
+    point_in_polygon,
+    polygon_polygon_collision,
+    shapes_collide,
+    signed_distance_circle_polygon,
+)
+
+__all__ = [
+    "SE2",
+    "AxisAlignedBox",
+    "Circle",
+    "ConvexPolygon",
+    "OrientedBox",
+    "angle_diff",
+    "circle_circle_collision",
+    "circle_polygon_collision",
+    "closest_point_on_segment",
+    "distance_between",
+    "normalize_angle",
+    "point_in_polygon",
+    "polygon_polygon_collision",
+    "shapes_collide",
+    "signed_distance_circle_polygon",
+    "unwrap_angles",
+]

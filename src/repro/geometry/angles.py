@@ -1,0 +1,71 @@
+"""Angle arithmetic helpers.
+
+Headings in the simulator live on the circle ``[-pi, pi)``.  Keeping all the
+wrapping logic in one module avoids the subtle off-by-2*pi bugs that otherwise
+creep into kinematics, planners and controllers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+import numpy as np
+
+TWO_PI = 2.0 * math.pi
+
+
+def normalize_angle(theta: float) -> float:
+    """Wrap an angle to the interval ``[-pi, pi)``.
+
+    Parameters
+    ----------
+    theta:
+        Angle in radians, any magnitude.
+
+    Returns
+    -------
+    float
+        Equivalent angle in ``[-pi, pi)``.
+    """
+    wrapped = math.fmod(theta + math.pi, TWO_PI)
+    if wrapped < 0.0:
+        wrapped += TWO_PI
+    return wrapped - math.pi
+
+
+def angle_diff(target: float, source: float) -> float:
+    """Smallest signed difference ``target - source`` wrapped to ``[-pi, pi)``.
+
+    The result is the rotation that, added to ``source``, reaches ``target``
+    along the shortest arc.
+    """
+    return normalize_angle(target - source)
+
+
+def unwrap_angles(angles: Iterable[float]) -> List[float]:
+    """Unwrap a sequence of angles into a continuous trace.
+
+    Useful when plotting heading traces: consecutive samples never jump by
+    more than ``pi``.
+    """
+    angles = list(angles)
+    if not angles:
+        return []
+    unwrapped = [angles[0]]
+    for theta in angles[1:]:
+        previous = unwrapped[-1]
+        unwrapped.append(previous + angle_diff(theta, previous))
+    return unwrapped
+
+
+def normalize_angles_array(angles: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`normalize_angle` for numpy arrays."""
+    return np.mod(np.asarray(angles, dtype=float) + math.pi, TWO_PI) - math.pi
+
+
+def rotation_matrix(theta: float) -> np.ndarray:
+    """2x2 rotation matrix for an angle in radians."""
+    cos_t = math.cos(theta)
+    sin_t = math.sin(theta)
+    return np.array([[cos_t, -sin_t], [sin_t, cos_t]], dtype=float)

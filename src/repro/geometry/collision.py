@@ -1,0 +1,147 @@
+"""Collision and distance queries between shapes.
+
+The simulator uses these predicates for episode termination (did the
+ego-vehicle hit an obstacle?) and the CO module uses the distance queries to
+build collision-avoidance constraints.  Everything is implemented with the
+separating-axis theorem (SAT) for convex polygons plus closed-form tests for
+circles, so queries are deterministic and allocation-light.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.geometry.shapes import AxisAlignedBox, Circle, ConvexPolygon, OrientedBox
+
+Shape = Union[Circle, AxisAlignedBox, OrientedBox, ConvexPolygon]
+
+
+def _as_polygon(shape: Shape) -> ConvexPolygon:
+    if isinstance(shape, ConvexPolygon):
+        return shape
+    if isinstance(shape, (AxisAlignedBox, OrientedBox)):
+        return shape.to_polygon()
+    raise TypeError(f"Cannot convert {type(shape).__name__} to a polygon")
+
+
+def closest_point_on_segment(point: np.ndarray, start: np.ndarray, end: np.ndarray) -> np.ndarray:
+    """Closest point to ``point`` on the segment ``start``–``end``."""
+    point = np.asarray(point, dtype=float).reshape(2)
+    start = np.asarray(start, dtype=float).reshape(2)
+    end = np.asarray(end, dtype=float).reshape(2)
+    direction = end - start
+    length_sq = float(direction @ direction)
+    if length_sq <= 1e-18:
+        return start.copy()
+    t = float(np.clip((point - start) @ direction / length_sq, 0.0, 1.0))
+    return start + t * direction
+
+
+def point_in_polygon(point: np.ndarray, polygon: ConvexPolygon) -> bool:
+    """Whether a point lies inside (or on the boundary of) a convex polygon."""
+    return polygon.contains(point)
+
+
+def point_polygon_distance(point: np.ndarray, polygon: ConvexPolygon) -> float:
+    """Distance from a point to a convex polygon (0 if inside)."""
+    point = np.asarray(point, dtype=float).reshape(2)
+    if polygon.contains(point):
+        return 0.0
+    vertices = polygon.vertices()
+    best = math.inf
+    for i in range(vertices.shape[0]):
+        closest = closest_point_on_segment(point, vertices[i], vertices[(i + 1) % vertices.shape[0]])
+        best = min(best, float(np.hypot(*(point - closest))))
+    return best
+
+
+def circle_circle_collision(a: Circle, b: Circle) -> bool:
+    """Whether two circles overlap."""
+    return float(np.hypot(a.center_x - b.center_x, a.center_y - b.center_y)) <= a.radius + b.radius
+
+
+def circle_polygon_collision(circle: Circle, polygon: ConvexPolygon) -> bool:
+    """Whether a circle overlaps a convex polygon."""
+    return point_polygon_distance(circle.center, polygon) <= circle.radius
+
+
+def signed_distance_circle_polygon(circle: Circle, polygon: ConvexPolygon) -> float:
+    """Distance from the circle boundary to the polygon (negative when overlapping).
+
+    This is the quantity constrained by the CO module: it must stay above the
+    per-obstacle safety distance.
+    """
+    return point_polygon_distance(circle.center, polygon) - circle.radius
+
+
+def _project_polygon(axis: np.ndarray, vertices: np.ndarray) -> tuple[float, float]:
+    projections = vertices @ axis
+    return float(projections.min()), float(projections.max())
+
+
+def polygon_polygon_collision(a: ConvexPolygon, b: ConvexPolygon) -> bool:
+    """Separating-axis test between two convex polygons."""
+    for polygon in (a, b):
+        edges = polygon.edges()
+        for edge in edges:
+            length = float(np.hypot(edge[0], edge[1]))
+            if length <= 1e-15:
+                continue
+            axis = np.array([-edge[1], edge[0]], dtype=float) / length
+            min_a, max_a = _project_polygon(axis, a.vertices())
+            min_b, max_b = _project_polygon(axis, b.vertices())
+            if max_a < min_b or max_b < min_a:
+                return False
+    return True
+
+
+def polygon_polygon_distance(a: ConvexPolygon, b: ConvexPolygon) -> float:
+    """Approximate minimum distance between two convex polygons (0 if overlapping).
+
+    Exact for the vertex-to-edge case, which dominates for the box shapes used
+    in the parking world.
+    """
+    if polygon_polygon_collision(a, b):
+        return 0.0
+    best = math.inf
+    vertices_a = a.vertices()
+    vertices_b = b.vertices()
+    for i in range(vertices_a.shape[0]):
+        start = vertices_a[i]
+        end = vertices_a[(i + 1) % vertices_a.shape[0]]
+        for point in vertices_b:
+            closest = closest_point_on_segment(point, start, end)
+            best = min(best, float(np.hypot(*(point - closest))))
+    for i in range(vertices_b.shape[0]):
+        start = vertices_b[i]
+        end = vertices_b[(i + 1) % vertices_b.shape[0]]
+        for point in vertices_a:
+            closest = closest_point_on_segment(point, start, end)
+            best = min(best, float(np.hypot(*(point - closest))))
+    return best
+
+
+def shapes_collide(a: Shape, b: Shape) -> bool:
+    """Generic collision dispatch between any two supported shapes."""
+    if isinstance(a, Circle) and isinstance(b, Circle):
+        return circle_circle_collision(a, b)
+    if isinstance(a, Circle):
+        return circle_polygon_collision(a, _as_polygon(b))
+    if isinstance(b, Circle):
+        return circle_polygon_collision(b, _as_polygon(a))
+    return polygon_polygon_collision(_as_polygon(a), _as_polygon(b))
+
+
+def distance_between(a: Shape, b: Shape) -> float:
+    """Generic minimum distance between any two supported shapes (0 when overlapping)."""
+    if isinstance(a, Circle) and isinstance(b, Circle):
+        gap = float(np.hypot(a.center_x - b.center_x, a.center_y - b.center_y)) - a.radius - b.radius
+        return max(0.0, gap)
+    if isinstance(a, Circle):
+        return max(0.0, signed_distance_circle_polygon(a, _as_polygon(b)))
+    if isinstance(b, Circle):
+        return max(0.0, signed_distance_circle_polygon(b, _as_polygon(a)))
+    return polygon_polygon_distance(_as_polygon(a), _as_polygon(b))

@@ -1,0 +1,117 @@
+"""SE(2) rigid-body transforms.
+
+An :class:`SE2` value represents a pose ``(x, y, theta)`` in the plane and
+doubles as a coordinate transform: composing poses, inverting them and mapping
+points between frames are the operations the perception and planning code rely
+on (e.g. rendering ego-centric BEV images or expressing obstacles in the
+vehicle frame for the MPC constraints).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.angles import normalize_angle, rotation_matrix
+
+
+@dataclass(frozen=True)
+class SE2:
+    """A pose / rigid transform in the plane."""
+
+    x: float
+    y: float
+    theta: float
+
+    @staticmethod
+    def identity() -> "SE2":
+        """The identity transform (origin, zero heading)."""
+        return SE2(0.0, 0.0, 0.0)
+
+    @staticmethod
+    def from_array(values: np.ndarray) -> "SE2":
+        """Build a pose from a length-3 array ``[x, y, theta]``."""
+        values = np.asarray(values, dtype=float).reshape(-1)
+        if values.shape[0] != 3:
+            raise ValueError(f"SE2.from_array expects 3 values, got {values.shape[0]}")
+        return SE2(float(values[0]), float(values[1]), float(values[2]))
+
+    def as_array(self) -> np.ndarray:
+        """Return ``[x, y, theta]`` as a numpy array."""
+        return np.array([self.x, self.y, self.theta], dtype=float)
+
+    @property
+    def position(self) -> np.ndarray:
+        """Translation component ``[x, y]``."""
+        return np.array([self.x, self.y], dtype=float)
+
+    @property
+    def rotation(self) -> np.ndarray:
+        """2x2 rotation matrix of the pose."""
+        return rotation_matrix(self.theta)
+
+    def normalized(self) -> "SE2":
+        """Return the same pose with heading wrapped to ``[-pi, pi)``."""
+        return SE2(self.x, self.y, normalize_angle(self.theta))
+
+    def compose(self, other: "SE2") -> "SE2":
+        """Compose two transforms: ``self * other``.
+
+        The result maps a point expressed in ``other``'s frame first through
+        ``other`` then through ``self``.
+        """
+        cos_t = math.cos(self.theta)
+        sin_t = math.sin(self.theta)
+        x = self.x + cos_t * other.x - sin_t * other.y
+        y = self.y + sin_t * other.x + cos_t * other.y
+        return SE2(x, y, normalize_angle(self.theta + other.theta))
+
+    def inverse(self) -> "SE2":
+        """Inverse transform such that ``self.compose(self.inverse())`` is identity."""
+        cos_t = math.cos(self.theta)
+        sin_t = math.sin(self.theta)
+        x = -(cos_t * self.x + sin_t * self.y)
+        y = -(-sin_t * self.x + cos_t * self.y)
+        return SE2(x, y, normalize_angle(-self.theta))
+
+    def transform_point(self, point: np.ndarray) -> np.ndarray:
+        """Map a single 2-D point from the local frame to the world frame."""
+        point = np.asarray(point, dtype=float).reshape(2)
+        return self.rotation @ point + self.position
+
+    def transform_points(self, points: np.ndarray) -> np.ndarray:
+        """Map an ``(N, 2)`` array of points from the local frame to the world frame."""
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        return points @ self.rotation.T + self.position
+
+    def inverse_transform_point(self, point: np.ndarray) -> np.ndarray:
+        """Map a world-frame point into this pose's local frame."""
+        point = np.asarray(point, dtype=float).reshape(2)
+        return self.rotation.T @ (point - self.position)
+
+    def inverse_transform_points(self, points: np.ndarray) -> np.ndarray:
+        """Map ``(N, 2)`` world-frame points into this pose's local frame."""
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        return (points - self.position) @ self.rotation
+
+    def relative_to(self, reference: "SE2") -> "SE2":
+        """Express this pose in the frame of ``reference`` (``reference^-1 * self``)."""
+        return reference.inverse().compose(self)
+
+    def distance_to(self, other: "SE2") -> float:
+        """Euclidean distance between the translation parts of two poses."""
+        return float(math.hypot(self.x - other.x, self.y - other.y))
+
+    def heading_vector(self) -> np.ndarray:
+        """Unit vector pointing along the pose heading."""
+        return np.array([math.cos(self.theta), math.sin(self.theta)], dtype=float)
+
+    def interpolate(self, other: "SE2", fraction: float) -> "SE2":
+        """Linear interpolation in position with shortest-arc heading blending."""
+        fraction = float(np.clip(fraction, 0.0, 1.0))
+        x = self.x + fraction * (other.x - self.x)
+        y = self.y + fraction * (other.y - self.y)
+        dtheta = normalize_angle(other.theta - self.theta)
+        return SE2(x, y, normalize_angle(self.theta + fraction * dtheta))

@@ -1,0 +1,29 @@
+"""Imitation-learning module (paper §IV-A).
+
+* :class:`repro.il.policy.ILPolicy` — the paper's DNN: a three-layer
+  convolutional feature extractor (conv + ReLU + max-pool per layer) followed
+  by a four-layer fully-connected state-action network and a softmax output
+  over discretised actions,
+* :class:`repro.il.expert.ExpertDriver` — the scripted demonstrator standing
+  in for the human expert: hybrid-A* reference path + pure-pursuit tracking
+  with reverse-parking handling,
+* :class:`repro.il.dataset.DemonstrationDataset` — collection and storage of
+  (BEV image, action class) pairs,
+* :class:`repro.il.trainer.ILTrainer` — the supervised training loop
+  minimising the cross-entropy objective (Eq. 2–3).
+"""
+
+from repro.il.dataset import DemonstrationDataset, DemonstrationSample, collect_demonstrations
+from repro.il.expert import ExpertDriver
+from repro.il.policy import ILPolicy
+from repro.il.trainer import ILTrainer, TrainingReport
+
+__all__ = [
+    "DemonstrationDataset",
+    "DemonstrationSample",
+    "ExpertDriver",
+    "ILPolicy",
+    "ILTrainer",
+    "TrainingReport",
+    "collect_demonstrations",
+]

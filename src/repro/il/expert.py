@@ -1,0 +1,218 @@
+"""Scripted expert driver used to generate demonstrations.
+
+The paper collects 5171 samples from a human driver on MoCAM.  Without a
+human in the loop, this module provides a competent scripted driver:
+
+1. a global reference path from the spawn pose into the parking space,
+   computed with hybrid A* (falls back to a Reeds-Shepp path when the lot is
+   obstacle-free near the goal);
+2. pure-pursuit tracking of that path, with the gear (forward / reverse)
+   following the path's per-waypoint direction labels;
+3. speed scheduling that slows down near direction switches and near the
+   goal, and a full stop once parked.
+
+The expert is also reused as the "human driver" trace in the Fig. 5
+reproduction (steering comparison between IL and the demonstrator).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.angles import normalize_angle
+from repro.geometry.se2 import SE2
+from repro.planning.hybrid_astar import HybridAStarPlanner
+from repro.planning.maneuvers import perpendicular_reverse_park
+from repro.planning.progress import SegmentedPathFollower
+from repro.planning.reeds_shepp import shortest_reeds_shepp_path
+from repro.planning.waypoints import Waypoint, WaypointPath
+from repro.vehicle.actions import Action
+from repro.vehicle.params import VehicleParams
+from repro.vehicle.state import VehicleState
+from repro.world.obstacles import Obstacle
+from repro.world.parking_lot import ParkingLot
+
+
+@dataclass
+class ExpertConfig:
+    """Tuning parameters of the scripted expert."""
+
+    lookahead_distance: float = 2.5
+    reverse_lookahead_distance: float = 1.6
+    forward_speed: float = 1.8
+    reverse_speed: float = 0.9
+    goal_slowdown_distance: float = 4.0
+    replan_deviation: float = 2.5
+    goal_position_tolerance: float = 0.35
+    goal_heading_tolerance: float = 0.2
+    reverse_park_radius: float = 5.0
+    aisle_heading: float = 0.0
+
+
+class ExpertDriver:
+    """Path-tracking expert producing continuous driving actions."""
+
+    def __init__(
+        self,
+        lot: ParkingLot,
+        obstacles: Sequence[Obstacle],
+        vehicle_params: Optional[VehicleParams] = None,
+        config: Optional[ExpertConfig] = None,
+        planner: Optional[HybridAStarPlanner] = None,
+    ) -> None:
+        self.lot = lot
+        self.obstacles = list(obstacles)
+        self.vehicle_params = vehicle_params or VehicleParams()
+        self.config = config or ExpertConfig()
+        self.planner = planner or HybridAStarPlanner(self.vehicle_params)
+        self._path: Optional[WaypointPath] = None
+        self._follower: Optional[SegmentedPathFollower] = None
+
+    # ------------------------------------------------------------------
+    # Reference path
+    # ------------------------------------------------------------------
+    def plan_reference(self, start: SE2) -> Optional[WaypointPath]:
+        """(Re)compute the reference path from ``start`` to the parking space.
+
+        The reference is built in two stages, mirroring how a human drives
+        the maneuver: hybrid A* from the start pose to a *staging pose* on
+        the aisle in front of the space, then an analytic perpendicular
+        reverse-park arc from the staging pose into the space.
+        """
+        static_obstacles = [obstacle for obstacle in self.obstacles if not obstacle.is_dynamic]
+        goal = self.lot.goal_pose
+        staging, reverse_waypoints = perpendicular_reverse_park(
+            goal,
+            aisle_heading=self.config.aisle_heading,
+            radius=self.config.reverse_park_radius,
+        )
+
+        # If the vehicle is already at (or past) the staging pose, only the
+        # reverse maneuver remains.
+        if start.distance_to(staging) < 1.0:
+            self._path = WaypointPath([Waypoint(start, 1)] + reverse_waypoints)
+        else:
+            result = self.planner.plan(start, staging, static_obstacles, self.lot)
+            if result.success and result.path is not None:
+                waypoints = result.path.waypoints + reverse_waypoints
+                self._path = WaypointPath(waypoints)
+            else:
+                # Fallback: a direct Reeds-Shepp maneuver to the goal ignoring
+                # obstacles; better than refusing to demonstrate at all.
+                rs_path = shortest_reeds_shepp_path(
+                    start, goal, turning_radius=self.vehicle_params.min_turning_radius * 1.1
+                )
+                if rs_path is None:
+                    self._path = None
+                    self._follower = None
+                    return None
+                samples = rs_path.sample(start, spacing=0.3)
+                self._path = WaypointPath(
+                    [Waypoint(pose, direction) for pose, direction in samples]
+                )
+        self._follower = SegmentedPathFollower(self._path)
+        return self._path
+
+    @property
+    def reference_path(self) -> Optional[WaypointPath]:
+        return self._path
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def act(self, state: VehicleState) -> Action:
+        """Driving command for the current vehicle state."""
+        config = self.config
+        goal = self.lot.goal_pose
+
+        # Terminal condition: stop once the vehicle is inside the space.
+        position_error = math.hypot(state.x - goal.x, state.y - goal.y)
+        heading_error = abs(normalize_angle(state.heading - goal.theta))
+        heading_error = min(heading_error, abs(heading_error - math.pi))
+        if position_error <= config.goal_position_tolerance and heading_error <= config.goal_heading_tolerance:
+            return Action.full_brake()
+
+        if self._path is None or self._follower is None:
+            self.plan_reference(state.pose)
+        if self._path is None or self._follower is None:
+            return Action.full_brake()
+
+        follower = self._follower
+        follower.update(state.position)
+        nearest_index = follower.nearest_index_in_segment(state.position)
+        nearest_waypoint = self._path[nearest_index]
+        deviation = float(np.hypot(*(nearest_waypoint.position - state.position)))
+        if deviation > config.replan_deviation:
+            replanned = self.plan_reference(state.pose)
+            if replanned is not None:
+                follower = self._follower
+                follower.update(state.position)
+
+        direction = follower.current_direction
+        lookahead = (
+            config.lookahead_distance if direction > 0 else config.reverse_lookahead_distance
+        )
+        target = follower.lookahead_waypoint(state.position, lookahead)
+
+        steer_cmd = self._pure_pursuit_steer(state, target, direction, lookahead)
+        target_speed = self._target_speed(follower, state, direction, position_error)
+
+        current_speed = state.velocity if direction > 0 else -state.velocity
+        speed_error = target_speed - current_speed
+        if speed_error > 0.05:
+            throttle = float(np.clip(speed_error / 1.5, 0.1, 0.8))
+            brake = 0.0
+        elif speed_error < -0.3:
+            throttle = 0.0
+            brake = float(np.clip(-speed_error / 2.0, 0.2, 1.0))
+        else:
+            throttle = 0.0
+            brake = 0.0
+
+        # If the vehicle is still rolling the wrong way for the requested
+        # gear, brake first.
+        if direction > 0 and state.velocity < -0.1:
+            return Action.clipped(0.0, 0.8, steer_cmd, False)
+        if direction < 0 and state.velocity > 0.1:
+            return Action.clipped(0.0, 0.8, steer_cmd, True)
+
+        return Action.clipped(throttle, brake, steer_cmd, direction < 0)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _pure_pursuit_steer(
+        self, state: VehicleState, target: Waypoint, direction: int, lookahead: float
+    ) -> float:
+        # Pure pursuit: steer onto the circle through the rear axle, tangent
+        # to the vehicle axis, passing through the target.  The curvature
+        # kappa = 2 * y_local / d^2 and delta = atan(L * kappa) hold for both
+        # forward and reverse motion (theta_dot = v * kappa in either case).
+        local = state.pose.inverse_transform_point(target.position)
+        distance_sq = max(0.25, float(local @ local))
+        curvature = 2.0 * float(local[1]) / distance_sq
+        steer_angle = math.atan(self.vehicle_params.wheelbase * curvature)
+        return float(np.clip(steer_angle / self.vehicle_params.max_steer, -1.0, 1.0))
+
+    def _target_speed(
+        self,
+        follower: SegmentedPathFollower,
+        state: VehicleState,
+        direction: int,
+        goal_distance: float,
+    ) -> float:
+        config = self.config
+        base = config.forward_speed if direction > 0 else config.reverse_speed
+        # Slow down approaching a direction switch (end of a non-final segment).
+        if not follower.on_final_segment:
+            distance_to_switch = follower.distance_to_segment_end(state.position)
+            if distance_to_switch < 3.0:
+                base = min(base, 0.4 + 0.3 * distance_to_switch)
+        # Slow down approaching the goal.
+        if goal_distance < config.goal_slowdown_distance:
+            base = min(base, 0.3 + 0.35 * goal_distance)
+        return max(0.3, base)

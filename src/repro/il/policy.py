@@ -1,0 +1,143 @@
+"""The IL policy network.
+
+Architecture (paper §IV-A):
+
+* feature-extraction network — three layers, each made of convolution, ReLU
+  activation and max pooling;
+* state-action network — four fully connected layers followed by a softmax
+  producing a probability distribution over the discretised actions.
+
+At execution time the action with the highest probability is selected; the
+full distribution is also exposed because the HSA module computes the
+scenario uncertainty from its entropy (Eq. 7).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Softmax,
+    load_parameters,
+    save_parameters,
+)
+from repro.perception.bev import BEVImage
+from repro.vehicle.actions import Action, ActionSpace
+
+
+class ILPolicy:
+    """Maps BEV images to probabilistic driving actions.
+
+    Parameters
+    ----------
+    action_space:
+        The discretised action space defining the number of output classes.
+    image_size / image_channels:
+        Dimensions of the input BEV images.
+    hidden_size:
+        Width of the fully connected layers in the state-action network.
+    seed:
+        Seed for weight initialisation (reproducible training).
+    """
+
+    def __init__(
+        self,
+        action_space: Optional[ActionSpace] = None,
+        image_size: int = 32,
+        image_channels: int = 3,
+        hidden_size: int = 64,
+        conv_channels: Tuple[int, int, int] = (8, 16, 32),
+        seed: int = 0,
+    ) -> None:
+        if image_size % 8 != 0:
+            raise ValueError(f"image_size must be divisible by 8 (three pooling stages), got {image_size}")
+        self.action_space = action_space or ActionSpace()
+        self.image_size = image_size
+        self.image_channels = image_channels
+        rng = np.random.default_rng(seed)
+
+        feature_size = image_size // 8
+        flat_features = conv_channels[2] * feature_size * feature_size
+        num_classes = self.action_space.num_classes
+
+        self.network = Sequential(
+            [
+                # Feature extraction network: 3 x (conv, ReLU, max-pool).
+                Conv2D(image_channels, conv_channels[0], kernel_size=3, padding=1, rng=rng),
+                ReLU(),
+                MaxPool2D(2),
+                Conv2D(conv_channels[0], conv_channels[1], kernel_size=3, padding=1, rng=rng),
+                ReLU(),
+                MaxPool2D(2),
+                Conv2D(conv_channels[1], conv_channels[2], kernel_size=3, padding=1, rng=rng),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                # State-action network: 4 fully connected layers + softmax.
+                Dense(flat_features, hidden_size, rng=rng),
+                ReLU(),
+                Dense(hidden_size, hidden_size, rng=rng),
+                ReLU(),
+                Dense(hidden_size, hidden_size, rng=rng),
+                ReLU(),
+                Dense(hidden_size, num_classes, rng=rng),
+                Softmax(),
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _as_batch(self, image: Union[BEVImage, np.ndarray]) -> np.ndarray:
+        data = image.data if isinstance(image, BEVImage) else np.asarray(image, dtype=float)
+        if data.ndim == 3:
+            data = data[None, ...]
+        if data.ndim != 4:
+            raise ValueError(f"expected image of shape (C, H, W) or (N, C, H, W), got {data.shape}")
+        return data
+
+    def predict_probabilities(self, image: Union[BEVImage, np.ndarray]) -> np.ndarray:
+        """Class-probability vector(s) ``f^Prob_IL`` for one image or a batch."""
+        batch = self._as_batch(image)
+        probabilities = self.network.predict(batch)
+        if probabilities.shape[0] == 1 and (
+            isinstance(image, BEVImage) or np.asarray(image).ndim == 3
+        ):
+            return probabilities[0]
+        return probabilities
+
+    def predict_action(self, image: Union[BEVImage, np.ndarray]) -> Tuple[Action, np.ndarray]:
+        """Most likely action and the full probability distribution."""
+        probabilities = self.predict_probabilities(image)
+        if probabilities.ndim != 1:
+            raise ValueError("predict_action expects a single image, not a batch")
+        index = int(np.argmax(probabilities))
+        return self.action_space.action_for(index), probabilities
+
+    def __call__(self, image: Union[BEVImage, np.ndarray]) -> Action:
+        action, _ = self.predict_action(image)
+        return action
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Save trained parameters ``theta*`` to disk."""
+        save_parameters(self.network, path)
+
+    def load(self, path: Union[str, Path]) -> None:
+        """Load parameters previously written by :meth:`save`."""
+        load_parameters(self.network, path)
+
+    @property
+    def num_parameters(self) -> int:
+        return self.network.num_parameters()

@@ -1,0 +1,40 @@
+"""MoCAM digital-twin substitute: the full node graph of Fig. 2.
+
+The paper runs iCOIL as ROS nodes connected to the CARLA-based MoCAM
+platform through the CARLA-ROS bridge.  This package wires the same node
+graph over the in-process middleware:
+
+* :class:`repro.metaverse.nodes.SimulatorBridgeNode` — steps the parking
+  world and publishes the ego state (the CARLA-ROS bridge stand-in),
+* :class:`repro.metaverse.nodes.PerceptionNode` — BEV transformer + object
+  detector,
+* :class:`repro.metaverse.nodes.ILNode`, :class:`repro.metaverse.nodes.CONode`,
+  :class:`repro.metaverse.nodes.HSANode` — the three iCOIL nodes of §V-A,
+* :class:`repro.metaverse.nodes.CommandMuxNode` — selects the active mode's
+  command (Eq. 1) and publishes the final control,
+* :class:`repro.metaverse.platform.MoCAMPlatform` — assembles everything and
+  runs complete parking episodes.
+"""
+
+from repro.metaverse.nodes import (
+    CommandMuxNode,
+    CONode,
+    HSANode,
+    ILNode,
+    PerceptionNode,
+    SimulatorBridgeNode,
+    Topics,
+)
+from repro.metaverse.platform import MoCAMPlatform, PlatformEpisodeResult
+
+__all__ = [
+    "CONode",
+    "CommandMuxNode",
+    "HSANode",
+    "ILNode",
+    "MoCAMPlatform",
+    "PerceptionNode",
+    "PlatformEpisodeResult",
+    "SimulatorBridgeNode",
+    "Topics",
+]

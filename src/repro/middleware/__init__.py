@@ -1,0 +1,46 @@
+"""A lightweight ROS-like publish/subscribe middleware.
+
+The paper deploys iCOIL as three Python ROS nodes (IL, CO, HSA) plus
+perception nodes, all exchanging messages over topics (§V-A).  This package
+reproduces that architecture in-process:
+
+* :class:`repro.middleware.bus.MessageBus` — the broker holding topics and
+  delivering messages to subscribers in publish order,
+* :class:`repro.middleware.node.Node` — base class with ``publish`` /
+  ``subscribe`` helpers and a per-node step hook,
+* :class:`repro.middleware.executor.Executor` — drives registered nodes at
+  their configured rates on a simulated clock,
+* :mod:`repro.middleware.messages` — typed message payloads for images,
+  detections, HSA readings and control commands,
+* :class:`repro.middleware.recorder.TopicRecorder` — a rosbag-style recorder
+  used by the experiments to extract per-frame traces.
+"""
+
+from repro.middleware.bus import MessageBus, Subscription
+from repro.middleware.executor import Executor
+from repro.middleware.messages import (
+    BEVImageMessage,
+    ControlCommandMessage,
+    DetectionArrayMessage,
+    EgoStateMessage,
+    HSAStatusMessage,
+    ILProbabilitiesMessage,
+    Message,
+)
+from repro.middleware.node import Node
+from repro.middleware.recorder import TopicRecorder
+
+__all__ = [
+    "BEVImageMessage",
+    "ControlCommandMessage",
+    "DetectionArrayMessage",
+    "EgoStateMessage",
+    "Executor",
+    "HSAStatusMessage",
+    "ILProbabilitiesMessage",
+    "Message",
+    "MessageBus",
+    "Node",
+    "Subscription",
+    "TopicRecorder",
+]

@@ -1,0 +1,86 @@
+"""The message bus: topics, publication and subscription."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.middleware.messages import Message
+
+MessageHandler = Callable[[Message], None]
+
+
+@dataclass
+class Subscription:
+    """A registered subscriber on one topic."""
+
+    topic: str
+    handler: MessageHandler
+    subscriber: str = "anonymous"
+    active: bool = True
+
+    def cancel(self) -> None:
+        """Stop receiving messages on this subscription."""
+        self.active = False
+
+
+class MessageBus:
+    """In-process publish/subscribe broker with per-topic latching.
+
+    Messages are delivered synchronously to subscribers in registration
+    order, which keeps the node pipeline deterministic (a property the
+    experiments rely on).  The latest message on every topic is latched so
+    late-joining nodes (or polling consumers) can read the current value.
+    """
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[str, List[Subscription]] = defaultdict(list)
+        self._latched: Dict[str, Message] = {}
+        self._sequence_numbers: Dict[str, int] = defaultdict(int)
+        self._publish_counts: Dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def subscribe(self, topic: str, handler: MessageHandler, subscriber: str = "anonymous") -> Subscription:
+        """Register a callback for every future message on ``topic``."""
+        if not topic:
+            raise ValueError("topic name must be non-empty")
+        subscription = Subscription(topic=topic, handler=handler, subscriber=subscriber)
+        self._subscriptions[topic].append(subscription)
+        return subscription
+
+    def topics(self) -> List[str]:
+        """All topics that have been published or subscribed to."""
+        names = set(self._subscriptions) | set(self._latched)
+        return sorted(names)
+
+    def subscriber_count(self, topic: str) -> int:
+        return sum(1 for sub in self._subscriptions.get(topic, []) if sub.active)
+
+    # ------------------------------------------------------------------
+    # Publication
+    # ------------------------------------------------------------------
+    def publish(self, topic: str, message: Message) -> Message:
+        """Publish a message; returns the stamped copy that was delivered."""
+        if not topic:
+            raise ValueError("topic name must be non-empty")
+        if not isinstance(message, Message):
+            raise TypeError(f"expected a Message, got {type(message).__name__}")
+        self._sequence_numbers[topic] += 1
+        stamped = replace(message, sequence=self._sequence_numbers[topic])
+        self._latched[topic] = stamped
+        self._publish_counts[topic] += 1
+        for subscription in list(self._subscriptions.get(topic, [])):
+            if subscription.active:
+                subscription.handler(stamped)
+        return stamped
+
+    def latest(self, topic: str) -> Optional[Message]:
+        """The most recent message on a topic, or ``None``."""
+        return self._latched.get(topic)
+
+    def publish_count(self, topic: str) -> int:
+        """Number of messages ever published on a topic."""
+        return self._publish_counts.get(topic, 0)

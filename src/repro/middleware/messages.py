@@ -1,0 +1,76 @@
+"""Typed message payloads exchanged over the middleware bus.
+
+Every message carries the simulation timestamp of the frame it describes and
+an optional sequence number assigned by the bus.  The payloads mirror the ROS
+topics listed in the paper: ego-view / BEV images, bounding boxes, HSA status
+and control commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.hsa import HSAReading
+from repro.perception.bev import BEVImage
+from repro.perception.detector import Detection
+from repro.vehicle.actions import Action
+from repro.vehicle.state import VehicleState
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base message: a timestamp plus a bus-assigned sequence number."""
+
+    stamp: float
+    sequence: int = 0
+
+
+@dataclass(frozen=True)
+class EgoStateMessage(Message):
+    """The ego-vehicle state published by the simulator bridge."""
+
+    state: VehicleState = field(default_factory=VehicleState)
+
+
+@dataclass(frozen=True)
+class BEVImageMessage(Message):
+    """A rendered BEV image (the output of the BEV transformer node)."""
+
+    image: Optional[BEVImage] = None
+
+
+@dataclass(frozen=True)
+class ILProbabilitiesMessage(Message):
+    """The IL policy's output distribution, consumed by the HSA node."""
+
+    probabilities: Optional[np.ndarray] = None
+
+
+@dataclass(frozen=True)
+class DetectionArrayMessage(Message):
+    """Bounding boxes produced by the object-detector node."""
+
+    detections: Tuple[Detection, ...] = ()
+
+    @property
+    def num_detections(self) -> int:
+        return len(self.detections)
+
+
+@dataclass(frozen=True)
+class HSAStatusMessage(Message):
+    """The HSA node's current reading and recommended mode."""
+
+    reading: Optional[HSAReading] = None
+    active_mode: str = "co"
+
+
+@dataclass(frozen=True)
+class ControlCommandMessage(Message):
+    """The control command published by the active driving mode."""
+
+    action: Action = field(default_factory=Action.idle)
+    source: str = "unknown"

@@ -1,0 +1,63 @@
+"""Node base class for the middleware."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.middleware.bus import MessageBus, MessageHandler, Subscription
+from repro.middleware.messages import Message
+
+
+class Node:
+    """A named participant on the message bus.
+
+    Subclasses override :meth:`on_step`, which the executor calls at the
+    node's configured rate with the current simulation time.  Helper methods
+    wrap the bus so node code reads like its ROS equivalent.
+    """
+
+    def __init__(self, name: str, bus: MessageBus, rate_hz: float = 10.0) -> None:
+        if not name:
+            raise ValueError("node name must be non-empty")
+        if rate_hz <= 0.0:
+            raise ValueError(f"rate_hz must be positive, got {rate_hz}")
+        self.name = name
+        self.bus = bus
+        self.rate_hz = rate_hz
+        self._last_step_time: Optional[float] = None
+        self.step_count = 0
+
+    # ------------------------------------------------------------------
+    # Bus helpers
+    # ------------------------------------------------------------------
+    def publish(self, topic: str, message: Message) -> Message:
+        return self.bus.publish(topic, message)
+
+    def subscribe(self, topic: str, handler: MessageHandler) -> Subscription:
+        return self.bus.subscribe(topic, handler, subscriber=self.name)
+
+    def latest(self, topic: str) -> Optional[Message]:
+        return self.bus.latest(topic)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    @property
+    def period(self) -> float:
+        return 1.0 / self.rate_hz
+
+    def due(self, time: float) -> bool:
+        """Whether the node should run at the given simulation time."""
+        if self._last_step_time is None:
+            return True
+        return time - self._last_step_time >= self.period - 1e-9
+
+    def step(self, time: float) -> None:
+        """Run the node once (called by the executor when due)."""
+        self._last_step_time = time
+        self.step_count += 1
+        self.on_step(time)
+
+    def on_step(self, time: float) -> None:
+        """Node behaviour; subclasses override."""
+        raise NotImplementedError

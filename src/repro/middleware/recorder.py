@@ -1,0 +1,45 @@
+"""Topic recorder: a rosbag-style trace of selected topics."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence
+
+from repro.middleware.bus import MessageBus
+from repro.middleware.messages import Message
+
+
+class TopicRecorder:
+    """Records every message on the subscribed topics in arrival order."""
+
+    def __init__(self, bus: MessageBus, topics: Sequence[str]) -> None:
+        self.bus = bus
+        self._records: Dict[str, List[Message]] = defaultdict(list)
+        self._subscriptions = []
+        for topic in topics:
+            subscription = bus.subscribe(topic, self._make_handler(topic), subscriber="recorder")
+            self._subscriptions.append(subscription)
+
+    def _make_handler(self, topic: str):
+        def handler(message: Message) -> None:
+            self._records[topic].append(message)
+
+        return handler
+
+    def messages(self, topic: str) -> List[Message]:
+        """All recorded messages for a topic, oldest first."""
+        return list(self._records.get(topic, []))
+
+    def count(self, topic: str) -> int:
+        return len(self._records.get(topic, []))
+
+    def topics(self) -> List[str]:
+        return sorted(self._records)
+
+    def stop(self) -> None:
+        """Stop recording on all topics."""
+        for subscription in self._subscriptions:
+            subscription.cancel()
+
+    def clear(self) -> None:
+        self._records.clear()

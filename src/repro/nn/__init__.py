@@ -1,0 +1,51 @@
+"""A from-scratch numpy neural-network framework (PyTorch substitute).
+
+The paper trains its IL policy with a standard deep-learning stack; this
+package provides the minimal but complete machinery needed to reproduce that
+training loop without any external ML dependency:
+
+* :mod:`repro.nn.layers` — Dense, Conv2D, MaxPool2D, ReLU, Flatten, Dropout
+  and Softmax layers with forward and backward passes,
+* :mod:`repro.nn.losses` — cross-entropy (Eq. 3) and mean-squared-error,
+* :mod:`repro.nn.optim` — SGD (with momentum) and Adam,
+* :mod:`repro.nn.network` — a ``Sequential`` container with training helpers,
+* :mod:`repro.nn.serialization` — save/load of trained parameters.
+
+All layers operate on batches with shape ``(N, ...)`` and use float64 for
+deterministic, platform-independent results.
+"""
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+from repro.nn.losses import CrossEntropyLoss, Loss, MeanSquaredErrorLoss
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.serialization import load_parameters, save_parameters
+
+__all__ = [
+    "Adam",
+    "Conv2D",
+    "CrossEntropyLoss",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "Layer",
+    "Loss",
+    "MaxPool2D",
+    "MeanSquaredErrorLoss",
+    "Optimizer",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Softmax",
+    "load_parameters",
+    "save_parameters",
+]

@@ -1,0 +1,291 @@
+"""Neural-network layers with forward and backward passes.
+
+Every layer implements:
+
+* ``forward(inputs, training)`` — returns the layer output and caches what
+  the backward pass needs,
+* ``backward(grad_output)`` — returns the gradient w.r.t. the layer input and
+  accumulates parameter gradients,
+* ``parameters()`` / ``gradients()`` — matching lists of arrays consumed by
+  the optimizers.
+
+Convolution and pooling are implemented with im2col-style stride tricks so
+that training the small IL network (32x32x3 inputs) finishes in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> List[np.ndarray]:
+        """Trainable parameter arrays (possibly empty)."""
+        return []
+
+    def gradients(self) -> List[np.ndarray]:
+        """Gradients matching :meth:`parameters` order."""
+        return []
+
+    def __call__(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(inputs, training=training)
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: Optional[np.random.Generator] = None) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Dense layer dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.weights = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self.grad_weights = np.zeros_like(self.weights)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._inputs: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim != 2:
+            raise ValueError(f"Dense expects 2-D input (batch, features), got shape {inputs.shape}")
+        if inputs.shape[1] != self.weights.shape[0]:
+            raise ValueError(
+                f"Dense expects {self.weights.shape[0]} input features, got {inputs.shape[1]}"
+            )
+        self._inputs = inputs if training else None
+        return inputs @ self.weights + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._inputs is None:
+            raise RuntimeError("Dense.backward called without a preceding training forward pass")
+        self.grad_weights = self._inputs.T @ grad_output
+        self.grad_bias = grad_output.sum(axis=0)
+        return grad_output @ self.weights.T
+
+    def parameters(self) -> List[np.ndarray]:
+        return [self.weights, self.bias]
+
+    def gradients(self) -> List[np.ndarray]:
+        return [self.grad_weights, self.grad_bias]
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        mask = inputs > 0.0
+        if training:
+            self._mask = mask
+        return inputs * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("ReLU.backward called without a preceding training forward pass")
+        return grad_output * self._mask
+
+
+class Flatten(Layer):
+    """Flattens all dimensions after the batch dimension."""
+
+    def __init__(self) -> None:
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("Flatten.backward called without a preceding forward pass")
+        return grad_output.reshape(self._input_shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity when not training."""
+
+    def __init__(self, rate: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"Dropout rate must lie in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng(0)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class Softmax(Layer):
+    """Numerically stable softmax over the last dimension.
+
+    The backward pass assumes the upstream loss is cross-entropy computed on
+    the softmax output (the usual fused formulation), in which case the
+    gradient passed in is already ``(probabilities - one_hot)``; softmax then
+    passes it through unchanged.  This matches :class:`repro.nn.losses.CrossEntropyLoss`.
+    """
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        shifted = inputs - inputs.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+
+class Conv2D(Layer):
+    """2-D convolution over ``(N, C, H, W)`` inputs with 'same'-style padding."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("Conv2D channel counts must be positive")
+        if kernel_size <= 0 or stride <= 0 or padding < 0:
+            raise ValueError("Conv2D kernel_size/stride must be positive and padding non-negative")
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)
+        self.weights = rng.normal(0.0, scale, size=(out_channels, in_channels, kernel_size, kernel_size))
+        self.bias = np.zeros(out_channels)
+        self.grad_weights = np.zeros_like(self.weights)
+        self.grad_bias = np.zeros_like(self.bias)
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...]]] = None
+
+    def _im2col(self, inputs: np.ndarray) -> Tuple[np.ndarray, int, int]:
+        batch, channels, height, width = inputs.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        padded = np.pad(inputs, ((0, 0), (0, 0), (p, p), (p, p)))
+        out_h = (height + 2 * p - k) // s + 1
+        out_w = (width + 2 * p - k) // s + 1
+        columns = np.zeros((batch, channels, k, k, out_h, out_w))
+        for row in range(k):
+            row_end = row + s * out_h
+            for col in range(k):
+                col_end = col + s * out_w
+                columns[:, :, row, col, :, :] = padded[:, :, row:row_end:s, col:col_end:s]
+        return columns, out_h, out_w
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim != 4:
+            raise ValueError(f"Conv2D expects 4-D input (N, C, H, W), got shape {inputs.shape}")
+        if inputs.shape[1] != self.weights.shape[1]:
+            raise ValueError(
+                f"Conv2D expects {self.weights.shape[1]} input channels, got {inputs.shape[1]}"
+            )
+        columns, out_h, out_w = self._im2col(inputs)
+        output = np.einsum("nckxhw,ockx->nohw", columns, self.weights) + self.bias[None, :, None, None]
+        if training:
+            self._cache = (columns, inputs.shape)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("Conv2D.backward called without a preceding training forward pass")
+        columns, input_shape = self._cache
+        batch, channels, height, width = input_shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+
+        self.grad_weights = np.einsum("nohw,nckxhw->ockx", grad_output, columns)
+        self.grad_bias = grad_output.sum(axis=(0, 2, 3))
+
+        grad_columns = np.einsum("nohw,ockx->nckxhw", grad_output, self.weights)
+        grad_padded = np.zeros((batch, channels, height + 2 * p, width + 2 * p))
+        out_h, out_w = grad_output.shape[2], grad_output.shape[3]
+        for row in range(k):
+            row_end = row + s * out_h
+            for col in range(k):
+                col_end = col + s * out_w
+                grad_padded[:, :, row:row_end:s, col:col_end:s] += grad_columns[:, :, row, col, :, :]
+        if p > 0:
+            return grad_padded[:, :, p:-p, p:-p]
+        return grad_padded
+
+    def parameters(self) -> List[np.ndarray]:
+        return [self.weights, self.bias]
+
+    def gradients(self) -> List[np.ndarray]:
+        return [self.grad_weights, self.grad_bias]
+
+
+class MaxPool2D(Layer):
+    """Max pooling over ``(N, C, H, W)`` inputs with a square window."""
+
+    def __init__(self, pool_size: int = 2, stride: Optional[int] = None) -> None:
+        if pool_size <= 0:
+            raise ValueError(f"pool_size must be positive, got {pool_size}")
+        self.pool_size = pool_size
+        self.stride = stride or pool_size
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray, Tuple[int, ...]]] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim != 4:
+            raise ValueError(f"MaxPool2D expects 4-D input, got shape {inputs.shape}")
+        batch, channels, height, width = inputs.shape
+        k, s = self.pool_size, self.stride
+        out_h = (height - k) // s + 1
+        out_w = (width - k) // s + 1
+        windows = np.zeros((batch, channels, out_h, out_w, k * k))
+        for row in range(k):
+            for col in range(k):
+                windows[:, :, :, :, row * k + col] = inputs[
+                    :, :, row : row + s * out_h : s, col : col + s * out_w : s
+                ]
+        output = windows.max(axis=-1)
+        if training:
+            argmax = windows.argmax(axis=-1)
+            self._cache = (argmax, np.array(inputs.shape), (out_h, out_w))
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("MaxPool2D.backward called without a preceding training forward pass")
+        argmax, input_shape, (out_h, out_w) = self._cache
+        batch, channels, height, width = input_shape
+        k, s = self.pool_size, self.stride
+        grad_input = np.zeros((batch, channels, height, width))
+        rows = argmax // k
+        cols = argmax % k
+        batch_idx, channel_idx, out_row, out_col = np.indices((batch, channels, out_h, out_w))
+        in_row = out_row * s + rows
+        in_col = out_col * s + cols
+        np.add.at(grad_input, (batch_idx, channel_idx, in_row, in_col), grad_output)
+        return grad_input

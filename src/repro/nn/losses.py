@@ -1,0 +1,60 @@
+"""Loss functions.
+
+:class:`CrossEntropyLoss` implements Eq. 3 of the paper — the multi-category
+classification objective used to train the IL network on discretised expert
+actions.  The gradient returned is the "fused" softmax + cross-entropy
+gradient ``probabilities - one_hot``, which pairs with
+:class:`repro.nn.layers.Softmax` passing gradients through unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class Loss:
+    """Base class for losses operating on (predictions, targets) batches."""
+
+    def compute(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Return ``(loss_value, grad_wrt_predictions)``."""
+        raise NotImplementedError
+
+
+class CrossEntropyLoss(Loss):
+    """Cross-entropy between predicted class probabilities and one-hot targets."""
+
+    def __init__(self, epsilon: float = 1e-12) -> None:
+        if epsilon <= 0.0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = epsilon
+
+    def compute(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        predictions = np.asarray(predictions, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"predictions and targets must have the same shape, got {predictions.shape} vs {targets.shape}"
+            )
+        batch = predictions.shape[0]
+        clipped = np.clip(predictions, self.epsilon, 1.0)
+        loss = -float(np.sum(targets * np.log(clipped))) / batch
+        grad = (predictions - targets) / batch
+        return loss, grad
+
+
+class MeanSquaredErrorLoss(Loss):
+    """Mean squared error, used for regression-style heads and sanity checks."""
+
+    def compute(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        predictions = np.asarray(predictions, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"predictions and targets must have the same shape, got {predictions.shape} vs {targets.shape}"
+            )
+        diff = predictions - targets
+        loss = float(np.mean(diff ** 2))
+        grad = 2.0 * diff / diff.size
+        return loss, grad

@@ -1,0 +1,114 @@
+"""Sequential network container and training helpers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import Loss
+from repro.nn.optim import Optimizer
+
+
+class Sequential:
+    """A stack of layers applied in order, with a simple fit/predict API."""
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers: List[Layer] = list(layers)
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        outputs = np.asarray(inputs, dtype=float)
+        for layer in self.layers:
+            outputs = layer.forward(outputs, training=training)
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Inference forward pass (no caches, no dropout)."""
+        return self.forward(inputs, training=False)
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.predict(inputs)
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[np.ndarray]:
+        params: List[np.ndarray] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def gradients(self) -> List[np.ndarray]:
+        grads: List[np.ndarray] = []
+        for layer in self.layers:
+            grads.extend(layer.gradients())
+        return grads
+
+    def num_parameters(self) -> int:
+        return int(sum(param.size for param in self.parameters()))
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train_batch(self, inputs: np.ndarray, targets: np.ndarray, loss: Loss, optimizer: Optimizer) -> float:
+        """Run one optimisation step on a batch and return the loss value."""
+        predictions = self.forward(inputs, training=True)
+        loss_value, grad = loss.compute(predictions, targets)
+        self.backward(grad)
+        optimizer.step(self.parameters(), self.gradients())
+        return loss_value
+
+    def fit(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        loss: Loss,
+        optimizer: Optimizer,
+        epochs: int = 10,
+        batch_size: int = 32,
+        rng: Optional[np.random.Generator] = None,
+        verbose: bool = False,
+    ) -> List[float]:
+        """Mini-batch training loop; returns the per-epoch average loss."""
+        if epochs <= 0 or batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        inputs = np.asarray(inputs, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if inputs.shape[0] != targets.shape[0]:
+            raise ValueError(
+                f"inputs and targets must have the same number of samples, got {inputs.shape[0]} vs {targets.shape[0]}"
+            )
+        rng = rng or np.random.default_rng(0)
+        num_samples = inputs.shape[0]
+        history: List[float] = []
+        for epoch in range(epochs):
+            order = rng.permutation(num_samples)
+            epoch_losses: List[float] = []
+            for start in range(0, num_samples, batch_size):
+                batch_idx = order[start : start + batch_size]
+                batch_loss = self.train_batch(inputs[batch_idx], targets[batch_idx], loss, optimizer)
+                epoch_losses.append(batch_loss)
+            average = float(np.mean(epoch_losses))
+            history.append(average)
+            if verbose:
+                print(f"epoch {epoch + 1}/{epochs}: loss={average:.4f}")
+        return history
+
+    def accuracy(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """Classification accuracy against one-hot targets."""
+        predictions = self.predict(inputs)
+        predicted_classes = predictions.argmax(axis=-1)
+        target_classes = np.asarray(targets).argmax(axis=-1)
+        return float(np.mean(predicted_classes == target_classes))

@@ -1,0 +1,89 @@
+"""Gradient-descent optimizers."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class Optimizer:
+    """Base class: updates a list of parameter arrays in place from gradients."""
+
+    def step(self, parameters: List[np.ndarray], gradients: List[np.ndarray]) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        if learning_rate <= 0.0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must lie in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocities: Optional[List[np.ndarray]] = None
+
+    def step(self, parameters: List[np.ndarray], gradients: List[np.ndarray]) -> None:
+        if len(parameters) != len(gradients):
+            raise ValueError("parameters and gradients must have the same length")
+        if self._velocities is None:
+            self._velocities = [np.zeros_like(param) for param in parameters]
+        for param, grad, velocity in zip(parameters, gradients, self._velocities):
+            update = grad + self.weight_decay * param
+            velocity *= self.momentum
+            velocity -= self.learning_rate * update
+            param += velocity
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if learning_rate <= 0.0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1 and beta2 must lie in [0, 1)")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self._first_moments: Optional[List[np.ndarray]] = None
+        self._second_moments: Optional[List[np.ndarray]] = None
+        self._step_count = 0
+
+    def step(self, parameters: List[np.ndarray], gradients: List[np.ndarray]) -> None:
+        if len(parameters) != len(gradients):
+            raise ValueError("parameters and gradients must have the same length")
+        if self._first_moments is None:
+            self._first_moments = [np.zeros_like(param) for param in parameters]
+            self._second_moments = [np.zeros_like(param) for param in parameters]
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for param, grad, first, second in zip(
+            parameters, gradients, self._first_moments, self._second_moments
+        ):
+            update = grad + self.weight_decay * param
+            first *= self.beta1
+            first += (1.0 - self.beta1) * update
+            second *= self.beta2
+            second += (1.0 - self.beta2) * update ** 2
+            corrected_first = first / bias1
+            corrected_second = second / bias2
+            param -= self.learning_rate * corrected_first / (np.sqrt(corrected_second) + self.epsilon)

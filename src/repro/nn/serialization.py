@@ -1,0 +1,49 @@
+"""Saving and loading trained network parameters.
+
+Parameters are stored as a flat ``.npz`` archive keyed by position; loading
+copies values into an existing network with the same architecture.  This is
+the moral equivalent of ``torch.save(model.state_dict())`` for the numpy
+framework.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.nn.network import Sequential
+
+
+def save_parameters(network: Sequential, path: Union[str, Path]) -> None:
+    """Serialise a network's parameters to an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {f"param_{index}": param for index, param in enumerate(network.parameters())}
+    np.savez(path, **arrays)
+
+
+def load_parameters(network: Sequential, path: Union[str, Path]) -> None:
+    """Load parameters saved by :func:`save_parameters` into ``network`` in place.
+
+    Raises
+    ------
+    ValueError
+        If the archive does not match the network architecture (count or shape).
+    """
+    path = Path(path)
+    archive = np.load(path)
+    parameters = network.parameters()
+    keys = sorted(archive.files, key=lambda name: int(name.split("_")[1]))
+    if len(keys) != len(parameters):
+        raise ValueError(
+            f"parameter count mismatch: archive has {len(keys)}, network has {len(parameters)}"
+        )
+    for key, param in zip(keys, parameters):
+        stored = archive[key]
+        if stored.shape != param.shape:
+            raise ValueError(
+                f"shape mismatch for {key}: archive {stored.shape} vs network {param.shape}"
+            )
+        param[...] = stored

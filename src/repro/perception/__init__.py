@@ -1,0 +1,34 @@
+"""Perception substrate: BEV images, object detection and sensor noise.
+
+The paper's perception pipeline maps ego-view camera images ``x_i`` through a
+BEV transformer ``y_i = g(x_i)`` and an object detector ``z_i = h(y_i)``
+(§III, Fig. 2/3).  Because this reproduction has no cameras, perception is
+simulated directly from world state:
+
+* :class:`repro.perception.camera.EgoViewCamera` stands in for the raw sensor
+  ``x_i`` — a range-scan style observation rendered from the ego pose,
+* :class:`repro.perception.bev.BEVRenderer` implements ``g`` — an ego-centric
+  multi-channel occupancy image,
+* :class:`repro.perception.detector.ObjectDetector` implements ``h`` — noisy
+  bounding boxes of the surrounding obstacles,
+* :mod:`repro.perception.noise` provides the adversarial perturbations used
+  for the hard difficulty level.
+"""
+
+from repro.perception.bev import BEVImage, BEVRenderer
+from repro.perception.camera import EgoViewCamera, EgoViewObservation
+from repro.perception.detector import Detection, DetectionNoiseModel, ObjectDetector
+from repro.perception.noise import GaussianImageNoise, ImageNoise, NoNoise
+
+__all__ = [
+    "BEVImage",
+    "BEVRenderer",
+    "Detection",
+    "DetectionNoiseModel",
+    "EgoViewCamera",
+    "EgoViewObservation",
+    "GaussianImageNoise",
+    "ImageNoise",
+    "NoNoise",
+    "ObjectDetector",
+]

@@ -1,0 +1,97 @@
+"""Ego-view camera proxy.
+
+The real system feeds front-camera images into the BEV transformer.  Without
+rendering infrastructure we stand in a 1-D depth scan: for a fan of rays cast
+from the ego pose, the distance to the nearest obstacle or lot boundary.  The
+observation is not consumed by the IL network (which uses the BEV image
+directly, as in the paper) but is exposed on the middleware bus so the stack
+has the same topics as Fig. 2 and downstream users can build richer sensors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.collision import point_polygon_distance
+from repro.geometry.se2 import SE2
+from repro.vehicle.state import VehicleState
+from repro.world.obstacles import Obstacle
+from repro.world.parking_lot import ParkingLot
+
+
+@dataclass(frozen=True)
+class EgoViewObservation:
+    """A fan of depth measurements from the ego-vehicle.
+
+    Attributes
+    ----------
+    ranges:
+        Distance to the nearest hit along each ray (m), clipped to ``max_range``.
+    angles:
+        Ray angles relative to the vehicle heading (rad).
+    ego_pose:
+        World pose of the vehicle at capture time.
+    """
+
+    ranges: np.ndarray
+    angles: np.ndarray
+    ego_pose: SE2
+
+    @property
+    def num_rays(self) -> int:
+        return int(self.ranges.shape[0])
+
+    @property
+    def min_range(self) -> float:
+        return float(self.ranges.min()) if self.ranges.size else float("inf")
+
+
+class EgoViewCamera:
+    """Casts a fan of rays and reports the nearest obstacle distance per ray."""
+
+    def __init__(
+        self,
+        num_rays: int = 33,
+        field_of_view: float = math.pi,
+        max_range: float = 20.0,
+        ray_step: float = 0.25,
+    ) -> None:
+        if num_rays < 3:
+            raise ValueError(f"num_rays must be at least 3, got {num_rays}")
+        if max_range <= 0.0 or ray_step <= 0.0:
+            raise ValueError("max_range and ray_step must be positive")
+        self.num_rays = num_rays
+        self.field_of_view = field_of_view
+        self.max_range = max_range
+        self.ray_step = ray_step
+        self._angles = np.linspace(-field_of_view / 2.0, field_of_view / 2.0, num_rays)
+
+    def capture(
+        self, state: VehicleState, obstacles: Sequence[Obstacle], lot: ParkingLot
+    ) -> EgoViewObservation:
+        """Capture one depth scan from the current vehicle pose."""
+        polygons = [obstacle.box.to_polygon() for obstacle in obstacles]
+        ranges = np.full(self.num_rays, self.max_range, dtype=float)
+        origin = state.position
+        for ray_index, relative_angle in enumerate(self._angles):
+            angle = state.heading + relative_angle
+            direction = np.array([math.cos(angle), math.sin(angle)])
+            distance = self.ray_step
+            while distance <= self.max_range:
+                point = origin + distance * direction
+                if not lot.bounds.contains(point):
+                    ranges[ray_index] = distance
+                    break
+                hit = any(
+                    point_polygon_distance(point, polygon) <= 1e-9 or polygon.contains(point)
+                    for polygon in polygons
+                )
+                if hit:
+                    ranges[ray_index] = distance
+                    break
+                distance += self.ray_step
+        return EgoViewObservation(ranges=ranges, angles=self._angles.copy(), ego_pose=state.pose)

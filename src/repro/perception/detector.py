@@ -1,0 +1,159 @@
+"""Object detection with configurable noise.
+
+Implements ``z_i = h(y_i)`` from paper §III.  In the real system an
+off-the-shelf detector extracts obstacle bounding boxes from the BEV image;
+here detections are derived from ground-truth obstacle states and then
+corrupted: position/extent jitter, random dropouts (missed detections) and
+false positives.  The hard difficulty level increases all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.shapes import OrientedBox
+from repro.vehicle.state import VehicleState
+from repro.world.obstacles import DynamicObstacle, Obstacle
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detected obstacle bounding box.
+
+    Attributes
+    ----------
+    box:
+        The (possibly noisy) oriented bounding box in the world frame.
+    velocity:
+        Estimated planar velocity of the obstacle (m/s), zero for static ones.
+    confidence:
+        Detector confidence in ``[0, 1]``.
+    obstacle_id:
+        Ground-truth identity, or ``None`` for false positives.
+    """
+
+    box: OrientedBox
+    velocity: np.ndarray
+    confidence: float
+    obstacle_id: Optional[str] = None
+
+    @property
+    def center(self) -> np.ndarray:
+        return self.box.center
+
+    @property
+    def is_false_positive(self) -> bool:
+        return self.obstacle_id is None
+
+
+@dataclass(frozen=True)
+class DetectionNoiseModel:
+    """Noise parameters applied to ground-truth boxes."""
+
+    position_std: float = 0.05
+    extent_std: float = 0.02
+    heading_std: float = 0.01
+    dropout_probability: float = 0.0
+    false_positive_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("position_std", "extent_std", "heading_std"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be non-negative")
+        if not 0.0 <= self.dropout_probability < 1.0:
+            raise ValueError("dropout_probability must lie in [0, 1)")
+        if not 0.0 <= self.false_positive_rate <= 1.0:
+            raise ValueError("false_positive_rate must lie in [0, 1]")
+
+    @staticmethod
+    def for_difficulty(detection_noise_std: float) -> "DetectionNoiseModel":
+        """Scale the full noise model from a single scalar difficulty knob."""
+        return DetectionNoiseModel(
+            position_std=detection_noise_std,
+            extent_std=detection_noise_std / 2.0,
+            heading_std=detection_noise_std / 5.0,
+            dropout_probability=min(0.3, detection_noise_std / 2.0),
+            false_positive_rate=min(0.2, detection_noise_std / 3.0),
+        )
+
+
+class ObjectDetector:
+    """Produces (noisy) obstacle detections within a sensing range."""
+
+    def __init__(
+        self,
+        noise: Optional[DetectionNoiseModel] = None,
+        max_range: float = 25.0,
+        seed: int = 0,
+    ) -> None:
+        if max_range <= 0.0:
+            raise ValueError(f"max_range must be positive, got {max_range}")
+        self.noise = noise or DetectionNoiseModel()
+        self.max_range = max_range
+        self._rng = np.random.default_rng(seed)
+        self._previous_centers: dict[str, np.ndarray] = {}
+        self._velocity_estimates: dict[str, np.ndarray] = {}
+        self._previous_time: Optional[float] = None
+        self._velocity_smoothing = 0.35
+
+    def detect(
+        self, state: VehicleState, obstacles: Sequence[Obstacle], time: float = 0.0
+    ) -> List[Detection]:
+        """Detect obstacles around the ego-vehicle at simulation time ``time``."""
+        detections: List[Detection] = []
+        noise = self.noise
+        dt = None
+        if self._previous_time is not None:
+            dt = max(1e-6, time - self._previous_time)
+
+        for obstacle in obstacles:
+            center = obstacle.box.center
+            if float(np.hypot(*(center - state.position))) > self.max_range:
+                continue
+            if self._rng.random() < noise.dropout_probability:
+                continue
+            noisy_box = OrientedBox(
+                float(center[0] + self._rng.normal(0.0, noise.position_std)),
+                float(center[1] + self._rng.normal(0.0, noise.position_std)),
+                max(0.2, obstacle.box.length + self._rng.normal(0.0, noise.extent_std)),
+                max(0.2, obstacle.box.width + self._rng.normal(0.0, noise.extent_std)),
+                float(obstacle.box.heading + self._rng.normal(0.0, noise.heading_std)),
+            )
+            velocity = np.zeros(2)
+            if isinstance(obstacle, DynamicObstacle):
+                previous = self._previous_centers.get(obstacle.obstacle_id)
+                if previous is not None and dt is not None:
+                    raw_velocity = (center - previous) / dt
+                    smoothed = self._velocity_estimates.get(obstacle.obstacle_id, raw_velocity)
+                    alpha = self._velocity_smoothing
+                    velocity = alpha * raw_velocity + (1.0 - alpha) * smoothed
+                    self._velocity_estimates[obstacle.obstacle_id] = velocity
+            confidence = float(np.clip(1.0 - noise.position_std - self._rng.random() * 0.1, 0.0, 1.0))
+            detections.append(
+                Detection(
+                    box=noisy_box,
+                    velocity=velocity,
+                    confidence=confidence,
+                    obstacle_id=obstacle.obstacle_id,
+                )
+            )
+            self._previous_centers[obstacle.obstacle_id] = center
+
+        if noise.false_positive_rate > 0.0 and self._rng.random() < noise.false_positive_rate:
+            offset = self._rng.uniform(-8.0, 8.0, size=2)
+            ghost = OrientedBox(
+                float(state.x + offset[0]),
+                float(state.y + offset[1]),
+                float(self._rng.uniform(0.5, 2.0)),
+                float(self._rng.uniform(0.5, 2.0)),
+                float(self._rng.uniform(-np.pi, np.pi)),
+            )
+            detections.append(
+                Detection(box=ghost, velocity=np.zeros(2), confidence=0.3, obstacle_id=None)
+            )
+
+        self._previous_time = time
+        return detections

@@ -1,0 +1,63 @@
+"""Sensor-noise models.
+
+The hard difficulty level (§V-B) adds "additional noises to the input images
+and bounding boxes" to emulate real-world uncertainty.  These classes
+implement that perturbation for BEV images; detection noise lives in
+:mod:`repro.perception.detector` next to the detector itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+
+class ImageNoise(Protocol):
+    """Protocol for perturbations applied to BEV images."""
+
+    def apply(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return a noisy copy of ``image`` (values stay in ``[0, 1]``)."""
+        ...
+
+
+@dataclass(frozen=True)
+class NoNoise:
+    """Identity perturbation (easy / normal levels)."""
+
+    def apply(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return np.asarray(image, dtype=float)
+
+
+@dataclass(frozen=True)
+class GaussianImageNoise:
+    """Additive Gaussian pixel noise with optional salt-and-pepper dropout.
+
+    Attributes
+    ----------
+    std:
+        Standard deviation of the additive Gaussian component.
+    dropout_probability:
+        Fraction of pixels randomly forced to 0 or 1 (sensor glitches).
+    """
+
+    std: float = 0.05
+    dropout_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.std < 0.0:
+            raise ValueError(f"std must be non-negative, got {self.std}")
+        if not 0.0 <= self.dropout_probability <= 1.0:
+            raise ValueError(
+                f"dropout_probability must lie in [0, 1], got {self.dropout_probability}"
+            )
+
+    def apply(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        image = np.asarray(image, dtype=float)
+        noisy = image + rng.normal(0.0, self.std, size=image.shape)
+        if self.dropout_probability > 0.0:
+            mask = rng.random(image.shape) < self.dropout_probability
+            glitch = (rng.random(image.shape) > 0.5).astype(float)
+            noisy = np.where(mask, glitch, noisy)
+        return np.clip(noisy, 0.0, 1.0)

@@ -1,0 +1,28 @@
+"""Planning substrate: Reeds-Shepp curves, hybrid A* and waypoint paths.
+
+The CO module minimises the distance to "the shortest path from the current
+position to the target parking space" (paper Eq. 4); the scripted expert that
+generates IL demonstrations follows the same reference.  This package builds
+those references:
+
+* :mod:`repro.planning.reeds_shepp` — shortest curvature-bounded paths with
+  reversals (the canonical parking-maneuver primitive),
+* :mod:`repro.planning.hybrid_astar` — a hybrid A* search over motion
+  primitives with obstacle collision checking and a Reeds-Shepp goal shot,
+* :mod:`repro.planning.waypoints` — waypoint-path containers with
+  resampling, arc-length lookup and nearest-point queries.
+"""
+
+from repro.planning.hybrid_astar import HybridAStarPlanner, PlannerResult
+from repro.planning.reeds_shepp import ReedsSheppPath, ReedsSheppSegment, shortest_reeds_shepp_path
+from repro.planning.waypoints import Waypoint, WaypointPath
+
+__all__ = [
+    "HybridAStarPlanner",
+    "PlannerResult",
+    "ReedsSheppPath",
+    "ReedsSheppSegment",
+    "Waypoint",
+    "WaypointPath",
+    "shortest_reeds_shepp_path",
+]

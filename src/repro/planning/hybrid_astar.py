@@ -1,0 +1,302 @@
+"""Hybrid A* planner over motion primitives with a Reeds-Shepp goal shot.
+
+The planner searches the continuous (x, y, heading) space by expanding short
+kinematically feasible arcs (forward and reverse, several steering angles) and
+pruning with a discretised closed set.  Whenever a node gets close to the
+goal, an analytic Reeds-Shepp expansion is attempted and collision-checked;
+the first collision-free shot completes the path.  The output is the global
+reference path consumed by the CO module (Eq. 4) and by the scripted expert.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.angles import normalize_angle
+from repro.geometry.collision import shapes_collide
+from repro.geometry.se2 import SE2
+from repro.geometry.shapes import OrientedBox
+from repro.planning.reeds_shepp import shortest_reeds_shepp_path
+from repro.planning.waypoints import Waypoint, WaypointPath
+from repro.vehicle.params import VehicleParams
+from repro.world.obstacles import Obstacle
+from repro.world.parking_lot import ParkingLot
+
+
+@dataclass(frozen=True)
+class PlannerResult:
+    """Outcome of a planning query."""
+
+    success: bool
+    path: Optional[WaypointPath]
+    expanded_nodes: int
+    cost: float = math.inf
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    priority: float
+    counter: int
+    node_key: Tuple[int, int, int] = field(compare=False)
+
+
+@dataclass
+class _Node:
+    pose: SE2
+    direction: int
+    cost: float
+    parent_key: Optional[Tuple[int, int, int]]
+    trace: List[Tuple[SE2, int]]
+
+
+class HybridAStarPlanner:
+    """Hybrid A* search producing kinematically feasible parking paths.
+
+    Parameters
+    ----------
+    vehicle_params:
+        Ego-vehicle geometry (footprint used for collision checks).
+    xy_resolution / heading_resolution:
+        Discretisation of the closed set.
+    step_size:
+        Arc length of each motion primitive (m).
+    num_steer_primitives:
+        Number of steering samples between full left and full right lock.
+    reverse_penalty / switch_penalty / steer_penalty:
+        Cost shaping terms that prefer forward, smooth, low-curvature paths.
+    safety_margin:
+        Footprint inflation applied during collision checks (m).
+    """
+
+    def __init__(
+        self,
+        vehicle_params: Optional[VehicleParams] = None,
+        xy_resolution: float = 1.0,
+        heading_resolution: float = math.pi / 8.0,
+        step_size: float = 1.2,
+        num_steer_primitives: int = 5,
+        reverse_penalty: float = 1.5,
+        switch_penalty: float = 2.0,
+        steer_penalty: float = 0.3,
+        safety_margin: float = 0.35,
+        max_expansions: int = 20000,
+        goal_shot_distance: float = 12.0,
+    ) -> None:
+        if num_steer_primitives < 3:
+            raise ValueError(f"num_steer_primitives must be at least 3, got {num_steer_primitives}")
+        if xy_resolution <= 0.0 or heading_resolution <= 0.0 or step_size <= 0.0:
+            raise ValueError("resolutions and step_size must be positive")
+        self.vehicle_params = vehicle_params or VehicleParams()
+        self.xy_resolution = xy_resolution
+        self.heading_resolution = heading_resolution
+        self.step_size = step_size
+        self.steer_angles = np.linspace(
+            -self.vehicle_params.max_steer, self.vehicle_params.max_steer, num_steer_primitives
+        )
+        self.reverse_penalty = reverse_penalty
+        self.switch_penalty = switch_penalty
+        self.steer_penalty = steer_penalty
+        self.safety_margin = safety_margin
+        self.max_expansions = max_expansions
+        self.goal_shot_distance = goal_shot_distance
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        start: SE2,
+        goal: SE2,
+        obstacles: Sequence[Obstacle],
+        lot: ParkingLot,
+    ) -> PlannerResult:
+        """Plan a collision-free path from ``start`` to ``goal``."""
+        obstacle_polygons = [obstacle.box.to_polygon() for obstacle in obstacles]
+
+        if self._pose_in_collision(start, obstacle_polygons, lot):
+            return PlannerResult(success=False, path=None, expanded_nodes=0)
+
+        counter = itertools.count()
+        start_key = self._discretize(start)
+        start_node = _Node(pose=start, direction=1, cost=0.0, parent_key=None, trace=[(start, 1)])
+        nodes: Dict[Tuple[int, int, int], _Node] = {start_key: start_node}
+        open_heap: List[_QueueEntry] = [
+            _QueueEntry(self._heuristic(start, goal), next(counter), start_key)
+        ]
+        closed: set = set()
+        expansions = 0
+
+        while open_heap and expansions < self.max_expansions:
+            entry = heapq.heappop(open_heap)
+            node_key = entry.node_key
+            if node_key in closed:
+                continue
+            closed.add(node_key)
+            node = nodes[node_key]
+            expansions += 1
+
+            # Analytic Reeds-Shepp expansion near the goal.
+            if node.pose.distance_to(goal) <= self.goal_shot_distance:
+                shot = self._goal_shot(node.pose, goal, obstacle_polygons, lot)
+                if shot is not None:
+                    waypoints = self._assemble(node, nodes, shot)
+                    return PlannerResult(
+                        success=True,
+                        path=waypoints,
+                        expanded_nodes=expansions,
+                        cost=node.cost,
+                    )
+
+            for successor, direction, steer in self._expand(node.pose):
+                if self._segment_in_collision(node.pose, successor, direction, steer, obstacle_polygons, lot):
+                    continue
+                successor_key = self._discretize(successor)
+                if successor_key in closed:
+                    continue
+                move_cost = self.step_size
+                if direction < 0:
+                    move_cost *= self.reverse_penalty
+                if direction != node.direction:
+                    move_cost += self.switch_penalty
+                move_cost += self.steer_penalty * abs(steer)
+                new_cost = node.cost + move_cost
+                existing = nodes.get(successor_key)
+                if existing is not None and existing.cost <= new_cost:
+                    continue
+                nodes[successor_key] = _Node(
+                    pose=successor,
+                    direction=direction,
+                    cost=new_cost,
+                    parent_key=node_key,
+                    trace=[(successor, direction)],
+                )
+                priority = new_cost + self._heuristic(successor, goal)
+                heapq.heappush(open_heap, _QueueEntry(priority, next(counter), successor_key))
+
+        return PlannerResult(success=False, path=None, expanded_nodes=expansions)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _discretize(self, pose: SE2) -> Tuple[int, int, int]:
+        return (
+            int(math.floor(pose.x / self.xy_resolution)),
+            int(math.floor(pose.y / self.xy_resolution)),
+            int(math.floor((pose.theta + math.pi) / self.heading_resolution)),
+        )
+
+    def _heuristic(self, pose: SE2, goal: SE2) -> float:
+        distance = pose.distance_to(goal)
+        heading_error = abs(normalize_angle(pose.theta - goal.theta))
+        return distance + 0.5 * heading_error
+
+    def _expand(self, pose: SE2) -> List[Tuple[SE2, int, float]]:
+        """Successor poses: one primitive per (steer angle, direction)."""
+        successors: List[Tuple[SE2, int, float]] = []
+        wheelbase = self.vehicle_params.wheelbase
+        for direction in (1, -1):
+            for steer in self.steer_angles:
+                distance = self.step_size * direction
+                if abs(steer) < 1e-6:
+                    new_pose = SE2(
+                        pose.x + distance * math.cos(pose.theta),
+                        pose.y + distance * math.sin(pose.theta),
+                        pose.theta,
+                    )
+                else:
+                    dtheta = distance / wheelbase * math.tan(steer)
+                    radius = distance / dtheta
+                    new_theta = pose.theta + dtheta
+                    new_pose = SE2(
+                        pose.x + radius * (math.sin(new_theta) - math.sin(pose.theta)),
+                        pose.y - radius * (math.cos(new_theta) - math.cos(pose.theta)),
+                        normalize_angle(new_theta),
+                    )
+                successors.append((new_pose, direction, float(steer)))
+        return successors
+
+    def _footprint(self, pose: SE2) -> OrientedBox:
+        params = self.vehicle_params
+        offset = params.center_offset
+        center_x = pose.x + offset * math.cos(pose.theta)
+        center_y = pose.y + offset * math.sin(pose.theta)
+        return OrientedBox(
+            center_x,
+            center_y,
+            params.length + 2.0 * self.safety_margin,
+            params.width + 2.0 * self.safety_margin,
+            pose.theta,
+        )
+
+    def _pose_in_collision(self, pose: SE2, obstacle_polygons, lot: ParkingLot) -> bool:
+        footprint = self._footprint(pose)
+        corners = footprint.vertices()
+        if not all(lot.bounds.contains(corner) for corner in corners):
+            return True
+        footprint_polygon = footprint.to_polygon()
+        return any(shapes_collide(footprint_polygon, polygon) for polygon in obstacle_polygons)
+
+    def _segment_in_collision(
+        self,
+        start: SE2,
+        end: SE2,
+        direction: int,
+        steer: float,
+        obstacle_polygons,
+        lot: ParkingLot,
+    ) -> bool:
+        # Check intermediate poses along the primitive at ~0.4 m granularity.
+        checks = max(2, int(math.ceil(self.step_size / 0.4)))
+        for fraction in np.linspace(1.0 / checks, 1.0, checks):
+            pose = start.interpolate(end, float(fraction))
+            if self._pose_in_collision(pose, obstacle_polygons, lot):
+                return True
+        return False
+
+    def _goal_shot(
+        self, pose: SE2, goal: SE2, obstacle_polygons, lot: ParkingLot
+    ) -> Optional[List[Tuple[SE2, int]]]:
+        path = shortest_reeds_shepp_path(
+            pose, goal, turning_radius=self.vehicle_params.min_turning_radius * 1.1
+        )
+        if path is None:
+            return None
+        samples = path.sample(pose, spacing=0.4)
+        for sample_pose, _ in samples:
+            if self._pose_in_collision(sample_pose, obstacle_polygons, lot):
+                return None
+        return samples
+
+    def _assemble(
+        self,
+        final_node: _Node,
+        nodes: Dict[Tuple[int, int, int], _Node],
+        goal_shot: List[Tuple[SE2, int]],
+    ) -> WaypointPath:
+        chain: List[_Node] = []
+        node: Optional[_Node] = final_node
+        visited_keys = set()
+        while node is not None:
+            chain.append(node)
+            if node.parent_key is None or node.parent_key in visited_keys:
+                break
+            visited_keys.add(node.parent_key)
+            node = nodes.get(node.parent_key)
+        chain.reverse()
+
+        waypoints: List[Waypoint] = []
+        for item in chain:
+            for pose, direction in item.trace:
+                waypoints.append(Waypoint(pose, direction))
+        # Skip the first goal-shot sample (duplicate of the final node pose).
+        for pose, direction in goal_shot[1:]:
+            waypoints.append(Waypoint(pose, direction))
+        if len(waypoints) < 2:
+            waypoints.append(Waypoint(goal_shot[-1][0], goal_shot[-1][1]))
+        return WaypointPath(waypoints)

@@ -1,0 +1,89 @@
+"""Structured parking maneuvers.
+
+The reference path used by both the scripted expert and the CO module ends
+with a classic perpendicular *reverse* park: the vehicle drives forward past
+the space to a staging pose on the aisle, then reverses along a circular arc
+until the rear axle reaches the parking target.  This module constructs that
+final maneuver analytically, which keeps the reverse-parking geometry (and
+therefore the forward/reverse split of the IL demonstrations) faithful to the
+paper's setup.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.geometry.angles import angle_diff, normalize_angle
+from repro.geometry.se2 import SE2
+from repro.planning.waypoints import Waypoint
+
+
+def _right_normal(theta: float) -> np.ndarray:
+    """Unit vector pointing to the right of a heading."""
+    return np.array([math.sin(theta), -math.cos(theta)])
+
+
+def perpendicular_reverse_park(
+    goal: SE2,
+    aisle_heading: float = 0.0,
+    radius: float = 5.0,
+    spacing: float = 0.25,
+) -> Tuple[SE2, List[Waypoint]]:
+    """Build the final reverse-park arc into a perpendicular space.
+
+    Parameters
+    ----------
+    goal:
+        Target rear-axle pose inside the space, heading pointing out of the
+        space towards the aisle (the parked vehicle faces the aisle after
+        backing in).
+    aisle_heading:
+        Driving direction of the aisle in front of the space.
+    radius:
+        Radius of the reverse arc (must exceed the vehicle's minimum turning
+        radius).
+    spacing:
+        Approximate arc-length spacing of the generated waypoints (m).
+
+    Returns
+    -------
+    (staging_pose, waypoints):
+        The staging pose on the aisle where the reverse maneuver begins, and
+        the reverse waypoints (direction ``-1``) from the staging pose to the
+        goal, goal included.
+    """
+    if radius <= 0.0 or spacing <= 0.0:
+        raise ValueError("radius and spacing must be positive")
+
+    candidates = []
+    for sweep in (math.pi / 2.0, -math.pi / 2.0):
+        staging_heading = normalize_angle(goal.theta - sweep)
+        if sweep > 0.0:
+            center = goal.position + radius * _right_normal(goal.theta)
+            staging_position = center - radius * _right_normal(staging_heading)
+        else:
+            center = goal.position - radius * _right_normal(goal.theta)
+            staging_position = center + radius * _right_normal(staging_heading)
+        staging = SE2(float(staging_position[0]), float(staging_position[1]), staging_heading)
+        heading_error = abs(angle_diff(staging_heading, aisle_heading))
+        candidates.append((heading_error, sweep, center, staging))
+    candidates.sort(key=lambda item: item[0])
+    _, sweep, center, staging = candidates[0]
+
+    arc_length = abs(sweep) * radius
+    steps = max(2, int(math.ceil(arc_length / spacing)))
+    waypoints: List[Waypoint] = []
+    for index in range(1, steps + 1):
+        fraction = index / steps
+        heading = normalize_angle(staging.theta + fraction * sweep)
+        if sweep > 0.0:
+            position = center - radius * _right_normal(heading)
+        else:
+            position = center + radius * _right_normal(heading)
+        waypoints.append(Waypoint(SE2(float(position[0]), float(position[1]), heading), direction=-1))
+    # Ensure the exact goal pose terminates the maneuver.
+    waypoints[-1] = Waypoint(goal.normalized(), direction=-1)
+    return staging, waypoints

@@ -1,0 +1,155 @@
+"""Segment-aware progress tracking along a waypoint path.
+
+Parking references mix forward and reverse segments.  Naively taking the
+nearest waypoint makes controllers flip between the tail of one segment and
+the head of the next (they overlap in space around the switch point), which
+stalls the maneuver.  :class:`SegmentedPathFollower` fixes this by tracking
+progress *per segment*: the follower only advances to the next segment once
+the vehicle has actually reached the current segment's end pose.
+
+Both the scripted expert (pure pursuit) and the CO controller (MPC reference
+builder) share this logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.se2 import SE2
+from repro.planning.waypoints import Waypoint, WaypointPath
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """A maximal run of waypoints sharing one driving direction."""
+
+    start_index: int
+    end_index: int
+    direction: int
+
+    @property
+    def length(self) -> int:
+        return self.end_index - self.start_index + 1
+
+
+def split_into_segments(path: WaypointPath) -> List[PathSegment]:
+    """Split a waypoint path into direction-homogeneous segments.
+
+    The direction label of waypoint ``i`` describes how the vehicle reaches
+    it from waypoint ``i - 1``, so the first waypoint inherits the direction
+    of the second.
+    """
+    waypoints = path.waypoints
+    segments: List[PathSegment] = []
+    current_direction = waypoints[1].direction if len(waypoints) > 1 else waypoints[0].direction
+    start = 0
+    for index in range(1, len(waypoints)):
+        direction = waypoints[index].direction
+        if direction != current_direction:
+            segments.append(PathSegment(start, index - 1, current_direction))
+            start = index - 1  # The switch pose belongs to both segments.
+            current_direction = direction
+    segments.append(PathSegment(start, len(waypoints) - 1, current_direction))
+    return segments
+
+
+class SegmentedPathFollower:
+    """Monotone progress tracker over a segmented waypoint path."""
+
+    def __init__(self, path: WaypointPath, switch_tolerance: float = 0.8) -> None:
+        if switch_tolerance <= 0.0:
+            raise ValueError(f"switch_tolerance must be positive, got {switch_tolerance}")
+        self.path = path
+        self.switch_tolerance = switch_tolerance
+        self.segments = split_into_segments(path)
+        self._segment_index = 0
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    @property
+    def current_segment(self) -> PathSegment:
+        return self.segments[self._segment_index]
+
+    @property
+    def current_direction(self) -> int:
+        return self.current_segment.direction
+
+    @property
+    def on_final_segment(self) -> bool:
+        return self._segment_index == len(self.segments) - 1
+
+    def segment_end_waypoint(self) -> Waypoint:
+        return self.path[self.current_segment.end_index]
+
+    def update(self, position: np.ndarray) -> PathSegment:
+        """Advance to the next segment when the current one is completed."""
+        position = np.asarray(position, dtype=float).reshape(2)
+        while not self.on_final_segment:
+            end_position = self.path[self.current_segment.end_index].position
+            if float(np.hypot(*(end_position - position))) <= self.switch_tolerance:
+                self._segment_index += 1
+            else:
+                break
+        return self.current_segment
+
+    def nearest_index_in_segment(self, position: np.ndarray) -> int:
+        """Index of the nearest waypoint restricted to the current segment."""
+        position = np.asarray(position, dtype=float).reshape(2)
+        segment = self.current_segment
+        indices = range(segment.start_index, segment.end_index + 1)
+        distances = [float(np.hypot(*(self.path[i].position - position))) for i in indices]
+        return segment.start_index + int(np.argmin(distances))
+
+    # ------------------------------------------------------------------
+    # Queries used by the controllers
+    # ------------------------------------------------------------------
+    def lookahead_waypoint(self, position: np.ndarray, lookahead: float) -> Waypoint:
+        """First waypoint at least ``lookahead`` metres ahead within the segment."""
+        segment = self.current_segment
+        nearest = self.nearest_index_in_segment(position)
+        base_distance = self.path.distance_along(nearest)
+        chosen = self.path[min(nearest + 1, segment.end_index)]
+        for index in range(nearest + 1, segment.end_index + 1):
+            chosen = self.path[index]
+            if self.path.distance_along(index) - base_distance >= lookahead:
+                break
+        return chosen
+
+    def distance_to_segment_end(self, position: np.ndarray) -> float:
+        """Remaining arc length to the current segment's end."""
+        nearest = self.nearest_index_in_segment(position)
+        return self.path.distance_along(self.current_segment.end_index) - self.path.distance_along(
+            nearest
+        )
+
+    def reference_poses(
+        self, position: np.ndarray, spacing: float, count: int
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Arc-length-spaced reference poses within the current segment.
+
+        Returns ``(positions, headings, direction)`` where positions has shape
+        ``(count, 2)``.  References are clamped at the segment end so the
+        controller converges onto the switch pose before the follower hands
+        over to the next segment.
+        """
+        if count <= 0 or spacing <= 0.0:
+            raise ValueError("count and spacing must be positive")
+        segment = self.current_segment
+        nearest = self.nearest_index_in_segment(position)
+        base_arc = self.path.distance_along(nearest)
+        end_arc = self.path.distance_along(segment.end_index)
+        positions = np.zeros((count, 2))
+        headings = np.zeros(count)
+        for step in range(count):
+            arc = min(base_arc + spacing * (step + 1), end_arc)
+            pose = self.path.interpolate_at(arc)
+            positions[step] = [pose.x, pose.y]
+            headings[step] = pose.theta
+        return positions, headings, segment.direction
+
+    def reset(self) -> None:
+        self._segment_index = 0

@@ -1,0 +1,249 @@
+"""Reeds-Shepp curves: shortest curvature-bounded paths with reversals.
+
+Parking maneuvers inherently mix forward and reverse arcs; Reeds-Shepp curves
+are the canonical primitive producing such maneuvers.  This module implements
+the CSC (curve-straight-curve) and CCC (curve-curve-curve) word families with
+the standard time-flip and reflection transforms, which covers the practically
+relevant shortest paths for parking-scale displacements.  The result is used
+in two places:
+
+* the hybrid A* planner's analytic "goal shot",
+* the scripted expert's final reverse-parking maneuver.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.angles import normalize_angle
+from repro.geometry.se2 import SE2
+
+
+@dataclass(frozen=True)
+class ReedsSheppSegment:
+    """One primitive segment of a Reeds-Shepp path.
+
+    Attributes
+    ----------
+    curve:
+        ``"L"`` (left turn), ``"R"`` (right turn) or ``"S"`` (straight).
+    length:
+        Signed arc length in *normalised* units (turning radius = 1);
+        negative lengths are driven in reverse.
+    """
+
+    curve: str
+    length: float
+
+    def __post_init__(self) -> None:
+        if self.curve not in ("L", "R", "S"):
+            raise ValueError(f"curve must be one of L, R, S, got {self.curve!r}")
+
+    @property
+    def direction(self) -> int:
+        """+1 for a forward segment, -1 for a reverse segment."""
+        return 1 if self.length >= 0.0 else -1
+
+
+@dataclass(frozen=True)
+class ReedsSheppPath:
+    """A complete Reeds-Shepp path between two poses."""
+
+    segments: Tuple[ReedsSheppSegment, ...]
+    turning_radius: float
+
+    @property
+    def length(self) -> float:
+        """Total path length in metres."""
+        return self.turning_radius * sum(abs(segment.length) for segment in self.segments)
+
+    @property
+    def num_reversals(self) -> int:
+        """Number of direction changes along the path."""
+        directions = [segment.direction for segment in self.segments if abs(segment.length) > 1e-9]
+        return sum(1 for a, b in zip(directions[:-1], directions[1:]) if a != b)
+
+    def sample(self, start: SE2, spacing: float = 0.2) -> List[Tuple[SE2, int]]:
+        """Sample poses along the path starting from ``start``.
+
+        Returns a list of ``(pose, direction)`` tuples including both endpoints.
+        """
+        if spacing <= 0.0:
+            raise ValueError(f"spacing must be positive, got {spacing}")
+        samples: List[Tuple[SE2, int]] = [(start, 1)]
+        pose = start
+        radius = self.turning_radius
+        for segment in self.segments:
+            seg_length = abs(segment.length) * radius
+            if seg_length <= 1e-9:
+                continue
+            direction = segment.direction
+            steps = max(1, int(math.ceil(seg_length / spacing)))
+            step_length = seg_length / steps * direction
+            for _ in range(steps):
+                pose = _advance(pose, segment.curve, step_length, radius)
+                samples.append((pose, direction))
+        return samples
+
+
+def _advance(pose: SE2, curve: str, signed_length: float, radius: float) -> SE2:
+    """Advance a pose along one primitive by a signed arc length (metres)."""
+    if curve == "S":
+        return SE2(
+            pose.x + signed_length * math.cos(pose.theta),
+            pose.y + signed_length * math.sin(pose.theta),
+            pose.theta,
+        )
+    sign = 1.0 if curve == "L" else -1.0
+    dtheta = sign * signed_length / radius
+    new_theta = pose.theta + dtheta
+    # Circular arc: integrate exactly.
+    dx = radius * (math.sin(new_theta) - math.sin(pose.theta)) * sign
+    dy = -radius * (math.cos(new_theta) - math.cos(pose.theta)) * sign
+    return SE2(pose.x + dx, pose.y + dy, normalize_angle(new_theta))
+
+
+# ---------------------------------------------------------------------------
+# Word-family solvers in the normalised frame (turning radius = 1).
+# Each returns (t, u, v) segment lengths or None when the family is infeasible.
+# ---------------------------------------------------------------------------
+def _polar(x: float, y: float) -> Tuple[float, float]:
+    return math.hypot(x, y), math.atan2(y, x)
+
+
+def _mod2pi(theta: float) -> float:
+    wrapped = math.fmod(theta, 2.0 * math.pi)
+    if wrapped < -math.pi:
+        wrapped += 2.0 * math.pi
+    elif wrapped > math.pi:
+        wrapped -= 2.0 * math.pi
+    return wrapped
+
+
+def _left_straight_left(x: float, y: float, phi: float) -> Optional[Tuple[float, float, float]]:
+    u, t = _polar(x - math.sin(phi), y - 1.0 + math.cos(phi))
+    if t >= 0.0:
+        v = _mod2pi(phi - t)
+        if v >= 0.0:
+            return t, u, v
+    return None
+
+
+def _left_straight_right(x: float, y: float, phi: float) -> Optional[Tuple[float, float, float]]:
+    u1, t1 = _polar(x + math.sin(phi), y - 1.0 - math.cos(phi))
+    u1_sq = u1 * u1
+    if u1_sq < 4.0:
+        return None
+    u = math.sqrt(u1_sq - 4.0)
+    theta = math.atan2(2.0, u)
+    t = _mod2pi(t1 + theta)
+    v = _mod2pi(t - phi)
+    if t >= 0.0 and v >= 0.0:
+        return t, u, v
+    return None
+
+
+def _left_right_left(x: float, y: float, phi: float) -> Optional[Tuple[float, float, float]]:
+    u1, t1 = _polar(x - math.sin(phi), y - 1.0 + math.cos(phi))
+    if u1 > 4.0:
+        return None
+    u = -2.0 * math.asin(0.25 * u1)
+    t = _mod2pi(t1 + 0.5 * u + math.pi)
+    v = _mod2pi(phi - t + u)
+    if t >= 0.0 and u <= 0.0:
+        return t, u, v
+    return None
+
+
+_WordSolver = Callable[[float, float, float], Optional[Tuple[float, float, float]]]
+
+# (solver, segment curves) pairs for the base (un-transformed) words.
+_BASE_WORDS: Tuple[Tuple[_WordSolver, Tuple[str, str, str]], ...] = (
+    (_left_straight_left, ("L", "S", "L")),
+    (_left_straight_right, ("L", "S", "R")),
+    (_left_right_left, ("L", "R", "L")),
+)
+
+
+def _reflect_curve(curve: str) -> str:
+    if curve == "L":
+        return "R"
+    if curve == "R":
+        return "L"
+    return "S"
+
+
+def _candidate_paths(x: float, y: float, phi: float) -> List[Tuple[Tuple[str, str, str], Tuple[float, float, float]]]:
+    """Enumerate feasible (curves, lengths) candidates in the normalised frame."""
+    candidates: List[Tuple[Tuple[str, str, str], Tuple[float, float, float]]] = []
+    for solver, curves in _BASE_WORDS:
+        # Identity transform.
+        solution = solver(x, y, phi)
+        if solution is not None:
+            candidates.append((curves, solution))
+        # Time-flip: reverse every segment.
+        solution = solver(-x, y, -phi)
+        if solution is not None:
+            candidates.append((curves, tuple(-value for value in solution)))
+        # Reflection: swap left and right turns.
+        solution = solver(x, -y, -phi)
+        if solution is not None:
+            candidates.append((tuple(_reflect_curve(c) for c in curves), solution))
+        # Time-flip + reflection.
+        solution = solver(-x, -y, phi)
+        if solution is not None:
+            candidates.append(
+                (tuple(_reflect_curve(c) for c in curves), tuple(-value for value in solution))
+            )
+    return candidates
+
+
+def shortest_reeds_shepp_path(
+    start: SE2, goal: SE2, turning_radius: float = 4.0
+) -> Optional[ReedsSheppPath]:
+    """Shortest Reeds-Shepp path (within the implemented word families).
+
+    Parameters
+    ----------
+    start, goal:
+        Endpoint poses in the world frame.
+    turning_radius:
+        Minimum turning radius of the vehicle (m).
+
+    Returns
+    -------
+    ReedsSheppPath or None
+        ``None`` only in the degenerate case where no family produces a
+        finite candidate (numerically extremely rare).
+    """
+    if turning_radius <= 0.0:
+        raise ValueError(f"turning_radius must be positive, got {turning_radius}")
+    relative = goal.relative_to(start)
+    x = relative.x / turning_radius
+    y = relative.y / turning_radius
+    phi = relative.theta
+
+    best_path: Optional[ReedsSheppPath] = None
+    best_length = math.inf
+    for curves, lengths in _candidate_paths(x, y, phi):
+        total = sum(abs(value) for value in lengths)
+        if total >= best_length:
+            continue
+        segments = tuple(
+            ReedsSheppSegment(curve, float(length)) for curve, length in zip(curves, lengths)
+        )
+        candidate = ReedsSheppPath(segments=segments, turning_radius=turning_radius)
+        # Defensive endpoint check: only accept candidates that actually land
+        # on the goal pose (guards against infeasible word-family solutions).
+        end_pose = candidate.sample(start, spacing=max(0.5, turning_radius / 2.0))[-1][0]
+        position_error = math.hypot(end_pose.x - goal.x, end_pose.y - goal.y)
+        heading_error = abs(normalize_angle(end_pose.theta - goal.theta))
+        if position_error > 0.05 * turning_radius or heading_error > 0.05:
+            continue
+        best_path = candidate
+        best_length = total
+    return best_path

@@ -1,0 +1,157 @@
+"""Waypoint paths: the reference trajectories tracked by CO and the expert."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.angles import normalize_angle
+from repro.geometry.se2 import SE2
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """A pose along a reference path plus the driving direction to reach it.
+
+    ``direction`` is +1 when the segment leading to this waypoint is driven
+    forwards and -1 when it is driven in reverse (parking maneuvers mix both).
+    """
+
+    pose: SE2
+    direction: int = 1
+
+    def __post_init__(self) -> None:
+        if self.direction not in (-1, 1):
+            raise ValueError(f"direction must be +1 or -1, got {self.direction}")
+
+    @property
+    def position(self) -> np.ndarray:
+        return self.pose.position
+
+
+class WaypointPath:
+    """An ordered list of waypoints with arc-length utilities."""
+
+    def __init__(self, waypoints: Sequence[Waypoint]) -> None:
+        if len(waypoints) < 2:
+            raise ValueError(f"WaypointPath needs at least 2 waypoints, got {len(waypoints)}")
+        self._waypoints: List[Waypoint] = list(waypoints)
+        positions = np.array([w.position for w in self._waypoints])
+        deltas = np.diff(positions, axis=0)
+        segment_lengths = np.hypot(deltas[:, 0], deltas[:, 1])
+        self._cumulative = np.concatenate([[0.0], np.cumsum(segment_lengths)])
+
+    def __len__(self) -> int:
+        return len(self._waypoints)
+
+    def __getitem__(self, index: int) -> Waypoint:
+        return self._waypoints[index]
+
+    @property
+    def waypoints(self) -> List[Waypoint]:
+        return list(self._waypoints)
+
+    @property
+    def length(self) -> float:
+        """Total arc length of the path (m)."""
+        return float(self._cumulative[-1])
+
+    @property
+    def goal(self) -> Waypoint:
+        return self._waypoints[-1]
+
+    def positions(self) -> np.ndarray:
+        """All waypoint positions as an ``(N, 2)`` array."""
+        return np.array([w.position for w in self._waypoints])
+
+    def poses(self) -> List[SE2]:
+        return [w.pose for w in self._waypoints]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nearest_index(self, point: np.ndarray) -> int:
+        """Index of the waypoint closest to ``point``."""
+        point = np.asarray(point, dtype=float).reshape(2)
+        distances = np.linalg.norm(self.positions() - point, axis=1)
+        return int(np.argmin(distances))
+
+    def distance_along(self, index: int) -> float:
+        """Arc length from the start to waypoint ``index``."""
+        return float(self._cumulative[index])
+
+    def remaining_length(self, point: np.ndarray) -> float:
+        """Arc length remaining from the nearest waypoint to the goal."""
+        index = self.nearest_index(point)
+        return self.length - self.distance_along(index)
+
+    def lookahead_targets(self, point: np.ndarray, count: int, spacing: int = 1) -> List[Waypoint]:
+        """``count`` waypoints starting just ahead of ``point`` (clamped at the goal).
+
+        These are the target waypoints ``s*`` fed into the CO cost (Eq. 4).
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        start = self.nearest_index(point) + 1
+        targets: List[Waypoint] = []
+        for step in range(count):
+            index = min(start + step * spacing, len(self._waypoints) - 1)
+            targets.append(self._waypoints[index])
+        return targets
+
+    def interpolate_at(self, arc_length: float) -> SE2:
+        """Pose at a given arc length from the start (clamped to the path)."""
+        arc_length = float(np.clip(arc_length, 0.0, self.length))
+        index = int(np.searchsorted(self._cumulative, arc_length, side="right") - 1)
+        index = min(index, len(self._waypoints) - 2)
+        segment_start = self._cumulative[index]
+        segment_length = self._cumulative[index + 1] - segment_start
+        fraction = 0.0 if segment_length <= 1e-12 else (arc_length - segment_start) / segment_length
+        return self._waypoints[index].pose.interpolate(self._waypoints[index + 1].pose, fraction)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_poses(poses: Sequence[SE2], directions: Optional[Sequence[int]] = None) -> "WaypointPath":
+        """Build a path from poses; directions default to forward."""
+        if directions is None:
+            directions = [1] * len(poses)
+        if len(directions) != len(poses):
+            raise ValueError("poses and directions must have the same length")
+        return WaypointPath([Waypoint(pose, direction) for pose, direction in zip(poses, directions)])
+
+    @staticmethod
+    def straight_line(start: SE2, goal_position: np.ndarray, spacing: float = 0.5) -> "WaypointPath":
+        """A straight path from ``start`` towards ``goal_position`` with uniform spacing."""
+        goal_position = np.asarray(goal_position, dtype=float).reshape(2)
+        delta = goal_position - start.position
+        distance = float(np.hypot(*delta))
+        heading = math.atan2(delta[1], delta[0]) if distance > 1e-9 else start.theta
+        count = max(2, int(math.ceil(distance / spacing)) + 1)
+        poses = [
+            SE2(
+                start.x + delta[0] * fraction,
+                start.y + delta[1] * fraction,
+                normalize_angle(heading),
+            )
+            for fraction in np.linspace(0.0, 1.0, count)
+        ]
+        return WaypointPath.from_poses(poses)
+
+    def resampled(self, spacing: float) -> "WaypointPath":
+        """Return a copy resampled at approximately uniform arc-length spacing."""
+        if spacing <= 0.0:
+            raise ValueError(f"spacing must be positive, got {spacing}")
+        count = max(2, int(math.ceil(self.length / spacing)) + 1)
+        arc_lengths = np.linspace(0.0, self.length, count)
+        poses = [self.interpolate_at(s) for s in arc_lengths]
+        directions = []
+        for s in arc_lengths:
+            index = int(np.searchsorted(self._cumulative, s, side="right") - 1)
+            index = min(index + 1, len(self._waypoints) - 1)
+            directions.append(self._waypoints[index].direction)
+        return WaypointPath.from_poses(poses, directions)

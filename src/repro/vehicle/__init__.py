@@ -1,0 +1,27 @@
+"""Vehicle substrate: parameters, state, actions and Ackermann kinematics.
+
+This package models the ego-vehicle used throughout the stack:
+
+* :class:`repro.vehicle.params.VehicleParams` — geometric and dynamic limits,
+* :class:`repro.vehicle.state.VehicleState` — pose, velocity and steering,
+* :class:`repro.vehicle.actions.Action` — the (throttle, brake, steer, reverse)
+  command vector used by both IL and CO,
+* :class:`repro.vehicle.actions.ActionSpace` — the discretisation used to turn
+  IL into a multi-category classification problem (paper §IV-A),
+* :class:`repro.vehicle.kinematics.AckermannModel` — the state-evolution model
+  ``s_{i+1} = u(s_i, a_i)`` used by the CO module (paper §IV-B).
+"""
+
+from repro.vehicle.actions import Action, ActionSpace, DiscretizedAction
+from repro.vehicle.kinematics import AckermannModel
+from repro.vehicle.params import VehicleParams
+from repro.vehicle.state import VehicleState
+
+__all__ = [
+    "AckermannModel",
+    "Action",
+    "ActionSpace",
+    "DiscretizedAction",
+    "VehicleParams",
+    "VehicleState",
+]

@@ -1,0 +1,178 @@
+"""Driving actions and their discretisation.
+
+The paper's action vector ``a_i`` has four elements — throttle, brake, steer
+and reverse (§III).  The IL module converts the continuous commands into a
+finite set of classes so imitation learning becomes a multi-category
+classification problem (§IV-A); the CO module keeps the continuous space but
+clips it to the boundary set ``A`` (Eq. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Action:
+    """A continuous driving command.
+
+    Attributes
+    ----------
+    throttle:
+        Normalised accelerator in ``[0, 1]``.
+    brake:
+        Normalised brake in ``[0, 1]``.
+    steer:
+        Normalised steering in ``[-1, 1]`` (positive = left).
+    reverse:
+        Whether the reverse gear is engaged.
+    """
+
+    throttle: float = 0.0
+    brake: float = 0.0
+    steer: float = 0.0
+    reverse: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.throttle <= 1.0:
+            raise ValueError(f"throttle must lie in [0, 1], got {self.throttle}")
+        if not 0.0 <= self.brake <= 1.0:
+            raise ValueError(f"brake must lie in [0, 1], got {self.brake}")
+        if not -1.0 <= self.steer <= 1.0:
+            raise ValueError(f"steer must lie in [-1, 1], got {self.steer}")
+
+    @staticmethod
+    def idle() -> "Action":
+        """A no-op command (coasting, wheels straight)."""
+        return Action(0.0, 0.0, 0.0, False)
+
+    @staticmethod
+    def full_brake() -> "Action":
+        return Action(0.0, 1.0, 0.0, False)
+
+    def as_array(self) -> np.ndarray:
+        """Return ``[throttle, brake, steer, reverse]`` as floats."""
+        return np.array(
+            [self.throttle, self.brake, self.steer, 1.0 if self.reverse else 0.0], dtype=float
+        )
+
+    @staticmethod
+    def from_array(values: np.ndarray) -> "Action":
+        values = np.asarray(values, dtype=float).reshape(-1)
+        if values.shape[0] != 4:
+            raise ValueError(f"Action.from_array expects 4 values, got {values.shape[0]}")
+        return Action(
+            float(np.clip(values[0], 0.0, 1.0)),
+            float(np.clip(values[1], 0.0, 1.0)),
+            float(np.clip(values[2], -1.0, 1.0)),
+            bool(values[3] > 0.5),
+        )
+
+    @staticmethod
+    def clipped(throttle: float, brake: float, steer: float, reverse: bool) -> "Action":
+        """Build an action, clipping each component into its valid range."""
+        return Action(
+            float(np.clip(throttle, 0.0, 1.0)),
+            float(np.clip(brake, 0.0, 1.0)),
+            float(np.clip(steer, -1.0, 1.0)),
+            bool(reverse),
+        )
+
+    @property
+    def longitudinal(self) -> float:
+        """Net longitudinal command in ``[-1, 1]`` (throttle minus brake)."""
+        return self.throttle - self.brake
+
+
+@dataclass(frozen=True)
+class DiscretizedAction:
+    """One class of the discretised action space."""
+
+    index: int
+    label: str
+    action: Action
+
+
+class ActionSpace:
+    """The discretised action space used by the IL classifier.
+
+    The discretisation is the cartesian product of:
+
+    * steering bins spanning ``[-1, 1]``,
+    * longitudinal commands: ``accelerate``, ``coast``, ``brake``,
+    * gear: forward or reverse.
+
+    With the defaults (5 steering bins x 3 longitudinal x 2 gears) this yields
+    ``M = 30`` classes, matching the order of magnitude used in DNN-parking
+    classifiers.
+    """
+
+    LONGITUDINAL_MODES: Tuple[Tuple[str, float, float], ...] = (
+        ("accelerate", 0.6, 0.0),
+        ("coast", 0.0, 0.0),
+        ("brake", 0.0, 0.7),
+    )
+
+    def __init__(self, steer_bins: int = 5, include_reverse: bool = True) -> None:
+        if steer_bins < 2:
+            raise ValueError(f"steer_bins must be at least 2, got {steer_bins}")
+        self.steer_bins = steer_bins
+        self.include_reverse = include_reverse
+        self.steer_values: np.ndarray = np.linspace(-1.0, 1.0, steer_bins)
+        self._actions: List[DiscretizedAction] = []
+        gears = (False, True) if include_reverse else (False,)
+        index = 0
+        for reverse in gears:
+            for mode_name, throttle, brake in self.LONGITUDINAL_MODES:
+                for steer in self.steer_values:
+                    label = f"{'rev' if reverse else 'fwd'}:{mode_name}:steer={steer:+.2f}"
+                    self._actions.append(
+                        DiscretizedAction(index, label, Action(throttle, brake, float(steer), reverse))
+                    )
+                    index += 1
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes ``M`` in the classification problem (Eq. 3)."""
+        return len(self._actions)
+
+    @property
+    def actions(self) -> Sequence[DiscretizedAction]:
+        return tuple(self._actions)
+
+    def action_for(self, index: int) -> Action:
+        """Continuous action corresponding to a class index."""
+        if not 0 <= index < len(self._actions):
+            raise IndexError(f"action index {index} out of range [0, {len(self._actions)})")
+        return self._actions[index].action
+
+    def label_for(self, index: int) -> str:
+        return self._actions[index].label
+
+    def index_of(self, action: Action) -> int:
+        """Nearest class index for a continuous action (used to label expert demos)."""
+        steer_idx = int(np.argmin(np.abs(self.steer_values - action.steer)))
+        longitudinal = action.longitudinal
+        if longitudinal > 0.15:
+            mode_idx = 0
+        elif longitudinal < -0.15:
+            mode_idx = 2
+        else:
+            mode_idx = 1
+        gear_idx = 1 if (action.reverse and self.include_reverse) else 0
+        per_gear = len(self.LONGITUDINAL_MODES) * self.steer_bins
+        return gear_idx * per_gear + mode_idx * self.steer_bins + steer_idx
+
+    def one_hot(self, index: int) -> np.ndarray:
+        """One-hot encoding of a class index."""
+        if not 0 <= index < len(self._actions):
+            raise IndexError(f"action index {index} out of range [0, {len(self._actions)})")
+        encoding = np.zeros(len(self._actions), dtype=float)
+        encoding[index] = 1.0
+        return encoding

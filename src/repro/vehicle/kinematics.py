@@ -1,0 +1,180 @@
+"""Ackermann (kinematic bicycle) state-evolution model.
+
+This is the model ``s_{i+1} = u(s_i, a_i)`` from paper §IV-B.  Two interfaces
+are provided:
+
+* :meth:`AckermannModel.step` — integrate one simulator step from a high-level
+  :class:`~repro.vehicle.actions.Action` (throttle/brake/steer/reverse), used
+  by the world simulator;
+* :meth:`AckermannModel.rollout_controls` — integrate a horizon of
+  ``(acceleration, steering-angle)`` control pairs, the parameterisation used
+  by the CO module when building and linearising the MPC problem.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.angles import normalize_angle
+from repro.vehicle.actions import Action
+from repro.vehicle.params import VehicleParams
+from repro.vehicle.state import VehicleState
+
+
+@dataclass(frozen=True)
+class KinematicControl:
+    """Low-level control pair used by the MPC: acceleration and steering angle."""
+
+    acceleration: float
+    steer_angle: float
+
+
+class AckermannModel:
+    """Kinematic bicycle model with actuator limits.
+
+    Parameters
+    ----------
+    params:
+        Vehicle geometry and limits.
+    dt:
+        Integration step (s); the simulator and the MPC share this value so
+        that planned trajectories are directly executable.
+    """
+
+    def __init__(self, params: VehicleParams | None = None, dt: float = 0.1) -> None:
+        if dt <= 0.0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        self.params = params or VehicleParams()
+        self.dt = dt
+
+    # ------------------------------------------------------------------
+    # High-level action interface (simulator side)
+    # ------------------------------------------------------------------
+    def step(self, state: VehicleState, action: Action) -> VehicleState:
+        """Advance the state one step under a throttle/brake/steer command."""
+        params = self.params
+        target_steer = float(np.clip(action.steer, -1.0, 1.0)) * params.max_steer
+        max_delta = params.max_steer_rate * self.dt
+        steer = state.steer + float(np.clip(target_steer - state.steer, -max_delta, max_delta))
+
+        # Longitudinal dynamics: throttle accelerates in the direction of the
+        # engaged gear, brake decelerates towards zero, coasting applies a
+        # small rolling-resistance decay.
+        direction = -1.0 if action.reverse else 1.0
+        acceleration = action.throttle * params.max_acceleration * direction
+        velocity = state.velocity
+        if action.brake > 0.0:
+            brake_decel = action.brake * params.max_deceleration * self.dt
+            if velocity > 0.0:
+                velocity = max(0.0, velocity - brake_decel)
+            elif velocity < 0.0:
+                velocity = min(0.0, velocity + brake_decel)
+        velocity += acceleration * self.dt
+        if action.throttle == 0.0 and action.brake == 0.0:
+            velocity *= 0.98
+        velocity = float(np.clip(velocity, -params.max_reverse_speed, params.max_speed))
+
+        # Gear consistency: engaging the opposite gear while still rolling the
+        # other way behaves like braking to a stop first.
+        if action.reverse and velocity > 0.0 and action.throttle > 0.0:
+            velocity = max(0.0, velocity - params.max_deceleration * self.dt)
+        if not action.reverse and velocity < 0.0 and action.throttle > 0.0:
+            velocity = min(0.0, velocity + params.max_deceleration * self.dt)
+
+        return self._integrate(state, velocity, steer)
+
+    def _integrate(self, state: VehicleState, velocity: float, steer: float) -> VehicleState:
+        params = self.params
+        heading = state.heading
+        x = state.x + velocity * math.cos(heading) * self.dt
+        y = state.y + velocity * math.sin(heading) * self.dt
+        heading = normalize_angle(heading + velocity / params.wheelbase * math.tan(steer) * self.dt)
+        return VehicleState(x, y, heading, velocity, steer)
+
+    # ------------------------------------------------------------------
+    # Low-level control interface (MPC side)
+    # ------------------------------------------------------------------
+    def step_control(self, state: VehicleState, control: KinematicControl) -> VehicleState:
+        """Advance the state one step under an (acceleration, steer-angle) pair."""
+        params = self.params
+        acceleration = float(
+            np.clip(control.acceleration, -params.max_deceleration, params.max_acceleration)
+        )
+        steer = float(np.clip(control.steer_angle, -params.max_steer, params.max_steer))
+        velocity = float(
+            np.clip(
+                state.velocity + acceleration * self.dt,
+                -params.max_reverse_speed,
+                params.max_speed,
+            )
+        )
+        return self._integrate(state, velocity, steer)
+
+    def rollout_controls(
+        self, state: VehicleState, controls: Sequence[KinematicControl]
+    ) -> list[VehicleState]:
+        """Roll out a sequence of controls; returns ``len(controls) + 1`` states."""
+        states = [state]
+        for control in controls:
+            states.append(self.step_control(states[-1], control))
+        return states
+
+    def rollout_controls_array(self, state: VehicleState, controls: np.ndarray) -> np.ndarray:
+        """Vector form of :meth:`rollout_controls` for the optimizer.
+
+        Parameters
+        ----------
+        state:
+            Initial state.
+        controls:
+            Array of shape ``(H, 2)`` with columns (acceleration, steer angle).
+
+        Returns
+        -------
+        numpy.ndarray
+            States of shape ``(H + 1, 4)`` with columns (x, y, heading, velocity).
+        """
+        controls = np.asarray(controls, dtype=float).reshape(-1, 2)
+        horizon = controls.shape[0]
+        states = np.zeros((horizon + 1, 4), dtype=float)
+        states[0] = [state.x, state.y, state.heading, state.velocity]
+        params = self.params
+        for h in range(horizon):
+            x, y, heading, velocity = states[h]
+            acceleration = float(
+                np.clip(controls[h, 0], -params.max_deceleration, params.max_acceleration)
+            )
+            steer = float(np.clip(controls[h, 1], -params.max_steer, params.max_steer))
+            velocity = float(
+                np.clip(velocity + acceleration * self.dt, -params.max_reverse_speed, params.max_speed)
+            )
+            x = x + velocity * math.cos(heading) * self.dt
+            y = y + velocity * math.sin(heading) * self.dt
+            heading = normalize_angle(heading + velocity / params.wheelbase * math.tan(steer) * self.dt)
+            states[h + 1] = [x, y, heading, velocity]
+        return states
+
+    # ------------------------------------------------------------------
+    # Conversions between the two interfaces
+    # ------------------------------------------------------------------
+    def control_to_action(self, state: VehicleState, control: KinematicControl) -> Action:
+        """Convert an MPC control pair into a high-level driving command."""
+        params = self.params
+        steer_cmd = float(np.clip(control.steer_angle / params.max_steer, -1.0, 1.0))
+        desired_velocity = state.velocity + control.acceleration * self.dt
+        reverse = desired_velocity < -1e-3
+        accel = control.acceleration if not reverse else -control.acceleration
+        # Braking when the commanded acceleration opposes the current motion.
+        opposes_motion = (
+            (state.velocity > 0.1 and control.acceleration < -0.1)
+            or (state.velocity < -0.1 and control.acceleration > 0.1)
+        )
+        if opposes_motion:
+            brake = float(np.clip(abs(control.acceleration) / params.max_deceleration, 0.0, 1.0))
+            return Action.clipped(0.0, brake, steer_cmd, state.velocity < 0.0)
+        throttle = float(np.clip(accel / params.max_acceleration, 0.0, 1.0))
+        return Action.clipped(throttle, 0.0, steer_cmd, reverse)

@@ -1,0 +1,78 @@
+"""Vehicle geometric and dynamic parameters.
+
+Defaults approximate the compact car used on the MoCAM sandbox: a short
+wheelbase vehicle driving at parking speeds.  All limits are expressed in SI
+units (metres, seconds, radians).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VehicleParams:
+    """Static parameters of the ego-vehicle.
+
+    Attributes
+    ----------
+    wheelbase:
+        Distance between the front and rear axles (m).
+    length / width:
+        Footprint of the vehicle body (m).
+    rear_overhang:
+        Distance from the rear axle to the rear bumper (m); the kinematic
+        reference point is the rear-axle centre.
+    max_speed:
+        Forward speed limit (m/s) for low-speed parking.
+    max_reverse_speed:
+        Reverse speed limit (m/s), expressed as a positive magnitude.
+    max_acceleration / max_deceleration:
+        Longitudinal acceleration limits (m/s^2).
+    max_steer:
+        Maximum steering angle of the front wheels (rad).
+    max_steer_rate:
+        Maximum steering angular rate (rad/s).
+    """
+
+    wheelbase: float = 2.5
+    length: float = 4.2
+    width: float = 1.9
+    rear_overhang: float = 0.85
+    max_speed: float = 4.0
+    max_reverse_speed: float = 2.0
+    max_acceleration: float = 2.0
+    max_deceleration: float = 4.0
+    max_steer: float = 0.6
+    max_steer_rate: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.wheelbase <= 0.0:
+            raise ValueError(f"wheelbase must be positive, got {self.wheelbase}")
+        if self.length <= 0.0 or self.width <= 0.0:
+            raise ValueError(f"length/width must be positive, got {self.length}x{self.width}")
+        if self.max_speed <= 0.0 or self.max_reverse_speed <= 0.0:
+            raise ValueError("speed limits must be positive")
+        if self.max_steer <= 0.0:
+            raise ValueError(f"max_steer must be positive, got {self.max_steer}")
+        if not 0.0 <= self.rear_overhang < self.length:
+            raise ValueError(
+                f"rear_overhang must lie within the vehicle length, got {self.rear_overhang}"
+            )
+
+    @property
+    def front_overhang(self) -> float:
+        """Distance from the front axle to the front bumper (m)."""
+        return self.length - self.wheelbase - self.rear_overhang
+
+    @property
+    def center_offset(self) -> float:
+        """Longitudinal offset from the rear axle to the geometric centre (m)."""
+        return self.length / 2.0 - self.rear_overhang
+
+    @property
+    def min_turning_radius(self) -> float:
+        """Turning radius at full steering lock (m)."""
+        import math
+
+        return self.wheelbase / math.tan(self.max_steer)

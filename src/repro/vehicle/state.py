@@ -1,0 +1,83 @@
+"""Ego-vehicle state representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.geometry.angles import normalize_angle
+from repro.geometry.se2 import SE2
+from repro.geometry.shapes import OrientedBox
+from repro.vehicle.params import VehicleParams
+
+
+@dataclass(frozen=True)
+class VehicleState:
+    """Kinematic state of the ego-vehicle.
+
+    The reference point is the rear-axle centre, the convention used by the
+    Ackermann bicycle model.
+
+    Attributes
+    ----------
+    x, y:
+        Rear-axle position in the world frame (m).
+    heading:
+        Vehicle heading (rad), wrapped to ``[-pi, pi)``.
+    velocity:
+        Signed longitudinal velocity (m/s); negative when reversing.
+    steer:
+        Current front-wheel steering angle (rad).
+    """
+
+    x: float = 0.0
+    y: float = 0.0
+    heading: float = 0.0
+    velocity: float = 0.0
+    steer: float = 0.0
+
+    @staticmethod
+    def from_pose(pose: SE2, velocity: float = 0.0, steer: float = 0.0) -> "VehicleState":
+        return VehicleState(pose.x, pose.y, normalize_angle(pose.theta), velocity, steer)
+
+    @property
+    def pose(self) -> SE2:
+        """Rear-axle pose as an SE(2) transform."""
+        return SE2(self.x, self.y, self.heading)
+
+    @property
+    def position(self) -> np.ndarray:
+        return np.array([self.x, self.y], dtype=float)
+
+    def as_array(self) -> np.ndarray:
+        """Return ``[x, y, heading, velocity, steer]``."""
+        return np.array([self.x, self.y, self.heading, self.velocity, self.steer], dtype=float)
+
+    @staticmethod
+    def from_array(values: np.ndarray) -> "VehicleState":
+        values = np.asarray(values, dtype=float).reshape(-1)
+        if values.shape[0] != 5:
+            raise ValueError(f"VehicleState.from_array expects 5 values, got {values.shape[0]}")
+        return VehicleState(
+            float(values[0]),
+            float(values[1]),
+            normalize_angle(float(values[2])),
+            float(values[3]),
+            float(values[4]),
+        )
+
+    def with_velocity(self, velocity: float) -> "VehicleState":
+        return replace(self, velocity=velocity)
+
+    def footprint(self, params: VehicleParams) -> OrientedBox:
+        """Oriented box occupied by the vehicle body for this state."""
+        import math
+
+        offset = params.center_offset
+        center_x = self.x + offset * math.cos(self.heading)
+        center_y = self.y + offset * math.sin(self.heading)
+        return OrientedBox(center_x, center_y, params.length, params.width, self.heading)
+
+    def distance_to(self, other: "VehicleState") -> float:
+        return float(np.hypot(self.x - other.x, self.y - other.y))

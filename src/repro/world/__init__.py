@@ -1,0 +1,41 @@
+"""World simulator substrate (CARLA / MoCAM substitute).
+
+The world package provides a deterministic 2-D parking-lot simulator that
+plays the role of the CARLA + MoCAM digital twin in the paper:
+
+* :mod:`repro.world.obstacles` — static and dynamic obstacles,
+* :mod:`repro.world.parking_lot` — the map: drivable area, spawn region and
+  goal (parking-space) region, mirroring Fig. 4,
+* :mod:`repro.world.scenario` — scenario builders for the easy / normal /
+  hard difficulty levels and the close / remote / random spawn modes used in
+  the sensitivity analysis (Fig. 8),
+* :mod:`repro.world.world` — the :class:`ParkingWorld` stepping loop with
+  collision detection, goal detection and episode termination.
+"""
+
+from repro.world.obstacles import DynamicObstacle, Obstacle, StaticObstacle
+from repro.world.parking_lot import ParkingLot, ParkingSpace
+from repro.world.scenario import (
+    DifficultyLevel,
+    Scenario,
+    ScenarioConfig,
+    SpawnMode,
+    build_scenario,
+)
+from repro.world.world import EpisodeStatus, ParkingWorld, StepResult
+
+__all__ = [
+    "DifficultyLevel",
+    "DynamicObstacle",
+    "EpisodeStatus",
+    "Obstacle",
+    "ParkingLot",
+    "ParkingSpace",
+    "ParkingWorld",
+    "Scenario",
+    "ScenarioConfig",
+    "SpawnMode",
+    "StaticObstacle",
+    "StepResult",
+    "build_scenario",
+]

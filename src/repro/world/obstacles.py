@@ -1,0 +1,158 @@
+"""Static and dynamic obstacles.
+
+The paper's map (Fig. 4) contains three static obstacles (blue, e.g. parked
+cars) and two dynamic obstacles (red, e.g. moving vehicles or pedestrians).
+Dynamic obstacles here follow simple deterministic motion patterns —
+back-and-forth patrols or loops — which is enough to force the planner to
+react while keeping episodes reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.angles import normalize_angle
+from repro.geometry.shapes import OrientedBox
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """Base class: an identified oriented-box obstacle."""
+
+    obstacle_id: str
+    box: OrientedBox
+
+    @property
+    def center(self) -> np.ndarray:
+        return self.box.center
+
+    @property
+    def is_dynamic(self) -> bool:
+        return False
+
+    def at_time(self, time: float) -> "Obstacle":
+        """The obstacle's state at an absolute simulation time (s)."""
+        return self
+
+
+@dataclass(frozen=True)
+class StaticObstacle(Obstacle):
+    """An obstacle that never moves (parked car, pillar, wall segment)."""
+
+
+@dataclass(frozen=True)
+class DynamicObstacle(Obstacle):
+    """An obstacle following a patrol path at constant speed.
+
+    The obstacle oscillates between ``waypoints`` (a polyline) with speed
+    ``speed``; its heading follows the direction of travel.  Motion is a pure
+    function of time so the simulator can query past or future positions,
+    which the CO module uses to predict obstacle positions over its horizon.
+    """
+
+    waypoints: tuple = field(default_factory=tuple)
+    speed: float = 0.5
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 2:
+            raise ValueError("DynamicObstacle requires at least two waypoints")
+        if self.speed <= 0.0:
+            raise ValueError(f"DynamicObstacle speed must be positive, got {self.speed}")
+
+    @property
+    def is_dynamic(self) -> bool:
+        return True
+
+    @property
+    def _segments(self) -> list[tuple[np.ndarray, np.ndarray, float]]:
+        points = [np.asarray(p, dtype=float) for p in self.waypoints]
+        segments = []
+        for start, end in zip(points[:-1], points[1:]):
+            length = float(np.hypot(*(end - start)))
+            segments.append((start, end, length))
+        return segments
+
+    @property
+    def path_length(self) -> float:
+        return sum(length for _, _, length in self._segments)
+
+    def position_at(self, time: float) -> tuple[np.ndarray, float]:
+        """Position and heading at time ``time`` (ping-pong along the polyline)."""
+        total = self.path_length
+        if total <= 1e-9:
+            start = np.asarray(self.waypoints[0], dtype=float)
+            return start, 0.0
+        distance = (time + self.phase) * self.speed
+        cycle = 2.0 * total
+        distance = math.fmod(distance, cycle)
+        if distance < 0.0:
+            distance += cycle
+        forward = distance <= total
+        along = distance if forward else cycle - distance
+        for start, end, length in self._segments:
+            if along <= length or length <= 1e-12:
+                if length <= 1e-12:
+                    point = start
+                    direction = np.zeros(2)
+                else:
+                    fraction = along / length
+                    point = start + fraction * (end - start)
+                    direction = (end - start) / length
+                if not forward:
+                    direction = -direction
+                heading = math.atan2(direction[1], direction[0]) if np.any(direction) else 0.0
+                return point, normalize_angle(heading)
+            along -= length
+        end_point = np.asarray(self.waypoints[-1 if forward else 0], dtype=float)
+        return end_point, 0.0
+
+    def at_time(self, time: float) -> "DynamicObstacle":
+        position, heading = self.position_at(time)
+        moved_box = OrientedBox(
+            float(position[0]), float(position[1]), self.box.length, self.box.width, heading
+        )
+        return replace(self, box=moved_box)
+
+    def predicted_positions(self, start_time: float, dt: float, horizon: int) -> np.ndarray:
+        """Predicted centre positions over ``horizon`` future steps, shape ``(horizon, 2)``.
+
+        This is the ``o_{h,k}`` sequence consumed by the collision constraints
+        (Eq. 5).
+        """
+        positions = np.zeros((horizon, 2), dtype=float)
+        for h in range(horizon):
+            point, _ = self.position_at(start_time + (h + 1) * dt)
+            positions[h] = point
+        return positions
+
+
+def make_parked_car(
+    obstacle_id: str, x: float, y: float, heading: float, length: float = 4.2, width: float = 1.9
+) -> StaticObstacle:
+    """Convenience constructor for a parked-car obstacle."""
+    return StaticObstacle(obstacle_id, OrientedBox(x, y, length, width, heading))
+
+
+def make_patrolling_obstacle(
+    obstacle_id: str,
+    waypoints: Sequence[Sequence[float]],
+    speed: float = 0.5,
+    length: float = 1.0,
+    width: float = 0.8,
+    phase: float = 0.0,
+) -> DynamicObstacle:
+    """Convenience constructor for a small patrolling dynamic obstacle."""
+    start = np.asarray(waypoints[0], dtype=float)
+    box = OrientedBox(float(start[0]), float(start[1]), length, width, 0.0)
+    return DynamicObstacle(
+        obstacle_id,
+        box,
+        waypoints=tuple(tuple(map(float, p)) for p in waypoints),
+        speed=speed,
+        phase=phase,
+    )

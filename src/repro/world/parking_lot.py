@@ -1,0 +1,105 @@
+"""Parking-lot map: drivable area, spawn region and goal region.
+
+The layout mirrors Fig. 4 of the paper: a rectangular lot, a green spawn-point
+region where the ego-vehicle starts, and a yellow goal region containing the
+target parking space.  Coordinates are metres in a world frame whose origin is
+the lot's lower-left corner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.geometry.angles import normalize_angle
+from repro.geometry.se2 import SE2
+from repro.geometry.shapes import AxisAlignedBox, OrientedBox
+
+
+@dataclass(frozen=True)
+class ParkingSpace:
+    """A single parking space with a target pose for the parked vehicle."""
+
+    space_id: str
+    box: OrientedBox
+    target_pose: SE2
+
+    @staticmethod
+    def from_target(
+        space_id: str, target_pose: SE2, length: float = 5.5, width: float = 2.8
+    ) -> "ParkingSpace":
+        box = OrientedBox(target_pose.x, target_pose.y, length, width, target_pose.theta)
+        return ParkingSpace(space_id, box, target_pose.normalized())
+
+    def contains_pose(
+        self, pose: SE2, position_tolerance: float = 0.6, heading_tolerance: float = 0.35
+    ) -> bool:
+        """Whether a vehicle pose counts as successfully parked in this space."""
+        distance = math.hypot(pose.x - self.target_pose.x, pose.y - self.target_pose.y)
+        heading_error = abs(normalize_angle(pose.theta - self.target_pose.theta))
+        # Parking nose-in or tail-in are both acceptable.
+        heading_error = min(heading_error, abs(normalize_angle(heading_error - math.pi)))
+        return distance <= position_tolerance and heading_error <= heading_tolerance
+
+
+@dataclass(frozen=True)
+class ParkingLot:
+    """The static map of the parking scenario.
+
+    Attributes
+    ----------
+    bounds:
+        Outer boundary of the drivable area; leaving it terminates the episode.
+    spawn_region:
+        Region (green in Fig. 4) where starting poses are sampled.
+    goal_space:
+        The target parking space (yellow box in Fig. 4).
+    lane_heading:
+        Nominal heading of the driving aisle, used when sampling spawn poses.
+    """
+
+    bounds: AxisAlignedBox
+    spawn_region: AxisAlignedBox
+    goal_space: ParkingSpace
+    lane_heading: float = 0.0
+
+    def contains(self, point: np.ndarray) -> bool:
+        return self.bounds.contains(point)
+
+    def sample_spawn_pose(self, rng: np.random.Generator, jitter_heading: float = 0.15) -> SE2:
+        """Sample a random starting pose inside the spawn region."""
+        position = self.spawn_region.sample_point(rng)
+        heading = normalize_angle(self.lane_heading + rng.uniform(-jitter_heading, jitter_heading))
+        return SE2(float(position[0]), float(position[1]), heading)
+
+    @property
+    def goal_pose(self) -> SE2:
+        return self.goal_space.target_pose
+
+    def distance_to_goal(self, point: np.ndarray) -> float:
+        point = np.asarray(point, dtype=float).reshape(2)
+        return float(np.hypot(point[0] - self.goal_pose.x, point[1] - self.goal_pose.y))
+
+
+def default_parking_lot(
+    lot_length: float = 45.0,
+    lot_width: float = 22.0,
+    goal_x: float = 32.0,
+    goal_y: float = 5.0,
+    goal_heading: float = math.pi / 2.0,
+) -> ParkingLot:
+    """Build the default MoCAM-like lot used across experiments.
+
+    The ego-vehicle spawns on the left side of the lot, drives along the aisle
+    towards the right, and reverse-parks into a perpendicular space near the
+    right edge — the same qualitative geometry as Fig. 4.  The goal heading
+    points out of the space towards the aisle: after backing in, the parked
+    vehicle faces the aisle.
+    """
+    bounds = AxisAlignedBox(0.0, 0.0, lot_length, lot_width)
+    spawn_region = AxisAlignedBox(2.0, 9.0, 8.0, 13.0)
+    goal_space = ParkingSpace.from_target("goal", SE2(goal_x, goal_y, goal_heading))
+    return ParkingLot(bounds=bounds, spawn_region=spawn_region, goal_space=goal_space, lane_heading=0.0)

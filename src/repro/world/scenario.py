@@ -1,0 +1,180 @@
+"""Scenario builders: difficulty levels and spawn modes.
+
+Paper §V-B defines three difficulty levels:
+
+* **easy** — three static obstacles only,
+* **normal** — three static and two dynamic obstacles,
+* **hard** — all obstacles plus additional noise injected into the input
+  images and bounding boxes (adversarial sensing).
+
+The sensitivity analysis (§V-E, Fig. 8) additionally varies the starting
+point (close / remote / random) and the number of obstacles.  Scenario
+construction is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.geometry.se2 import SE2
+from repro.world.obstacles import (
+    DynamicObstacle,
+    Obstacle,
+    StaticObstacle,
+    make_parked_car,
+    make_patrolling_obstacle,
+)
+from repro.world.parking_lot import ParkingLot, default_parking_lot
+
+
+class DifficultyLevel(enum.Enum):
+    """Difficulty levels from the paper's evaluation (Table II)."""
+
+    EASY = "easy"
+    NORMAL = "normal"
+    HARD = "hard"
+
+
+class SpawnMode(enum.Enum):
+    """Starting-point modes from the sensitivity analysis (Fig. 8)."""
+
+    CLOSE = "close"
+    REMOTE = "remote"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Parameters controlling scenario construction."""
+
+    difficulty: DifficultyLevel = DifficultyLevel.EASY
+    spawn_mode: SpawnMode = SpawnMode.RANDOM
+    num_static_obstacles: int = 3
+    num_dynamic_obstacles: Optional[int] = None
+    seed: int = 0
+    image_noise_std: float = 0.0
+    detection_noise_std: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_static_obstacles < 0:
+            raise ValueError("num_static_obstacles must be non-negative")
+        if self.num_dynamic_obstacles is not None and self.num_dynamic_obstacles < 0:
+            raise ValueError("num_dynamic_obstacles must be non-negative")
+
+    @property
+    def resolved_dynamic_obstacles(self) -> int:
+        """Number of dynamic obstacles implied by the difficulty level."""
+        if self.num_dynamic_obstacles is not None:
+            return self.num_dynamic_obstacles
+        return 0 if self.difficulty is DifficultyLevel.EASY else 2
+
+    @property
+    def resolved_image_noise(self) -> float:
+        if self.image_noise_std > 0.0:
+            return self.image_noise_std
+        return 0.08 if self.difficulty is DifficultyLevel.HARD else 0.0
+
+    @property
+    def resolved_detection_noise(self) -> float:
+        if self.detection_noise_std > 0.0:
+            return self.detection_noise_std
+        return 0.25 if self.difficulty is DifficultyLevel.HARD else 0.05
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully-instantiated scenario: map, obstacles, start pose and noise levels."""
+
+    config: ScenarioConfig
+    lot: ParkingLot
+    obstacles: tuple
+    start_pose: SE2
+
+    @property
+    def static_obstacles(self) -> List[Obstacle]:
+        return [o for o in self.obstacles if not o.is_dynamic]
+
+    @property
+    def dynamic_obstacles(self) -> List[Obstacle]:
+        return [o for o in self.obstacles if o.is_dynamic]
+
+    @property
+    def goal_pose(self) -> SE2:
+        return self.lot.goal_pose
+
+
+# Candidate static obstacle slots: parked cars along the bottom row flanking
+# the goal space, plus a pillar in the middle of the lot.  The first
+# ``num_static_obstacles`` slots are used.
+_STATIC_SLOTS = (
+    (28.5, 5.0, math.pi / 2.0),
+    (35.5, 5.0, math.pi / 2.0),
+    (20.0, 15.0, 0.0),
+    (25.0, 5.0, math.pi / 2.0),
+    (14.0, 6.0, 0.0),
+    (24.0, 17.5, 0.0),
+    (10.5, 17.0, 0.0),
+    (31.0, 16.5, 0.0),
+)
+
+# Patrol paths for dynamic obstacles crossing the driving aisle.
+_DYNAMIC_PATROLS = (
+    ((22.0, 8.0), (22.0, 15.0)),
+    ((27.0, 13.0), (32.0, 13.0)),
+    ((16.0, 9.0), (16.0, 16.0)),
+    ((12.0, 12.0), (18.0, 12.0)),
+)
+
+_CLOSE_SPAWN = SE2(24.0, 11.0, 0.0)
+_REMOTE_SPAWN = SE2(3.0, 11.5, 0.0)
+
+
+def build_scenario(config: ScenarioConfig, lot: Optional[ParkingLot] = None) -> Scenario:
+    """Instantiate a scenario from a configuration.
+
+    Obstacle placement is deterministic (fixed slots) so that difficulty
+    levels are comparable across methods; only the spawn pose uses the seed
+    when ``spawn_mode`` is random, matching the paper's protocol of random
+    starting points inside the spawn region.
+    """
+    lot = lot or default_parking_lot()
+    rng = np.random.default_rng(config.seed)
+
+    obstacles: List[Obstacle] = []
+    num_static = min(config.num_static_obstacles, len(_STATIC_SLOTS))
+    for index in range(num_static):
+        x, y, heading = _STATIC_SLOTS[index]
+        obstacles.append(make_parked_car(f"static-{index}", x, y, heading))
+
+    num_dynamic = min(config.resolved_dynamic_obstacles, len(_DYNAMIC_PATROLS))
+    for index in range(num_dynamic):
+        waypoints = _DYNAMIC_PATROLS[index]
+        obstacles.append(
+            make_patrolling_obstacle(
+                f"dynamic-{index}",
+                waypoints,
+                speed=0.5 + 0.15 * index,
+                phase=float(rng.uniform(0.0, 10.0)),
+            )
+        )
+
+    if config.spawn_mode is SpawnMode.CLOSE:
+        start_pose = _CLOSE_SPAWN
+    elif config.spawn_mode is SpawnMode.REMOTE:
+        start_pose = _REMOTE_SPAWN
+    else:
+        start_pose = lot.sample_spawn_pose(rng)
+
+    return Scenario(config=config, lot=lot, obstacles=tuple(obstacles), start_pose=start_pose)
+
+
+def scenario_for_level(
+    difficulty: DifficultyLevel, seed: int = 0, spawn_mode: SpawnMode = SpawnMode.RANDOM
+) -> Scenario:
+    """Shorthand used by the experiments: a scenario at a given difficulty."""
+    return build_scenario(ScenarioConfig(difficulty=difficulty, spawn_mode=spawn_mode, seed=seed))

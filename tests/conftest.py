@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.il.policy import ILPolicy
+from repro.vehicle.actions import ActionSpace
+from repro.vehicle.params import VehicleParams
+from repro.world.scenario import DifficultyLevel, ScenarioConfig, SpawnMode, build_scenario
+
+
+@pytest.fixture(scope="session")
+def vehicle_params() -> VehicleParams:
+    return VehicleParams()
+
+
+@pytest.fixture(scope="session")
+def action_space() -> ActionSpace:
+    return ActionSpace()
+
+
+@pytest.fixture(scope="session")
+def small_policy(action_space) -> ILPolicy:
+    """An untrained (but functional) IL policy for structural tests."""
+    return ILPolicy(action_space=action_space, image_size=32, hidden_size=16, seed=0)
+
+
+@pytest.fixture(scope="session")
+def easy_scenario():
+    return build_scenario(
+        ScenarioConfig(difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.REMOTE, seed=1)
+    )
+
+
+@pytest.fixture(scope="session")
+def normal_scenario():
+    return build_scenario(
+        ScenarioConfig(difficulty=DifficultyLevel.NORMAL, spawn_mode=SpawnMode.REMOTE, seed=1)
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

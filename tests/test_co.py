@@ -1,0 +1,280 @@
+"""Tests for the constrained-optimization (MPC) module."""
+
+import numpy as np
+import pytest
+
+from repro.co import (
+    COController,
+    CollisionConstraintSet,
+    ControlBounds,
+    GaussNewtonSolver,
+    MPCProblem,
+    ObstaclePrediction,
+)
+from repro.co.constraints import covering_circles, ego_covering_circles
+from repro.geometry.se2 import SE2
+from repro.geometry.shapes import OrientedBox
+from repro.perception.detector import Detection
+from repro.planning.waypoints import WaypointPath
+from repro.vehicle.kinematics import AckermannModel
+from repro.vehicle.params import VehicleParams
+from repro.vehicle.state import VehicleState
+
+
+def straight_reference(start_x=0.0, speed=1.0, dt=0.25, horizon=8):
+    positions = np.array([[start_x + speed * dt * (h + 1), 0.0] for h in range(horizon)])
+    headings = np.zeros(horizon)
+    return positions, headings
+
+
+class TestControlBounds:
+    def test_from_vehicle(self, vehicle_params):
+        bounds = ControlBounds.from_vehicle(vehicle_params)
+        assert bounds.max_steer == vehicle_params.max_steer
+
+    def test_clip(self, vehicle_params):
+        bounds = ControlBounds.from_vehicle(vehicle_params)
+        controls = np.array([[10.0, 2.0], [-10.0, -2.0]])
+        clipped = bounds.clip(controls)
+        assert clipped[0, 0] == vehicle_params.max_acceleration
+        assert clipped[1, 1] == -vehicle_params.max_steer
+
+    def test_lower_upper_shapes(self, vehicle_params):
+        bounds = ControlBounds.from_vehicle(vehicle_params)
+        assert bounds.lower(5).shape == (10,)
+        assert np.all(bounds.lower(5) <= bounds.upper(5))
+
+
+class TestCoveringCircles:
+    def test_box_coverage(self):
+        box = OrientedBox(0.0, 0.0, 4.2, 1.9, 0.0)
+        offsets, radius = covering_circles(box)
+        assert offsets.shape[0] == 3
+        # Every corner must be inside at least one circle.
+        for corner in box.vertices():
+            local_corners = corner - box.center
+            assert any(np.hypot(*(local_corners - offset)) <= radius + 1e-9 for offset in offsets)
+
+    def test_ego_coverage(self, vehicle_params):
+        offsets, radius = ego_covering_circles(vehicle_params, num_circles=3)
+        assert offsets.shape == (3,)
+        assert radius > vehicle_params.width / 2.0
+
+    def test_invalid_circle_count(self, vehicle_params):
+        with pytest.raises(ValueError):
+            ego_covering_circles(vehicle_params, num_circles=0)
+
+
+class TestObstaclePrediction:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ObstaclePrediction(circle_positions=np.zeros((4, 2)), circle_radius=1.0)
+
+    def test_required_clearance(self):
+        prediction = ObstaclePrediction(
+            circle_positions=np.zeros((3, 1, 2)), circle_radius=1.0, safety_margin=0.2
+        )
+        assert prediction.required_clearance(1.5) == pytest.approx(2.7)
+
+
+class TestConstraintSet:
+    def test_from_obstacles_static(self, easy_scenario, vehicle_params):
+        constraint_set = CollisionConstraintSet(vehicle_params)
+        predictions = constraint_set.from_obstacles(easy_scenario.obstacles, 0.0, 0.1, 5)
+        assert len(predictions) == len(easy_scenario.obstacles)
+        for prediction in predictions:
+            assert prediction.horizon == 5
+
+    def test_from_detections_constant_velocity(self, vehicle_params):
+        constraint_set = CollisionConstraintSet(vehicle_params)
+        detection = Detection(
+            box=OrientedBox(5.0, 0.0, 1.0, 0.8, 0.0),
+            velocity=np.array([1.0, 0.0]),
+            confidence=0.9,
+            obstacle_id="walker",
+        )
+        predictions = constraint_set.from_detections([detection], dt=0.5, horizon=4)
+        positions = predictions[0].circle_positions
+        assert positions[3, 0, 0] > positions[0, 0, 0]
+
+    def test_moving_obstacles_get_larger_margin(self, vehicle_params):
+        constraint_set = CollisionConstraintSet(vehicle_params)
+        static_detection = Detection(
+            box=OrientedBox(5.0, 0.0, 1.0, 0.8, 0.0), velocity=np.zeros(2), confidence=0.9
+        )
+        moving_detection = Detection(
+            box=OrientedBox(5.0, 0.0, 1.0, 0.8, 0.0), velocity=np.array([0.6, 0.0]), confidence=0.9
+        )
+        static_pred = constraint_set.from_detections([static_detection], 0.25, 4)[0]
+        moving_pred = constraint_set.from_detections([moving_detection], 0.25, 4)[0]
+        assert moving_pred.safety_margin > static_pred.safety_margin
+
+
+class TestMPCProblem:
+    def _problem(self, vehicle_params, with_obstacle=False):
+        model = AckermannModel(vehicle_params, dt=0.25)
+        positions, headings = straight_reference()
+        predictions = []
+        if with_obstacle:
+            circles = np.tile(np.array([[3.0, 0.3]]), (8, 1, 1))
+            predictions = [ObstaclePrediction(circles, circle_radius=0.5, safety_margin=0.1)]
+        return MPCProblem(
+            model=model,
+            initial_state=VehicleState(velocity=1.0),
+            reference_positions=positions,
+            reference_headings=headings,
+            obstacle_predictions=predictions,
+        )
+
+    def test_horizon_and_variables(self, vehicle_params):
+        problem = self._problem(vehicle_params)
+        assert problem.horizon == 8
+        assert problem.num_variables == 16
+
+    def test_zero_controls_objective_finite(self, vehicle_params):
+        problem = self._problem(vehicle_params)
+        assert np.isfinite(problem.objective(np.zeros((8, 2))))
+
+    def test_residual_size_fixed(self, vehicle_params):
+        problem = self._problem(vehicle_params, with_obstacle=True)
+        a = problem.residuals(np.zeros((8, 2)))
+        b = problem.residuals(np.ones((8, 2)) * 0.1)
+        assert a.shape == b.shape
+
+    def test_tracking_objective_prefers_moving(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.25)
+        positions, headings = straight_reference(speed=1.0)
+        problem = MPCProblem(
+            model=model,
+            initial_state=VehicleState(velocity=0.0),
+            reference_positions=positions,
+            reference_headings=headings,
+        )
+        stand_still = problem.objective(np.zeros((8, 2)))
+        accelerate = problem.objective(np.tile([1.0, 0.0], (8, 1)))
+        assert accelerate < stand_still
+
+    def test_constraint_violation_detected(self, vehicle_params):
+        problem = self._problem(vehicle_params, with_obstacle=True)
+        # Driving straight at cruise speed passes right through the obstacle.
+        controls = np.tile([0.5, 0.0], (8, 1))
+        assert not problem.is_feasible(controls)
+        assert problem.min_clearance(controls) < 0.0
+
+    def test_heading_length_validation(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.25)
+        positions, _ = straight_reference()
+        with pytest.raises(ValueError):
+            MPCProblem(
+                model=model,
+                initial_state=VehicleState(),
+                reference_positions=positions,
+                reference_headings=np.zeros(3),
+            )
+
+
+class TestGaussNewtonSolver:
+    def test_tracks_straight_reference(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.25)
+        positions, headings = straight_reference(speed=1.2)
+        problem = MPCProblem(
+            model=model,
+            initial_state=VehicleState(velocity=0.5),
+            reference_positions=positions,
+            reference_headings=headings,
+        )
+        solver = GaussNewtonSolver(max_iterations=10)
+        result = solver.solve(problem)
+        assert result.objective < problem.objective(np.zeros((8, 2)))
+        # The optimised plan should accelerate forwards.
+        assert result.first_control[0] > 0.0
+
+    def test_avoids_obstacle_on_path(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.25)
+        positions, headings = straight_reference(speed=1.2)
+        circles = np.tile(np.array([[2.5, 0.0]]), (8, 1, 1))
+        problem = MPCProblem(
+            model=model,
+            initial_state=VehicleState(velocity=1.0),
+            reference_positions=positions,
+            reference_headings=headings,
+            obstacle_predictions=[ObstaclePrediction(circles, circle_radius=0.5, safety_margin=0.1)],
+        )
+        solver = GaussNewtonSolver(max_iterations=12)
+        result = solver.solve(problem)
+        naive = np.tile([0.5, 0.0], (8, 1))
+        assert problem.min_clearance(result.controls) > problem.min_clearance(naive)
+
+    def test_warm_start_improves_or_matches(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.25)
+        positions, headings = straight_reference(speed=1.0)
+        problem = MPCProblem(
+            model=model,
+            initial_state=VehicleState(velocity=1.0),
+            reference_positions=positions,
+            reference_headings=headings,
+        )
+        solver = GaussNewtonSolver(max_iterations=6)
+        cold = solver.solve(problem)
+        warm = solver.solve(problem, initial_controls=cold.controls)
+        assert warm.objective <= cold.objective + 1e-9
+
+    def test_respects_bounds(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.25)
+        positions, headings = straight_reference(speed=3.0)
+        problem = MPCProblem(
+            model=model,
+            initial_state=VehicleState(),
+            reference_positions=positions,
+            reference_headings=headings,
+        )
+        result = GaussNewtonSolver().solve(problem)
+        assert np.all(result.controls[:, 0] <= vehicle_params.max_acceleration + 1e-9)
+        assert np.all(np.abs(result.controls[:, 1]) <= vehicle_params.max_steer + 1e-9)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            GaussNewtonSolver(max_iterations=0)
+
+
+class TestCOController:
+    def _reference_path(self):
+        poses = [SE2(float(i) * 0.5, 0.0, 0.0) for i in range(30)]
+        return WaypointPath.from_poses(poses)
+
+    def test_requires_reference_path(self, vehicle_params):
+        controller = COController(vehicle_params)
+        with pytest.raises(RuntimeError):
+            controller.act(VehicleState())
+
+    def test_tracks_reference_and_reports_info(self, vehicle_params):
+        controller = COController(vehicle_params, horizon=6)
+        controller.set_reference_path(self._reference_path())
+        action = controller.act(VehicleState(velocity=0.0), detections=[], time=0.0)
+        assert action.throttle > 0.0
+        assert not action.reverse
+        info = controller.last_info
+        assert info is not None
+        assert info.num_obstacles == 0
+        assert info.solve_time > 0.0
+
+    def test_detections_recorded_in_info(self, vehicle_params):
+        controller = COController(vehicle_params, horizon=6)
+        controller.set_reference_path(self._reference_path())
+        detection = Detection(
+            box=OrientedBox(6.0, 3.0, 1.0, 0.8, 0.0), velocity=np.zeros(2), confidence=0.9
+        )
+        controller.act(VehicleState(), detections=[detection], time=0.0)
+        assert controller.last_info.num_obstacles == 1
+        assert controller.last_info.obstacle_distances.shape == (1,)
+
+    def test_reset_clears_state(self, vehicle_params):
+        controller = COController(vehicle_params, horizon=6)
+        controller.set_reference_path(self._reference_path())
+        controller.act(VehicleState(), [], 0.0)
+        controller.reset()
+        assert controller.last_info is None
+
+    def test_invalid_horizon(self, vehicle_params):
+        with pytest.raises(ValueError):
+            COController(vehicle_params, horizon=1)

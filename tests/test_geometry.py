@@ -1,0 +1,235 @@
+"""Unit and property tests for the geometry substrate."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    SE2,
+    AxisAlignedBox,
+    Circle,
+    ConvexPolygon,
+    OrientedBox,
+    angle_diff,
+    distance_between,
+    normalize_angle,
+    point_in_polygon,
+    polygon_polygon_collision,
+    shapes_collide,
+    unwrap_angles,
+)
+from repro.geometry.collision import (
+    closest_point_on_segment,
+    point_polygon_distance,
+    signed_distance_circle_polygon,
+)
+
+angles = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+class TestAngles:
+    def test_normalize_angle_in_range(self):
+        assert normalize_angle(3 * math.pi) == pytest.approx(-math.pi)
+        assert -math.pi <= normalize_angle(123.456) < math.pi
+
+    def test_normalize_identity_for_small_angles(self):
+        assert normalize_angle(0.5) == pytest.approx(0.5)
+        assert normalize_angle(-1.2) == pytest.approx(-1.2)
+
+    @given(angles)
+    @settings(max_examples=50, deadline=None)
+    def test_normalize_angle_always_in_range(self, theta):
+        wrapped = normalize_angle(theta)
+        assert -math.pi <= wrapped < math.pi
+
+    @given(angles, angles)
+    @settings(max_examples=50, deadline=None)
+    def test_angle_diff_is_shortest_arc(self, a, b):
+        diff = angle_diff(a, b)
+        assert -math.pi <= diff < math.pi
+        assert normalize_angle(b + diff) == pytest.approx(normalize_angle(a), abs=1e-9)
+
+    def test_unwrap_angles_continuous(self):
+        raw = [0.0, 3.0, -3.0, 3.1]
+        unwrapped = unwrap_angles(raw)
+        deltas = np.abs(np.diff(unwrapped))
+        assert np.all(deltas <= math.pi + 1e-9)
+
+    def test_unwrap_empty(self):
+        assert unwrap_angles([]) == []
+
+
+class TestSE2:
+    def test_compose_with_identity(self):
+        pose = SE2(1.0, 2.0, 0.5)
+        assert pose.compose(SE2.identity()).as_array() == pytest.approx(pose.as_array())
+
+    def test_inverse_roundtrip(self):
+        pose = SE2(3.0, -1.0, 1.2)
+        identity = pose.compose(pose.inverse())
+        assert identity.x == pytest.approx(0.0, abs=1e-12)
+        assert identity.y == pytest.approx(0.0, abs=1e-12)
+        assert identity.theta == pytest.approx(0.0, abs=1e-12)
+
+    @given(coords, coords, angles, coords, coords)
+    @settings(max_examples=50, deadline=None)
+    def test_transform_point_roundtrip(self, x, y, theta, px, py):
+        pose = SE2(x, y, theta)
+        point = np.array([px, py])
+        recovered = pose.inverse_transform_point(pose.transform_point(point))
+        assert recovered == pytest.approx(point, abs=1e-6)
+
+    def test_transform_points_matches_single(self):
+        pose = SE2(1.0, -2.0, 0.7)
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [-2.0, 3.0]])
+        batch = pose.transform_points(points)
+        for single, expected in zip(points, batch):
+            assert pose.transform_point(single) == pytest.approx(expected)
+
+    def test_relative_to(self):
+        a = SE2(1.0, 0.0, 0.0)
+        b = SE2(2.0, 1.0, math.pi / 2)
+        rel = b.relative_to(a)
+        assert rel.x == pytest.approx(1.0)
+        assert rel.y == pytest.approx(1.0)
+        assert rel.theta == pytest.approx(math.pi / 2)
+
+    def test_interpolate_endpoints(self):
+        a = SE2(0.0, 0.0, 0.0)
+        b = SE2(2.0, 2.0, 1.0)
+        assert a.interpolate(b, 0.0).as_array() == pytest.approx(a.as_array())
+        assert a.interpolate(b, 1.0).as_array() == pytest.approx(b.as_array())
+
+    def test_from_array_validates_length(self):
+        with pytest.raises(ValueError):
+            SE2.from_array(np.array([1.0, 2.0]))
+
+    def test_heading_vector_unit_norm(self):
+        assert np.linalg.norm(SE2(0, 0, 0.73).heading_vector()) == pytest.approx(1.0)
+
+
+class TestShapes:
+    def test_circle_contains(self):
+        circle = Circle(0.0, 0.0, 2.0)
+        assert circle.contains([1.0, 1.0])
+        assert not circle.contains([2.5, 0.0])
+
+    def test_circle_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Circle(0.0, 0.0, -1.0)
+
+    def test_aabb_from_center(self):
+        box = AxisAlignedBox.from_center(1.0, 2.0, 4.0, 2.0)
+        assert box.min_x == pytest.approx(-1.0)
+        assert box.max_y == pytest.approx(3.0)
+        assert box.contains([0.0, 2.5])
+
+    def test_aabb_invalid_corners_rejected(self):
+        with pytest.raises(ValueError):
+            AxisAlignedBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_aabb_sample_point_inside(self, rng):
+        box = AxisAlignedBox(0.0, 0.0, 5.0, 3.0)
+        for _ in range(20):
+            assert box.contains(box.sample_point(rng))
+
+    def test_oriented_box_vertices_and_contains(self):
+        box = OrientedBox(0.0, 0.0, 4.0, 2.0, math.pi / 2)
+        vertices = box.vertices()
+        assert vertices.shape == (4, 2)
+        # Rotated by 90 degrees: long axis now along y.
+        assert box.contains([0.0, 1.9])
+        assert not box.contains([1.9, 0.0])
+
+    def test_oriented_box_inflated(self):
+        box = OrientedBox(0.0, 0.0, 4.0, 2.0, 0.0)
+        grown = box.inflated(0.5)
+        assert grown.length == pytest.approx(5.0)
+        assert grown.width == pytest.approx(3.0)
+
+    def test_oriented_box_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            OrientedBox(0, 0, 0.0, 1.0, 0.0)
+
+    def test_polygon_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            ConvexPolygon(((0.0, 0.0), (1.0, 0.0)))
+
+    def test_polygon_winding_normalised(self):
+        clockwise = ConvexPolygon(((0.0, 0.0), (0.0, 1.0), (1.0, 1.0), (1.0, 0.0)))
+        assert clockwise.area() == pytest.approx(1.0)
+        assert clockwise.contains([0.5, 0.5])
+
+    def test_polygon_center_and_radius(self):
+        polygon = AxisAlignedBox(0.0, 0.0, 2.0, 2.0).to_polygon()
+        assert polygon.center == pytest.approx([1.0, 1.0])
+        assert polygon.bounding_radius == pytest.approx(math.sqrt(2.0))
+
+
+class TestCollision:
+    def test_closest_point_on_segment(self):
+        point = closest_point_on_segment([0.0, 1.0], [-1.0, 0.0], [1.0, 0.0])
+        assert point == pytest.approx([0.0, 0.0])
+
+    def test_closest_point_clamps_to_endpoints(self):
+        point = closest_point_on_segment([5.0, 5.0], [-1.0, 0.0], [1.0, 0.0])
+        assert point == pytest.approx([1.0, 0.0])
+
+    def test_point_in_polygon(self):
+        polygon = AxisAlignedBox(0.0, 0.0, 2.0, 2.0).to_polygon()
+        assert point_in_polygon([1.0, 1.0], polygon)
+        assert not point_in_polygon([3.0, 1.0], polygon)
+
+    def test_point_polygon_distance(self):
+        polygon = AxisAlignedBox(0.0, 0.0, 2.0, 2.0).to_polygon()
+        assert point_polygon_distance([1.0, 1.0], polygon) == 0.0
+        assert point_polygon_distance([4.0, 1.0], polygon) == pytest.approx(2.0)
+
+    def test_polygon_polygon_collision_cases(self):
+        a = AxisAlignedBox(0.0, 0.0, 2.0, 2.0).to_polygon()
+        b = AxisAlignedBox(1.0, 1.0, 3.0, 3.0).to_polygon()
+        c = AxisAlignedBox(5.0, 5.0, 6.0, 6.0).to_polygon()
+        assert polygon_polygon_collision(a, b)
+        assert not polygon_polygon_collision(a, c)
+
+    def test_rotated_boxes_near_miss(self):
+        a = OrientedBox(0.0, 0.0, 4.0, 2.0, 0.0).to_polygon()
+        b = OrientedBox(0.0, 3.3, 4.0, 2.0, math.pi / 4).to_polygon()
+        assert not polygon_polygon_collision(a, b)
+
+    def test_signed_distance_circle_polygon(self):
+        polygon = AxisAlignedBox(0.0, 0.0, 2.0, 2.0).to_polygon()
+        inside = signed_distance_circle_polygon(Circle(1.0, 1.0, 0.5), polygon)
+        outside = signed_distance_circle_polygon(Circle(4.0, 1.0, 0.5), polygon)
+        assert inside < 0.0
+        assert outside == pytest.approx(1.5)
+
+    def test_shapes_collide_dispatch(self):
+        circle = Circle(0.0, 0.0, 1.0)
+        box = OrientedBox(1.5, 0.0, 2.0, 2.0, 0.0)
+        far_circle = Circle(10.0, 0.0, 1.0)
+        assert shapes_collide(circle, box)
+        assert shapes_collide(box, circle)
+        assert not shapes_collide(circle, far_circle)
+
+    def test_distance_between_symmetry(self):
+        a = OrientedBox(0.0, 0.0, 2.0, 1.0, 0.3)
+        b = OrientedBox(5.0, 1.0, 2.0, 1.0, -0.4)
+        assert distance_between(a, b) == pytest.approx(distance_between(b, a))
+
+    @given(coords, coords, st.floats(min_value=0.1, max_value=5.0), coords, coords)
+    @settings(max_examples=40, deadline=None)
+    def test_distance_nonnegative(self, x, y, r, bx, by):
+        circle = Circle(x, y, r)
+        box = OrientedBox(bx, by, 2.0, 1.0, 0.0)
+        assert distance_between(circle, box) >= 0.0
+
+    def test_overlapping_shapes_have_zero_distance(self):
+        a = OrientedBox(0.0, 0.0, 2.0, 2.0, 0.0)
+        b = OrientedBox(0.5, 0.5, 2.0, 2.0, 0.5)
+        assert shapes_collide(a, b)
+        assert distance_between(a, b) == 0.0

@@ -1,0 +1,70 @@
+"""Property-based tests on the HSA invariants (Eq. 1, 7, 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HSAModel, ICOILConfig
+from repro.core.hsa import scenario_complexity, scenario_uncertainty
+
+probability_vectors = st.lists(
+    st.floats(min_value=1e-3, max_value=1.0), min_size=2, max_size=30
+).map(lambda values: np.array(values) / np.sum(values))
+
+distance_lists = st.lists(st.floats(min_value=0.1, max_value=40.0), min_size=0, max_size=8)
+
+
+@given(probability_vectors)
+@settings(max_examples=60, deadline=None)
+def test_uncertainty_nonnegative_and_bounded(probabilities):
+    entropy = scenario_uncertainty(probabilities)
+    assert 0.0 <= entropy <= np.log(probabilities.size) + 1e-9
+
+
+@given(distance_lists)
+@settings(max_examples=60, deadline=None)
+def test_complexity_at_least_obstacle_free_baseline(distances):
+    baseline = scenario_complexity([], horizon=10, action_dimension=2, danger_distance=3.0)
+    value = scenario_complexity(distances, horizon=10, action_dimension=2, danger_distance=3.0)
+    assert value >= baseline - 1e-9
+
+
+@given(distance_lists, st.floats(min_value=0.5, max_value=10.0))
+@settings(max_examples=40, deadline=None)
+def test_complexity_monotone_in_obstacle_count(distances, extra_distance):
+    base = scenario_complexity(distances, horizon=10, action_dimension=2, danger_distance=3.0)
+    more = scenario_complexity(
+        list(distances) + [extra_distance], horizon=10, action_dimension=2, danger_distance=3.0
+    )
+    assert more >= base
+
+
+@given(probability_vectors, distance_lists)
+@settings(max_examples=40, deadline=None)
+def test_hsa_reading_consistent_with_threshold(probabilities, distances):
+    config = ICOILConfig(window_size=1, switch_threshold=0.35)
+    model = HSAModel(config, num_classes=probabilities.size)
+    reading = model.update(probabilities, distances)
+    assert reading.use_co == (reading.score > config.switch_threshold)
+    assert reading.normalized_uncertainty == pytest.approx(
+        reading.average_uncertainty / np.log(probabilities.size)
+    )
+
+
+fixed_size_probability_vectors = st.lists(
+    st.floats(min_value=1e-3, max_value=1.0), min_size=10, max_size=10
+).map(lambda values: np.array(values) / np.sum(values))
+
+
+@given(st.lists(fixed_size_probability_vectors, min_size=2, max_size=6))
+@settings(max_examples=30, deadline=None)
+def test_window_average_matches_manual_mean(probability_sequence):
+    config = ICOILConfig(window_size=len(probability_sequence))
+    model = HSAModel(config, num_classes=10)
+    entropies = []
+    reading = None
+    for probabilities in probability_sequence:
+        entropies.append(scenario_uncertainty(probabilities))
+        reading = model.update(probabilities, [])
+    assert reading.average_uncertainty == pytest.approx(np.mean(entropies))

@@ -1,0 +1,72 @@
+"""Integration tests across modules: full episodes and the node-graph platform.
+
+These tests run complete (but short) parking episodes and therefore take a
+few seconds each; they are the end-to-end safety net for the stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ICOILConfig
+from repro.eval import EpisodeRunner
+from repro.metaverse import MoCAMPlatform, Topics
+from repro.world.scenario import DifficultyLevel, ScenarioConfig, SpawnMode, build_scenario
+from repro.world.world import EpisodeStatus
+
+
+class TestFullEpisodes:
+    def test_co_method_parks_on_easy_scenario(self, small_policy):
+        runner = EpisodeRunner(il_policy=small_policy, time_limit=80.0)
+        config = ScenarioConfig(difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.CLOSE, seed=2)
+        result, trace = runner.run_episode("co", config)
+        assert result.status is EpisodeStatus.PARKED
+        assert result.parking_time < 80.0
+        # The maneuver must contain a reverse-driving phase.
+        assert trace.reverse.any()
+
+    def test_icoil_with_untrained_policy_falls_back_to_co(self, small_policy):
+        """An untrained IL policy has near-uniform outputs, so HSA should keep
+        iCOIL in the CO mode and the episode should still succeed."""
+        runner = EpisodeRunner(il_policy=small_policy, time_limit=80.0)
+        config = ScenarioConfig(difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.CLOSE, seed=2)
+        result, trace = runner.run_episode("icoil", config)
+        assert result.status is EpisodeStatus.PARKED
+        assert result.co_mode_fraction > 0.5
+
+    def test_trace_lengths_consistent(self, small_policy):
+        runner = EpisodeRunner(il_policy=small_policy, time_limit=15.0)
+        config = ScenarioConfig(difficulty=DifficultyLevel.NORMAL, spawn_mode=SpawnMode.CLOSE, seed=4)
+        result, trace = runner.run_episode("icoil", config, max_steps=30)
+        assert trace.num_frames == result.num_steps
+        for array in (trace.steering, trace.velocities, trace.uncertainties, trace.hsa_scores):
+            assert array.shape == (result.num_steps,)
+
+
+class TestMoCAMPlatform:
+    def test_platform_episode_runs_node_graph(self, small_policy):
+        scenario = build_scenario(
+            ScenarioConfig(difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.CLOSE, seed=2)
+        )
+        platform = MoCAMPlatform(scenario, small_policy, time_limit=30.0)
+        result = platform.run_episode(max_duration=12.0)
+        # All pipeline topics must have traffic.
+        assert platform.bus.publish_count(Topics.BEV_IMAGE) > 0
+        assert platform.bus.publish_count(Topics.IL_COMMAND) > 0
+        assert platform.bus.publish_count(Topics.CO_COMMAND) > 0
+        assert platform.bus.publish_count(Topics.HSA_STATUS) > 0
+        assert platform.bus.publish_count(Topics.CONTROL_COMMAND) > 0
+        # The vehicle actually moved under the published commands.
+        assert result.num_frames > 0
+        assert platform.world.state.distance_to(
+            platform.world.trajectory[0]
+        ) > 0.5
+        # The HSA trace carries one mode label per status message.
+        assert set(result.mode_trace) <= {"il", "co"}
+
+    def test_platform_respects_hard_level_noise(self, small_policy):
+        scenario = build_scenario(
+            ScenarioConfig(difficulty=DifficultyLevel.HARD, spawn_mode=SpawnMode.CLOSE, seed=2)
+        )
+        platform = MoCAMPlatform(scenario, small_policy, time_limit=10.0)
+        platform.run_episode(max_duration=3.0)
+        assert platform.bus.publish_count(Topics.DETECTIONS) > 0

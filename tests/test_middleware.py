@@ -1,0 +1,161 @@
+"""Tests for the ROS-like middleware: bus, nodes, executor and recorder."""
+
+import pytest
+
+from repro.middleware import (
+    ControlCommandMessage,
+    EgoStateMessage,
+    Executor,
+    Message,
+    MessageBus,
+    Node,
+    TopicRecorder,
+)
+from repro.vehicle.actions import Action
+from repro.vehicle.state import VehicleState
+
+
+class CountingNode(Node):
+    """Test node that publishes a message on every step."""
+
+    def __init__(self, bus, rate_hz=10.0, topic="/count"):
+        super().__init__("counter", bus, rate_hz)
+        self.topic = topic
+
+    def on_step(self, time):
+        self.publish(self.topic, Message(stamp=time))
+
+
+class TestMessageBus:
+    def test_publish_delivers_to_subscriber(self):
+        bus = MessageBus()
+        received = []
+        bus.subscribe("/topic", received.append)
+        bus.publish("/topic", Message(stamp=1.0))
+        assert len(received) == 1
+        assert received[0].stamp == 1.0
+
+    def test_sequence_numbers_increment(self):
+        bus = MessageBus()
+        first = bus.publish("/topic", Message(stamp=0.0))
+        second = bus.publish("/topic", Message(stamp=0.1))
+        assert first.sequence == 1
+        assert second.sequence == 2
+
+    def test_latched_message_available(self):
+        bus = MessageBus()
+        bus.publish("/topic", Message(stamp=5.0))
+        assert bus.latest("/topic").stamp == 5.0
+        assert bus.latest("/missing") is None
+
+    def test_cancelled_subscription_stops_delivery(self):
+        bus = MessageBus()
+        received = []
+        subscription = bus.subscribe("/topic", received.append)
+        subscription.cancel()
+        bus.publish("/topic", Message(stamp=0.0))
+        assert received == []
+
+    def test_multiple_subscribers_in_order(self):
+        bus = MessageBus()
+        order = []
+        bus.subscribe("/topic", lambda m: order.append("a"))
+        bus.subscribe("/topic", lambda m: order.append("b"))
+        bus.publish("/topic", Message(stamp=0.0))
+        assert order == ["a", "b"]
+
+    def test_publish_count_and_topics(self):
+        bus = MessageBus()
+        bus.publish("/a", Message(stamp=0.0))
+        bus.publish("/a", Message(stamp=0.1))
+        bus.subscribe("/b", lambda m: None)
+        assert bus.publish_count("/a") == 2
+        assert set(bus.topics()) == {"/a", "/b"}
+
+    def test_invalid_topic_and_message(self):
+        bus = MessageBus()
+        with pytest.raises(ValueError):
+            bus.publish("", Message(stamp=0.0))
+        with pytest.raises(TypeError):
+            bus.publish("/topic", "not a message")
+
+    def test_typed_messages_carry_payloads(self):
+        bus = MessageBus()
+        bus.publish("/ego", EgoStateMessage(stamp=0.0, state=VehicleState(1.0, 2.0)))
+        bus.publish("/cmd", ControlCommandMessage(stamp=0.0, action=Action(0.5), source="il"))
+        assert bus.latest("/ego").state.x == 1.0
+        assert bus.latest("/cmd").source == "il"
+
+
+class TestNodeAndExecutor:
+    def test_node_rate_limits_steps(self):
+        bus = MessageBus()
+        node = CountingNode(bus, rate_hz=5.0)  # period 0.2 s
+        executor = Executor(tick=0.1)
+        executor.add_node(node)
+        for _ in range(10):
+            executor.spin_once()
+        assert node.step_count == 5
+
+    def test_executor_runs_nodes_in_registration_order(self):
+        bus = MessageBus()
+        order = []
+
+        class A(Node):
+            def on_step(self, time):
+                order.append("a")
+
+        class B(Node):
+            def on_step(self, time):
+                order.append("b")
+
+        executor = Executor(tick=0.1)
+        executor.add_node(A("a", bus))
+        executor.add_node(B("b", bus))
+        executor.spin_once()
+        assert order == ["a", "b"]
+
+    def test_duplicate_node_names_rejected(self):
+        bus = MessageBus()
+        executor = Executor()
+        executor.add_node(CountingNode(bus))
+        with pytest.raises(ValueError):
+            executor.add_node(CountingNode(bus))
+
+    def test_spin_until_predicate(self):
+        bus = MessageBus()
+        node = CountingNode(bus)
+        executor = Executor(tick=0.1)
+        executor.add_node(node)
+        executor.spin(10.0, until=lambda: node.step_count >= 3)
+        assert node.step_count == 3
+
+    def test_invalid_parameters(self):
+        bus = MessageBus()
+        with pytest.raises(ValueError):
+            Executor(tick=0.0)
+        with pytest.raises(ValueError):
+            Node("", bus)
+        with pytest.raises(ValueError):
+            Node("x", bus, rate_hz=0.0)
+
+
+class TestTopicRecorder:
+    def test_records_messages(self):
+        bus = MessageBus()
+        recorder = TopicRecorder(bus, ["/a"])
+        bus.publish("/a", Message(stamp=0.0))
+        bus.publish("/a", Message(stamp=0.1))
+        bus.publish("/b", Message(stamp=0.2))
+        assert recorder.count("/a") == 2
+        assert recorder.count("/b") == 0
+
+    def test_stop_and_clear(self):
+        bus = MessageBus()
+        recorder = TopicRecorder(bus, ["/a"])
+        bus.publish("/a", Message(stamp=0.0))
+        recorder.stop()
+        bus.publish("/a", Message(stamp=0.1))
+        assert recorder.count("/a") == 1
+        recorder.clear()
+        assert recorder.count("/a") == 0

@@ -1,0 +1,305 @@
+"""Tests for the numpy neural-network framework."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Adam,
+    Conv2D,
+    CrossEntropyLoss,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    MeanSquaredErrorLoss,
+    ReLU,
+    SGD,
+    Sequential,
+    Softmax,
+    load_parameters,
+    save_parameters,
+)
+
+
+def numerical_gradient(function, array, epsilon=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = function()
+        flat[index] = original - epsilon
+        lower = function()
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * epsilon)
+    return grad
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(4, 3)
+        assert layer.forward(np.zeros((5, 4))).shape == (5, 3)
+
+    def test_rejects_wrong_feature_count(self):
+        with pytest.raises(ValueError):
+            Dense(4, 3).forward(np.zeros((5, 6)))
+
+    def test_backward_requires_forward(self):
+        with pytest.raises(RuntimeError):
+            Dense(4, 3).backward(np.zeros((5, 3)))
+
+    def test_gradient_check(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        inputs = rng.normal(size=(4, 3))
+        target_grad = rng.normal(size=(4, 2))
+
+        def loss():
+            return float(np.sum(layer.forward(inputs, training=True) * target_grad))
+
+        loss()
+        layer.backward(target_grad)
+        numeric = numerical_gradient(loss, layer.weights)
+        assert np.allclose(numeric, layer.grad_weights, atol=1e-4)
+
+    def test_input_gradient_check(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        inputs = rng.normal(size=(2, 3))
+        target_grad = rng.normal(size=(2, 2))
+        layer.forward(inputs, training=True)
+        grad_input = layer.backward(target_grad)
+
+        def loss():
+            return float(np.sum(layer.forward(inputs, training=True) * target_grad))
+
+        numeric = numerical_gradient(loss, inputs)
+        assert np.allclose(numeric, grad_input, atol=1e-4)
+
+
+class TestActivationsAndPooling:
+    def test_relu_zeroes_negatives(self):
+        layer = ReLU()
+        output = layer.forward(np.array([[-1.0, 2.0]]))
+        assert output.tolist() == [[0.0, 2.0]]
+
+    def test_relu_backward_mask(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 2.0]]), training=True)
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        assert grad.tolist() == [[0.0, 5.0]]
+
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        inputs = np.arange(24.0).reshape(2, 3, 2, 2)
+        flat = layer.forward(inputs, training=True)
+        assert flat.shape == (2, 12)
+        assert layer.backward(flat).shape == inputs.shape
+
+    def test_dropout_identity_in_eval(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        inputs = rng.normal(size=(4, 10))
+        assert np.array_equal(layer.forward(inputs, training=False), inputs)
+
+    def test_dropout_scales_in_training(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        inputs = np.ones((1, 1000))
+        output = layer.forward(inputs, training=True)
+        assert output.mean() == pytest.approx(1.0, abs=0.15)
+
+    def test_softmax_normalises(self):
+        layer = Softmax()
+        output = layer.forward(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        assert np.allclose(output.sum(axis=1), 1.0)
+        assert np.all(output > 0.0)
+
+    def test_softmax_stability_large_logits(self):
+        output = Softmax().forward(np.array([[1000.0, 1001.0]]))
+        assert np.isfinite(output).all()
+
+    def test_maxpool_forward(self):
+        layer = MaxPool2D(2)
+        inputs = np.arange(16.0).reshape(1, 1, 4, 4)
+        output = layer.forward(inputs)
+        assert output.shape == (1, 1, 2, 2)
+        assert output[0, 0, 0, 0] == 5.0
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        layer = MaxPool2D(2)
+        inputs = np.arange(16.0).reshape(1, 1, 4, 4)
+        layer.forward(inputs, training=True)
+        grad = layer.backward(np.ones((1, 1, 2, 2)))
+        assert grad.sum() == pytest.approx(4.0)
+        assert grad[0, 0, 1, 1] == 1.0
+        assert grad[0, 0, 0, 0] == 0.0
+
+
+class TestConv2D:
+    def test_forward_shape_same_padding(self):
+        layer = Conv2D(3, 8, kernel_size=3, padding=1)
+        assert layer.forward(np.zeros((2, 3, 16, 16))).shape == (2, 8, 16, 16)
+
+    def test_rejects_wrong_channels(self):
+        with pytest.raises(ValueError):
+            Conv2D(3, 8).forward(np.zeros((1, 4, 8, 8)))
+
+    def test_known_convolution_value(self):
+        layer = Conv2D(1, 1, kernel_size=3, padding=1)
+        layer.weights[...] = 0.0
+        layer.weights[0, 0, 1, 1] = 1.0  # identity kernel
+        layer.bias[...] = 0.0
+        inputs = np.arange(9.0).reshape(1, 1, 3, 3)
+        assert np.allclose(layer.forward(inputs), inputs)
+
+    def test_weight_gradient_check(self, rng):
+        layer = Conv2D(1, 2, kernel_size=3, padding=1, rng=rng)
+        inputs = rng.normal(size=(2, 1, 5, 5))
+        target_grad = rng.normal(size=(2, 2, 5, 5))
+
+        def loss():
+            return float(np.sum(layer.forward(inputs, training=True) * target_grad))
+
+        loss()
+        layer.backward(target_grad)
+        numeric = numerical_gradient(loss, layer.weights)
+        assert np.allclose(numeric, layer.grad_weights, atol=1e-4)
+
+    def test_input_gradient_check(self, rng):
+        layer = Conv2D(1, 1, kernel_size=3, padding=1, rng=rng)
+        inputs = rng.normal(size=(1, 1, 4, 4))
+        target_grad = rng.normal(size=(1, 1, 4, 4))
+        layer.forward(inputs, training=True)
+        grad_input = layer.backward(target_grad)
+
+        def loss():
+            return float(np.sum(layer.forward(inputs, training=True) * target_grad))
+
+        numeric = numerical_gradient(loss, inputs)
+        assert np.allclose(numeric, grad_input, atol=1e-4)
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction(self):
+        loss = CrossEntropyLoss()
+        predictions = np.array([[1.0, 0.0], [0.0, 1.0]])
+        targets = predictions.copy()
+        value, grad = loss.compute(predictions, targets)
+        assert value == pytest.approx(0.0, abs=1e-9)
+        assert np.allclose(grad, 0.0)
+
+    def test_cross_entropy_penalises_wrong_prediction(self):
+        loss = CrossEntropyLoss()
+        confident_wrong, _ = loss.compute(np.array([[0.01, 0.99]]), np.array([[1.0, 0.0]]))
+        confident_right, _ = loss.compute(np.array([[0.99, 0.01]]), np.array([[1.0, 0.0]]))
+        assert confident_wrong > confident_right
+
+    def test_cross_entropy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss().compute(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_mse_zero_for_equal(self):
+        value, grad = MeanSquaredErrorLoss().compute(np.ones((2, 2)), np.ones((2, 2)))
+        assert value == 0.0
+        assert np.allclose(grad, 0.0)
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_cross_entropy_nonnegative(self, batch, classes):
+        rng = np.random.default_rng(batch * 10 + classes)
+        logits = rng.random((batch, classes))
+        predictions = logits / logits.sum(axis=1, keepdims=True)
+        targets = np.eye(classes)[rng.integers(0, classes, size=batch)]
+        value, _ = CrossEntropyLoss().compute(predictions, targets)
+        assert value >= 0.0
+
+
+class TestOptimizers:
+    def test_sgd_moves_against_gradient(self):
+        param = np.array([1.0, 1.0])
+        SGD(learning_rate=0.1).step([param], [np.array([1.0, -1.0])])
+        assert param[0] < 1.0
+        assert param[1] > 1.0
+
+    def test_sgd_momentum_accumulates(self):
+        optimizer = SGD(learning_rate=0.1, momentum=0.9)
+        param = np.zeros(1)
+        for _ in range(3):
+            optimizer.step([param], [np.array([1.0])])
+        assert param[0] < -0.3  # more than 3 plain steps
+
+    def test_adam_converges_on_quadratic(self):
+        param = np.array([5.0])
+        optimizer = Adam(learning_rate=0.2)
+        for _ in range(200):
+            optimizer.step([param], [2.0 * param])
+        assert abs(param[0]) < 0.1
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SGD().step([np.zeros(2)], [])
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.5)
+
+
+class TestSequential:
+    def _make_classifier(self, rng):
+        return Sequential(
+            [Dense(4, 16, rng=rng), ReLU(), Dense(16, 3, rng=rng), Softmax()]
+        )
+
+    def test_training_reduces_loss(self, rng):
+        network = self._make_classifier(rng)
+        inputs = rng.normal(size=(60, 4))
+        labels = (inputs[:, 0] > 0).astype(int) + (inputs[:, 1] > 0).astype(int)
+        targets = np.eye(3)[labels]
+        history = network.fit(
+            inputs, targets, CrossEntropyLoss(), Adam(0.01), epochs=15, batch_size=16, rng=rng
+        )
+        assert history[-1] < history[0]
+        assert network.accuracy(inputs, targets) > 0.6
+
+    def test_predict_does_not_cache(self, rng):
+        network = self._make_classifier(rng)
+        network.predict(rng.normal(size=(2, 4)))
+        with pytest.raises(RuntimeError):
+            network.backward(np.zeros((2, 3)))
+
+    def test_parameter_count(self, rng):
+        network = self._make_classifier(rng)
+        expected = 4 * 16 + 16 + 16 * 3 + 3
+        assert network.num_parameters() == expected
+
+    def test_empty_layer_list_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_fit_validates_shapes(self, rng):
+        network = self._make_classifier(rng)
+        with pytest.raises(ValueError):
+            network.fit(np.zeros((5, 4)), np.zeros((4, 3)), CrossEntropyLoss(), SGD())
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        network = Sequential([Dense(3, 5, rng=rng), ReLU(), Dense(5, 2, rng=rng), Softmax()])
+        inputs = rng.normal(size=(4, 3))
+        expected = network.predict(inputs)
+        path = tmp_path / "weights.npz"
+        save_parameters(network, path)
+
+        clone = Sequential([Dense(3, 5), ReLU(), Dense(5, 2), Softmax()])
+        load_parameters(clone, path)
+        assert np.allclose(clone.predict(inputs), expected)
+
+    def test_load_rejects_mismatched_architecture(self, tmp_path, rng):
+        network = Sequential([Dense(3, 5, rng=rng)])
+        path = tmp_path / "weights.npz"
+        save_parameters(network, path)
+        other = Sequential([Dense(3, 6)])
+        with pytest.raises(ValueError):
+            load_parameters(other, path)

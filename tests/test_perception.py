@@ -1,0 +1,152 @@
+"""Tests for BEV rendering, the ego-view camera and the object detector."""
+
+import numpy as np
+import pytest
+
+from repro.perception import (
+    BEVRenderer,
+    DetectionNoiseModel,
+    EgoViewCamera,
+    GaussianImageNoise,
+    NoNoise,
+    ObjectDetector,
+)
+from repro.vehicle.state import VehicleState
+from repro.world.obstacles import make_parked_car
+
+
+class TestNoise:
+    def test_no_noise_is_identity(self, rng):
+        image = rng.random((3, 8, 8))
+        assert np.array_equal(NoNoise().apply(image, rng), image)
+
+    def test_gaussian_noise_stays_in_range(self, rng):
+        noise = GaussianImageNoise(std=0.3, dropout_probability=0.1)
+        noisy = noise.apply(np.full((3, 16, 16), 0.5), rng)
+        assert noisy.min() >= 0.0 and noisy.max() <= 1.0
+
+    def test_gaussian_noise_changes_image(self, rng):
+        noise = GaussianImageNoise(std=0.1)
+        image = np.full((1, 8, 8), 0.5)
+        assert not np.array_equal(noise.apply(image, rng), image)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GaussianImageNoise(std=-1.0)
+        with pytest.raises(ValueError):
+            GaussianImageNoise(dropout_probability=2.0)
+
+
+class TestBEVRenderer:
+    def test_output_shape_and_range(self, easy_scenario):
+        renderer = BEVRenderer(image_size=32)
+        state = VehicleState.from_pose(easy_scenario.start_pose)
+        image = renderer.render(state, easy_scenario.obstacles, easy_scenario.lot)
+        assert image.data.shape == (3, 32, 32)
+        assert image.data.min() >= 0.0 and image.data.max() <= 1.0
+        assert image.channels == 3
+
+    def test_goal_channel_nonempty_when_goal_in_range(self, easy_scenario):
+        renderer = BEVRenderer(image_size=32, view_range=15.0)
+        goal = easy_scenario.goal_pose
+        state = VehicleState(goal.x - 5.0, goal.y + 3.0, 0.0)
+        image = renderer.render(state, easy_scenario.obstacles, easy_scenario.lot)
+        assert image.goal_channel.sum() > 0.0
+
+    def test_obstacle_channel_empty_without_obstacles(self, easy_scenario):
+        renderer = BEVRenderer(image_size=32)
+        state = VehicleState.from_pose(easy_scenario.start_pose)
+        image = renderer.render(state, [], easy_scenario.lot)
+        assert image.obstacle_channel.sum() == 0.0
+
+    def test_ego_centric_invariance(self, easy_scenario):
+        """Translating world and ego together leaves the image unchanged."""
+        renderer = BEVRenderer(image_size=32)
+        obstacle = make_parked_car("c", 10.0, 10.0, 0.0)
+        shifted = make_parked_car("c", 15.0, 10.0, 0.0)
+        image_a = renderer.render(VehicleState(5.0, 10.0, 0.0), [obstacle], easy_scenario.lot)
+        image_b = renderer.render(VehicleState(10.0, 10.0, 0.0), [shifted], easy_scenario.lot)
+        assert np.allclose(image_a.obstacle_channel, image_b.obstacle_channel)
+
+    def test_frame_index_increments(self, easy_scenario):
+        renderer = BEVRenderer(image_size=32)
+        state = VehicleState.from_pose(easy_scenario.start_pose)
+        first = renderer.render(state, [], easy_scenario.lot)
+        second = renderer.render(state, [], easy_scenario.lot)
+        assert second.frame_index == first.frame_index + 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            BEVRenderer(image_size=4)
+
+
+class TestEgoViewCamera:
+    def test_ranges_shape(self, easy_scenario):
+        camera = EgoViewCamera(num_rays=11, max_range=15.0)
+        state = VehicleState.from_pose(easy_scenario.start_pose)
+        observation = camera.capture(state, easy_scenario.obstacles, easy_scenario.lot)
+        assert observation.num_rays == 11
+        assert observation.ranges.max() <= 15.0
+
+    def test_obstacle_reduces_range(self, easy_scenario):
+        camera = EgoViewCamera(num_rays=5, max_range=20.0)
+        state = VehicleState(10.0, 11.0, 0.0)
+        obstacle = make_parked_car("front", 15.0, 11.0, 0.0)
+        free = camera.capture(state, [], easy_scenario.lot)
+        blocked = camera.capture(state, [obstacle], easy_scenario.lot)
+        assert blocked.min_range < free.min_range
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            EgoViewCamera(num_rays=1)
+
+
+class TestObjectDetector:
+    def test_detects_nearby_obstacles(self, easy_scenario):
+        detector = ObjectDetector(noise=DetectionNoiseModel(), max_range=50.0)
+        state = VehicleState.from_pose(easy_scenario.start_pose)
+        detections = detector.detect(state, easy_scenario.obstacles, time=0.0)
+        assert len(detections) == len(easy_scenario.obstacles)
+
+    def test_range_limit(self, easy_scenario):
+        detector = ObjectDetector(max_range=2.0)
+        state = VehicleState.from_pose(easy_scenario.start_pose)
+        assert detector.detect(state, easy_scenario.obstacles, time=0.0) == []
+
+    def test_dropout_removes_detections(self, normal_scenario):
+        detector = ObjectDetector(
+            noise=DetectionNoiseModel(dropout_probability=0.99), max_range=100.0, seed=1
+        )
+        state = VehicleState.from_pose(normal_scenario.start_pose)
+        detections = detector.detect(state, normal_scenario.obstacles, time=0.0)
+        assert len(detections) < len(normal_scenario.obstacles)
+
+    def test_velocity_estimated_for_dynamic(self, normal_scenario):
+        detector = ObjectDetector(noise=DetectionNoiseModel(position_std=0.0), max_range=100.0)
+        state = VehicleState.from_pose(normal_scenario.start_pose)
+        for step in range(5):
+            detections = detector.detect(state,
+                [o.at_time(step * 0.1) for o in normal_scenario.obstacles], time=step * 0.1)
+        dynamic = [d for d in detections if d.obstacle_id and d.obstacle_id.startswith("dynamic")]
+        assert dynamic
+        assert any(np.linalg.norm(d.velocity) > 0.05 for d in dynamic)
+
+    def test_false_positives_marked(self, easy_scenario):
+        detector = ObjectDetector(
+            noise=DetectionNoiseModel(false_positive_rate=1.0), max_range=100.0, seed=0
+        )
+        state = VehicleState.from_pose(easy_scenario.start_pose)
+        detections = detector.detect(state, easy_scenario.obstacles, time=0.0)
+        assert any(d.is_false_positive for d in detections)
+
+    def test_noise_model_for_difficulty_scales(self):
+        easy = DetectionNoiseModel.for_difficulty(0.05)
+        hard = DetectionNoiseModel.for_difficulty(0.25)
+        assert hard.position_std > easy.position_std
+        assert hard.dropout_probability > easy.dropout_probability
+
+    def test_invalid_noise_model(self):
+        with pytest.raises(ValueError):
+            DetectionNoiseModel(position_std=-0.1)
+        with pytest.raises(ValueError):
+            DetectionNoiseModel(dropout_probability=1.0)

@@ -1,0 +1,218 @@
+"""Tests for Reeds-Shepp curves, hybrid A*, waypoints and progress tracking."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.se2 import SE2
+from repro.planning import HybridAStarPlanner, WaypointPath, Waypoint, shortest_reeds_shepp_path
+from repro.planning.maneuvers import perpendicular_reverse_park
+from repro.planning.progress import SegmentedPathFollower, split_into_segments
+from repro.world.parking_lot import default_parking_lot
+
+poses = st.tuples(
+    st.floats(min_value=-15.0, max_value=15.0),
+    st.floats(min_value=-15.0, max_value=15.0),
+    st.floats(min_value=-math.pi, max_value=math.pi - 1e-6),
+)
+
+
+class TestReedsShepp:
+    def test_straight_line_path(self):
+        path = shortest_reeds_shepp_path(SE2(0, 0, 0), SE2(10, 0, 0), turning_radius=4.0)
+        assert path is not None
+        assert path.length == pytest.approx(10.0, abs=0.3)
+
+    def test_path_reaches_goal(self):
+        start = SE2(0, 0, 0)
+        goal = SE2(6.0, 4.0, math.pi / 2)
+        path = shortest_reeds_shepp_path(start, goal, turning_radius=4.0)
+        assert path is not None
+        end_pose = path.sample(start, spacing=0.2)[-1][0]
+        assert end_pose.distance_to(goal) < 0.3
+
+    @given(poses, poses)
+    @settings(max_examples=30, deadline=None)
+    def test_endpoint_accuracy_property(self, start_tuple, goal_tuple):
+        start = SE2(*start_tuple)
+        goal = SE2(*goal_tuple)
+        path = shortest_reeds_shepp_path(start, goal, turning_radius=4.0)
+        if path is None:
+            return  # rare degenerate case; nothing to check
+        end_pose = path.sample(start, spacing=0.25)[-1][0]
+        assert end_pose.distance_to(goal) < 0.5
+
+    def test_length_at_least_euclidean(self):
+        start, goal = SE2(0, 0, 0), SE2(5, 5, 1.0)
+        path = shortest_reeds_shepp_path(start, goal, turning_radius=4.0)
+        assert path.length >= start.distance_to(goal) - 1e-6
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            shortest_reeds_shepp_path(SE2(0, 0, 0), SE2(1, 1, 0), turning_radius=0.0)
+
+    def test_reverse_segments_for_backward_goal(self):
+        # Goal directly behind the start with the same heading: the shortest
+        # maneuver must contain at least one reverse segment.
+        path = shortest_reeds_shepp_path(SE2(0, 0, 0), SE2(-4.0, 0.0, 0.0), turning_radius=4.0)
+        assert any(segment.length < 0 for segment in path.segments)
+
+
+class TestWaypointPath:
+    def _straight_path(self):
+        poses = [SE2(float(i), 0.0, 0.0) for i in range(11)]
+        return WaypointPath.from_poses(poses)
+
+    def test_length(self):
+        assert self._straight_path().length == pytest.approx(10.0)
+
+    def test_requires_two_waypoints(self):
+        with pytest.raises(ValueError):
+            WaypointPath([Waypoint(SE2(0, 0, 0))])
+
+    def test_nearest_index(self):
+        path = self._straight_path()
+        assert path.nearest_index([3.4, 1.0]) == 3
+
+    def test_interpolate_at(self):
+        pose = self._straight_path().interpolate_at(2.5)
+        assert pose.x == pytest.approx(2.5)
+
+    def test_interpolate_clamps(self):
+        path = self._straight_path()
+        assert path.interpolate_at(-5.0).x == pytest.approx(0.0)
+        assert path.interpolate_at(50.0).x == pytest.approx(10.0)
+
+    def test_lookahead_targets_clamped_at_goal(self):
+        path = self._straight_path()
+        targets = path.lookahead_targets([9.5, 0.0], count=5)
+        assert len(targets) == 5
+        assert targets[-1].pose.x == pytest.approx(10.0)
+
+    def test_resampled_preserves_endpoints(self):
+        path = self._straight_path().resampled(0.3)
+        assert path[0].pose.x == pytest.approx(0.0)
+        assert path.goal.pose.x == pytest.approx(10.0)
+
+    def test_straight_line_constructor(self):
+        path = WaypointPath.straight_line(SE2(0, 0, 0), np.array([4.0, 3.0]), spacing=0.5)
+        assert path.length == pytest.approx(5.0, abs=0.1)
+
+    def test_remaining_length_decreases(self):
+        path = self._straight_path()
+        assert path.remaining_length([1.0, 0.0]) > path.remaining_length([8.0, 0.0])
+
+    def test_direction_validation(self):
+        with pytest.raises(ValueError):
+            Waypoint(SE2(0, 0, 0), direction=2)
+
+
+class TestManeuvers:
+    def test_reverse_park_ends_at_goal(self):
+        goal = SE2(32.0, 5.0, math.pi / 2)
+        staging, waypoints = perpendicular_reverse_park(goal, aisle_heading=0.0, radius=5.0)
+        assert waypoints[-1].pose.distance_to(goal) < 1e-6
+        assert all(w.direction == -1 for w in waypoints)
+
+    def test_staging_heading_matches_aisle(self):
+        goal = SE2(32.0, 5.0, math.pi / 2)
+        staging, _ = perpendicular_reverse_park(goal, aisle_heading=0.0, radius=5.0)
+        assert abs(staging.theta) < 0.2
+
+    def test_staging_offset_by_radius(self):
+        goal = SE2(10.0, 0.0, math.pi / 2)
+        staging, _ = perpendicular_reverse_park(goal, aisle_heading=0.0, radius=4.0)
+        assert staging.distance_to(goal) == pytest.approx(4.0 * math.sqrt(2.0), rel=0.05)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            perpendicular_reverse_park(SE2(0, 0, 0), radius=-1.0)
+
+
+class TestSegmentedFollower:
+    def _two_segment_path(self):
+        forward = [Waypoint(SE2(float(i), 0.0, 0.0), 1) for i in range(6)]
+        reverse = [Waypoint(SE2(5.0 - 0.5 * i, 0.0, 0.0), -1) for i in range(1, 7)]
+        return WaypointPath(forward + reverse)
+
+    def test_split_into_segments(self):
+        segments = split_into_segments(self._two_segment_path())
+        assert len(segments) == 2
+        assert segments[0].direction == 1
+        assert segments[1].direction == -1
+
+    def test_follower_starts_on_first_segment(self):
+        follower = SegmentedPathFollower(self._two_segment_path())
+        follower.update([0.0, 0.0])
+        assert follower.current_direction == 1
+        assert not follower.on_final_segment
+
+    def test_follower_advances_at_segment_end(self):
+        follower = SegmentedPathFollower(self._two_segment_path())
+        follower.update([5.0, 0.0])
+        assert follower.current_direction == -1
+        assert follower.on_final_segment
+
+    def test_follower_does_not_advance_early(self):
+        follower = SegmentedPathFollower(self._two_segment_path())
+        follower.update([2.0, 0.0])
+        assert follower.current_direction == 1
+
+    def test_reference_poses_clamped_to_segment(self):
+        follower = SegmentedPathFollower(self._two_segment_path())
+        follower.update([3.0, 0.0])
+        positions, headings, direction = follower.reference_poses([3.0, 0.0], spacing=1.0, count=8)
+        assert direction == 1
+        assert positions[:, 0].max() <= 5.0 + 1e-9
+
+    def test_reset(self):
+        follower = SegmentedPathFollower(self._two_segment_path())
+        follower.update([5.0, 0.0])
+        follower.reset()
+        assert follower.current_direction == 1
+
+
+class TestHybridAStar:
+    def test_plans_to_free_space_goal(self, vehicle_params):
+        lot = default_parking_lot()
+        planner = HybridAStarPlanner(vehicle_params, max_expansions=4000)
+        start = SE2(5.0, 11.0, 0.0)
+        goal = SE2(20.0, 11.0, 0.0)
+        result = planner.plan(start, goal, [], lot)
+        assert result.success
+        assert result.path is not None
+        assert result.path.goal.pose.distance_to(goal) < 1.0
+
+    def test_path_avoids_obstacles(self, vehicle_params, easy_scenario):
+        planner = HybridAStarPlanner(vehicle_params, max_expansions=6000)
+        lot = easy_scenario.lot
+        staging = SE2(37.0, 10.0, 0.0)
+        result = planner.plan(easy_scenario.start_pose, staging, easy_scenario.static_obstacles, lot)
+        assert result.success
+        from repro.geometry.collision import distance_between
+
+        for waypoint in result.path.waypoints:
+            state_box = waypoint.pose
+            footprint = None
+            # Use the planner's own footprint helper for the clearance check.
+            footprint = planner._footprint(waypoint.pose)
+            for obstacle in easy_scenario.static_obstacles:
+                assert distance_between(footprint, obstacle.box) >= 0.0
+
+    def test_start_in_collision_fails_fast(self, vehicle_params, easy_scenario):
+        planner = HybridAStarPlanner(vehicle_params)
+        blocked_start = SE2(28.5, 5.0, 0.0)  # on top of a parked car
+        result = planner.plan(
+            blocked_start, SE2(37.0, 10.0, 0.0), easy_scenario.static_obstacles, easy_scenario.lot
+        )
+        assert not result.success
+        assert result.expanded_nodes == 0
+
+    def test_invalid_configuration(self, vehicle_params):
+        with pytest.raises(ValueError):
+            HybridAStarPlanner(vehicle_params, num_steer_primitives=1)
+        with pytest.raises(ValueError):
+            HybridAStarPlanner(vehicle_params, step_size=0.0)

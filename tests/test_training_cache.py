@@ -1,0 +1,36 @@
+"""Tests for the default-policy training/caching helper."""
+
+import numpy as np
+import pytest
+
+from repro.eval.training import default_policy_path, train_default_policy
+
+
+class TestTrainDefaultPolicy:
+    def test_trains_and_caches(self, tmp_path, rng):
+        cache = tmp_path / "policy.npz"
+        policy, report, dataset = train_default_policy(
+            num_episodes=1, epochs=1, cache_path=cache, force_retrain=True
+        )
+        assert cache.exists()
+        assert report is not None
+        assert len(dataset) > 0
+
+        # Second call loads from the cache: no report, identical outputs.
+        reloaded, reload_report, _ = train_default_policy(
+            num_episodes=1, epochs=1, cache_path=cache
+        )
+        assert reload_report is None
+        image = rng.random((3, 32, 32))
+        assert np.allclose(
+            reloaded.predict_probabilities(image), policy.predict_probabilities(image)
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            train_default_policy(num_episodes=0)
+
+    def test_default_policy_path_location(self):
+        path = default_policy_path()
+        assert path.name == "il_policy.npz"
+        assert path.parent.name == "artifacts"

@@ -1,0 +1,203 @@
+"""Tests for vehicle parameters, state, actions and kinematics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vehicle import Action, ActionSpace, AckermannModel, VehicleParams, VehicleState
+from repro.vehicle.kinematics import KinematicControl
+
+
+class TestVehicleParams:
+    def test_defaults_consistent(self, vehicle_params):
+        assert vehicle_params.front_overhang > 0.0
+        assert vehicle_params.center_offset > 0.0
+        assert vehicle_params.min_turning_radius > vehicle_params.wheelbase
+
+    def test_invalid_wheelbase_rejected(self):
+        with pytest.raises(ValueError):
+            VehicleParams(wheelbase=-1.0)
+
+    def test_invalid_rear_overhang_rejected(self):
+        with pytest.raises(ValueError):
+            VehicleParams(rear_overhang=10.0)
+
+
+class TestVehicleState:
+    def test_array_roundtrip(self):
+        state = VehicleState(1.0, 2.0, 0.5, 1.2, 0.1)
+        assert VehicleState.from_array(state.as_array()) == state
+
+    def test_from_array_validates(self):
+        with pytest.raises(ValueError):
+            VehicleState.from_array(np.zeros(3))
+
+    def test_footprint_centered_ahead_of_rear_axle(self, vehicle_params):
+        state = VehicleState(0.0, 0.0, 0.0)
+        footprint = state.footprint(vehicle_params)
+        assert footprint.center_x == pytest.approx(vehicle_params.center_offset)
+        assert footprint.length == pytest.approx(vehicle_params.length)
+
+    def test_footprint_rotates_with_heading(self, vehicle_params):
+        state = VehicleState(0.0, 0.0, math.pi / 2)
+        footprint = state.footprint(vehicle_params)
+        assert footprint.center_y == pytest.approx(vehicle_params.center_offset)
+
+    def test_distance_to(self):
+        assert VehicleState(0, 0).distance_to(VehicleState(3, 4)) == pytest.approx(5.0)
+
+
+class TestAction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Action(throttle=1.5)
+        with pytest.raises(ValueError):
+            Action(steer=-2.0)
+
+    def test_array_roundtrip(self):
+        action = Action(0.5, 0.0, -0.3, True)
+        assert Action.from_array(action.as_array()) == action
+
+    def test_clipped(self):
+        action = Action.clipped(2.0, -1.0, 5.0, False)
+        assert action.throttle == 1.0
+        assert action.brake == 0.0
+        assert action.steer == 1.0
+
+    def test_longitudinal(self):
+        assert Action(0.7, 0.2, 0.0).longitudinal == pytest.approx(0.5)
+
+
+class TestActionSpace:
+    def test_num_classes(self, action_space):
+        assert action_space.num_classes == 30
+        assert len(action_space) == 30
+
+    def test_without_reverse(self):
+        assert ActionSpace(steer_bins=5, include_reverse=False).num_classes == 15
+
+    def test_action_for_and_index_of_consistent(self, action_space):
+        for index in range(action_space.num_classes):
+            action = action_space.action_for(index)
+            assert action_space.index_of(action) == index
+
+    def test_index_of_nearest_steer(self, action_space):
+        action = Action(0.6, 0.0, 0.45, False)
+        recovered = action_space.action_for(action_space.index_of(action))
+        assert recovered.steer == pytest.approx(0.5)
+
+    def test_one_hot(self, action_space):
+        encoding = action_space.one_hot(3)
+        assert encoding.sum() == 1.0
+        assert encoding[3] == 1.0
+
+    def test_out_of_range_index(self, action_space):
+        with pytest.raises(IndexError):
+            action_space.action_for(999)
+        with pytest.raises(IndexError):
+            action_space.one_hot(-1)
+
+    def test_labels_unique(self, action_space):
+        labels = [action_space.label_for(i) for i in range(action_space.num_classes)]
+        assert len(set(labels)) == action_space.num_classes
+
+
+class TestAckermannModel:
+    def test_straight_line_motion(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.1)
+        state = VehicleState(0.0, 0.0, 0.0, velocity=1.0)
+        nxt = model.step(state, Action(throttle=0.0, brake=0.0, steer=0.0))
+        assert nxt.x > state.x
+        assert nxt.y == pytest.approx(0.0)
+        assert nxt.heading == pytest.approx(0.0)
+
+    def test_throttle_accelerates(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.1)
+        state = VehicleState()
+        nxt = model.step(state, Action(throttle=1.0))
+        assert nxt.velocity > 0.0
+
+    def test_reverse_gear_goes_backward(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.1)
+        state = VehicleState()
+        for _ in range(10):
+            state = model.step(state, Action(throttle=0.5, reverse=True))
+        assert state.velocity < 0.0
+        assert state.x < 0.0
+
+    def test_brake_stops_vehicle(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.1)
+        state = VehicleState(velocity=2.0)
+        for _ in range(30):
+            state = model.step(state, Action.full_brake())
+        assert state.velocity == pytest.approx(0.0, abs=1e-6)
+
+    def test_speed_limit_respected(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.1)
+        state = VehicleState()
+        for _ in range(200):
+            state = model.step(state, Action(throttle=1.0))
+        assert state.velocity <= vehicle_params.max_speed + 1e-9
+
+    def test_steering_rate_limit(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.1)
+        state = VehicleState()
+        nxt = model.step(state, Action(steer=1.0))
+        assert nxt.steer <= vehicle_params.max_steer_rate * 0.1 + 1e-9
+
+    def test_left_steer_turns_left(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.1)
+        state = VehicleState(velocity=2.0, steer=vehicle_params.max_steer)
+        for _ in range(10):
+            state = model.step(state, Action(throttle=0.3, steer=1.0))
+        assert state.heading > 0.0
+
+    def test_rollout_length(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.1)
+        controls = [KinematicControl(0.5, 0.1)] * 7
+        states = model.rollout_controls(VehicleState(), controls)
+        assert len(states) == 8
+
+    def test_rollout_array_matches_step_control(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.1)
+        start = VehicleState(1.0, 2.0, 0.3, 0.5)
+        controls = np.array([[0.5, 0.2], [-0.2, -0.1], [0.1, 0.0]])
+        states = model.rollout_controls_array(start, controls)
+        state = start
+        for row, control in zip(states[1:], controls):
+            state = model.step_control(state, KinematicControl(*control))
+            assert row[:2] == pytest.approx([state.x, state.y])
+            assert row[2] == pytest.approx(state.heading)
+            assert row[3] == pytest.approx(state.velocity)
+
+    @given(
+        st.floats(min_value=-2.0, max_value=2.0),
+        st.floats(min_value=-0.6, max_value=0.6),
+        st.floats(min_value=-1.5, max_value=3.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_step_control_respects_limits(self, accel, steer, velocity):
+        params = VehicleParams()
+        model = AckermannModel(params, dt=0.1)
+        state = VehicleState(velocity=velocity)
+        nxt = model.step_control(state, KinematicControl(accel, steer))
+        assert -params.max_reverse_speed - 1e-9 <= nxt.velocity <= params.max_speed + 1e-9
+        assert -math.pi <= nxt.heading < math.pi
+
+    def test_control_to_action_forward(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.1)
+        action = model.control_to_action(VehicleState(velocity=1.0), KinematicControl(1.0, 0.3))
+        assert action.throttle > 0.0
+        assert not action.reverse
+
+    def test_control_to_action_braking(self, vehicle_params):
+        model = AckermannModel(vehicle_params, dt=0.1)
+        action = model.control_to_action(VehicleState(velocity=2.0), KinematicControl(-3.0, 0.0))
+        assert action.brake > 0.0
+
+    def test_invalid_dt(self, vehicle_params):
+        with pytest.raises(ValueError):
+            AckermannModel(vehicle_params, dt=0.0)

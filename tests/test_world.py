@@ -1,0 +1,184 @@
+"""Tests for obstacles, the parking lot, scenarios and the world simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.se2 import SE2
+from repro.vehicle import Action
+from repro.world import (
+    DifficultyLevel,
+    EpisodeStatus,
+    ParkingWorld,
+    ScenarioConfig,
+    SpawnMode,
+    build_scenario,
+)
+from repro.world.obstacles import make_parked_car, make_patrolling_obstacle
+from repro.world.parking_lot import ParkingSpace, default_parking_lot
+from repro.world.scenario import scenario_for_level
+
+
+class TestObstacles:
+    def test_static_obstacle_never_moves(self):
+        obstacle = make_parked_car("car", 5.0, 5.0, 0.3)
+        assert obstacle.at_time(100.0) is obstacle
+        assert not obstacle.is_dynamic
+
+    def test_dynamic_obstacle_moves_along_path(self):
+        obstacle = make_patrolling_obstacle("walker", [(0.0, 0.0), (10.0, 0.0)], speed=1.0)
+        early, _ = obstacle.position_at(1.0)
+        later, _ = obstacle.position_at(5.0)
+        assert later[0] > early[0]
+
+    def test_dynamic_obstacle_ping_pong(self):
+        obstacle = make_patrolling_obstacle("walker", [(0.0, 0.0), (10.0, 0.0)], speed=1.0)
+        at_far_end, _ = obstacle.position_at(10.0)
+        coming_back, _ = obstacle.position_at(15.0)
+        assert at_far_end[0] == pytest.approx(10.0)
+        assert coming_back[0] == pytest.approx(5.0)
+
+    def test_dynamic_obstacle_requires_waypoints(self):
+        with pytest.raises(ValueError):
+            make_patrolling_obstacle("bad", [(0.0, 0.0)])
+
+    def test_predicted_positions_shape(self):
+        obstacle = make_patrolling_obstacle("walker", [(0.0, 0.0), (4.0, 0.0)], speed=0.5)
+        predictions = obstacle.predicted_positions(0.0, 0.1, 8)
+        assert predictions.shape == (8, 2)
+
+    def test_at_time_moves_box(self):
+        obstacle = make_patrolling_obstacle("walker", [(0.0, 0.0), (4.0, 0.0)], speed=1.0)
+        moved = obstacle.at_time(2.0)
+        assert moved.box.center_x == pytest.approx(2.0)
+
+
+class TestParkingLot:
+    def test_default_lot_contains_goal(self):
+        lot = default_parking_lot()
+        assert lot.contains(lot.goal_pose.position)
+
+    def test_spawn_pose_inside_region(self, rng):
+        lot = default_parking_lot()
+        for _ in range(10):
+            pose = lot.sample_spawn_pose(rng)
+            assert lot.spawn_region.contains(pose.position)
+
+    def test_parking_space_accepts_both_orientations(self):
+        space = ParkingSpace.from_target("s", SE2(0.0, 0.0, math.pi / 2))
+        assert space.contains_pose(SE2(0.1, 0.1, math.pi / 2))
+        assert space.contains_pose(SE2(0.1, 0.1, -math.pi / 2))
+        assert not space.contains_pose(SE2(2.0, 0.0, math.pi / 2))
+
+    def test_distance_to_goal(self):
+        lot = default_parking_lot()
+        assert lot.distance_to_goal(lot.goal_pose.position) == pytest.approx(0.0)
+
+
+class TestScenario:
+    def test_easy_has_no_dynamic_obstacles(self):
+        scenario = scenario_for_level(DifficultyLevel.EASY, seed=0)
+        assert len(scenario.static_obstacles) == 3
+        assert len(scenario.dynamic_obstacles) == 0
+
+    def test_normal_has_dynamic_obstacles(self):
+        scenario = scenario_for_level(DifficultyLevel.NORMAL, seed=0)
+        assert len(scenario.dynamic_obstacles) == 2
+
+    def test_hard_enables_noise(self):
+        config = ScenarioConfig(difficulty=DifficultyLevel.HARD)
+        assert config.resolved_image_noise > 0.0
+        assert config.resolved_detection_noise > ScenarioConfig(
+            difficulty=DifficultyLevel.EASY
+        ).resolved_detection_noise
+
+    def test_spawn_modes(self):
+        close = build_scenario(ScenarioConfig(spawn_mode=SpawnMode.CLOSE, seed=0))
+        remote = build_scenario(ScenarioConfig(spawn_mode=SpawnMode.REMOTE, seed=0))
+        goal = close.goal_pose.position
+        assert np.hypot(*(close.start_pose.position - goal)) < np.hypot(
+            *(remote.start_pose.position - goal)
+        )
+
+    def test_random_spawn_deterministic_per_seed(self):
+        a = build_scenario(ScenarioConfig(seed=7))
+        b = build_scenario(ScenarioConfig(seed=7))
+        c = build_scenario(ScenarioConfig(seed=8))
+        assert a.start_pose == b.start_pose
+        assert a.start_pose != c.start_pose
+
+    def test_obstacle_count_override(self):
+        scenario = build_scenario(ScenarioConfig(num_static_obstacles=1, num_dynamic_obstacles=0))
+        assert len(scenario.obstacles) == 1
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(num_static_obstacles=-1)
+
+
+class TestParkingWorld:
+    def test_initial_state_matches_scenario(self, easy_scenario):
+        world = ParkingWorld(easy_scenario)
+        assert world.state.x == pytest.approx(easy_scenario.start_pose.x)
+        assert world.status is EpisodeStatus.RUNNING
+
+    def test_step_advances_time(self, easy_scenario):
+        world = ParkingWorld(easy_scenario, dt=0.1)
+        world.step(Action(throttle=0.5))
+        assert world.time == pytest.approx(0.1)
+        assert len(world.trajectory) == 2
+
+    def test_idle_vehicle_does_not_terminate_quickly(self, easy_scenario):
+        world = ParkingWorld(easy_scenario, time_limit=5.0)
+        for _ in range(10):
+            result = world.step(Action.idle())
+        assert result.status is EpisodeStatus.RUNNING
+
+    def test_timeout(self, easy_scenario):
+        world = ParkingWorld(easy_scenario, dt=0.1, time_limit=0.5)
+        status = EpisodeStatus.RUNNING
+        for _ in range(10):
+            if status.is_terminal:
+                break
+            status = world.step(Action.idle()).status
+        assert status is EpisodeStatus.TIMED_OUT
+
+    def test_step_after_terminal_raises(self, easy_scenario):
+        world = ParkingWorld(easy_scenario, dt=0.1, time_limit=0.1)
+        world.step(Action.idle())
+        with pytest.raises(RuntimeError):
+            world.step(Action.idle())
+
+    def test_reset_restores_initial_conditions(self, easy_scenario):
+        world = ParkingWorld(easy_scenario, dt=0.1, time_limit=0.2)
+        world.step(Action(throttle=1.0))
+        world.reset()
+        assert world.time == 0.0
+        assert world.status is EpisodeStatus.RUNNING
+        assert len(world.trajectory) == 1
+
+    def test_collision_detected_when_driving_into_obstacle(self, easy_scenario):
+        world = ParkingWorld(easy_scenario, time_limit=120.0)
+        # Drive straight towards the static obstacles long enough to hit one
+        # or leave the lot; either way the episode must terminate.
+        status = EpisodeStatus.RUNNING
+        for _ in range(1000):
+            if status.is_terminal:
+                break
+            status = world.step(Action(throttle=1.0, steer=0.0)).status
+        assert status in (EpisodeStatus.COLLIDED, EpisodeStatus.OUT_OF_BOUNDS)
+
+    def test_min_obstacle_distance_positive_at_start(self, easy_scenario):
+        world = ParkingWorld(easy_scenario)
+        assert world.min_obstacle_distance() > 0.0
+
+    def test_parked_status_when_placed_in_goal(self, easy_scenario):
+        world = ParkingWorld(easy_scenario)
+        goal = easy_scenario.goal_pose
+        world._state = world._state.__class__(goal.x, goal.y, goal.theta, 0.0, 0.0)
+        assert world._evaluate_status() is EpisodeStatus.PARKED
+
+    def test_invalid_time_limit(self, easy_scenario):
+        with pytest.raises(ValueError):
+            ParkingWorld(easy_scenario, time_limit=0.0)
