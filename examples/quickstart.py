@@ -6,13 +6,14 @@ Run with::
 
 The script collects a few expert demonstrations, trains the IL network for a
 handful of epochs (or loads the cached policy from ``artifacts/``), and then
-drives one normal-level parking episode with the full iCOIL controller,
-printing the outcome and the HSA mode usage.
+drives one normal-level parking episode through the ``repro.api`` session
+layer, streaming per-step events and printing the outcome and HSA mode usage.
 """
 
 from __future__ import annotations
 
-from repro.eval import EpisodeRunner, train_default_policy
+from repro.api import EpisodeSpec, ParkingSession
+from repro.eval import train_default_policy
 from repro.world import DifficultyLevel, ScenarioConfig, SpawnMode
 
 
@@ -28,12 +29,23 @@ def main() -> None:
     else:
         print("  loaded cached policy from artifacts/")
 
-    runner = EpisodeRunner(il_policy=policy, time_limit=70.0)
-    config = ScenarioConfig(
-        difficulty=DifficultyLevel.NORMAL, spawn_mode=SpawnMode.RANDOM, seed=3
+    spec = EpisodeSpec(
+        method="icoil",
+        scenario=ScenarioConfig(
+            difficulty=DifficultyLevel.NORMAL, spawn_mode=SpawnMode.RANDOM, seed=3
+        ),
+        time_limit=70.0,
     )
+    session = ParkingSession(spec, il_policy=policy)
+    # Streaming subscriber: report every mode switch as it happens.
+    session.subscribe(
+        lambda event: event.switched
+        and print(f"  [t={event.stamp:5.1f}s] switched to {event.mode.upper()} mode")
+    )
+
     print("Running one iCOIL parking episode on the normal level ...")
-    result, trace = runner.run_episode("icoil", config)
+    outcome = session.run()
+    result, trace = outcome.result, outcome.trace
 
     print(f"  outcome      : {result.status.value}")
     print(f"  parking time : {result.parking_time:.1f} s over {result.num_steps} frames")

@@ -6,7 +6,10 @@ Run with::
 
 Evaluates iCOIL and the pure-IL baseline across the easy / normal / hard
 difficulty levels (Table II) and sweeps starting points and obstacle counts
-for iCOIL (Fig. 8), printing the same rows/series the paper reports.
+for iCOIL (Fig. 8), printing the same rows/series the paper reports.  Both
+experiments batch their episodes through the :mod:`repro.api` executor, so
+each (method, difficulty) sweep runs on a worker pool and emits a JSON
+throughput summary line on stderr.
 """
 
 from __future__ import annotations

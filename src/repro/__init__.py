@@ -16,19 +16,22 @@ every substrate it depends on:
   contribution),
 * ``repro.middleware`` / ``repro.metaverse`` — a ROS-like pub/sub layer and
   the MoCAM-style node graph,
+* ``repro.api`` — the public session layer: declarative specs, the pluggable
+  controller registry, streaming sessions and batched execution,
 * ``repro.eval`` — the experiment harness regenerating every table/figure.
 
 Quickstart::
 
-    from repro.eval import EpisodeRunner, train_default_policy
+    from repro.api import EpisodeSpec, ParkingSession
+    from repro.eval import train_default_policy
     from repro.world import DifficultyLevel, ScenarioConfig
 
     policy, _, _ = train_default_policy(num_episodes=4, epochs=6)
-    runner = EpisodeRunner(il_policy=policy)
-    result, trace = runner.run_episode(
-        "icoil", ScenarioConfig(difficulty=DifficultyLevel.NORMAL, seed=0)
+    spec = EpisodeSpec(
+        method="icoil", scenario=ScenarioConfig(difficulty=DifficultyLevel.NORMAL, seed=0)
     )
-    print(result.status, result.parking_time)
+    outcome = ParkingSession(spec, il_policy=policy).run()
+    print(outcome.result.status, outcome.result.parking_time)
 """
 
 from repro.core import HSAModel, ICOILConfig, ICOILController

@@ -1,0 +1,56 @@
+"""Events streamed by a :class:`~repro.api.session.ParkingSession`.
+
+Events are :class:`~repro.middleware.messages.Message` payloads published on
+the session's message bus, so any middleware subscriber (recorders, live
+dashboards, service endpoints) can observe an episode while it runs instead
+of waiting for the final trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.middleware.messages import Message
+from repro.vehicle.actions import Action
+from repro.vehicle.state import VehicleState
+from repro.world.world import EpisodeStatus
+
+# Bus topics used by the session engine.
+STEP_TOPIC = "session/step"
+EPISODE_TOPIC = "session/episode"
+
+
+@dataclass(frozen=True)
+class StepEvent(Message):
+    """One simulation step of a parking episode.
+
+    ``pre_step_state`` is the vehicle state the controller observed;
+    ``state`` is the post-step state its command produced.
+    ``min_obstacle_distance`` is measured on the post-step state, so
+    ``state`` and ``min_obstacle_distance`` are mutually consistent (the
+    historical trace recorded the pre-step state against the post-step
+    distance).
+    """
+
+    step_index: int = 0
+    pre_step_state: VehicleState = field(default_factory=VehicleState)
+    state: VehicleState = field(default_factory=VehicleState)
+    action: Action = field(default_factory=Action.idle)
+    mode: str = "co"
+    uncertainty: float = 0.0
+    hsa_score: float = 0.0
+    switched: bool = False
+    min_obstacle_distance: float = float("inf")
+    status: EpisodeStatus = EpisodeStatus.RUNNING
+
+
+@dataclass(frozen=True)
+class EpisodeCompletedEvent(Message):
+    """Published once when an episode reaches a terminal status (or step cap)."""
+
+    method: str = ""
+    seed: int = 0
+    status: EpisodeStatus = EpisodeStatus.RUNNING
+    parking_time: float = 0.0
+    num_steps: int = 0

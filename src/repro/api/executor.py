@@ -1,0 +1,181 @@
+"""Batched episode execution over a worker pool.
+
+:class:`BatchExecutor` expands a :class:`BatchSpec` into per-episode specs
+and runs them on a thread pool.  Every episode is fully self-contained
+(per-episode world, controller and seeded RNGs; the shared IL policy is
+read-only at inference time), so results are bitwise-deterministic and are
+returned in the spec's expansion order — difficulty-major, seed-minor —
+regardless of how the pool interleaves the work.
+
+After each batch the executor emits a one-line JSON throughput summary
+(episodes run, wall time, episodes/sec) so benchmark harnesses can track
+batch throughput across revisions (``BENCH_*.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time as time_module
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.il.policy import ILPolicy
+from repro.vehicle.params import VehicleParams
+
+from repro.api.registry import ControllerRegistry, default_registry
+from repro.api.results import EpisodeResult
+from repro.api.session import ParkingSession, SessionOutcome
+from repro.api.specs import BatchSpec, EpisodeSpec
+from repro.api.trace import EpisodeTrace
+
+
+@dataclass(frozen=True)
+class BatchSummary:
+    """Throughput of one executed batch."""
+
+    method: str
+    num_episodes: int
+    num_successes: int
+    wall_time_s: float
+    episodes_per_second: float
+    num_workers: int
+
+    def to_json_line(self) -> str:
+        """One compact JSON line (the ``BENCH_*.json`` ingestion format)."""
+        return json.dumps(
+            {
+                "event": "batch_summary",
+                "method": self.method,
+                "episodes": self.num_episodes,
+                "successes": self.num_successes,
+                "wall_time_s": round(self.wall_time_s, 4),
+                "episodes_per_sec": round(self.episodes_per_second, 3),
+                "workers": self.num_workers,
+            },
+            separators=(",", ":"),
+        )
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Results of one batch, in deterministic spec-expansion order.
+
+    ``spec`` is the originating :class:`BatchSpec`, or ``None`` when the
+    batch was built from explicit episode specs via ``run_specs``.
+    """
+
+    spec: Optional[BatchSpec]
+    results: tuple
+    traces: tuple
+    summary: BatchSummary
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class BatchExecutor:
+    """Fan a :class:`BatchSpec` out over a worker pool.
+
+    Parameters
+    ----------
+    il_policy / vehicle_params / registry:
+        Shared, read-only inputs handed to every episode's session.
+    max_workers:
+        Pool size; defaults to ``min(batch size, CPU count, 8)``.  A size
+        of 1 degrades gracefully to serial execution with identical
+        results and ordering.
+    summary_stream:
+        Where the one-line JSON summary is written after each batch
+        (default: whatever ``sys.stderr`` is at emit time, so redirection
+        works); pass ``None`` to silence it.
+    """
+
+    _STDERR = object()  # sentinel: resolve sys.stderr when the summary is emitted
+
+    def __init__(
+        self,
+        *,
+        il_policy: Optional[ILPolicy] = None,
+        vehicle_params: Optional[VehicleParams] = None,
+        registry: Optional[ControllerRegistry] = None,
+        max_workers: Optional[int] = None,
+        summary_stream=_STDERR,
+    ) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.il_policy = il_policy
+        self.vehicle_params = vehicle_params or VehicleParams()
+        self.registry = registry or default_registry()
+        self.max_workers = max_workers
+        self.summary_stream = summary_stream
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _pool_size(self, num_episodes: int) -> int:
+        if self.max_workers is not None:
+            return min(self.max_workers, max(1, num_episodes))
+        return max(1, min(num_episodes, os.cpu_count() or 1, 8))
+
+    def _run_one(self, spec: EpisodeSpec) -> SessionOutcome:
+        session = ParkingSession(
+            spec,
+            il_policy=self.il_policy,
+            vehicle_params=self.vehicle_params,
+            registry=self.registry,
+        )
+        return session.run()
+
+    def run_specs(self, specs: Sequence[EpisodeSpec], method: str = "mixed") -> BatchOutcome:
+        """Run explicit episode specs, preserving their order in the results."""
+        specs = list(specs)
+        # Resolve every method up front so a typo fails before any work runs.
+        for spec in specs:
+            self.registry.factory_for(spec.method)
+        workers = self._pool_size(len(specs))
+        start = time_module.perf_counter()
+        if workers == 1:
+            outcomes: List[SessionOutcome] = [self._run_one(spec) for spec in specs]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                # pool.map preserves submission order, giving deterministic
+                # spec-expansion (difficulty-major, seed-minor) ordering
+                # independent of worker scheduling.
+                outcomes = list(pool.map(self._run_one, specs))
+        wall_time = time_module.perf_counter() - start
+
+        results = tuple(outcome.result for outcome in outcomes)
+        summary = BatchSummary(
+            method=method,
+            num_episodes=len(results),
+            num_successes=sum(1 for result in results if result.success),
+            wall_time_s=wall_time,
+            episodes_per_second=len(results) / wall_time if wall_time > 0 else float("inf"),
+            num_workers=workers,
+        )
+        stream = sys.stderr if self.summary_stream is BatchExecutor._STDERR else self.summary_stream
+        if stream is not None:
+            print(summary.to_json_line(), file=stream)
+        return BatchOutcome(
+            spec=None,
+            results=results,
+            traces=tuple(outcome.trace for outcome in outcomes),
+            summary=summary,
+        )
+
+    def run(self, spec: BatchSpec) -> BatchOutcome:
+        """Expand ``spec`` and run all of its episodes on the pool."""
+        outcome = self.run_specs(spec.episode_specs(), method=spec.method)
+        return BatchOutcome(
+            spec=spec, results=outcome.results, traces=outcome.traces, summary=outcome.summary
+        )
+
+    def run_results(self, spec: BatchSpec) -> List[EpisodeResult]:
+        """Like :meth:`run` but returning just the ordered result list."""
+        return list(self.run(spec).results)

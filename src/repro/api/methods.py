@@ -1,0 +1,123 @@
+"""Built-in controller methods, migrated onto the registry.
+
+Each factory adapts one of the seed controllers to the uniform
+:class:`~repro.api.registry.SessionController` interface, so the session
+loop needs no per-method branches.  Perception components are requested
+from the context lazily: ``expert`` builds neither renderer nor detector,
+``il`` builds only the renderer, ``co`` only the detector.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.baselines import COOnlyController, ILOnlyController
+from repro.core.controller import ICOILController
+from repro.il.expert import ExpertDriver
+from repro.vehicle.state import VehicleState
+from repro.world.obstacles import Obstacle
+from repro.world.parking_lot import ParkingLot
+
+from repro.api.registry import ControlStep, ControllerContext, register_method
+
+
+# ---------------------------------------------------------------------------
+# Adapters
+# ---------------------------------------------------------------------------
+class ExpertSessionController:
+    """Adapter driving the scripted expert through the session interface."""
+
+    def __init__(self, expert: ExpertDriver) -> None:
+        self.expert = expert
+
+    def step(
+        self,
+        state: VehicleState,
+        obstacles: Sequence[Obstacle],
+        lot: ParkingLot,
+        time: float = 0.0,
+    ) -> ControlStep:
+        return ControlStep(action=self.expert.act(state), mode="expert")
+
+
+class BaselineSessionController:
+    """Adapter for the single-mode baselines (pure IL, pure CO)."""
+
+    def __init__(self, controller, mode: str) -> None:
+        self.controller = controller
+        self.mode = mode
+
+    def step(
+        self,
+        state: VehicleState,
+        obstacles: Sequence[Obstacle],
+        lot: ParkingLot,
+        time: float = 0.0,
+    ) -> ControlStep:
+        info = self.controller.step(state, obstacles, lot, time=time)
+        return ControlStep(action=info.action, mode=self.mode)
+
+
+class ICOILSessionController:
+    """Adapter exposing the full iCOIL telemetry (mode, HSA, switches)."""
+
+    def __init__(self, controller: ICOILController) -> None:
+        self.controller = controller
+
+    def step(
+        self,
+        state: VehicleState,
+        obstacles: Sequence[Obstacle],
+        lot: ParkingLot,
+        time: float = 0.0,
+    ) -> ControlStep:
+        info = self.controller.step(state, obstacles, lot, time=time)
+        return ControlStep(
+            action=info.action,
+            mode=info.mode.value,
+            uncertainty=info.hsa.normalized_uncertainty,
+            hsa_score=info.hsa.score,
+            switched=info.switched,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Built-in factories
+# ---------------------------------------------------------------------------
+@register_method("icoil")
+def build_icoil(context: ControllerContext) -> ICOILSessionController:
+    """The integrated CO+IL controller with HSA mode switching (Eq. 1)."""
+    policy = context.require_policy("icoil")
+    controller = ICOILController(
+        policy,
+        context.make_co_controller(),
+        context.renderer,
+        context.detector,
+        context.icoil,
+    )
+    controller.prepare(context.reference_path)
+    return ICOILSessionController(controller)
+
+
+@register_method("il")
+def build_il(context: ControllerContext) -> BaselineSessionController:
+    """The conventional pure-IL baseline [2]: the DNN drives every frame."""
+    policy = context.require_policy("il")
+    controller = ILOnlyController(policy, context.renderer)
+    controller.prepare(None)
+    return BaselineSessionController(controller, "il")
+
+
+@register_method("co")
+def build_co(context: ControllerContext) -> BaselineSessionController:
+    """Constrained optimization at every frame (pure-CO ablation)."""
+    controller = COOnlyController(context.make_co_controller(), context.detector)
+    controller.prepare(context.reference_path)
+    return BaselineSessionController(controller, "co")
+
+
+@register_method("expert")
+def build_expert(context: ControllerContext) -> ExpertSessionController:
+    """The scripted demonstrator used to generate IL training data."""
+    context.reference_path  # plan eagerly so failures surface at build time
+    return ExpertSessionController(context.expert)

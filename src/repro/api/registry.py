@@ -1,0 +1,252 @@
+"""The controller registry: pluggable method factories behind one name space.
+
+A *method* ("icoil", "il", "co", "expert", …) is a named
+:class:`ControllerFactory` that builds a :class:`SessionController` for a
+concrete scenario.  The registry replaces the historical string-dispatch
+``if method == …`` chains in ``EpisodeRunner.build_controller``: new policy
+families (offline-RL parking, imagination-based planners, …) plug in with
+``@register_method("name")`` and immediately work everywhere specs are
+accepted — sessions, batches, experiments — without touching ``repro.eval``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.co.controller import COController
+from repro.core.config import ICOILConfig
+from repro.il.expert import ExpertDriver
+from repro.il.policy import ILPolicy
+from repro.perception.bev import BEVRenderer
+from repro.perception.detector import DetectionNoiseModel, ObjectDetector
+from repro.perception.noise import GaussianImageNoise, NoNoise
+from repro.planning.waypoints import WaypointPath
+from repro.vehicle.actions import Action
+from repro.vehicle.params import VehicleParams
+from repro.vehicle.state import VehicleState
+from repro.world.obstacles import Obstacle
+from repro.world.parking_lot import ParkingLot
+from repro.world.scenario import Scenario
+
+from repro.api.specs import PerceptionOverrides
+
+
+# ---------------------------------------------------------------------------
+# The uniform controller interface
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ControlStep:
+    """One control decision, in the shape every registered method produces."""
+
+    action: Action
+    mode: str
+    uncertainty: float = 0.0
+    hsa_score: float = 0.0
+    switched: bool = False
+
+
+@runtime_checkable
+class SessionController(Protocol):
+    """What a factory must return: one ``step`` per simulation frame."""
+
+    def step(
+        self,
+        state: VehicleState,
+        obstacles: Sequence[Obstacle],
+        lot: ParkingLot,
+        time: float = 0.0,
+    ) -> ControlStep:
+        ...
+
+
+# ---------------------------------------------------------------------------
+# Build context with lazy perception
+# ---------------------------------------------------------------------------
+class ControllerContext:
+    """Everything a :class:`ControllerFactory` may need to build a controller.
+
+    Perception components (BEV renderer, object detector) and the expert
+    reference path are constructed *lazily* and cached, so methods that do
+    not need them never pay their setup cost — an expert or CO batch no
+    longer builds a BEV rendering pipeline it never uses.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        il_policy: Optional[ILPolicy] = None,
+        vehicle_params: Optional[VehicleParams] = None,
+        icoil: Optional[ICOILConfig] = None,
+        perception: Optional[PerceptionOverrides] = None,
+        dt: float = 0.1,
+    ) -> None:
+        self.scenario = scenario
+        self.il_policy = il_policy
+        self.vehicle_params = vehicle_params or VehicleParams()
+        self.icoil = icoil or ICOILConfig()
+        self.perception = perception or PerceptionOverrides()
+        self.dt = dt
+        self._renderer: Optional[BEVRenderer] = None
+        self._detector: Optional[ObjectDetector] = None
+        self._expert: Optional[ExpertDriver] = None
+        self._reference_path: Optional[WaypointPath] = None
+
+    # -- resolved perception noise ------------------------------------
+    @property
+    def image_noise_std(self) -> float:
+        if self.perception.image_noise_std is not None:
+            return self.perception.image_noise_std
+        return self.scenario.config.resolved_image_noise
+
+    @property
+    def detection_noise_std(self) -> float:
+        if self.perception.detection_noise_std is not None:
+            return self.perception.detection_noise_std
+        return self.scenario.config.resolved_detection_noise
+
+    # -- lazy components ----------------------------------------------
+    @property
+    def has_renderer(self) -> bool:
+        """Whether the BEV renderer has been built (laziness introspection)."""
+        return self._renderer is not None
+
+    @property
+    def has_detector(self) -> bool:
+        """Whether the object detector has been built (laziness introspection)."""
+        return self._detector is not None
+
+    @property
+    def renderer(self) -> BEVRenderer:
+        """The BEV renderer, built on first access."""
+        if self._renderer is None:
+            std = self.image_noise_std
+            noise = GaussianImageNoise(std=std) if std > 0.0 else NoNoise()
+            self._renderer = BEVRenderer(noise=noise, seed=self.scenario.config.seed)
+        return self._renderer
+
+    @property
+    def detector(self) -> ObjectDetector:
+        """The object detector, built on first access."""
+        if self._detector is None:
+            self._detector = ObjectDetector(
+                noise=DetectionNoiseModel.for_difficulty(self.detection_noise_std),
+                seed=self.scenario.config.seed,
+            )
+        return self._detector
+
+    @property
+    def expert(self) -> ExpertDriver:
+        """The scripted expert for this scenario, built on first access."""
+        if self._expert is None:
+            self._expert = ExpertDriver(
+                self.scenario.lot, self.scenario.obstacles, self.vehicle_params
+            )
+        return self._expert
+
+    @property
+    def reference_path(self) -> WaypointPath:
+        """The expert's global reference path from the scenario's start pose."""
+        if self._reference_path is None:
+            path = self.expert.plan_reference(self.scenario.start_pose)
+            if path is None:
+                raise RuntimeError("could not plan a reference path for the scenario")
+            self._reference_path = path
+        return self._reference_path
+
+    # -- helpers -------------------------------------------------------
+    def make_co_controller(self) -> COController:
+        """A fresh constrained-optimization controller (stateful, per-episode)."""
+        return COController(self.vehicle_params, horizon=self.icoil.horizon, dt=self.dt)
+
+    def require_policy(self, method: str) -> ILPolicy:
+        if self.il_policy is None:
+            raise ValueError(f"an IL policy is required for the {method!r} method")
+        return self.il_policy
+
+
+ControllerFactory = Callable[[ControllerContext], SessionController]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+class ControllerRegistry:
+    """A name → :class:`ControllerFactory` mapping with decorator registration."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, ControllerFactory] = {}
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered method names, in registration order."""
+        return tuple(self._factories)
+
+    def __contains__(self, method: str) -> bool:
+        return method in self._factories
+
+    def register(
+        self,
+        name: str,
+        factory: Optional[ControllerFactory] = None,
+        *,
+        overwrite: bool = False,
+    ):
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        Raises :class:`ValueError` if the name is already taken (unless
+        ``overwrite=True``), so typos do not silently shadow built-ins.
+        """
+        if not name:
+            raise ValueError("method name must be non-empty")
+
+        def _register(factory: ControllerFactory) -> ControllerFactory:
+            if name in self._factories and not overwrite:
+                raise ValueError(
+                    f"method {name!r} is already registered; pass overwrite=True to replace it"
+                )
+            self._factories[name] = factory
+            return factory
+
+        if factory is None:
+            return _register
+        return _register(factory)
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered method (mainly for tests)."""
+        self._factories.pop(name, None)
+
+    def factory_for(self, method: str) -> ControllerFactory:
+        try:
+            return self._factories[method]
+        except KeyError:
+            registered = ", ".join(repr(name) for name in self.names()) or "<none>"
+            raise ValueError(
+                f"unknown method {method!r}; registered methods: {registered}"
+            ) from None
+
+    def create(self, method: str, context: ControllerContext) -> SessionController:
+        """Build the controller for ``method`` on the given context."""
+        return self.factory_for(method)(context)
+
+
+# The process-wide default registry onto which the built-in methods (and any
+# user methods declared with :func:`register_method`) are installed.
+DEFAULT_REGISTRY = ControllerRegistry()
+
+
+def register_method(name: str, *, overwrite: bool = False):
+    """Decorator registering a factory on the default registry.
+
+    Example::
+
+        @register_method("my-planner")
+        def build_my_planner(context: ControllerContext) -> SessionController:
+            return MyPlanner(context.scenario, context.vehicle_params)
+    """
+    return DEFAULT_REGISTRY.register(name, overwrite=overwrite)
+
+
+def default_registry() -> ControllerRegistry:
+    """The registry holding the built-in iCOIL methods."""
+    return DEFAULT_REGISTRY

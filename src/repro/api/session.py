@@ -1,0 +1,206 @@
+"""The session engine: runs one :class:`EpisodeSpec` to completion.
+
+:class:`ParkingSession` is the single execution path for parking episodes.
+It builds the scenario and world, asks the registry for the spec's
+controller, and steps the world while streaming one :class:`StepEvent` per
+frame over a :class:`~repro.middleware.bus.MessageBus`.  The per-frame
+trace and the final :class:`EpisodeResult` are assembled from those same
+events, so streaming consumers and batch consumers see identical data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.il.policy import ILPolicy
+from repro.middleware.bus import MessageBus, Subscription
+from repro.vehicle.params import VehicleParams
+from repro.world.scenario import build_scenario
+from repro.world.world import ParkingWorld
+
+from repro.api.events import EPISODE_TOPIC, STEP_TOPIC, EpisodeCompletedEvent, StepEvent
+from repro.api.registry import ControllerRegistry, ControllerContext, default_registry
+from repro.api.results import EpisodeResult
+from repro.api.specs import EpisodeSpec
+from repro.api.trace import EpisodeTrace
+
+StepListener = Callable[[StepEvent], None]
+
+
+@dataclass(frozen=True)
+class SessionOutcome:
+    """What one completed session produced."""
+
+    result: EpisodeResult
+    trace: EpisodeTrace
+    events: tuple
+
+    @property
+    def num_steps(self) -> int:
+        return self.result.num_steps
+
+
+class ParkingSession:
+    """Run one episode spec, streaming per-step events to subscribers.
+
+    Parameters
+    ----------
+    spec:
+        The declarative episode description (method, scenario, configs).
+    il_policy:
+        Trained IL policy, required by methods that use it.
+    vehicle_params:
+        Ego-vehicle geometry; defaults match the paper's vehicle.
+    registry:
+        Controller registry to resolve ``spec.method`` against; defaults to
+        the process-wide registry with the built-in methods.
+    bus:
+        Message bus for event streaming; a private bus is created when not
+        provided.  Pass a shared bus to fan events into an existing node
+        graph or recorder.
+    """
+
+    def __init__(
+        self,
+        spec: EpisodeSpec,
+        *,
+        il_policy: Optional[ILPolicy] = None,
+        vehicle_params: Optional[VehicleParams] = None,
+        registry: Optional[ControllerRegistry] = None,
+        bus: Optional[MessageBus] = None,
+    ) -> None:
+        self.spec = spec
+        self.il_policy = il_policy
+        self.vehicle_params = vehicle_params or VehicleParams()
+        self.registry = registry or default_registry()
+        self.bus = bus or MessageBus()
+        # Fail fast on unknown methods, before any world construction.
+        self.registry.factory_for(spec.method)
+
+    def subscribe(self, listener: StepListener) -> Subscription:
+        """Receive every :class:`StepEvent` of subsequent :meth:`run` calls."""
+        return self.bus.subscribe(STEP_TOPIC, listener, subscriber="session-listener")
+
+    def build_controller(self, scenario) -> object:
+        """Resolve the spec's method against the registry for ``scenario``."""
+        context = ControllerContext(
+            scenario,
+            il_policy=self.il_policy,
+            vehicle_params=self.vehicle_params,
+            icoil=self.spec.icoil,
+            perception=self.spec.perception,
+            dt=self.spec.dt,
+        )
+        return self.registry.create(self.spec.method, context)
+
+    def run(self) -> SessionOutcome:
+        """Run the episode to termination (or the step cap)."""
+        spec = self.spec
+        scenario = build_scenario(spec.scenario)
+        world = ParkingWorld(
+            scenario, self.vehicle_params, dt=spec.dt, time_limit=spec.time_limit
+        )
+        controller = self.build_controller(scenario)
+        max_steps = spec.max_steps or int(spec.time_limit / spec.dt) + 5
+
+        events: List[StepEvent] = []
+        mode_switches = 0
+        for step_index in range(max_steps):
+            if world.status.is_terminal:
+                break
+            pre_step_state = world.state
+            control = controller.step(
+                pre_step_state, world.current_obstacles(), scenario.lot, time=world.time
+            )
+            step_result = world.step(control.action)
+            if control.switched:
+                mode_switches += 1
+            event = StepEvent(
+                stamp=step_result.time,
+                step_index=step_index,
+                pre_step_state=pre_step_state,
+                state=step_result.state,
+                action=control.action,
+                mode=control.mode,
+                uncertainty=control.uncertainty,
+                hsa_score=control.hsa_score,
+                switched=control.switched,
+                min_obstacle_distance=step_result.min_obstacle_distance,
+                status=step_result.status,
+            )
+            events.append(event)
+            self.bus.publish(STEP_TOPIC, event)
+
+        result = self._build_result(world, events, mode_switches)
+        self.bus.publish(
+            EPISODE_TOPIC,
+            EpisodeCompletedEvent(
+                stamp=world.time,
+                method=spec.method,
+                seed=spec.scenario.seed,
+                status=world.status,
+                parking_time=result.parking_time,
+                num_steps=result.num_steps,
+            ),
+        )
+        return SessionOutcome(result=result, trace=self._build_trace(events), events=tuple(events))
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def _build_result(
+        self, world: ParkingWorld, events: List[StepEvent], mode_switches: int
+    ) -> EpisodeResult:
+        min_distance = (
+            float(min(event.min_obstacle_distance for event in events))
+            if events
+            else float("inf")
+        )
+        co_frames = sum(1 for event in events if event.mode == "co")
+        return EpisodeResult(
+            method=self.spec.method,
+            difficulty=self.spec.scenario.difficulty.value,
+            seed=self.spec.scenario.seed,
+            status=world.status,
+            parking_time=world.time,
+            num_steps=len(events),
+            co_mode_fraction=co_frames / max(1, len(events)),
+            num_mode_switches=mode_switches,
+            min_obstacle_distance=min_distance,
+        )
+
+    @staticmethod
+    def _build_trace(events: List[StepEvent]) -> EpisodeTrace:
+        return EpisodeTrace(
+            times=np.array([event.stamp for event in events]),
+            positions=(
+                np.array([event.state.position for event in events])
+                if events
+                else np.zeros((0, 2))
+            ),
+            headings=np.array([event.state.heading for event in events]),
+            velocities=np.array([event.state.velocity for event in events]),
+            steering=np.array([event.action.steer for event in events]),
+            reverse=np.array([event.action.reverse for event in events], dtype=bool),
+            modes=tuple(event.mode for event in events),
+            uncertainties=np.array([event.uncertainty for event in events]),
+            hsa_scores=np.array([event.hsa_score for event in events]),
+            min_obstacle_distances=np.array([event.min_obstacle_distance for event in events]),
+        )
+
+
+def run_episode_spec(
+    spec: EpisodeSpec,
+    *,
+    il_policy: Optional[ILPolicy] = None,
+    vehicle_params: Optional[VehicleParams] = None,
+    registry: Optional[ControllerRegistry] = None,
+) -> SessionOutcome:
+    """One-call convenience wrapper: build a session for ``spec`` and run it."""
+    session = ParkingSession(
+        spec, il_policy=il_policy, vehicle_params=vehicle_params, registry=registry
+    )
+    return session.run()

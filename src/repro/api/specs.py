@@ -1,0 +1,235 @@
+"""Declarative, serializable episode and batch specifications.
+
+An :class:`EpisodeSpec` is everything needed to run one parking episode —
+the registered controller method, the scenario, the iCOIL configuration and
+optional perception overrides — as plain data.  A :class:`BatchSpec` fans a
+method out over seeds and difficulty levels.  Both round-trip through
+``to_dict`` / ``from_dict`` (JSON-safe dictionaries), so specs can be stored
+in configuration files, sent over the wire to a service, or hashed for
+result caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import ICOILConfig
+from repro.world.scenario import DifficultyLevel, ScenarioConfig, SpawnMode
+
+
+# ---------------------------------------------------------------------------
+# Config (de)serialization helpers
+# ---------------------------------------------------------------------------
+def scenario_config_to_dict(config: ScenarioConfig) -> Dict[str, Any]:
+    """A JSON-safe dictionary for a :class:`ScenarioConfig` (enums as values)."""
+    data = asdict(config)
+    data["difficulty"] = config.difficulty.value
+    data["spawn_mode"] = config.spawn_mode.value
+    return data
+
+
+def scenario_config_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
+    """Inverse of :func:`scenario_config_to_dict`."""
+    payload = dict(data)
+    payload["difficulty"] = DifficultyLevel(payload.get("difficulty", DifficultyLevel.EASY.value))
+    payload["spawn_mode"] = SpawnMode(payload.get("spawn_mode", SpawnMode.RANDOM.value))
+    return ScenarioConfig(**payload)
+
+
+def icoil_config_to_dict(config: ICOILConfig) -> Dict[str, Any]:
+    return asdict(config)
+
+
+def icoil_config_from_dict(data: Dict[str, Any]) -> ICOILConfig:
+    return ICOILConfig(**data)
+
+
+# ---------------------------------------------------------------------------
+# Perception overrides
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PerceptionOverrides:
+    """Optional overrides for the perception stack of one episode.
+
+    ``None`` means "use the level implied by the scenario difficulty"
+    (see :meth:`ScenarioConfig.resolved_image_noise`).
+    """
+
+    image_noise_std: Optional[float] = None
+    detection_noise_std: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PerceptionOverrides":
+        return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+# Episode spec
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class EpisodeSpec:
+    """Everything needed to run one parking episode, as plain data.
+
+    Attributes
+    ----------
+    method:
+        Name of a controller registered with the
+        :class:`~repro.api.registry.ControllerRegistry` ("icoil", "il",
+        "co", "expert", or any user-registered method).
+    scenario:
+        Scenario construction parameters (difficulty, spawn mode, seed, …).
+    icoil:
+        iCOIL/HSA configuration used by methods that need it.
+    perception:
+        Optional perception noise overrides.
+    dt / time_limit / max_steps:
+        Control period, episode time budget and an optional hard step cap.
+    """
+
+    method: str
+    scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+    icoil: ICOILConfig = field(default_factory=ICOILConfig)
+    perception: PerceptionOverrides = field(default_factory=PerceptionOverrides)
+    dt: float = 0.1
+    time_limit: float = 80.0
+    max_steps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.method:
+            raise ValueError("method name must be non-empty")
+        if self.dt <= 0.0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+        if self.time_limit <= 0.0:
+            raise ValueError(f"time_limit must be positive, got {self.time_limit}")
+        if self.max_steps is not None and self.max_steps <= 0:
+            raise ValueError(f"max_steps must be positive, got {self.max_steps}")
+
+    def with_seed(self, seed: int) -> "EpisodeSpec":
+        """A copy of this spec with the scenario seed replaced."""
+        return replace(self, scenario=replace(self.scenario, seed=seed))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "method": self.method,
+            "scenario": scenario_config_to_dict(self.scenario),
+            "icoil": icoil_config_to_dict(self.icoil),
+            "perception": self.perception.to_dict(),
+            "dt": self.dt,
+            "time_limit": self.time_limit,
+            "max_steps": self.max_steps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EpisodeSpec":
+        return cls(
+            method=data["method"],
+            scenario=scenario_config_from_dict(data.get("scenario", {})),
+            icoil=icoil_config_from_dict(data.get("icoil", {})),
+            perception=PerceptionOverrides.from_dict(data.get("perception", {})),
+            dt=data.get("dt", 0.1),
+            time_limit=data.get("time_limit", 80.0),
+            max_steps=data.get("max_steps"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Batch spec
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchSpec:
+    """A method fanned out over seeds and difficulty levels.
+
+    Expansion order is deterministic: difficulty-major, seed-minor (all
+    seeds of the first difficulty, then all seeds of the second, …), which
+    is also the order in which :class:`~repro.api.executor.BatchExecutor`
+    returns results regardless of worker scheduling.
+    """
+
+    method: str
+    seeds: Tuple[int, ...]
+    difficulties: Tuple[DifficultyLevel, ...] = (DifficultyLevel.EASY,)
+    spawn_mode: SpawnMode = SpawnMode.RANDOM
+    num_static_obstacles: int = 3
+    num_dynamic_obstacles: Optional[int] = None
+    icoil: ICOILConfig = field(default_factory=ICOILConfig)
+    perception: PerceptionOverrides = field(default_factory=PerceptionOverrides)
+    dt: float = 0.1
+    time_limit: float = 80.0
+    max_steps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.method:
+            raise ValueError("method name must be non-empty")
+        if not self.seeds:
+            raise ValueError("a batch needs at least one seed")
+        if not self.difficulties:
+            raise ValueError("a batch needs at least one difficulty level")
+        # Accept lists for convenience but store hashable tuples.
+        object.__setattr__(self, "seeds", tuple(int(seed) for seed in self.seeds))
+        object.__setattr__(self, "difficulties", tuple(self.difficulties))
+
+    @property
+    def num_episodes(self) -> int:
+        return len(self.seeds) * len(self.difficulties)
+
+    def episode_specs(self) -> List[EpisodeSpec]:
+        """Expand into per-episode specs in deterministic order."""
+        specs: List[EpisodeSpec] = []
+        for difficulty in self.difficulties:
+            for seed in self.seeds:
+                scenario = ScenarioConfig(
+                    difficulty=difficulty,
+                    spawn_mode=self.spawn_mode,
+                    num_static_obstacles=self.num_static_obstacles,
+                    num_dynamic_obstacles=self.num_dynamic_obstacles,
+                    seed=seed,
+                )
+                specs.append(
+                    EpisodeSpec(
+                        method=self.method,
+                        scenario=scenario,
+                        icoil=self.icoil,
+                        perception=self.perception,
+                        dt=self.dt,
+                        time_limit=self.time_limit,
+                        max_steps=self.max_steps,
+                    )
+                )
+        return specs
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "method": self.method,
+            "seeds": list(self.seeds),
+            "difficulties": [difficulty.value for difficulty in self.difficulties],
+            "spawn_mode": self.spawn_mode.value,
+            "num_static_obstacles": self.num_static_obstacles,
+            "num_dynamic_obstacles": self.num_dynamic_obstacles,
+            "icoil": icoil_config_to_dict(self.icoil),
+            "perception": self.perception.to_dict(),
+            "dt": self.dt,
+            "time_limit": self.time_limit,
+            "max_steps": self.max_steps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BatchSpec":
+        return cls(
+            method=data["method"],
+            seeds=tuple(data["seeds"]),
+            difficulties=tuple(
+                DifficultyLevel(value) for value in data.get("difficulties", ["easy"])
+            ),
+            spawn_mode=SpawnMode(data.get("spawn_mode", SpawnMode.RANDOM.value)),
+            num_static_obstacles=data.get("num_static_obstacles", 3),
+            num_dynamic_obstacles=data.get("num_dynamic_obstacles"),
+            icoil=icoil_config_from_dict(data.get("icoil", {})),
+            perception=PerceptionOverrides.from_dict(data.get("perception", {})),
+            dt=data.get("dt", 0.1),
+            time_limit=data.get("time_limit", 80.0),
+            max_steps=data.get("max_steps"),
+        )

@@ -1,0 +1,41 @@
+"""Per-frame episode traces (used by the Fig. 5–7 reproductions).
+
+Historically defined in :mod:`repro.eval.runner`; now part of the public API
+layer.  ``repro.eval.runner`` re-exports :class:`EpisodeTrace` for backwards
+compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EpisodeTrace:
+    """Per-frame traces recorded during an episode.
+
+    Every row describes the world *after* the corresponding control command
+    was applied: ``positions[i]`` / ``headings[i]`` / ``velocities[i]`` are
+    the post-step vehicle state at ``times[i]`` and
+    ``min_obstacle_distances[i]`` is measured on that same post-step state,
+    so each row is self-consistent.  ``steering`` / ``reverse`` / ``modes``
+    describe the command that produced the row.
+    """
+
+    times: np.ndarray
+    positions: np.ndarray
+    headings: np.ndarray
+    velocities: np.ndarray
+    steering: np.ndarray
+    reverse: np.ndarray
+    modes: Tuple[str, ...]
+    uncertainties: np.ndarray
+    hsa_scores: np.ndarray
+    min_obstacle_distances: np.ndarray
+
+    @property
+    def num_frames(self) -> int:
+        return int(self.times.shape[0])

@@ -1,14 +1,17 @@
-"""Evaluation harness: episode running, metrics and paper experiments.
+"""Evaluation harness: paper experiments over the :mod:`repro.api` layer.
 
-* :mod:`repro.eval.metrics` — per-episode results and Table-II style
-  aggregates (success rate, average / max / min parking time),
-* :mod:`repro.eval.runner` — builds a controller ("icoil", "il" or "co") for
-  a scenario and runs one episode, recording per-frame traces,
+* :mod:`repro.eval.metrics` — re-exports the result/aggregate types from
+  :mod:`repro.api.results` (success rate, average / max / min parking time),
+* :mod:`repro.eval.runner` — the legacy :class:`EpisodeRunner`, now a thin
+  deprecation shim over :class:`repro.api.ParkingSession` /
+  :class:`repro.api.BatchExecutor`,
 * :mod:`repro.eval.training` — trains (and caches) the default IL policy used
   across experiments,
 * :mod:`repro.eval.experiments` — one entry point per table / figure of the
-  paper's evaluation section,
+  paper's evaluation section, batching episodes through the session API,
 * :mod:`repro.eval.report` — plain-text rendering of the experiment outputs.
+
+New code should run episodes through :mod:`repro.api` directly.
 """
 
 from repro.eval.metrics import EpisodeResult, MethodStatistics, aggregate_results

@@ -4,6 +4,12 @@ Every function is deterministic given its seed list and returns plain data
 (dataclasses, numpy arrays) so the benchmark harness can both assert on the
 qualitative shape and print the same rows/series the paper reports.
 
+All experiments run through the :mod:`repro.api` session layer: single
+episodes via :class:`~repro.api.session.ParkingSession` and batches via
+:class:`~repro.api.executor.BatchExecutor` (worker pool, deterministic
+seed-major result ordering).  The ``runner`` parameters are kept for
+backwards compatibility and act as a bundle of policy + configuration.
+
 | Function                          | Paper artefact                     |
 |-----------------------------------|------------------------------------|
 | ``fig5_steering_experiment``      | Fig. 5 — IL vs demonstrator steering |
@@ -24,11 +30,62 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.executor import BatchExecutor
+from repro.api.session import ParkingSession, SessionOutcome
+from repro.api.specs import BatchSpec, EpisodeSpec
 from repro.core.config import ICOILConfig
 from repro.eval.metrics import EpisodeResult, MethodStatistics, aggregate_results
 from repro.eval.runner import EpisodeRunner, EpisodeTrace
 from repro.il.policy import ILPolicy
 from repro.world.scenario import DifficultyLevel, ScenarioConfig, SpawnMode
+
+
+# ---------------------------------------------------------------------------
+# Session-layer plumbing shared by all experiments
+# ---------------------------------------------------------------------------
+def _run_session(
+    runner: EpisodeRunner,
+    method: str,
+    scenario_config: ScenarioConfig,
+    max_steps: Optional[int] = None,
+) -> SessionOutcome:
+    """Run one episode through the session API with the runner's settings."""
+    spec = EpisodeSpec(
+        method=method,
+        scenario=scenario_config,
+        icoil=runner.config,
+        dt=runner.dt,
+        time_limit=runner.time_limit,
+        max_steps=max_steps,
+    )
+    session = ParkingSession(
+        spec, il_policy=runner.il_policy, vehicle_params=runner.vehicle_params
+    )
+    return session.run()
+
+
+def _executor_for(runner: EpisodeRunner) -> BatchExecutor:
+    return BatchExecutor(
+        il_policy=runner.il_policy, vehicle_params=runner.vehicle_params
+    )
+
+
+def _batch_spec(
+    runner: EpisodeRunner,
+    method: str,
+    seeds: Sequence[int],
+    difficulties: Sequence[DifficultyLevel],
+    **scenario_kwargs,
+) -> BatchSpec:
+    return BatchSpec(
+        method=method,
+        seeds=tuple(seeds),
+        difficulties=tuple(difficulties),
+        icoil=runner.config,
+        dt=runner.dt,
+        time_limit=runner.time_limit,
+        **scenario_kwargs,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -56,8 +113,8 @@ def fig5_steering_experiment(
     """Reproduce Fig. 5: compare IL steering with the demonstrator's."""
     runner = runner or EpisodeRunner(il_policy=policy)
     config = ScenarioConfig(difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.RANDOM, seed=seed)
-    _, expert_trace = runner.run_episode("expert", config)
-    _, il_trace = runner.run_episode("il", config)
+    expert_trace = _run_session(runner, "expert", config).trace
+    il_trace = _run_session(runner, "il", config).trace
     return SteeringComparison(
         expert_times=expert_trace.times,
         expert_steering=expert_trace.steering,
@@ -89,9 +146,9 @@ def fig6_trajectory_experiment(
     """Reproduce Fig. 6: a full parking run for iCOIL and for pure IL."""
     runner = runner or EpisodeRunner(il_policy=policy)
     config = ScenarioConfig(difficulty=difficulty, spawn_mode=SpawnMode.RANDOM, seed=seed)
-    icoil_result, icoil_trace = runner.run_episode("icoil", config)
-    il_result, il_trace = runner.run_episode("il", config)
-    return TrajectoryComparison(icoil_result, icoil_trace, il_result, il_trace)
+    icoil = _run_session(runner, "icoil", config)
+    il = _run_session(runner, "il", config)
+    return TrajectoryComparison(icoil.result, icoil.trace, il.result, il.trace)
 
 
 # ---------------------------------------------------------------------------
@@ -137,7 +194,8 @@ def fig7_mode_switching_experiment(
     scenario_config = ScenarioConfig(
         difficulty=difficulty, spawn_mode=SpawnMode.RANDOM, seed=seed
     )
-    result, trace = runner.run_episode("icoil", scenario_config)
+    outcome = _run_session(runner, "icoil", scenario_config)
+    result, trace = outcome.result, outcome.trace
     return ModeSwitchingTrace(
         result=result,
         times=trace.times,
@@ -174,12 +232,21 @@ def table2_experiment(
 ) -> List[Table2Row]:
     """Reproduce Table II: success rate and parking time per difficulty level."""
     runner = runner or EpisodeRunner(il_policy=policy)
-    rows: List[Table2Row] = []
+    executor = _executor_for(runner)
     seeds = [base_seed + index for index in range(num_episodes)]
-    for difficulty in difficulties:
+    # One batch per method covering all difficulty levels; results come back
+    # difficulty-major, so each difficulty's chunk has len(seeds) entries.
+    per_method: Dict[str, List[EpisodeResult]] = {
+        method: executor.run_results(_batch_spec(runner, method, seeds, difficulties))
+        for method in methods
+    }
+    rows: List[Table2Row] = []
+    for level_index, difficulty in enumerate(difficulties):
+        lo, hi = level_index * len(seeds), (level_index + 1) * len(seeds)
         for method in methods:
-            results = runner.run_batch(method, difficulty, seeds)
-            rows.append(Table2Row(difficulty.value, method, aggregate_results(results)))
+            rows.append(
+                Table2Row(difficulty.value, method, aggregate_results(per_method[method][lo:hi]))
+            )
     return rows
 
 
@@ -207,17 +274,21 @@ def fig8_sensitivity_experiment(
 ) -> List[Fig8Cell]:
     """Reproduce Fig. 8: iCOIL parking time per spawn mode and obstacle count."""
     runner = runner or EpisodeRunner(il_policy=policy)
+    executor = _executor_for(runner)
     cells: List[Fig8Cell] = []
+    seeds = [base_seed + index for index in range(num_episodes)]
     for spawn_mode in spawn_modes:
         for count in obstacle_counts:
-            seeds = [base_seed + index for index in range(num_episodes)]
-            results = runner.run_batch(
-                "icoil",
-                DifficultyLevel.EASY,
-                seeds,
-                spawn_mode=spawn_mode,
-                num_static_obstacles=count,
-                num_dynamic_obstacles=0,
+            results = executor.run_results(
+                _batch_spec(
+                    runner,
+                    "icoil",
+                    seeds,
+                    (DifficultyLevel.EASY,),
+                    spawn_mode=spawn_mode,
+                    num_static_obstacles=count,
+                    num_dynamic_obstacles=0,
+                )
             )
             successes = [r for r in results if r.success]
             times = np.array([r.parking_time for r in successes], dtype=float)
@@ -250,10 +321,11 @@ def fig9_parking_time_experiment(
     times.
     """
     runner = runner or EpisodeRunner(il_policy=policy)
+    executor = _executor_for(runner)
     seeds = [base_seed + index for index in range(num_episodes)]
     distributions: Dict[str, np.ndarray] = {}
     for method in methods:
-        results = runner.run_batch(method, difficulty, seeds)
+        results = executor.run_results(_batch_spec(runner, method, seeds, (difficulty,)))
         distributions[method] = np.array(
             [result.parking_time for result in results if result.success], dtype=float
         )
@@ -298,8 +370,8 @@ def execution_frequency_experiment(
     """
     runner = runner or EpisodeRunner(il_policy=policy)
     config = ScenarioConfig(difficulty=DifficultyLevel.NORMAL, spawn_mode=SpawnMode.RANDOM, seed=seed)
-    _, il_trace = runner.run_episode("il", config, max_steps=num_steps)
-    _, co_trace = runner.run_episode("co", config, max_steps=num_steps)
+    _run_session(runner, "il", config, max_steps=num_steps)
+    _run_session(runner, "co", config, max_steps=num_steps)
 
     # Re-run the controllers directly to time the module calls in isolation.
     from repro.world.scenario import build_scenario
@@ -317,12 +389,12 @@ def execution_frequency_experiment(
         state = world.state
         obstacles = world.current_obstacles()
         start = time_module.perf_counter()
-        il_info = il_controller.step(state, obstacles, scenario.lot, time=world.time)
+        il_controller.step(state, obstacles, scenario.lot, time=world.time)
         il_latencies.append(time_module.perf_counter() - start)
         start = time_module.perf_counter()
-        co_info = co_controller.step(state, obstacles, scenario.lot, time=world.time)
+        co_step = co_controller.step(state, obstacles, scenario.lot, time=world.time)
         co_latencies.append(time_module.perf_counter() - start)
-        world.step(co_info.action)
+        world.step(co_step.action)
     return ExecutionFrequencyResult(
         il_mean_latency=float(np.mean(il_latencies)),
         co_mean_latency=float(np.mean(co_latencies)),
@@ -352,13 +424,21 @@ def hsa_ablation_experiment(
     base_seed: int = 400,
 ) -> List[AblationPoint]:
     """Sweep the HSA threshold and guard time (design choices of §III / §V-C)."""
+    executor = BatchExecutor(il_policy=policy)
     points: List[AblationPoint] = []
+    seeds = [base_seed + index for index in range(num_episodes)]
     for threshold in thresholds:
         for guard in guard_frames:
             config = ICOILConfig(switch_threshold=threshold, guard_frames=guard)
-            runner = EpisodeRunner(il_policy=policy, config=config)
-            seeds = [base_seed + index for index in range(num_episodes)]
-            results = runner.run_batch("icoil", DifficultyLevel.NORMAL, seeds)
+            results = executor.run_results(
+                BatchSpec(
+                    method="icoil",
+                    seeds=tuple(seeds),
+                    difficulties=(DifficultyLevel.NORMAL,),
+                    icoil=config,
+                    time_limit=80.0,
+                )
+            )
             successes = [r for r in results if r.success]
             times = np.array([r.parking_time for r in successes], dtype=float)
             points.append(

@@ -1,89 +1,12 @@
-"""Episode results and aggregate metrics (paper §V-D)."""
+"""Episode results and aggregate metrics (paper §V-D).
+
+The canonical definitions moved to :mod:`repro.api.results`; this module
+re-exports them so historical imports (``from repro.eval.metrics import
+EpisodeResult``) keep working.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from repro.api.results import EpisodeResult, MethodStatistics, aggregate_results
 
-import numpy as np
-
-from repro.world.world import EpisodeStatus
-
-
-@dataclass(frozen=True)
-class EpisodeResult:
-    """Outcome of one parking episode.
-
-    ``parking_time`` is the total time from the starting point to the parking
-    space; the task is failed if the vehicle cannot reach the goal within the
-    time limit or collides with an obstacle (paper §V-D).
-    """
-
-    method: str
-    difficulty: str
-    seed: int
-    status: EpisodeStatus
-    parking_time: float
-    num_steps: int
-    co_mode_fraction: float = 0.0
-    num_mode_switches: int = 0
-    min_obstacle_distance: float = float("inf")
-
-    @property
-    def success(self) -> bool:
-        return self.status is EpisodeStatus.PARKED
-
-
-@dataclass(frozen=True)
-class MethodStatistics:
-    """Table-II style aggregate over a set of episodes for one method."""
-
-    method: str
-    difficulty: str
-    num_episodes: int
-    num_successes: int
-    average_time: float
-    max_time: float
-    min_time: float
-
-    @property
-    def success_rate(self) -> float:
-        """Fraction of successful episodes in ``[0, 1]``."""
-        if self.num_episodes == 0:
-            return 0.0
-        return self.num_successes / self.num_episodes
-
-    @property
-    def success_percentage(self) -> float:
-        return 100.0 * self.success_rate
-
-
-def aggregate_results(results: Sequence[EpisodeResult]) -> MethodStatistics:
-    """Aggregate episodes of a single (method, difficulty) combination.
-
-    Parking-time statistics are computed over *successful* episodes only,
-    matching the paper's reporting (failed episodes have no parking time).
-    """
-    if not results:
-        raise ValueError("cannot aggregate an empty result list")
-    methods = {result.method for result in results}
-    difficulties = {result.difficulty for result in results}
-    if len(methods) > 1 or len(difficulties) > 1:
-        raise ValueError(
-            f"aggregate_results expects one method/difficulty, got methods={methods}, difficulties={difficulties}"
-        )
-    successes = [result for result in results if result.success]
-    times = np.array([result.parking_time for result in successes], dtype=float)
-    if times.size:
-        average_time, max_time, min_time = float(times.mean()), float(times.max()), float(times.min())
-    else:
-        average_time = max_time = min_time = float("nan")
-    return MethodStatistics(
-        method=results[0].method,
-        difficulty=results[0].difficulty,
-        num_episodes=len(results),
-        num_successes=len(successes),
-        average_time=average_time,
-        max_time=max_time,
-        min_time=min_time,
-    )
+__all__ = ["EpisodeResult", "MethodStatistics", "aggregate_results"]

@@ -1,51 +1,42 @@
-"""Episode runner: builds a controller for a scenario and runs it to the end."""
+"""Episode runner: a thin compatibility layer over :mod:`repro.api`.
+
+:class:`EpisodeRunner` predates the session API and is kept as a
+deprecation shim: ``run_episode`` delegates to
+:class:`~repro.api.session.ParkingSession`, ``run_batch`` to
+:class:`~repro.api.executor.BatchExecutor`, and ``build_controller``
+resolves methods against the controller registry instead of the historical
+``if method == …`` chains.  New code should use :mod:`repro.api` directly.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from repro.co.controller import COController
-from repro.core.baselines import COOnlyController, ILOnlyController
+from repro.api.executor import BatchExecutor
+from repro.api.registry import ControllerContext, default_registry
+from repro.api.results import EpisodeResult
+from repro.api.session import ParkingSession
+from repro.api.specs import BatchSpec, EpisodeSpec
+from repro.api.trace import EpisodeTrace
 from repro.core.config import ICOILConfig
-from repro.core.controller import DrivingMode, ICOILController
-from repro.eval.metrics import EpisodeResult
-from repro.il.expert import ExpertDriver
 from repro.il.policy import ILPolicy
-from repro.perception.bev import BEVRenderer
-from repro.perception.detector import DetectionNoiseModel, ObjectDetector
-from repro.perception.noise import GaussianImageNoise, NoNoise
 from repro.vehicle.params import VehicleParams
-from repro.world.scenario import Scenario, ScenarioConfig, build_scenario
-from repro.world.world import EpisodeStatus, ParkingWorld
+from repro.world.scenario import Scenario, ScenarioConfig
 
-SUPPORTED_METHODS = ("icoil", "il", "co", "expert")
+__all__ = ["EpisodeRunner", "EpisodeTrace", "SUPPORTED_METHODS"]
 
 
-@dataclass(frozen=True)
-class EpisodeTrace:
-    """Per-frame traces recorded during an episode (used by Fig. 5–7)."""
-
-    times: np.ndarray
-    positions: np.ndarray
-    headings: np.ndarray
-    velocities: np.ndarray
-    steering: np.ndarray
-    reverse: np.ndarray
-    modes: Tuple[str, ...]
-    uncertainties: np.ndarray
-    hsa_scores: np.ndarray
-    min_obstacle_distances: np.ndarray
-
-    @property
-    def num_frames(self) -> int:
-        return int(self.times.shape[0])
+def __getattr__(name: str):
+    # Historical constant, resolved live against the registry so methods
+    # registered after this module is imported are included.
+    if name == "SUPPORTED_METHODS":
+        return default_registry().names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class EpisodeRunner:
-    """Runs parking episodes for any of the supported methods.
+    """Runs parking episodes for any registered method (legacy interface).
 
     Parameters
     ----------
@@ -77,52 +68,31 @@ class EpisodeRunner:
     # ------------------------------------------------------------------
     # Builders
     # ------------------------------------------------------------------
-    def _perception_for(self, scenario: Scenario):
-        image_noise_std = scenario.config.resolved_image_noise
-        noise = GaussianImageNoise(std=image_noise_std) if image_noise_std > 0.0 else NoNoise()
-        renderer = BEVRenderer(noise=noise, seed=scenario.config.seed)
-        detector = ObjectDetector(
-            noise=DetectionNoiseModel.for_difficulty(scenario.config.resolved_detection_noise),
-            seed=scenario.config.seed,
-        )
-        return renderer, detector
-
-    def _reference_path(self, scenario: Scenario):
-        expert = ExpertDriver(scenario.lot, scenario.obstacles, self.vehicle_params)
-        return expert, expert.plan_reference(scenario.start_pose)
-
     def build_controller(self, method: str, scenario: Scenario):
-        """Instantiate the controller for ``method`` on the given scenario."""
-        if method not in SUPPORTED_METHODS:
-            raise ValueError(f"unknown method {method!r}; expected one of {SUPPORTED_METHODS}")
-        renderer, detector = self._perception_for(scenario)
-        if method == "expert":
-            expert, path = self._reference_path(scenario)
-            if path is None:
-                raise RuntimeError("expert could not plan a reference path")
-            return expert
-        if method == "il":
-            if self.il_policy is None:
-                raise ValueError("an IL policy is required for the 'il' method")
-            controller = ILOnlyController(self.il_policy, renderer)
-            controller.prepare(None)
-            return controller
-        expert, path = self._reference_path(scenario)
-        if path is None:
-            raise RuntimeError("could not plan a reference path for the CO module")
-        co = COController(self.vehicle_params, horizon=self.config.horizon, dt=self.dt)
-        if method == "co":
-            controller = COOnlyController(co, detector)
-            controller.prepare(path)
-            return controller
-        if self.il_policy is None:
-            raise ValueError("an IL policy is required for the 'icoil' method")
-        controller = ICOILController(self.il_policy, co, renderer, detector, self.config)
-        controller.prepare(path)
-        return controller
+        """Instantiate the controller for ``method`` via the registry."""
+        context = ControllerContext(
+            scenario,
+            il_policy=self.il_policy,
+            vehicle_params=self.vehicle_params,
+            icoil=self.config,
+            dt=self.dt,
+        )
+        return default_registry().create(method, context)
+
+    def _episode_spec(
+        self, method: str, scenario_config: ScenarioConfig, max_steps: Optional[int]
+    ) -> EpisodeSpec:
+        return EpisodeSpec(
+            method=method,
+            scenario=scenario_config,
+            icoil=self.config,
+            dt=self.dt,
+            time_limit=self.time_limit,
+            max_steps=max_steps,
+        )
 
     # ------------------------------------------------------------------
-    # Running
+    # Running (deprecation shims)
     # ------------------------------------------------------------------
     def run_episode(
         self,
@@ -130,86 +100,24 @@ class EpisodeRunner:
         scenario_config: ScenarioConfig,
         max_steps: Optional[int] = None,
     ) -> Tuple[EpisodeResult, EpisodeTrace]:
-        """Run one episode and return its result and per-frame trace."""
-        scenario = build_scenario(scenario_config)
-        world = ParkingWorld(scenario, self.vehicle_params, dt=self.dt, time_limit=self.time_limit)
-        controller = self.build_controller(method, scenario)
-        max_steps = max_steps or int(self.time_limit / self.dt) + 5
+        """Run one episode and return its result and per-frame trace.
 
-        times: List[float] = []
-        positions: List[np.ndarray] = []
-        headings: List[float] = []
-        velocities: List[float] = []
-        steering: List[float] = []
-        reverse: List[bool] = []
-        modes: List[str] = []
-        uncertainties: List[float] = []
-        scores: List[float] = []
-        min_distances: List[float] = []
-        mode_switches = 0
-
-        for _ in range(max_steps):
-            if world.status.is_terminal:
-                break
-            state = world.state
-            obstacles = world.current_obstacles()
-            if method == "expert":
-                action = controller.act(state)
-                mode = "expert"
-                uncertainty = 0.0
-                score = 0.0
-            elif method == "icoil":
-                info = controller.step(state, obstacles, scenario.lot, time=world.time)
-                action = info.action
-                mode = info.mode.value
-                uncertainty = info.hsa.normalized_uncertainty
-                score = info.hsa.score
-                if info.switched:
-                    mode_switches += 1
-            else:
-                info = controller.step(state, obstacles, scenario.lot, time=world.time)
-                action = info.action
-                mode = method
-                uncertainty = 0.0
-                score = 0.0
-
-            result = world.step(action)
-            times.append(world.time)
-            positions.append(state.position)
-            headings.append(state.heading)
-            velocities.append(state.velocity)
-            steering.append(action.steer)
-            reverse.append(action.reverse)
-            modes.append(mode)
-            uncertainties.append(uncertainty)
-            scores.append(score)
-            min_distances.append(result.min_obstacle_distance)
-
-        co_frames = sum(1 for mode in modes if mode == "co")
-        trace = EpisodeTrace(
-            times=np.array(times),
-            positions=np.array(positions) if positions else np.zeros((0, 2)),
-            headings=np.array(headings),
-            velocities=np.array(velocities),
-            steering=np.array(steering),
-            reverse=np.array(reverse, dtype=bool),
-            modes=tuple(modes),
-            uncertainties=np.array(uncertainties),
-            hsa_scores=np.array(scores),
-            min_obstacle_distances=np.array(min_distances),
+        .. deprecated::
+            Use :class:`repro.api.ParkingSession` with an
+            :class:`repro.api.EpisodeSpec` instead.
+        """
+        warnings.warn(
+            "EpisodeRunner.run_episode is deprecated; use repro.api.ParkingSession",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        episode = EpisodeResult(
-            method=method,
-            difficulty=scenario_config.difficulty.value,
-            seed=scenario_config.seed,
-            status=world.status,
-            parking_time=world.time,
-            num_steps=len(times),
-            co_mode_fraction=co_frames / max(1, len(modes)),
-            num_mode_switches=mode_switches,
-            min_obstacle_distance=float(np.min(min_distances)) if min_distances else float("inf"),
+        session = ParkingSession(
+            self._episode_spec(method, scenario_config, max_steps),
+            il_policy=self.il_policy,
+            vehicle_params=self.vehicle_params,
         )
-        return episode, trace
+        outcome = session.run()
+        return outcome.result, outcome.trace
 
     def run_batch(
         self,
@@ -220,18 +128,33 @@ class EpisodeRunner:
         num_static_obstacles: int = 3,
         num_dynamic_obstacles: Optional[int] = None,
     ) -> List[EpisodeResult]:
-        """Run a batch of episodes over seeds for one method/difficulty."""
+        """Run a batch of episodes over seeds for one method/difficulty.
+
+        .. deprecated::
+            Use :class:`repro.api.BatchExecutor` with a
+            :class:`repro.api.BatchSpec` instead.
+        """
         from repro.world.scenario import SpawnMode
 
-        results: List[EpisodeResult] = []
-        for seed in seeds:
-            config = ScenarioConfig(
-                difficulty=difficulty,
-                spawn_mode=spawn_mode or SpawnMode.RANDOM,
-                num_static_obstacles=num_static_obstacles,
-                num_dynamic_obstacles=num_dynamic_obstacles,
-                seed=seed,
-            )
-            result, _ = self.run_episode(method, config)
-            results.append(result)
-        return results
+        warnings.warn(
+            "EpisodeRunner.run_batch is deprecated; use repro.api.BatchExecutor",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        spec = BatchSpec(
+            method=method,
+            seeds=tuple(seeds),
+            difficulties=(difficulty,),
+            spawn_mode=spawn_mode or SpawnMode.RANDOM,
+            num_static_obstacles=num_static_obstacles,
+            num_dynamic_obstacles=num_dynamic_obstacles,
+            icoil=self.config,
+            dt=self.dt,
+            time_limit=self.time_limit,
+        )
+        executor = BatchExecutor(
+            il_policy=self.il_policy,
+            vehicle_params=self.vehicle_params,
+            summary_stream=None,
+        )
+        return executor.run_results(spec)

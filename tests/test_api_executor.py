@@ -1,0 +1,98 @@
+"""Tests for the batched episode executor: ordering, determinism, summaries."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.api import BatchExecutor, BatchSpec, EpisodeSpec
+from repro.world.scenario import DifficultyLevel, SpawnMode
+
+
+def expert_batch(num_seeds: int = 10, max_steps: int = 5) -> BatchSpec:
+    """A cheap deterministic batch: expert method, capped episodes."""
+    return BatchSpec(
+        method="expert",
+        seeds=tuple(range(num_seeds)),
+        difficulties=(DifficultyLevel.EASY, DifficultyLevel.NORMAL),
+        spawn_mode=SpawnMode.CLOSE,
+        max_steps=max_steps,
+    )
+
+
+class TestBatchExecutor:
+    def test_results_come_back_in_deterministic_seed_order(self):
+        """≥20 episodes through the worker pool, ordered difficulty-major/seed-minor."""
+        spec = expert_batch(num_seeds=10)
+        assert spec.num_episodes == 20
+        outcome = BatchExecutor(max_workers=4, summary_stream=None).run(spec)
+        assert len(outcome.results) == 20
+        expected = [
+            (difficulty.value, seed)
+            for difficulty in spec.difficulties
+            for seed in spec.seeds
+        ]
+        assert [(r.difficulty, r.seed) for r in outcome.results] == expected
+
+    def test_parallel_results_equal_serial_results(self):
+        spec = expert_batch(num_seeds=10)
+        parallel = BatchExecutor(max_workers=4, summary_stream=None).run(spec)
+        serial = BatchExecutor(max_workers=1, summary_stream=None).run(spec)
+        assert parallel.results == serial.results
+        assert len(parallel.traces) == len(serial.traces)
+
+    def test_repeated_runs_are_bitwise_identical(self):
+        spec = expert_batch(num_seeds=3)
+        executor = BatchExecutor(max_workers=3, summary_stream=None)
+        assert executor.run(spec).results == executor.run(spec).results
+
+    def test_methods_resolved_before_any_work(self):
+        executor = BatchExecutor(summary_stream=None)
+        with pytest.raises(ValueError, match="unknown method"):
+            executor.run_specs([EpisodeSpec(method="no-such-method")])
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            BatchExecutor(max_workers=0)
+
+    def test_summary_json_line(self):
+        stream = io.StringIO()
+        spec = expert_batch(num_seeds=2)
+        outcome = BatchExecutor(max_workers=2, summary_stream=stream).run(spec)
+        line = stream.getvalue().strip()
+        payload = json.loads(line)
+        assert payload["event"] == "batch_summary"
+        assert payload["method"] == "expert"
+        assert payload["episodes"] == 4
+        assert payload["wall_time_s"] > 0
+        assert payload["episodes_per_sec"] > 0
+        assert payload["workers"] == 2
+        assert outcome.summary.num_episodes == 4
+
+    def test_outcome_is_iterable_and_sized(self):
+        outcome = BatchExecutor(summary_stream=None).run(expert_batch(num_seeds=2))
+        assert len(outcome) == 4
+        assert list(outcome) == list(outcome.results)
+
+
+class TestLegacyRunBatchShim:
+    def test_run_batch_delegates_to_executor(self):
+        from repro.eval.runner import EpisodeRunner
+
+        runner = EpisodeRunner(time_limit=70.0)
+        with pytest.warns(DeprecationWarning):
+            legacy = runner.run_batch(
+                "expert", DifficultyLevel.EASY, seeds=[0, 1], spawn_mode=SpawnMode.CLOSE
+            )
+        direct = BatchExecutor(summary_stream=None).run_results(
+            BatchSpec(
+                method="expert",
+                seeds=(0, 1),
+                difficulties=(DifficultyLevel.EASY,),
+                spawn_mode=SpawnMode.CLOSE,
+                time_limit=70.0,
+            )
+        )
+        assert legacy == direct
