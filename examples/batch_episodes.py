@@ -25,6 +25,11 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seeds", type=int, default=6, help="episodes per difficulty")
     parser.add_argument("--workers", type=int, default=4, help="worker pool size")
+    parser.add_argument(
+        "--scenario",
+        default="legacy",
+        help="registered scenario name (see repro.world.default_scenario_registry)",
+    )
     args = parser.parse_args()
 
     policy, _, _ = train_default_policy(num_episodes=4, epochs=6)
@@ -34,6 +39,7 @@ def main() -> None:
         seeds=tuple(100 + index for index in range(args.seeds)),
         difficulties=(DifficultyLevel.EASY, DifficultyLevel.NORMAL),
         spawn_mode=SpawnMode.RANDOM,
+        scenario_name=args.scenario,
         time_limit=70.0,
     )
     executor = BatchExecutor(

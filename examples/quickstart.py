@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.api import EpisodeSpec, ParkingSession
 from repro.eval import train_default_policy
-from repro.world import DifficultyLevel, ScenarioConfig, SpawnMode
+from repro.world import DifficultyLevel, ScenarioConfig, SpawnMode, default_scenario_registry
 
 
 def main() -> None:
@@ -29,6 +29,7 @@ def main() -> None:
     else:
         print("  loaded cached policy from artifacts/")
 
+    print("Registered scenarios:", ", ".join(default_scenario_registry().names()))
     spec = EpisodeSpec(
         method="icoil",
         scenario=ScenarioConfig(

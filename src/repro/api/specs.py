@@ -15,7 +15,12 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import ICOILConfig
-from repro.world.scenario import DifficultyLevel, ScenarioConfig, SpawnMode
+from repro.world.scenario import (
+    DifficultyLevel,
+    ScenarioConfig,
+    SpawnMode,
+    normalize_layout_params,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -23,18 +28,12 @@ from repro.world.scenario import DifficultyLevel, ScenarioConfig, SpawnMode
 # ---------------------------------------------------------------------------
 def scenario_config_to_dict(config: ScenarioConfig) -> Dict[str, Any]:
     """A JSON-safe dictionary for a :class:`ScenarioConfig` (enums as values)."""
-    data = asdict(config)
-    data["difficulty"] = config.difficulty.value
-    data["spawn_mode"] = config.spawn_mode.value
-    return data
+    return config.to_dict()
 
 
 def scenario_config_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
     """Inverse of :func:`scenario_config_to_dict`."""
-    payload = dict(data)
-    payload["difficulty"] = DifficultyLevel(payload.get("difficulty", DifficultyLevel.EASY.value))
-    payload["spawn_mode"] = SpawnMode(payload.get("spawn_mode", SpawnMode.RANDOM.value))
-    return ScenarioConfig(**payload)
+    return ScenarioConfig.from_dict(data)
 
 
 def icoil_config_to_dict(config: ICOILConfig) -> Dict[str, Any]:
@@ -147,6 +146,11 @@ class BatchSpec:
     seeds of the first difficulty, then all seeds of the second, …), which
     is also the order in which :class:`~repro.api.executor.BatchExecutor`
     returns results regardless of worker scheduling.
+
+    ``scenario_name`` selects a registered scenario builder (see
+    :mod:`repro.world.registry`); ``layout_params`` override individual
+    layout knobs of procedural presets.  Both are forwarded verbatim into
+    every expanded episode's :class:`ScenarioConfig`.
     """
 
     method: str
@@ -155,6 +159,8 @@ class BatchSpec:
     spawn_mode: SpawnMode = SpawnMode.RANDOM
     num_static_obstacles: int = 3
     num_dynamic_obstacles: Optional[int] = None
+    scenario_name: str = "legacy"
+    layout_params: Tuple[Tuple[str, Any], ...] = ()
     icoil: ICOILConfig = field(default_factory=ICOILConfig)
     perception: PerceptionOverrides = field(default_factory=PerceptionOverrides)
     dt: float = 0.1
@@ -171,6 +177,7 @@ class BatchSpec:
         # Accept lists for convenience but store hashable tuples.
         object.__setattr__(self, "seeds", tuple(int(seed) for seed in self.seeds))
         object.__setattr__(self, "difficulties", tuple(self.difficulties))
+        object.__setattr__(self, "layout_params", normalize_layout_params(self.layout_params))
 
     @property
     def num_episodes(self) -> int:
@@ -187,6 +194,8 @@ class BatchSpec:
                     num_static_obstacles=self.num_static_obstacles,
                     num_dynamic_obstacles=self.num_dynamic_obstacles,
                     seed=seed,
+                    scenario_name=self.scenario_name,
+                    layout_params=self.layout_params,
                 )
                 specs.append(
                     EpisodeSpec(
@@ -209,6 +218,8 @@ class BatchSpec:
             "spawn_mode": self.spawn_mode.value,
             "num_static_obstacles": self.num_static_obstacles,
             "num_dynamic_obstacles": self.num_dynamic_obstacles,
+            "scenario_name": self.scenario_name,
+            "layout_params": dict(self.layout_params),
             "icoil": icoil_config_to_dict(self.icoil),
             "perception": self.perception.to_dict(),
             "dt": self.dt,
@@ -227,6 +238,8 @@ class BatchSpec:
             spawn_mode=SpawnMode(data.get("spawn_mode", SpawnMode.RANDOM.value)),
             num_static_obstacles=data.get("num_static_obstacles", 3),
             num_dynamic_obstacles=data.get("num_dynamic_obstacles"),
+            scenario_name=data.get("scenario_name", "legacy"),
+            layout_params=data.get("layout_params", ()),
             icoil=icoil_config_from_dict(data.get("icoil", {})),
             perception=PerceptionOverrides.from_dict(data.get("perception", {})),
             dt=data.get("dt", 0.1),

@@ -20,6 +20,7 @@ from repro.eval.training import train_default_policy, default_policy_path
 from repro.eval.experiments import (
     ExecutionFrequencyResult,
     Fig8Cell,
+    ScenarioMatrixCell,
     SteeringComparison,
     Table2Row,
     execution_frequency_experiment,
@@ -29,9 +30,10 @@ from repro.eval.experiments import (
     fig8_sensitivity_experiment,
     fig9_parking_time_experiment,
     hsa_ablation_experiment,
+    scenario_generalization_experiment,
     table2_experiment,
 )
-from repro.eval.report import format_fig8_grid, format_table2
+from repro.eval.report import format_fig8_grid, format_scenario_matrix, format_table2
 
 __all__ = [
     "EpisodeResult",
@@ -40,6 +42,7 @@ __all__ = [
     "ExecutionFrequencyResult",
     "Fig8Cell",
     "MethodStatistics",
+    "ScenarioMatrixCell",
     "SteeringComparison",
     "Table2Row",
     "aggregate_results",
@@ -51,8 +54,10 @@ __all__ = [
     "fig8_sensitivity_experiment",
     "fig9_parking_time_experiment",
     "format_fig8_grid",
+    "format_scenario_matrix",
     "format_table2",
     "hsa_ablation_experiment",
+    "scenario_generalization_experiment",
     "table2_experiment",
     "train_default_policy",
 ]

@@ -20,6 +20,13 @@ backwards compatibility and act as a bundle of policy + configuration.
 | ``fig9_parking_time_experiment``  | Fig. 9 — parking-time comparison   |
 | ``execution_frequency_experiment``| §V-E — IL vs CO execution rate     |
 | ``hsa_ablation_experiment``       | ablation of lambda / guard time    |
+| ``scenario_generalization_experiment`` | beyond the paper: every registered layout |
+
+Scenario-aware experiments enumerate lot layouts through the
+:class:`~repro.world.registry.ScenarioRegistry`: ``fig8`` accepts a
+``scenarios`` list and the generalization experiment defaults to every
+registered preset, so a newly registered layout automatically joins the
+sweeps.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from repro.core.config import ICOILConfig
 from repro.eval.metrics import EpisodeResult, MethodStatistics, aggregate_results
 from repro.eval.runner import EpisodeRunner, EpisodeTrace
 from repro.il.policy import ILPolicy
+from repro.world.registry import default_scenario_registry
 from repro.world.scenario import DifficultyLevel, ScenarioConfig, SpawnMode
 
 
@@ -255,13 +263,14 @@ def table2_experiment(
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class Fig8Cell:
-    """One bar of Fig. 8: a (spawn mode, #obstacles) combination."""
+    """One bar of Fig. 8: a (scenario, spawn mode, #obstacles) combination."""
 
     spawn_mode: str
     num_obstacles: int
     mean_parking_time: float
     std_parking_time: float
     success_rate: float
+    scenario: str = "legacy"
 
 
 def fig8_sensitivity_experiment(
@@ -269,38 +278,48 @@ def fig8_sensitivity_experiment(
     num_episodes: int = 4,
     obstacle_counts: Sequence[int] = (1, 2, 3),
     spawn_modes: Sequence[SpawnMode] = (SpawnMode.CLOSE, SpawnMode.REMOTE, SpawnMode.RANDOM),
+    scenarios: Sequence[str] = ("legacy",),
     base_seed: int = 200,
     runner: Optional[EpisodeRunner] = None,
 ) -> List[Fig8Cell]:
-    """Reproduce Fig. 8: iCOIL parking time per spawn mode and obstacle count."""
+    """Reproduce Fig. 8: iCOIL parking time per spawn mode and obstacle count.
+
+    ``scenarios`` names registered scenario builders; the paper's grid is the
+    default single ``"legacy"`` entry, and passing several names (or
+    ``default_scenario_registry().names()``) turns the sweep into a
+    layout-generalization grid.
+    """
     runner = runner or EpisodeRunner(il_policy=policy)
     executor = _executor_for(runner)
     cells: List[Fig8Cell] = []
     seeds = [base_seed + index for index in range(num_episodes)]
-    for spawn_mode in spawn_modes:
-        for count in obstacle_counts:
-            results = executor.run_results(
-                _batch_spec(
-                    runner,
-                    "icoil",
-                    seeds,
-                    (DifficultyLevel.EASY,),
-                    spawn_mode=spawn_mode,
-                    num_static_obstacles=count,
-                    num_dynamic_obstacles=0,
+    for scenario in scenarios:
+        for spawn_mode in spawn_modes:
+            for count in obstacle_counts:
+                results = executor.run_results(
+                    _batch_spec(
+                        runner,
+                        "icoil",
+                        seeds,
+                        (DifficultyLevel.EASY,),
+                        spawn_mode=spawn_mode,
+                        num_static_obstacles=count,
+                        num_dynamic_obstacles=0,
+                        scenario_name=scenario,
+                    )
                 )
-            )
-            successes = [r for r in results if r.success]
-            times = np.array([r.parking_time for r in successes], dtype=float)
-            cells.append(
-                Fig8Cell(
-                    spawn_mode=spawn_mode.value,
-                    num_obstacles=count,
-                    mean_parking_time=float(times.mean()) if times.size else float("nan"),
-                    std_parking_time=float(times.std()) if times.size else float("nan"),
-                    success_rate=len(successes) / max(1, len(results)),
+                successes = [r for r in results if r.success]
+                times = np.array([r.parking_time for r in successes], dtype=float)
+                cells.append(
+                    Fig8Cell(
+                        spawn_mode=spawn_mode.value,
+                        num_obstacles=count,
+                        mean_parking_time=float(times.mean()) if times.size else float("nan"),
+                        std_parking_time=float(times.std()) if times.size else float("nan"),
+                        success_rate=len(successes) / max(1, len(results)),
+                        scenario=scenario,
+                    )
                 )
-            )
     return cells
 
 
@@ -452,3 +471,73 @@ def hsa_ablation_experiment(
                 )
             )
     return points
+
+
+# ---------------------------------------------------------------------------
+# Beyond the paper — layout generalization across every registered scenario
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioMatrixCell:
+    """One (scenario, method) cell of the layout-generalization matrix."""
+
+    scenario: str
+    method: str
+    success_rate: float
+    mean_parking_time: float
+    mean_min_distance: float
+    num_episodes: int
+
+
+def scenario_generalization_experiment(
+    policy: ILPolicy,
+    methods: Sequence[str] = ("icoil", "il"),
+    scenarios: Optional[Sequence[str]] = None,
+    num_episodes: int = 3,
+    difficulty: DifficultyLevel = DifficultyLevel.EASY,
+    spawn_mode: SpawnMode = SpawnMode.RANDOM,
+    base_seed: int = 500,
+    runner: Optional[EpisodeRunner] = None,
+) -> List[ScenarioMatrixCell]:
+    """Evaluate each method on every registered lot layout.
+
+    The SEG-Parking-style generalization sweep the paper's fixed lot could
+    not express: one batch per (scenario, method) pair through the
+    :class:`~repro.api.executor.BatchExecutor`, enumerating layouts through
+    the scenario registry.  ``scenarios=None`` means every registered
+    preset, so newly registered layouts join the sweep automatically.
+    """
+    runner = runner or EpisodeRunner(il_policy=policy)
+    executor = _executor_for(runner)
+    names: Tuple[str, ...] = (
+        tuple(scenarios) if scenarios is not None else default_scenario_registry().names()
+    )
+    seeds = [base_seed + index for index in range(num_episodes)]
+    cells: List[ScenarioMatrixCell] = []
+    for scenario in names:
+        for method in methods:
+            results = executor.run_results(
+                _batch_spec(
+                    runner,
+                    method,
+                    seeds,
+                    (difficulty,),
+                    spawn_mode=spawn_mode,
+                    scenario_name=scenario,
+                )
+            )
+            successes = [r for r in results if r.success]
+            times = np.array([r.parking_time for r in successes], dtype=float)
+            finite = [
+                r.min_obstacle_distance for r in results if np.isfinite(r.min_obstacle_distance)
+            ]
+            cells.append(
+                ScenarioMatrixCell(
+                    scenario=scenario,
+                    method=method,
+                    success_rate=len(successes) / max(1, len(results)),
+                    mean_parking_time=float(times.mean()) if times.size else float("nan"),
+                    mean_min_distance=float(np.mean(finite)) if finite else float("inf"),
+                    num_episodes=len(results),
+                )
+            )
+    return cells

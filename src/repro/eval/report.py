@@ -6,7 +6,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.eval.experiments import Fig8Cell, Table2Row
+from repro.eval.experiments import Fig8Cell, ScenarioMatrixCell, Table2Row
 
 
 def format_table2(rows: Sequence[Table2Row]) -> str:
@@ -35,25 +35,65 @@ def format_table2(rows: Sequence[Table2Row]) -> str:
 
 
 def format_fig8_grid(cells: Sequence[Fig8Cell]) -> str:
-    """Render the Fig. 8 sensitivity grid: spawn mode rows x obstacle-count columns."""
+    """Render the Fig. 8 sensitivity grid: spawn mode rows x obstacle-count columns.
+
+    When the cells span several registered scenarios, one block per scenario
+    is rendered (the layout-generalization variant of the sweep).
+    """
+    scenarios: List[str] = []
     spawn_modes: List[str] = []
     counts: List[int] = []
     for cell in cells:
+        if cell.scenario not in scenarios:
+            scenarios.append(cell.scenario)
         if cell.spawn_mode not in spawn_modes:
             spawn_modes.append(cell.spawn_mode)
         if cell.num_obstacles not in counts:
             counts.append(cell.num_obstacles)
     counts = sorted(counts)
-    lines = [f"{'spawn mode':<12}" + "".join(f"{f'{c} obst.':>14}" for c in counts)]
-    lookup: Dict[tuple, Fig8Cell] = {(c.spawn_mode, c.num_obstacles): c for c in cells}
-    for spawn_mode in spawn_modes:
-        row = [f"{spawn_mode:<12}"]
-        for count in counts:
-            cell = lookup.get((spawn_mode, count))
-            if cell is None or np.isnan(cell.mean_parking_time):
-                row.append(f"{'-':>14}")
+    lookup: Dict[tuple, Fig8Cell] = {
+        (c.scenario, c.spawn_mode, c.num_obstacles): c for c in cells
+    }
+    lines: List[str] = []
+    for scenario in scenarios:
+        if len(scenarios) > 1:
+            lines.append(f"[{scenario}]")
+        lines.append(f"{'spawn mode':<12}" + "".join(f"{f'{c} obst.':>14}" for c in counts))
+        for spawn_mode in spawn_modes:
+            row = [f"{spawn_mode:<12}"]
+            for count in counts:
+                cell = lookup.get((scenario, spawn_mode, count))
+                if cell is None or np.isnan(cell.mean_parking_time):
+                    row.append(f"{'-':>14}")
+                else:
+                    row.append(f"{cell.mean_parking_time:>9.1f}s ±{cell.std_parking_time:>3.1f}")
+            lines.append("".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def format_scenario_matrix(cells: Sequence[ScenarioMatrixCell]) -> str:
+    """Render the layout-generalization matrix: scenario rows x method columns."""
+    scenarios: List[str] = []
+    methods: List[str] = []
+    for cell in cells:
+        if cell.scenario not in scenarios:
+            scenarios.append(cell.scenario)
+        if cell.method not in methods:
+            methods.append(cell.method)
+    lookup: Dict[tuple, ScenarioMatrixCell] = {(c.scenario, c.method): c for c in cells}
+    lines = [f"{'scenario':<20}" + "".join(f"{method:>20}" for method in methods)]
+    for scenario in scenarios:
+        row = [f"{scenario:<20}"]
+        for method in methods:
+            cell = lookup.get((scenario, method))
+            if cell is None:
+                row.append(f"{'-':>20}")
+            elif np.isnan(cell.mean_parking_time):
+                row.append(f"{f'{100 * cell.success_rate:3.0f}%      -':>20}")
             else:
-                row.append(f"{cell.mean_parking_time:>9.1f}s ±{cell.std_parking_time:>3.1f}")
+                row.append(
+                    f"{f'{100 * cell.success_rate:3.0f}% {cell.mean_parking_time:5.1f}s':>20}"
+                )
         lines.append("".join(row))
     return "\n".join(lines) + "\n"
 

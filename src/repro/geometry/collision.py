@@ -83,19 +83,33 @@ def _project_polygon(axis: np.ndarray, vertices: np.ndarray) -> tuple[float, flo
 
 
 def polygon_polygon_collision(a: ConvexPolygon, b: ConvexPolygon) -> bool:
-    """Separating-axis test between two convex polygons."""
-    for polygon in (a, b):
-        edges = polygon.edges()
-        for edge in edges:
-            length = float(np.hypot(edge[0], edge[1]))
-            if length <= 1e-15:
-                continue
-            axis = np.array([-edge[1], edge[0]], dtype=float) / length
-            min_a, max_a = _project_polygon(axis, a.vertices())
-            min_b, max_b = _project_polygon(axis, b.vertices())
-            if max_a < min_b or max_b < min_a:
-                return False
-    return True
+    """Separating-axis test between two convex polygons.
+
+    Vertices and edge normals are gathered once and both polygons are
+    projected onto every candidate axis with a single matrix product each.
+    This is the hot path of procedural scenario generation (rejection
+    sampling) and of the planners' swept-footprint checks, where the
+    per-axis Python loop used to dominate.
+    """
+    vertices_a = a.vertices()
+    vertices_b = b.vertices()
+    edges = np.concatenate((a.edges(), b.edges()), axis=0)
+    lengths = np.hypot(edges[:, 0], edges[:, 1])
+    valid = lengths > 1e-15
+    if not valid.all():
+        if not valid.any():
+            return True
+        edges = edges[valid]
+        lengths = lengths[valid]
+    axes = np.empty_like(edges)
+    axes[:, 0] = -edges[:, 1] / lengths
+    axes[:, 1] = edges[:, 0] / lengths
+    projections_a = vertices_a @ axes.T
+    projections_b = vertices_b @ axes.T
+    separated = (projections_a.max(axis=0) < projections_b.min(axis=0)) | (
+        projections_b.max(axis=0) < projections_a.min(axis=0)
+    )
+    return not bool(separated.any())
 
 
 def polygon_polygon_distance(a: ConvexPolygon, b: ConvexPolygon) -> float:

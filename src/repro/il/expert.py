@@ -26,7 +26,7 @@ import numpy as np
 from repro.geometry.angles import normalize_angle
 from repro.geometry.se2 import SE2
 from repro.planning.hybrid_astar import HybridAStarPlanner
-from repro.planning.maneuvers import perpendicular_reverse_park
+from repro.planning.maneuvers import parallel_reverse_park, reverse_park_arc
 from repro.planning.progress import SegmentedPathFollower
 from repro.planning.reeds_shepp import shortest_reeds_shepp_path
 from repro.planning.waypoints import Waypoint, WaypointPath
@@ -71,25 +71,118 @@ class ExpertDriver:
         self.planner = planner or HybridAStarPlanner(self.vehicle_params)
         self._path: Optional[WaypointPath] = None
         self._follower: Optional[SegmentedPathFollower] = None
+        self._replanning_enabled = True
+        # Kerbside S-curves flip curvature mid-maneuver; the steering-rate
+        # limit then demands slower, tighter tracking than a single arc.
+        self._parallel_final = False
 
     # ------------------------------------------------------------------
     # Reference path
     # ------------------------------------------------------------------
+    def _pose_is_clear(self, pose: SE2, obstacle_polygons, inflation: float = 0.7) -> bool:
+        """Whether a pose's inflated footprint is inside the lot and collision-free.
+
+        Delegates to the planner's footprint/collision conventions so the
+        maneuver-clearance ladder and hybrid A* can never disagree about
+        what "clear" means (``inflation`` is the total per-dimension growth,
+        i.e. twice the planner's per-side margin).
+        """
+        return not self.planner.pose_in_collision(
+            pose, obstacle_polygons, self.lot, margin=inflation / 2.0
+        )
+
+    def _maneuver_is_clear(self, staging, waypoints, obstacle_polygons) -> bool:
+        """Whether a candidate final maneuver stays clear of static obstacles.
+
+        The staging pose gets the full planner-style margin; the swept arc is
+        checked with a slimmer one — passing close to the flanking cars is
+        what parking *is*.
+        """
+        if not self._pose_is_clear(staging, obstacle_polygons, inflation=0.7):
+            return False
+        poses = [waypoint.pose for waypoint in waypoints[::3]] + [waypoints[-1].pose]
+        return all(
+            self._pose_is_clear(pose, obstacle_polygons, inflation=0.3) for pose in poses
+        )
+
+    def _final_maneuver(self, static_obstacles: Sequence[Obstacle]):
+        """The analytic end-of-path maneuver for this lot's slot family.
+
+        The slot family is inferred from the angle between the goal heading
+        and the aisle: near-parallel goals (either driving direction) get
+        the kerbside S-curve, everything else a reverse arc.  Each family
+        tries a short ladder of maneuver parameters and keeps the first
+        whose full sweep is collision-free, so angled slots (whose default
+        staging would land inside the slot row), tight kerbside bays and
+        dead-end walls are handled without layout-specific code.
+        """
+        goal = self.lot.goal_pose
+        aisle = self.config.aisle_heading
+        obstacle_polygons = [obstacle.box.to_polygon() for obstacle in static_obstacles]
+        slot_angle = abs(normalize_angle(goal.theta - aisle))
+        slot_angle = min(slot_angle, math.pi - slot_angle)
+        choice = None
+
+        self._parallel_final = slot_angle < math.radians(20.0)
+        if self._parallel_final:
+            # Drive along whichever aisle direction the goal roughly faces.
+            goal_aisle = aisle
+            if abs(normalize_angle(goal.theta - aisle)) > math.pi / 2.0:
+                goal_aisle = normalize_angle(aisle + math.pi)
+            # Which side of the goal heading the aisle is on, approximated by
+            # the spawn region's centre (valid for aisle-aligned lots).
+            aisle_point = self.lot.spawn_region.center
+            left = np.array([-math.sin(goal.theta), math.cos(goal.theta)])
+            signed_lateral = float((aisle_point - goal.position) @ left)
+            side = 1 if signed_lateral >= 0.0 else -1
+            base_lateral = float(np.clip(abs(signed_lateral), 2.0, 8.0))
+            # Tight radii first: the smaller the swing, the less forward
+            # clearance the S-curve needs past the neighbouring bay.
+            tight = self.vehicle_params.min_turning_radius * 1.15
+            for lateral_scale in (1.0, 0.75, 0.55, 1.3):
+                lateral = float(np.clip(base_lateral * lateral_scale, 1.8, 8.0))
+                for radius in (tight, tight * 1.2, self.config.reverse_park_radius):
+                    if lateral >= 2.0 * radius - 0.2:
+                        continue
+                    staging, waypoints = parallel_reverse_park(
+                        goal,
+                        aisle_heading=goal_aisle,
+                        radius=radius,
+                        lateral_offset=lateral,
+                        side=side,
+                    )
+                    if choice is None:
+                        choice = (staging, waypoints)
+                    if self._maneuver_is_clear(staging, waypoints, obstacle_polygons):
+                        return staging, waypoints
+            return choice
+
+        base = self.config.reverse_park_radius
+        staging_clear_choice = None
+        for scale in (1.0, 1.4, 2.0, 2.6):
+            staging, waypoints = reverse_park_arc(goal, aisle_heading=aisle, radius=base * scale)
+            if choice is None:
+                choice = (staging, waypoints)
+            if self._maneuver_is_clear(staging, waypoints, obstacle_polygons):
+                return staging, waypoints
+            if staging_clear_choice is None and self._pose_is_clear(staging, obstacle_polygons):
+                staging_clear_choice = (staging, waypoints)
+        # No fully clear sweep: prefer a reachable staging pose (the planner
+        # can at least get there) over the blind default.
+        return staging_clear_choice or choice
+
     def plan_reference(self, start: SE2) -> Optional[WaypointPath]:
         """(Re)compute the reference path from ``start`` to the parking space.
 
         The reference is built in two stages, mirroring how a human drives
         the maneuver: hybrid A* from the start pose to a *staging pose* on
-        the aisle in front of the space, then an analytic perpendicular
-        reverse-park arc from the staging pose into the space.
+        the aisle in front of the space, then an analytic family-specific
+        maneuver (reverse arc or parallel S-curve) from the staging pose
+        into the space.
         """
         static_obstacles = [obstacle for obstacle in self.obstacles if not obstacle.is_dynamic]
         goal = self.lot.goal_pose
-        staging, reverse_waypoints = perpendicular_reverse_park(
-            goal,
-            aisle_heading=self.config.aisle_heading,
-            radius=self.config.reverse_park_radius,
-        )
+        staging, reverse_waypoints = self._final_maneuver(static_obstacles)
 
         # If the vehicle is already at (or past) the staging pose, only the
         # reverse maneuver remains.
@@ -102,7 +195,10 @@ class ExpertDriver:
                 self._path = WaypointPath(waypoints)
             else:
                 # Fallback: a direct Reeds-Shepp maneuver to the goal ignoring
-                # obstacles; better than refusing to demonstrate at all.
+                # obstacles; better than refusing to demonstrate at all.  An
+                # exhausted search is expensive, so stop re-triggering it on
+                # every tracking deviation — the fallback is all we have.
+                self._replanning_enabled = False
                 rs_path = shortest_reeds_shepp_path(
                     start, goal, turning_radius=self.vehicle_params.min_turning_radius * 1.1
                 )
@@ -146,7 +242,7 @@ class ExpertDriver:
         nearest_index = follower.nearest_index_in_segment(state.position)
         nearest_waypoint = self._path[nearest_index]
         deviation = float(np.hypot(*(nearest_waypoint.position - state.position)))
-        if deviation > config.replan_deviation:
+        if deviation > config.replan_deviation and self._replanning_enabled:
             replanned = self.plan_reference(state.pose)
             if replanned is not None:
                 follower = self._follower
@@ -156,6 +252,8 @@ class ExpertDriver:
         lookahead = (
             config.lookahead_distance if direction > 0 else config.reverse_lookahead_distance
         )
+        if direction < 0 and self._parallel_final:
+            lookahead *= 0.75
         target = follower.lookahead_waypoint(state.position, lookahead)
 
         steer_cmd = self._pure_pursuit_steer(state, target, direction, lookahead)
@@ -207,6 +305,8 @@ class ExpertDriver:
     ) -> float:
         config = self.config
         base = config.forward_speed if direction > 0 else config.reverse_speed
+        if direction < 0 and self._parallel_final:
+            base = min(base, 0.55)
         # Slow down approaching a direction switch (end of a non-final segment).
         if not follower.on_final_segment:
             distance_to_switch = follower.distance_to_segment_end(state.position)

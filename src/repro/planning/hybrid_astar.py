@@ -221,26 +221,43 @@ class HybridAStarPlanner:
                 successors.append((new_pose, direction, float(steer)))
         return successors
 
-    def _footprint(self, pose: SE2) -> OrientedBox:
+    def _footprint(self, pose: SE2, margin: Optional[float] = None) -> OrientedBox:
         params = self.vehicle_params
+        margin = self.safety_margin if margin is None else margin
         offset = params.center_offset
         center_x = pose.x + offset * math.cos(pose.theta)
         center_y = pose.y + offset * math.sin(pose.theta)
         return OrientedBox(
             center_x,
             center_y,
-            params.length + 2.0 * self.safety_margin,
-            params.width + 2.0 * self.safety_margin,
+            params.length + 2.0 * margin,
+            params.width + 2.0 * margin,
             pose.theta,
         )
 
-    def _pose_in_collision(self, pose: SE2, obstacle_polygons, lot: ParkingLot) -> bool:
-        footprint = self._footprint(pose)
+    def pose_in_collision(
+        self,
+        pose: SE2,
+        obstacle_polygons,
+        lot: ParkingLot,
+        margin: Optional[float] = None,
+    ) -> bool:
+        """Whether the margin-inflated footprint leaves the lot or hits an obstacle.
+
+        Public so other planning layers (the expert's maneuver-clearance
+        ladder) share the exact footprint and collision conventions instead
+        of re-implementing them; ``margin`` defaults to the planner's
+        ``safety_margin``.
+        """
+        footprint = self._footprint(pose, margin)
         corners = footprint.vertices()
         if not all(lot.bounds.contains(corner) for corner in corners):
             return True
         footprint_polygon = footprint.to_polygon()
         return any(shapes_collide(footprint_polygon, polygon) for polygon in obstacle_polygons)
+
+    def _pose_in_collision(self, pose: SE2, obstacle_polygons, lot: ParkingLot) -> bool:
+        return self.pose_in_collision(pose, obstacle_polygons, lot)
 
     def _segment_in_collision(
         self,

@@ -1,12 +1,21 @@
 """Structured parking maneuvers.
 
 The reference path used by both the scripted expert and the CO module ends
-with a classic perpendicular *reverse* park: the vehicle drives forward past
-the space to a staging pose on the aisle, then reverses along a circular arc
-until the rear axle reaches the parking target.  This module constructs that
-final maneuver analytically, which keeps the reverse-parking geometry (and
-therefore the forward/reverse split of the IL demonstrations) faithful to the
-paper's setup.
+with an analytic final maneuver whose shape depends on the slot family:
+
+* :func:`reverse_park_arc` — a single reverse arc from a staging pose on the
+  aisle into the space.  The sweep adapts to the angle between the goal and
+  the aisle, so it covers perpendicular (90 degrees) and angled (echelon)
+  slots alike.
+* :func:`perpendicular_reverse_park` — the classic 90-degree special case,
+  kept as the stable entry point used throughout the codebase.
+* :func:`parallel_reverse_park` — the kerbside S-curve: reverse into the bay
+  along two opposite arcs, for slots aligned with the aisle.
+
+Constructing these maneuvers analytically keeps the reverse-parking geometry
+(and therefore the forward/reverse split of the IL demonstrations) faithful
+to the paper's setup while generalizing it to every procedural layout
+family.
 """
 
 from __future__ import annotations
@@ -26,13 +35,18 @@ def _right_normal(theta: float) -> np.ndarray:
     return np.array([math.sin(theta), -math.cos(theta)])
 
 
-def perpendicular_reverse_park(
+def reverse_park_arc(
     goal: SE2,
     aisle_heading: float = 0.0,
     radius: float = 5.0,
     spacing: float = 0.25,
 ) -> Tuple[SE2, List[Waypoint]]:
-    """Build the final reverse-park arc into a perpendicular space.
+    """Build the final reverse arc from the aisle into an (angled) space.
+
+    The staging heading is aligned with the aisle (whichever driving
+    direction needs the smaller heading change), and the arc sweeps from the
+    staging heading to the goal heading — 90 degrees for perpendicular
+    slots, the slot angle for echelon slots.
 
     Parameters
     ----------
@@ -58,20 +72,28 @@ def perpendicular_reverse_park(
     if radius <= 0.0 or spacing <= 0.0:
         raise ValueError("radius and spacing must be positive")
 
-    candidates = []
-    for sweep in (math.pi / 2.0, -math.pi / 2.0):
-        staging_heading = normalize_angle(goal.theta - sweep)
-        if sweep > 0.0:
-            center = goal.position + radius * _right_normal(goal.theta)
-            staging_position = center - radius * _right_normal(staging_heading)
-        else:
-            center = goal.position - radius * _right_normal(goal.theta)
-            staging_position = center + radius * _right_normal(staging_heading)
-        staging = SE2(float(staging_position[0]), float(staging_position[1]), staging_heading)
-        heading_error = abs(angle_diff(staging_heading, aisle_heading))
-        candidates.append((heading_error, sweep, center, staging))
-    candidates.sort(key=lambda item: item[0])
-    _, sweep, center, staging = candidates[0]
+    # Prefer staging aligned with the aisle's driving direction, falling
+    # back to the opposite direction.  A near-zero sweep has no arc; a
+    # near-pi sweep would be a reverse U-turn, not a parking maneuver —
+    # goals (anti)parallel to the aisle therefore reject both directions.
+    chosen = None
+    for staging_heading in (normalize_angle(aisle_heading), normalize_angle(aisle_heading + math.pi)):
+        sweep = angle_diff(goal.theta, staging_heading)
+        if math.radians(10.0) <= abs(sweep) <= math.radians(170.0):
+            chosen = (staging_heading, sweep)
+            break
+    if chosen is None:
+        raise ValueError(
+            "goal heading is (anti)parallel to the aisle; use parallel_reverse_park instead"
+        )
+    staging_heading, sweep = chosen
+    if sweep > 0.0:
+        center = goal.position + radius * _right_normal(goal.theta)
+        staging_position = center - radius * _right_normal(staging_heading)
+    else:
+        center = goal.position - radius * _right_normal(goal.theta)
+        staging_position = center + radius * _right_normal(staging_heading)
+    staging = SE2(float(staging_position[0]), float(staging_position[1]), staging_heading)
 
     arc_length = abs(sweep) * radius
     steps = max(2, int(math.ceil(arc_length / spacing)))
@@ -85,5 +107,105 @@ def perpendicular_reverse_park(
             position = center + radius * _right_normal(heading)
         waypoints.append(Waypoint(SE2(float(position[0]), float(position[1]), heading), direction=-1))
     # Ensure the exact goal pose terminates the maneuver.
+    waypoints[-1] = Waypoint(goal.normalized(), direction=-1)
+    return staging, waypoints
+
+
+def perpendicular_reverse_park(
+    goal: SE2,
+    aisle_heading: float = 0.0,
+    radius: float = 5.0,
+    spacing: float = 0.25,
+) -> Tuple[SE2, List[Waypoint]]:
+    """Build the final reverse-park arc into a perpendicular space.
+
+    The classic 90-degree case of :func:`reverse_park_arc`, kept as the
+    stable name used by the expert and the tests.
+    """
+    return reverse_park_arc(goal, aisle_heading=aisle_heading, radius=radius, spacing=spacing)
+
+
+def parallel_reverse_park(
+    goal: SE2,
+    aisle_heading: float = 0.0,
+    radius: float = 5.0,
+    lateral_offset: float = 4.0,
+    spacing: float = 0.25,
+    side: int = 1,
+) -> Tuple[SE2, List[Waypoint]]:
+    """Build the kerbside S-curve into a bay aligned with the aisle.
+
+    The vehicle reverses from a staging pose in the aisle along two
+    opposite-curvature arcs (the classic parallel-parking maneuver) until the
+    rear axle reaches the goal.  The construction mirrors driving *out* of
+    the bay forward — arc towards the aisle, counter-arc to straighten — and
+    reverses it.
+
+    Parameters
+    ----------
+    goal:
+        Target rear-axle pose in the bay, heading along the aisle.
+    aisle_heading:
+        Driving direction of the aisle (the staging heading); must be within
+        45 degrees of the goal heading.
+    radius:
+        Radius of both arcs (must exceed the vehicle's minimum turning
+        radius).
+    lateral_offset:
+        Lateral distance from the goal to the staging pose (how far into the
+        aisle the maneuver starts); must be below ``2 * radius``.
+    spacing:
+        Approximate arc-length spacing of the generated waypoints (m).
+    side:
+        ``+1`` when the aisle lies to the goal heading's left (slot row
+        below an eastbound aisle, the layout default), ``-1`` for the
+        mirrored geometry.
+
+    Returns
+    -------
+    (staging_pose, waypoints):
+        The staging pose ahead of the bay and the reverse waypoints
+        (direction ``-1``) ending exactly at the goal.
+    """
+    if radius <= 0.0 or spacing <= 0.0:
+        raise ValueError("radius and spacing must be positive")
+    if not 0.0 < lateral_offset < 2.0 * radius:
+        raise ValueError(
+            f"lateral_offset must lie in (0, 2 * radius), got {lateral_offset} with radius {radius}"
+        )
+    if side not in (1, -1):
+        raise ValueError(f"side must be +1 or -1, got {side}")
+    if abs(angle_diff(goal.theta, aisle_heading)) > math.pi / 4.0:
+        raise ValueError("parallel_reverse_park expects a goal roughly aligned with the aisle")
+
+    sweep = math.acos(max(-1.0, 1.0 - lateral_offset / (2.0 * radius)))
+
+    def toward_aisle(heading: float) -> np.ndarray:
+        return -side * _right_normal(heading)
+
+    # Exit construction (forward, out of the bay): arc towards the aisle,
+    # then counter-arc back to the goal heading.
+    center_1 = goal.position + radius * toward_aisle(goal.theta)
+    mid_heading = normalize_angle(goal.theta + side * sweep)
+    mid_position = center_1 - radius * toward_aisle(mid_heading)
+    center_2 = mid_position + radius * (side * _right_normal(mid_heading))
+
+    def exit_pose(arc: int, heading: float) -> SE2:
+        if arc == 1:
+            position = center_1 - radius * toward_aisle(heading)
+        else:
+            position = center_2 - radius * (side * _right_normal(heading))
+        return SE2(float(position[0]), float(position[1]), normalize_angle(heading))
+
+    arc_steps = max(2, int(math.ceil(abs(sweep) * radius / spacing)))
+    exit_path: List[SE2] = [goal.normalized()]
+    for index in range(1, arc_steps + 1):
+        exit_path.append(exit_pose(1, goal.theta + side * sweep * index / arc_steps))
+    for index in range(1, arc_steps + 1):
+        exit_path.append(exit_pose(2, mid_heading - side * sweep * index / arc_steps))
+
+    staging = exit_path[-1]
+    # Reverse the exit path: staging → … → goal, all driven in reverse.
+    waypoints = [Waypoint(pose, direction=-1) for pose in reversed(exit_path[:-1])]
     waypoints[-1] = Waypoint(goal.normalized(), direction=-1)
     return staging, waypoints

@@ -6,36 +6,75 @@ plays the role of the CARLA + MoCAM digital twin in the paper:
 * :mod:`repro.world.obstacles` — static and dynamic obstacles,
 * :mod:`repro.world.parking_lot` — the map: drivable area, spawn region and
   goal (parking-space) region, mirroring Fig. 4,
+* :mod:`repro.world.layouts` — procedural lot geometry families
+  (perpendicular / parallel / angled / dead-end) behind the
+  :class:`LotLayout` abstraction,
+* :mod:`repro.world.registry` — the pluggable :class:`ScenarioRegistry`
+  with the :func:`register_scenario` decorator,
+* :mod:`repro.world.presets` — the built-in registered scenario presets,
 * :mod:`repro.world.scenario` — scenario builders for the easy / normal /
   hard difficulty levels and the close / remote / random spawn modes used in
-  the sensitivity analysis (Fig. 8),
+  the sensitivity analysis (Fig. 8), plus the seeded procedural builder,
 * :mod:`repro.world.world` — the :class:`ParkingWorld` stepping loop with
   collision detection, goal detection and episode termination.
 """
 
+from repro.world.layouts import (
+    LAYOUT_FAMILIES,
+    GeneratedLot,
+    LotLayout,
+    SlotSpec,
+    angled_layout,
+    dead_end_layout,
+    parallel_layout,
+    perpendicular_layout,
+)
 from repro.world.obstacles import DynamicObstacle, Obstacle, StaticObstacle
 from repro.world.parking_lot import ParkingLot, ParkingSpace
+from repro.world.registry import (
+    ScenarioRegistry,
+    default_scenario_registry,
+    register_scenario,
+)
 from repro.world.scenario import (
     DifficultyLevel,
     Scenario,
     ScenarioConfig,
     SpawnMode,
+    build_layout_scenario,
     build_scenario,
+    scenario_to_dict,
 )
 from repro.world.world import EpisodeStatus, ParkingWorld, StepResult
+
+# Importing the built-in presets installs them on the default registry.
+from repro.world import presets as _builtin_presets  # noqa: F401  (side-effect import)
 
 __all__ = [
     "DifficultyLevel",
     "DynamicObstacle",
     "EpisodeStatus",
+    "GeneratedLot",
+    "LAYOUT_FAMILIES",
+    "LotLayout",
     "Obstacle",
     "ParkingLot",
     "ParkingSpace",
     "ParkingWorld",
     "Scenario",
     "ScenarioConfig",
+    "ScenarioRegistry",
+    "SlotSpec",
     "SpawnMode",
     "StaticObstacle",
     "StepResult",
+    "angled_layout",
+    "build_layout_scenario",
     "build_scenario",
+    "dead_end_layout",
+    "default_scenario_registry",
+    "parallel_layout",
+    "perpendicular_layout",
+    "register_scenario",
+    "scenario_to_dict",
 ]

@@ -1,0 +1,309 @@
+"""Procedural lot layouts: parameterized parking-lot geometry families.
+
+The paper evaluates on one fixed perpendicular lot (Fig. 4).  Related work
+(SEG-Parking, constrained-parking RL) stresses generalization across slot
+orientations, so this module generates whole *families* of lot geometries
+from a handful of knobs:
+
+* **perpendicular** — slots at 90 degrees to the driving aisle (the paper's
+  own geometry, now with parameterized aisle width / slot pitch / goal index),
+* **parallel** — slots aligned with the aisle (kerbside parking),
+* **angled** — echelon slots at a configurable angle to the aisle,
+* **dead_end** — a perpendicular cul-de-sac whose aisle is closed by a wall
+  just past the goal slot, forcing a tight final maneuver.
+
+A :class:`LotLayout` value is pure data; :meth:`LotLayout.build` expands it
+into a :class:`GeneratedLot` — the :class:`~repro.world.parking_lot.ParkingLot`
+map plus the slot geometry, aisle corridor, canonical spawn poses and any
+structural obstacles (walls) that procedural obstacle placement builds on.
+Everything is deterministic: the same layout value always produces the same
+geometry, byte for byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.geometry.se2 import SE2
+from repro.geometry.shapes import AxisAlignedBox, OrientedBox
+from repro.world.obstacles import StaticObstacle
+from repro.world.parking_lot import ParkingLot, ParkingSpace
+
+LAYOUT_FAMILIES = ("perpendicular", "parallel", "angled", "dead_end")
+
+# Clearance between the slot row and the aisle, and minimum top margin.
+_ROW_AISLE_GAP = 0.3
+_TOP_MARGIN = 0.5
+
+
+@dataclass(frozen=True)
+class SlotSpec:
+    """One parking slot: a target pose plus the slot's footprint dimensions."""
+
+    index: int
+    pose: SE2
+    length: float
+    width: float
+
+    @property
+    def box(self) -> OrientedBox:
+        return OrientedBox.from_pose(self.pose, self.length, self.width)
+
+
+@dataclass(frozen=True)
+class GeneratedLot:
+    """A fully-expanded lot geometry, ready for obstacle placement.
+
+    ``slots`` are *all* slots including the goal; procedural placement parks
+    cars in the non-goal ones.  ``aisle`` is the driving corridor in front of
+    the slot row — dynamic-obstacle patrol routes cross it, and clutter
+    sampling treats it like any other drivable area.  ``structural`` holds
+    obstacles that are part of the layout itself (the dead-end wall) and are
+    always present regardless of the configured obstacle counts.
+    """
+
+    lot: ParkingLot
+    slots: Tuple[SlotSpec, ...]
+    goal_slot_index: int
+    aisle: AxisAlignedBox
+    close_spawn: SE2
+    remote_spawn: SE2
+    structural: Tuple[StaticObstacle, ...] = ()
+
+    @property
+    def goal_slot(self) -> SlotSpec:
+        return self.slots[self.goal_slot_index]
+
+
+@dataclass(frozen=True)
+class LotLayout:
+    """Parameterized lot geometry: one value per generated world.
+
+    Attributes
+    ----------
+    family:
+        One of :data:`LAYOUT_FAMILIES`.
+    lot_length / lot_width:
+        Outer dimensions of the drivable area (m).
+    aisle_width:
+        Width of the driving corridor in front of the slot row (m).
+    num_slots / goal_slot_index:
+        Number of slots in the row and which one is the goal.
+    slot_length / slot_width / slot_pitch:
+        Slot footprint (length along the slot heading) and centre-to-centre
+        spacing along the row.
+    slot_angle:
+        Heading of the slots in the world frame: ``pi/2`` points straight
+        out of the row towards the aisle (perpendicular), ``0`` is parallel
+        to the aisle.
+    row_start_x / row_margin:
+        Where the slot row begins along x and its clearance from the bottom
+        edge of the lot.
+    clutter:
+        Number of free-standing clutter obstacles (pillars, carts) the
+        procedural builder always adds on top of the configured parked-car
+        count.
+    """
+
+    family: str = "perpendicular"
+    lot_length: float = 45.0
+    lot_width: float = 22.0
+    aisle_width: float = 7.0
+    num_slots: int = 8
+    goal_slot_index: int = 5
+    slot_length: float = 5.5
+    slot_width: float = 2.8
+    slot_pitch: float = 3.4
+    slot_angle: float = math.pi / 2.0
+    row_start_x: float = 12.0
+    row_margin: float = 0.4
+    clutter: int = 0
+
+    def __post_init__(self) -> None:
+        if self.family not in LAYOUT_FAMILIES:
+            families = ", ".join(repr(name) for name in LAYOUT_FAMILIES)
+            raise ValueError(f"unknown layout family {self.family!r}; expected one of {families}")
+        if self.num_slots < 1:
+            raise ValueError(f"num_slots must be positive, got {self.num_slots}")
+        if not 0 <= self.goal_slot_index < self.num_slots:
+            raise ValueError(
+                f"goal_slot_index {self.goal_slot_index} outside the slot row "
+                f"(num_slots={self.num_slots})"
+            )
+        if min(self.lot_length, self.lot_width, self.aisle_width) <= 0.0:
+            raise ValueError("lot dimensions and aisle width must be positive")
+        if min(self.slot_length, self.slot_width, self.slot_pitch) <= 0.0:
+            raise ValueError("slot dimensions and pitch must be positive")
+        if self.clutter < 0:
+            raise ValueError(f"clutter must be non-negative, got {self.clutter}")
+        if self.aisle_width < 4.5:
+            raise ValueError(f"aisle_width must be at least 4.5 m, got {self.aisle_width}")
+        row_end = self.row_start_x + self.num_slots * self.slot_pitch
+        if row_end > self.lot_length:
+            raise ValueError(
+                f"slot row ends at x={row_end:.1f} beyond the lot length {self.lot_length}"
+            )
+        if self._row_top() + _ROW_AISLE_GAP + self.aisle_width > self.lot_width - _TOP_MARGIN:
+            raise ValueError("slot row plus aisle do not fit inside the lot width")
+
+    # ------------------------------------------------------------------
+    # Serialization / overrides
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LotLayout":
+        return cls(**dict(data))
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "LotLayout":
+        """A copy with the given fields replaced (int fields are coerced)."""
+        if not overrides:
+            return self
+        field_types = {f.name: f.type for f in dataclasses.fields(self)}
+        coerced: Dict[str, Any] = {}
+        for key, value in overrides.items():
+            if key not in field_types:
+                known = ", ".join(sorted(field_types))
+                raise ValueError(f"unknown layout parameter {key!r}; known parameters: {known}")
+            if key == "family":
+                coerced[key] = str(value)
+            elif key in ("num_slots", "goal_slot_index", "clutter"):
+                coerced[key] = int(value)
+            else:
+                coerced[key] = float(value)
+        return replace(self, **coerced)
+
+    # ------------------------------------------------------------------
+    # Geometry expansion
+    # ------------------------------------------------------------------
+    def _row_half_height(self) -> float:
+        """Vertical half-extent of one (possibly rotated) slot footprint."""
+        return (
+            self.slot_length * abs(math.sin(self.slot_angle))
+            + self.slot_width * abs(math.cos(self.slot_angle))
+        ) / 2.0
+
+    def _row_top(self) -> float:
+        return self.row_margin + 2.0 * self._row_half_height()
+
+    def build(self) -> GeneratedLot:
+        """Expand the layout into a concrete lot geometry."""
+        row_y = self.row_margin + self._row_half_height()
+        slots = tuple(
+            SlotSpec(
+                index=index,
+                pose=SE2(
+                    float(self.row_start_x + (index + 0.5) * self.slot_pitch),
+                    float(row_y),
+                    float(self.slot_angle),
+                ),
+                length=float(self.slot_length),
+                width=float(self.slot_width),
+            )
+            for index in range(self.num_slots)
+        )
+
+        aisle_bottom = self._row_top() + _ROW_AISLE_GAP
+        aisle = AxisAlignedBox(
+            1.0, float(aisle_bottom), float(self.lot_length - 1.0), float(aisle_bottom + self.aisle_width)
+        )
+        aisle_mid = (aisle.min_y + aisle.max_y) / 2.0
+        spawn_region = AxisAlignedBox(
+            2.0,
+            float(max(aisle.min_y + 0.8, aisle_mid - 2.0)),
+            8.0,
+            float(min(aisle.max_y - 0.8, aisle_mid + 2.0)),
+        )
+
+        goal_slot = slots[self.goal_slot_index]
+        goal_space = ParkingSpace.from_target(
+            "goal", goal_slot.pose, length=goal_slot.length, width=goal_slot.width
+        )
+        lot = ParkingLot(
+            bounds=AxisAlignedBox(0.0, 0.0, float(self.lot_length), float(self.lot_width)),
+            spawn_region=spawn_region,
+            goal_space=goal_space,
+            lane_heading=0.0,
+        )
+
+        close_x = min(max(goal_slot.pose.x - 8.0, aisle.min_x + 2.0), aisle.max_x - 2.0)
+        close_spawn = SE2(float(close_x), float(aisle_mid), 0.0)
+        remote_spawn = SE2(float(aisle.min_x + 2.0), float(aisle_mid), 0.0)
+
+        structural: Tuple[StaticObstacle, ...] = ()
+        if self.family == "dead_end":
+            # Close the aisle past the goal slot: the cul-de-sac wall.  The
+            # offset leaves room for the reverse-park staging pose (goal +
+            # arc radius + vehicle front reach) before the wall.
+            wall_x = min(goal_slot.pose.x + 10.0, self.lot_length - 1.5)
+            wall = StaticObstacle(
+                "wall-0",
+                OrientedBox(
+                    float(wall_x), float(aisle_mid), 0.8, float(aisle.max_y - aisle.min_y), 0.0
+                ),
+            )
+            structural = (wall,)
+
+        return GeneratedLot(
+            lot=lot,
+            slots=slots,
+            goal_slot_index=self.goal_slot_index,
+            aisle=aisle,
+            close_spawn=close_spawn,
+            remote_spawn=remote_spawn,
+            structural=structural,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Family constructors (per-family defaults)
+# ---------------------------------------------------------------------------
+def perpendicular_layout(**overrides: Any) -> LotLayout:
+    """Slots at 90 degrees to the aisle — the paper's own geometry family."""
+    return LotLayout(family="perpendicular").with_overrides(overrides)
+
+
+def parallel_layout(**overrides: Any) -> LotLayout:
+    """Kerbside slots aligned with the aisle."""
+    base = LotLayout(
+        family="parallel",
+        num_slots=4,
+        goal_slot_index=2,
+        slot_length=6.4,
+        slot_width=2.5,
+        slot_pitch=7.6,
+        slot_angle=0.0,
+        row_start_x=8.0,
+    )
+    return base.with_overrides(overrides)
+
+
+def angled_layout(**overrides: Any) -> LotLayout:
+    """Echelon slots at an angle to the aisle (default 60 degrees)."""
+    base = LotLayout(
+        family="angled",
+        slot_angle=math.radians(60.0),
+        slot_pitch=3.9,
+        num_slots=7,
+        goal_slot_index=4,
+        row_start_x=11.0,
+    )
+    return base.with_overrides(overrides)
+
+
+def dead_end_layout(**overrides: Any) -> LotLayout:
+    """A narrow perpendicular cul-de-sac: the aisle ends just past the goal."""
+    base = LotLayout(
+        family="dead_end",
+        lot_length=40.0,
+        lot_width=14.0,
+        aisle_width=6.5,
+        num_slots=6,
+        goal_slot_index=5,
+        row_start_x=8.0,
+    )
+    return base.with_overrides(overrides)

@@ -1,0 +1,62 @@
+"""Built-in scenario presets registered on the default scenario registry.
+
+Each preset binds a layout family with a geometric difficulty tier; the
+orthogonal knobs (paper difficulty level, spawn mode, obstacle counts,
+perception noise, seed) stay on :class:`~repro.world.scenario.ScenarioConfig`
+and apply to every preset.  ``config.layout_params`` override individual
+layout knobs on top of the preset (e.g. ``{"aisle_width": 8.5}``).
+
+| Preset                | Family        | Geometric knobs                       |
+|-----------------------|---------------|---------------------------------------|
+| ``legacy``            | perpendicular | the paper's fixed lot (Fig. 4)        |
+| ``perpendicular-easy``| perpendicular | wide 8 m aisle                        |
+| ``perpendicular-hard``| perpendicular | narrow 6 m aisle, tighter slot pitch  |
+| ``parallel-easy``     | parallel      | long kerbside bays, 8 m aisle         |
+| ``parallel-hard``     | parallel      | short bays, 6 m aisle                 |
+| ``angled-easy``       | angled        | 60-degree echelon slots               |
+| ``angled-cluttered``  | angled        | 60-degree slots + 3 clutter obstacles |
+| ``dead-end-normal``   | dead_end      | cul-de-sac wall 10 m past the goal    |
+
+(``legacy`` itself is registered in :mod:`repro.world.scenario` so the
+fixed-slot builder works even before this module is imported.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.world.layouts import (
+    LotLayout,
+    angled_layout,
+    dead_end_layout,
+    parallel_layout,
+    perpendicular_layout,
+)
+from repro.world.registry import register_scenario
+from repro.world.scenario import Scenario, ScenarioConfig, build_layout_scenario
+
+
+def _register_layout_preset(name: str, layout_factory: Callable[[], LotLayout]) -> None:
+    @register_scenario(name)
+    def _factory(config: ScenarioConfig) -> Scenario:
+        layout = layout_factory().with_overrides(config.layout_overrides)
+        return build_layout_scenario(layout, config)
+
+
+_register_layout_preset(
+    "perpendicular-easy", lambda: perpendicular_layout(aisle_width=8.0)
+)
+_register_layout_preset(
+    "perpendicular-hard",
+    lambda: perpendicular_layout(aisle_width=6.0, slot_pitch=3.1, goal_slot_index=6),
+)
+_register_layout_preset(
+    "parallel-easy", lambda: parallel_layout(aisle_width=8.0)
+)
+_register_layout_preset(
+    "parallel-hard",
+    lambda: parallel_layout(aisle_width=6.0, slot_length=6.0, slot_pitch=7.0),
+)
+_register_layout_preset("angled-easy", lambda: angled_layout())
+_register_layout_preset("angled-cluttered", lambda: angled_layout(clutter=3))
+_register_layout_preset("dead-end-normal", lambda: dead_end_layout())

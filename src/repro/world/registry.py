@@ -1,0 +1,106 @@
+"""The scenario registry: pluggable named scenario builders.
+
+Mirrors :class:`repro.api.registry.ControllerRegistry` on the world side: a
+*scenario* ("legacy", "perpendicular-easy", "angled-cluttered", …) is a named
+:data:`ScenarioFactory` that instantiates a
+:class:`~repro.world.scenario.Scenario` from a
+:class:`~repro.world.scenario.ScenarioConfig`.  New layout families plug in
+with ``@register_scenario("name")`` and immediately work everywhere scenario
+names are accepted — episode specs, batches, experiments — without touching
+``repro.eval``.
+
+Factories must be deterministic: the same config (and in particular the same
+seed) must always produce a byte-identically serializable scenario, across
+processes.  Avoid iterating over sets or relying on hash order inside a
+factory.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.world.scenario import Scenario, ScenarioConfig
+
+ScenarioFactory = Callable[["ScenarioConfig"], "Scenario"]
+
+
+class ScenarioRegistry:
+    """A name → :data:`ScenarioFactory` mapping with decorator registration."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, ScenarioFactory] = {}
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered scenario names, in registration order."""
+        return tuple(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def register(
+        self,
+        name: str,
+        factory: Optional[ScenarioFactory] = None,
+        *,
+        overwrite: bool = False,
+    ):
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        Raises :class:`ValueError` if the name is already taken (unless
+        ``overwrite=True``), so typos do not silently shadow built-ins.
+        """
+        if not name:
+            raise ValueError("scenario name must be non-empty")
+
+        def _register(factory: ScenarioFactory) -> ScenarioFactory:
+            if name in self._factories and not overwrite:
+                raise ValueError(
+                    f"scenario {name!r} is already registered; pass overwrite=True to replace it"
+                )
+            self._factories[name] = factory
+            return factory
+
+        if factory is None:
+            return _register
+        return _register(factory)
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered scenario (mainly for tests)."""
+        self._factories.pop(name, None)
+
+    def factory_for(self, name: str) -> ScenarioFactory:
+        try:
+            return self._factories[name]
+        except KeyError:
+            registered = ", ".join(repr(known) for known in self.names()) or "<none>"
+            raise ValueError(
+                f"unknown scenario {name!r}; registered scenarios: {registered}"
+            ) from None
+
+    def build(self, config: "ScenarioConfig") -> "Scenario":
+        """Instantiate the scenario the config names."""
+        return self.factory_for(config.scenario_name)(config)
+
+
+# The process-wide default registry onto which the built-in presets (and any
+# user scenarios declared with :func:`register_scenario`) are installed.
+DEFAULT_SCENARIO_REGISTRY = ScenarioRegistry()
+
+
+def register_scenario(name: str, *, overwrite: bool = False):
+    """Decorator registering a scenario factory on the default registry.
+
+    Example::
+
+        @register_scenario("two-row-lot")
+        def build_two_row_lot(config: ScenarioConfig) -> Scenario:
+            layout = perpendicular_layout(num_slots=12, aisle_width=9.0)
+            return build_layout_scenario(layout, config)
+    """
+    return DEFAULT_SCENARIO_REGISTRY.register(name, overwrite=overwrite)
+
+
+def default_scenario_registry() -> ScenarioRegistry:
+    """The registry holding the built-in scenario presets."""
+    return DEFAULT_SCENARIO_REGISTRY

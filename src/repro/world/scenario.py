@@ -1,4 +1,4 @@
-"""Scenario builders: difficulty levels and spawn modes.
+"""Scenario builders: difficulty levels, spawn modes and procedural layouts.
 
 Paper §V-B defines three difficulty levels:
 
@@ -8,20 +8,32 @@ Paper §V-B defines three difficulty levels:
   images and bounding boxes (adversarial sensing).
 
 The sensitivity analysis (§V-E, Fig. 8) additionally varies the starting
-point (close / remote / random) and the number of obstacles.  Scenario
-construction is fully deterministic given a seed.
+point (close / remote / random) and the number of obstacles.  On top of the
+paper's fixed lot (the ``"legacy"`` scenario), the procedural engine builds
+whole families of lot geometries from :mod:`repro.world.layouts` — obstacle
+placement uses seeded rejection sampling, so every configuration is
+collision-free at spawn and fully deterministic given a seed: the same seed
+and scenario name serialize to a byte-identical dictionary, across
+processes.
+
+Scenarios are resolved by name through the
+:class:`~repro.world.registry.ScenarioRegistry`; the built-in presets live
+in :mod:`repro.world.presets`.
 """
 
 from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.geometry.collision import polygon_polygon_collision
 from repro.geometry.se2 import SE2
+from repro.geometry.shapes import AxisAlignedBox, OrientedBox
+from repro.world.layouts import GeneratedLot, LotLayout
 from repro.world.obstacles import (
     DynamicObstacle,
     Obstacle,
@@ -30,6 +42,7 @@ from repro.world.obstacles import (
     make_patrolling_obstacle,
 )
 from repro.world.parking_lot import ParkingLot, default_parking_lot
+from repro.world.registry import DEFAULT_SCENARIO_REGISTRY, default_scenario_registry
 
 
 class DifficultyLevel(enum.Enum):
@@ -48,23 +61,73 @@ class SpawnMode(enum.Enum):
     RANDOM = "random"
 
 
+LayoutParamValue = Union[bool, int, float, str]
+
+
+def normalize_layout_params(params) -> Tuple[Tuple[str, LayoutParamValue], ...]:
+    """Normalize layout overrides (dict or pair iterable) to a sorted tuple.
+
+    The single validation point shared by :class:`ScenarioConfig` and
+    :class:`repro.api.specs.BatchSpec`: keys must be non-empty strings and
+    values JSON scalars, so configs stay hashable and serialize
+    order-independently.
+    """
+    items = params.items() if isinstance(params, Mapping) else tuple(params)
+    normalized = []
+    for key, value in sorted(items):
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"layout parameter names must be non-empty strings, got {key!r}")
+        if not isinstance(value, (bool, int, float, str)):
+            raise ValueError(
+                f"layout parameter {key!r} must be a JSON scalar, got {type(value).__name__}"
+            )
+        normalized.append((key, value))
+    return tuple(normalized)
+
+
 @dataclass(frozen=True)
 class ScenarioConfig:
-    """Parameters controlling scenario construction."""
+    """Parameters controlling scenario construction.
+
+    ``scenario_name`` picks a builder from the scenario registry (the
+    ``"legacy"`` default is the paper's fixed lot); ``layout_params``
+    override individual :class:`~repro.world.layouts.LotLayout` knobs of
+    procedural presets (e.g. ``{"aisle_width": 8.0}``).  Overrides are
+    stored as a sorted tuple of pairs so configs stay hashable and their
+    serialization is independent of insertion order.
+
+    An explicit ``image_noise_std`` / ``detection_noise_std`` (including
+    ``0.0``) always wins over the difficulty-implied level; ``None`` means
+    "use the level implied by the difficulty".
+    """
 
     difficulty: DifficultyLevel = DifficultyLevel.EASY
     spawn_mode: SpawnMode = SpawnMode.RANDOM
     num_static_obstacles: int = 3
     num_dynamic_obstacles: Optional[int] = None
     seed: int = 0
-    image_noise_std: float = 0.0
-    detection_noise_std: float = 0.0
+    image_noise_std: Optional[float] = None
+    detection_noise_std: Optional[float] = None
+    scenario_name: str = "legacy"
+    layout_params: Tuple[Tuple[str, LayoutParamValue], ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_static_obstacles < 0:
             raise ValueError("num_static_obstacles must be non-negative")
         if self.num_dynamic_obstacles is not None and self.num_dynamic_obstacles < 0:
             raise ValueError("num_dynamic_obstacles must be non-negative")
+        if self.image_noise_std is not None and self.image_noise_std < 0.0:
+            raise ValueError("image_noise_std must be non-negative")
+        if self.detection_noise_std is not None and self.detection_noise_std < 0.0:
+            raise ValueError("detection_noise_std must be non-negative")
+        if not self.scenario_name:
+            raise ValueError("scenario_name must be non-empty")
+        object.__setattr__(self, "layout_params", normalize_layout_params(self.layout_params))
+
+    @property
+    def layout_overrides(self) -> Dict[str, LayoutParamValue]:
+        """The layout parameter overrides as a plain dictionary."""
+        return dict(self.layout_params)
 
     @property
     def resolved_dynamic_obstacles(self) -> int:
@@ -75,15 +138,49 @@ class ScenarioConfig:
 
     @property
     def resolved_image_noise(self) -> float:
-        if self.image_noise_std > 0.0:
+        if self.image_noise_std is not None:
             return self.image_noise_std
         return 0.08 if self.difficulty is DifficultyLevel.HARD else 0.0
 
     @property
     def resolved_detection_noise(self) -> float:
-        if self.detection_noise_std > 0.0:
+        if self.detection_noise_std is not None:
             return self.detection_noise_std
         return 0.25 if self.difficulty is DifficultyLevel.HARD else 0.05
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dictionary (enums as values, overrides as a dict)."""
+        return {
+            "difficulty": self.difficulty.value,
+            "spawn_mode": self.spawn_mode.value,
+            "num_static_obstacles": self.num_static_obstacles,
+            "num_dynamic_obstacles": self.num_dynamic_obstacles,
+            "seed": self.seed,
+            "image_noise_std": self.image_noise_std,
+            "detection_noise_std": self.detection_noise_std,
+            "scenario_name": self.scenario_name,
+            "layout_params": dict(self.layout_params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioConfig":
+        """Inverse of :meth:`to_dict`; missing keys fall back to defaults."""
+        payload = dict(data)
+        payload["difficulty"] = DifficultyLevel(
+            payload.get("difficulty", DifficultyLevel.EASY.value)
+        )
+        payload["spawn_mode"] = SpawnMode(payload.get("spawn_mode", SpawnMode.RANDOM.value))
+        if "scenario_name" not in payload:
+            # Pre-scenario-engine payloads (no registry reference) used 0.0
+            # noise to mean "difficulty-implied", which is now spelled None;
+            # without this, a cached HARD spec would round-trip noiseless.
+            for key in ("image_noise_std", "detection_noise_std"):
+                if payload.get(key) == 0.0:
+                    payload[key] = None
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -94,6 +191,7 @@ class Scenario:
     lot: ParkingLot
     obstacles: tuple
     start_pose: SE2
+    layout: Optional[LotLayout] = None
 
     @property
     def static_obstacles(self) -> List[Obstacle]:
@@ -107,7 +205,74 @@ class Scenario:
     def goal_pose(self) -> SE2:
         return self.lot.goal_pose
 
+    def to_dict(self) -> Dict[str, Any]:
+        return scenario_to_dict(self)
 
+
+# ---------------------------------------------------------------------------
+# Scenario serialization (the cross-process determinism contract)
+# ---------------------------------------------------------------------------
+def _pose_list(pose: SE2) -> List[float]:
+    return [float(pose.x), float(pose.y), float(pose.theta)]
+
+
+def _aabb_list(box: AxisAlignedBox) -> List[float]:
+    return [float(box.min_x), float(box.min_y), float(box.max_x), float(box.max_y)]
+
+
+def _obox_list(box: OrientedBox) -> List[float]:
+    return [
+        float(box.center_x),
+        float(box.center_y),
+        float(box.length),
+        float(box.width),
+        float(box.heading),
+    ]
+
+
+def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
+    """A JSON-safe dictionary describing the fully-instantiated scenario.
+
+    The dictionary is built with deterministic iteration only (obstacle
+    build order, no sets), so the same config always serializes to the same
+    JSON string — across runs and across processes.  This is the contract
+    result caching and distributed execution rely on.
+    """
+    lot = scenario.lot
+    goal = lot.goal_space
+    obstacles: List[Dict[str, Any]] = []
+    for obstacle in scenario.obstacles:
+        entry: Dict[str, Any] = {
+            "id": obstacle.obstacle_id,
+            "dynamic": obstacle.is_dynamic,
+            "box": _obox_list(obstacle.box),
+        }
+        if isinstance(obstacle, DynamicObstacle):
+            entry["waypoints"] = [[float(x), float(y)] for x, y in obstacle.waypoints]
+            entry["speed"] = float(obstacle.speed)
+            entry["phase"] = float(obstacle.phase)
+        obstacles.append(entry)
+    return {
+        "config": scenario.config.to_dict(),
+        "layout": scenario.layout.to_dict() if scenario.layout is not None else None,
+        "lot": {
+            "bounds": _aabb_list(lot.bounds),
+            "spawn_region": _aabb_list(lot.spawn_region),
+            "lane_heading": float(lot.lane_heading),
+            "goal": {
+                "id": goal.space_id,
+                "pose": _pose_list(goal.target_pose),
+                "box": _obox_list(goal.box),
+            },
+        },
+        "start_pose": _pose_list(scenario.start_pose),
+        "obstacles": obstacles,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Legacy fixed-slot scenario (the paper's lot, unchanged behaviour)
+# ---------------------------------------------------------------------------
 # Candidate static obstacle slots: parked cars along the bottom row flanking
 # the goal space, plus a pillar in the middle of the lot.  The first
 # ``num_static_obstacles`` slots are used.
@@ -134,8 +299,8 @@ _CLOSE_SPAWN = SE2(24.0, 11.0, 0.0)
 _REMOTE_SPAWN = SE2(3.0, 11.5, 0.0)
 
 
-def build_scenario(config: ScenarioConfig, lot: Optional[ParkingLot] = None) -> Scenario:
-    """Instantiate a scenario from a configuration.
+def _build_legacy_scenario(config: ScenarioConfig, lot: Optional[ParkingLot] = None) -> Scenario:
+    """The paper's fixed lot with deterministic obstacle slots.
 
     Obstacle placement is deterministic (fixed slots) so that difficulty
     levels are comparable across methods; only the spawn pose uses the seed
@@ -171,6 +336,219 @@ def build_scenario(config: ScenarioConfig, lot: Optional[ParkingLot] = None) -> 
         start_pose = lot.sample_spawn_pose(rng)
 
     return Scenario(config=config, lot=lot, obstacles=tuple(obstacles), start_pose=start_pose)
+
+
+DEFAULT_SCENARIO_REGISTRY.register("legacy", _build_legacy_scenario)
+
+
+# ---------------------------------------------------------------------------
+# Procedural scenario construction over a LotLayout
+# ---------------------------------------------------------------------------
+_PARKED_CAR_LENGTH = 4.2
+_PARKED_CAR_WIDTH = 1.9
+
+
+def _spawn_keepout(spawn_region: AxisAlignedBox) -> OrientedBox:
+    """Keep-out box covering every possible random-spawn vehicle footprint.
+
+    Random spawn samples the rear axle inside the spawn region with a near-zero
+    heading, so the nose can stick out several metres in +x; the keep-out box
+    extends accordingly.
+    """
+    min_x = spawn_region.min_x - 1.2
+    max_x = spawn_region.max_x + 4.5
+    min_y = spawn_region.min_y - 1.2
+    max_y = spawn_region.max_y + 1.2
+    return OrientedBox(
+        (min_x + max_x) / 2.0, (min_y + max_y) / 2.0, max_x - min_x, max_y - min_y, 0.0
+    )
+
+
+def build_layout_scenario(layout: LotLayout, config: ScenarioConfig) -> Scenario:
+    """Instantiate a procedural scenario on a generated lot.
+
+    Obstacle placement is seeded rejection sampling with a fixed draw order
+    (slot permutation → per-slot jitter → clutter → patrol routes → random
+    spawn), so the same seed always yields the same scenario.  Every placed
+    obstacle — including each patrol route's swept corridor — is
+    collision-free against the lot bounds, the goal space, the spawn
+    keep-out regions and every previously placed obstacle (best-effort: a
+    candidate that cannot be placed within its attempt budget is dropped or
+    falls back to the aisle centre).
+    """
+    generated: GeneratedLot = layout.build()
+    lot = generated.lot
+    aisle = generated.aisle
+    rng = np.random.default_rng(config.seed)
+
+    obstacles: List[Obstacle] = list(generated.structural)
+    # Rejection sampling tests every candidate against all previously placed
+    # obstacles; keep one polygon per placed box instead of rebuilding them
+    # on each test.
+    placed_polygons = [obstacle.box.to_polygon() for obstacle in obstacles]
+
+    def place(obstacle: Obstacle) -> None:
+        obstacles.append(obstacle)
+        placed_polygons.append(obstacle.box.to_polygon())
+
+    def collides_with_placed(box: OrientedBox, margin: float = 0.0) -> bool:
+        polygon = (box.inflated(margin) if margin > 0.0 else box).to_polygon()
+        return any(
+            polygon_polygon_collision(polygon, placed) for placed in placed_polygons
+        )
+
+    goal_keepout = lot.goal_space.box.inflated(0.3).to_polygon()
+    spawn_keepout = _spawn_keepout(lot.spawn_region).to_polygon()
+    # Clutter never lands in the goal-approach corridor (slot mouth through
+    # the aisle): a lot whose goal space is walled off by a pillar is not a
+    # parking scenario.  Parked cars and patrol routes are exempt — they are
+    # the intended difficulty.
+    goal_pose = lot.goal_space.target_pose
+    approach_keepout = OrientedBox(
+        goal_pose.x + 6.0 * math.cos(goal_pose.theta),
+        goal_pose.y + 6.0 * math.sin(goal_pose.theta),
+        16.0,
+        6.5,
+        goal_pose.theta,
+    ).to_polygon()
+
+    # 1. Parked cars in a seeded permutation of the non-goal slots.
+    candidates = [
+        index for index in range(len(generated.slots)) if index != generated.goal_slot_index
+    ]
+    order = [candidates[int(position)] for position in rng.permutation(len(candidates))]
+    target_parked = config.num_static_obstacles
+    parked = 0
+    for slot_index in order:
+        if parked >= target_parked:
+            break
+        slot = generated.slots[slot_index]
+        longitudinal = float(rng.uniform(-0.15, 0.15))
+        lateral = float(rng.uniform(-0.12, 0.12))
+        heading = float(slot.pose.theta + rng.uniform(-0.05, 0.05))
+        x = float(
+            slot.pose.x
+            + longitudinal * math.cos(slot.pose.theta)
+            - lateral * math.sin(slot.pose.theta)
+        )
+        y = float(
+            slot.pose.y
+            + longitudinal * math.sin(slot.pose.theta)
+            + lateral * math.cos(slot.pose.theta)
+        )
+        car = make_parked_car(
+            f"static-{parked}", x, y, heading, length=_PARKED_CAR_LENGTH, width=_PARKED_CAR_WIDTH
+        )
+        if polygon_polygon_collision(car.box.to_polygon(), goal_keepout):
+            continue
+        if collides_with_placed(car.box):
+            continue
+        place(car)
+        parked += 1
+
+    # 2. Free-standing clutter: rejection-sampled boxes anywhere drivable,
+    #    covering both the layout's own clutter and any static-obstacle
+    #    budget the slot row could not absorb.
+    num_clutter = layout.clutter + max(0, target_parked - parked)
+    placed_clutter = 0
+    bounds = lot.bounds
+    for _ in range(num_clutter):
+        for _attempt in range(60):
+            center_x = float(rng.uniform(bounds.min_x + 1.5, bounds.max_x - 1.5))
+            center_y = float(rng.uniform(bounds.min_y + 1.5, bounds.max_y - 1.5))
+            length = float(rng.uniform(1.0, 2.4))
+            width = float(rng.uniform(1.0, 2.4))
+            heading = float(rng.uniform(0.0, math.pi))
+            box = OrientedBox(center_x, center_y, length, width, heading)
+            if not all(bounds.contains(vertex) for vertex in box.vertices()):
+                continue
+            polygon = box.to_polygon()
+            if polygon_polygon_collision(polygon, approach_keepout):
+                continue
+            if polygon_polygon_collision(polygon, spawn_keepout):
+                continue
+            if math.hypot(center_x - generated.close_spawn.x, center_y - generated.close_spawn.y) < 4.0:
+                continue
+            if math.hypot(center_x - generated.remote_spawn.x, center_y - generated.remote_spawn.y) < 4.0:
+                continue
+            if collides_with_placed(box, margin=0.3):
+                continue
+            place(StaticObstacle(f"clutter-{placed_clutter}", box))
+            placed_clutter += 1
+            break
+
+    # 3. Dynamic obstacles: patrol routes crossing the aisle, away from every
+    #    spawn location so no episode starts in collision.  The x exclusion
+    #    is asymmetric like the static keep-out (the spawn point is the rear
+    #    axle, so the nose reaches ~3.4 m ahead plus the patrol's own
+    #    half-length, but much less behind), and the route's whole swept
+    #    corridor must be clear of every placed obstacle so patrols never
+    #    drive through walls or clutter.
+    num_dynamic = config.resolved_dynamic_obstacles
+    aisle_mid_y = float((aisle.min_y + aisle.max_y) / 2.0)
+    for index in range(num_dynamic):
+        crossing_x: Optional[float] = None
+        for _attempt in range(40):
+            candidate = float(rng.uniform(aisle.min_x + 2.0, aisle.max_x - 2.0))
+            if -2.0 <= candidate - generated.close_spawn.x <= 4.5:
+                continue
+            if -2.0 <= candidate - generated.remote_spawn.x <= 4.5:
+                continue
+            if lot.spawn_region.min_x - 2.0 <= candidate <= lot.spawn_region.max_x + 4.5:
+                continue
+            corridor = OrientedBox(
+                candidate, aisle_mid_y, 1.6, float(aisle.max_y - aisle.min_y), 0.0
+            )
+            if collides_with_placed(corridor):
+                continue
+            crossing_x = candidate
+            break
+        if crossing_x is None:
+            # Attempt budget exhausted (pathological override geometry):
+            # drop the patrol rather than place it through an obstacle.
+            continue
+        waypoints = (
+            (crossing_x, float(aisle.min_y + 0.4)),
+            (crossing_x, float(aisle.max_y - 0.4)),
+        )
+        obstacles.append(
+            make_patrolling_obstacle(
+                f"dynamic-{index}",
+                waypoints,
+                speed=float(rng.uniform(0.4, 0.9)),
+                phase=float(rng.uniform(0.0, 10.0)),
+            )
+        )
+
+    # 4. Start pose.
+    if config.spawn_mode is SpawnMode.CLOSE:
+        start_pose = generated.close_spawn
+    elif config.spawn_mode is SpawnMode.REMOTE:
+        start_pose = generated.remote_spawn
+    else:
+        start_pose = lot.sample_spawn_pose(rng)
+
+    return Scenario(
+        config=config,
+        lot=lot,
+        obstacles=tuple(obstacles),
+        start_pose=start_pose,
+        layout=layout,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+def build_scenario(config: ScenarioConfig, lot: Optional[ParkingLot] = None) -> Scenario:
+    """Instantiate the scenario named by ``config.scenario_name``.
+
+    The ``lot`` override is a legacy affordance: passing an explicit map
+    short-circuits the registry and builds the fixed-slot scenario on it.
+    """
+    if lot is not None:
+        return _build_legacy_scenario(config, lot)
+    return default_scenario_registry().build(config)
 
 
 def scenario_for_level(

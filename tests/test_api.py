@@ -197,6 +197,33 @@ class TestSpecs:
         restored = BatchSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
         assert restored == spec
 
+    def test_episode_spec_round_trip_with_scenario_registry_reference(self):
+        spec = EpisodeSpec(
+            method="co",
+            scenario=ScenarioConfig(
+                scenario_name="parallel-hard",
+                layout_params={"aisle_width": 7.5, "num_slots": 5},
+                seed=5,
+            ),
+        )
+        restored = EpisodeSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+        assert restored.scenario.scenario_name == "parallel-hard"
+        assert restored.scenario.layout_overrides == {"aisle_width": 7.5, "num_slots": 5}
+
+    def test_batch_spec_forwards_scenario_reference(self):
+        spec = BatchSpec(
+            method="expert",
+            seeds=(1, 2),
+            scenario_name="angled-easy",
+            layout_params={"slot_pitch": 4.2},
+        )
+        restored = BatchSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+        for episode in spec.episode_specs():
+            assert episode.scenario.scenario_name == "angled-easy"
+            assert episode.scenario.layout_overrides == {"slot_pitch": 4.2}
+
     def test_batch_spec_expansion_order_is_difficulty_major(self):
         spec = BatchSpec(
             method="expert",

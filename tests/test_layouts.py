@@ -1,0 +1,106 @@
+"""Tests for the procedural lot-layout engine (`repro.world.layouts`)."""
+
+import math
+
+import pytest
+
+from repro.geometry.collision import polygon_polygon_collision
+from repro.world.layouts import (
+    LAYOUT_FAMILIES,
+    LotLayout,
+    angled_layout,
+    dead_end_layout,
+    parallel_layout,
+    perpendicular_layout,
+)
+
+ALL_FACTORIES = (perpendicular_layout, parallel_layout, angled_layout, dead_end_layout)
+
+
+class TestLotLayoutValidation:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            LotLayout(family="diagonal")
+
+    def test_goal_slot_index_bounds(self):
+        with pytest.raises(ValueError):
+            LotLayout(num_slots=4, goal_slot_index=4)
+
+    def test_row_must_fit_in_lot(self):
+        with pytest.raises(ValueError):
+            LotLayout(num_slots=30, slot_pitch=3.4, lot_length=45.0)
+
+    def test_aisle_must_fit_in_width(self):
+        with pytest.raises(ValueError):
+            LotLayout(lot_width=10.0, aisle_width=8.0)
+
+    def test_with_overrides_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            perpendicular_layout(not_a_knob=3.0)
+
+    def test_with_overrides_coerces_int_fields(self):
+        layout = perpendicular_layout(num_slots=6.0, goal_slot_index=2.0)
+        assert layout.num_slots == 6
+        assert isinstance(layout.num_slots, int)
+
+    def test_round_trip(self):
+        layout = angled_layout(aisle_width=7.5)
+        assert LotLayout.from_dict(layout.to_dict()) == layout
+
+
+class TestLayoutGeometry:
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_all_slots_inside_bounds(self, factory):
+        generated = factory().build()
+        bounds = generated.lot.bounds
+        for slot in generated.slots:
+            for vertex in slot.box.vertices():
+                assert bounds.contains(vertex), f"{generated}: slot {slot.index} outside lot"
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_goal_slot_is_the_goal_space(self, factory):
+        generated = factory().build()
+        goal = generated.lot.goal_pose
+        assert goal.distance_to(generated.goal_slot.pose) < 1e-9
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_aisle_clear_of_slots(self, factory):
+        generated = factory().build()
+        aisle = generated.aisle.to_polygon()
+        for slot in generated.slots:
+            assert not polygon_polygon_collision(aisle, slot.box.to_polygon())
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_spawn_poses_inside_aisle(self, factory):
+        generated = factory().build()
+        assert generated.aisle.contains(generated.close_spawn.position)
+        assert generated.aisle.contains(generated.remote_spawn.position)
+        assert generated.lot.spawn_region.min_y >= generated.aisle.min_y
+        assert generated.lot.spawn_region.max_y <= generated.aisle.max_y
+
+    def test_families_cover_the_four_geometries(self):
+        assert set(LAYOUT_FAMILIES) == {"perpendicular", "parallel", "angled", "dead_end"}
+        assert perpendicular_layout().build().goal_slot.pose.theta == pytest.approx(math.pi / 2)
+        assert parallel_layout().build().goal_slot.pose.theta == pytest.approx(0.0)
+        angled_theta = angled_layout().build().goal_slot.pose.theta
+        assert 0.0 < angled_theta < math.pi / 2
+
+    def test_dead_end_has_wall_past_goal(self):
+        generated = dead_end_layout().build()
+        assert len(generated.structural) == 1
+        wall = generated.structural[0]
+        assert wall.box.center_x > generated.goal_slot.pose.x
+        # The wall blocks the aisle corridor.
+        assert polygon_polygon_collision(
+            generated.aisle.to_polygon(), wall.box.to_polygon()
+        )
+
+    def test_other_families_have_no_structural_obstacles(self):
+        for factory in (perpendicular_layout, parallel_layout, angled_layout):
+            assert factory().build().structural == ()
+
+    def test_build_is_deterministic(self):
+        a = angled_layout().build()
+        b = angled_layout().build()
+        assert a.slots == b.slots
+        assert a.lot == b.lot

@@ -131,6 +131,45 @@ class TestManeuvers:
         with pytest.raises(ValueError):
             perpendicular_reverse_park(SE2(0, 0, 0), radius=-1.0)
 
+    def test_arc_rejects_goal_parallel_to_aisle(self):
+        from repro.planning.maneuvers import reverse_park_arc
+
+        with pytest.raises(ValueError, match="parallel_reverse_park"):
+            reverse_park_arc(SE2(10.0, 2.0, 0.0), aisle_heading=0.0, radius=5.0)
+
+    def test_angled_arc_ends_at_goal(self):
+        from repro.planning.maneuvers import reverse_park_arc
+
+        goal = SE2(28.0, 3.0, math.radians(60.0))
+        staging, waypoints = reverse_park_arc(goal, aisle_heading=0.0, radius=9.0)
+        assert abs(staging.theta) < 1e-9
+        assert waypoints[-1].pose.distance_to(goal) < 1e-6
+        assert all(w.direction == -1 for w in waypoints)
+
+    def test_parallel_s_curve_both_sides(self):
+        from repro.planning.maneuvers import parallel_reverse_park
+
+        goal = SE2(27.0, 1.65, 0.0)
+        staging, waypoints = parallel_reverse_park(goal, radius=5.0, lateral_offset=4.0, side=1)
+        assert staging.y > goal.y and staging.x > goal.x
+        assert waypoints[-1].pose.distance_to(goal) < 1e-9
+        # Mirrored geometry: west-facing goal with the aisle on its right.
+        mirrored_goal = SE2(27.0, 10.0, math.pi)
+        staging_m, waypoints_m = parallel_reverse_park(
+            mirrored_goal, aisle_heading=math.pi, radius=5.0, lateral_offset=4.0, side=-1
+        )
+        assert staging_m.y > mirrored_goal.y and staging_m.x < mirrored_goal.x
+        assert waypoints_m[-1].pose.distance_to(mirrored_goal) < 1e-9
+        assert all(w.direction == -1 for w in waypoints_m)
+
+    def test_parallel_rejects_bad_side_and_offset(self):
+        from repro.planning.maneuvers import parallel_reverse_park
+
+        with pytest.raises(ValueError):
+            parallel_reverse_park(SE2(0, 0, 0), side=2)
+        with pytest.raises(ValueError):
+            parallel_reverse_park(SE2(0, 0, 0), radius=3.0, lateral_offset=7.0)
+
 
 class TestSegmentedFollower:
     def _two_segment_path(self):

@@ -1,0 +1,227 @@
+"""Tests for the scenario registry, procedural builds and their determinism.
+
+The hard requirement from the scenario engine: the same seed + scenario name
+must serialize to a byte-identical dictionary, within a process and across
+processes (no reliance on hash order or interpreter state).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.geometry.collision import polygon_polygon_collision, shapes_collide
+from repro.world import (
+    ScenarioConfig,
+    SpawnMode,
+    build_scenario,
+    default_scenario_registry,
+    scenario_to_dict,
+)
+from repro.world.registry import ScenarioRegistry
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+PRESET_NAMES = default_scenario_registry().names()
+
+
+class TestScenarioRegistry:
+    def test_builtin_presets_registered(self):
+        names = default_scenario_registry().names()
+        assert "legacy" in names
+        # At least four distinct layout families beyond the paper's lot.
+        families = {name.split("-")[0] for name in names if name != "legacy"}
+        assert {"perpendicular", "parallel", "angled", "dead"} <= families
+
+    def test_unknown_scenario_lists_registered(self):
+        with pytest.raises(ValueError, match="registered scenarios"):
+            build_scenario(ScenarioConfig(scenario_name="no-such-lot"))
+
+    def test_duplicate_registration_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register("lot", lambda config: None)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("lot", lambda config: None)
+        registry.register("lot", lambda config: "replaced", overwrite=True)
+        assert registry.factory_for("lot")(None) == "replaced"
+
+    def test_decorator_registration(self):
+        registry = ScenarioRegistry()
+
+        @registry.register("custom")
+        def build_custom(config):
+            return "built"
+
+        assert "custom" in registry
+        assert registry.factory_for("custom")(None) == "built"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioRegistry().register("")
+
+
+class TestProceduralScenarios:
+    @pytest.mark.parametrize("name", PRESET_NAMES)
+    def test_obstacles_collision_free(self, name):
+        scenario = build_scenario(ScenarioConfig(scenario_name=name, seed=11))
+        statics = scenario.static_obstacles
+        for i in range(len(statics)):
+            for j in range(i + 1, len(statics)):
+                assert not polygon_polygon_collision(
+                    statics[i].box.to_polygon(), statics[j].box.to_polygon()
+                ), f"{name}: {statics[i].obstacle_id} overlaps {statics[j].obstacle_id}"
+
+    @pytest.mark.parametrize("name", PRESET_NAMES)
+    def test_goal_space_not_blocked(self, name):
+        scenario = build_scenario(ScenarioConfig(scenario_name=name, seed=11))
+        goal_box = scenario.lot.goal_space.box.to_polygon()
+        for obstacle in scenario.static_obstacles:
+            assert not polygon_polygon_collision(goal_box, obstacle.box.to_polygon())
+
+    @pytest.mark.parametrize("name", PRESET_NAMES)
+    @pytest.mark.parametrize("mode", list(SpawnMode))
+    def test_spawn_footprint_collision_free(self, name, mode, vehicle_params):
+        from repro.vehicle.state import VehicleState
+
+        scenario = build_scenario(
+            ScenarioConfig(scenario_name=name, spawn_mode=mode, seed=5)
+        )
+        footprint = VehicleState.from_pose(scenario.start_pose).footprint(vehicle_params)
+        for obstacle in scenario.obstacles:
+            assert not shapes_collide(footprint, obstacle.at_time(0.0).box), (
+                f"{name}/{mode.value}: spawn collides with {obstacle.obstacle_id}"
+            )
+
+    def test_difficulty_controls_dynamic_obstacles(self):
+        easy = build_scenario(ScenarioConfig(scenario_name="perpendicular-easy", seed=0))
+        from repro.world import DifficultyLevel
+
+        normal = build_scenario(
+            ScenarioConfig(
+                scenario_name="perpendicular-easy",
+                difficulty=DifficultyLevel.NORMAL,
+                seed=0,
+            )
+        )
+        assert len(easy.dynamic_obstacles) == 0
+        assert len(normal.dynamic_obstacles) == 2
+
+    def test_layout_params_override_geometry(self):
+        wide = build_scenario(
+            ScenarioConfig(
+                scenario_name="perpendicular-easy",
+                layout_params={"aisle_width": 9.0},
+                seed=0,
+            )
+        )
+        assert wide.layout.aisle_width == 9.0
+
+    def test_clutter_preset_adds_clutter(self):
+        scenario = build_scenario(ScenarioConfig(scenario_name="angled-cluttered", seed=3))
+        assert any(o.obstacle_id.startswith("clutter-") for o in scenario.obstacles)
+
+    def test_seed_variation_changes_placement(self):
+        a = scenario_to_dict(build_scenario(ScenarioConfig(scenario_name="angled-easy", seed=1)))
+        b = scenario_to_dict(build_scenario(ScenarioConfig(scenario_name="angled-easy", seed=2)))
+        assert a["obstacles"] != b["obstacles"]
+
+    @pytest.mark.parametrize("name", [n for n in PRESET_NAMES if n != "legacy"])
+    def test_patrol_corridors_clear_of_static_obstacles(self, name):
+        """Patrols never drive through walls or clutter (swept-route check)."""
+        from repro.geometry.shapes import OrientedBox
+        from repro.world import DifficultyLevel
+
+        for seed in (0, 5, 9):
+            scenario = build_scenario(
+                ScenarioConfig(
+                    scenario_name=name, seed=seed, difficulty=DifficultyLevel.NORMAL
+                )
+            )
+            statics = [o.box.to_polygon() for o in scenario.static_obstacles]
+            for dynamic in scenario.dynamic_obstacles:
+                (x0, y0), (x1, y1) = dynamic.waypoints
+                corridor = OrientedBox(
+                    (x0 + x1) / 2.0,
+                    (y0 + y1) / 2.0,
+                    max(abs(x1 - x0), 1.0) + 0.6,
+                    max(abs(y1 - y0), 1.0) + 0.6,
+                    0.0,
+                ).to_polygon()
+                for polygon in statics:
+                    assert not polygon_polygon_collision(corridor, polygon), (
+                        f"{name}/seed={seed}: {dynamic.obstacle_id} sweeps through a static obstacle"
+                    )
+
+    def test_pre_registry_payload_zero_noise_means_difficulty_implied(self):
+        """Dicts serialized before the Optional-noise sentinel keep HARD noise."""
+        from repro.world import DifficultyLevel
+
+        old_payload = {
+            "difficulty": "hard",
+            "spawn_mode": "random",
+            "num_static_obstacles": 3,
+            "num_dynamic_obstacles": None,
+            "seed": 1,
+            "image_noise_std": 0.0,
+            "detection_noise_std": 0.0,
+        }
+        config = ScenarioConfig.from_dict(old_payload)
+        assert config.resolved_image_noise == pytest.approx(0.08)
+        assert config.resolved_detection_noise == pytest.approx(0.25)
+        # New payloads carry the registry reference, so explicit 0.0 survives.
+        explicit = ScenarioConfig.from_dict(
+            ScenarioConfig(
+                difficulty=DifficultyLevel.HARD, image_noise_std=0.0, detection_noise_std=0.0
+            ).to_dict()
+        )
+        assert explicit.resolved_image_noise == 0.0
+        assert explicit.resolved_detection_noise == 0.0
+
+
+class TestScenarioDeterminism:
+    @pytest.mark.parametrize("name", PRESET_NAMES)
+    def test_same_seed_identical_dict(self, name):
+        config = ScenarioConfig(scenario_name=name, seed=7)
+        first = json.dumps(scenario_to_dict(build_scenario(config)), sort_keys=True)
+        second = json.dumps(scenario_to_dict(build_scenario(config)), sort_keys=True)
+        assert first == second
+
+    def test_cross_process_byte_identical(self):
+        """Two fresh interpreters serialize every preset identically (and match us)."""
+        code = (
+            "import json\n"
+            "from repro.world import ScenarioConfig, build_scenario, "
+            "default_scenario_registry, scenario_to_dict\n"
+            "payload = {\n"
+            "    name: scenario_to_dict(build_scenario(ScenarioConfig(scenario_name=name, seed=7)))\n"
+            "    for name in default_scenario_registry().names()\n"
+            "}\n"
+            "print(json.dumps(payload, sort_keys=True))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        outputs = []
+        for _ in range(2):
+            result = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(result.stdout.strip())
+        assert outputs[0] == outputs[1]
+
+        in_process = json.dumps(
+            {
+                name: scenario_to_dict(
+                    build_scenario(ScenarioConfig(scenario_name=name, seed=7))
+                )
+                for name in default_scenario_registry().names()
+            },
+            sort_keys=True,
+        )
+        assert outputs[0] == in_process

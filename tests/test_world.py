@@ -93,6 +93,20 @@ class TestScenario:
             difficulty=DifficultyLevel.EASY
         ).resolved_detection_noise
 
+    def test_explicit_zero_noise_override_wins_on_hard(self):
+        """An explicit 0.0 disables noise even on HARD (None means difficulty-implied)."""
+        config = ScenarioConfig(
+            difficulty=DifficultyLevel.HARD, image_noise_std=0.0, detection_noise_std=0.0
+        )
+        assert config.resolved_image_noise == 0.0
+        assert config.resolved_detection_noise == 0.0
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(image_noise_std=-0.1)
+        with pytest.raises(ValueError):
+            ScenarioConfig(detection_noise_std=-0.1)
+
     def test_spawn_modes(self):
         close = build_scenario(ScenarioConfig(spawn_mode=SpawnMode.CLOSE, seed=0))
         remote = build_scenario(ScenarioConfig(spawn_mode=SpawnMode.REMOTE, seed=0))
