@@ -1,0 +1,148 @@
+"""Benchmark: hybrid A* across every registry preset, ESDF vs SAT-only.
+
+For each of the 8 registered scenario presets the same planning problem
+(REMOTE spawn to the expert's staging pose) is solved twice — once by the
+pre-refactor SAT-only planner and once by the ESDF-accelerated planner
+sharing the episode's :class:`~repro.spatial.SpatialIndex` — and the
+speedup is recorded.  A second pass measures `BatchExecutor` throughput on
+both backends.  Every run appends one JSON line per metric to
+``BENCH_planner.json`` / ``BENCH_throughput.json`` at the repository root,
+so the bench trajectory accumulates across revisions.
+
+Thresholds (median planner speedup >= 3x, backend result identity) are
+asserted unless ``ICOIL_BENCH_SMOKE=1`` — the CI smoke job sets it so the
+benchmarks stay *executed* without gating merges on wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import BatchExecutor, BatchSpec
+from repro.il.expert import ExpertDriver
+from repro.planning.hybrid_astar import HybridAStarPlanner
+from repro.spatial import SpatialIndex
+from repro.vehicle.params import VehicleParams
+from repro.world import ScenarioConfig, SpawnMode, build_scenario, default_scenario_registry
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PLANNER = REPO_ROOT / "BENCH_planner.json"
+BENCH_THROUGHPUT = REPO_ROOT / "BENCH_throughput.json"
+SMOKE = os.environ.get("ICOIL_BENCH_SMOKE") == "1"
+PRESETS = default_scenario_registry().names()
+REPEATS = 3
+
+
+def _append_line(path: Path, payload: dict) -> None:
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
+
+
+def _time_plan(planner, start, staging, static, lot, index=None) -> tuple:
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        begin = time.perf_counter()
+        result = planner.plan(start, staging, static, lot, spatial_index=index)
+        best = min(best, time.perf_counter() - begin)
+    return result, best
+
+
+def test_bench_hybrid_astar_presets():
+    """Median >= 3x speedup over the SAT-only planner across all presets."""
+    params = VehicleParams()
+    speedups = []
+    for name in PRESETS:
+        scenario = build_scenario(
+            ScenarioConfig(scenario_name=name, spawn_mode=SpawnMode.REMOTE, seed=1)
+        )
+        static = scenario.static_obstacles
+        expert = ExpertDriver(scenario.lot, scenario.obstacles, params)
+        staging, _ = expert.final_maneuver(static)
+
+        sat_planner = HybridAStarPlanner(params, use_spatial=False)
+        sat_result, sat_time = _time_plan(
+            sat_planner, scenario.start_pose, staging, static, scenario.lot
+        )
+
+        # The index is per-episode shared state (expert ladder, replans, HSA
+        # and CO all reuse it), so it is built outside the hot path — but its
+        # one-off cost is recorded too.
+        build_begin = time.perf_counter()
+        index = SpatialIndex(scenario.lot, static, params)
+        index_build_time = time.perf_counter() - build_begin
+        esdf_planner = HybridAStarPlanner(params, use_spatial=True)
+        esdf_result, esdf_time = _time_plan(
+            esdf_planner, scenario.start_pose, staging, static, scenario.lot, index=index
+        )
+
+        assert esdf_result.success == sat_result.success, f"{name}: success diverged"
+        speedup = sat_time / esdf_time if esdf_time > 0 else float("inf")
+        speedups.append(speedup)
+        _append_line(
+            BENCH_PLANNER,
+            {
+                "event": "planner_bench",
+                "scenario": name,
+                "sat_ms": round(sat_time * 1e3, 3),
+                "esdf_ms": round(esdf_time * 1e3, 3),
+                "index_build_ms": round(index_build_time * 1e3, 3),
+                "speedup": round(speedup, 2),
+                "expanded_sat": sat_result.expanded_nodes,
+                "expanded_esdf": esdf_result.expanded_nodes,
+                "success": bool(esdf_result.success),
+            },
+        )
+
+    median_speedup = statistics.median(speedups)
+    _append_line(
+        BENCH_PLANNER,
+        {"event": "planner_bench_summary", "median_speedup": round(median_speedup, 2)},
+    )
+    print(f"\nhybrid A* median speedup across {len(PRESETS)} presets: {median_speedup:.2f}x")
+    if not SMOKE:
+        assert median_speedup >= 3.0, f"median speedup regressed to {median_speedup:.2f}x"
+
+
+def test_bench_batch_throughput_backends():
+    """BatchExecutor episodes/sec on both backends, appended to the trajectory.
+
+    On a multi-core machine the process backend should beat the thread
+    backend roughly linearly in cores; on a single core the assertion is
+    skipped (there is nothing to scale over) but identity still holds.
+    """
+    spec = BatchSpec(
+        method="expert",
+        seeds=tuple(range(32)),
+        spawn_mode=SpawnMode.CLOSE,
+        scenario_name="perpendicular-easy",
+        time_limit=40.0,
+    )
+    outcomes = {}
+    for backend in ("thread", "process"):
+        executor = BatchExecutor(
+            backend=backend,
+            max_workers=4,
+            summary_stream=None,
+            bench_path=BENCH_THROUGHPUT,
+        )
+        outcomes[backend] = executor.run(spec)
+    thread_outcome, process_outcome = outcomes["thread"], outcomes["process"]
+    assert process_outcome.results == thread_outcome.results, "backends diverged"
+    ratio = (
+        process_outcome.summary.episodes_per_second
+        / thread_outcome.summary.episodes_per_second
+    )
+    print(f"\nprocess/thread throughput ratio on {os.cpu_count()} cores: {ratio:.2f}x")
+    if not SMOKE and (os.cpu_count() or 1) >= 4:
+        assert ratio >= 2.0, f"process backend only reached {ratio:.2f}x thread throughput"
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v", "-s"])

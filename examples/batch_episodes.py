@@ -2,7 +2,7 @@
 
 Run with::
 
-    python examples/batch_episodes.py [--seeds N] [--workers W]
+    python examples/batch_episodes.py [--seeds N] [--workers W] [--backend thread|process]
 
 Builds one declarative :class:`BatchSpec` spanning two difficulty levels,
 fans it out over a worker pool, and prints the per-difficulty aggregates plus
@@ -26,9 +26,20 @@ def main() -> None:
     parser.add_argument("--seeds", type=int, default=6, help="episodes per difficulty")
     parser.add_argument("--workers", type=int, default=4, help="worker pool size")
     parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool backend; 'process' scales with cores (identical results)",
+    )
+    parser.add_argument(
         "--scenario",
         default="legacy",
         help="registered scenario name (see repro.world.default_scenario_registry)",
+    )
+    parser.add_argument(
+        "--bench-out",
+        default=None,
+        help="optional BENCH_*.json file the batch summary is appended to",
     )
     args = parser.parse_args()
 
@@ -43,9 +54,16 @@ def main() -> None:
         time_limit=70.0,
     )
     executor = BatchExecutor(
-        il_policy=policy, max_workers=args.workers, summary_stream=sys.stdout
+        il_policy=policy,
+        max_workers=args.workers,
+        backend=args.backend,
+        summary_stream=sys.stdout,
+        bench_path=args.bench_out,
     )
-    print(f"Running {spec.num_episodes} iCOIL episodes on {args.workers} workers ...")
+    print(
+        f"Running {spec.num_episodes} iCOIL episodes on {args.workers} "
+        f"{args.backend} workers ..."
+    )
     outcome = executor.run(spec)
 
     for index, difficulty in enumerate(spec.difficulties):

@@ -31,7 +31,7 @@ Quickstart::
 """
 
 from repro.api.events import EPISODE_TOPIC, STEP_TOPIC, EpisodeCompletedEvent, StepEvent
-from repro.api.executor import BatchExecutor, BatchOutcome, BatchSummary
+from repro.api.executor import BACKENDS, BatchExecutor, BatchOutcome, BatchSummary
 from repro.api.registry import (
     ControlStep,
     ControllerContext,
@@ -50,6 +50,7 @@ from repro.api.trace import EpisodeTrace
 from repro.api import methods as _builtin_methods  # noqa: F401  (side-effect import)
 
 __all__ = [
+    "BACKENDS",
     "BatchExecutor",
     "BatchOutcome",
     "BatchSpec",

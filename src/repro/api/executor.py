@@ -1,15 +1,30 @@
-"""Batched episode execution over a worker pool.
+"""Batched episode execution over pluggable worker pools.
 
 :class:`BatchExecutor` expands a :class:`BatchSpec` into per-episode specs
-and runs them on a thread pool.  Every episode is fully self-contained
+and runs them on a worker pool.  Every episode is fully self-contained
 (per-episode world, controller and seeded RNGs; the shared IL policy is
 read-only at inference time), so results are bitwise-deterministic and are
 returned in the spec's expansion order — difficulty-major, seed-minor —
 regardless of how the pool interleaves the work.
 
+Two backends share that contract:
+
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; cheap to
+  spin up, but episode stepping is pure Python so throughput is bounded by
+  the GIL.
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`; specs
+  cross the process boundary through their JSON-safe ``to_dict`` /
+  ``from_dict`` round-trip (the same contract distributed execution uses),
+  workers cache the unpickled policy/params once per process, and each
+  returns only the ``(result, trace)`` pair so IPC stays light.  Because
+  scenarios and sessions are seed-deterministic, both backends produce
+  bitwise-identical :class:`EpisodeResult` sequences.
+
 After each batch the executor emits a one-line JSON throughput summary
-(episodes run, wall time, episodes/sec) so benchmark harnesses can track
-batch throughput across revisions (``BENCH_*.json``).
+(episodes run, wall time, episodes/sec, backend) so benchmark harnesses can
+track batch throughput across revisions; pass ``bench_path`` to append the
+same line to a ``BENCH_*.json`` trajectory file (one JSON object per line,
+append-per-run).
 """
 
 from __future__ import annotations
@@ -18,18 +33,46 @@ import json
 import os
 import sys
 import time as time_module
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.il.policy import ILPolicy
 from repro.vehicle.params import VehicleParams
 
+from repro.api.methods import BUILTIN_METHODS
 from repro.api.registry import ControllerRegistry, default_registry
 from repro.api.results import EpisodeResult
 from repro.api.session import ParkingSession, SessionOutcome
 from repro.api.specs import BatchSpec, EpisodeSpec
 from repro.api.trace import EpisodeTrace
+
+BACKENDS = ("thread", "process")
+
+
+# ---------------------------------------------------------------------------
+# Process-backend worker machinery (module level: must be picklable by spawn)
+# ---------------------------------------------------------------------------
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _process_worker_init(il_policy: Optional[ILPolicy], vehicle_params: VehicleParams) -> None:
+    """Cache the shared read-only inputs once per worker process."""
+    _WORKER_STATE["il_policy"] = il_policy
+    _WORKER_STATE["vehicle_params"] = vehicle_params
+
+
+def _process_run_spec(payload: dict) -> Tuple[EpisodeResult, EpisodeTrace]:
+    """Rebuild one spec from its dict form and run it in this worker."""
+    spec = EpisodeSpec.from_dict(payload)
+    session = ParkingSession(
+        spec,
+        il_policy=_WORKER_STATE.get("il_policy"),
+        vehicle_params=_WORKER_STATE.get("vehicle_params"),
+    )
+    outcome = session.run()
+    return outcome.result, outcome.trace
 
 
 @dataclass(frozen=True)
@@ -42,6 +85,7 @@ class BatchSummary:
     wall_time_s: float
     episodes_per_second: float
     num_workers: int
+    backend: str = "thread"
 
     def to_json_line(self) -> str:
         """One compact JSON line (the ``BENCH_*.json`` ingestion format)."""
@@ -54,6 +98,7 @@ class BatchSummary:
                 "wall_time_s": round(self.wall_time_s, 4),
                 "episodes_per_sec": round(self.episodes_per_second, 3),
                 "workers": self.num_workers,
+                "backend": self.backend,
             },
             separators=(",", ":"),
         )
@@ -90,10 +135,20 @@ class BatchExecutor:
         Pool size; defaults to ``min(batch size, CPU count, 8)``.  A size
         of 1 degrades gracefully to serial execution with identical
         results and ordering.
+    backend:
+        ``"thread"`` (default) or ``"process"``.  The process backend
+        requires the default controller registry (worker processes rebuild
+        it at import time; dynamically registered methods would not exist
+        there) and pays a per-pool fork cost, in exchange for true
+        multi-core scaling of CPU-bound batches.
     summary_stream:
         Where the one-line JSON summary is written after each batch
         (default: whatever ``sys.stderr`` is at emit time, so redirection
         works); pass ``None`` to silence it.
+    bench_path:
+        Optional path of an append-per-run ``BENCH_*.json`` file; every
+        batch appends its summary line there (see ``BENCH_throughput.json``
+        at the repository root for the accumulated trajectory).
     """
 
     _STDERR = object()  # sentinel: resolve sys.stderr when the summary is emitted
@@ -105,15 +160,27 @@ class BatchExecutor:
         vehicle_params: Optional[VehicleParams] = None,
         registry: Optional[ControllerRegistry] = None,
         max_workers: Optional[int] = None,
+        backend: str = "thread",
         summary_stream=_STDERR,
+        bench_path: Optional[Union[str, Path]] = None,
     ) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if backend == "process" and registry is not None and registry is not default_registry():
+            raise ValueError(
+                "the process backend resolves methods against the default registry "
+                "rebuilt inside each worker; custom registry instances cannot cross "
+                "the process boundary — use backend='thread' for them"
+            )
         self.il_policy = il_policy
         self.vehicle_params = vehicle_params or VehicleParams()
         self.registry = registry or default_registry()
         self.max_workers = max_workers
+        self.backend = backend
         self.summary_stream = summary_stream
+        self.bench_path = Path(bench_path) if bench_path is not None else None
 
     # ------------------------------------------------------------------
     # Execution
@@ -132,14 +199,21 @@ class BatchExecutor:
         )
         return session.run()
 
-    def run_specs(self, specs: Sequence[EpisodeSpec], method: str = "mixed") -> BatchOutcome:
-        """Run explicit episode specs, preserving their order in the results."""
-        specs = list(specs)
-        # Resolve every method up front so a typo fails before any work runs.
-        for spec in specs:
-            self.registry.factory_for(spec.method)
-        workers = self._pool_size(len(specs))
-        start = time_module.perf_counter()
+    def _run_pairs(
+        self, specs: Sequence[EpisodeSpec], workers: int
+    ) -> List[Tuple[EpisodeResult, EpisodeTrace]]:
+        """Run the specs on the configured backend, preserving order."""
+        if self.backend == "process" and workers > 1:
+            payloads = [spec.to_dict() for spec in specs]
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_process_worker_init,
+                initargs=(self.il_policy, self.vehicle_params),
+            ) as pool:
+                # map preserves submission order regardless of completion
+                # order; chunksize 1 keeps long episodes from serialising
+                # behind each other on one worker.
+                return list(pool.map(_process_run_spec, payloads, chunksize=1))
         if workers == 1:
             outcomes: List[SessionOutcome] = [self._run_one(spec) for spec in specs]
         else:
@@ -148,9 +222,32 @@ class BatchExecutor:
                 # spec-expansion (difficulty-major, seed-minor) ordering
                 # independent of worker scheduling.
                 outcomes = list(pool.map(self._run_one, specs))
+        return [(outcome.result, outcome.trace) for outcome in outcomes]
+
+    def run_specs(self, specs: Sequence[EpisodeSpec], method: str = "mixed") -> BatchOutcome:
+        """Run explicit episode specs, preserving their order in the results."""
+        specs = list(specs)
+        # Resolve every method up front so a typo fails before any work runs.
+        for spec in specs:
+            self.registry.factory_for(spec.method)
+        workers = self._pool_size(len(specs))
+        if self.backend == "process" and workers > 1:
+            # Worker processes resolve methods against a freshly imported
+            # default registry: only the built-ins are guaranteed to exist
+            # there (under a spawn start method, runtime registrations made
+            # in this process never do).  Fail here, not mid-batch.
+            for spec in specs:
+                if spec.method not in BUILTIN_METHODS:
+                    raise ValueError(
+                        f"method {spec.method!r} is registered in this process only; "
+                        f"the process backend can run built-in methods {BUILTIN_METHODS} "
+                        "— use backend='thread' for runtime-registered methods"
+                    )
+        start = time_module.perf_counter()
+        pairs = self._run_pairs(specs, workers)
         wall_time = time_module.perf_counter() - start
 
-        results = tuple(outcome.result for outcome in outcomes)
+        results = tuple(result for result, _ in pairs)
         summary = BatchSummary(
             method=method,
             num_episodes=len(results),
@@ -158,16 +255,24 @@ class BatchExecutor:
             wall_time_s=wall_time,
             episodes_per_second=len(results) / wall_time if wall_time > 0 else float("inf"),
             num_workers=workers,
+            backend=self.backend,
         )
-        stream = sys.stderr if self.summary_stream is BatchExecutor._STDERR else self.summary_stream
-        if stream is not None:
-            print(summary.to_json_line(), file=stream)
+        self._emit_summary(summary)
         return BatchOutcome(
             spec=None,
             results=results,
-            traces=tuple(outcome.trace for outcome in outcomes),
+            traces=tuple(trace for _, trace in pairs),
             summary=summary,
         )
+
+    def _emit_summary(self, summary: BatchSummary) -> None:
+        line = summary.to_json_line()
+        stream = sys.stderr if self.summary_stream is BatchExecutor._STDERR else self.summary_stream
+        if stream is not None:
+            print(line, file=stream)
+        if self.bench_path is not None:
+            with open(self.bench_path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
 
     def run(self, spec: BatchSpec) -> BatchOutcome:
         """Expand ``spec`` and run all of its episodes on the pool."""

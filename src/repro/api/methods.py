@@ -18,7 +18,12 @@ from repro.vehicle.state import VehicleState
 from repro.world.obstacles import Obstacle
 from repro.world.parking_lot import ParkingLot
 
-from repro.api.registry import ControlStep, ControllerContext, register_method
+from repro.api.registry import (
+    ControlStep,
+    ControllerContext,
+    default_registry,
+    register_method,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -121,3 +126,11 @@ def build_expert(context: ControllerContext) -> ExpertSessionController:
     """The scripted demonstrator used to generate IL training data."""
     context.reference_path  # plan eagerly so failures surface at build time
     return ExpertSessionController(context.expert)
+
+
+# Methods guaranteed to exist in any process that imports repro.api — the
+# set the process-backend executor can promise its workers will resolve
+# (runtime-registered methods only exist in the registering process).
+# Snapshotted at the end of this module's import, so it tracks the
+# registrations above automatically.
+BUILTIN_METHODS = default_registry().names()

@@ -22,6 +22,7 @@ from repro.perception.bev import BEVRenderer
 from repro.perception.detector import DetectionNoiseModel, ObjectDetector
 from repro.perception.noise import GaussianImageNoise, NoNoise
 from repro.planning.waypoints import WaypointPath
+from repro.spatial import SpatialIndex
 from repro.vehicle.actions import Action
 from repro.vehicle.params import VehicleParams
 from repro.vehicle.state import VehicleState
@@ -92,6 +93,7 @@ class ControllerContext:
         self._detector: Optional[ObjectDetector] = None
         self._expert: Optional[ExpertDriver] = None
         self._reference_path: Optional[WaypointPath] = None
+        self._spatial_index: Optional[SpatialIndex] = None
 
     # -- resolved perception noise ------------------------------------
     @property
@@ -137,11 +139,28 @@ class ControllerContext:
         return self._detector
 
     @property
+    def spatial_index(self) -> SpatialIndex:
+        """The scenario's static-scene spatial index, built on first access.
+
+        Shared by every consumer of this context — the expert's planner, the
+        iCOIL HSA distances and the CO constraint seeding all query the same
+        precomputed occupancy grid + ESDF.
+        """
+        if self._spatial_index is None:
+            self._spatial_index = SpatialIndex.from_scenario(
+                self.scenario, vehicle_params=self.vehicle_params
+            )
+        return self._spatial_index
+
+    @property
     def expert(self) -> ExpertDriver:
         """The scripted expert for this scenario, built on first access."""
         if self._expert is None:
             self._expert = ExpertDriver(
-                self.scenario.lot, self.scenario.obstacles, self.vehicle_params
+                self.scenario.lot,
+                self.scenario.obstacles,
+                self.vehicle_params,
+                spatial_index=self.spatial_index,
             )
         return self._expert
 
@@ -158,7 +177,12 @@ class ControllerContext:
     # -- helpers -------------------------------------------------------
     def make_co_controller(self) -> COController:
         """A fresh constrained-optimization controller (stateful, per-episode)."""
-        return COController(self.vehicle_params, horizon=self.icoil.horizon, dt=self.dt)
+        return COController(
+            self.vehicle_params,
+            horizon=self.icoil.horizon,
+            dt=self.dt,
+            spatial_index=self.spatial_index,
+        )
 
     def require_policy(self, method: str) -> ILPolicy:
         if self.il_policy is None:

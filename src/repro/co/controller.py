@@ -27,6 +27,7 @@ from repro.co.constraints import CollisionConstraintSet, ControlBounds, Obstacle
 from repro.co.mpc import MPCProblem
 from repro.co.solver import GaussNewtonSolver, SolverResult
 from repro.perception.detector import Detection
+from repro.spatial import SpatialIndex
 from repro.planning.progress import SegmentedPathFollower
 from repro.planning.waypoints import WaypointPath
 from repro.vehicle.actions import Action
@@ -63,6 +64,7 @@ class COController:
         solver: Optional[GaussNewtonSolver] = None,
         constraint_set: Optional[CollisionConstraintSet] = None,
         goal_slowdown_distance: float = 4.0,
+        spatial_index: Optional[SpatialIndex] = None,
     ) -> None:
         if horizon < 2:
             raise ValueError(f"horizon must be at least 2, got {horizon}")
@@ -79,7 +81,9 @@ class COController:
         self.reverse_speed = reverse_speed
         self.model = AckermannModel(self.vehicle_params, dt=planning_dt)
         self.solver = solver or GaussNewtonSolver()
-        self.constraint_set = constraint_set or CollisionConstraintSet(self.vehicle_params)
+        self.constraint_set = constraint_set or CollisionConstraintSet(
+            self.vehicle_params, spatial_index=spatial_index
+        )
         self.goal_slowdown_distance = goal_slowdown_distance
         self.bounds = ControlBounds.from_vehicle(self.vehicle_params)
         self._reference_path: Optional[WaypointPath] = None
@@ -118,7 +122,9 @@ class COController:
             raise RuntimeError("COController.act called before set_reference_path()")
 
         references, headings, direction, reference_speed = self._build_reference(state)
-        predictions = self.constraint_set.from_detections(detections, self.planning_dt, self.horizon)
+        predictions = self.constraint_set.from_detections(
+            detections, self.planning_dt, self.horizon, ego_position=state.position
+        )
 
         problem = MPCProblem(
             model=self.model,

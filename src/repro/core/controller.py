@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.co.controller import COController, COSolveInfo
 from repro.core.config import ICOILConfig
-from repro.core.hsa import HSAModel, HSAReading
+from repro.core.hsa import HSAModel, HSAReading, hsa_obstacle_distances
 from repro.il.policy import ILPolicy
 from repro.perception.bev import BEVImage, BEVRenderer
 from repro.perception.detector import Detection, ObjectDetector
@@ -128,13 +128,7 @@ class ICOILController:
         il_inference_time = time_module.perf_counter() - il_start
 
         detections = self.detector.detect(state, obstacles, time=time)
-        obstacle_distances = (
-            np.linalg.norm(
-                np.array([detection.center for detection in detections]) - state.position, axis=1
-            )
-            if detections
-            else np.zeros(0)
-        )
+        obstacle_distances = hsa_obstacle_distances(state.position, detections)
 
         reading = self.hsa.update(probabilities, obstacle_distances)
         switched = self._update_mode(reading)

@@ -29,6 +29,20 @@ from typing import Deque, Optional, Sequence
 import numpy as np
 
 from repro.core.config import ICOILConfig
+from repro.spatial import oriented_box_distances
+
+
+def hsa_obstacle_distances(position: np.ndarray, detections: Sequence) -> np.ndarray:
+    """The per-obstacle distances ``D_{i,k}`` of Eq. 8, from the spatial engine.
+
+    One vectorized :func:`~repro.spatial.oriented_box_distances` query
+    returns the distance from the ego position to each detection's
+    *boundary* — the quantity the CO solve cost actually depends on.  The
+    centre-to-centre distances used before overestimated ``D_{i,k}`` by up
+    to half an obstacle diagonal, under-counting the complexity of scenes
+    where the ego skims along large obstacles.
+    """
+    return oriented_box_distances(position, [detection.box for detection in detections])
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,7 @@ sweeps.
 
 from __future__ import annotations
 
+import os
 import time as time_module
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -73,8 +74,15 @@ def _run_session(
 
 
 def _executor_for(runner: EpisodeRunner) -> BatchExecutor:
+    """The experiment harness's batch executor.
+
+    ``ICOIL_EXECUTOR_BACKEND=process`` switches every experiment's batches
+    to the multi-core process pool (results are bitwise-identical to the
+    thread backend, so tables and figures do not change — only wall time).
+    """
+    backend = os.environ.get("ICOIL_EXECUTOR_BACKEND", "thread")
     return BatchExecutor(
-        il_policy=runner.il_policy, vehicle_params=runner.vehicle_params
+        il_policy=runner.il_policy, vehicle_params=runner.vehicle_params, backend=backend
     )
 
 

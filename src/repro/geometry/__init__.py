@@ -31,6 +31,7 @@ from repro.geometry.collision import (
     closest_point_on_segment,
     distance_between,
     point_in_polygon,
+    points_in_polygon,
     polygon_polygon_collision,
     shapes_collide,
     signed_distance_circle_polygon,
@@ -49,6 +50,7 @@ __all__ = [
     "distance_between",
     "normalize_angle",
     "point_in_polygon",
+    "points_in_polygon",
     "polygon_polygon_collision",
     "shapes_collide",
     "signed_distance_circle_polygon",

@@ -45,6 +45,22 @@ def point_in_polygon(point: np.ndarray, polygon: ConvexPolygon) -> bool:
     return polygon.contains(point)
 
 
+def points_in_polygon(points: np.ndarray, polygon: ConvexPolygon) -> np.ndarray:
+    """Vectorized convex membership test for an ``(N, 2)`` batch of points.
+
+    One half-plane cross product per (point, edge) pair — the rasterization
+    path of the occupancy grid, where a per-point Python loop would dominate
+    scenario setup.
+    """
+    points = np.asarray(points, dtype=float).reshape(-1, 2)
+    vertices = polygon.vertices()
+    edges = polygon.edges()
+    # cross[n, e] = edge_e x (point_n - vertex_e); inside when all >= 0.
+    to_points = points[:, None, :] - vertices[None, :, :]
+    cross = edges[None, :, 0] * to_points[:, :, 1] - edges[None, :, 1] * to_points[:, :, 0]
+    return np.all(cross >= -1e-12, axis=1)
+
+
 def point_polygon_distance(point: np.ndarray, polygon: ConvexPolygon) -> float:
     """Distance from a point to a convex polygon (0 if inside)."""
     point = np.asarray(point, dtype=float).reshape(2)

@@ -30,6 +30,7 @@ from repro.planning.maneuvers import parallel_reverse_park, reverse_park_arc
 from repro.planning.progress import SegmentedPathFollower
 from repro.planning.reeds_shepp import shortest_reeds_shepp_path
 from repro.planning.waypoints import Waypoint, WaypointPath
+from repro.spatial import SpatialIndex
 from repro.vehicle.actions import Action
 from repro.vehicle.params import VehicleParams
 from repro.vehicle.state import VehicleState
@@ -63,18 +64,38 @@ class ExpertDriver:
         vehicle_params: Optional[VehicleParams] = None,
         config: Optional[ExpertConfig] = None,
         planner: Optional[HybridAStarPlanner] = None,
+        spatial_index: Optional[SpatialIndex] = None,
     ) -> None:
         self.lot = lot
         self.obstacles = list(obstacles)
         self.vehicle_params = vehicle_params or VehicleParams()
         self.config = config or ExpertConfig()
         self.planner = planner or HybridAStarPlanner(self.vehicle_params)
+        self._spatial_index = spatial_index
         self._path: Optional[WaypointPath] = None
         self._follower: Optional[SegmentedPathFollower] = None
         self._replanning_enabled = True
         # Kerbside S-curves flip curvature mid-maneuver; the steering-rate
         # limit then demands slower, tighter tracking than a single arc.
         self._parallel_final = False
+
+    @property
+    def spatial_index(self) -> Optional[SpatialIndex]:
+        """The static-scene index shared by planner and clearance ladder.
+
+        Built lazily over the static obstacles on first use (or injected by
+        the session layer so every per-episode consumer shares one), and
+        reused across every replan; ``None`` when the planner opts out of
+        spatial acceleration.
+        """
+        if self._spatial_index is None and self.planner.use_spatial:
+            static_obstacles = [
+                obstacle for obstacle in self.obstacles if not obstacle.is_dynamic
+            ]
+            self._spatial_index = SpatialIndex(
+                self.lot, static_obstacles, self.vehicle_params
+            )
+        return self._spatial_index
 
     # ------------------------------------------------------------------
     # Reference path
@@ -91,6 +112,20 @@ class ExpertDriver:
             pose, obstacle_polygons, self.lot, margin=inflation / 2.0
         )
 
+    def _poses_are_clear(self, poses, obstacle_polygons, inflation: float) -> bool:
+        """Batched :meth:`_pose_is_clear`: one ESDF query, SAT only near contact."""
+        return not self.planner.poses_in_collision(
+            poses,
+            obstacle_polygons,
+            self.lot,
+            index=self.spatial_index,
+            margin=inflation / 2.0,
+        )
+
+    def _sweep_poses(self, waypoints) -> list:
+        """The subsampled swept poses a maneuver is clearance-checked at."""
+        return [waypoint.pose for waypoint in waypoints[::3]] + [waypoints[-1].pose]
+
     def _maneuver_is_clear(self, staging, waypoints, obstacle_polygons) -> bool:
         """Whether a candidate final maneuver stays clear of static obstacles.
 
@@ -98,12 +133,41 @@ class ExpertDriver:
         checked with a slimmer one — passing close to the flanking cars is
         what parking *is*.
         """
-        if not self._pose_is_clear(staging, obstacle_polygons, inflation=0.7):
-            return False
-        poses = [waypoint.pose for waypoint in waypoints[::3]] + [waypoints[-1].pose]
-        return all(
-            self._pose_is_clear(pose, obstacle_polygons, inflation=0.3) for pose in poses
+        return self._pose_is_clear(
+            staging, obstacle_polygons, inflation=0.7
+        ) and self._sweep_is_clear(waypoints, obstacle_polygons)
+
+    def _sweep_is_clear(self, waypoints, obstacle_polygons) -> bool:
+        """Whether a maneuver's swept arc (staging excluded) is clear."""
+        return self._poses_are_clear(
+            self._sweep_poses(waypoints), obstacle_polygons, inflation=0.3
         )
+
+    def _maneuver_clearance_score(self, staging, waypoints) -> float:
+        """ESDF-based quality score of a (possibly unclear) maneuver candidate.
+
+        The minimum conservative clearance bound over the swept poses (the
+        staging pose weighted in at the planner margin): higher means the
+        sweep passes farther from the static scene.  Lets the radius ladder
+        rank *imperfect* candidates instead of falling back to the first one
+        blindly — tight kerbside bays rarely offer a fully clear sweep, but
+        the least-intrusive one usually tracks into the slot without
+        touching the neighbours.
+        """
+        index = self.spatial_index
+        if index is None:
+            return -math.inf
+        sweep = np.array(
+            [[pose.x, pose.y, pose.theta] for pose in self._sweep_poses(waypoints)]
+        )
+        sweep_score = float(index.pose_clearance(sweep, margin=0.15).min())
+        staging_array = np.array([[staging.x, staging.y, staging.theta]])
+        staging_score = float(index.pose_clearance(staging_array, margin=0.35).min())
+        return min(sweep_score, staging_score)
+
+    def final_maneuver(self, static_obstacles: Sequence[Obstacle]):
+        """Public alias of :meth:`_final_maneuver` (used by the benchmarks)."""
+        return self._final_maneuver(static_obstacles)
 
     def _final_maneuver(self, static_obstacles: Sequence[Obstacle]):
         """The analytic end-of-path maneuver for this lot's slot family.
@@ -122,6 +186,12 @@ class ExpertDriver:
         slot_angle = abs(normalize_angle(goal.theta - aisle))
         slot_angle = min(slot_angle, math.pi - slot_angle)
         choice = None
+        # Fallback ranking when no candidate sweep is fully clear: keep the
+        # one whose ESDF clearance bound is least bad (see
+        # :meth:`_maneuver_clearance_score`).
+        best_score = -math.inf
+        best_scored = None
+        scored_candidates = []  # (score, sweep_length_proxy, staging, waypoints)
 
         self._parallel_final = slot_angle < math.radians(20.0)
         if self._parallel_final:
@@ -153,8 +223,26 @@ class ExpertDriver:
                     )
                     if choice is None:
                         choice = (staging, waypoints)
-                    if self._maneuver_is_clear(staging, waypoints, obstacle_polygons):
-                        return staging, waypoints
+                    if self._pose_is_clear(staging, obstacle_polygons):
+                        if self._sweep_is_clear(waypoints, obstacle_polygons):
+                            return staging, waypoints
+                        score = self._maneuver_clearance_score(staging, waypoints)
+                        scored_candidates.append((score, len(waypoints), staging, waypoints))
+            # Tight kerbside bays rarely offer a fully clear sweep.  Gate the
+            # candidates by their ESDF clearance bound (within 0.1 m of the
+            # best achievable — everything appreciably worse really is
+            # worse), then prefer the *shortest* S-curve: the smaller the
+            # swept heading change, the smaller the tracking deviation while
+            # squeezing past the neighbours.
+            if scored_candidates:
+                best_score = max(candidate[0] for candidate in scored_candidates)
+                eligible = [
+                    candidate
+                    for candidate in scored_candidates
+                    if candidate[0] >= best_score - 0.1
+                ]
+                _, _, staging, waypoints = min(eligible, key=lambda candidate: candidate[1])
+                return staging, waypoints
             return choice
 
         base = self.config.reverse_park_radius
@@ -163,13 +251,19 @@ class ExpertDriver:
             staging, waypoints = reverse_park_arc(goal, aisle_heading=aisle, radius=base * scale)
             if choice is None:
                 choice = (staging, waypoints)
-            if self._maneuver_is_clear(staging, waypoints, obstacle_polygons):
-                return staging, waypoints
-            if staging_clear_choice is None and self._pose_is_clear(staging, obstacle_polygons):
-                staging_clear_choice = (staging, waypoints)
-        # No fully clear sweep: prefer a reachable staging pose (the planner
-        # can at least get there) over the blind default.
-        return staging_clear_choice or choice
+            if self._pose_is_clear(staging, obstacle_polygons):
+                if self._sweep_is_clear(waypoints, obstacle_polygons):
+                    return staging, waypoints
+                score = self._maneuver_clearance_score(staging, waypoints)
+                if staging_clear_choice is None:
+                    staging_clear_choice = (staging, waypoints)
+                if score > best_score:
+                    best_score = score
+                    best_scored = (staging, waypoints)
+        # No fully clear sweep: prefer the least-intrusive sweep among the
+        # reachable staging poses, then any reachable staging pose, then the
+        # blind default.
+        return best_scored or staging_clear_choice or choice
 
     def plan_reference(self, start: SE2) -> Optional[WaypointPath]:
         """(Re)compute the reference path from ``start`` to the parking space.
@@ -189,7 +283,9 @@ class ExpertDriver:
         if start.distance_to(staging) < 1.0:
             self._path = WaypointPath([Waypoint(start, 1)] + reverse_waypoints)
         else:
-            result = self.planner.plan(start, staging, static_obstacles, self.lot)
+            result = self.planner.plan(
+                start, staging, static_obstacles, self.lot, spatial_index=self.spatial_index
+            )
             if result.success and result.path is not None:
                 waypoints = result.path.waypoints + reverse_waypoints
                 self._path = WaypointPath(waypoints)

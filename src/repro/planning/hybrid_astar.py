@@ -6,6 +6,17 @@ pruning with a discretised closed set.  Whenever a node gets close to the
 goal, an analytic Reeds-Shepp expansion is attempted and collision-checked;
 the first collision-free shot completes the path.  The output is the global
 reference path consumed by the CO module (Eq. 4) and by the scripted expert.
+
+Collision checking is two-phase.  The broad phase queries the scenario's
+:class:`~repro.spatial.SpatialIndex`: all swept poses of an expansion are
+covered by footprint circles whose centres are precomputed *in the node's
+local frame*, so one rotation + one batched ESDF lookup bounds the clearance
+of every successor at once.  Only poses the conservative bound cannot clear
+fall through to the exact SAT narrow phase — the same
+:meth:`pose_in_collision` the pre-index planner ran for every single pose.
+The index also supplies an obstacle-aware 2D Dijkstra heuristic, which is
+what keeps expansion counts small in cul-de-sacs and cluttered lots where a
+Euclidean heuristic drives the search into walls.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ from repro.geometry.se2 import SE2
 from repro.geometry.shapes import OrientedBox
 from repro.planning.reeds_shepp import shortest_reeds_shepp_path
 from repro.planning.waypoints import Waypoint, WaypointPath
+from repro.spatial import FootprintCache, FootprintCircles, SpatialIndex
 from repro.vehicle.params import VehicleParams
 from repro.world.obstacles import Obstacle
 from repro.world.parking_lot import ParkingLot
@@ -72,6 +84,12 @@ class HybridAStarPlanner:
         Cost shaping terms that prefer forward, smooth, low-curvature paths.
     safety_margin:
         Footprint inflation applied during collision checks (m).
+    use_spatial:
+        When true (the default) the planner uses a
+        :class:`~repro.spatial.SpatialIndex` — passed into :meth:`plan` or
+        built on the spot — for broad-phase collision bounds and the
+        obstacle-aware heuristic.  ``False`` restores the pure per-pose SAT
+        planner (kept for benchmarking and as an equivalence oracle).
     """
 
     def __init__(
@@ -87,6 +105,8 @@ class HybridAStarPlanner:
         safety_margin: float = 0.35,
         max_expansions: int = 20000,
         goal_shot_distance: float = 12.0,
+        use_spatial: bool = True,
+        flood_after_expansions: int = 64,
     ) -> None:
         if num_steer_primitives < 3:
             raise ValueError(f"num_steer_primitives must be at least 3, got {num_steer_primitives}")
@@ -105,6 +125,30 @@ class HybridAStarPlanner:
         self.safety_margin = safety_margin
         self.max_expansions = max_expansions
         self.goal_shot_distance = goal_shot_distance
+        self.use_spatial = use_spatial
+        # Expansion budget after which the obstacle-aware Dijkstra flood is
+        # built: open scenes converge long before and never pay for it;
+        # scenes where the Euclidean heuristic misleads the search (walls,
+        # dead ends) upgrade to the flood once the budget is burnt.
+        self.flood_after_expansions = flood_after_expansions
+        # Swept poses of every motion primitive, expressed in the expanding
+        # node's frame: built once, reused by every expansion of every plan.
+        self._sweep_fractions = max(2, int(math.ceil(self.step_size / 0.4)))
+        self._local_primitives = self._expand(SE2.identity())
+        self._local_sweeps: List[List[SE2]] = [
+            [
+                SE2.identity().interpolate(successor, (index + 1) / self._sweep_fractions)
+                for index in range(self._sweep_fractions)
+            ]
+            for successor, _, _ in self._local_primitives
+        ]
+        self._sweep_circle_points: Optional[np.ndarray] = None  # (P, F, C, 2) local
+        # Footprint covering circles are derived from the *planner's* vehicle
+        # params, never from a passed-in index, so the broad-phase bound
+        # always covers the same footprint the SAT narrow phase checks —
+        # even if a caller hands plan() an index built with different
+        # vehicle params.
+        self._footprint_circles = FootprintCache(self.vehicle_params)
 
     # ------------------------------------------------------------------
     # Public API
@@ -115,9 +159,21 @@ class HybridAStarPlanner:
         goal: SE2,
         obstacles: Sequence[Obstacle],
         lot: ParkingLot,
+        spatial_index: Optional[SpatialIndex] = None,
     ) -> PlannerResult:
-        """Plan a collision-free path from ``start`` to ``goal``."""
+        """Plan a collision-free path from ``start`` to ``goal``.
+
+        ``spatial_index`` must describe the same ``lot`` and ``obstacles``
+        (callers that replan against a fixed scene build it once); when
+        omitted and ``use_spatial`` is set, a fresh index is built here.
+        """
         obstacle_polygons = [obstacle.box.to_polygon() for obstacle in obstacles]
+        index: Optional[SpatialIndex] = spatial_index if self.use_spatial else None
+        if index is None and self.use_spatial and obstacles:
+            # Obstacle-free lots skip the build: the exact check degenerates
+            # to four corner-containment tests the field cannot beat.
+            index = SpatialIndex(lot, obstacles, self.vehicle_params)
+        heuristic = None
 
         if self._pose_in_collision(start, obstacle_polygons, lot):
             return PlannerResult(success=False, path=None, expanded_nodes=0)
@@ -127,7 +183,7 @@ class HybridAStarPlanner:
         start_node = _Node(pose=start, direction=1, cost=0.0, parent_key=None, trace=[(start, 1)])
         nodes: Dict[Tuple[int, int, int], _Node] = {start_key: start_node}
         open_heap: List[_QueueEntry] = [
-            _QueueEntry(self._heuristic(start, goal), next(counter), start_key)
+            _QueueEntry(self._heuristic(start, goal, heuristic), next(counter), start_key)
         ]
         closed: set = set()
         expansions = 0
@@ -141,9 +197,20 @@ class HybridAStarPlanner:
             node = nodes[node_key]
             expansions += 1
 
+            # Deferred heuristic upgrade: the search is struggling, so pay
+            # for the obstacle-aware flood now.  Entries already queued keep
+            # their Euclidean priorities (they pop earlier, which is safe —
+            # only ordering, never reachability, is affected).
+            if (
+                heuristic is None
+                and index is not None
+                and expansions >= self.flood_after_expansions
+            ):
+                heuristic = index.heuristic_to(goal.x, goal.y)
+
             # Analytic Reeds-Shepp expansion near the goal.
             if node.pose.distance_to(goal) <= self.goal_shot_distance:
-                shot = self._goal_shot(node.pose, goal, obstacle_polygons, lot)
+                shot = self._goal_shot(node.pose, goal, obstacle_polygons, lot, index)
                 if shot is not None:
                     waypoints = self._assemble(node, nodes, shot)
                     return PlannerResult(
@@ -153,9 +220,11 @@ class HybridAStarPlanner:
                         cost=node.cost,
                     )
 
-            for successor, direction, steer in self._expand(node.pose):
-                if self._segment_in_collision(node.pose, successor, direction, steer, obstacle_polygons, lot):
-                    continue
+            sweep_bounds = self._sweep_clearance_bounds(node.pose, index)
+            for primitive_index, (local_successor, direction, steer) in enumerate(
+                self._local_primitives
+            ):
+                successor = node.pose.compose(local_successor)
                 successor_key = self._discretize(successor)
                 if successor_key in closed:
                     continue
@@ -169,6 +238,10 @@ class HybridAStarPlanner:
                 existing = nodes.get(successor_key)
                 if existing is not None and existing.cost <= new_cost:
                     continue
+                if self._primitive_in_collision(
+                    node.pose, primitive_index, sweep_bounds, obstacle_polygons, lot
+                ):
+                    continue
                 nodes[successor_key] = _Node(
                     pose=successor,
                     direction=direction,
@@ -176,7 +249,7 @@ class HybridAStarPlanner:
                     parent_key=node_key,
                     trace=[(successor, direction)],
                 )
-                priority = new_cost + self._heuristic(successor, goal)
+                priority = new_cost + self._heuristic(successor, goal, heuristic)
                 heapq.heappush(open_heap, _QueueEntry(priority, next(counter), successor_key))
 
         return PlannerResult(success=False, path=None, expanded_nodes=expansions)
@@ -191,8 +264,19 @@ class HybridAStarPlanner:
             int(math.floor((pose.theta + math.pi) / self.heading_resolution)),
         )
 
-    def _heuristic(self, pose: SE2, goal: SE2) -> float:
+    def _heuristic(self, pose: SE2, goal: SE2, heuristic=None) -> float:
         distance = pose.distance_to(goal)
+        if heuristic is not None:
+            flood = heuristic.query(pose.x, pose.y)
+            if flood is not None:
+                # Discount the flood value back to admissibility: 8-connected
+                # grid paths overestimate the Euclidean metric by up to
+                # ~8 % and cell-centre lookup adds up to one cell, so the
+                # raw value would distort A* ordering even in open space.
+                # After the discount the Euclidean term dominates unless the
+                # direct route is genuinely blocked (walls, dead ends).
+                flood = flood / 1.0824 - heuristic.resolution
+                distance = max(distance, flood)
         heading_error = abs(normalize_angle(pose.theta - goal.theta))
         return distance + 0.5 * heading_error
 
@@ -247,7 +331,9 @@ class HybridAStarPlanner:
         Public so other planning layers (the expert's maneuver-clearance
         ladder) share the exact footprint and collision conventions instead
         of re-implementing them; ``margin`` defaults to the planner's
-        ``safety_margin``.
+        ``safety_margin``.  This is the narrow-phase oracle: the spatial
+        index fast path only ever *skips* it for poses whose conservative
+        clearance bound proves them free.
         """
         footprint = self._footprint(pose, margin)
         corners = footprint.vertices()
@@ -259,25 +345,104 @@ class HybridAStarPlanner:
     def _pose_in_collision(self, pose: SE2, obstacle_polygons, lot: ParkingLot) -> bool:
         return self.pose_in_collision(pose, obstacle_polygons, lot)
 
-    def _segment_in_collision(
+    def poses_in_collision(
         self,
-        start: SE2,
-        end: SE2,
-        direction: int,
-        steer: float,
+        poses: Sequence[SE2],
+        obstacle_polygons,
+        lot: ParkingLot,
+        index: Optional[SpatialIndex] = None,
+        margin: Optional[float] = None,
+    ) -> bool:
+        """Whether *any* pose of a batch is in collision (two-phase).
+
+        With an index, one batched clearance query proves most poses free;
+        only the inconclusive ones run the exact narrow phase.
+        """
+        poses = list(poses)
+        if not poses:
+            return False
+        if index is None:
+            return any(self.pose_in_collision(pose, obstacle_polygons, lot, margin) for pose in poses)
+        margin_value = self.safety_margin if margin is None else margin
+        circles = self.footprint_circles(margin_value)
+        array = np.array([[pose.x, pose.y, pose.theta] for pose in poses])
+        clearances = index.field.clearance(circles.centers(array).reshape(-1, 2))
+        bounds = (
+            clearances.reshape(len(poses), -1).min(axis=1) - circles.radius - index.field.slack
+        )
+        if float(bounds.min()) > 0.0:
+            return False
+        return any(
+            bound <= 0.0 and self.pose_in_collision(pose, obstacle_polygons, lot, margin)
+            for pose, bound in zip(poses, bounds)
+        )
+
+    # -- broad-phase expansion machinery --------------------------------
+    def footprint_circles(self, margin: float) -> FootprintCircles:
+        """Covering circles of this planner's margin-inflated footprint."""
+        return self._footprint_circles.get(margin)
+
+    def _sweep_circle_layout(self) -> np.ndarray:
+        """Local-frame circle centres for every (primitive, fraction, circle)."""
+        if self._sweep_circle_points is None:
+            circles = self.footprint_circles(self.safety_margin)
+            points = np.empty(
+                (len(self._local_sweeps), self._sweep_fractions, circles.offsets.shape[0], 2)
+            )
+            for primitive_index, sweep in enumerate(self._local_sweeps):
+                local = np.array([[pose.x, pose.y, pose.theta] for pose in sweep])
+                points[primitive_index] = circles.centers(local)
+            self._sweep_circle_points = points
+        return self._sweep_circle_points
+
+    def _sweep_clearance_bounds(
+        self, pose: SE2, index: Optional[SpatialIndex]
+    ) -> Optional[np.ndarray]:
+        """Per-(primitive, fraction) conservative clearance lower bounds.
+
+        One rotation of the precomputed local circle centres plus one batched
+        field lookup covers every successor of this expansion.
+        """
+        if index is None:
+            return None
+        local_points = self._sweep_circle_layout()
+        rotation = pose.rotation
+        world = local_points @ rotation.T + pose.position
+        circles = self.footprint_circles(self.safety_margin)
+        clearances = index.field.clearance(world.reshape(-1, 2)).reshape(local_points.shape[:3])
+        return clearances.min(axis=2) - circles.radius - index.field.slack
+
+    def _primitive_in_collision(
+        self,
+        pose: SE2,
+        primitive_index: int,
+        sweep_bounds: Optional[np.ndarray],
         obstacle_polygons,
         lot: ParkingLot,
     ) -> bool:
-        # Check intermediate poses along the primitive at ~0.4 m granularity.
-        checks = max(2, int(math.ceil(self.step_size / 0.4)))
-        for fraction in np.linspace(1.0 / checks, 1.0, checks):
-            pose = start.interpolate(end, float(fraction))
-            if self._pose_in_collision(pose, obstacle_polygons, lot):
-                return True
-        return False
+        """Two-phase swept check of one motion primitive from ``pose``."""
+        sweep = self._local_sweeps[primitive_index]
+        if sweep_bounds is None:
+            return any(
+                self._pose_in_collision(pose.compose(local), obstacle_polygons, lot)
+                for local in sweep
+            )
+        bounds = sweep_bounds[primitive_index]
+        if float(bounds.min()) > 0.0:
+            return False
+        return any(
+            bound <= 0.0
+            and self._pose_in_collision(pose.compose(local), obstacle_polygons, lot)
+            for local, bound in zip(sweep, bounds)
+        )
 
     def _goal_shot(
-        self, pose: SE2, goal: SE2, obstacle_polygons, lot: ParkingLot
+        self,
+        pose: SE2,
+        goal: SE2,
+        obstacle_polygons,
+        lot: ParkingLot,
+        index: Optional[SpatialIndex] = None,
     ) -> Optional[List[Tuple[SE2, int]]]:
         path = shortest_reeds_shepp_path(
             pose, goal, turning_radius=self.vehicle_params.min_turning_radius * 1.1
@@ -285,9 +450,10 @@ class HybridAStarPlanner:
         if path is None:
             return None
         samples = path.sample(pose, spacing=0.4)
-        for sample_pose, _ in samples:
-            if self._pose_in_collision(sample_pose, obstacle_polygons, lot):
-                return None
+        if self.poses_in_collision(
+            [sample_pose for sample_pose, _ in samples], obstacle_polygons, lot, index
+        ):
+            return None
         return samples
 
     def _assemble(

@@ -1,0 +1,45 @@
+"""Precomputed spatial queries: occupancy grid, ESDF and planning heuristics.
+
+Every layer that used to run an O(obstacles) separating-axis loop per pose —
+hybrid A* expansions, the expert's maneuver-clearance ladder, the HSA
+complexity distances, the CO constraint builder — now shares one
+scenario-derived :class:`SpatialIndex`:
+
+* :class:`OccupancyGrid` rasterizes the lot bounds and static obstacles into
+  a conservative boolean grid (occupancy is *inflated* by half a cell
+  diagonal, so "far from every occupied cell" always implies "far from every
+  obstacle"),
+* :class:`DistanceField` turns the grid into a Euclidean signed distance
+  field with batched, bilinear-interpolated ``clearance(points)`` queries,
+* :class:`GoalHeuristic` runs an obstacle-aware 2D Dijkstra from the goal,
+  giving hybrid A* a heuristic that sees walls and cul-de-sacs,
+* :class:`SpatialIndex` owns all three (plus the exact obstacle polygons for
+  narrow-phase confirmation) and caches per-goal heuristics and per-margin
+  footprint coverings.
+
+The fast path is conservative by construction: a pose is reported
+*definitely free* only when the interpolated clearance exceeds the covering
+radius by the grid's error bound (:attr:`DistanceField.slack`); everything
+else falls through to the exact SAT checker, so accelerated planners accept
+exactly the same poses as the brute-force ones minus false rejections.
+"""
+
+from repro.spatial.esdf import DistanceField
+from repro.spatial.grid import OccupancyGrid
+from repro.spatial.heuristic import GoalHeuristic
+from repro.spatial.index import (
+    FootprintCache,
+    FootprintCircles,
+    SpatialIndex,
+    oriented_box_distances,
+)
+
+__all__ = [
+    "DistanceField",
+    "FootprintCache",
+    "FootprintCircles",
+    "GoalHeuristic",
+    "OccupancyGrid",
+    "SpatialIndex",
+    "oriented_box_distances",
+]

@@ -1,0 +1,127 @@
+"""Euclidean signed distance field over an occupancy grid.
+
+The transform uses the same two-pass separable decomposition as
+Felzenszwalb & Huttenlocher's EDT, but each 1-D pass is an exact
+*brute-force* minimum written as one dense NumPy broadcast — O(n) work per
+output cell along the pass axis rather than the lower-envelope algorithm's
+O(1) — because for parking-lot grids (a few hundred cells per side) a
+single vectorized broadcast beats per-row Python lower-envelope loops by a
+wide margin.  Pass 1 takes, for every column, the minimum squared vertical
+distance to an occupied cell; pass 2 combines those column aggregates
+horizontally.  Both passes are chunked by rows so the intermediate tensors
+stay bounded regardless of grid size.  (A linear-time array-backend
+transform is a ROADMAP follow-on for much finer grids.)
+
+The field is *signed*: positive in free space (distance to the nearest
+occupied cell centre), negative inside occupancy (distance to the nearest
+free cell centre).  Combined with the grid's conservative rasterization the
+interpolated clearance never *overestimates* the true distance by more than
+``slack = resolution * sqrt(2)``:
+
+    ``clearance(p) - slack <= true_distance(p)``
+
+which is the bound the planners rely on for their "definitely free, skip
+the exact SAT check" fast path.  In the other direction the field may
+*underestimate* by a little more (up to about ``2.5 * resolution`` right at
+the occupancy interface, where the discrete signed samples jump from
+``+resolution`` to ``-resolution`` across one cell) — underestimation only
+sends extra poses to the exact narrow phase, never admits a colliding one.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.spatial.grid import OccupancyGrid
+
+# Cap on the number of elements materialised per pass-2 chunk (~64 MB f64).
+_CHUNK_ELEMENTS = 8_000_000
+
+
+def _squared_distance_to(mask: np.ndarray) -> np.ndarray:
+    """Squared cell-unit distance from every cell to the nearest True cell.
+
+    Returns ``inf`` everywhere when the mask is empty.
+    """
+    ny, nx = mask.shape
+    if not mask.any():
+        return np.full((ny, nx), np.inf)
+    ys = np.arange(ny, dtype=float)
+    # Pass 1 (vertical): G[y, x] = min over occupied y' in column x of (y - y')^2.
+    base = np.where(mask, 0.0, np.inf)  # (ny, nx)
+    dy2 = (ys[:, None] - ys[None, :]) ** 2  # (y, y')
+    column_min = np.empty((ny, nx))
+    rows_per_chunk = max(1, _CHUNK_ELEMENTS // (ny * nx))
+    for start in range(0, ny, rows_per_chunk):
+        stop = min(ny, start + rows_per_chunk)
+        column_min[start:stop] = (dy2[start:stop, :, None] + base[None, :, :]).min(axis=1)
+    # Pass 2 (horizontal): D[y, x] = min over x' of G[y, x'] + (x - x')^2.
+    xs = np.arange(nx, dtype=float)
+    dx2 = (xs[:, None] - xs[None, :]) ** 2  # (x', x)
+    result = np.empty((ny, nx))
+    rows_per_chunk = max(1, _CHUNK_ELEMENTS // (nx * nx))
+    for start in range(0, ny, rows_per_chunk):
+        stop = min(ny, start + rows_per_chunk)
+        result[start:stop] = (column_min[start:stop, :, None] + dx2[None, :, :]).min(axis=1)
+    return result
+
+
+class DistanceField:
+    """Signed Euclidean distance field with batched interpolated queries."""
+
+    def __init__(self, grid: OccupancyGrid) -> None:
+        self.grid = grid
+        occupied = grid.occupied
+        outside = np.sqrt(_squared_distance_to(occupied)) * grid.resolution
+        inside = np.sqrt(_squared_distance_to(~occupied)) * grid.resolution
+        # Finite everywhere: an all-free (or all-occupied) grid falls back to
+        # the grid's own diameter as "very far".
+        diameter = max(occupied.shape) * grid.resolution
+        outside = np.minimum(outside, diameter)
+        inside = np.minimum(inside, diameter)
+        self.distance = np.where(occupied, -inside, outside)
+
+    @property
+    def resolution(self) -> float:
+        return self.grid.resolution
+
+    @property
+    def slack(self) -> float:
+        """Worst-case *overestimate* of true distance by :meth:`clearance`.
+
+        Half a cell diagonal from the conservative rasterization plus half a
+        cell diagonal from bilinear interpolation; subtracting it from a
+        query therefore gives a sound lower bound on true clearance.
+        """
+        return self.grid.resolution * math.sqrt(2.0)
+
+    def clearance(self, points: np.ndarray) -> np.ndarray:
+        """Bilinearly interpolated signed distance at ``(N, 2)`` world points.
+
+        Queries beyond the padded grid clamp to the boundary cells, which the
+        construction guarantees are occupied — far-outside points therefore
+        report non-positive clearance (conservative).
+        """
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        grid = self.grid
+        ny, nx = grid.occupied.shape
+        u = (points[:, 0] - grid.origin_x) / grid.resolution - 0.5
+        v = (points[:, 1] - grid.origin_y) / grid.resolution - 0.5
+        u = np.clip(u, 0.0, nx - 1.0)
+        v = np.clip(v, 0.0, ny - 1.0)
+        ix0 = np.floor(u).astype(int)
+        iy0 = np.floor(v).astype(int)
+        ix1 = np.minimum(ix0 + 1, nx - 1)
+        iy1 = np.minimum(iy0 + 1, ny - 1)
+        fx = u - ix0
+        fy = v - iy0
+        d = self.distance
+        top = d[iy1, ix0] * (1.0 - fx) + d[iy1, ix1] * fx
+        bottom = d[iy0, ix0] * (1.0 - fx) + d[iy0, ix1] * fx
+        return bottom * (1.0 - fy) + top * fy
+
+    def clearance_at(self, x: float, y: float) -> float:
+        """Scalar convenience wrapper around :meth:`clearance`."""
+        return float(self.clearance(np.array([[x, y]]))[0])

@@ -1,0 +1,132 @@
+"""Conservative occupancy rasterization of a parking scenario.
+
+The grid covers the lot bounds plus a padding ring; a cell is *occupied*
+when its centre lies inside a static obstacle inflated by half a cell
+diagonal, or within the same margin of the lot boundary (the outside world
+counts as an obstacle — leaving the lot terminates an episode).  The
+inflation makes occupancy an over-approximation with a known error bound:
+every point of every true obstacle lies within ``resolution * sqrt(2) / 2``
+of some occupied cell centre, which is what lets the distance field promise
+a conservative lower bound on true clearance (see
+:attr:`~repro.spatial.esdf.DistanceField.slack`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.collision import points_in_polygon
+from repro.geometry.shapes import AxisAlignedBox, OrientedBox
+from repro.world.obstacles import Obstacle
+from repro.world.parking_lot import ParkingLot
+
+
+class OccupancyGrid:
+    """A boolean occupancy raster over (and slightly beyond) the lot bounds.
+
+    Parameters
+    ----------
+    origin_x / origin_y:
+        World coordinates of the grid's lower-left corner.
+    resolution:
+        Cell edge length (m).
+    occupied:
+        Boolean array of shape ``(ny, nx)`` indexed ``[iy, ix]``; cell
+        ``(iy, ix)`` has its centre at ``origin + (i + 0.5) * resolution``.
+    """
+
+    def __init__(
+        self, origin_x: float, origin_y: float, resolution: float, occupied: np.ndarray
+    ) -> None:
+        if resolution <= 0.0:
+            raise ValueError(f"resolution must be positive, got {resolution}")
+        occupied = np.asarray(occupied, dtype=bool)
+        if occupied.ndim != 2 or occupied.size == 0:
+            raise ValueError(f"occupied must be a non-empty 2-D array, got shape {occupied.shape}")
+        self.origin_x = float(origin_x)
+        self.origin_y = float(origin_y)
+        self.resolution = float(resolution)
+        self.occupied = occupied
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_lot(
+        cls,
+        lot: ParkingLot,
+        obstacles: Sequence[Obstacle] = (),
+        resolution: float = 0.25,
+        padding: float = 2.0,
+    ) -> "OccupancyGrid":
+        """Rasterize a lot's bounds and the given obstacles conservatively.
+
+        Every obstacle is rasterized at its *current* box — callers that
+        want a static field (the usual case) pass only static obstacles;
+        moving obstacles keep their exact per-frame checks elsewhere.
+        """
+        bounds = lot.bounds
+        origin_x = bounds.min_x - padding
+        origin_y = bounds.min_y - padding
+        nx = max(1, int(math.ceil((bounds.max_x - bounds.min_x + 2.0 * padding) / resolution)))
+        ny = max(1, int(math.ceil((bounds.max_y - bounds.min_y + 2.0 * padding) / resolution)))
+        centers_x = origin_x + (np.arange(nx) + 0.5) * resolution
+        centers_y = origin_y + (np.arange(ny) + 0.5) * resolution
+
+        # Out-of-lot counts as occupied: mark every cell whose centre is
+        # within the inflation margin of the boundary (or beyond it).
+        inflation = resolution * math.sqrt(2.0) / 2.0
+        inside_x = (centers_x > bounds.min_x + inflation) & (centers_x < bounds.max_x - inflation)
+        inside_y = (centers_y > bounds.min_y + inflation) & (centers_y < bounds.max_y - inflation)
+        occupied = ~(inside_y[:, None] & inside_x[None, :])
+
+        grid = cls(origin_x, origin_y, resolution, occupied)
+        grid.rasterize_obstacles(obstacles)
+        return grid
+
+    def rasterize_obstacles(self, obstacles: Iterable[Obstacle]) -> None:
+        """Mark the cells covered by the given obstacles' (inflated) boxes."""
+        inflation = self.resolution * math.sqrt(2.0) / 2.0
+        for obstacle in obstacles:
+            self._rasterize_box(obstacle.box.inflated(inflation))
+
+    def _rasterize_box(self, box: OrientedBox) -> None:
+        """Mark cells whose centre lies inside one oriented box."""
+        aabb = box.axis_aligned_bounds()
+        ix0, iy0 = self._cell_floor(aabb.min_x, aabb.min_y)
+        ix1, iy1 = self._cell_floor(aabb.max_x, aabb.max_y)
+        ny, nx = self.occupied.shape
+        ix0, ix1 = max(0, ix0), min(nx - 1, ix1 + 1)
+        iy0, iy1 = max(0, iy0), min(ny - 1, iy1 + 1)
+        if ix0 > ix1 or iy0 > iy1:
+            return
+        xs = self.origin_x + (np.arange(ix0, ix1 + 1) + 0.5) * self.resolution
+        ys = self.origin_y + (np.arange(iy0, iy1 + 1) + 0.5) * self.resolution
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        points = np.stack([grid_x.ravel(), grid_y.ravel()], axis=1)
+        inside = points_in_polygon(points, box.to_polygon()).reshape(grid_x.shape)
+        self.occupied[iy0 : iy1 + 1, ix0 : ix1 + 1] |= inside
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):  # (ny, nx)
+        return self.occupied.shape
+
+    def _cell_floor(self, x: float, y: float):
+        return (
+            int(math.floor((x - self.origin_x) / self.resolution)),
+            int(math.floor((y - self.origin_y) / self.resolution)),
+        )
+
+    def cell_centers(self) -> tuple:
+        """``(centers_x, centers_y)`` 1-D arrays of the cell-centre coordinates."""
+        ny, nx = self.occupied.shape
+        return (
+            self.origin_x + (np.arange(nx) + 0.5) * self.resolution,
+            self.origin_y + (np.arange(ny) + 0.5) * self.resolution,
+        )

@@ -1,0 +1,206 @@
+"""The shared per-scenario spatial index.
+
+One :class:`SpatialIndex` is built per (lot, static obstacles) pair and then
+queried by every layer of an episode:
+
+* hybrid A* — batched ``pose_clearance`` lower bounds for its swept-segment
+  checks and a cached per-goal :class:`~repro.spatial.heuristic.GoalHeuristic`,
+* the expert's maneuver-clearance ladder — the same pose bounds,
+* HSA — ``detection_distances`` (ego-to-obstacle-boundary, vectorized) for
+  the complexity term's ``D_{i,k}``,
+* the CO constraint builder — reachability pruning of far obstacles.
+
+All queries are conservative: ``pose_clearance`` returns a *lower bound* on
+the true clearance of the margin-inflated footprint, so a positive bound
+proves the pose free while a non-positive one merely demands the exact SAT
+narrow phase (:attr:`obstacle_polygons` is cached here for exactly that).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.shapes import OrientedBox
+from repro.spatial.esdf import DistanceField
+from repro.spatial.grid import OccupancyGrid
+from repro.spatial.heuristic import GoalHeuristic
+from repro.vehicle.params import VehicleParams
+from repro.world.obstacles import Obstacle
+from repro.world.parking_lot import ParkingLot
+
+
+class FootprintCircles:
+    """Covering circles of the margin-inflated ego footprint.
+
+    Offsets are longitudinal distances from the rear-axle reference point
+    (the planner's pose origin) to each circle centre; all circles share one
+    radius.  The circles *cover* the inflated footprint, so "every circle is
+    clear" implies "the footprint is clear" — the conservative direction.
+    """
+
+    def __init__(self, params: VehicleParams, margin: float, num_circles: int = 3) -> None:
+        if num_circles < 1:
+            raise ValueError(f"num_circles must be at least 1, got {num_circles}")
+        length = params.length + 2.0 * margin
+        width = params.width + 2.0 * margin
+        segment = length / num_circles
+        self.radius = float(math.hypot(segment / 2.0, width / 2.0))
+        rear_bumper = -(params.rear_overhang + margin)
+        self.offsets = np.array(
+            [rear_bumper + segment * (index + 0.5) for index in range(num_circles)], dtype=float
+        )
+
+    def centers(self, poses: np.ndarray) -> np.ndarray:
+        """Circle centres for ``(N, 3)`` poses, shape ``(N, C, 2)``."""
+        poses = np.asarray(poses, dtype=float).reshape(-1, 3)
+        headings = poses[:, 2]
+        directions = np.stack([np.cos(headings), np.sin(headings)], axis=1)  # (N, 2)
+        return poses[:, None, :2] + self.offsets[None, :, None] * directions[:, None, :]
+
+
+class FootprintCache:
+    """Per-margin cache of :class:`FootprintCircles` for one vehicle.
+
+    Shared by every consumer that derives circles from its *own* vehicle
+    params (the spatial index, the hybrid A* planner), so the cache-key
+    scheme lives in exactly one place.
+    """
+
+    def __init__(self, params: VehicleParams) -> None:
+        self.params = params
+        self._circles: Dict[float, FootprintCircles] = {}
+
+    def get(self, margin: float) -> FootprintCircles:
+        key = round(float(margin), 6)
+        circles = self._circles.get(key)
+        if circles is None:
+            circles = FootprintCircles(self.params, float(margin))
+            self._circles[key] = circles
+        return circles
+
+
+def oriented_box_distances(point: np.ndarray, boxes: Sequence[OrientedBox]) -> np.ndarray:
+    """Distance from one point to each oriented box's boundary (0 inside).
+
+    Vectorized over the whole batch of boxes — this is the exact quantity
+    the HSA complexity model wants for ``D_{i,k}`` (the per-obstacle
+    clearance of the ego position), replacing centre-to-centre distances
+    that overestimate by up to half an obstacle diagonal.
+    """
+    if not boxes:
+        return np.zeros(0)
+    point = np.asarray(point, dtype=float).reshape(2)
+    centers = np.array([[box.center_x, box.center_y] for box in boxes])
+    headings = np.array([box.heading for box in boxes])
+    half_len = np.array([box.length for box in boxes]) / 2.0
+    half_wid = np.array([box.width for box in boxes]) / 2.0
+    delta = point[None, :] - centers
+    cos_t = np.cos(headings)
+    sin_t = np.sin(headings)
+    local_x = cos_t * delta[:, 0] + sin_t * delta[:, 1]
+    local_y = -sin_t * delta[:, 0] + cos_t * delta[:, 1]
+    outside_x = np.maximum(np.abs(local_x) - half_len, 0.0)
+    outside_y = np.maximum(np.abs(local_y) - half_wid, 0.0)
+    return np.hypot(outside_x, outside_y)
+
+
+class SpatialIndex:
+    """Precomputed spatial queries for one static scene."""
+
+    def __init__(
+        self,
+        lot: ParkingLot,
+        obstacles: Sequence[Obstacle] = (),
+        vehicle_params: Optional[VehicleParams] = None,
+        resolution: float = 0.25,
+        heuristic_resolution: float = 0.5,
+    ) -> None:
+        self.lot = lot
+        self.vehicle_params = vehicle_params or VehicleParams()
+        # The caller decides the obstacle set (normally the scenario's static
+        # obstacles); the grid, the field and the exact narrow-phase polygons
+        # all describe exactly this set, so fast- and slow-path answers agree.
+        self.obstacles: Tuple[Obstacle, ...] = tuple(obstacles)
+        self.heuristic_resolution = float(heuristic_resolution)
+        self.grid = OccupancyGrid.from_lot(lot, self.obstacles, resolution=resolution)
+        self.field = DistanceField(self.grid)
+        self.obstacle_polygons: List = [obstacle.box.to_polygon() for obstacle in self.obstacles]
+        self._heuristics: Dict[Tuple[int, int], GoalHeuristic] = {}
+        self._footprints = FootprintCache(self.vehicle_params)
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario,
+        vehicle_params: Optional[VehicleParams] = None,
+        resolution: float = 0.25,
+    ) -> "SpatialIndex":
+        """Build the index over a scenario's *static* obstacles."""
+        return cls(
+            scenario.lot,
+            scenario.static_obstacles,
+            vehicle_params=vehicle_params,
+            resolution=resolution,
+        )
+
+    # ------------------------------------------------------------------
+    # Field queries
+    # ------------------------------------------------------------------
+    @property
+    def slack(self) -> float:
+        """The field's conservative error bound (see :class:`DistanceField`)."""
+        return self.field.slack
+
+    def clearance(self, points: np.ndarray) -> np.ndarray:
+        """Interpolated signed distance to the static scene at world points."""
+        return self.field.clearance(points)
+
+    def footprint_circles(self, margin: float) -> FootprintCircles:
+        """The (cached) covering circles for a footprint inflation margin."""
+        return self._footprints.get(margin)
+
+    def pose_clearance(self, poses: np.ndarray, margin: float = 0.0) -> np.ndarray:
+        """Conservative lower bound on each pose's true footprint clearance.
+
+        ``poses`` is ``(N, 3)`` rear-axle poses; the returned ``(N,)`` array
+        underestimates the true distance between the margin-inflated
+        footprint and the nearest static obstacle or lot boundary.  A
+        strictly positive entry proves the pose collision-free; a
+        non-positive entry is inconclusive (narrow phase required).
+        """
+        circles = self.footprint_circles(margin)
+        centers = circles.centers(poses)  # (N, C, 2)
+        flat = centers.reshape(-1, 2)
+        clearances = self.field.clearance(flat).reshape(centers.shape[:2])
+        return clearances.min(axis=1) - circles.radius - self.field.slack
+
+    # ------------------------------------------------------------------
+    # Heuristics
+    # ------------------------------------------------------------------
+    def heuristic_to(self, goal_x: float, goal_y: float) -> GoalHeuristic:
+        """The (cached) obstacle-aware Dijkstra heuristic towards a goal."""
+        key = (
+            int(round(goal_x / self.heuristic_resolution)),
+            int(round(goal_y / self.heuristic_resolution)),
+        )
+        heuristic = self._heuristics.get(key)
+        if heuristic is None:
+            heuristic = GoalHeuristic(
+                self.field,
+                goal_x,
+                goal_y,
+                clearance_radius=self.vehicle_params.width / 2.0,
+                resolution=self.heuristic_resolution,
+            )
+            self._heuristics[key] = heuristic
+        return heuristic
+
+    # ------------------------------------------------------------------
+    # Obstacle-distance queries (HSA / CO)
+    # ------------------------------------------------------------------
+    def detection_distances(self, position: np.ndarray, detections: Sequence) -> np.ndarray:
+        """Ego-to-boundary distance for each detection's box, vectorized."""
+        return oriented_box_distances(position, [detection.box for detection in detections])

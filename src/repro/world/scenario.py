@@ -205,6 +205,19 @@ class Scenario:
     def goal_pose(self) -> SE2:
         return self.lot.goal_pose
 
+    def build_spatial_index(self, vehicle_params=None, resolution: float = 0.25):
+        """A :class:`~repro.spatial.SpatialIndex` over this scenario's statics.
+
+        Convenience for consumers outside the session layer (which shares
+        one index per episode through its
+        :class:`~repro.api.registry.ControllerContext`).
+        """
+        from repro.spatial import SpatialIndex
+
+        return SpatialIndex.from_scenario(
+            self, vehicle_params=vehicle_params, resolution=resolution
+        )
+
     def to_dict(self) -> Dict[str, Any]:
         return scenario_to_dict(self)
 

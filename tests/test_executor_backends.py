@@ -1,0 +1,105 @@
+"""Thread- vs process-backend equivalence of the BatchExecutor.
+
+The contract: identical specs produce bitwise-identical, identically-ordered
+``EpisodeResult`` sequences (and numerically identical traces) on both
+backends — the process pool merely buys multi-core scaling.  Specs cross the
+process boundary via their ``to_dict``/``from_dict`` round-trip, so these
+tests double as an end-to-end check of that serialization path under real
+multiprocessing.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import BatchExecutor, BatchSpec, ControllerRegistry
+from repro.world.scenario import DifficultyLevel, SpawnMode
+
+
+def small_batch(num_seeds: int = 6, max_steps: int = 8) -> BatchSpec:
+    return BatchSpec(
+        method="expert",
+        seeds=tuple(range(num_seeds)),
+        difficulties=(DifficultyLevel.EASY,),
+        spawn_mode=SpawnMode.CLOSE,
+        scenario_name="perpendicular-easy",
+        max_steps=max_steps,
+    )
+
+
+class TestProcessBackend:
+    def test_results_bitwise_identical_across_backends(self):
+        spec = small_batch()
+        thread = BatchExecutor(backend="thread", max_workers=2, summary_stream=None).run(spec)
+        process = BatchExecutor(backend="process", max_workers=2, summary_stream=None).run(spec)
+        assert thread.results == process.results
+        assert [r.seed for r in process.results] == list(spec.seeds)
+        for thread_trace, process_trace in zip(thread.traces, process.traces):
+            assert np.array_equal(thread_trace.positions, process_trace.positions)
+            assert np.array_equal(thread_trace.steering, process_trace.steering)
+            assert np.array_equal(thread_trace.velocities, process_trace.velocities)
+
+    def test_process_backend_with_single_worker_falls_back_to_serial(self):
+        spec = small_batch(num_seeds=2)
+        serial = BatchExecutor(backend="process", max_workers=1, summary_stream=None).run(spec)
+        thread = BatchExecutor(backend="thread", max_workers=1, summary_stream=None).run(spec)
+        assert serial.results == thread.results
+
+    def test_summary_reports_backend(self):
+        stream = io.StringIO()
+        BatchExecutor(backend="process", max_workers=2, summary_stream=stream).run(
+            small_batch(num_seeds=2)
+        )
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["backend"] == "process"
+
+    def test_bench_path_appends_summary_lines(self, tmp_path):
+        bench = tmp_path / "BENCH_throughput.json"
+        executor = BatchExecutor(
+            backend="thread", max_workers=2, summary_stream=None, bench_path=bench
+        )
+        executor.run(small_batch(num_seeds=2))
+        executor.run(small_batch(num_seeds=2))
+        lines = bench.read_text().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            payload = json.loads(line)
+            assert payload["event"] == "batch_summary"
+            assert payload["episodes"] == 2
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            BatchExecutor(backend="fork-bomb")
+
+    def test_custom_registry_rejected_on_process_backend(self):
+        registry = ControllerRegistry()
+        with pytest.raises(ValueError, match="default registry"):
+            BatchExecutor(backend="process", registry=registry)
+
+    def test_runtime_registered_method_fails_fast_on_process_backend(self):
+        """Methods workers cannot resolve are rejected before any work runs."""
+        from repro.api import ControlStep, EpisodeSpec, register_method
+        from repro.vehicle.actions import Action
+
+        @register_method("process-only-probe", overwrite=True)
+        def build_probe(context):
+            class Controller:
+                def step(self, state, obstacles, lot, time=0.0):
+                    return ControlStep(action=Action.full_brake(), mode="probe")
+
+            return Controller()
+
+        executor = BatchExecutor(backend="process", max_workers=2, summary_stream=None)
+        with pytest.raises(ValueError, match="registered in this process only"):
+            executor.run_specs(
+                [EpisodeSpec(method="process-only-probe", max_steps=2) for _ in range(2)]
+            )
+        # The thread backend still runs it.
+        outcome = BatchExecutor(backend="thread", summary_stream=None).run_specs(
+            [EpisodeSpec(method="process-only-probe", max_steps=2)]
+        )
+        assert outcome.results[0].num_steps == 2

@@ -1,0 +1,76 @@
+"""ESDF-accelerated hybrid A* is equivalent to the SAT-only planner.
+
+The spatial fast path may only *skip* exact checks for provably free poses,
+so the accelerated planner must (a) succeed wherever the SAT-only planner
+succeeds and (b) produce paths the exact SAT checker confirms collision-free.
+Both properties are asserted across every registered scenario preset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.il.expert import ExpertDriver
+from repro.planning.hybrid_astar import HybridAStarPlanner
+from repro.spatial import SpatialIndex
+from repro.vehicle.params import VehicleParams
+from repro.world import ScenarioConfig, SpawnMode, build_scenario, default_scenario_registry
+
+PRESETS = default_scenario_registry().names()
+
+
+def _planning_problem(scenario_name: str):
+    """(start, staging, static obstacles, lot) for one preset's episode."""
+    scenario = build_scenario(
+        ScenarioConfig(scenario_name=scenario_name, spawn_mode=SpawnMode.REMOTE, seed=1)
+    )
+    params = VehicleParams()
+    expert = ExpertDriver(scenario.lot, scenario.obstacles, params)
+    static = scenario.static_obstacles
+    staging, _ = expert.final_maneuver(static)
+    return scenario, params, static, staging
+
+
+@pytest.mark.parametrize("scenario_name", PRESETS)
+def test_accelerated_planner_no_worse_and_exactly_collision_free(scenario_name):
+    scenario, params, static, staging = _planning_problem(scenario_name)
+    lot = scenario.lot
+
+    sat_planner = HybridAStarPlanner(params, use_spatial=False)
+    sat_result = sat_planner.plan(scenario.start_pose, staging, static, lot)
+
+    index = SpatialIndex(lot, static, params)
+    esdf_planner = HybridAStarPlanner(params, use_spatial=True)
+    esdf_result = esdf_planner.plan(
+        scenario.start_pose, staging, static, lot, spatial_index=index
+    )
+
+    # Success no worse than the SAT-only planner.
+    if sat_result.success:
+        assert esdf_result.success, f"{scenario_name}: accelerated planner lost a solve"
+
+    # Every waypoint of the accelerated path passes the exact SAT oracle at
+    # the true (margin-free) footprint.
+    if esdf_result.success:
+        polygons = [obstacle.box.to_polygon() for obstacle in static]
+        for waypoint in esdf_result.path.waypoints:
+            assert not sat_planner.pose_in_collision(
+                waypoint.pose, polygons, lot, margin=0.0
+            ), f"{scenario_name}: accelerated path collides at {waypoint.pose}"
+
+
+def test_spatial_index_reuse_matches_internal_build():
+    """plan() with an injected index equals plan() building its own."""
+    scenario, params, static, staging = _planning_problem("angled-cluttered")
+    planner = HybridAStarPlanner(params)
+    internal = planner.plan(scenario.start_pose, staging, static, scenario.lot)
+    injected = planner.plan(
+        scenario.start_pose,
+        staging,
+        static,
+        scenario.lot,
+        spatial_index=SpatialIndex(scenario.lot, static, params),
+    )
+    assert internal.success == injected.success
+    assert internal.expanded_nodes == injected.expanded_nodes
+    assert [w.pose for w in internal.path.waypoints] == [w.pose for w in injected.path.waypoints]

@@ -1,0 +1,262 @@
+"""Tests for the spatial-query engine: grid, ESDF, heuristic, index.
+
+The load-bearing property is *conservativeness*: the interpolated clearance
+must never overestimate the true SAT distance by more than the field's
+``slack`` (that is what lets planners skip the exact narrow phase), while
+underestimation is bounded by a couple of cells (so the fast path stays
+useful).  Randomized layouts exercise the bound far from the hand-built
+presets.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.collision import point_polygon_distance
+from repro.geometry.se2 import SE2
+from repro.geometry.shapes import AxisAlignedBox, OrientedBox
+from repro.spatial import (
+    DistanceField,
+    FootprintCircles,
+    OccupancyGrid,
+    SpatialIndex,
+    oriented_box_distances,
+)
+from repro.vehicle.params import VehicleParams
+from repro.world.obstacles import StaticObstacle
+from repro.world.parking_lot import ParkingLot, ParkingSpace
+from repro.world.scenario import ScenarioConfig, SpawnMode, build_scenario
+
+
+def _random_lot(rng: np.random.Generator, num_obstacles: int):
+    """A random lot with random non-degenerate box obstacles."""
+    length = float(rng.uniform(25.0, 50.0))
+    width = float(rng.uniform(14.0, 25.0))
+    bounds = AxisAlignedBox(0.0, 0.0, length, width)
+    lot = ParkingLot(
+        bounds=bounds,
+        spawn_region=AxisAlignedBox(2.0, 2.0, 6.0, 6.0),
+        goal_space=ParkingSpace.from_target("goal", SE2(length - 5.0, 5.0, math.pi / 2.0)),
+    )
+    obstacles = []
+    for index in range(num_obstacles):
+        box = OrientedBox(
+            float(rng.uniform(3.0, length - 3.0)),
+            float(rng.uniform(3.0, width - 3.0)),
+            float(rng.uniform(0.8, 5.0)),
+            float(rng.uniform(0.8, 3.0)),
+            float(rng.uniform(0.0, math.pi)),
+        )
+        obstacles.append(StaticObstacle(f"random-{index}", box))
+    return lot, obstacles
+
+
+def _true_distance(point: np.ndarray, lot: ParkingLot, polygons) -> float:
+    """Brute-force SAT distance to the nearest obstacle or the lot boundary."""
+    bounds = lot.bounds
+    if bounds.contains(point):
+        boundary = min(
+            point[0] - bounds.min_x,
+            bounds.max_x - point[0],
+            point[1] - bounds.min_y,
+            bounds.max_y - point[1],
+        )
+    else:
+        boundary = 0.0
+    obstacle = min(
+        (point_polygon_distance(point, polygon) for polygon in polygons), default=math.inf
+    )
+    return min(boundary, obstacle)
+
+
+class TestClearanceAgreesWithSAT:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_randomized_layouts_within_grid_resolution(self, seed):
+        """Field clearance matches brute-force SAT distance within grid error."""
+        rng = np.random.default_rng(seed)
+        lot, obstacles = _random_lot(rng, num_obstacles=int(rng.integers(2, 8)))
+        index = SpatialIndex(lot, obstacles)
+        polygons = index.obstacle_polygons
+        points = np.stack(
+            [
+                rng.uniform(lot.bounds.min_x - 1.0, lot.bounds.max_x + 1.0, 400),
+                rng.uniform(lot.bounds.min_y - 1.0, lot.bounds.max_y + 1.0, 400),
+            ],
+            axis=1,
+        )
+        clearances = index.clearance(points)
+        resolution = index.field.resolution
+        for point, clearance in zip(points, clearances):
+            true = _true_distance(point, lot, polygons)
+            if true <= 0.0:
+                continue  # inside an obstacle / outside the lot: sign tested below
+            # Never overestimates beyond slack (the safety-critical direction)
+            assert clearance - true <= index.slack + 1e-9
+            # Never underestimates beyond a couple of cells (usefulness)
+            assert true - clearance <= 2.5 * resolution + 1e-9
+
+    def test_points_deep_inside_obstacles_are_negative(self):
+        lot, _ = _random_lot(np.random.default_rng(7), 0)
+        box = OrientedBox(12.0, 8.0, 6.0, 4.0, 0.3)
+        index = SpatialIndex(lot, [StaticObstacle("big", box)])
+        assert index.clearance(np.array([[12.0, 8.0]]))[0] < 0.0
+
+    def test_points_far_outside_lot_are_non_positive(self):
+        lot, obstacles = _random_lot(np.random.default_rng(8), 2)
+        index = SpatialIndex(lot, obstacles)
+        outside = np.array([[lot.bounds.max_x + 10.0, lot.bounds.max_y + 10.0]])
+        assert index.clearance(outside)[0] <= 0.0
+
+    def test_scenario_convenience_matches_from_scenario(self):
+        """Scenario.build_spatial_index covers the same statics as from_scenario."""
+        scenario = build_scenario(
+            ScenarioConfig(scenario_name="angled-cluttered", spawn_mode=SpawnMode.CLOSE, seed=3)
+        )
+        via_scenario = scenario.build_spatial_index()
+        direct = SpatialIndex.from_scenario(scenario)
+        assert np.array_equal(via_scenario.grid.occupied, direct.grid.occupied)
+        assert np.array_equal(via_scenario.field.distance, direct.field.distance)
+
+
+class TestOccupancyGrid:
+    def test_conservative_rasterization_covers_obstacle(self):
+        """Every point inside an obstacle is within slack of an occupied centre."""
+        lot, _ = _random_lot(np.random.default_rng(3), 0)
+        box = OrientedBox(10.0, 7.0, 3.0, 1.5, 0.7)
+        grid = OccupancyGrid.from_lot(lot, [StaticObstacle("one", box)])
+        field = DistanceField(grid)
+        rng = np.random.default_rng(0)
+        local = np.stack(
+            [rng.uniform(-1.5, 1.5, 100), rng.uniform(-0.75, 0.75, 100)], axis=1
+        )
+        world = box.pose.transform_points(local)
+        assert (field.clearance(world) <= field.slack).all()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            OccupancyGrid(0.0, 0.0, 0.0, np.zeros((4, 4), dtype=bool))
+        with pytest.raises(ValueError):
+            OccupancyGrid(0.0, 0.0, 0.5, np.zeros((0, 4), dtype=bool))
+
+
+class TestGoalHeuristic:
+    def test_open_space_close_to_euclidean(self):
+        lot, _ = _random_lot(np.random.default_rng(11), 0)
+        index = SpatialIndex(lot, [])
+        goal = (lot.bounds.max_x - 6.0, lot.bounds.center[1])
+        heuristic = index.heuristic_to(*goal)
+        probe = (6.0, float(lot.bounds.center[1]))
+        value = heuristic.query(*probe)
+        euclid = math.hypot(probe[0] - goal[0], probe[1] - goal[1])
+        assert value is not None
+        assert euclid - 1.0 <= value <= euclid * 1.1 + 1.5
+
+    def test_wall_forces_detour(self):
+        """A wall across the direct route shows up as extra flood distance."""
+        bounds = AxisAlignedBox(0.0, 0.0, 30.0, 20.0)
+        lot = ParkingLot(
+            bounds=bounds,
+            spawn_region=AxisAlignedBox(1.0, 1.0, 4.0, 4.0),
+            goal_space=ParkingSpace.from_target("goal", SE2(25.0, 10.0, 0.0)),
+        )
+        # Wall spans most of the lot's height, leaving a gap at the top
+        # (heading pi/2 points the 14 m length axis along +y).
+        wall = StaticObstacle("wall", OrientedBox(15.0, 7.0, 14.0, 1.0, math.pi / 2.0))
+        index = SpatialIndex(lot, [wall])
+        heuristic = index.heuristic_to(25.0, 10.0)
+        value = heuristic.query(5.0, 10.0)
+        euclid = 20.0
+        assert value is not None
+        assert value > euclid + 2.0  # must detour around the wall
+
+    def test_unreachable_pocket_returns_none(self):
+        bounds = AxisAlignedBox(0.0, 0.0, 30.0, 20.0)
+        lot = ParkingLot(
+            bounds=bounds,
+            spawn_region=AxisAlignedBox(1.0, 1.0, 4.0, 4.0),
+            goal_space=ParkingSpace.from_target("goal", SE2(25.0, 10.0, 0.0)),
+        )
+        # Full-height wall: nothing to the left of it can reach the goal.
+        wall = StaticObstacle("wall", OrientedBox(15.0, 10.0, 26.0, 1.0, math.pi / 2.0))
+        index = SpatialIndex(lot, [wall])
+        heuristic = index.heuristic_to(25.0, 10.0)
+        assert heuristic.query(5.0, 10.0) is None
+        assert heuristic.query(-50.0, -50.0) is None
+
+
+class TestFootprintAndPoseClearance:
+    def test_circles_cover_inflated_footprint(self):
+        params = VehicleParams()
+        margin = 0.35
+        circles = FootprintCircles(params, margin)
+        rng = np.random.default_rng(5)
+        pose = SE2(3.0, -2.0, 0.8)
+        centers = circles.centers(np.array([[pose.x, pose.y, pose.theta]]))[0]
+        # Sample the inflated footprint and check every point is inside a circle.
+        length = params.length + 2.0 * margin
+        width = params.width + 2.0 * margin
+        rear = -(params.rear_overhang + margin)
+        local = np.stack(
+            [rng.uniform(rear, rear + length, 300), rng.uniform(-width / 2, width / 2, 300)],
+            axis=1,
+        )
+        world = pose.transform_points(local)
+        distances = np.linalg.norm(world[:, None, :] - centers[None, :, :], axis=2)
+        assert (distances.min(axis=1) <= circles.radius + 1e-9).all()
+
+    def test_positive_pose_clearance_implies_exact_free(self):
+        """The planner fast path: a positive bound must survive the SAT oracle."""
+        from repro.planning.hybrid_astar import HybridAStarPlanner
+
+        scenario = build_scenario(
+            ScenarioConfig(scenario_name="angled-cluttered", spawn_mode=SpawnMode.CLOSE, seed=3)
+        )
+        params = VehicleParams()
+        index = SpatialIndex.from_scenario(scenario, vehicle_params=params)
+        planner = HybridAStarPlanner(params)
+        rng = np.random.default_rng(1)
+        bounds = scenario.lot.bounds
+        poses = np.stack(
+            [
+                rng.uniform(bounds.min_x, bounds.max_x, 400),
+                rng.uniform(bounds.min_y, bounds.max_y, 400),
+                rng.uniform(-math.pi, math.pi, 400),
+            ],
+            axis=1,
+        )
+        clearance_bounds = index.pose_clearance(poses, margin=planner.safety_margin)
+        checked = 0
+        for pose_array, bound in zip(poses, clearance_bounds):
+            if bound > 0.0:
+                checked += 1
+                pose = SE2(*pose_array)
+                assert not planner.pose_in_collision(
+                    pose, index.obstacle_polygons, scenario.lot
+                )
+        assert checked > 20  # the fast path must actually fire
+
+
+class TestOrientedBoxDistances:
+    def test_matches_pointwise_geometry(self):
+        rng = np.random.default_rng(9)
+        boxes = [
+            OrientedBox(
+                float(rng.uniform(-10, 10)),
+                float(rng.uniform(-10, 10)),
+                float(rng.uniform(0.5, 5.0)),
+                float(rng.uniform(0.5, 3.0)),
+                float(rng.uniform(0.0, math.pi)),
+            )
+            for _ in range(20)
+        ]
+        point = np.array([1.0, -2.0])
+        distances = oriented_box_distances(point, boxes)
+        for box, distance in zip(boxes, distances):
+            expected = point_polygon_distance(point, box.to_polygon())
+            assert distance == pytest.approx(expected, abs=1e-9)
+
+    def test_empty_batch(self):
+        assert oriented_box_distances(np.zeros(2), []).shape == (0,)
