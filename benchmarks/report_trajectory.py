@@ -1,0 +1,151 @@
+"""Render the ``BENCH_*.json`` trajectory files as markdown tables.
+
+Every benchmark run appends one JSON object per line to
+``BENCH_planner.json`` / ``BENCH_throughput.json`` at the repository root,
+so the files accumulate a per-revision trajectory.  This script turns them
+into a human-readable markdown report: one table per event type, rows in
+append (chronological) order, plus a trend line for the headline metrics
+(hybrid A* median speedup, batch throughput, dynamic success rates).
+
+Usage::
+
+    python benchmarks/report_trajectory.py                # repo-root files
+    python benchmarks/report_trajectory.py --planner p.json --out REPORT.md
+
+Exits non-zero only on unreadable input; missing files simply produce an
+empty section, so the report runs on fresh clones too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# Columns promoted to the front of their table when present.
+_LEADING_COLUMNS = ("scenario", "method", "backend")
+
+
+def load_lines(path: Path) -> List[dict]:
+    """Parse one JSON object per non-empty line; raise on malformed lines."""
+    if not path.exists():
+        return []
+    entries = []
+    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}:{line_number}: malformed JSON line ({error})") from error
+    return entries
+
+
+def group_by_event(entries: Iterable[dict]) -> "OrderedDict[str, List[dict]]":
+    groups: "OrderedDict[str, List[dict]]" = OrderedDict()
+    for entry in entries:
+        event = str(entry.get("event", "unknown"))
+        groups.setdefault(event, []).append(entry)
+    return groups
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    if value is None:
+        return ""
+    return str(value)
+
+
+def markdown_table(rows: List[dict]) -> List[str]:
+    """One markdown table over the union of the rows' keys (event dropped)."""
+    columns: List[str] = []
+    for leading in _LEADING_COLUMNS:
+        if any(leading in row for row in rows):
+            columns.append(leading)
+    for row in rows:
+        for key in row:
+            if key != "event" and key not in columns:
+                columns.append(key)
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_format_value(row.get(column)) for column in columns) + " |"
+        )
+    return lines
+
+
+def _trend(rows: List[dict], key: str) -> Optional[str]:
+    values = [row[key] for row in rows if isinstance(row.get(key), (int, float))]
+    if not values:
+        return None
+    newest = _format_value(values[-1])
+    if len(values) == 1:
+        return f"latest {key}: {newest}"
+    return f"{key} trajectory: {' -> '.join(_format_value(v) for v in values)}"
+
+
+def render_report(planner_entries: List[dict], throughput_entries: List[dict]) -> str:
+    sections: List[str] = ["# Benchmark trajectory", ""]
+    named = (
+        ("BENCH_planner.json", planner_entries),
+        ("BENCH_throughput.json", throughput_entries),
+    )
+    for title, entries in named:
+        sections.append(f"## {title}")
+        sections.append("")
+        if not entries:
+            sections.append("_no entries_")
+            sections.append("")
+            continue
+        for event, rows in group_by_event(entries).items():
+            sections.append(f"### `{event}` ({len(rows)} entries)")
+            sections.append("")
+            sections.extend(markdown_table(rows))
+            sections.append("")
+            for key in ("median_speedup", "episodes_per_sec", "aware_parked"):
+                trend = _trend(rows, key)
+                if trend is not None:
+                    sections.append(f"_{trend}_")
+                    sections.append("")
+    return "\n".join(sections).rstrip() + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--planner", type=Path, default=REPO_ROOT / "BENCH_planner.json",
+        help="planner trajectory file (JSON lines)",
+    )
+    parser.add_argument(
+        "--throughput", type=Path, default=REPO_ROOT / "BENCH_throughput.json",
+        help="throughput trajectory file (JSON lines)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the markdown report here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = render_report(load_lines(args.planner), load_lines(args.throughput))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.out is not None:
+        args.out.write_text(report, encoding="utf-8")
+    else:
+        print(report, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""Benchmark: expert success on patrol-bearing presets, time layer on vs off.
+
+For each patrol-bearing preset (NORMAL difficulty: two aisle-crossing
+patrols) the same seeds are driven by the scripted expert twice — once
+purely reactive (``TimeLayerSpec(enabled=False)``, the pre-time-layer
+behaviour) and once anticipative — and the success rates, collision counts
+and replan counts are appended to ``BENCH_planner.json`` as one
+``dynamic_bench`` line per preset plus a summary line, so the dynamic
+trajectory accumulates across revisions alongside the planner speedups.
+
+The episodes are stepped through a local loop (not the executor) so each
+arm can read the expert's ``replan_count`` off the shared controller
+context.  Unless ``ICOIL_BENCH_SMOKE=1``, the time-aware arm must park at
+least as many episodes as the reactive arm in aggregate — anticipation may
+never make the expert *worse* against moving obstacles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.api import ControllerContext, EpisodeSpec, TimeLayerSpec, default_registry
+from repro.world import DifficultyLevel, ScenarioConfig, SpawnMode, build_scenario
+from repro.world.world import ParkingWorld
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PLANNER = REPO_ROOT / "BENCH_planner.json"
+SMOKE = os.environ.get("ICOIL_BENCH_SMOKE") == "1"
+
+PATROL_PRESETS = ("legacy", "perpendicular-easy", "angled-easy")
+SEEDS = tuple(range(6))
+
+
+def _append_line(path: Path, payload: dict) -> None:
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
+
+
+def _run_expert_episode(scenario_name: str, seed: int, enabled: bool):
+    """(status, replan_count) of one locally-stepped expert episode."""
+    spec = EpisodeSpec(
+        method="expert",
+        scenario=ScenarioConfig(
+            scenario_name=scenario_name,
+            difficulty=DifficultyLevel.NORMAL,
+            spawn_mode=SpawnMode.REMOTE,
+            seed=seed,
+        ),
+        time_layer=TimeLayerSpec(enabled=enabled),
+        time_limit=80.0,
+    )
+    scenario = build_scenario(spec.scenario)
+    context = ControllerContext(scenario, time_layer=spec.time_layer, dt=spec.dt)
+    controller = default_registry().create("expert", context)
+    world = ParkingWorld(scenario, context.vehicle_params, dt=spec.dt, time_limit=spec.time_limit)
+    max_steps = int(spec.time_limit / spec.dt) + 5
+    for _ in range(max_steps):
+        if world.status.is_terminal:
+            break
+        control = controller.step(
+            world.state, world.current_obstacles(), scenario.lot, time=world.time
+        )
+        world.step(control.action)
+    # plan_reference increments on the initial plan too; replans are the rest.
+    replans = max(0, context.expert.replan_count - 1)
+    return world.status, replans
+
+
+def test_bench_dynamic_presets():
+    """Success-rate / replan-count deltas of the anticipative expert."""
+    totals = {False: 0, True: 0}
+    for preset in PATROL_PRESETS:
+        row = {}
+        for enabled in (False, True):
+            statuses = []
+            replans = []
+            for seed in SEEDS:
+                status, replan_count = _run_expert_episode(preset, seed, enabled)
+                statuses.append(status)
+                replans.append(replan_count)
+            row[enabled] = (statuses, replans)
+            totals[enabled] += sum(1 for status in statuses if status.is_success)
+        reactive_statuses, reactive_replans = row[False]
+        aware_statuses, aware_replans = row[True]
+        _append_line(
+            BENCH_PLANNER,
+            {
+                "event": "dynamic_bench",
+                "scenario": preset,
+                "episodes": len(SEEDS),
+                "reactive_parked": sum(1 for s in reactive_statuses if s.is_success),
+                "aware_parked": sum(1 for s in aware_statuses if s.is_success),
+                "reactive_collided": sum(
+                    1 for s in reactive_statuses if s.value == "collided"
+                ),
+                "aware_collided": sum(1 for s in aware_statuses if s.value == "collided"),
+                "reactive_replans": sum(reactive_replans),
+                "aware_replans": sum(aware_replans),
+            },
+        )
+    _append_line(
+        BENCH_PLANNER,
+        {
+            "event": "dynamic_bench_summary",
+            "episodes": len(SEEDS) * len(PATROL_PRESETS),
+            "reactive_parked": totals[False],
+            "aware_parked": totals[True],
+        },
+    )
+    print(
+        f"\npatrol presets: reactive {totals[False]} vs time-aware {totals[True]} parked "
+        f"of {len(SEEDS) * len(PATROL_PRESETS)}"
+    )
+    if not SMOKE:
+        assert totals[True] >= totals[False], (
+            f"time-aware expert parked {totals[True]} episodes, "
+            f"reactive baseline {totals[False]} — anticipation regressed"
+        )
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v", "-s"])

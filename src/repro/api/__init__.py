@@ -43,7 +43,7 @@ from repro.api.registry import (
 )
 from repro.api.results import EpisodeResult, MethodStatistics, aggregate_results
 from repro.api.session import ParkingSession, SessionOutcome, run_episode_spec
-from repro.api.specs import BatchSpec, EpisodeSpec, PerceptionOverrides
+from repro.api.specs import BatchSpec, EpisodeSpec, PerceptionOverrides, TimeLayerSpec
 from repro.api.trace import EpisodeTrace
 
 # Importing the built-in methods installs them on the default registry.
@@ -71,6 +71,7 @@ __all__ = [
     "SessionController",
     "SessionOutcome",
     "StepEvent",
+    "TimeLayerSpec",
     "aggregate_results",
     "default_registry",
     "register_method",

@@ -42,7 +42,7 @@ class ExpertSessionController:
         lot: ParkingLot,
         time: float = 0.0,
     ) -> ControlStep:
-        return ControlStep(action=self.expert.act(state), mode="expert")
+        return ControlStep(action=self.expert.act(state, time=time), mode="expert")
 
 
 class BaselineSessionController:
@@ -99,6 +99,7 @@ def build_icoil(context: ControllerContext) -> ICOILSessionController:
         context.renderer,
         context.detector,
         context.icoil,
+        timegrid=context.timegrid,
     )
     controller.prepare(context.reference_path)
     return ICOILSessionController(controller)

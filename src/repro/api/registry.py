@@ -22,7 +22,7 @@ from repro.perception.bev import BEVRenderer
 from repro.perception.detector import DetectionNoiseModel, ObjectDetector
 from repro.perception.noise import GaussianImageNoise, NoNoise
 from repro.planning.waypoints import WaypointPath
-from repro.spatial import SpatialIndex
+from repro.spatial import SpatialIndex, TimeGrid
 from repro.vehicle.actions import Action
 from repro.vehicle.params import VehicleParams
 from repro.vehicle.state import VehicleState
@@ -30,7 +30,7 @@ from repro.world.obstacles import Obstacle
 from repro.world.parking_lot import ParkingLot
 from repro.world.scenario import Scenario
 
-from repro.api.specs import PerceptionOverrides
+from repro.api.specs import PerceptionOverrides, TimeLayerSpec
 
 
 # ---------------------------------------------------------------------------
@@ -81,6 +81,7 @@ class ControllerContext:
         vehicle_params: Optional[VehicleParams] = None,
         icoil: Optional[ICOILConfig] = None,
         perception: Optional[PerceptionOverrides] = None,
+        time_layer: Optional[TimeLayerSpec] = None,
         dt: float = 0.1,
     ) -> None:
         self.scenario = scenario
@@ -88,12 +89,15 @@ class ControllerContext:
         self.vehicle_params = vehicle_params or VehicleParams()
         self.icoil = icoil or ICOILConfig()
         self.perception = perception or PerceptionOverrides()
+        self.time_layer_spec = time_layer or TimeLayerSpec()
         self.dt = dt
         self._renderer: Optional[BEVRenderer] = None
         self._detector: Optional[ObjectDetector] = None
         self._expert: Optional[ExpertDriver] = None
         self._reference_path: Optional[WaypointPath] = None
         self._spatial_index: Optional[SpatialIndex] = None
+        self._timegrid: Optional[TimeGrid] = None
+        self._timegrid_built = False
 
     # -- resolved perception noise ------------------------------------
     @property
@@ -150,7 +154,32 @@ class ControllerContext:
             self._spatial_index = SpatialIndex.from_scenario(
                 self.scenario, vehicle_params=self.vehicle_params
             )
+            timegrid = self.timegrid
+            if timegrid is not None:
+                self._spatial_index.attach_time_layer(timegrid)
         return self._spatial_index
+
+    @property
+    def timegrid(self) -> Optional[TimeGrid]:
+        """The time-indexed dynamic layer, built on first access.
+
+        ``None`` when the spec disables it or the scenario has no dynamic
+        obstacles — static episodes never pay for the slice rasters.  Shared
+        by every consumer: the expert's planner, the HSA time-to-conflict
+        term and the CO per-stage constraints all see the same slices.
+        """
+        if not self._timegrid_built:
+            self._timegrid_built = True
+            spec = self.time_layer_spec
+            if spec.enabled and self.scenario.dynamic_obstacles:
+                self._timegrid = TimeGrid.from_scenario(
+                    self.scenario,
+                    vehicle_params=self.vehicle_params,
+                    horizon=spec.horizon,
+                    slice_dt=spec.slice_dt,
+                    resolution=spec.resolution,
+                )
+        return self._timegrid
 
     @property
     def expert(self) -> ExpertDriver:
@@ -161,6 +190,7 @@ class ControllerContext:
                 self.scenario.obstacles,
                 self.vehicle_params,
                 spatial_index=self.spatial_index,
+                timegrid=self.timegrid,
             )
         return self._expert
 
@@ -182,6 +212,7 @@ class ControllerContext:
             horizon=self.icoil.horizon,
             dt=self.dt,
             spatial_index=self.spatial_index,
+            timegrid=self.timegrid,
         )
 
     def require_policy(self, method: str) -> ILPolicy:

@@ -92,6 +92,7 @@ class ParkingSession:
             vehicle_params=self.vehicle_params,
             icoil=self.spec.icoil,
             perception=self.spec.perception,
+            time_layer=self.spec.time_layer,
             dt=self.spec.dt,
         )
         return self.registry.create(self.spec.method, context)

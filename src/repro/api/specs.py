@@ -67,6 +67,42 @@ class PerceptionOverrides:
 
 
 # ---------------------------------------------------------------------------
+# Time-layer (dynamic-obstacle anticipation) knobs
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TimeLayerSpec:
+    """Knobs of the time-indexed dynamic-obstacle layer of one episode.
+
+    When ``enabled`` (the default) and the scenario has dynamic obstacles,
+    the session builds one :class:`~repro.spatial.timegrid.TimeGrid` shared
+    by the planner, the expert, HSA and the CO constraints; scenarios
+    without dynamic obstacles never pay for it.  ``enabled=False`` restores
+    the purely reactive pre-time-layer behaviour (kept for ablations and
+    the dynamic benchmark's baseline arm).
+    """
+
+    enabled: bool = True
+    horizon: float = 40.0
+    slice_dt: float = 0.8
+    resolution: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0.0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+        if self.slice_dt <= 0.0:
+            raise ValueError(f"slice_dt must be positive, got {self.slice_dt}")
+        if self.resolution <= 0.0:
+            raise ValueError(f"resolution must be positive, got {self.resolution}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TimeLayerSpec":
+        return cls(**data)
+
+
+# ---------------------------------------------------------------------------
 # Episode spec
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -85,6 +121,8 @@ class EpisodeSpec:
         iCOIL/HSA configuration used by methods that need it.
     perception:
         Optional perception noise overrides.
+    time_layer:
+        Dynamic-obstacle anticipation knobs (see :class:`TimeLayerSpec`).
     dt / time_limit / max_steps:
         Control period, episode time budget and an optional hard step cap.
     """
@@ -93,6 +131,7 @@ class EpisodeSpec:
     scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
     icoil: ICOILConfig = field(default_factory=ICOILConfig)
     perception: PerceptionOverrides = field(default_factory=PerceptionOverrides)
+    time_layer: TimeLayerSpec = field(default_factory=TimeLayerSpec)
     dt: float = 0.1
     time_limit: float = 80.0
     max_steps: Optional[int] = None
@@ -117,6 +156,7 @@ class EpisodeSpec:
             "scenario": scenario_config_to_dict(self.scenario),
             "icoil": icoil_config_to_dict(self.icoil),
             "perception": self.perception.to_dict(),
+            "time_layer": self.time_layer.to_dict(),
             "dt": self.dt,
             "time_limit": self.time_limit,
             "max_steps": self.max_steps,
@@ -129,6 +169,7 @@ class EpisodeSpec:
             scenario=scenario_config_from_dict(data.get("scenario", {})),
             icoil=icoil_config_from_dict(data.get("icoil", {})),
             perception=PerceptionOverrides.from_dict(data.get("perception", {})),
+            time_layer=TimeLayerSpec.from_dict(data.get("time_layer", {})),
             dt=data.get("dt", 0.1),
             time_limit=data.get("time_limit", 80.0),
             max_steps=data.get("max_steps"),
@@ -163,6 +204,7 @@ class BatchSpec:
     layout_params: Tuple[Tuple[str, Any], ...] = ()
     icoil: ICOILConfig = field(default_factory=ICOILConfig)
     perception: PerceptionOverrides = field(default_factory=PerceptionOverrides)
+    time_layer: TimeLayerSpec = field(default_factory=TimeLayerSpec)
     dt: float = 0.1
     time_limit: float = 80.0
     max_steps: Optional[int] = None
@@ -203,6 +245,7 @@ class BatchSpec:
                         scenario=scenario,
                         icoil=self.icoil,
                         perception=self.perception,
+                        time_layer=self.time_layer,
                         dt=self.dt,
                         time_limit=self.time_limit,
                         max_steps=self.max_steps,
@@ -222,6 +265,7 @@ class BatchSpec:
             "layout_params": dict(self.layout_params),
             "icoil": icoil_config_to_dict(self.icoil),
             "perception": self.perception.to_dict(),
+            "time_layer": self.time_layer.to_dict(),
             "dt": self.dt,
             "time_limit": self.time_limit,
             "max_steps": self.max_steps,
@@ -242,6 +286,7 @@ class BatchSpec:
             layout_params=data.get("layout_params", ()),
             icoil=icoil_config_from_dict(data.get("icoil", {})),
             perception=PerceptionOverrides.from_dict(data.get("perception", {})),
+            time_layer=TimeLayerSpec.from_dict(data.get("time_layer", {})),
             dt=data.get("dt", 0.1),
             time_limit=data.get("time_limit", 80.0),
             max_steps=data.get("max_steps"),

@@ -154,15 +154,32 @@ class CollisionConstraintSet:
         safety_margin: float = 0.1,
         num_ego_circles: int = 3,
         spatial_index: Optional[SpatialIndex] = None,
+        timegrid=None,
     ) -> None:
         if safety_margin < 0.0:
             raise ValueError(f"safety_margin must be non-negative, got {safety_margin}")
         self.vehicle_params = vehicle_params or VehicleParams()
         self.safety_margin = safety_margin
         self.spatial_index = spatial_index
+        # Time-indexed dynamic layer: detections that match one of its
+        # patrols get *exact* per-stage predictions (the patrol trajectory
+        # is a pure function of time) instead of constant-velocity
+        # extrapolation, which cannot see a ping-pong turn-around inside
+        # the horizon.
+        self.timegrid = timegrid
+        if timegrid is None and spatial_index is not None:
+            self.timegrid = spatial_index.time_layer
         offsets, radius = ego_covering_circles(self.vehicle_params, num_ego_circles)
         self.ego_circle_offsets = offsets
         self.ego_circle_radius = radius
+
+    def _patrol_for(self, obstacle_id: Optional[str]) -> Optional[DynamicObstacle]:
+        if self.timegrid is None or obstacle_id is None:
+            return None
+        for obstacle in self.timegrid.obstacles:
+            if obstacle.obstacle_id == obstacle_id:
+                return obstacle
+        return None
 
     def _reachable_detections(
         self,
@@ -232,25 +249,40 @@ class CollisionConstraintSet:
         dt: float,
         horizon: int,
         ego_position: Optional[np.ndarray] = None,
+        start_time: Optional[float] = None,
     ) -> List[ObstaclePrediction]:
         """Detection-based predictions with constant-velocity extrapolation.
 
         This is the ``z_i -> constraints`` path used by the deployed CO node,
         which only sees the (noisy) detector output.  Passing the ego
         position (with a spatial index installed) prunes obstacles outside
-        the horizon's reach envelope.
+        the horizon's reach envelope.  With a time layer installed and
+        ``start_time`` given, detections matching one of its patrols are
+        predicted from the *exact* patrol trajectory at each MPC stage time
+        (the slice the stage falls into) instead of constant velocity.
         """
         detections = self._reachable_detections(detections, dt, horizon, ego_position)
         predictions: List[ObstaclePrediction] = []
         for detection in detections:
-            base_circles = self._box_circles_at(detection.box)
-            steps = np.arange(1, horizon + 1, dtype=float)[:, None, None]
-            displacement = steps * dt * detection.velocity[None, None, :]
-            circle_positions = base_circles[None, :, :] + displacement
+            patrol = (
+                self._patrol_for(detection.obstacle_id) if start_time is not None else None
+            )
+            speed = float(np.hypot(*detection.velocity))
+            if patrol is not None:
+                per_step = []
+                for step in range(1, horizon + 1):
+                    moved = patrol.at_time(start_time + step * dt)
+                    per_step.append(self._box_circles_at(moved.box))
+                circle_positions = np.stack(per_step)
+                speed = max(speed, patrol.speed)
+            else:
+                base_circles = self._box_circles_at(detection.box)
+                steps = np.arange(1, horizon + 1, dtype=float)[:, None, None]
+                displacement = steps * dt * detection.velocity[None, None, :]
+                circle_positions = base_circles[None, :, :] + displacement
             # Moving obstacles get a larger standoff: their future position is
             # uncertain and they will not yield, so the planner should stay
             # well clear of their corridor instead of stopping at its edge.
-            speed = float(np.hypot(*detection.velocity))
             margin = self.safety_margin + (0.9 if speed > 0.15 else 0.0)
             predictions.append(
                 ObstaclePrediction(

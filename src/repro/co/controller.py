@@ -65,6 +65,7 @@ class COController:
         constraint_set: Optional[CollisionConstraintSet] = None,
         goal_slowdown_distance: float = 4.0,
         spatial_index: Optional[SpatialIndex] = None,
+        timegrid=None,
     ) -> None:
         if horizon < 2:
             raise ValueError(f"horizon must be at least 2, got {horizon}")
@@ -82,7 +83,7 @@ class COController:
         self.model = AckermannModel(self.vehicle_params, dt=planning_dt)
         self.solver = solver or GaussNewtonSolver()
         self.constraint_set = constraint_set or CollisionConstraintSet(
-            self.vehicle_params, spatial_index=spatial_index
+            self.vehicle_params, spatial_index=spatial_index, timegrid=timegrid
         )
         self.goal_slowdown_distance = goal_slowdown_distance
         self.bounds = ControlBounds.from_vehicle(self.vehicle_params)
@@ -123,7 +124,11 @@ class COController:
 
         references, headings, direction, reference_speed = self._build_reference(state)
         predictions = self.constraint_set.from_detections(
-            detections, self.planning_dt, self.horizon, ego_position=state.position
+            detections,
+            self.planning_dt,
+            self.horizon,
+            ego_position=state.position,
+            start_time=time,
         )
 
         problem = MPCProblem(

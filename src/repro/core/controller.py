@@ -79,12 +79,17 @@ class ICOILController:
         renderer: Optional[BEVRenderer] = None,
         detector: Optional[ObjectDetector] = None,
         config: Optional[ICOILConfig] = None,
+        timegrid=None,
     ) -> None:
         self.il_policy = il_policy
         self.co_controller = co_controller
         self.renderer = renderer or BEVRenderer()
         self.detector = detector or ObjectDetector()
         self.config = config or ICOILConfig()
+        # Optional time-indexed dynamic layer: feeds the HSA complexity term
+        # a predicted time-to-conflict, so the switch to CO happens *before*
+        # a patrol crosses the path rather than once it is alongside.
+        self.timegrid = timegrid if timegrid is None or not timegrid.empty else None
         self.hsa = HSAModel(self.config, num_classes=il_policy.action_space.num_classes)
         self._mode = DrivingMode.CO
         self._frames_since_switch = 0
@@ -130,7 +135,14 @@ class ICOILController:
         detections = self.detector.detect(state, obstacles, time=time)
         obstacle_distances = hsa_obstacle_distances(state.position, detections)
 
-        reading = self.hsa.update(probabilities, obstacle_distances)
+        time_to_conflict = (
+            self.timegrid.time_to_conflict(state.position, start_time=time)
+            if self.timegrid is not None
+            else None
+        )
+        reading = self.hsa.update(
+            probabilities, obstacle_distances, time_to_conflict=time_to_conflict
+        )
         switched = self._update_mode(reading)
 
         co_info: Optional[COSolveInfo] = None

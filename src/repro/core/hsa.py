@@ -79,6 +79,8 @@ def scenario_complexity(
     action_dimension: int,
     danger_distance: float,
     exponent: float = 3.5,
+    time_to_conflict: Optional[float] = None,
+    conflict_tau: float = 3.0,
 ) -> float:
     """Instant scenario complexity (Eq. 8 inner term).
 
@@ -93,11 +95,25 @@ def scenario_complexity(
     danger_distance:
         Most dangerous obstacle distance ``D0`` (m); obstacles near this
         distance contribute the most to the solve cost.
+    time_to_conflict:
+        Predicted seconds until a *dynamic* obstacle enters the ego's
+        vicinity, from the time-indexed spatial layer
+        (:meth:`~repro.spatial.timegrid.TimeGrid.time_to_conflict`);
+        ``None`` means no conflict is predicted inside the horizon.  An
+        imminent predicted crossing raises the solve-cost estimate like one
+        extra near-critical obstacle — the spatial distances alone cannot
+        see a patrol that is *about* to cut across the path.
+    conflict_tau:
+        Decay constant (s) of the time-to-conflict contribution.
     """
     if horizon <= 0 or action_dimension <= 0:
         raise ValueError("horizon and action_dimension must be positive")
+    if conflict_tau <= 0.0:
+        raise ValueError(f"conflict_tau must be positive, got {conflict_tau}")
     distances = np.asarray(list(obstacle_distances), dtype=float)
     obstacle_term = float(np.sum(np.exp(-np.abs(danger_distance - distances)))) if distances.size else 0.0
+    if time_to_conflict is not None:
+        obstacle_term += float(math.exp(-max(0.0, time_to_conflict) / conflict_tau))
     return float((horizon * (action_dimension + obstacle_term)) ** exponent)
 
 
@@ -130,9 +146,17 @@ class HSAModel:
     # Updates
     # ------------------------------------------------------------------
     def update(
-        self, probabilities: np.ndarray, obstacle_distances: Sequence[float]
+        self,
+        probabilities: np.ndarray,
+        obstacle_distances: Sequence[float],
+        time_to_conflict: Optional[float] = None,
     ) -> HSAReading:
-        """Push one frame of evidence and return the current HSA reading."""
+        """Push one frame of evidence and return the current HSA reading.
+
+        ``time_to_conflict`` optionally folds the time layer's predicted
+        crossing (see :func:`scenario_complexity`) into the complexity term;
+        omitted, the reading is exactly the static-evidence model.
+        """
         config = self.config
         instant_uncertainty = scenario_uncertainty(probabilities)
         instant_complexity = scenario_complexity(
@@ -140,6 +164,7 @@ class HSAModel:
             horizon=config.horizon,
             action_dimension=config.action_dimension,
             danger_distance=config.danger_distance,
+            time_to_conflict=time_to_conflict,
         )
         self._uncertainty_window.append(instant_uncertainty)
         self._complexity_window.append(instant_complexity)

@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.geometry.angles import normalize_angle
+from repro.geometry.collision import shapes_collide
 from repro.geometry.se2 import SE2
 from repro.planning.hybrid_astar import HybridAStarPlanner
 from repro.planning.maneuvers import parallel_reverse_park, reverse_park_arc
@@ -65,6 +66,7 @@ class ExpertDriver:
         config: Optional[ExpertConfig] = None,
         planner: Optional[HybridAStarPlanner] = None,
         spatial_index: Optional[SpatialIndex] = None,
+        timegrid=None,
     ) -> None:
         self.lot = lot
         self.obstacles = list(obstacles)
@@ -72,9 +74,13 @@ class ExpertDriver:
         self.config = config or ExpertConfig()
         self.planner = planner or HybridAStarPlanner(self.vehicle_params)
         self._spatial_index = spatial_index
+        self._timegrid = timegrid
         self._path: Optional[WaypointPath] = None
         self._follower: Optional[SegmentedPathFollower] = None
         self._replanning_enabled = True
+        self.replan_count = 0
+        self._plan_start: Optional[SE2] = None
+        self._last_time = 0.0
         # Kerbside S-curves flip curvature mid-maneuver; the steering-rate
         # limit then demands slower, tighter tracking than a single arc.
         self._parallel_final = False
@@ -96,6 +102,22 @@ class ExpertDriver:
                 self.lot, static_obstacles, self.vehicle_params
             )
         return self._spatial_index
+
+    @property
+    def time_layer(self):
+        """The time-indexed dynamic-obstacle layer, if one is available.
+
+        Injected by the session layer (shared with HSA and CO), or
+        discovered on the shared spatial index; ``None`` (or an *empty*
+        layer) means the expert plans against the static scene only — the
+        pre-time-layer behaviour.
+        """
+        if self._timegrid is not None:
+            return None if self._timegrid.empty else self._timegrid
+        index = self.spatial_index
+        if index is not None and index.time_layer is not None:
+            return None if index.time_layer.empty else index.time_layer
+        return None
 
     # ------------------------------------------------------------------
     # Reference path
@@ -165,11 +187,79 @@ class ExpertDriver:
         staging_score = float(index.pose_clearance(staging_array, margin=0.35).min())
         return min(sweep_score, staging_score)
 
-    def final_maneuver(self, static_obstacles: Sequence[Obstacle]):
-        """Public alias of :meth:`_final_maneuver` (used by the benchmarks)."""
-        return self._final_maneuver(static_obstacles)
+    def _schedule_conflicts(self, poses, times, margin: float = 0.1) -> bool:
+        """Two-phase check of a timed pose schedule against the time layer.
 
-    def _final_maneuver(self, static_obstacles: Sequence[Obstacle]):
+        The conservative batched bound proves most schedules clear in one
+        query; only inconclusive poses run the exact SAT narrow phase at
+        their scheduled time (patrol motion is a pure function of time, so
+        beyond-horizon times are still checked exactly).  The broad phase
+        alone would flag patrols that merely drive *parallel* to the path a
+        couple of metres away — permanently, which would park the yield
+        logic forever.
+        """
+        timegrid = self.time_layer
+        if timegrid is None:
+            return False
+        pose_array = np.array([[pose.x, pose.y, pose.theta] for pose in poses])
+        times = np.asarray(times, dtype=float)
+        bounds = timegrid.pose_clearance_at(pose_array, times, margin=margin)
+        if float(bounds.min()) > 0.0:
+            return False
+        for pose, bound, pose_time in zip(poses, bounds, times):
+            if bound <= 0.0 and self.planner.dynamic_pose_in_collision(
+                pose, float(pose_time), timegrid, margin=margin
+            ):
+                return True
+        return False
+
+    def _maneuver_predicted_conflict(
+        self, staging: SE2, waypoints, start: Optional[SE2], start_time: float
+    ) -> bool:
+        """Whether a maneuver's sweep intersects a predicted crossing window.
+
+        The arrival time at the staging pose is estimated from the
+        straight-line distance at the forward tracking speed; the sweep is
+        then stamped at the reverse speed.  The estimate is rough, so the
+        sweep is tested against two schedules (nominal and 1.5x slower) —
+        a candidate is only demoted when a patrol is predicted *through* its
+        corridor, which beats discovering the crossing mid-execution.
+        """
+        timegrid = self.time_layer
+        if timegrid is None or start is None:
+            return False
+        travel = start.distance_to(staging) / max(0.3, self.config.forward_speed)
+        poses = [staging] + [waypoint.pose for waypoint in waypoints]
+        offsets = [0.0]
+        for previous, waypoint in zip(poses[:-1], poses[1:]):
+            step = previous.distance_to(waypoint) / max(0.2, self.config.reverse_speed)
+            offsets.append(offsets[-1] + step)
+        offset_array = np.array(offsets)
+        # Stretch only the *travel* estimate, never the absolute start time:
+        # replans mid-episode carry a large start_time, and scaling it would
+        # test the sweep at a wildly wrong clock.
+        return any(
+            self._schedule_conflicts(
+                poses, start_time + travel * stretch + offset_array, margin=0.15
+            )
+            for stretch in (1.0, 1.5)
+        )
+
+    def final_maneuver(
+        self,
+        static_obstacles: Sequence[Obstacle],
+        start: Optional[SE2] = None,
+        start_time: float = 0.0,
+    ):
+        """Public alias of :meth:`_final_maneuver` (used by the benchmarks)."""
+        return self._final_maneuver(static_obstacles, start, start_time)
+
+    def _final_maneuver(
+        self,
+        static_obstacles: Sequence[Obstacle],
+        start: Optional[SE2] = None,
+        start_time: float = 0.0,
+    ):
         """The analytic end-of-path maneuver for this lot's slot family.
 
         The slot family is inferred from the angle between the goal heading
@@ -192,6 +282,11 @@ class ExpertDriver:
         best_score = -math.inf
         best_scored = None
         scored_candidates = []  # (score, sweep_length_proxy, staging, waypoints)
+        # Statically clear candidates that intersect a predicted patrol
+        # crossing window: kept as a fallback, but a conflict-free candidate
+        # always wins (rejecting the S-curve *before* committing to it is the
+        # whole point of the time layer).
+        clear_conflicted = None
 
         self._parallel_final = slot_angle < math.radians(20.0)
         if self._parallel_final:
@@ -225,7 +320,13 @@ class ExpertDriver:
                         choice = (staging, waypoints)
                     if self._pose_is_clear(staging, obstacle_polygons):
                         if self._sweep_is_clear(waypoints, obstacle_polygons):
-                            return staging, waypoints
+                            if not self._maneuver_predicted_conflict(
+                                staging, waypoints, start, start_time
+                            ):
+                                return staging, waypoints
+                            if clear_conflicted is None:
+                                clear_conflicted = (staging, waypoints)
+                            continue
                         score = self._maneuver_clearance_score(staging, waypoints)
                         scored_candidates.append((score, len(waypoints), staging, waypoints))
             # Tight kerbside bays rarely offer a fully clear sweep.  Gate the
@@ -234,6 +335,8 @@ class ExpertDriver:
             # worse), then prefer the *shortest* S-curve: the smaller the
             # swept heading change, the smaller the tracking deviation while
             # squeezing past the neighbours.
+            if clear_conflicted is not None:
+                return clear_conflicted
             if scored_candidates:
                 best_score = max(candidate[0] for candidate in scored_candidates)
                 eligible = [
@@ -253,30 +356,43 @@ class ExpertDriver:
                 choice = (staging, waypoints)
             if self._pose_is_clear(staging, obstacle_polygons):
                 if self._sweep_is_clear(waypoints, obstacle_polygons):
-                    return staging, waypoints
+                    if not self._maneuver_predicted_conflict(
+                        staging, waypoints, start, start_time
+                    ):
+                        return staging, waypoints
+                    if clear_conflicted is None:
+                        clear_conflicted = (staging, waypoints)
+                    continue
                 score = self._maneuver_clearance_score(staging, waypoints)
                 if staging_clear_choice is None:
                     staging_clear_choice = (staging, waypoints)
                 if score > best_score:
                     best_score = score
                     best_scored = (staging, waypoints)
-        # No fully clear sweep: prefer the least-intrusive sweep among the
+        # No fully clear sweep: prefer a statically clear sweep that merely
+        # conflicts with a predicted crossing (the tracking-time yield can
+        # still wait it out), then the least-intrusive sweep among the
         # reachable staging poses, then any reachable staging pose, then the
         # blind default.
-        return best_scored or staging_clear_choice or choice
+        return clear_conflicted or best_scored or staging_clear_choice or choice
 
-    def plan_reference(self, start: SE2) -> Optional[WaypointPath]:
+    def plan_reference(self, start: SE2, start_time: float = 0.0) -> Optional[WaypointPath]:
         """(Re)compute the reference path from ``start`` to the parking space.
 
         The reference is built in two stages, mirroring how a human drives
         the maneuver: hybrid A* from the start pose to a *staging pose* on
         the aisle in front of the space, then an analytic family-specific
         maneuver (reverse arc or parallel S-curve) from the staging pose
-        into the space.
+        into the space.  With a time layer available the A* stage is
+        time-aware (it anticipates patrol crossings from ``start_time``
+        instead of discovering them mid-execution), and the maneuver ladder
+        demotes candidates that intersect a predicted crossing window.
         """
         static_obstacles = [obstacle for obstacle in self.obstacles if not obstacle.is_dynamic]
         goal = self.lot.goal_pose
-        staging, reverse_waypoints = self._final_maneuver(static_obstacles)
+        self.replan_count += 1
+        self._plan_start = start
+        staging, reverse_waypoints = self._final_maneuver(static_obstacles, start, start_time)
 
         # If the vehicle is already at (or past) the staging pose, only the
         # reverse maneuver remains.
@@ -284,7 +400,13 @@ class ExpertDriver:
             self._path = WaypointPath([Waypoint(start, 1)] + reverse_waypoints)
         else:
             result = self.planner.plan(
-                start, staging, static_obstacles, self.lot, spatial_index=self.spatial_index
+                start,
+                staging,
+                static_obstacles,
+                self.lot,
+                spatial_index=self.spatial_index,
+                timegrid=self.time_layer,
+                start_time=start_time,
             )
             if result.success and result.path is not None:
                 waypoints = result.path.waypoints + reverse_waypoints
@@ -316,10 +438,16 @@ class ExpertDriver:
     # ------------------------------------------------------------------
     # Control
     # ------------------------------------------------------------------
-    def act(self, state: VehicleState) -> Action:
-        """Driving command for the current vehicle state."""
+    def act(self, state: VehicleState, time: float = 0.0) -> Action:
+        """Driving command for the current vehicle state.
+
+        ``time`` is the absolute episode time: with a time layer available
+        it anchors replans and the anticipative yield (stopping short of a
+        predicted patrol crossing instead of driving into it).
+        """
         config = self.config
         goal = self.lot.goal_pose
+        self._last_time = time
 
         # Terminal condition: stop once the vehicle is inside the space.
         position_error = math.hypot(state.x - goal.x, state.y - goal.y)
@@ -329,7 +457,7 @@ class ExpertDriver:
             return Action.full_brake()
 
         if self._path is None or self._follower is None:
-            self.plan_reference(state.pose)
+            self.plan_reference(state.pose, time)
         if self._path is None or self._follower is None:
             return Action.full_brake()
 
@@ -339,7 +467,7 @@ class ExpertDriver:
         nearest_waypoint = self._path[nearest_index]
         deviation = float(np.hypot(*(nearest_waypoint.position - state.position)))
         if deviation > config.replan_deviation and self._replanning_enabled:
-            replanned = self.plan_reference(state.pose)
+            replanned = self.plan_reference(state.pose, time)
             if replanned is not None:
                 follower = self._follower
                 follower.update(state.position)
@@ -353,6 +481,13 @@ class ExpertDriver:
         target = follower.lookahead_waypoint(state.position, lookahead)
 
         steer_cmd = self._pure_pursuit_steer(state, target, direction, lookahead)
+
+        # Anticipative yield: stop short of a predicted patrol crossing of
+        # the upcoming path window instead of replanning (or colliding)
+        # once the patrol is already in front of the bumper.
+        if self._yield_to_crossing(state, time, nearest_index, direction):
+            return Action.clipped(0.0, 0.8, steer_cmd, direction < 0)
+
         target_speed = self._target_speed(follower, state, direction, position_error)
 
         current_speed = state.velocity if direction > 0 else -state.velocity
@@ -379,6 +514,57 @@ class ExpertDriver:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _yield_to_crossing(
+        self,
+        state: VehicleState,
+        time: float,
+        nearest_index: int,
+        direction: int,
+        preview_distance: float = 4.0,
+    ) -> bool:
+        """Whether to stop and let a predicted patrol crossing pass.
+
+        Samples the next few metres of the reference path, stamps each pose
+        with its nominal arrival time, and asks the time layer whether any
+        of them intersects a patrol's swept window.  If the ego is already
+        *inside* a conflict window, keep moving — stopping there would park
+        the vehicle in the patrol's corridor.
+        """
+        timegrid = self.time_layer
+        if timegrid is None or self._path is None:
+            return False
+        speed = max(
+            0.3,
+            self.config.forward_speed if direction > 0 else self.config.reverse_speed,
+        )
+        poses = [SE2(state.x, state.y, state.heading)]
+        offsets = [0.0]
+        previous = state.position
+        for waypoint in self._path.waypoints[nearest_index + 1 :]:
+            step = float(np.hypot(*(waypoint.position - previous)))
+            offset = offsets[-1] + step
+            if offset > preview_distance:
+                break
+            poses.append(waypoint.pose)
+            offsets.append(offset)
+            previous = waypoint.position
+        times = time + np.asarray(offsets) / speed
+        if not self._schedule_conflicts(poses, times, margin=0.1):
+            return False
+        # A crossing is predicted through the upcoming window.  Waiting here
+        # is right unless a patrol would sweep through the *stopped*
+        # footprint itself — then keep moving and clear its corridor.
+        footprint = state.footprint(self.vehicle_params).inflated(0.1).to_polygon()
+        check_horizon = 4.0
+        step = max(0.2, timegrid.slice_dt / 2.0)
+        tau = 0.0
+        while tau <= check_horizon:
+            for obstacle in timegrid.obstacles_at(time + tau):
+                if shapes_collide(footprint, obstacle.box.to_polygon()):
+                    return False
+            tau += step
+        return True
+
     def _pure_pursuit_steer(
         self, state: VehicleState, target: Waypoint, direction: int, lookahead: float
     ) -> float:

@@ -43,19 +43,26 @@ from repro.world.parking_lot import ParkingLot
 
 @dataclass(frozen=True)
 class PlannerResult:
-    """Outcome of a planning query."""
+    """Outcome of a planning query.
+
+    ``arrival_times`` gives the planner's estimated arrival time (s, from
+    the query's ``start_time``) at each waypoint of ``path`` — the schedule
+    the time-aware collision checks were run against.  Plateaus in the
+    sequence are wait-in-place primitives.
+    """
 
     success: bool
     path: Optional[WaypointPath]
     expanded_nodes: int
     cost: float = math.inf
+    arrival_times: Optional[Tuple[float, ...]] = None
 
 
 @dataclass(order=True)
 class _QueueEntry:
     priority: float
     counter: int
-    node_key: Tuple[int, int, int] = field(compare=False)
+    node_key: Tuple = field(compare=False)
 
 
 @dataclass
@@ -63,8 +70,9 @@ class _Node:
     pose: SE2
     direction: int
     cost: float
-    parent_key: Optional[Tuple[int, int, int]]
+    parent_key: Optional[Tuple]
     trace: List[Tuple[SE2, int]]
+    time: float = 0.0
 
 
 class HybridAStarPlanner:
@@ -107,6 +115,10 @@ class HybridAStarPlanner:
         goal_shot_distance: float = 12.0,
         use_spatial: bool = True,
         flood_after_expansions: int = 64,
+        plan_speed: float = 1.6,
+        reverse_plan_speed: float = 0.8,
+        wait_penalty: float = 0.6,
+        max_waits: int = 12,
     ) -> None:
         if num_steer_primitives < 3:
             raise ValueError(f"num_steer_primitives must be at least 3, got {num_steer_primitives}")
@@ -126,6 +138,16 @@ class HybridAStarPlanner:
         self.max_expansions = max_expansions
         self.goal_shot_distance = goal_shot_distance
         self.use_spatial = use_spatial
+        # Nominal tracking speeds used to stamp arrival times on expansions
+        # (the time-aware collision checks are run against this schedule),
+        # and the cost/count limits of the wait-in-place primitive.
+        if plan_speed <= 0.0 or reverse_plan_speed <= 0.0:
+            raise ValueError("plan speeds must be positive")
+        self.plan_speed = plan_speed
+        self.reverse_plan_speed = reverse_plan_speed
+        self.wait_penalty = wait_penalty
+        self.max_waits = max_waits
+        self._time_bin_width = 0.8  # overwritten per plan() from the timegrid
         # Expansion budget after which the obstacle-aware Dijkstra flood is
         # built: open scenes converge long before and never pay for it;
         # scenes where the Euclidean heuristic misleads the search (walls,
@@ -143,6 +165,16 @@ class HybridAStarPlanner:
             for successor, _, _ in self._local_primitives
         ]
         self._sweep_circle_points: Optional[np.ndarray] = None  # (P, F, C, 2) local
+        # Local-frame swept poses as one (P, F, 3) array, plus the fixed
+        # per-primitive durations and fraction steps, for the batched
+        # time-aware clearance query against the dynamic layer.
+        self._local_sweep_array = np.array(
+            [[[p.x, p.y, p.theta] for p in sweep] for sweep in self._local_sweeps]
+        )
+        self._primitive_durations = np.array(
+            [self._primitive_duration(direction) for _, direction, _ in self._local_primitives]
+        )
+        self._sweep_steps = (np.arange(self._sweep_fractions) + 1.0) / self._sweep_fractions
         # Footprint covering circles are derived from the *planner's* vehicle
         # params, never from a passed-in index, so the broad-phase bound
         # always covers the same footprint the SAT narrow phase checks —
@@ -160,12 +192,23 @@ class HybridAStarPlanner:
         obstacles: Sequence[Obstacle],
         lot: ParkingLot,
         spatial_index: Optional[SpatialIndex] = None,
+        timegrid=None,
+        start_time: float = 0.0,
     ) -> PlannerResult:
         """Plan a collision-free path from ``start`` to ``goal``.
 
         ``spatial_index`` must describe the same ``lot`` and ``obstacles``
         (callers that replan against a fixed scene build it once); when
         omitted and ``use_spatial`` is set, a fresh index is built here.
+
+        ``timegrid`` (or a non-empty ``spatial_index.time_layer``) switches
+        the search *time-aware*: every node carries an arrival time stamped
+        from the nominal plan speeds, swept primitives are additionally
+        checked against the dynamic layer's slice matching each arrival
+        time, a wait-in-place primitive lets the search let a predicted
+        crossing pass instead of detouring, and the closed set gains a
+        time-bin dimension.  Without a dynamic layer the search is exactly
+        the static planner (bit-identical expansions).
         """
         obstacle_polygons = [obstacle.box.to_polygon() for obstacle in obstacles]
         index: Optional[SpatialIndex] = spatial_index if self.use_spatial else None
@@ -173,20 +216,43 @@ class HybridAStarPlanner:
             # Obstacle-free lots skip the build: the exact check degenerates
             # to four corner-containment tests the field cannot beat.
             index = SpatialIndex(lot, obstacles, self.vehicle_params)
+        if timegrid is None and index is not None:
+            timegrid = index.time_layer
+        if timegrid is not None and timegrid.empty:
+            timegrid = None
+        time_aware = timegrid is not None
+        if time_aware:
+            self._time_bin_width = max(1e-6, timegrid.slice_dt)
         heuristic = None
 
         if self._pose_in_collision(start, obstacle_polygons, lot):
             return PlannerResult(success=False, path=None, expanded_nodes=0)
+        if time_aware and self.dynamic_pose_in_collision(
+            start, start_time, timegrid, margin=0.0
+        ):
+            # Spawned inside a patrol's current swept window: the static
+            # planner at least gets the vehicle moving, so fall back to it.
+            time_aware = False
+            timegrid = None
 
         counter = itertools.count()
-        start_key = self._discretize(start)
-        start_node = _Node(pose=start, direction=1, cost=0.0, parent_key=None, trace=[(start, 1)])
-        nodes: Dict[Tuple[int, int, int], _Node] = {start_key: start_node}
+        start_key = self._discretize(start, start_time if time_aware else None)
+        start_node = _Node(
+            pose=start,
+            direction=1,
+            cost=0.0,
+            parent_key=None,
+            trace=[(start, 1)],
+            time=start_time,
+        )
+        nodes: Dict[Tuple, _Node] = {start_key: start_node}
         open_heap: List[_QueueEntry] = [
             _QueueEntry(self._heuristic(start, goal, heuristic), next(counter), start_key)
         ]
         closed: set = set()
         expansions = 0
+        wait_duration = timegrid.slice_dt if time_aware else 0.0
+        wait_counts: Dict[Tuple, int] = {start_key: 0}
 
         while open_heap and expansions < self.max_expansions:
             entry = heapq.heappop(open_heap)
@@ -210,22 +276,34 @@ class HybridAStarPlanner:
 
             # Analytic Reeds-Shepp expansion near the goal.
             if node.pose.distance_to(goal) <= self.goal_shot_distance:
-                shot = self._goal_shot(node.pose, goal, obstacle_polygons, lot, index)
+                shot = self._goal_shot(
+                    node.pose, goal, obstacle_polygons, lot, index, timegrid, node.time
+                )
                 if shot is not None:
-                    waypoints = self._assemble(node, nodes, shot)
+                    waypoints, arrival_times = self._assemble(node, nodes, shot)
                     return PlannerResult(
                         success=True,
                         path=waypoints,
                         expanded_nodes=expansions,
                         cost=node.cost,
+                        arrival_times=arrival_times,
                     )
 
             sweep_bounds = self._sweep_clearance_bounds(node.pose, index)
+            dynamic_bounds = (
+                self._sweep_dynamic_bounds(node.pose, node.time, timegrid)
+                if time_aware
+                else None
+            )
             for primitive_index, (local_successor, direction, steer) in enumerate(
                 self._local_primitives
             ):
                 successor = node.pose.compose(local_successor)
-                successor_key = self._discretize(successor)
+                duration = self._primitive_duration(direction)
+                successor_time = node.time + duration
+                successor_key = self._discretize(
+                    successor, successor_time if time_aware else None
+                )
                 if successor_key in closed:
                     continue
                 move_cost = self.step_size
@@ -242,27 +320,79 @@ class HybridAStarPlanner:
                     node.pose, primitive_index, sweep_bounds, obstacle_polygons, lot
                 ):
                     continue
+                if time_aware and self._primitive_in_dynamic_collision(
+                    node.pose,
+                    node.time,
+                    primitive_index,
+                    duration,
+                    dynamic_bounds,
+                    timegrid,
+                ):
+                    continue
                 nodes[successor_key] = _Node(
                     pose=successor,
                     direction=direction,
                     cost=new_cost,
                     parent_key=node_key,
                     trace=[(successor, direction)],
+                    time=successor_time,
                 )
+                wait_counts[successor_key] = wait_counts.get(node_key, 0)
                 priority = new_cost + self._heuristic(successor, goal, heuristic)
                 heapq.heappush(open_heap, _QueueEntry(priority, next(counter), successor_key))
+
+            # Wait-in-place primitive: only meaningful against a dynamic
+            # layer (waiting never helps in a static scene), bounded so the
+            # search cannot idle forever in front of a permanent blocker.
+            if time_aware and wait_counts.get(node_key, 0) < self.max_waits:
+                wait_time = node.time + wait_duration
+                wait_key = self._discretize(node.pose, wait_time)
+                new_cost = node.cost + self.wait_penalty
+                existing = nodes.get(wait_key)
+                if (
+                    wait_key not in closed
+                    and (existing is None or existing.cost > new_cost)
+                    and not self.dynamic_pose_in_collision(
+                        node.pose, wait_time, timegrid, margin=self.safety_margin
+                    )
+                ):
+                    nodes[wait_key] = _Node(
+                        pose=node.pose,
+                        direction=node.direction,
+                        cost=new_cost,
+                        parent_key=node_key,
+                        trace=[(node.pose, node.direction)],
+                        time=wait_time,
+                    )
+                    wait_counts[wait_key] = wait_counts.get(node_key, 0) + 1
+                    priority = new_cost + self._heuristic(node.pose, goal, heuristic)
+                    heapq.heappush(
+                        open_heap, _QueueEntry(priority, next(counter), wait_key)
+                    )
 
         return PlannerResult(success=False, path=None, expanded_nodes=expansions)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _discretize(self, pose: SE2) -> Tuple[int, int, int]:
-        return (
+    def _discretize(self, pose: SE2, time: Optional[float] = None) -> Tuple:
+        key = (
             int(math.floor(pose.x / self.xy_resolution)),
             int(math.floor(pose.y / self.xy_resolution)),
             int(math.floor((pose.theta + math.pi) / self.heading_resolution)),
         )
+        if time is None:
+            return key
+        # Time-aware closed set: the same pose at a different arrival-time
+        # bin is a different state (waiting for a patrol to pass must not be
+        # pruned by the earlier arrival).  One bin per slice keeps the state
+        # growth bounded by the dynamic layer's own resolution.
+        return key + (int(math.floor(time / self._time_bin_width)),)
+
+    def _primitive_duration(self, direction: int) -> float:
+        """Nominal traversal time of one motion primitive (s)."""
+        speed = self.plan_speed if direction > 0 else self.reverse_plan_speed
+        return self.step_size / speed
 
     def _heuristic(self, pose: SE2, goal: SE2, heuristic=None) -> float:
         distance = pose.distance_to(goal)
@@ -436,6 +566,68 @@ class HybridAStarPlanner:
             for local, bound in zip(sweep, bounds)
         )
 
+    # -- dynamic-layer (time-aware) machinery ---------------------------
+    def dynamic_pose_in_collision(
+        self, pose: SE2, time: float, timegrid, margin: Optional[float] = None
+    ) -> bool:
+        """Exact narrow phase against the moving obstacles around ``time``.
+
+        Obstacle boxes are taken at ``time`` and inflated by half a slice of
+        their own travel, so the check covers the window the broad-phase
+        slice represents rather than one instant.
+        """
+        margin_value = self.safety_margin if margin is None else margin
+        footprint = self._footprint(pose, margin_value).to_polygon()
+        half_window = timegrid.slice_dt / 2.0
+        for obstacle in timegrid.obstacles_at(time):
+            inflated = obstacle.box.inflated(obstacle.speed * half_window)
+            if shapes_collide(footprint, inflated.to_polygon()):
+                return True
+        return False
+
+    def _sweep_dynamic_bounds(self, pose: SE2, time: float, timegrid) -> np.ndarray:
+        """Per-(primitive, fraction) clearance bounds against the time layer.
+
+        One batched ``pose_clearance_at`` covers every successor sweep of an
+        expansion, each fraction stamped with its own arrival time.
+        """
+        local = self._local_sweep_array  # (P, F, 3)
+        num_primitives, fractions, _ = local.shape
+        rotation = pose.rotation
+        world = np.empty_like(local)
+        world[:, :, :2] = local[:, :, :2] @ rotation.T + pose.position
+        world[:, :, 2] = local[:, :, 2] + pose.theta
+        times = time + self._primitive_durations[:, None] * self._sweep_steps[None, :]
+        bounds = timegrid.pose_clearance_at(
+            world.reshape(-1, 3), times.reshape(-1), margin=self.safety_margin
+        )
+        return bounds.reshape(num_primitives, fractions)
+
+    def _primitive_in_dynamic_collision(
+        self,
+        pose: SE2,
+        time: float,
+        primitive_index: int,
+        duration: float,
+        dynamic_bounds: np.ndarray,
+        timegrid,
+    ) -> bool:
+        """Two-phase swept check of one primitive against the moving obstacles."""
+        bounds = dynamic_bounds[primitive_index]
+        if float(bounds.min()) > 0.0:
+            return False
+        sweep = self._local_sweeps[primitive_index]
+        fractions = len(sweep)
+        for fraction_index, (local, bound) in enumerate(zip(sweep, bounds)):
+            if bound > 0.0:
+                continue
+            sample_time = time + duration * (fraction_index + 1) / fractions
+            if self.dynamic_pose_in_collision(
+                pose.compose(local), sample_time, timegrid
+            ):
+                return True
+        return False
+
     def _goal_shot(
         self,
         pose: SE2,
@@ -443,6 +635,8 @@ class HybridAStarPlanner:
         obstacle_polygons,
         lot: ParkingLot,
         index: Optional[SpatialIndex] = None,
+        timegrid=None,
+        start_time: float = 0.0,
     ) -> Optional[List[Tuple[SE2, int]]]:
         path = shortest_reeds_shepp_path(
             pose, goal, turning_radius=self.vehicle_params.min_turning_radius * 1.1
@@ -454,14 +648,36 @@ class HybridAStarPlanner:
             [sample_pose for sample_pose, _ in samples], obstacle_polygons, lot, index
         ):
             return None
+        if timegrid is not None:
+            times = self._shot_times(samples, start_time)
+            poses = np.array([[p.x, p.y, p.theta] for p, _ in samples])
+            bounds = timegrid.pose_clearance_at(poses, times, margin=self.safety_margin)
+            for (sample_pose, _), bound, sample_time in zip(samples, bounds, times):
+                if bound <= 0.0 and self.dynamic_pose_in_collision(
+                    sample_pose, float(sample_time), timegrid
+                ):
+                    return None
         return samples
+
+    def _shot_times(self, samples: List[Tuple[SE2, int]], start_time: float) -> np.ndarray:
+        """Arrival time of each goal-shot sample at the nominal plan speeds."""
+        times = np.empty(len(samples))
+        current = start_time
+        previous: Optional[SE2] = None
+        for index, (sample_pose, direction) in enumerate(samples):
+            if previous is not None:
+                speed = self.plan_speed if direction > 0 else self.reverse_plan_speed
+                current += previous.distance_to(sample_pose) / speed
+            times[index] = current
+            previous = sample_pose
+        return times
 
     def _assemble(
         self,
         final_node: _Node,
-        nodes: Dict[Tuple[int, int, int], _Node],
+        nodes: Dict[Tuple, _Node],
         goal_shot: List[Tuple[SE2, int]],
-    ) -> WaypointPath:
+    ) -> Tuple[WaypointPath, Tuple[float, ...]]:
         chain: List[_Node] = []
         node: Optional[_Node] = final_node
         visited_keys = set()
@@ -474,12 +690,17 @@ class HybridAStarPlanner:
         chain.reverse()
 
         waypoints: List[Waypoint] = []
+        arrival_times: List[float] = []
         for item in chain:
             for pose, direction in item.trace:
                 waypoints.append(Waypoint(pose, direction))
+                arrival_times.append(item.time)
         # Skip the first goal-shot sample (duplicate of the final node pose).
-        for pose, direction in goal_shot[1:]:
+        shot_times = self._shot_times(goal_shot, final_node.time)
+        for (pose, direction), shot_time in zip(goal_shot[1:], shot_times[1:]):
             waypoints.append(Waypoint(pose, direction))
+            arrival_times.append(float(shot_time))
         if len(waypoints) < 2:
             waypoints.append(Waypoint(goal_shot[-1][0], goal_shot[-1][1]))
-        return WaypointPath(waypoints)
+            arrival_times.append(float(shot_times[-1]))
+        return WaypointPath(waypoints), tuple(arrival_times)

@@ -15,7 +15,11 @@ scenario-derived :class:`SpatialIndex`:
   giving hybrid A* a heuristic that sees walls and cul-de-sacs,
 * :class:`SpatialIndex` owns all three (plus the exact obstacle polygons for
   narrow-phase confirmation) and caches per-goal heuristics and per-margin
-  footprint coverings.
+  footprint coverings,
+* :class:`TimeGrid` extends the same conservative-clearance contract to the
+  *dynamic* obstacles: per-time-slice swept-footprint rasters with batched
+  ``clearance_at(points, times)`` / ``pose_clearance_at(poses, times)``
+  queries, attached to the index as its optional ``time_layer``.
 
 The fast path is conservative by construction: a pose is reported
 *definitely free* only when the interpolated clearance exceeds the covering
@@ -33,13 +37,16 @@ from repro.spatial.index import (
     SpatialIndex,
     oriented_box_distances,
 )
+from repro.spatial.timegrid import CORRIDOR_SLICE, TimeGrid
 
 __all__ = [
+    "CORRIDOR_SLICE",
     "DistanceField",
     "FootprintCache",
     "FootprintCircles",
     "GoalHeuristic",
     "OccupancyGrid",
     "SpatialIndex",
+    "TimeGrid",
     "oriented_box_distances",
 ]

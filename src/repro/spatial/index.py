@@ -130,6 +130,10 @@ class SpatialIndex:
         self.obstacle_polygons: List = [obstacle.box.to_polygon() for obstacle in self.obstacles]
         self._heuristics: Dict[Tuple[int, int], GoalHeuristic] = {}
         self._footprints = FootprintCache(self.vehicle_params)
+        # Optional time-indexed dynamic-obstacle layer (attach_time_layer):
+        # the static fields above never change per frame, the time layer
+        # answers the same clearance questions against the *moving* scene.
+        self.time_layer = None
 
     @classmethod
     def from_scenario(
@@ -145,6 +149,16 @@ class SpatialIndex:
             vehicle_params=vehicle_params,
             resolution=resolution,
         )
+
+    def attach_time_layer(self, time_layer) -> "SpatialIndex":
+        """Install a :class:`~repro.spatial.timegrid.TimeGrid` on this index.
+
+        Returns ``self`` for chaining.  Consumers that receive only the
+        shared per-episode index (planner, expert ladder) discover the
+        dynamic layer through this attribute instead of a second argument.
+        """
+        self.time_layer = time_layer
+        return self
 
     # ------------------------------------------------------------------
     # Field queries

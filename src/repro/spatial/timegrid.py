@@ -1,0 +1,343 @@
+"""Time-indexed occupancy/clearance layer for dynamic obstacles.
+
+The static :class:`~repro.spatial.index.SpatialIndex` answers "how far is
+this pose from the *scene*"; this module answers the same question against
+the *moving* obstacles, as a function of time.  Each patrol's trajectory is
+a pure function of absolute time (see
+:meth:`~repro.world.obstacles.DynamicObstacle.position_at`), so the layer
+can be precomputed once per scenario:
+
+* the horizon ``[0, horizon]`` is cut into ``slice_dt``-wide windows,
+* per window, every dynamic obstacle's footprint is rasterized at a few
+  sub-sampled instants, inflated so the union *covers the whole swept
+  footprint* of the window (translation between sub-samples, heading
+  changes at polyline corners, and the usual half-cell-diagonal
+  rasterization margin),
+* each window's occupancy becomes a :class:`~repro.spatial.esdf.DistanceField`
+  built lazily on first query, over a sub-grid that hugs the patrol
+  corridors (patrols sweep a tiny fraction of the lot, so per-slice fields
+  stay cheap); queries beyond the sub-grid clamp to its boundary cells,
+  which only ever *underestimates* clearance — the conservative direction.
+
+Conservatism contract, mirroring the static field: for any time ``t``
+inside slice ``j``'s window and any point ``p``,
+
+    ``clearance_at(p, t) - slack <= true_distance(p, obstacle.at_time(t))``
+
+so a strictly positive ``pose_clearance_at`` bound proves a pose free of
+every dynamic obstacle throughout the whole window containing ``t`` — which
+is exactly what lets the time-aware hybrid A* check a swept primitive
+against moving obstacles with one batched lookup.
+
+Times beyond the horizon fall back to the *corridor* field: the union of
+every obstacle's footprint over one full patrol cycle.  A pose clear of the
+corridor is clear of the patrol at every future time, so plans whose tails
+outlive the horizon remain sound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.spatial.esdf import DistanceField
+from repro.spatial.grid import OccupancyGrid
+from repro.spatial.index import FootprintCache
+from repro.vehicle.params import VehicleParams
+from repro.world.obstacles import DynamicObstacle
+from repro.world.parking_lot import ParkingLot
+
+# Slice index sentinel for "beyond the horizon": the all-time corridor.
+CORRIDOR_SLICE = -1
+
+
+class TimeGrid:
+    """Time-sliced conservative occupancy/clearance of the dynamic obstacles.
+
+    Parameters
+    ----------
+    lot:
+        The parking lot (only used to bound the sub-grid when there are no
+        patrol waypoints to hug, and for diagnostics).
+    dynamic_obstacles:
+        The scenario's :class:`~repro.world.obstacles.DynamicObstacle` set.
+        Static obstacles belong in the static index, never here.
+    vehicle_params:
+        Ego geometry for the covering-circle pose queries.
+    horizon:
+        Length of the explicitly sliced window (s); later times use the
+        corridor field.
+    slice_dt:
+        Width of each time slice (s).  Smaller slices mean tighter swept
+        footprints (less conservative waiting) at more precompute.
+    resolution:
+        Cell edge of the per-slice rasters (m); coarser than the static
+        grid by default because patrol footprints are small and the slack
+        only needs to stay well under the patrol standoff margins.
+    corridor_margin:
+        Free-space ring kept around the patrol corridors' bounding box (m).
+        Clamped queries report at least roughly this much clearance, so it
+        must comfortably exceed the largest covering-circle radius used in
+        pose queries.
+    """
+
+    def __init__(
+        self,
+        lot: ParkingLot,
+        dynamic_obstacles: Sequence[DynamicObstacle] = (),
+        vehicle_params: Optional[VehicleParams] = None,
+        horizon: float = 40.0,
+        slice_dt: float = 0.8,
+        resolution: float = 0.4,
+        corridor_margin: float = 6.0,
+    ) -> None:
+        if horizon <= 0.0 or slice_dt <= 0.0:
+            raise ValueError("horizon and slice_dt must be positive")
+        if resolution <= 0.0:
+            raise ValueError(f"resolution must be positive, got {resolution}")
+        self.lot = lot
+        self.vehicle_params = vehicle_params or VehicleParams()
+        self.obstacles: Tuple[DynamicObstacle, ...] = tuple(
+            obstacle for obstacle in dynamic_obstacles if obstacle.is_dynamic
+        )
+        self.horizon = float(horizon)
+        self.slice_dt = float(slice_dt)
+        self.resolution = float(resolution)
+        self.num_slices = max(1, int(math.ceil(self.horizon / self.slice_dt)))
+        self._fields: Dict[int, DistanceField] = {}
+        self._footprints = FootprintCache(self.vehicle_params)
+        self._geometry = self._sub_grid_geometry(corridor_margin)
+
+    # ------------------------------------------------------------------
+    # Construction internals
+    # ------------------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        """Whether the layer has no dynamic obstacles (all queries trivially clear)."""
+        return not self.obstacles
+
+    @property
+    def slack(self) -> float:
+        """Worst-case overestimate of true clearance by :meth:`clearance_at`.
+
+        Same decomposition as the static field: half a cell diagonal of
+        conservative rasterization plus half a cell diagonal of bilinear
+        interpolation.  The swept-footprint inflation is *added occupancy*,
+        which can only push clearance down, never up.
+        """
+        return self.resolution * math.sqrt(2.0)
+
+    def _sub_grid_geometry(self, margin: float):
+        """(origin_x, origin_y, nx, ny) hugging every patrol's reachable set."""
+        if self.empty:
+            return None
+        min_x = math.inf
+        min_y = math.inf
+        max_x = -math.inf
+        max_y = -math.inf
+        for obstacle in self.obstacles:
+            radius = obstacle.box.bounding_radius
+            for x, y in obstacle.waypoints:
+                min_x = min(min_x, x - radius)
+                min_y = min(min_y, y - radius)
+                max_x = max(max_x, x + radius)
+                max_y = max(max_y, y + radius)
+        origin_x = min_x - margin
+        origin_y = min_y - margin
+        nx = max(1, int(math.ceil((max_x + margin - origin_x) / self.resolution)))
+        ny = max(1, int(math.ceil((max_y + margin - origin_y) / self.resolution)))
+        return origin_x, origin_y, nx, ny
+
+    def _blank_grid(self) -> OccupancyGrid:
+        origin_x, origin_y, nx, ny = self._geometry
+        return OccupancyGrid(
+            origin_x, origin_y, self.resolution, np.zeros((ny, nx), dtype=bool)
+        )
+
+    def _rotation_slack(self, obstacle: DynamicObstacle) -> float:
+        """Inflation covering heading changes at polyline corners.
+
+        A two-point patrol only ever flips heading by pi, which maps a
+        rectangle onto itself; longer polylines can rotate arbitrarily at
+        corners, covered by inflating up to the circumscribed circle.
+        """
+        if len(obstacle.waypoints) <= 2:
+            return 0.0
+        half_min = min(obstacle.box.length, obstacle.box.width) / 2.0
+        return max(0.0, obstacle.box.bounding_radius - half_min)
+
+    def _rasterize_window(
+        self, grid: OccupancyGrid, obstacle: DynamicObstacle, t0: float, t1: float
+    ) -> None:
+        """Mark the cells conservatively swept by ``obstacle`` over ``[t0, t1]``."""
+        span = max(0.0, t1 - t0)
+        # Sub-sample finely enough that the obstacle moves at most one cell
+        # between samples; the remaining half-step of travel is folded into
+        # the inflation so the union covers the continuous sweep.
+        travel = obstacle.speed * span
+        steps = max(1, int(math.ceil(travel / self.resolution)))
+        times = np.linspace(t0, t1, steps + 1)
+        substep = span / steps if steps else 0.0
+        inflation = (
+            self.resolution * math.sqrt(2.0) / 2.0
+            + obstacle.speed * substep / 2.0
+            + self._rotation_slack(obstacle)
+        )
+        for time in times:
+            moved = obstacle.at_time(float(time))
+            grid._rasterize_box(moved.box.inflated(inflation))
+
+    def slice_window(self, index: int) -> Tuple[float, float]:
+        """The absolute time window ``[t0, t1]`` covered by slice ``index``."""
+        if index == CORRIDOR_SLICE:
+            return self.horizon, math.inf
+        return index * self.slice_dt, (index + 1) * self.slice_dt
+
+    def slice_index(self, times: np.ndarray) -> np.ndarray:
+        """Slice index for each time; beyond-horizon times map to the corridor."""
+        times = np.asarray(times, dtype=float).reshape(-1)
+        indices = np.floor(times / self.slice_dt).astype(int)
+        indices = np.clip(indices, 0, None)
+        indices[indices >= self.num_slices] = CORRIDOR_SLICE
+        return indices
+
+    def field_for_slice(self, index: int) -> DistanceField:
+        """The (lazily built, cached) distance field of one time slice."""
+        field = self._fields.get(index)
+        if field is not None:
+            return field
+        grid = self._blank_grid()
+        if index == CORRIDOR_SLICE:
+            # Union over one full cycle of each obstacle: patrol motion is
+            # periodic, so this covers every reachable footprint for all time.
+            for obstacle in self.obstacles:
+                period = obstacle.period
+                span = period if math.isfinite(period) else 0.0
+                self._rasterize_window(grid, obstacle, 0.0, span)
+        else:
+            t0, t1 = self.slice_window(index)
+            for obstacle in self.obstacles:
+                self._rasterize_window(grid, obstacle, t0, t1)
+        field = DistanceField(grid)
+        self._fields[index] = field
+        return field
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _broadcast_times(self, times, count: int) -> np.ndarray:
+        times = np.asarray(times, dtype=float).reshape(-1)
+        if times.shape[0] == 1 and count != 1:
+            times = np.full(count, float(times[0]))
+        if times.shape[0] != count:
+            raise ValueError(
+                f"times has {times.shape[0]} entries for {count} query points"
+            )
+        return times
+
+    def clearance_at(self, points: np.ndarray, times) -> np.ndarray:
+        """Conservative signed distance to the dynamic layer at given times.
+
+        ``points`` is ``(N, 2)``; ``times`` a scalar or ``(N,)`` array of
+        absolute episode times.  Entry ``i`` underestimates (up to
+        :attr:`slack` of overestimate, like the static field) the distance
+        from ``points[i]`` to every dynamic obstacle throughout the whole
+        time slice containing ``times[i]``.
+        """
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        if self.empty:
+            return np.full(points.shape[0], np.inf)
+        times = self._broadcast_times(times, points.shape[0])
+        indices = self.slice_index(times)
+        result = np.empty(points.shape[0])
+        for index in np.unique(indices):
+            mask = indices == index
+            result[mask] = self.field_for_slice(int(index)).clearance(points[mask])
+        return result
+
+    def pose_clearance_at(
+        self, poses: np.ndarray, times, margin: float = 0.0
+    ) -> np.ndarray:
+        """Conservative footprint-clearance lower bound at given times.
+
+        Mirrors :meth:`SpatialIndex.pose_clearance`: ``poses`` is ``(N, 3)``
+        rear-axle poses, and a strictly positive entry proves the
+        margin-inflated footprint clear of every dynamic obstacle for the
+        whole slice window containing that pose's time.
+        """
+        poses = np.asarray(poses, dtype=float).reshape(-1, 3)
+        if self.empty:
+            return np.full(poses.shape[0], np.inf)
+        times = self._broadcast_times(times, poses.shape[0])
+        circles = self._footprints.get(margin)
+        centers = circles.centers(poses)  # (N, C, 2)
+        num_circles = centers.shape[1]
+        flat_points = centers.reshape(-1, 2)
+        flat_times = np.repeat(times, num_circles)
+        clearances = self.clearance_at(flat_points, flat_times).reshape(
+            poses.shape[0], num_circles
+        )
+        return clearances.min(axis=1) - circles.radius - self.slack
+
+    def obstacles_at(self, time: float) -> List[DynamicObstacle]:
+        """Exact dynamic obstacles advanced to ``time`` (the narrow phase)."""
+        return [obstacle.at_time(float(time)) for obstacle in self.obstacles]
+
+    def obstacle_polygons_at(self, time: float, inflation: float = 0.0) -> List:
+        """Exact (optionally inflated) obstacle polygons at ``time``."""
+        polygons = []
+        for obstacle in self.obstacles_at(time):
+            box = obstacle.box.inflated(inflation) if inflation > 0.0 else obstacle.box
+            polygons.append(box.to_polygon())
+        return polygons
+
+    def time_to_conflict(
+        self,
+        position: np.ndarray,
+        start_time: float = 0.0,
+        threshold: float = 0.6,
+    ) -> Optional[float]:
+        """Seconds until a dynamic obstacle is predicted within ``threshold``.
+
+        Scans the slices from ``start_time`` forward and returns the delay
+        until the first slice whose conservative clearance at ``position``
+        drops below ``threshold`` — the HSA complexity term's
+        "predicted time-to-conflict".  ``None`` means no conflict is
+        predicted inside the horizon, including when ``start_time`` is
+        already beyond it (the slices would be stale there; callers that
+        need anticipation late into long episodes should size ``horizon``
+        to the episode's time budget).
+        """
+        if self.empty:
+            return None
+        if start_time >= self.horizon:
+            return None
+        position = np.asarray(position, dtype=float).reshape(1, 2)
+        first = int(self.slice_index(np.array([max(0.0, start_time)]))[0])
+        for index in range(first, self.num_slices):
+            clearance = float(self.field_for_slice(index).clearance(position)[0])
+            if clearance < threshold:
+                window_start, _ = self.slice_window(index)
+                return max(0.0, window_start - start_time)
+        return None
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario,
+        vehicle_params: Optional[VehicleParams] = None,
+        horizon: float = 40.0,
+        slice_dt: float = 0.8,
+        resolution: float = 0.4,
+    ) -> "TimeGrid":
+        """Build the layer over a scenario's *dynamic* obstacles."""
+        return cls(
+            scenario.lot,
+            scenario.dynamic_obstacles,
+            vehicle_params=vehicle_params,
+            horizon=horizon,
+            slice_dt=slice_dt,
+            resolution=resolution,
+        )

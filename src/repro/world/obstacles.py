@@ -70,16 +70,30 @@ class DynamicObstacle(Obstacle):
 
     @property
     def _segments(self) -> list[tuple[np.ndarray, np.ndarray, float]]:
-        points = [np.asarray(p, dtype=float) for p in self.waypoints]
-        segments = []
-        for start, end in zip(points[:-1], points[1:]):
-            length = float(np.hypot(*(end - start)))
-            segments.append((start, end, length))
-        return segments
+        # Cached on first access: the time-indexed occupancy layer samples
+        # position_at thousands of times per episode, and the polyline never
+        # changes (the dataclass is frozen; equality ignores the cache).
+        cached = self.__dict__.get("_segments_cache")
+        if cached is None:
+            points = [np.asarray(p, dtype=float) for p in self.waypoints]
+            cached = []
+            for start, end in zip(points[:-1], points[1:]):
+                length = float(np.hypot(*(end - start)))
+                cached.append((start, end, length))
+            object.__setattr__(self, "_segments_cache", cached)
+        return cached
 
     @property
     def path_length(self) -> float:
         return sum(length for _, _, length in self._segments)
+
+    @property
+    def period(self) -> float:
+        """Duration of one full ping-pong cycle (s); ``inf`` for a point path."""
+        total = self.path_length
+        if total <= 1e-9:
+            return math.inf
+        return 2.0 * total / self.speed
 
     def position_at(self, time: float) -> tuple[np.ndarray, float]:
         """Position and heading at time ``time`` (ping-pong along the polyline)."""
@@ -117,6 +131,23 @@ class DynamicObstacle(Obstacle):
             float(position[0]), float(position[1]), self.box.length, self.box.width, heading
         )
         return replace(self, box=moved_box)
+
+    def sampled_trajectory(self, times: Sequence[float]) -> np.ndarray:
+        """``(T, 3)`` array of ``(x, y, heading)`` at the given absolute times.
+
+        Pure function of ``(times, waypoints, speed, phase)`` — no per-episode
+        state is consulted, so every process sampling the same serialized
+        obstacle reconstructs bit-identical trajectories.  This is the export
+        the time-indexed spatial layer and cross-process regression tests
+        build on.
+        """
+        samples = np.empty((len(times), 3), dtype=float)
+        for index, time in enumerate(times):
+            position, heading = self.position_at(float(time))
+            samples[index, 0] = position[0]
+            samples[index, 1] = position[1]
+            samples[index, 2] = heading
+        return samples
 
     def predicted_positions(self, start_time: float, dt: float, horizon: int) -> np.ndarray:
         """Predicted centre positions over ``horizon`` future steps, shape ``(horizon, 2)``.

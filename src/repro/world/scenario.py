@@ -218,6 +218,22 @@ class Scenario:
             self, vehicle_params=vehicle_params, resolution=resolution
         )
 
+    def patrol_trajectories(self, times) -> Dict[str, "np.ndarray"]:
+        """Sampled ``(x, y, heading)`` tracks of every patrol, keyed by id.
+
+        Patrol motion is a pure function of absolute time (waypoints, speed
+        and phase are frozen at build time), so the same scenario — or its
+        ``scenario_to_dict`` reconstruction in another process — yields
+        byte-identical tracks for the same ``times``.  This is the export the
+        time-indexed occupancy layer, the CO per-stage constraints and the
+        cross-process determinism tests all consume.
+        """
+        return {
+            obstacle.obstacle_id: obstacle.sampled_trajectory(times)
+            for obstacle in self.obstacles
+            if isinstance(obstacle, DynamicObstacle)
+        }
+
     def to_dict(self) -> Dict[str, Any]:
         return scenario_to_dict(self)
 

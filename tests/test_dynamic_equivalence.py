@@ -1,0 +1,211 @@
+"""The time-aware stack is safe against the *moving* obstacles.
+
+Three layers of guarantees:
+
+* the time-aware hybrid A* path, replayed at its own ``arrival_times``
+  schedule, is exactly collision-free against every dynamic obstacle
+  advanced to those times (not just against the static scene),
+* full time-aware expert episodes on patrol-bearing presets park, and the
+  executed trajectory never intersects a patrol at any simulated step
+  (re-checked here with exact geometry, independently of the world's own
+  termination logic),
+* with no dynamic obstacles (or the layer disabled) everything degrades to
+  the static stack bit-identically — static presets stay at 8/8 through
+  ``tests/test_expert_presets.py`` and the planner equivalence suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import BatchExecutor, EpisodeSpec, TimeLayerSpec
+from repro.geometry.collision import shapes_collide
+from repro.il.expert import ExpertDriver
+from repro.planning.hybrid_astar import HybridAStarPlanner
+from repro.spatial import SpatialIndex, TimeGrid
+from repro.vehicle.params import VehicleParams
+from repro.world import (
+    DifficultyLevel,
+    ScenarioConfig,
+    SpawnMode,
+    build_scenario,
+)
+
+# Patrol-bearing planning problems: (scenario, seed) on NORMAL difficulty
+# (two aisle-crossing patrols each).
+PLANNING_CASES = [("legacy", 1), ("perpendicular-easy", 1), ("angled-easy", 3)]
+
+# Full-episode cases currently parked by the time-aware expert; regressions
+# here mean the anticipative path lost against the moving scene.
+EPISODE_CASES = [("legacy", 1), ("legacy", 4), ("perpendicular-easy", 2)]
+
+
+def _patrol_scenario(name: str, seed: int):
+    return build_scenario(
+        ScenarioConfig(
+            scenario_name=name,
+            difficulty=DifficultyLevel.NORMAL,
+            spawn_mode=SpawnMode.REMOTE,
+            seed=seed,
+        )
+    )
+
+
+class TestTimeAwarePlanner:
+    @pytest.mark.parametrize("scenario_name,seed", PLANNING_CASES)
+    def test_path_collision_free_at_scheduled_times(self, scenario_name, seed):
+        scenario = _patrol_scenario(scenario_name, seed)
+        assert scenario.dynamic_obstacles, "case must carry patrols"
+        params = VehicleParams()
+        expert = ExpertDriver(scenario.lot, scenario.obstacles, params)
+        static = scenario.static_obstacles
+        staging, _ = expert.final_maneuver(static)
+
+        index = SpatialIndex(scenario.lot, static, params)
+        timegrid = TimeGrid.from_scenario(scenario, vehicle_params=params)
+        index.attach_time_layer(timegrid)
+        planner = HybridAStarPlanner(params)
+        result = planner.plan(
+            scenario.start_pose, staging, static, scenario.lot, spatial_index=index
+        )
+        assert result.success, f"{scenario_name}: time-aware planner failed"
+        assert result.arrival_times is not None
+        assert len(result.arrival_times) == len(result.path.waypoints)
+        # Times are monotone non-decreasing (waits are plateaus, never jumps
+        # backwards).
+        times = np.asarray(result.arrival_times)
+        assert (np.diff(times) >= -1e-9).all()
+
+        # Exact replay: the margin-free footprint at every waypoint misses
+        # every dynamic obstacle advanced to that waypoint's arrival time,
+        # and the midpoint of every segment misses them at the midpoint time.
+        waypoints = result.path.waypoints
+        for index_wp, (waypoint, arrival) in enumerate(zip(waypoints, times)):
+            footprint = planner._footprint(waypoint.pose, margin=0.0).to_polygon()
+            for obstacle in timegrid.obstacles_at(float(arrival)):
+                assert not shapes_collide(footprint, obstacle.box.to_polygon()), (
+                    f"{scenario_name}: waypoint {index_wp} hits {obstacle.obstacle_id} "
+                    f"at t={arrival:.2f}"
+                )
+        for (a, ta), (b, tb) in zip(
+            zip(waypoints[:-1], times[:-1]), zip(waypoints[1:], times[1:])
+        ):
+            mid_pose = a.pose.interpolate(b.pose, 0.5)
+            mid_time = 0.5 * (float(ta) + float(tb))
+            footprint = planner._footprint(mid_pose, margin=0.0).to_polygon()
+            for obstacle in timegrid.obstacles_at(mid_time):
+                assert not shapes_collide(footprint, obstacle.box.to_polygon())
+
+    def test_empty_timegrid_matches_static_planner_exactly(self):
+        """An empty dynamic layer must not perturb the search at all."""
+        scenario = build_scenario(
+            ScenarioConfig(
+                scenario_name="perpendicular-easy",
+                spawn_mode=SpawnMode.REMOTE,
+                seed=1,
+            )
+        )
+        params = VehicleParams()
+        expert = ExpertDriver(scenario.lot, scenario.obstacles, params)
+        static = scenario.static_obstacles
+        staging, _ = expert.final_maneuver(static)
+        planner = HybridAStarPlanner(params)
+
+        index = SpatialIndex(scenario.lot, static, params)
+        plain = planner.plan(
+            scenario.start_pose, staging, static, scenario.lot, spatial_index=index
+        )
+        index.attach_time_layer(TimeGrid.from_scenario(scenario, vehicle_params=params))
+        assert index.time_layer.empty
+        layered = planner.plan(
+            scenario.start_pose, staging, static, scenario.lot, spatial_index=index
+        )
+        assert layered.expanded_nodes == plain.expanded_nodes
+        assert [w.pose for w in layered.path.waypoints] == [
+            w.pose for w in plain.path.waypoints
+        ]
+
+    def test_start_inside_patrol_window_falls_back_to_static(self):
+        """A spawn inside a patrol's swept window still produces a plan."""
+        scenario = _patrol_scenario("legacy", 1)
+        params = VehicleParams()
+        patrol = scenario.dynamic_obstacles[0]
+        start_position, heading = patrol.position_at(0.0)
+        from repro.geometry.se2 import SE2
+
+        start = SE2(float(start_position[0]), float(start_position[1]), 0.0)
+        index = SpatialIndex(scenario.lot, scenario.static_obstacles, params)
+        index.attach_time_layer(TimeGrid.from_scenario(scenario, vehicle_params=params))
+        planner = HybridAStarPlanner(params)
+        result = planner.plan(
+            start,
+            scenario.lot.goal_pose,
+            scenario.static_obstacles,
+            scenario.lot,
+            spatial_index=index,
+        )
+        # The fallback may or may not reach the goal from inside the
+        # corridor, but it must not crash and must report a result.
+        assert result is not None
+
+
+class TestTimeAwareExpertEpisodes:
+    @pytest.mark.parametrize("scenario_name,seed", EPISODE_CASES)
+    def test_expert_parks_and_never_touches_a_patrol(self, scenario_name, seed):
+        spec = EpisodeSpec(
+            method="expert",
+            scenario=ScenarioConfig(
+                scenario_name=scenario_name,
+                difficulty=DifficultyLevel.NORMAL,
+                spawn_mode=SpawnMode.REMOTE,
+                seed=seed,
+            ),
+            time_layer=TimeLayerSpec(enabled=True),
+            time_limit=80.0,
+        )
+        outcome = BatchExecutor(summary_stream=None).run_specs([spec])
+        result = outcome.results[0]
+        assert result.success, (
+            f"time-aware expert failed on {scenario_name} seed {seed}: {result.status}"
+        )
+
+        # Independent exact re-check of the executed trajectory against the
+        # moving obstacles at every simulated step.
+        scenario = build_scenario(spec.scenario)
+        params = VehicleParams()
+        trace = outcome.traces[0]
+        for step_index in range(len(trace.times)):
+            time = float(trace.times[step_index])
+            x, y = trace.positions[step_index]
+            heading = float(trace.headings[step_index])
+            from repro.vehicle.state import VehicleState
+            from repro.geometry.se2 import SE2
+
+            footprint = VehicleState.from_pose(SE2(float(x), float(y), heading)).footprint(
+                params
+            ).to_polygon()
+            for obstacle in scenario.dynamic_obstacles:
+                moved = obstacle.at_time(time)
+                assert not shapes_collide(footprint, moved.box.to_polygon()), (
+                    f"trajectory intersects {obstacle.obstacle_id} at t={time:.1f}"
+                )
+
+    def test_disabled_layer_restores_reactive_baseline(self):
+        """``enabled=False`` must reproduce the pre-time-layer behaviour."""
+        scenario_config = ScenarioConfig(
+            scenario_name="legacy",
+            difficulty=DifficultyLevel.NORMAL,
+            spawn_mode=SpawnMode.REMOTE,
+            seed=1,
+        )
+        disabled = EpisodeSpec(
+            method="expert",
+            scenario=scenario_config,
+            time_layer=TimeLayerSpec(enabled=False),
+            max_steps=60,
+        )
+        outcome_a = BatchExecutor(summary_stream=None).run_specs([disabled])
+        outcome_b = BatchExecutor(summary_stream=None).run_specs([disabled])
+        assert outcome_a.results == outcome_b.results
+        assert np.array_equal(outcome_a.traces[0].positions, outcome_b.traces[0].positions)

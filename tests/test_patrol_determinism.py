@@ -1,0 +1,113 @@
+"""Patrol motion is a pure function of ``(time, scenario seed)``.
+
+The time-indexed spatial layer precomputes patrol sweeps *once* and the
+process-backend executor rebuilds scenarios in other interpreters, so any
+hidden per-episode mutable state in dynamic-obstacle advancement would make
+the timegrid's slices and the simulated patrols silently disagree.  These
+tests pin the purity contract:
+
+* ``at_time`` / ``sampled_trajectory`` are stateless — repeated and
+  interleaved queries at arbitrary times are byte-identical, and a scenario
+  rebuilt from its serialized config reproduces the exact same tracks,
+* a patrol-bearing batch produces bitwise-identical per-step
+  ``min_obstacle_distance`` traces (which embed the patrol positions) on
+  the thread and process backends,
+* the timegrid's conservative slices actually contain the simulated patrol
+  positions the world steps against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import BatchExecutor, BatchSpec
+from repro.spatial import TimeGrid
+from repro.world import (
+    DifficultyLevel,
+    ScenarioConfig,
+    SpawnMode,
+    build_scenario,
+)
+
+PATROL_CONFIG = ScenarioConfig(
+    scenario_name="legacy",
+    difficulty=DifficultyLevel.NORMAL,
+    spawn_mode=SpawnMode.CLOSE,
+    seed=5,
+)
+
+
+class TestPurity:
+    def test_interleaved_queries_are_stateless(self):
+        scenario = build_scenario(PATROL_CONFIG)
+        patrol = scenario.dynamic_obstacles[0]
+        times = np.linspace(0.0, 90.0, 181)
+        forward = patrol.sampled_trajectory(times)
+        # Interleave queries in a scrambled order, then re-sample forward:
+        # any internal advancement state would leak into the second pass.
+        rng = np.random.default_rng(0)
+        for time in rng.permutation(times):
+            patrol.at_time(float(time))
+        again = patrol.sampled_trajectory(times)
+        assert np.array_equal(forward, again)
+
+    def test_rebuilt_scenario_reproduces_exact_tracks(self):
+        times = np.linspace(0.0, 60.0, 121)
+        first = build_scenario(PATROL_CONFIG).patrol_trajectories(times)
+        rebuilt_config = ScenarioConfig.from_dict(PATROL_CONFIG.to_dict())
+        second = build_scenario(rebuilt_config).patrol_trajectories(times)
+        assert first.keys() == second.keys()
+        for obstacle_id in first:
+            assert np.array_equal(first[obstacle_id], second[obstacle_id]), obstacle_id
+
+    def test_at_time_matches_predicted_positions(self):
+        """The CO prediction helper and at_time agree sample-for-sample."""
+        scenario = build_scenario(PATROL_CONFIG)
+        patrol = scenario.dynamic_obstacles[-1]
+        predicted = patrol.predicted_positions(start_time=3.7, dt=0.25, horizon=24)
+        for step in range(24):
+            moved = patrol.at_time(3.7 + (step + 1) * 0.25)
+            assert np.array_equal(predicted[step], moved.box.center)
+
+
+class TestCrossBackendPatrolPositions:
+    def test_thread_and_process_traces_bitwise_identical(self):
+        """Patrol-bearing episodes are identical across executor backends.
+
+        ``min_obstacle_distance`` is a function of the patrol positions at
+        every step, so bitwise trace equality pins that both backends (and
+        hence the serialized-scenario rebuild inside each worker process)
+        sampled identical patrol trajectories.
+        """
+        spec = BatchSpec(
+            method="expert",
+            seeds=(5, 6),
+            difficulties=(DifficultyLevel.NORMAL,),
+            spawn_mode=SpawnMode.CLOSE,
+            scenario_name="legacy",
+            max_steps=40,
+        )
+        thread = BatchExecutor(backend="thread", max_workers=2, summary_stream=None).run(spec)
+        process = BatchExecutor(backend="process", max_workers=2, summary_stream=None).run(spec)
+        assert thread.results == process.results
+        for thread_trace, process_trace in zip(thread.traces, process.traces):
+            assert np.array_equal(
+                thread_trace.min_obstacle_distances, process_trace.min_obstacle_distances
+            )
+            assert np.array_equal(thread_trace.positions, process_trace.positions)
+
+
+class TestTimegridMatchesSimulatedPatrols:
+    def test_slices_cover_world_patrol_positions(self):
+        """Every simulated patrol position lies inside its slice's sweep."""
+        scenario = build_scenario(PATROL_CONFIG)
+        timegrid = TimeGrid.from_scenario(scenario)
+        for step in range(0, 400, 7):
+            time = step * 0.1
+            for obstacle in scenario.dynamic_obstacles:
+                moved = obstacle.at_time(time)
+                centre = np.asarray(moved.box.center, dtype=float).reshape(1, 2)
+                bound = float(timegrid.clearance_at(centre, time)[0]) - timegrid.slack
+                assert bound <= 1e-9, (
+                    f"{obstacle.obstacle_id} at t={time:.1f} escapes its slice"
+                )

@@ -1,0 +1,81 @@
+"""Smoke/unit tests for the benchmark trajectory report script.
+
+``benchmarks/report_trajectory.py`` is also executed against the real
+repo-root ``BENCH_*.json`` files in CI (benchmark-smoke job); these tests
+pin its parsing and rendering against controlled inputs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "benchmarks" / "report_trajectory.py"
+_spec = importlib.util.spec_from_file_location("report_trajectory", _SCRIPT)
+report_trajectory = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("report_trajectory", report_trajectory)
+_spec.loader.exec_module(report_trajectory)
+
+
+def _write_lines(path: Path, payloads) -> None:
+    path.write_text("\n".join(json.dumps(p) for p in payloads) + "\n")
+
+
+def test_renders_tables_and_trends(tmp_path):
+    planner = tmp_path / "planner.json"
+    throughput = tmp_path / "throughput.json"
+    _write_lines(
+        planner,
+        [
+            {"event": "planner_bench", "scenario": "legacy", "speedup": 9.5},
+            {"event": "planner_bench_summary", "median_speedup": 9.5},
+            {"event": "planner_bench_summary", "median_speedup": 11.25},
+            {
+                "event": "dynamic_bench",
+                "scenario": "legacy",
+                "reactive_parked": 3,
+                "aware_parked": 6,
+            },
+        ],
+    )
+    _write_lines(
+        throughput,
+        [{"event": "batch_summary", "backend": "process", "episodes_per_sec": 4.2}],
+    )
+    out = tmp_path / "report.md"
+    code = report_trajectory.main(
+        ["--planner", str(planner), "--throughput", str(throughput), "--out", str(out)]
+    )
+    assert code == 0
+    text = out.read_text()
+    assert "### `planner_bench_summary` (2 entries)" in text
+    assert "median_speedup trajectory: 9.5 -> 11.25" in text
+    assert "| scenario |" in text
+    assert "| legacy |" in text
+    assert "### `batch_summary` (1 entries)" in text
+
+
+def test_missing_files_render_empty_sections(tmp_path, capsys):
+    code = report_trajectory.main(
+        ["--planner", str(tmp_path / "absent.json"), "--throughput", str(tmp_path / "gone.json")]
+    )
+    assert code == 0
+    assert "_no entries_" in capsys.readouterr().out
+
+
+def test_malformed_line_fails_loudly(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"event": "planner_bench"}\nnot json\n')
+    code = report_trajectory.main(["--planner", str(bad), "--throughput", str(bad)])
+    assert code == 1
+    assert "malformed JSON" in capsys.readouterr().err
+
+
+def test_runs_against_repo_root_files():
+    """The real accumulated trajectory files must always render."""
+    code = report_trajectory.main([])
+    assert code == 0

@@ -1,0 +1,256 @@
+"""Property-based verification of the spatial stack (Hypothesis).
+
+Four machine-checked invariants back the contracts the planners rely on:
+
+1. **Conservatism** — the interpolated ESDF ``clearance`` never exceeds the
+   exact brute-force polygon distance by more than ``slack``; subtracting
+   ``slack`` therefore always yields a sound lower bound on true clearance.
+2. **Bilinear/nearest-cell agreement** — interpolated queries stay within a
+   cell diagonal of the underlying nearest-cell field sample, so the fast
+   path cannot invent structure the raster does not have.
+3. **SE(2) equivariance** — ``pose_clearance`` is invariant (within the
+   combined discretisation tolerance) under rotating/translating scene and
+   query together: the field is geometry, not coordinates.
+4. **Time-slice conservatism** — the :class:`TimeGrid`'s ``clearance_at``
+   never overestimates the exact distance to a patrol at *any* time inside
+   the queried slice by more than its ``slack``.
+
+The suite runs under a fixed, derandomized Hypothesis profile so CI results
+are reproducible; set ``HYPOTHESIS_PROFILE=dev`` locally for fresh random
+exploration.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+try:
+    from hypothesis import given, settings, strategies as st
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    pytest.skip("hypothesis is not installed", allow_module_level=True)
+
+from repro.geometry.collision import point_polygon_distance
+from repro.geometry.se2 import SE2
+from repro.geometry.shapes import AxisAlignedBox, OrientedBox
+from repro.spatial import DistanceField, OccupancyGrid, SpatialIndex, TimeGrid
+from repro.vehicle.params import VehicleParams
+from repro.world.obstacles import StaticObstacle, make_patrolling_obstacle
+from repro.world.parking_lot import ParkingLot, ParkingSpace
+
+# Deterministic CI profile: derandomized, bounded example count.  The
+# ``dev`` profile restores Hypothesis' default random exploration.
+settings.register_profile("ci", derandomize=True, max_examples=25, deadline=None)
+settings.register_profile("dev", max_examples=50, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+
+
+def _lot(length: float = 46.0, width: float = 24.0) -> ParkingLot:
+    return ParkingLot(
+        bounds=AxisAlignedBox(0.0, 0.0, length, width),
+        spawn_region=AxisAlignedBox(2.0, 2.0, 6.0, 6.0),
+        goal_space=ParkingSpace.from_target(
+            "goal", SE2(length - 5.0, 5.0, math.pi / 2.0)
+        ),
+    )
+
+
+def _true_distance(point: np.ndarray, lot: ParkingLot, polygons) -> float:
+    bounds = lot.bounds
+    if bounds.contains(point):
+        boundary = min(
+            point[0] - bounds.min_x,
+            bounds.max_x - point[0],
+            point[1] - bounds.min_y,
+            bounds.max_y - point[1],
+        )
+    else:
+        boundary = 0.0
+    obstacle = min(
+        (point_polygon_distance(point, polygon) for polygon in polygons),
+        default=math.inf,
+    )
+    return min(boundary, obstacle)
+
+
+@st.composite
+def obstacle_boxes(draw, count_min=1, count_max=6, region=(4.0, 42.0, 4.0, 20.0)):
+    count = draw(st.integers(count_min, count_max))
+    boxes = []
+    for _ in range(count):
+        boxes.append(
+            OrientedBox(
+                draw(st.floats(region[0], region[1])),
+                draw(st.floats(region[2], region[3])),
+                draw(st.floats(0.6, 5.0)),
+                draw(st.floats(0.6, 3.0)),
+                draw(st.floats(0.0, math.pi)),
+            )
+        )
+    return boxes
+
+
+@st.composite
+def query_points(draw, count=40):
+    xs = [draw(st.floats(-2.0, 48.0)) for _ in range(count)]
+    ys = [draw(st.floats(-2.0, 26.0)) for _ in range(count)]
+    return np.stack([np.asarray(xs), np.asarray(ys)], axis=1)
+
+
+class TestConservatismInvariant:
+    @given(boxes=obstacle_boxes(), points=query_points())
+    def test_clearance_never_overestimates_beyond_slack(self, boxes, points):
+        lot = _lot()
+        obstacles = [StaticObstacle(f"o{i}", box) for i, box in enumerate(boxes)]
+        index = SpatialIndex(lot, obstacles)
+        clearances = index.clearance(points)
+        for point, clearance in zip(points, clearances):
+            true = _true_distance(point, lot, index.obstacle_polygons)
+            if true <= 0.0:
+                continue
+            assert clearance - true <= index.slack + 1e-9
+
+    @given(boxes=obstacle_boxes(count_min=1, count_max=3))
+    def test_points_inside_obstacles_report_nonpositive_bound(self, boxes):
+        lot = _lot()
+        obstacles = [StaticObstacle(f"o{i}", box) for i, box in enumerate(boxes)]
+        index = SpatialIndex(lot, obstacles)
+        centers = np.array([[box.center_x, box.center_y] for box in boxes])
+        # The sound *lower bound* (clearance minus slack) must be
+        # non-positive at every obstacle centre.
+        assert ((index.clearance(centers) - index.slack) <= 1e-9).all()
+
+
+class TestBilinearAgreesWithNearestCell:
+    @given(boxes=obstacle_boxes(), points=query_points(count=30))
+    def test_within_one_cell_diagonal_of_cell_sample(self, boxes, points):
+        lot = _lot()
+        grid = OccupancyGrid.from_lot(
+            lot, [StaticObstacle(f"o{i}", box) for i, box in enumerate(boxes)]
+        )
+        field = DistanceField(grid)
+        ny, nx = grid.occupied.shape
+        clearances = field.clearance(points)
+        for point, clearance in zip(points, clearances):
+            ix = int(np.clip((point[0] - grid.origin_x) / grid.resolution, 0, nx - 1))
+            iy = int(np.clip((point[1] - grid.origin_y) / grid.resolution, 0, ny - 1))
+            nearest = field.distance[iy, ix]
+            # Interpolation blends the four neighbours of a 1-Lipschitz
+            # field sampled on a ``resolution`` lattice: it can differ from
+            # the containing cell's sample by at most one cell diagonal.
+            assert abs(clearance - nearest) <= grid.resolution * math.sqrt(2.0) + 1e-9
+
+
+class TestPoseClearanceEquivariance:
+    @given(
+        boxes=obstacle_boxes(count_min=1, count_max=4, region=(30.0, 50.0, 30.0, 50.0)),
+        angle=st.floats(-math.pi, math.pi),
+        shift_x=st.floats(-5.0, 5.0),
+        shift_y=st.floats(-5.0, 5.0),
+        pose_x=st.floats(28.0, 52.0),
+        pose_y=st.floats(28.0, 52.0),
+        pose_theta=st.floats(-math.pi, math.pi),
+    )
+    def test_rigid_transform_of_scene_and_pose(
+        self, boxes, angle, shift_x, shift_y, pose_x, pose_y, pose_theta
+    ):
+        """Transforming scene and query together preserves the bound.
+
+        The lot is made large enough that its boundary never dominates the
+        queried clearances, so the invariant isolates the obstacle field.
+        Each scene's bound sits within ``[-2.5 * resolution, +slack]`` of
+        the exact (transform-invariant) clearance, which bounds the
+        disagreement between the two scenes.
+        """
+        big = 80.0
+        lot = ParkingLot(
+            bounds=AxisAlignedBox(0.0, 0.0, big, big),
+            spawn_region=AxisAlignedBox(2.0, 2.0, 6.0, 6.0),
+            goal_space=ParkingSpace.from_target("goal", SE2(40.0, 40.0, 0.0)),
+        )
+        pivot = SE2(40.0, 40.0, 0.0)
+        transform = SE2(40.0 + shift_x, 40.0 + shift_y, angle)
+
+        def moved_box(box: OrientedBox) -> OrientedBox:
+            local = pivot.inverse().compose(box.pose)
+            new_pose = transform.compose(local)
+            return OrientedBox(new_pose.x, new_pose.y, box.length, box.width, new_pose.theta)
+
+        params = VehicleParams()
+        original = SpatialIndex(
+            lot, [StaticObstacle(f"o{i}", b) for i, b in enumerate(boxes)], params
+        )
+        transformed = SpatialIndex(
+            lot,
+            [StaticObstacle(f"o{i}", moved_box(b)) for i, b in enumerate(boxes)],
+            params,
+        )
+
+        pose = SE2(pose_x, pose_y, pose_theta)
+        pose_local = pivot.inverse().compose(pose)
+        pose_moved = transform.compose(pose_local)
+
+        bound_a = float(
+            original.pose_clearance(np.array([[pose.x, pose.y, pose.theta]]))[0]
+        )
+        bound_b = float(
+            transformed.pose_clearance(
+                np.array([[pose_moved.x, pose_moved.y, pose_moved.theta]])
+            )[0]
+        )
+        resolution = original.field.resolution
+        tolerance = original.slack + 2.5 * resolution + 1e-6
+        assert abs(bound_a - bound_b) <= tolerance
+
+
+@st.composite
+def patrols(draw):
+    num_points = draw(st.integers(2, 4))
+    xs = [draw(st.floats(8.0, 38.0)) for _ in range(num_points)]
+    ys = [draw(st.floats(5.0, 19.0)) for _ in range(num_points)]
+    waypoints = list(zip(xs, ys))
+    return make_patrolling_obstacle(
+        "patrol",
+        waypoints,
+        speed=draw(st.floats(0.2, 1.4)),
+        length=draw(st.floats(0.6, 2.0)),
+        width=draw(st.floats(0.5, 1.2)),
+        phase=draw(st.floats(0.0, 20.0)),
+    )
+
+
+class TestTimeGridConservatism:
+    @given(
+        patrol=patrols(),
+        times=st.lists(st.floats(0.0, 60.0), min_size=8, max_size=8),
+        px=st.lists(st.floats(0.0, 46.0), min_size=8, max_size=8),
+        py=st.lists(st.floats(0.0, 24.0), min_size=8, max_size=8),
+    )
+    def test_clearance_at_never_overestimates_at_any_slice_time(
+        self, patrol, times, px, py
+    ):
+        lot = _lot()
+        timegrid = TimeGrid(lot, [patrol], horizon=40.0, slice_dt=0.8)
+        points = np.stack([np.asarray(px), np.asarray(py)], axis=1)
+        clearances = timegrid.clearance_at(points, np.asarray(times))
+        for point, clearance, time in zip(points, clearances, times):
+            moved = patrol.at_time(float(time))
+            true = point_polygon_distance(point, moved.box.to_polygon())
+            if true <= 0.0:
+                continue
+            assert clearance - true <= timegrid.slack + 1e-9
+
+    @given(patrol=patrols(), time=st.floats(0.0, 120.0))
+    def test_patrol_position_itself_is_never_reported_clear(self, patrol, time):
+        """The sound lower bound at the patrol's own centre is non-positive,
+        including beyond the horizon (corridor fallback)."""
+        lot = _lot()
+        timegrid = TimeGrid(lot, [patrol], horizon=40.0, slice_dt=0.8)
+        position, _ = patrol.position_at(float(time))
+        bound = float(
+            timegrid.clearance_at(position[None, :], float(time))[0]
+        ) - timegrid.slack
+        assert bound <= 1e-9
