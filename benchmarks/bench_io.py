@@ -1,0 +1,60 @@
+"""Shared helpers for the append-only ``BENCH_*.json`` trajectory files.
+
+Every benchmark appends one JSON object per line; the files accumulate a
+per-revision trajectory across CI runs.  Historically the records carried no
+provenance, so ``BENCH_planner.json`` interleaved ``planner_bench`` and
+``dynamic_bench`` events from arbitrary revisions and the report could only
+order them by raw line position.  :func:`append_record` stamps every record
+with the current git SHA (short form), letting
+``benchmarks/report_trajectory.py`` group the trajectory by (event, SHA)
+instead of line order.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_CACHED_SHA = None
+
+
+def current_sha() -> str:
+    """Short git SHA of the working tree, or ``"unknown"`` outside a repo.
+
+    A dirty working tree is stamped ``<sha>-dirty`` (``git describe``'s
+    convention): pre-commit bench runs must not masquerade as the HEAD
+    commit, whose code did not produce them.
+    """
+    global _CACHED_SHA
+    if _CACHED_SHA is None:
+        try:
+            sha = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=10,
+            ).stdout.strip()
+            dirty = subprocess.run(
+                ["git", "status", "--porcelain"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=10,
+            ).stdout.strip()
+            _CACHED_SHA = (f"{sha}-dirty" if dirty else sha) if sha else "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _CACHED_SHA = "unknown"
+    return _CACHED_SHA
+
+
+def append_record(path: Path, payload: dict) -> None:
+    """Append one SHA-stamped JSON record to a trajectory file."""
+    record = {**payload, "sha": current_sha()}
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, separators=(",", ":")) + "\n")

@@ -3,9 +3,13 @@
 Every benchmark run appends one JSON object per line to
 ``BENCH_planner.json`` / ``BENCH_throughput.json`` at the repository root,
 so the files accumulate a per-revision trajectory.  This script turns them
-into a human-readable markdown report: one table per event type, rows in
-append (chronological) order, plus a trend line for the headline metrics
-(hybrid A* median speedup, batch throughput, dynamic success rates).
+into a human-readable markdown report: one table per event type with rows
+grouped by the recording revision's git SHA (appenders stamp it via
+:mod:`benchmarks.bench_io`; legacy rows without one group under ``-``),
+plus a trend line for the headline metrics (hybrid A* median speedup,
+batch throughput, dynamic success rates) computed over the last row of
+each revision group — repeated runs at one revision no longer masquerade
+as a trend.
 
 Usage::
 
@@ -28,7 +32,10 @@ from typing import Dict, Iterable, List, Optional
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 # Columns promoted to the front of their table when present.
-_LEADING_COLUMNS = ("scenario", "method", "backend")
+_LEADING_COLUMNS = ("sha", "scenario", "method", "backend")
+
+# SHA value used for rows recorded before provenance stamping existed.
+_NO_SHA = "-"
 
 
 def load_lines(path: Path) -> List[dict]:
@@ -48,11 +55,51 @@ def load_lines(path: Path) -> List[dict]:
 
 
 def group_by_event(entries: Iterable[dict]) -> "OrderedDict[str, List[dict]]":
-    groups: "OrderedDict[str, List[dict]]" = OrderedDict()
+    """Rows per event type, ordered by (SHA first-appearance, append order).
+
+    Interleaved appends from different benchmarks and repeated CI runs are
+    regrouped so one revision's rows sit together; the SHA itself becomes a
+    leading table column.
+    """
+    groups: "OrderedDict[str, OrderedDict[str, List[dict]]]" = OrderedDict()
     for entry in entries:
         event = str(entry.get("event", "unknown"))
-        groups.setdefault(event, []).append(entry)
-    return groups
+        sha = str(entry.get("sha", _NO_SHA) or _NO_SHA)
+        groups.setdefault(event, OrderedDict()).setdefault(sha, []).append(
+            {**entry, "sha": sha}
+        )
+    return OrderedDict(
+        (event, [row for rows in by_sha.values() for row in rows])
+        for event, by_sha in groups.items()
+    )
+
+
+def _per_sha_single(rows: List[dict], key: str) -> Optional[List[dict]]:
+    """One key-bearing row per SHA group, or ``None`` when that's ambiguous.
+
+    Repeat runs at one revision collapse to the latest row, but a revision
+    that recorded the key for *several distinct series* (e.g. one
+    ``dynamic_bench`` row per scenario) has no single per-revision value —
+    comparing an arbitrary member across revisions would dress different
+    scenarios up as one metric's trajectory, so such events get no trend
+    (their summary events carry it instead).  Rows without provenance
+    (recorded before SHA stamping) pass through one-by-one — per-row
+    ordering is all the history they have.
+    """
+    groups: "OrderedDict[str, OrderedDict[tuple, dict]]" = OrderedDict()
+    unstamped = 0
+    for row in rows:
+        if not isinstance(row.get(key), (int, float)):
+            continue
+        sha = str(row.get("sha", _NO_SHA))
+        if sha == _NO_SHA:
+            unstamped += 1
+            sha = f"{_NO_SHA}#{unstamped}"
+        series = (row.get("scenario"), row.get("method"), row.get("backend"))
+        groups.setdefault(sha, OrderedDict())[series] = row
+    if any(len(series_map) > 1 for series_map in groups.values()):
+        return None
+    return [next(iter(series_map.values())) for series_map in groups.values()]
 
 
 def _format_value(value) -> str:
@@ -85,7 +132,10 @@ def markdown_table(rows: List[dict]) -> List[str]:
 
 
 def _trend(rows: List[dict], key: str) -> Optional[str]:
-    values = [row[key] for row in rows if isinstance(row.get(key), (int, float))]
+    per_revision = _per_sha_single(rows, key)
+    if per_revision is None:
+        return None
+    values = [row[key] for row in per_revision]
     if not values:
         return None
     newest = _format_value(values[-1])

@@ -5,25 +5,46 @@ patrols) the same seeds are driven by the scripted expert twice — once
 purely reactive (``TimeLayerSpec(enabled=False)``, the pre-time-layer
 behaviour) and once anticipative — and the success rates, collision counts
 and replan counts are appended to ``BENCH_planner.json`` as one
-``dynamic_bench`` line per preset plus a summary line, so the dynamic
+``dynamic_bench`` line per preset plus a summary line (each record stamped
+with the git SHA, see :mod:`benchmarks.bench_io`), so the dynamic
 trajectory accumulates across revisions alongside the planner speedups.
 
 The episodes are stepped through a local loop (not the executor) so each
 arm can read the expert's ``replan_count`` off the shared controller
-context.  Unless ``ICOIL_BENCH_SMOKE=1``, the time-aware arm must park at
-least as many episodes as the reactive arm in aggregate — anticipation may
-never make the expert *worse* against moving obstacles.
+context.  Episodes that terminate before the initial plan are surfaced as
+a distinct ``no_plan`` outcome instead of a silently clamped replan count.
+
+A second pass replays one recorded CO state sequence per patrol preset and
+re-solves every frame with both collision formulations — covering-circle
+hinges vs the ESDF-gradient field constraints — recording mean solve time
+and residual-stack size per arm (``co_esdf_bench`` events).
+
+Unless ``ICOIL_BENCH_SMOKE=1``:
+
+* the time-aware arm must park **every** episode with zero collisions (the
+  18/18 target this revision's velocity-aware yield closed), and
+* the ESDF arm's residual stack must be under half the circle arm's (the
+  deterministic claim; measured ~6x smaller), with mean solve time no
+  worse than 2x as a loose guard against catastrophic regressions —
+  wall-clock parity (~0.9-1.0x measured) is recorded, not gated, so CI
+  timing noise cannot fail merges.
 """
 
 from __future__ import annotations
 
-import json
 import os
+import sys
 from pathlib import Path
 
+import numpy as np
 import pytest
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_io import append_record  # noqa: E402
+
 from repro.api import ControllerContext, EpisodeSpec, TimeLayerSpec, default_registry
+from repro.co import CollisionConstraintSet, COController
+from repro.perception.detector import ObjectDetector
 from repro.world import DifficultyLevel, ScenarioConfig, SpawnMode, build_scenario
 from repro.world.world import ParkingWorld
 
@@ -35,14 +56,8 @@ PATROL_PRESETS = ("legacy", "perpendicular-easy", "angled-easy")
 SEEDS = tuple(range(6))
 
 
-def _append_line(path: Path, payload: dict) -> None:
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
-
-
-def _run_expert_episode(scenario_name: str, seed: int, enabled: bool):
-    """(status, replan_count) of one locally-stepped expert episode."""
-    spec = EpisodeSpec(
+def _episode_spec(scenario_name: str, seed: int, enabled: bool) -> EpisodeSpec:
+    return EpisodeSpec(
         method="expert",
         scenario=ScenarioConfig(
             scenario_name=scenario_name,
@@ -53,6 +68,16 @@ def _run_expert_episode(scenario_name: str, seed: int, enabled: bool):
         time_layer=TimeLayerSpec(enabled=enabled),
         time_limit=80.0,
     )
+
+
+def _run_expert_episode(scenario_name: str, seed: int, enabled: bool):
+    """(status, replans, planned) of one locally-stepped expert episode.
+
+    ``planned`` is False when the episode ended before the expert produced
+    its initial plan — those episodes report the distinct ``no_plan``
+    outcome instead of a ``-1``-clamped replan count.
+    """
+    spec = _episode_spec(scenario_name, seed, enabled)
     scenario = build_scenario(spec.scenario)
     context = ControllerContext(scenario, time_layer=spec.time_layer, dt=spec.dt)
     controller = default_registry().create("expert", context)
@@ -65,28 +90,36 @@ def _run_expert_episode(scenario_name: str, seed: int, enabled: bool):
             world.state, world.current_obstacles(), scenario.lot, time=world.time
         )
         world.step(control.action)
-    # plan_reference increments on the initial plan too; replans are the rest.
-    replans = max(0, context.expert.replan_count - 1)
-    return world.status, replans
+    # plan_reference increments on the initial plan too; replans are the
+    # rest.  A count of zero means the initial plan never happened.
+    planned = context.expert.replan_count > 0
+    replans = context.expert.replan_count - 1 if planned else 0
+    return world.status, replans, planned
 
 
 def test_bench_dynamic_presets():
     """Success-rate / replan-count deltas of the anticipative expert."""
     totals = {False: 0, True: 0}
+    aware_collisions = 0
     for preset in PATROL_PRESETS:
         row = {}
         for enabled in (False, True):
             statuses = []
             replans = []
+            no_plan = 0
             for seed in SEEDS:
-                status, replan_count = _run_expert_episode(preset, seed, enabled)
+                status, replan_count, planned = _run_expert_episode(preset, seed, enabled)
                 statuses.append(status)
                 replans.append(replan_count)
-            row[enabled] = (statuses, replans)
+                if not planned:
+                    no_plan += 1
+            row[enabled] = (statuses, replans, no_plan)
             totals[enabled] += sum(1 for status in statuses if status.is_success)
-        reactive_statuses, reactive_replans = row[False]
-        aware_statuses, aware_replans = row[True]
-        _append_line(
+        reactive_statuses, reactive_replans, reactive_no_plan = row[False]
+        aware_statuses, aware_replans, aware_no_plan = row[True]
+        aware_collided = sum(1 for s in aware_statuses if s.value == "collided")
+        aware_collisions += aware_collided
+        append_record(
             BENCH_PLANNER,
             {
                 "event": "dynamic_bench",
@@ -97,29 +130,201 @@ def test_bench_dynamic_presets():
                 "reactive_collided": sum(
                     1 for s in reactive_statuses if s.value == "collided"
                 ),
-                "aware_collided": sum(1 for s in aware_statuses if s.value == "collided"),
+                "aware_collided": aware_collided,
                 "reactive_replans": sum(reactive_replans),
                 "aware_replans": sum(aware_replans),
+                "reactive_no_plan": reactive_no_plan,
+                "aware_no_plan": aware_no_plan,
             },
         )
-    _append_line(
+    append_record(
         BENCH_PLANNER,
         {
             "event": "dynamic_bench_summary",
             "episodes": len(SEEDS) * len(PATROL_PRESETS),
             "reactive_parked": totals[False],
             "aware_parked": totals[True],
+            "aware_collided": aware_collisions,
         },
     )
+    total = len(SEEDS) * len(PATROL_PRESETS)
     print(
         f"\npatrol presets: reactive {totals[False]} vs time-aware {totals[True]} parked "
-        f"of {len(SEEDS) * len(PATROL_PRESETS)}"
+        f"of {total} ({aware_collisions} aware collisions)"
     )
     if not SMOKE:
         assert totals[True] >= totals[False], (
             f"time-aware expert parked {totals[True]} episodes, "
             f"reactive baseline {totals[False]} — anticipation regressed"
         )
+        assert aware_collisions == 0, (
+            f"time-aware expert collided in {aware_collisions} episodes"
+        )
+        assert totals[True] == total, (
+            f"time-aware expert parked {totals[True]}/{total} episodes"
+        )
+
+
+def _co_frames(preset: str, max_time: float = 45.0):
+    """One recorded CO state/detection sequence for a patrol preset."""
+    spec = _episode_spec(preset, 0, True)
+    scenario = build_scenario(spec.scenario)
+    context = ControllerContext(scenario, time_layer=spec.time_layer, dt=spec.dt)
+    detector = ObjectDetector()
+    constraint_set = CollisionConstraintSet(
+        context.vehicle_params,
+        spatial_index=context.spatial_index,
+        timegrid=context.timegrid,
+        use_field_constraints=False,
+    )
+    controller = COController(
+        context.vehicle_params,
+        horizon=context.icoil.horizon,
+        dt=spec.dt,
+        constraint_set=constraint_set,
+    )
+    controller.set_reference_path(context.reference_path)
+    world = ParkingWorld(scenario, context.vehicle_params, dt=spec.dt, time_limit=80.0)
+    frames = []
+    while not world.status.is_terminal and world.time < max_time:
+        detections = detector.detect(world.state, world.current_obstacles(), time=world.time)
+        frames.append((world.state, detections, world.time))
+        world.step(controller.act(world.state, detections, time=world.time))
+    return context, frames
+
+
+def test_bench_co_esdf_solve_time():
+    """Circle-hinge vs ESDF-gradient CO on identical state sequences."""
+    stride = 16 if SMOKE else 4
+    summary = {}
+    for preset in PATROL_PRESETS:
+        context, frames = _co_frames(preset)
+        row = {}
+        for use_field in (False, True):
+            constraint_set = CollisionConstraintSet(
+                context.vehicle_params,
+                spatial_index=context.spatial_index,
+                timegrid=context.timegrid,
+                use_field_constraints=use_field,
+            )
+            controller = COController(
+                context.vehicle_params,
+                horizon=context.icoil.horizon,
+                dt=0.1,
+                constraint_set=constraint_set,
+            )
+            controller.set_reference_path(context.reference_path)
+            solve_times = []
+            residuals = []
+            for state, detections, frame_time in frames[::stride]:
+                controller.act(state, detections, time=frame_time)
+                info = controller.last_info
+                solve_times.append(info.solve_time)
+                residuals.append(info.collision_residuals)
+            row[use_field] = (
+                float(np.mean(solve_times)) * 1000.0,
+                float(np.mean(residuals)),
+            )
+        circle_ms, circle_residuals = row[False]
+        esdf_ms, esdf_residuals = row[True]
+        summary[preset] = (circle_ms, esdf_ms, circle_residuals, esdf_residuals)
+        append_record(
+            BENCH_PLANNER,
+            {
+                "event": "co_esdf_bench",
+                "scenario": preset,
+                "frames": len(frames[::stride]),
+                "circle_mean_ms": round(circle_ms, 2),
+                "esdf_mean_ms": round(esdf_ms, 2),
+                "circle_residuals": round(circle_residuals, 1),
+                "esdf_residuals": round(esdf_residuals, 1),
+                "residual_shrink": round(circle_residuals / max(esdf_residuals, 1.0), 2),
+                "solve_speedup": round(circle_ms / max(esdf_ms, 1e-9), 2),
+            },
+        )
+        print(
+            f"\n{preset}: circle {circle_ms:.1f}ms/{circle_residuals:.0f} residuals vs "
+            f"esdf {esdf_ms:.1f}ms/{esdf_residuals:.0f} residuals"
+        )
+    if not SMOKE:
+        for preset, (circle_ms, esdf_ms, circle_residuals, esdf_residuals) in summary.items():
+            assert esdf_residuals < circle_residuals / 2.0, (
+                f"{preset}: ESDF stack {esdf_residuals:.0f} not under half of "
+                f"{circle_residuals:.0f}"
+            )
+            assert esdf_ms <= circle_ms * 2.0, (
+                f"{preset}: ESDF solve {esdf_ms:.1f}ms worse than 2x circle "
+                f"{circle_ms:.1f}ms"
+            )
+
+
+def test_bench_co_rollout_fast_path():
+    """The rollout fast path vs the pre-revision reference loop.
+
+    The MPC's dominant cost is the rollout inside every finite-difference
+    residual evaluation; this pins the speedup of the hoisted-clip
+    float-loop implementation against the original per-step NumPy loop on
+    identical inputs (bit-identical outputs are asserted by
+    ``tests/test_co_esdf.py``).
+    """
+    import math
+    import time as time_module
+
+    from repro.geometry.angles import normalize_angle
+    from repro.vehicle.kinematics import AckermannModel
+    from repro.vehicle.params import VehicleParams
+    from repro.vehicle.state import VehicleState
+
+    params = VehicleParams()
+    model = AckermannModel(params, dt=0.25)
+    state = VehicleState(x=3.0, y=10.0, heading=0.3, velocity=1.2, steer=0.1)
+    controls = np.random.RandomState(0).randn(10, 2)
+
+    def reference_rollout():
+        states = np.zeros((11, 4))
+        states[0] = [state.x, state.y, state.heading, state.velocity]
+        for h in range(10):
+            x, y, heading, velocity = states[h]
+            accel = float(
+                np.clip(controls[h, 0], -params.max_deceleration, params.max_acceleration)
+            )
+            steer = float(np.clip(controls[h, 1], -params.max_steer, params.max_steer))
+            velocity = float(
+                np.clip(
+                    velocity + accel * model.dt, -params.max_reverse_speed, params.max_speed
+                )
+            )
+            x = x + velocity * math.cos(heading) * model.dt
+            y = y + velocity * math.sin(heading) * model.dt
+            heading = normalize_angle(
+                heading + velocity / params.wheelbase * math.tan(steer) * model.dt
+            )
+            states[h + 1] = [x, y, heading, velocity]
+        return states
+
+    repeats = 100 if SMOKE else 2000
+    begin = time_module.perf_counter()
+    for _ in range(repeats):
+        reference_rollout()
+    naive_us = (time_module.perf_counter() - begin) / repeats * 1e6
+    begin = time_module.perf_counter()
+    for _ in range(repeats):
+        model.rollout_controls_array(state, controls)
+    fast_us = (time_module.perf_counter() - begin) / repeats * 1e6
+    speedup = naive_us / max(fast_us, 1e-9)
+    append_record(
+        BENCH_PLANNER,
+        {
+            "event": "co_rollout_bench",
+            "horizon": 10,
+            "naive_us": round(naive_us, 1),
+            "fast_us": round(fast_us, 1),
+            "rollout_speedup": round(speedup, 2),
+        },
+    )
+    print(f"\nrollout fast path: {naive_us:.0f}us -> {fast_us:.0f}us ({speedup:.1f}x)")
+    if not SMOKE:
+        assert speedup >= 2.0, f"rollout fast path regressed to {speedup:.2f}x"
 
 
 if __name__ == "__main__":

@@ -16,13 +16,16 @@ benchmarks stay *executed* without gating merges on wall-clock noise.
 
 from __future__ import annotations
 
-import json
 import os
 import statistics
+import sys
 import time
 from pathlib import Path
 
 import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_io import append_record  # noqa: E402
 
 from repro.api import BatchExecutor, BatchSpec
 from repro.il.expert import ExpertDriver
@@ -39,9 +42,8 @@ PRESETS = default_scenario_registry().names()
 REPEATS = 3
 
 
-def _append_line(path: Path, payload: dict) -> None:
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
+# SHA-stamped appends shared with the other benchmarks.
+_append_line = append_record
 
 
 def _time_plan(planner, start, staging, static, lot, index=None) -> tuple:

@@ -5,8 +5,10 @@ finite-horizon optimal-control problem of Eq. 6: minimise the distance cost
 to the reference waypoints (Eq. 4) subject to collision-avoidance constraints
 (Eq. 5) and bounds on the driving actions, under Ackermann kinematics.
 
-* :mod:`repro.co.constraints` — control bounds and per-obstacle collision
-  constraints with predicted obstacle positions,
+* :mod:`repro.co.constraints` — control bounds plus two collision
+  formulations: ESDF-gradient field constraints (static scene + per-stage
+  dynamic time slices) and covering-circle predictions for whatever the
+  fields cannot see,
 * :mod:`repro.co.mpc` — the MPC problem container and its residual /
   penalty formulation,
 * :mod:`repro.co.solver` — a damped Gauss-Newton (sequential-convexification)
@@ -15,7 +17,12 @@ to the reference waypoints (Eq. 4) subject to collision-avoidance constraints
   warm starting and solve-time instrumentation.
 """
 
-from repro.co.constraints import CollisionConstraintSet, ControlBounds, ObstaclePrediction
+from repro.co.constraints import (
+    CollisionConstraintSet,
+    ControlBounds,
+    FieldConstraintStack,
+    ObstaclePrediction,
+)
 from repro.co.controller import COController, COSolveInfo
 from repro.co.mpc import MPCProblem
 from repro.co.solver import GaussNewtonSolver, SolverResult
@@ -25,6 +32,7 @@ __all__ = [
     "COSolveInfo",
     "CollisionConstraintSet",
     "ControlBounds",
+    "FieldConstraintStack",
     "GaussNewtonSolver",
     "MPCProblem",
     "ObstaclePrediction",

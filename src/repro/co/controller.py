@@ -48,6 +48,10 @@ class COSolveInfo:
     obstacle_distances: np.ndarray
     horizon: int
     reference_speed: float
+    # Size of the collision block of the residual stack — the quantity the
+    # ESDF-gradient formulation shrinks (the solve-time benchmark records
+    # both formulations' numbers side by side).
+    collision_residuals: int = 0
 
 
 class COController:
@@ -123,7 +127,7 @@ class COController:
             raise RuntimeError("COController.act called before set_reference_path()")
 
         references, headings, direction, reference_speed = self._build_reference(state)
-        predictions = self.constraint_set.from_detections(
+        predictions, field_stack = self.constraint_set.build(
             detections,
             self.planning_dt,
             self.horizon,
@@ -137,6 +141,7 @@ class COController:
             reference_positions=references,
             reference_headings=headings,
             obstacle_predictions=predictions,
+            field_constraint=field_stack,
             bounds=self.bounds,
             ego_circle_offsets=self.constraint_set.ego_circle_offsets,
             ego_circle_radius=self.constraint_set.ego_circle_radius,
@@ -145,6 +150,12 @@ class COController:
         result = self.solver.solve(problem, initial_controls=warm_start)
         self._warm_start = result.controls
 
+        num_ego_circles = int(np.size(self.constraint_set.ego_circle_offsets))
+        collision_residuals = self.horizon * num_ego_circles * sum(
+            prediction.num_circles for prediction in predictions
+        )
+        if field_stack is not None:
+            collision_residuals += field_stack.num_residuals(self.horizon, num_ego_circles)
         distances = self._obstacle_distances(state, detections)
         self._last_info = COSolveInfo(
             solve_time=result.solve_time,
@@ -155,6 +166,7 @@ class COController:
             obstacle_distances=distances,
             horizon=self.horizon,
             reference_speed=reference_speed,
+            collision_residuals=collision_residuals,
         )
 
         control = KinematicControl(

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.co.constraints import (
     ControlBounds,
+    FieldConstraintStack,
     ObstaclePrediction,
     ego_covering_circles,
 )
@@ -44,7 +45,16 @@ class MPCProblem:
         Optional array of shape ``(H,)`` with target headings; when provided a
         small heading-tracking term is added (helps the terminal alignment).
     obstacle_predictions:
-        Collision constraints (Eq. 5).
+        Covering-circle collision constraints (Eq. 5) for obstacles not
+        represented by the field stack.
+    field_constraint:
+        ESDF-gradient collision constraints: one hinge per (stage, ego
+        circle) against the static distance field and the per-stage dynamic
+        slice fields (see
+        :class:`~repro.co.constraints.FieldConstraintStack`).  Replaces the
+        per-obstacle circle hinges for everything the fields cover, which
+        shrinks the residual stack from ``O(stages x obstacle circles x ego
+        circles)`` to ``O(stages x ego circles)``.
     bounds:
         Control box bounds (the set ``A``).
     collision_weight:
@@ -56,6 +66,7 @@ class MPCProblem:
     reference_positions: np.ndarray
     reference_headings: Optional[np.ndarray] = None
     obstacle_predictions: List[ObstaclePrediction] = field(default_factory=list)
+    field_constraint: Optional[FieldConstraintStack] = None
     bounds: Optional[ControlBounds] = None
     position_weight: float = 1.0
     heading_weight: float = 0.4
@@ -148,11 +159,19 @@ class MPCProblem:
         return future[:, None, :2] + self.ego_circle_offsets[None, :, None] * directions[:, None, :]
 
     def constraint_violations(self, states: np.ndarray) -> np.ndarray:
-        """Per-(step, obstacle circle, ego circle) violation ``max(0, d_safe - distance)``."""
-        if not self.obstacle_predictions:
+        """Stacked collision violations along a rollout.
+
+        Field-covered obstacles contribute ``max(0, d_safe -
+        field(centre))`` per (step, ego circle); covering-circle
+        predictions contribute ``max(0, d_safe - distance)`` per (step,
+        obstacle circle, ego circle).
+        """
+        if not self.obstacle_predictions and self.field_constraint is None:
             return np.zeros(0)
         ego_centers = self._ego_circle_centers(states)
         violations = []
+        if self.field_constraint is not None:
+            violations.append(self.field_constraint.violations(ego_centers))
         for prediction in self.obstacle_predictions:
             clearance = prediction.required_clearance(float(self.ego_circle_radius))
             obstacle_centers = prediction.circle_positions[: self.horizon]
@@ -169,11 +188,13 @@ class MPCProblem:
 
     def min_clearance(self, controls: np.ndarray) -> float:
         """Minimum (distance - required_clearance) margin over the horizon."""
-        if not self.obstacle_predictions:
+        if not self.obstacle_predictions and self.field_constraint is None:
             return float("inf")
         states = self.rollout(controls)
         ego_centers = self._ego_circle_centers(states)
         margins = []
+        if self.field_constraint is not None:
+            margins.append(self.field_constraint.min_clearance(ego_centers))
         for prediction in self.obstacle_predictions:
             clearance = prediction.required_clearance(float(self.ego_circle_radius))
             obstacle_centers = prediction.circle_positions[: self.horizon]

@@ -82,13 +82,16 @@ class GaussNewtonSolver:
             controls = np.asarray(initial_controls, dtype=float).reshape(horizon, 2).copy()
         controls = bounds.clip(controls)
 
-        objective = problem.objective(controls)
+        # The accepted candidate's residual vector is carried into the next
+        # iteration, so each iteration costs one Jacobian plus the line
+        # search — never a redundant re-evaluation at the same controls.
+        residuals = problem.residuals(controls)
+        objective = float(residuals @ residuals)
         converged = False
         iteration = 0
         damping = self.damping
 
         for iteration in range(1, self.max_iterations + 1):
-            residuals = problem.residuals(controls)
             jacobian = self._jacobian(problem, controls, residuals)
             gradient = jacobian.T @ residuals
             hessian = jacobian.T @ jacobian
@@ -102,10 +105,12 @@ class GaussNewtonSolver:
                     damping *= 10.0
                     continue
                 candidate = bounds.clip(controls + step.reshape(horizon, 2))
-                candidate_objective = problem.objective(candidate)
+                candidate_residuals = problem.residuals(candidate)
+                candidate_objective = float(candidate_residuals @ candidate_residuals)
                 if candidate_objective < objective - 1e-12:
                     relative_improvement = (objective - candidate_objective) / max(objective, 1e-9)
                     controls = candidate
+                    residuals = candidate_residuals
                     objective = candidate_objective
                     damping = max(damping * 0.5, 1e-6)
                     improved = True

@@ -34,6 +34,13 @@ class ICOILConfig:
         When True (default) the uncertainty is normalised by ``log M`` and
         the complexity by its obstacle-free baseline so the switching score
         is scale-free; the raw paper quantities are still reported.
+    final_approach_distance:
+        Goal distance (m) below which the episode counts as the
+        *final-approach* phase.  Inside it a finite predicted
+        time-to-conflict escalates HSA straight to the CO mode (overriding
+        the guard time): the tight-clearance end-game with a patrol bearing
+        down is exactly the high-risk regime iCOIL argues the optimization
+        mode must own.
     """
 
     window_size: int = 10
@@ -43,6 +50,7 @@ class ICOILConfig:
     action_dimension: int = 2
     danger_distance: float = 3.0
     normalize_hsa: bool = True
+    final_approach_distance: float = 8.0
 
     def __post_init__(self) -> None:
         if self.window_size <= 0:
@@ -57,3 +65,7 @@ class ICOILConfig:
             raise ValueError(f"switch_threshold must be positive, got {self.switch_threshold}")
         if self.danger_distance < 0.0:
             raise ValueError(f"danger_distance must be non-negative, got {self.danger_distance}")
+        if self.final_approach_distance < 0.0:
+            raise ValueError(
+                f"final_approach_distance must be non-negative, got {self.final_approach_distance}"
+            )

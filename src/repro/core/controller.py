@@ -140,8 +140,13 @@ class ICOILController:
             if self.timegrid is not None
             else None
         )
+        goal_distance = float(np.hypot(*(lot.goal_pose.position - state.position)))
+        final_approach = goal_distance <= self.config.final_approach_distance
         reading = self.hsa.update(
-            probabilities, obstacle_distances, time_to_conflict=time_to_conflict
+            probabilities,
+            obstacle_distances,
+            time_to_conflict=time_to_conflict,
+            final_approach=final_approach,
         )
         switched = self._update_mode(reading)
 
@@ -179,7 +184,20 @@ class ICOILController:
     # Mode switching (Eq. 1 + guard time)
     # ------------------------------------------------------------------
     def _update_mode(self, reading: HSAReading) -> bool:
+        """Apply Eq. 1 with the guard time; escalations bypass the guard.
+
+        The guard exists to smooth oscillation between near-equal modes; a
+        ``conflict_escalated`` reading is a different thing entirely — the
+        final approach with a patrol predicted to cross — so the handoff to
+        CO happens the same frame regardless of how recently the mode
+        changed.  The guard still applies on the way *back* to IL, so the
+        escalation cannot itself introduce chatter.
+        """
         self._frames_since_switch += 1
+        if reading.conflict_escalated and self._mode is not DrivingMode.CO:
+            self._mode = DrivingMode.CO
+            self._frames_since_switch = 0
+            return True
         if self._frames_since_switch <= self.config.guard_frames:
             return False
         desired = DrivingMode.CO if reading.use_co else DrivingMode.IL

@@ -47,7 +47,14 @@ def hsa_obstacle_distances(position: np.ndarray, detections: Sequence) -> np.nda
 
 @dataclass(frozen=True)
 class HSAReading:
-    """One HSA evaluation at a given frame."""
+    """One HSA evaluation at a given frame.
+
+    ``conflict_escalated`` marks readings where the Eq. 1 threshold was
+    overridden: a finite predicted time-to-conflict during the
+    final-approach phase hands the frame to CO regardless of the score
+    (see :meth:`HSAModel.update`).  The controller treats such readings as
+    safety-critical — the usual mode guard time does not delay them.
+    """
 
     instant_uncertainty: float
     average_uncertainty: float
@@ -57,10 +64,12 @@ class HSAReading:
     normalized_complexity: float
     score: float
     use_co: bool
+    time_to_conflict: Optional[float] = None
+    conflict_escalated: bool = False
 
     @property
     def recommended_mode(self) -> str:
-        """``"co"`` or ``"il"`` according to Eq. 1."""
+        """``"co"`` or ``"il"`` according to Eq. 1 (plus the escalation rule)."""
         return "co" if self.use_co else "il"
 
 
@@ -150,12 +159,20 @@ class HSAModel:
         probabilities: np.ndarray,
         obstacle_distances: Sequence[float],
         time_to_conflict: Optional[float] = None,
+        final_approach: bool = False,
     ) -> HSAReading:
         """Push one frame of evidence and return the current HSA reading.
 
         ``time_to_conflict`` optionally folds the time layer's predicted
         crossing (see :func:`scenario_complexity`) into the complexity term;
         omitted, the reading is exactly the static-evidence model.
+
+        ``final_approach`` marks the tight-clearance end-game near the goal.
+        There a finite ``time_to_conflict`` *escalates* the reading to the
+        CO mode outright instead of merely raising the complexity term: the
+        score is a sliding-window average, so a patrol first predicted a few
+        frames ago may not yet have moved it across the threshold even
+        though the crossing is imminent.
         """
         config = self.config
         instant_uncertainty = scenario_uncertainty(probabilities)
@@ -178,7 +195,8 @@ class HSAModel:
             score = normalized_uncertainty / max(normalized_complexity, 1e-9)
         else:
             score = average_uncertainty / max(average_complexity, 1e-9)
-        use_co = score > config.switch_threshold
+        conflict_escalated = bool(final_approach and time_to_conflict is not None)
+        use_co = score > config.switch_threshold or conflict_escalated
         return HSAReading(
             instant_uncertainty=instant_uncertainty,
             average_uncertainty=average_uncertainty,
@@ -188,6 +206,8 @@ class HSAModel:
             normalized_complexity=normalized_complexity,
             score=score,
             use_co=use_co,
+            time_to_conflict=time_to_conflict,
+            conflict_escalated=conflict_escalated,
         )
 
     def reset(self) -> None:

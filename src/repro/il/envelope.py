@@ -1,0 +1,143 @@
+"""Velocity-aware braking/arrival projections for the yield decision.
+
+The anticipative expert used to stamp its upcoming path poses with times
+derived from the *nominal* speed schedule.  That is wrong exactly when it
+matters most: an ego creeping through a reverse maneuver at a third of the
+nominal speed arrives at each pose seconds later than the nominal stamp, so
+a patrol predicted to cross "behind" the ego is in truth predicted to cross
+*through* it.  ROADMAP's residual dynamic failures — patrols reaching a
+slow-moving ego from the side mid-maneuver — are all of this shape.
+
+:class:`BrakingEnvelope` is the small, exactly-testable kinematic core of
+the fix: closed-form stop distances/times under a comfortable constant
+deceleration (plus a reaction delay), and the closed-form trapezoidal
+arrival profile (:meth:`BrakingEnvelope.arrival_times`).  The expert asks
+it "where would I come to rest if I braked now?" every frame — the swept
+poses up to that rest point, not the instantaneous footprint, are what a
+yield decision must keep clear of a patrol's corridor — and derives its
+preview stamps from the same constants through
+``ExpertDriver._block_times``, which generalizes :meth:`arrival_times`
+with the tracking loop's gear-switch slowdown caps.  A change to the
+profile model (e.g. :attr:`nominal_acceleration`'s match to the throttle
+ramp) must keep both in step; the tests pin the closed form here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+# Speeds below this are treated as this floor: the profiles divide by the
+# speed, and a perfectly stationary ego still needs finite arrival stamps
+# for the poses it is about to drive.
+_SPEED_FLOOR = 0.05
+
+
+@dataclass(frozen=True)
+class BrakingEnvelope:
+    """Closed-form stop/arrival projections of the ego under braking.
+
+    Parameters
+    ----------
+    max_deceleration:
+        The vehicle's physical deceleration limit (m/s^2, positive).
+    comfort_factor:
+        Fraction of the limit the yield decision plans with; stopping for a
+        predicted crossing should never need an emergency stop.
+    reaction_time:
+        Delay (s) between the decision and the brakes biting — one or two
+        control frames plus actuator lag; travelled at the initial speed.
+    nominal_acceleration:
+        Acceleration (m/s^2) used by the arrival projection when the ego is
+        below its schedule speed (matches the expert's throttle ramp: the
+        speed-error controller commands ~0.6 of the 2 m/s^2 limit at
+        typical errors).  An unrealistically soft value here widens every
+        arrival-time interval until no patrol window ever fits it.
+    """
+
+    max_deceleration: float
+    comfort_factor: float = 0.5
+    reaction_time: float = 0.3
+    nominal_acceleration: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.max_deceleration <= 0.0:
+            raise ValueError(
+                f"max_deceleration must be positive, got {self.max_deceleration}"
+            )
+        if not 0.0 < self.comfort_factor <= 1.0:
+            raise ValueError(
+                f"comfort_factor must lie in (0, 1], got {self.comfort_factor}"
+            )
+        if self.reaction_time < 0.0:
+            raise ValueError(f"reaction_time must be non-negative, got {self.reaction_time}")
+        if self.nominal_acceleration <= 0.0:
+            raise ValueError(
+                f"nominal_acceleration must be positive, got {self.nominal_acceleration}"
+            )
+
+    @property
+    def deceleration(self) -> float:
+        """The planning deceleration (comfort-scaled limit, m/s^2)."""
+        return self.comfort_factor * self.max_deceleration
+
+    # ------------------------------------------------------------------
+    # Stopping
+    # ------------------------------------------------------------------
+    def stop_distance(self, speed: float) -> float:
+        """Distance (m) travelled from ``speed`` to standstill.
+
+        Reaction distance at the initial speed plus the constant-deceleration
+        braking parabola ``v^2 / (2 a)``.  Direction-agnostic: pass the speed
+        magnitude whichever gear the ego is in.
+        """
+        speed = abs(float(speed))
+        return speed * self.reaction_time + speed * speed / (2.0 * self.deceleration)
+
+    def stop_time(self, speed: float) -> float:
+        """Time (s) from the decision until standstill from ``speed``."""
+        speed = abs(float(speed))
+        return self.reaction_time + speed / self.deceleration
+
+    # ------------------------------------------------------------------
+    # Arrival projection
+    # ------------------------------------------------------------------
+    def arrival_times(
+        self,
+        offsets: np.ndarray,
+        current_speed: float,
+        schedule_speed: float,
+    ) -> np.ndarray:
+        """Time (s) to reach each path offset under a trapezoidal profile.
+
+        The profile starts at ``current_speed``, transitions to
+        ``schedule_speed`` (accelerating at :attr:`nominal_acceleration` or
+        braking at :attr:`deceleration`), then cruises.  ``offsets`` are
+        non-negative arc-length distances along the upcoming path; the
+        returned array is monotone with a zero first entry for a zero
+        offset.  Speeds are magnitudes — reverse legs project identically.
+        """
+        offsets = np.asarray(offsets, dtype=float).reshape(-1)
+        v0 = max(_SPEED_FLOOR, abs(float(current_speed)))
+        vt = max(_SPEED_FLOOR, abs(float(schedule_speed)))
+        if math.isclose(v0, vt, rel_tol=1e-9, abs_tol=1e-9):
+            return offsets / vt
+        accelerating = vt > v0
+        rate = self.nominal_acceleration if accelerating else self.deceleration
+        # Arc length and duration of the speed transition v0 -> vt.
+        transition_distance = abs(vt * vt - v0 * v0) / (2.0 * rate)
+        transition_time = abs(vt - v0) / rate
+        signed = rate if accelerating else -rate
+        inside = offsets < transition_distance
+        times = np.empty_like(offsets)
+        # s = v0 t + signed t^2 / 2  =>  t = (sqrt(v0^2 + 2 signed s) - v0) / signed.
+        discriminant = np.maximum(0.0, v0 * v0 + 2.0 * signed * offsets[inside])
+        times[inside] = (np.sqrt(discriminant) - v0) / signed
+        times[~inside] = transition_time + (offsets[~inside] - transition_distance) / vt
+        return times
+
+    def rest_offset(self, current_speed: float) -> float:
+        """Alias of :meth:`stop_distance` named for the yield's rest-pose query."""
+        return self.stop_distance(current_speed)

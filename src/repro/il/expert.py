@@ -26,6 +26,8 @@ import numpy as np
 from repro.geometry.angles import normalize_angle
 from repro.geometry.collision import shapes_collide
 from repro.geometry.se2 import SE2
+from repro.geometry.shapes import OrientedBox
+from repro.il.envelope import BrakingEnvelope
 from repro.planning.hybrid_astar import HybridAStarPlanner
 from repro.planning.maneuvers import parallel_reverse_park, reverse_park_arc
 from repro.planning.progress import SegmentedPathFollower
@@ -53,6 +55,12 @@ class ExpertConfig:
     goal_heading_tolerance: float = 0.2
     reverse_park_radius: float = 5.0
     aisle_heading: float = 0.0
+    # Minimum length of reference path previewed by the anticipative yield;
+    # the braking envelope extends it whenever stopping needs more room.
+    # Long enough to span a whole patrol-corridor crossing (plus the ego
+    # body): the stop/go decision belongs to the last pose *before* the
+    # corridor, so the conflict must be visible from there.
+    yield_preview_distance: float = 9.0
 
 
 class ExpertDriver:
@@ -84,6 +92,29 @@ class ExpertDriver:
         # Kerbside S-curves flip curvature mid-maneuver; the steering-rate
         # limit then demands slower, tighter tracking than a single arc.
         self._parallel_final = False
+        # Velocity-aware stop/arrival projections for the yield decision.
+        self._envelope = BrakingEnvelope(self.vehicle_params.max_deceleration)
+        # Whether the current yield brought the ego to rest on the final
+        # (reverse) approach: pure pursuit resumed from a dead stop mid-arc
+        # drifts off the reference, so the release triggers a fresh plan.
+        self._yield_stopped_final = False
+        # Episode-wide count of yield-release replans (capped; see act()).
+        self._yield_release_replans = 0
+        # Goal-missed detection: consecutive frames of growing goal distance
+        # with the reference path exhausted (see :meth:`act`).
+        self._goal_divergence = 0
+        self._last_goal_distance = math.inf
+        # Yield patience: when the yield has held the ego stationary since
+        # ``_yield_hold_start`` for longer than its patience, it stands
+        # down until ``_yield_grace_until`` (see :meth:`_yield_to_crossing`).
+        self._yield_hold_start = None
+        self._yield_grace_until = None
+        # Exact swept-corridor polygons of the patrols (lazy, per episode).
+        self._corridor_polygons_cache = None
+        # Per-plan memo of waypoint corridor membership: the waypoints and
+        # the corridors are both fixed between replans, so each SAT verdict
+        # is computed once instead of every control frame.
+        self._waypoint_reach_cache = {}
 
     @property
     def spatial_index(self) -> Optional[SpatialIndex]:
@@ -207,6 +238,42 @@ class ExpertDriver:
         if float(bounds.min()) > 0.0:
             return False
         for pose, bound, pose_time in zip(poses, bounds, times):
+            if bound <= 0.0 and self.planner.dynamic_pose_in_collision(
+                pose, float(pose_time), timegrid, margin=margin
+            ):
+                return True
+        return False
+
+    def _schedule_conflicts_interval(
+        self, poses, lo_times, hi_times, margin: float = 0.1
+    ) -> bool:
+        """Conflict check over an arrival-time *interval* per pose.
+
+        Two point-hypothesis schedules (fast and slow tracking) can both
+        miss a patrol that threads between them; the sound question is
+        whether any arrival time inside ``[lo, hi]`` conflicts.  Sampling
+        at half the slice width gives complete coverage: the broad phase's
+        slice bound covers its whole window, and the exact narrow phase
+        inflates each patrol by half a window of its own travel.
+        """
+        timegrid = self.time_layer
+        if timegrid is None:
+            return False
+        half = timegrid.slice_dt / 2.0
+        sample_poses = []
+        sample_times = []
+        for pose, lo, hi in zip(poses, lo_times, hi_times):
+            span = max(0.0, float(hi) - float(lo))
+            count = int(math.ceil(span / half)) + 1
+            for index in range(count):
+                sample_poses.append(pose)
+                sample_times.append(min(float(hi), float(lo) + index * half))
+        pose_array = np.array([[pose.x, pose.y, pose.theta] for pose in sample_poses])
+        times = np.asarray(sample_times)
+        bounds = timegrid.pose_clearance_at(pose_array, times, margin=margin)
+        if float(bounds.min()) > 0.0:
+            return False
+        for pose, pose_time, bound in zip(sample_poses, sample_times, bounds):
             if bound <= 0.0 and self.planner.dynamic_pose_in_collision(
                 pose, float(pose_time), timegrid, margin=margin
             ):
@@ -350,18 +417,53 @@ class ExpertDriver:
 
         base = self.config.reverse_park_radius
         staging_clear_choice = None
-        for scale in (1.0, 1.4, 2.0, 2.6):
+        # Mid-episode replans can start a stone's throw from the default
+        # staging pose; an approach leg that short cannot straighten the
+        # heading before the gear switch, and the arc inherits the tilt all
+        # the way into the slot.  Demote such candidates — a larger radius
+        # moves the staging farther out (and flattens the arc), restoring
+        # the runway — but keep the best of them as a fallback.
+        min_runway = 3.0
+        short_runway_choice = None
+        # Fallback tiers among statically clear sweeps: timing-clean but
+        # corridor-staged (no plan to wait, so mouth waitability is moot),
+        # then corridor-ok but timing-conflicted (the yield can wait it
+        # out at the mouth), then conflicted *and* corridor-staged.  The
+        # intermediate ladder scales matter in patrolled lots, where the
+        # corridor-free staging band can be narrower than the coarse
+        # ladder's stride.
+        conflict_free_staged = None
+        corridor_staged = None
+        for scale in (1.0, 1.2, 1.4, 1.7, 2.0, 2.6):
             staging, waypoints = reverse_park_arc(goal, aisle_heading=aisle, radius=base * scale)
             if choice is None:
                 choice = (staging, waypoints)
             if self._pose_is_clear(staging, obstacle_polygons):
                 if self._sweep_is_clear(waypoints, obstacle_polygons):
-                    if not self._maneuver_predicted_conflict(
+                    corridor_ok = self._staging_outside_patrol_reach(staging)
+                    conflicted = self._maneuver_predicted_conflict(
                         staging, waypoints, start, start_time
-                    ):
+                    )
+                    if not conflicted and corridor_ok:
+                        if (
+                            start is not None
+                            and 1.0 <= start.distance_to(staging) < min_runway
+                        ):
+                            if short_runway_choice is None:
+                                short_runway_choice = (staging, waypoints)
+                            continue
                         return staging, waypoints
-                    if clear_conflicted is None:
-                        clear_conflicted = (staging, waypoints)
+                    if not conflicted:
+                        # Timing-clean but corridor-staged: fine as long as
+                        # the schedule holds — ranked above every waiting
+                        # plan, because it does not plan to wait at all.
+                        if conflict_free_staged is None:
+                            conflict_free_staged = (staging, waypoints)
+                    elif corridor_ok:
+                        if clear_conflicted is None:
+                            clear_conflicted = (staging, waypoints)
+                    elif corridor_staged is None:
+                        corridor_staged = (staging, waypoints)
                     continue
                 score = self._maneuver_clearance_score(staging, waypoints)
                 if staging_clear_choice is None:
@@ -369,12 +471,21 @@ class ExpertDriver:
                 if score > best_score:
                     best_score = score
                     best_scored = (staging, waypoints)
-        # No fully clear sweep: prefer a statically clear sweep that merely
-        # conflicts with a predicted crossing (the tracking-time yield can
-        # still wait it out), then the least-intrusive sweep among the
-        # reachable staging poses, then any reachable staging pose, then the
-        # blind default.
-        return clear_conflicted or best_scored or staging_clear_choice or choice
+        # No fully clear, unconflicted, runway-sufficient sweep: prefer a
+        # clear sweep lacking only runway, then a statically clear sweep
+        # that merely conflicts with a predicted crossing (the
+        # tracking-time yield can still wait it out), then the
+        # least-intrusive sweep among the reachable staging poses, then any
+        # reachable staging pose, then the blind default.
+        return (
+            short_runway_choice
+            or conflict_free_staged
+            or clear_conflicted
+            or corridor_staged
+            or best_scored
+            or staging_clear_choice
+            or choice
+        )
 
     def plan_reference(self, start: SE2, start_time: float = 0.0) -> Optional[WaypointPath]:
         """(Re)compute the reference path from ``start`` to the parking space.
@@ -392,6 +503,11 @@ class ExpertDriver:
         goal = self.lot.goal_pose
         self.replan_count += 1
         self._plan_start = start
+        self._goal_divergence = 0
+        self._last_goal_distance = math.inf
+        self._yield_hold_start = None
+        self._yield_grace_until = None
+        self._waypoint_reach_cache = {}
         staging, reverse_waypoints = self._final_maneuver(static_obstacles, start, start_time)
 
         # If the vehicle is already at (or past) the staging pose, only the
@@ -428,7 +544,12 @@ class ExpertDriver:
                 self._path = WaypointPath(
                     [Waypoint(pose, direction) for pose, direction in samples]
                 )
-        self._follower = SegmentedPathFollower(self._path)
+        # With patrols about, hand segments over tightly: switching gear
+        # 0.8 m short of the staging pose offsets the *whole* executed
+        # reverse arc toward the crossing corridor, which no prediction
+        # margin can absorb.  Static episodes keep the forgiving default.
+        switch_tolerance = 0.4 if self.time_layer is not None else 0.8
+        self._follower = SegmentedPathFollower(self._path, switch_tolerance=switch_tolerance)
         return self._path
 
     @property
@@ -466,7 +587,25 @@ class ExpertDriver:
         nearest_index = follower.nearest_index_in_segment(state.position)
         nearest_waypoint = self._path[nearest_index]
         deviation = float(np.hypot(*(nearest_waypoint.position - state.position)))
-        if deviation > config.replan_deviation and self._replanning_enabled:
+        # Goal-missed retry: the reference is exhausted, the terminal check
+        # above did not fire, and the ego is *moving away* from the goal —
+        # the approach ended out of tolerance.  The speed schedule never
+        # commands zero away from the goal, so without a fresh plan the ego
+        # would creep past the path end and out of the lot; pull forward to
+        # a new staging pose and redo the final maneuver instead.  The
+        # divergence streak distinguishes a genuine overshoot from the last
+        # still-converging metre of a normal approach.
+        if (
+            follower.on_final_segment
+            and nearest_index >= len(self._path.waypoints) - 2
+            and position_error > self._last_goal_distance + 1e-4
+        ):
+            self._goal_divergence += 1
+        else:
+            self._goal_divergence = 0
+        self._last_goal_distance = position_error
+        exhausted = self._goal_divergence >= 5
+        if (exhausted or deviation > config.replan_deviation) and self._replanning_enabled:
             replanned = self.plan_reference(state.pose, time)
             if replanned is not None:
                 follower = self._follower
@@ -482,11 +621,56 @@ class ExpertDriver:
 
         steer_cmd = self._pure_pursuit_steer(state, target, direction, lookahead)
 
-        # Anticipative yield: stop short of a predicted patrol crossing of
-        # the upcoming path window instead of replanning (or colliding)
-        # once the patrol is already in front of the bumper.
-        if self._yield_to_crossing(state, time, nearest_index, direction):
+        # Two stopping layers, both driven by the exact patrol timeline:
+        # the anticipative yield stops short of a predicted crossing of the
+        # upcoming path window, and the emergency check brakes whenever the
+        # *body itself* is predicted to be hit within the next few seconds
+        # while a stop provably avoids it — the case a margin-based preview
+        # can argue itself out of.
+        if self._emergency_brake_for_patrol(
+            state, time, nearest_index, direction
+        ) or self._yield_to_crossing(state, time, nearest_index, direction):
+            # Flag only genuine mid-arc stops (well past the gear switch):
+            # a hold *at* the maneuver mouth leaves the reference perfectly
+            # trackable, and replanning there would loop forever.
+            if (
+                direction < 0
+                and abs(state.velocity) < 0.15
+                and follower.on_final_segment
+                and self._path.distance_along(nearest_index)
+                - self._path.distance_along(follower.current_segment.start_index)
+                > 1.0
+            ):
+                self._yield_stopped_final = True
             return Action.clipped(0.0, 0.8, steer_cmd, direction < 0)
+        if self._yield_stopped_final:
+            # The yield held the ego at rest partway through the reverse
+            # approach; resuming the old arc from standstill is what used to
+            # drive the ego into the flanking cars.  Re-anchor on a fresh
+            # plan from the stopped pose instead — but only a couple of
+            # times per episode: in a slot flanked by several corridors the
+            # mid-arc stops recur, and replanning each one turns the
+            # episode into a wander loop instead of a slightly scruffy but
+            # converging resume.
+            self._yield_stopped_final = False
+            self._yield_release_replans += 1
+            if (
+                self._yield_release_replans <= 2
+                and self._replanning_enabled
+                and self.plan_reference(state.pose, time) is not None
+            ):
+                follower = self._follower
+                follower.update(state.position)
+                direction = follower.current_direction
+                lookahead = (
+                    config.lookahead_distance
+                    if direction > 0
+                    else config.reverse_lookahead_distance
+                )
+                if direction < 0 and self._parallel_final:
+                    lookahead *= 0.75
+                target = follower.lookahead_waypoint(state.position, lookahead)
+                steer_cmd = self._pure_pursuit_steer(state, target, direction, lookahead)
 
         target_speed = self._target_speed(follower, state, direction, position_error)
 
@@ -520,50 +704,462 @@ class ExpertDriver:
         time: float,
         nearest_index: int,
         direction: int,
-        preview_distance: float = 4.0,
     ) -> bool:
         """Whether to stop and let a predicted patrol crossing pass.
 
-        Samples the next few metres of the reference path, stamps each pose
-        with its nominal arrival time, and asks the time layer whether any
-        of them intersects a patrol's swept window.  If the ego is already
-        *inside* a conflict window, keep moving — stopping there would park
-        the vehicle in the patrol's corridor.
+        Samples the upcoming reference path out to at least the braking
+        envelope, stamps each pose with *velocity-aware* arrival times (one
+        hypothesis from the ego's actual speed, one from the nominal
+        schedule — the true profile lies between them), and asks the time
+        layer whether any stamped pose intersects a patrol's predicted
+        crossing window.  The nominal-only stamps this replaces are exactly
+        wrong for a slow-moving ego mid-maneuver: the patrol predicted to
+        cross "behind" the nominal schedule crosses *through* the real one.
+
+        Stopping must itself be safe: the ego keeps rolling through its
+        braking envelope, so the decision projects the swept footprint up
+        to the rest pose and only yields when that sweep stays out of every
+        patrol's corridor (:meth:`TimeGrid.time_to_conflict` with its
+        footprint-derived threshold as the broad phase, exact SAT at the
+        sampled instants as the narrow phase).  If the rest pose lies
+        inside a predicted corridor, keep moving and clear it.
         """
         timegrid = self.time_layer
         if timegrid is None or self._path is None:
             return False
-        speed = max(
+        envelope = self._envelope
+        schedule_speed = max(
             0.3,
             self.config.forward_speed if direction > 0 else self.config.reverse_speed,
         )
+        current_speed = abs(state.velocity)
+        preview_distance = max(
+            self.config.yield_preview_distance,
+            envelope.stop_distance(max(current_speed, schedule_speed))
+            + self.vehicle_params.length,
+        )
+        # Patience: a bracketed (fast-to-slow) arrival interval can stay
+        # conflicted for longer than the patrol's own period (interleaved
+        # cycles, wide margins), and waiting forever is a failure too.
+        # After 12 s of stationary holding the check *relaxes* to the
+        # nominal schedule alone for a while — never blind: the exact
+        # narrow phase still gates the launch, it just stops insisting
+        # that every slower-than-nominal tracking profile fit the window.
+        relaxed = False
+        if self._yield_grace_until is not None:
+            if time < self._yield_grace_until:
+                relaxed = True
+            else:
+                self._yield_grace_until = None
+        # Collect well beyond the braking window: the corridor-crossing
+        # gate below needs to see a whole crossing, not just a stop's worth
+        # of path.
+        collect_distance = max(preview_distance, 14.0)
         poses = [SE2(state.x, state.y, state.heading)]
         offsets = [0.0]
+        steps = []
+        directions = [direction]
         previous = state.position
         for waypoint in self._path.waypoints[nearest_index + 1 :]:
             step = float(np.hypot(*(waypoint.position - previous)))
             offset = offsets[-1] + step
-            if offset > preview_distance:
+            if offset > collect_distance:
                 break
             poses.append(waypoint.pose)
             offsets.append(offset)
+            steps.append(step)
+            directions.append(waypoint.direction)
             previous = waypoint.position
-        times = time + np.asarray(offsets) / speed
-        if not self._schedule_conflicts(poses, times, margin=0.1):
+        offset_array = np.asarray(offsets)
+        # The ego is only *committed* to the path up to the first pose, at
+        # or beyond its braking point, where it could wait indefinitely —
+        # outside every patrol's all-time reach (the corridor field's
+        # conservative bound).  Conflicts beyond that pose are not
+        # actionable now: the ego can re-decide there, with the crossing
+        # still ahead of it.  Conflicts inside the committed window are the
+        # real thing — over a plain aisle the window is a car length, and
+        # across a patrol corridor it automatically extends to the far side
+        # of the crossing, which is exactly where the stop/go decision must
+        # be made early.
+        rest_offset = envelope.rest_offset(current_speed)
+        # poses[0] is the live state (checked fresh); the rest are plan
+        # waypoints whose verdicts are memoized until the next replan.
+        in_corridor = [not self._pose_outside_patrol_reach(poses[0])]
+        for relative, pose in enumerate(poses[1:]):
+            key = nearest_index + 1 + relative
+            cached = self._waypoint_reach_cache.get(key)
+            if cached is None:
+                cached = self._pose_outside_patrol_reach(pose)
+                self._waypoint_reach_cache[key] = cached
+            in_corridor.append(not cached)
+        # A pose only counts as a re-decision point if, arriving there at
+        # schedule speed, the ego could still stop before the *next*
+        # corridor entry — a free pose right at a corridor's lip commits
+        # the ego just as surely as the corridor itself.
+        schedule_stop = envelope.stop_distance(schedule_speed) + 0.3
+        committed = len(poses)
+        for index in range(len(poses)):
+            if offset_array[index] < rest_offset or in_corridor[index]:
+                continue
+            entry = next(
+                (k for k in range(index + 1, len(poses)) if in_corridor[k]), None
+            )
+            if entry is None or offset_array[entry] - offset_array[index] > schedule_stop:
+                committed = index + 1
+                break
+        # Bracket the true tracking profile: the flat-schedule stamps bound
+        # the fastest possible arrival, the ramp-from-current-speed stamps
+        # the slowest, and the interval check covers everything between —
+        # a patrol cannot thread between two point hypotheses.
+        slow = time + self._preview_times(steps, directions, min(current_speed, 0.3))
+        if relaxed:
+            # Single realistic profile: launches happen from rest, so the
+            # ramp-from-current stamps are the honest prediction — the
+            # flat-schedule stamps would time a standing start far too
+            # early and bless a window the real launch cannot make.
+            lo = slow
+            hi = slow.copy()
+        else:
+            fast = time + self._preview_times(steps, directions, schedule_speed)
+            lo = np.minimum(fast, slow)
+            hi = np.maximum(fast, slow)
+        # The ego *dwells* at a gear switch (brake, reverse gear, relaunch):
+        # that pose is occupied for the whole pause, not one instant, and a
+        # patrol arriving mid-dwell is exactly the side hit this fixes.
+        for index in range(len(poses) - 1):
+            if directions[index + 1] != directions[index]:
+                hi[index] += 1.5
+        conflicted = self._schedule_conflicts_interval(
+            poses[:committed], lo[:committed], hi[:committed], margin=0.1
+        )
+        if not conflicted:
+            # Forced-dwell check, regardless of the committed cutoff: a
+            # gear-switch pose that grazes a corridor is a stop the ego
+            # *will* make — and pure pursuit delivers it there with up to
+            # ~0.3 m of lateral/heading slop, hence the inflated membership
+            # test.  A patrol due during the dwell must be waited out from
+            # upstream; once at the mouth it is too late to do anything.
+            for index in range(len(poses) - 1):
+                if directions[index + 1] != directions[index] and not (
+                    self._dwell_pose_outside_reach(nearest_index, index, poses[index])
+                ):
+                    # The dwell pose plus the crawl-speed launch zone right
+                    # after it — the stretch driven too slowly to outrun
+                    # anything.
+                    stop = index + 1
+                    while (
+                        stop < len(poses)
+                        and offset_array[stop] - offset_array[index] <= 1.5
+                    ):
+                        stop += 1
+                    if self._schedule_conflicts_interval(
+                        poses[index:stop],
+                        lo[index:stop],
+                        (hi[index:stop] + 2.0),
+                        margin=0.05,
+                    ):
+                        conflicted = True
+                        break
+        if not conflicted:
+            self._yield_hold_start = None
             return False
-        # A crossing is predicted through the upcoming window.  Waiting here
-        # is right unless a patrol would sweep through the *stopped*
-        # footprint itself — then keep moving and clear its corridor.
-        footprint = state.footprint(self.vehicle_params).inflated(0.1).to_polygon()
-        check_horizon = 4.0
-        step = max(0.2, timegrid.slice_dt / 2.0)
-        tau = 0.0
-        while tau <= check_horizon:
-            for obstacle in timegrid.obstacles_at(time + tau):
-                if shapes_collide(footprint, obstacle.box.to_polygon()):
-                    return False
-            tau += step
+        # A crossing is predicted through the committed window.  Braking
+        # ends at the rest pose, not here, and a yield may have to outlast
+        # several patrol cycles — so stop only where the ego can wait
+        # indefinitely.  A rest pose inside a corridor means stopping would
+        # park the ego in the patrol's path (the residual side-collision
+        # mode started exactly like that), so keep moving and clear it.
+        rest_count = int(np.searchsorted(offset_array, rest_offset))
+        rest = poses[: rest_count + 1][-1]
+        if not self._pose_outside_patrol_reach(rest):
+            return False
+        return self._hold_with_patience(time, current_speed)
+
+    def _hold_with_patience(self, time: float, current_speed: float) -> bool:
+        """Hold (return True), relaxing the check when patience runs out."""
+        if current_speed < 0.15:
+            if self._yield_hold_start is None:
+                self._yield_hold_start = time
+            elif time - self._yield_hold_start > 12.0:
+                self._yield_hold_start = None
+                self._yield_grace_until = time + 10.0
         return True
+
+    def _block_times(
+        self,
+        block_offsets: np.ndarray,
+        start_speed: float,
+        schedule_speed: float,
+        ends_with_switch: bool,
+    ) -> np.ndarray:
+        """Arrival times over one same-gear block of the reference path.
+
+        The speed at each offset is capped by the trapezoidal ramp from
+        ``start_speed`` toward the schedule (the incremental counterpart of
+        :meth:`BrakingEnvelope.arrival_times` — keep the two profile models
+        in step) and, when the block ends at a gear switch, by the
+        approaching-the-switch slowdown, mirroring :meth:`_target_speed`.
+        Stamping a block at the flat schedule speed under-estimates a
+        corridor crossing that ends at a gear switch by seconds, which is
+        exactly the error that hid a descending patrol from the forward
+        approach.
+        """
+        total = float(block_offsets[-1]) if len(block_offsets) else 0.0
+        acceleration = self._envelope.nominal_acceleration
+        v_start = max(0.05, abs(start_speed))
+        times = []
+        t = 0.0
+        previous_offset = 0.0
+        v_previous = v_start
+        for offset in block_offsets:
+            ramp = math.sqrt(v_start * v_start + 2.0 * acceleration * offset)
+            v_cap = min(schedule_speed, ramp)
+            if ends_with_switch:
+                v_cap = min(v_cap, 0.4 + 0.3 * (total - offset))
+            v_cap = max(0.25, v_cap)
+            step = offset - previous_offset
+            t += step / max(0.125, (v_previous + v_cap) / 2.0)
+            times.append(t)
+            previous_offset = offset
+            v_previous = v_cap
+        return np.asarray(times)
+
+    def _preview_times(self, steps, directions, first_speed: float) -> np.ndarray:
+        """Arrival stamps for a preview window that may cross gear switches.
+
+        ``steps``/``directions`` describe the waypoints *after* the current
+        pose (``len(steps)`` entries; ``directions`` carries one extra
+        leading entry for the current gear).  Within each same-direction
+        block :meth:`_block_times` projects the tracking speed schedule —
+        the first block from ``first_speed`` (the velocity-aware
+        hypothesis), later blocks from rest, because every gear switch
+        passes through zero speed — and each switch adds a one-second
+        gear-change pause.  Stamping the whole window at the current gear's
+        speed would time post-switch poses far too early, which is exactly
+        how a patrol crossing the *reverse* leg hides from a
+        still-driving-forward ego.
+        """
+        times = [0.0]
+        base_time = 0.0
+        block_speed = first_speed
+        index = 0
+        while index < len(steps):
+            block_direction = directions[index + 1]
+            stop = index
+            while stop < len(steps) and directions[stop + 1] == block_direction:
+                stop += 1
+            block_offsets = np.cumsum(steps[index:stop])
+            schedule = max(
+                0.3,
+                self.config.forward_speed
+                if block_direction > 0
+                else self.config.reverse_speed,
+            )
+            block_times = base_time + self._block_times(
+                block_offsets, block_speed, schedule, ends_with_switch=stop < len(steps)
+            )
+            times.extend(block_times.tolist())
+            base_time = float(block_times[-1])
+            if stop < len(steps):
+                base_time += 1.0
+                block_speed = 0.0
+            index = stop
+        return np.asarray(times)
+
+    def _corridor_polygons(self) -> list:
+        """Exact swept-corridor polygons of the patrols, built once.
+
+        A patrol's reachable set over all time is the union, over its
+        polyline segments, of the rectangle its box sweeps along the
+        segment (segment length plus box length, by box width), inflated
+        by the rotation slack at polyline corners.  Exactness matters: the
+        time layer's conservative corridor *field* over-covers by nearly
+        two metres of circle-and-slack slop, which is enough to make every
+        pose between two adjacent corridors look unsafe to wait at.
+        """
+        if self._corridor_polygons_cache is None:
+            polygons = []
+            timegrid = self.time_layer
+            if timegrid is not None:
+                for obstacle in timegrid.obstacles:
+                    box = obstacle.box
+                    if len(obstacle.waypoints) > 2:
+                        half_min = min(box.length, box.width) / 2.0
+                        slack = max(0.0, box.bounding_radius - half_min)
+                    else:
+                        slack = 0.0
+                    for (ax, ay), (bx, by) in zip(
+                        obstacle.waypoints[:-1], obstacle.waypoints[1:]
+                    ):
+                        segment = math.hypot(bx - ax, by - ay)
+                        polygons.append(
+                            OrientedBox(
+                                (ax + bx) / 2.0,
+                                (ay + by) / 2.0,
+                                segment + box.length + 2.0 * slack,
+                                box.width + 2.0 * slack,
+                                math.atan2(by - ay, bx - ax),
+                            ).to_polygon()
+                        )
+            self._corridor_polygons_cache = polygons
+        return self._corridor_polygons_cache
+
+    def _poses_outside_patrol_reach(self, poses, inflation: float = 0.0) -> bool:
+        """Whether the poses' bodies stay out of every patrol's corridor.
+
+        "Outside the corridor" means the ego could wait at the pose
+        *indefinitely* without any patrol ever touching it — exact SAT
+        against the swept-corridor polygons.
+        """
+        polygons = self._corridor_polygons()
+        if not polygons:
+            return True
+        for pose in poses:
+            footprint = self._pose_footprint(pose).inflated(inflation).to_polygon()
+            if any(shapes_collide(footprint, polygon) for polygon in polygons):
+                return False
+        return True
+
+    def _pose_outside_patrol_reach(self, pose: SE2) -> bool:
+        """Single-pose convenience wrapper of :meth:`_poses_outside_patrol_reach`."""
+        return self._poses_outside_patrol_reach([pose])
+
+    def _dwell_pose_outside_reach(
+        self, nearest_index: int, preview_index: int, pose: SE2
+    ) -> bool:
+        """Memoized tracking-error-inflated membership of a gear-switch pose."""
+        if preview_index == 0:
+            return self._poses_outside_patrol_reach([pose], inflation=0.3)
+        key = ("dwell", nearest_index + preview_index)
+        cached = self._waypoint_reach_cache.get(key)
+        if cached is None:
+            cached = self._poses_outside_patrol_reach([pose], inflation=0.3)
+            self._waypoint_reach_cache[key] = cached
+        return cached
+
+    def _staging_outside_patrol_reach(self, staging: SE2) -> bool:
+        """Whether a staging pose (and its approach band) can be waited at.
+
+        The follower hands over to the reverse segment up to its switch
+        tolerance *short* of the staging pose, so the band behind it is
+        checked too: a staging whose bumper pokes even centimetres into a
+        patrol's sweep offers no safe hold, and every stop/go decision
+        downstream degenerates into "cannot stop, cannot outrun".
+        """
+        poses = [
+            SE2(
+                staging.x - back * math.cos(staging.theta),
+                staging.y - back * math.sin(staging.theta),
+                staging.theta,
+            )
+            for back in (0.0, 0.8)
+        ]
+        return self._poses_outside_patrol_reach(poses, inflation=0.05)
+
+    def _emergency_brake_for_patrol(
+        self,
+        state: VehicleState,
+        time: float,
+        nearest_index: int,
+        direction: int,
+        horizon: float = 2.5,
+        step: float = 0.25,
+    ) -> bool:
+        """Brake when continuing is predicted to put the body under a patrol.
+
+        Patrol motion is an exact function of time, so the next few seconds
+        admit a direct body-vs-body prediction with no margins to argue
+        about: project the ego along its path at the current speed
+        ("continue") and through its braking envelope to rest ("stop"), and
+        compare both against the patrols at each instant.  Brake only when
+        continuing is predicted to be hit and stopping is not — the
+        margin-based yield can talk itself past a patrol that descends onto
+        a slow ego's overhang, because each preview pose is only examined
+        at its own stamp.
+        """
+        timegrid = self.time_layer
+        if timegrid is None or self._path is None:
+            return False
+        if abs(state.velocity) < 0.2:
+            # A (near-)stationary ego is not about to drive under anything:
+            # whether and when to move again is the yield's decision.  An
+            # emergency hold here would starve the yield of the frames it
+            # needs to time the release.
+            return False
+        speed = max(0.3, abs(state.velocity))
+        envelope = self._envelope
+        # Piecewise-linear path offsets for pose interpolation.
+        waypoints = self._path.waypoints[nearest_index:]
+        if not waypoints:
+            return False
+        offsets = [0.0]
+        poses = [SE2(state.x, state.y, state.heading)]
+        previous = state.position
+        for waypoint in waypoints[1:]:
+            offsets.append(offsets[-1] + float(np.hypot(*(waypoint.position - previous))))
+            poses.append(waypoint.pose)
+            previous = waypoint.position
+            if offsets[-1] > speed * horizon + 1.0:
+                break
+
+        def pose_at(offset: float) -> SE2:
+            index = int(np.searchsorted(offsets, offset))
+            if index <= 0:
+                return poses[0]
+            if index >= len(poses):
+                return poses[-1]
+            # Interpolate: waypoints can be over a metre apart, and snapping
+            # a half-metre stop projection to the next waypoint makes the
+            # "stop" hypothesis collide exactly like the "continue" one.
+            span = offsets[index] - offsets[index - 1]
+            fraction = (offset - offsets[index - 1]) / max(1e-9, span)
+            before = poses[index - 1]
+            after = poses[index]
+            return SE2(
+                before.x + fraction * (after.x - before.x),
+                before.y + fraction * (after.y - before.y),
+                normalize_angle(
+                    before.theta
+                    + fraction * normalize_angle(after.theta - before.theta)
+                ),
+            )
+
+        stop_distance = envelope.stop_distance(abs(state.velocity))
+        stop_time = envelope.stop_time(abs(state.velocity))
+        continue_hit = False
+        stop_hit = False
+        tau = step
+        while tau <= horizon and not (continue_hit and stop_hit):
+            obstacles = [obstacle.box.to_polygon() for obstacle in timegrid.obstacles_at(time + tau)]
+            if not continue_hit:
+                footprint = self._pose_footprint(pose_at(speed * tau)).to_polygon()
+                continue_hit = any(
+                    shapes_collide(footprint, polygon) for polygon in obstacles
+                )
+            if not stop_hit:
+                if tau >= stop_time:
+                    braked_offset = stop_distance
+                else:
+                    fraction = tau / max(stop_time, 1e-6)
+                    braked_offset = stop_distance * (2.0 - fraction) * fraction
+                footprint = self._pose_footprint(pose_at(braked_offset)).to_polygon()
+                stop_hit = any(
+                    shapes_collide(footprint, polygon) for polygon in obstacles
+                )
+            tau += step
+        return continue_hit and not stop_hit
+
+    def _pose_footprint(self, pose: SE2) -> OrientedBox:
+        """Body box at a rear-axle pose (same convention as ``state.footprint``)."""
+        params = self.vehicle_params
+        offset = params.center_offset
+        return OrientedBox(
+            pose.x + offset * math.cos(pose.theta),
+            pose.y + offset * math.sin(pose.theta),
+            params.length,
+            params.width,
+            pose.theta,
+        )
 
     def _pure_pursuit_steer(
         self, state: VehicleState, target: Waypoint, direction: int, lookahead: float

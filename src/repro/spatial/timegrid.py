@@ -293,17 +293,38 @@ class TimeGrid:
             polygons.append(box.to_polygon())
         return polygons
 
+    @property
+    def conflict_threshold(self) -> float:
+        """Default clearance (m) below which a predicted patrol is a conflict.
+
+        Derived from the ego's footprint instead of a hard-coded constant:
+        :meth:`time_to_conflict` queries the slice fields at the ego's pose
+        *reference point* (the rear axle), so the alarm ring must cover the
+        whole body as seen from there — the rear-axle-to-center offset plus
+        half the body diagonal (an upper bound on the farthest corner) —
+        plus this layer's interpolation slack.  Smaller vehicles get
+        proportionally earlier all-clears; larger ones a proportionally
+        wider ring.
+        """
+        params = self.vehicle_params
+        return (
+            params.center_offset
+            + math.hypot(params.length, params.width) / 2.0
+            + self.slack
+        )
+
     def time_to_conflict(
         self,
         position: np.ndarray,
         start_time: float = 0.0,
-        threshold: float = 0.6,
+        threshold: Optional[float] = None,
     ) -> Optional[float]:
         """Seconds until a dynamic obstacle is predicted within ``threshold``.
 
         Scans the slices from ``start_time`` forward and returns the delay
         until the first slice whose conservative clearance at ``position``
-        drops below ``threshold`` — the HSA complexity term's
+        drops below ``threshold`` (default: the footprint-derived
+        :attr:`conflict_threshold`) — the HSA complexity term's
         "predicted time-to-conflict".  ``None`` means no conflict is
         predicted inside the horizon, including when ``start_time`` is
         already beyond it (the slices would be stale there; callers that
@@ -314,6 +335,8 @@ class TimeGrid:
             return None
         if start_time >= self.horizon:
             return None
+        if threshold is None:
+            threshold = self.conflict_threshold
         position = np.asarray(position, dtype=float).reshape(1, 2)
         first = int(self.slice_index(np.array([max(0.0, start_time)]))[0])
         for index in range(first, self.num_slices):

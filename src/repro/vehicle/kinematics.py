@@ -143,19 +143,37 @@ class AckermannModel:
         states = np.zeros((horizon + 1, 4), dtype=float)
         states[0] = [state.x, state.y, state.heading, state.velocity]
         params = self.params
+        # This is the optimizer's innermost loop (every residual evaluation
+        # of every finite-difference column rolls the horizon out), so the
+        # control clips are hoisted into two vectorized calls and the
+        # propagation runs on plain floats — same operations in the same
+        # order, minus the per-step NumPy scalar overhead.
+        accelerations = np.clip(
+            controls[:, 0], -params.max_deceleration, params.max_acceleration
+        ).tolist()
+        steers = np.clip(controls[:, 1], -params.max_steer, params.max_steer).tolist()
+        dt = self.dt
+        min_velocity = -params.max_reverse_speed
+        max_velocity = params.max_speed
+        wheelbase = params.wheelbase
+        x = float(state.x)
+        y = float(state.y)
+        heading = float(state.heading)
+        velocity = float(state.velocity)
         for h in range(horizon):
-            x, y, heading, velocity = states[h]
-            acceleration = float(
-                np.clip(controls[h, 0], -params.max_deceleration, params.max_acceleration)
-            )
-            steer = float(np.clip(controls[h, 1], -params.max_steer, params.max_steer))
-            velocity = float(
-                np.clip(velocity + acceleration * self.dt, -params.max_reverse_speed, params.max_speed)
-            )
-            x = x + velocity * math.cos(heading) * self.dt
-            y = y + velocity * math.sin(heading) * self.dt
-            heading = normalize_angle(heading + velocity / params.wheelbase * math.tan(steer) * self.dt)
-            states[h + 1] = [x, y, heading, velocity]
+            velocity = velocity + accelerations[h] * dt
+            if velocity < min_velocity:
+                velocity = min_velocity
+            elif velocity > max_velocity:
+                velocity = max_velocity
+            x = x + velocity * math.cos(heading) * dt
+            y = y + velocity * math.sin(heading) * dt
+            heading = normalize_angle(heading + velocity / wheelbase * math.tan(steers[h]) * dt)
+            row = states[h + 1]
+            row[0] = x
+            row[1] = y
+            row[2] = heading
+            row[3] = velocity
         return states
 
     # ------------------------------------------------------------------

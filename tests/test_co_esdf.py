@@ -1,0 +1,335 @@
+"""Property-style tests for the ESDF-gradient CO constraint stack.
+
+The field formulation replaces per-(obstacle circle x ego circle x stage)
+hinge residuals with one hinge per (stage, ego circle) against the static
+distance field and the per-stage dynamic time slices.  These tests pin the
+pieces the solver relies on: the fused layer-indexed gather matching the
+per-field queries exactly, the builder's classification of detections into
+field-covered vs residual circles, the residual-stack bookkeeping, and the
+hinge/min-clearance algebra inside :class:`MPCProblem`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ControllerContext, EpisodeSpec, TimeLayerSpec
+from repro.co import (
+    CollisionConstraintSet,
+    COController,
+    FieldConstraintStack,
+    GaussNewtonSolver,
+    MPCProblem,
+)
+from repro.perception.detector import Detection, ObjectDetector
+from repro.geometry.shapes import OrientedBox
+from repro.vehicle.kinematics import AckermannModel
+from repro.vehicle.state import VehicleState
+from repro.world import DifficultyLevel, ScenarioConfig, SpawnMode, build_scenario
+from repro.world.world import ParkingWorld
+
+
+@pytest.fixture(scope="module")
+def patrol_context():
+    spec = EpisodeSpec(
+        method="co",
+        scenario=ScenarioConfig(
+            scenario_name="legacy",
+            difficulty=DifficultyLevel.NORMAL,
+            spawn_mode=SpawnMode.REMOTE,
+            seed=0,
+        ),
+        time_layer=TimeLayerSpec(enabled=True),
+    )
+    scenario = build_scenario(spec.scenario)
+    return scenario, ControllerContext(scenario, time_layer=spec.time_layer, dt=spec.dt)
+
+
+def _detections(scenario, time=0.0):
+    return ObjectDetector().detect(
+        VehicleState.from_pose(scenario.start_pose), scenario.obstacles, time=time
+    )
+
+
+class TestBuilderClassification:
+    def test_static_detections_leave_the_circle_list(self, patrol_context):
+        scenario, context = patrol_context
+        constraint_set = CollisionConstraintSet(
+            context.vehicle_params,
+            spatial_index=context.spatial_index,
+            timegrid=context.timegrid,
+        )
+        detections = _detections(scenario)
+        predictions, stack = constraint_set.build(
+            detections, 0.25, 10, ego_position=np.array(scenario.start_pose.position),
+            start_time=0.0,
+        )
+        assert stack is not None
+        assert stack.static_field is context.spatial_index.field
+        static_ids = {o.obstacle_id for o in context.spatial_index.obstacles}
+        leftover_ids = {p.obstacle_id for p in predictions}
+        assert not (leftover_ids & static_ids), "static obstacles must live in the field"
+
+    def test_patrol_detections_become_dynamic_slices(self, patrol_context):
+        scenario, context = patrol_context
+        constraint_set = CollisionConstraintSet(
+            context.vehicle_params,
+            spatial_index=context.spatial_index,
+            timegrid=context.timegrid,
+        )
+        patrol = context.timegrid.obstacles[0]
+        detection = Detection(
+            box=patrol.box,
+            velocity=np.array([0.0, patrol.speed]),
+            confidence=1.0,
+            obstacle_id=patrol.obstacle_id,
+        )
+        predictions, stack = constraint_set.build(
+            [detection], 0.25, 10, ego_position=np.array([0.0, 0.0]), start_time=1.0
+        )
+        assert predictions == []
+        assert stack.dynamic_fields is not None
+        assert len(stack.dynamic_fields) == 10
+        # Moving standoff largely subsumed by the swept-window raster.
+        assert stack.dynamic_clearance < stack.static_clearance + constraint_set.moving_standoff
+
+    def test_false_positives_stay_as_circles(self, patrol_context):
+        scenario, context = patrol_context
+        constraint_set = CollisionConstraintSet(
+            context.vehicle_params,
+            spatial_index=context.spatial_index,
+            timegrid=context.timegrid,
+        )
+        ghost = Detection(
+            box=OrientedBox(5.0, 5.0, 1.0, 1.0, 0.0),
+            velocity=np.zeros(2),
+            confidence=0.4,
+            obstacle_id=None,
+        )
+        predictions, stack = constraint_set.build(
+            [ghost], 0.25, 10, ego_position=np.array([5.0, 6.0]), start_time=0.0
+        )
+        assert len(predictions) == 1
+        assert stack is not None and stack.dynamic_fields is None
+
+    def test_disabled_flag_restores_circle_formulation(self, patrol_context):
+        scenario, context = patrol_context
+        constraint_set = CollisionConstraintSet(
+            context.vehicle_params,
+            spatial_index=context.spatial_index,
+            timegrid=context.timegrid,
+            use_field_constraints=False,
+        )
+        detections = _detections(scenario)
+        predictions, stack = constraint_set.build(
+            detections, 0.25, 10, ego_position=np.array(scenario.start_pose.position),
+            start_time=0.0,
+        )
+        assert stack is None
+        assert len(predictions) == len(
+            constraint_set.from_detections(
+                detections, 0.25, 10,
+                ego_position=np.array(scenario.start_pose.position), start_time=0.0,
+            )
+        )
+
+
+class TestFieldConstraintStack:
+    def _stack(self, context, horizon=10, start_time=0.0):
+        constraint_set = CollisionConstraintSet(
+            context.vehicle_params,
+            spatial_index=context.spatial_index,
+            timegrid=context.timegrid,
+        )
+        patrol = context.timegrid.obstacles[0]
+        detection = Detection(
+            box=patrol.box,
+            velocity=np.array([0.0, patrol.speed]),
+            confidence=1.0,
+            obstacle_id=patrol.obstacle_id,
+        )
+        _, stack = constraint_set.build(
+            [detection], 0.25, horizon, ego_position=np.array([0.0, 0.0]),
+            start_time=start_time,
+        )
+        return constraint_set, stack
+
+    def test_static_fast_path_matches_distance_field(self, patrol_context):
+        """The hoisted static query must stay bit-identical to the ESDF's own.
+
+        The bilinear conventions (half-cell centering, clamping, corner
+        blend) live in ``DistanceField.clearance``; this pins the stack's
+        lean copy to it so the two can never silently diverge.
+        """
+        _, context = patrol_context
+        _, stack = self._stack(context)
+        rng = np.random.RandomState(5)
+        points = rng.rand(200, 2) * 60.0 - 5.0
+        np.testing.assert_array_equal(
+            stack._static_values(points), stack.static_field.clearance(points)
+        )
+
+    def test_fused_gather_matches_per_field_queries(self, patrol_context):
+        _, context = patrol_context
+        _, stack = self._stack(context)
+        rng = np.random.RandomState(7)
+        centers = rng.rand(10, 3, 2) * 30.0 + np.array([10.0, 0.0])
+        fused = stack._dynamic_values(centers)
+        reference = np.concatenate(
+            [stack.dynamic_fields[h].clearance(centers[h]) for h in range(10)]
+        )
+        np.testing.assert_array_equal(fused, reference)
+
+    def test_violations_are_hinges_of_clearance(self, patrol_context):
+        _, context = patrol_context
+        _, stack = self._stack(context)
+        rng = np.random.RandomState(3)
+        centers = rng.rand(10, 3, 2) * 40.0
+        violations = stack.violations(centers)
+        assert violations.shape == (2 * 10 * 3,)
+        assert np.all(violations >= 0.0)
+        static = stack.static_field.clearance(centers.reshape(-1, 2))
+        np.testing.assert_allclose(
+            violations[: 10 * 3], np.maximum(0.0, stack.static_clearance - static)
+        )
+
+    def test_min_clearance_consistent_with_violations(self, patrol_context):
+        _, context = patrol_context
+        _, stack = self._stack(context)
+        rng = np.random.RandomState(11)
+        centers = rng.rand(10, 3, 2) * 40.0
+        min_clearance = stack.min_clearance(centers)
+        violations = stack.violations(centers)
+        if min_clearance >= 0.0:
+            assert float(violations.max(initial=0.0)) == pytest.approx(0.0, abs=1e-12)
+        else:
+            assert float(violations.max()) == pytest.approx(-min_clearance, rel=1e-9)
+
+    def test_num_residuals_counts_blocks(self, patrol_context):
+        _, context = patrol_context
+        _, stack = self._stack(context)
+        assert stack.num_residuals(10, 3) == 60
+        static_only = FieldConstraintStack(
+            static_field=stack.static_field, static_clearance=1.0
+        )
+        assert static_only.num_residuals(10, 3) == 30
+
+    def test_short_dynamic_stack_rejected(self, patrol_context):
+        _, context = patrol_context
+        _, stack = self._stack(context, horizon=4)
+        with pytest.raises(ValueError):
+            stack.violations(np.zeros((6, 3, 2)))
+
+    def test_negative_clearance_rejected(self):
+        with pytest.raises(ValueError):
+            FieldConstraintStack(static_field=None, static_clearance=-1.0)
+
+
+class TestMPCIntegration:
+    def _problem(self, context, scenario, use_field):
+        constraint_set = CollisionConstraintSet(
+            context.vehicle_params,
+            spatial_index=context.spatial_index,
+            timegrid=context.timegrid,
+            use_field_constraints=use_field,
+        )
+        detections = _detections(scenario)
+        state = VehicleState.from_pose(scenario.start_pose)
+        predictions, stack = constraint_set.build(
+            detections, 0.25, 8, ego_position=state.position, start_time=0.0
+        )
+        model = AckermannModel(context.vehicle_params, dt=0.25)
+        references = np.tile(state.position, (8, 1)) + np.linspace(0, 2, 8)[:, None]
+        return MPCProblem(
+            model=model,
+            initial_state=state,
+            reference_positions=references,
+            obstacle_predictions=predictions,
+            field_constraint=stack,
+            ego_circle_offsets=constraint_set.ego_circle_offsets,
+            ego_circle_radius=constraint_set.ego_circle_radius,
+        )
+
+    def test_field_problem_residuals_shrink(self, patrol_context):
+        scenario, context = patrol_context
+        circle = self._problem(context, scenario, use_field=False)
+        field = self._problem(context, scenario, use_field=True)
+        controls = np.zeros((8, 2))
+        circle_collisions = circle.constraint_violations(circle.rollout(controls))
+        field_collisions = field.constraint_violations(field.rollout(controls))
+        # The field stack is bounded by 2 blocks x stages x ego circles no
+        # matter how many obstacles the scene holds; the circle stack grows
+        # with every covered obstacle.
+        assert field_collisions.size <= 2 * 8 * 3
+        assert field_collisions.size < circle_collisions.size
+
+    def test_solver_descends_on_field_problem(self, patrol_context):
+        scenario, context = patrol_context
+        problem = self._problem(context, scenario, use_field=True)
+        start = np.zeros((8, 2))
+        result = GaussNewtonSolver(max_iterations=6).solve(problem, initial_controls=start)
+        assert result.objective <= problem.objective(start) + 1e-9
+
+    def test_min_clearance_finite_with_field_only(self, patrol_context):
+        scenario, context = patrol_context
+        problem = self._problem(context, scenario, use_field=True)
+        assert np.isfinite(problem.min_clearance(np.zeros((8, 2))))
+
+
+class TestCOControllerFieldPath:
+    def test_solve_info_reports_collision_residuals(self, patrol_context):
+        scenario, context = patrol_context
+        for use_field, bound in ((True, 100), (False, 10_000)):
+            constraint_set = CollisionConstraintSet(
+                context.vehicle_params,
+                spatial_index=context.spatial_index,
+                timegrid=context.timegrid,
+                use_field_constraints=use_field,
+            )
+            controller = COController(
+                context.vehicle_params,
+                horizon=8,
+                dt=0.1,
+                constraint_set=constraint_set,
+            )
+            controller.set_reference_path(context.reference_path)
+            world = ParkingWorld(scenario, context.vehicle_params, dt=0.1)
+            detections = ObjectDetector().detect(
+                world.state, world.current_obstacles(), time=0.0
+            )
+            controller.act(world.state, detections, time=0.0)
+            info = controller.last_info
+            assert 0 < info.collision_residuals < bound
+
+
+class TestRolloutFastPath:
+    def test_rollout_matches_reference_loop(self):
+        """The optimized rollout must be bit-identical to the naive loop."""
+        import math
+
+        from repro.geometry.angles import normalize_angle
+        from repro.vehicle.params import VehicleParams
+
+        params = VehicleParams()
+        model = AckermannModel(params, dt=0.25)
+        state = VehicleState(x=3.0, y=10.0, heading=0.4, velocity=1.1, steer=0.05)
+        rng = np.random.RandomState(0)
+        controls = rng.randn(12, 2) * 2.0
+        states = model.rollout_controls_array(state, controls)
+        reference = np.zeros((13, 4))
+        reference[0] = [state.x, state.y, state.heading, state.velocity]
+        for h in range(12):
+            x, y, heading, velocity = reference[h]
+            accel = float(np.clip(controls[h, 0], -params.max_deceleration, params.max_acceleration))
+            steer = float(np.clip(controls[h, 1], -params.max_steer, params.max_steer))
+            velocity = float(
+                np.clip(velocity + accel * model.dt, -params.max_reverse_speed, params.max_speed)
+            )
+            x = x + velocity * math.cos(heading) * model.dt
+            y = y + velocity * math.sin(heading) * model.dt
+            heading = normalize_angle(
+                heading + velocity / params.wheelbase * math.tan(steer) * model.dt
+            )
+            reference[h + 1] = [x, y, heading, velocity]
+        assert np.array_equal(states, reference)

@@ -183,3 +183,99 @@ class TestBaselines:
         info = controller.step(state, easy_scenario.obstacles, easy_scenario.lot)
         assert info.co_solve_info is not None
         assert info.action.throttle >= 0.0
+
+
+class TestConflictEscalation:
+    """Final-approach CO escalation on a finite predicted time-to-conflict."""
+
+    def _confident(self, num_classes=30):
+        probabilities = np.full(num_classes, 1e-9)
+        probabilities[0] = 1.0
+        return probabilities / probabilities.sum()
+
+    def test_finite_conflict_on_final_approach_escalates(self):
+        model = HSAModel(ICOILConfig())
+        reading = model.update(
+            self._confident(), [], time_to_conflict=2.0, final_approach=True
+        )
+        assert reading.conflict_escalated
+        assert reading.use_co
+        assert reading.recommended_mode == "co"
+        assert reading.time_to_conflict == pytest.approx(2.0)
+
+    def test_no_conflict_keeps_il_on_final_approach(self):
+        model = HSAModel(ICOILConfig())
+        reading = model.update(
+            self._confident(), [], time_to_conflict=None, final_approach=True
+        )
+        assert not reading.conflict_escalated
+        assert not reading.use_co
+
+    def test_conflict_outside_final_approach_does_not_escalate(self):
+        model = HSAModel(ICOILConfig())
+        reading = model.update(
+            self._confident(), [], time_to_conflict=2.0, final_approach=False
+        )
+        assert not reading.conflict_escalated
+        # The conflict still raises the complexity term, which *lowers* the
+        # score — escalation is the only path that forces CO here.
+        assert not reading.use_co
+
+    def test_final_approach_distance_validated(self):
+        with pytest.raises(ValueError):
+            ICOILConfig(final_approach_distance=-1.0)
+
+
+class _ConflictTimegrid:
+    """Stub time layer reporting a constant predicted time-to-conflict."""
+
+    empty = False
+
+    def __init__(self, value=1.5):
+        self.value = value
+
+    def time_to_conflict(self, position, start_time=0.0, threshold=None):
+        return self.value
+
+
+class TestControllerHandoff:
+    def _make_controller(self, scenario, policy, vehicle_params, timegrid, config):
+        expert = ExpertDriver(scenario.lot, scenario.obstacles, vehicle_params)
+        path = expert.plan_reference(scenario.start_pose)
+        co = COController(vehicle_params, horizon=6)
+        controller = ICOILController(
+            policy, co, config=config, timegrid=timegrid
+        )
+        controller.prepare(path)
+        return controller
+
+    def test_escalation_overrides_guard_time(
+        self, easy_scenario, small_policy, vehicle_params
+    ):
+        """A finite conflict during final approach hands off to CO at once."""
+        config = ICOILConfig(guard_frames=1000, final_approach_distance=1e9)
+        controller = self._make_controller(
+            easy_scenario, small_policy, vehicle_params, _ConflictTimegrid(), config
+        )
+        controller._mode = DrivingMode.IL
+        controller._frames_since_switch = 0  # guard would normally block
+        state = VehicleState.from_pose(easy_scenario.start_pose)
+        info = controller.step(state, easy_scenario.obstacles, easy_scenario.lot, time=0.0)
+        assert info.mode is DrivingMode.CO
+        assert info.switched
+        assert info.hsa.conflict_escalated
+
+    def test_no_escalation_outside_final_approach(
+        self, easy_scenario, small_policy, vehicle_params
+    ):
+        """Far from the goal the guard time still rules the handoff."""
+        config = ICOILConfig(guard_frames=1000, final_approach_distance=0.0)
+        controller = self._make_controller(
+            easy_scenario, small_policy, vehicle_params, _ConflictTimegrid(), config
+        )
+        controller._mode = DrivingMode.IL
+        controller._frames_since_switch = 0
+        state = VehicleState.from_pose(easy_scenario.start_pose)
+        info = controller.step(state, easy_scenario.obstacles, easy_scenario.lot, time=0.0)
+        assert info.mode is DrivingMode.IL
+        assert not info.hsa.conflict_escalated

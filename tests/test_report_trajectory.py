@@ -79,3 +79,42 @@ def test_runs_against_repo_root_files():
     """The real accumulated trajectory files must always render."""
     code = report_trajectory.main([])
     assert code == 0
+
+
+def test_groups_rows_by_event_and_sha(tmp_path):
+    """Interleaved events regroup by (event, SHA); trends take one row per SHA."""
+    planner = tmp_path / "planner.json"
+    _write_lines(
+        planner,
+        [
+            {"event": "planner_bench_summary", "median_speedup": 9.0, "sha": "aaa1111"},
+            {"event": "dynamic_bench", "scenario": "legacy", "aware_parked": 5, "sha": "aaa1111"},
+            {"event": "planner_bench_summary", "median_speedup": 9.5, "sha": "aaa1111"},
+            {"event": "planner_bench_summary", "median_speedup": 11.0, "sha": "bbb2222"},
+            {"event": "dynamic_bench", "scenario": "legacy", "aware_parked": 6, "sha": "bbb2222"},
+        ],
+    )
+    out = tmp_path / "report.md"
+    code = report_trajectory.main(["--planner", str(planner), "--out", str(out)])
+    assert code == 0
+    text = out.read_text()
+    # SHA is a leading column and repeated same-SHA runs collapse in trends.
+    assert "| sha |" in text
+    assert "median_speedup trajectory: 9.5 -> 11" in text
+    assert "aware_parked trajectory: 5 -> 6" in text
+
+
+def test_unstamped_rows_keep_per_row_trends(tmp_path):
+    planner = tmp_path / "planner.json"
+    _write_lines(
+        planner,
+        [
+            {"event": "planner_bench_summary", "median_speedup": 3.0},
+            {"event": "planner_bench_summary", "median_speedup": 4.0},
+            {"event": "planner_bench_summary", "median_speedup": 5.0, "sha": "ccc3333"},
+        ],
+    )
+    out = tmp_path / "report.md"
+    code = report_trajectory.main(["--planner", str(planner), "--out", str(out)])
+    assert code == 0
+    assert "median_speedup trajectory: 3 -> 4 -> 5" in out.read_text()

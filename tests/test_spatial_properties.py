@@ -254,3 +254,64 @@ class TestTimeGridConservatism:
             timegrid.clearance_at(position[None, :], float(time))[0]
         ) - timegrid.slack
         assert bound <= 1e-9
+
+
+class TestConflictThreshold:
+    """The footprint-derived default of TimeGrid.time_to_conflict."""
+
+    def _timegrid(self):
+        from repro.world import DifficultyLevel, ScenarioConfig, SpawnMode, build_scenario
+        from repro.spatial import TimeGrid
+
+        scenario = build_scenario(
+            ScenarioConfig(
+                scenario_name="legacy",
+                difficulty=DifficultyLevel.NORMAL,
+                spawn_mode=SpawnMode.REMOTE,
+                seed=0,
+            )
+        )
+        return TimeGrid.from_scenario(scenario)
+
+    def test_threshold_derived_from_footprint(self):
+        import math
+
+        timegrid = self._timegrid()
+        params = timegrid.vehicle_params
+        expected = (
+            params.center_offset
+            + math.hypot(params.length, params.width) / 2.0
+            + timegrid.slack
+        )
+        assert timegrid.conflict_threshold == pytest.approx(expected)
+        assert timegrid.conflict_threshold > 0.6  # no longer the old constant
+
+    def test_threshold_covers_every_corner_from_rear_axle(self):
+        """The ring must contain the farthest body corner seen from the pose point."""
+        import math
+
+        timegrid = self._timegrid()
+        params = timegrid.vehicle_params
+        farthest_corner = math.hypot(
+            params.length - params.rear_overhang, params.width / 2.0
+        )
+        assert timegrid.conflict_threshold >= farthest_corner
+
+    def test_default_threshold_flags_earlier_than_old_constant(self):
+        """The wider body-derived ring can only move conflicts earlier."""
+        import numpy as np
+
+        timegrid = self._timegrid()
+        position = np.array(timegrid.obstacles[0].waypoints[0])
+        derived = timegrid.time_to_conflict(position, start_time=0.0)
+        legacy = timegrid.time_to_conflict(position, start_time=0.0, threshold=0.6)
+        assert derived is not None
+        if legacy is not None:
+            assert derived <= legacy
+
+    def test_explicit_threshold_still_honoured(self):
+        import numpy as np
+
+        timegrid = self._timegrid()
+        far = np.array([0.0, 0.0])
+        assert timegrid.time_to_conflict(far, threshold=1e-3) is None
