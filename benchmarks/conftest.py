@@ -10,8 +10,13 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import ICOILConfig
+from repro.core.determinism import check_hash_seed
 from repro.eval.runner import EpisodeRunner
 from repro.eval.training import train_default_policy
+
+# Benchmarks append to shared BENCH_*.json trajectories: make an unpinned
+# hash seed loud before any record is produced.
+check_hash_seed()
 
 
 @pytest.fixture(scope="session")

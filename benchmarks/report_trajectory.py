@@ -11,10 +11,15 @@ batch throughput, dynamic success rates) computed over the last row of
 each revision group — repeated runs at one revision no longer masquerade
 as a trend.
 
+With ``--svg-dir`` the script additionally renders dependency-free SVG
+trend plots: one file per ``(bench file, event, metric)``, one polyline per
+series (scenario/method/backend combination), one point per revision group.
+
 Usage::
 
     python benchmarks/report_trajectory.py                # repo-root files
     python benchmarks/report_trajectory.py --planner p.json --out REPORT.md
+    python benchmarks/report_trajectory.py --svg-dir artifacts/trends
 
 Exits non-zero only on unreadable input; missing files simply produce an
 empty section, so the report runs on fresh clones too.
@@ -144,6 +149,151 @@ def _trend(rows: List[dict], key: str) -> Optional[str]:
     return f"{key} trajectory: {' -> '.join(_format_value(v) for v in values)}"
 
 
+# ----------------------------------------------------------------------
+# SVG trend plots
+# ----------------------------------------------------------------------
+
+# Numeric columns that parameterize a run rather than measure it.
+_NON_METRIC_KEYS = frozenset({"episodes", "workers", "seed", "seeds", "repeats"})
+
+_SVG_PALETTE = ("#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b")
+
+
+def _series_label(row: dict) -> str:
+    parts = [str(row[k]) for k in ("scenario", "method", "backend") if row.get(k)]
+    return "/".join(parts) if parts else "all"
+
+
+def _series_history(rows: List[dict], key: str) -> "OrderedDict[str, List[tuple]]":
+    """Per-series ``[(sha, value), ...]`` trajectories for one metric.
+
+    Mirrors :func:`_per_sha_single`'s grouping — repeat runs at one revision
+    collapse to the latest row — but keeps every series instead of bailing
+    out on multi-series events: each series becomes its own polyline.
+    """
+    history: "OrderedDict[str, OrderedDict[str, float]]" = OrderedDict()
+    unstamped = 0
+    for row in rows:
+        value = row.get(key)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        sha = str(row.get("sha", _NO_SHA))
+        if sha == _NO_SHA:
+            unstamped += 1
+            sha = f"{_NO_SHA}#{unstamped}"
+        history.setdefault(_series_label(row), OrderedDict())[sha] = float(value)
+    return OrderedDict(
+        (label, list(by_sha.items())) for label, by_sha in history.items()
+    )
+
+
+def _svg_escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def render_trend_svg(title: str, series: "OrderedDict[str, List[tuple]]") -> str:
+    """Hand-written SVG line chart: one polyline per series, x = revision."""
+    width, height = 720, 280
+    left, right, top, bottom = 60, 16, 30, 60
+    plot_w, plot_h = width - left - right, height - top - bottom
+
+    shas: List[str] = []
+    for points in series.values():
+        for sha, _ in points:
+            if sha not in shas:
+                shas.append(sha)
+    values = [value for points in series.values() for _, value in points]
+    vmin, vmax = min(values), max(values)
+    if vmax == vmin:
+        vmin, vmax = vmin - 1.0, vmax + 1.0
+    span = vmax - vmin
+    vmin -= 0.05 * span
+    vmax += 0.05 * span
+
+    def x_at(sha: str) -> float:
+        if len(shas) == 1:
+            return left + plot_w / 2
+        return left + plot_w * shas.index(sha) / (len(shas) - 1)
+
+    def y_at(value: float) -> float:
+        return top + plot_h * (1.0 - (value - vmin) / (vmax - vmin))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" font-family="monospace" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{left}" y="18" font-size="13">{_svg_escape(title)}</text>',
+    ]
+    for tick in range(5):
+        value = vmin + (vmax - vmin) * tick / 4
+        y = y_at(value)
+        parts.append(
+            f'<line x1="{left}" y1="{y:.1f}" x2="{width - right}" y2="{y:.1f}" '
+            'stroke="#ddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{left - 6}" y="{y + 4:.1f}" text-anchor="end">'
+            f"{_svg_escape(_format_value(round(value, 3)))}</text>"
+        )
+    for sha in shas:
+        x = x_at(sha)
+        label = sha.split("#")[0]
+        parts.append(
+            f'<text x="{x:.1f}" y="{height - bottom + 16}" text-anchor="middle">'
+            f"{_svg_escape(label)}</text>"
+        )
+    for index, (label, points) in enumerate(series.items()):
+        color = _SVG_PALETTE[index % len(_SVG_PALETTE)]
+        coords = " ".join(f"{x_at(sha):.1f},{y_at(value):.1f}" for sha, value in points)
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        for sha, value in points:
+            parts.append(
+                f'<circle cx="{x_at(sha):.1f}" cy="{y_at(value):.1f}" r="3" '
+                f'fill="{color}"/>'
+            )
+        parts.append(
+            f'<text x="{left}" y="{height - bottom + 32 + 13 * index}" fill="{color}">'
+            f"{_svg_escape(label)}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def _slug(text: str) -> str:
+    return "".join(ch if ch.isalnum() or ch in "-_" else "-" for ch in text)
+
+
+def write_trend_svgs(
+    named_entries: Iterable[tuple], out_dir: Path
+) -> List[Path]:
+    """One SVG per ``(bench file, event, metric)`` with SHA-grouped points."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for name, entries in named_entries:
+        stem = Path(name).stem
+        for event, rows in group_by_event(entries).items():
+            metrics = []
+            for row in rows:
+                for key, value in row.items():
+                    if key in _NON_METRIC_KEYS or key in metrics:
+                        continue
+                    if isinstance(value, bool) or not isinstance(value, (int, float)):
+                        continue
+                    metrics.append(key)
+            for metric in metrics:
+                series = _series_history(rows, metric)
+                if not series:
+                    continue
+                path = out_dir / f"{_slug(stem)}__{_slug(event)}__{_slug(metric)}.svg"
+                path.write_text(
+                    render_trend_svg(f"{event}: {metric}", series), encoding="utf-8"
+                )
+                written.append(path)
+    return written
+
+
 def render_report(planner_entries: List[dict], throughput_entries: List[dict]) -> str:
     sections: List[str] = ["# Benchmark trajectory", ""]
     named = (
@@ -162,7 +312,12 @@ def render_report(planner_entries: List[dict], throughput_entries: List[dict]) -
             sections.append("")
             sections.extend(markdown_table(rows))
             sections.append("")
-            for key in ("median_speedup", "episodes_per_sec", "aware_parked"):
+            for key in (
+                "median_speedup",
+                "episodes_per_sec",
+                "aware_parked",
+                "process_eps",
+            ):
                 trend = _trend(rows, key)
                 if trend is not None:
                     sections.append(f"_{trend}_")
@@ -184,9 +339,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", type=Path, default=None,
         help="write the markdown report here instead of stdout",
     )
+    parser.add_argument(
+        "--svg-dir", type=Path, default=None,
+        help="also render SVG trend plots (one per event/metric) into this directory",
+    )
     args = parser.parse_args(argv)
     try:
-        report = render_report(load_lines(args.planner), load_lines(args.throughput))
+        planner_entries = load_lines(args.planner)
+        throughput_entries = load_lines(args.throughput)
+        report = render_report(planner_entries, throughput_entries)
+        if args.svg_dir is not None:
+            written = write_trend_svgs(
+                (
+                    (args.planner.name, planner_entries),
+                    (args.throughput.name, throughput_entries),
+                ),
+                args.svg_dir,
+            )
+            print(f"wrote {len(written)} trend SVGs to {args.svg_dir}", file=sys.stderr)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

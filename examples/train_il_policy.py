@@ -17,12 +17,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.eval.experiments import fig5_steering_experiment
+from repro.core import check_hash_seed
 from repro.il import ILPolicy, ILTrainer, collect_demonstrations
 from repro.vehicle.actions import ActionSpace
 from repro.world.scenario import DifficultyLevel, ScenarioConfig, SpawnMode
 
 
 def main() -> None:
+    check_hash_seed()
     action_space = ActionSpace()
     print("Collecting expert demonstrations ...")
     dataset = collect_demonstrations(

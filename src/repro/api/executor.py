@@ -12,19 +12,29 @@ Two backends share that contract:
 * ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; cheap to
   spin up, but episode stepping is pure Python so throughput is bounded by
   the GIL.
-* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`; specs
-  cross the process boundary through their JSON-safe ``to_dict`` /
-  ``from_dict`` round-trip (the same contract distributed execution uses),
-  workers cache the unpickled policy/params once per process, and each
-  returns only the ``(result, trace)`` pair so IPC stays light.  Because
-  scenarios and sessions are seed-deterministic, both backends produce
+* ``"process"`` — a persistent :class:`~repro.serve.pool.WarmPool` of
+  spawn workers, created lazily on first use and reused across batches;
+  specs cross the process boundary through their JSON-safe ``to_dict`` /
+  ``from_dict`` round-trip (the same contract distributed execution uses).
+  Each worker installs a shared-memory spatial cache
+  (:class:`~repro.serve.cache.CachedSpatialProvider`), so scenarios are
+  rasterized once pool-wide instead of once per episode; each task returns
+  only the ``(result, trace)`` pair plus cache statistics, so IPC stays
+  light.  Because scenarios and sessions are seed-deterministic (and cached
+  structures are byte-identical to local builds), both backends produce
   bitwise-identical :class:`EpisodeResult` sequences.
 
+``reuse_results=True`` additionally memoizes whole episodes by their spec's
+cache key: repeated specs — the common case in serving traces — are
+answered with the stored bitwise-identical outcome, and each batch computes
+only its unique specs.  Summaries always disclose the split (unique
+episodes, hit rate), so cached throughput is never mistaken for compute.
+
 After each batch the executor emits a one-line JSON throughput summary
-(episodes run, wall time, episodes/sec, backend) so benchmark harnesses can
-track batch throughput across revisions; pass ``bench_path`` to append the
-same line to a ``BENCH_*.json`` trajectory file (one JSON object per line,
-append-per-run).
+(episodes run, wall time, episodes/sec, backend, cache hit rates) so
+benchmark harnesses can track batch throughput across revisions; pass
+``bench_path`` to append the same line to a ``BENCH_*.json`` trajectory
+file (one JSON object per line, append-per-run).
 """
 
 from __future__ import annotations
@@ -33,7 +43,7 @@ import json
 import os
 import sys
 import time as time_module
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -51,33 +61,16 @@ from repro.api.trace import EpisodeTrace
 BACKENDS = ("thread", "process")
 
 
-# ---------------------------------------------------------------------------
-# Process-backend worker machinery (module level: must be picklable by spawn)
-# ---------------------------------------------------------------------------
-_WORKER_STATE: Dict[str, object] = {}
-
-
-def _process_worker_init(il_policy: Optional[ILPolicy], vehicle_params: VehicleParams) -> None:
-    """Cache the shared read-only inputs once per worker process."""
-    _WORKER_STATE["il_policy"] = il_policy
-    _WORKER_STATE["vehicle_params"] = vehicle_params
-
-
-def _process_run_spec(payload: dict) -> Tuple[EpisodeResult, EpisodeTrace]:
-    """Rebuild one spec from its dict form and run it in this worker."""
-    spec = EpisodeSpec.from_dict(payload)
-    session = ParkingSession(
-        spec,
-        il_policy=_WORKER_STATE.get("il_policy"),
-        vehicle_params=_WORKER_STATE.get("vehicle_params"),
-    )
-    outcome = session.run()
-    return outcome.result, outcome.trace
-
-
 @dataclass(frozen=True)
 class BatchSummary:
-    """Throughput of one executed batch."""
+    """Throughput of one executed batch.
+
+    ``num_unique_episodes`` / ``result_cache_hits`` expose the result-memo
+    split (equal to the episode count / zero when reuse is disabled);
+    ``spatial_cache_hits`` / ``spatial_cache_misses`` aggregate the warm
+    workers' spatial-structure requests (zero on the thread backend, which
+    shares structures in-process implicitly).
+    """
 
     method: str
     num_episodes: int
@@ -86,9 +79,31 @@ class BatchSummary:
     episodes_per_second: float
     num_workers: int
     backend: str = "thread"
+    num_unique_episodes: Optional[int] = None
+    result_cache_hits: int = 0
+    spatial_cache_hits: int = 0
+    spatial_cache_misses: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of requested episodes answered from the result memo."""
+        if self.num_episodes <= 0:
+            return 0.0
+        return self.result_cache_hits / self.num_episodes
+
+    @property
+    def spatial_cache_hit_rate(self) -> float:
+        """Fraction of worker spatial requests served from memo/shared memory."""
+        total = self.spatial_cache_hits + self.spatial_cache_misses
+        return self.spatial_cache_hits / total if total else 0.0
 
     def to_json_line(self) -> str:
         """One compact JSON line (the ``BENCH_*.json`` ingestion format)."""
+        unique = (
+            self.num_unique_episodes
+            if self.num_unique_episodes is not None
+            else self.num_episodes
+        )
         return json.dumps(
             {
                 "event": "batch_summary",
@@ -99,6 +114,9 @@ class BatchSummary:
                 "episodes_per_sec": round(self.episodes_per_second, 3),
                 "workers": self.num_workers,
                 "backend": self.backend,
+                "unique_episodes": unique,
+                "cache_hit_rate": round(self.cache_hit_rate, 4),
+                "spatial_hit_rate": round(self.spatial_cache_hit_rate, 4),
             },
             separators=(",", ":"),
         )
@@ -139,8 +157,19 @@ class BatchExecutor:
         ``"thread"`` (default) or ``"process"``.  The process backend
         requires the default controller registry (worker processes rebuild
         it at import time; dynamically registered methods would not exist
-        there) and pays a per-pool fork cost, in exchange for true
-        multi-core scaling of CPU-bound batches.
+        there).  It routes through a persistent
+        :class:`~repro.serve.pool.WarmPool` created lazily on first use:
+        the spawn cost is paid once, after which workers keep their policy
+        instances and shared-memory spatial caches warm across batches.
+        Call :meth:`close` (or use the executor as a context manager) to
+        release the pool and its cache segments.
+    reuse_results:
+        When ``True``, memoize whole episode outcomes by spec cache key:
+        repeated specs (within or across batches) are answered with the
+        stored bitwise-identical ``(result, trace)`` without recomputing.
+        Sound because episodes are deterministic functions of their spec;
+        summaries always report the unique/ cached split.  Default off —
+        benchmark arms measuring raw compute should leave it off.
     summary_stream:
         Where the one-line JSON summary is written after each batch
         (default: whatever ``sys.stderr`` is at emit time, so redirection
@@ -161,6 +190,7 @@ class BatchExecutor:
         registry: Optional[ControllerRegistry] = None,
         max_workers: Optional[int] = None,
         backend: str = "thread",
+        reuse_results: bool = False,
         summary_stream=_STDERR,
         bench_path: Optional[Union[str, Path]] = None,
     ) -> None:
@@ -181,6 +211,13 @@ class BatchExecutor:
         self.backend = backend
         self.summary_stream = summary_stream
         self.bench_path = Path(bench_path) if bench_path is not None else None
+        self._warm_pool = None
+        if reuse_results:
+            from repro.serve.cache import EpisodeResultCache
+
+            self._result_cache = EpisodeResultCache()
+        else:
+            self._result_cache = None
 
     # ------------------------------------------------------------------
     # Execution
@@ -189,6 +226,42 @@ class BatchExecutor:
         if self.max_workers is not None:
             return min(self.max_workers, max(1, num_episodes))
         return max(1, min(num_episodes, os.cpu_count() or 1, 8))
+
+    def _warm_pool_size(self) -> int:
+        """The persistent pool's size: independent of any one batch's size."""
+        if self.max_workers is not None:
+            return self.max_workers
+        return max(1, min(os.cpu_count() or 1, 8))
+
+    def _ensure_warm_pool(self):
+        if self._warm_pool is None or self._warm_pool.closed:
+            # Imported lazily: repro.serve layers *above* repro.api, and the
+            # thread backend must work without it.
+            from repro.serve.pool import WarmPool
+
+            self._warm_pool = WarmPool(
+                self._warm_pool_size(),
+                il_policy=self.il_policy,
+                vehicle_params=self.vehicle_params,
+            )
+        return self._warm_pool
+
+    @property
+    def result_cache(self):
+        """The :class:`EpisodeResultCache` when ``reuse_results``, else ``None``."""
+        return self._result_cache
+
+    def close(self) -> None:
+        """Release the warm worker pool and its shared-memory segments."""
+        if self._warm_pool is not None:
+            self._warm_pool.close()
+            self._warm_pool = None
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _run_one(self, spec: EpisodeSpec) -> SessionOutcome:
         session = ParkingSession(
@@ -203,17 +276,10 @@ class BatchExecutor:
         self, specs: Sequence[EpisodeSpec], workers: int
     ) -> List[Tuple[EpisodeResult, EpisodeTrace]]:
         """Run the specs on the configured backend, preserving order."""
+        if not specs:
+            return []
         if self.backend == "process" and workers > 1:
-            payloads = [spec.to_dict() for spec in specs]
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_process_worker_init,
-                initargs=(self.il_policy, self.vehicle_params),
-            ) as pool:
-                # map preserves submission order regardless of completion
-                # order; chunksize 1 keeps long episodes from serialising
-                # behind each other on one worker.
-                return list(pool.map(_process_run_spec, payloads, chunksize=1))
+            return self._ensure_warm_pool().run_specs(specs)
         if workers == 1:
             outcomes: List[SessionOutcome] = [self._run_one(spec) for spec in specs]
         else:
@@ -223,6 +289,49 @@ class BatchExecutor:
                 # independent of worker scheduling.
                 outcomes = list(pool.map(self._run_one, specs))
         return [(outcome.result, outcome.trace) for outcome in outcomes]
+
+    def _run_memoized(
+        self, specs: Sequence[EpisodeSpec], workers: int
+    ) -> Tuple[List[Tuple[EpisodeResult, EpisodeTrace]], int, int]:
+        """Run specs through the result memo; returns (pairs, unique, hits).
+
+        Without ``reuse_results`` this is a straight pass-through.  With it,
+        each distinct spec (by cache key) is computed at most once — across
+        batches via the cache, within a batch via the owner map — and every
+        duplicate position receives the owner's exact pair.
+        """
+        if self._result_cache is None:
+            pairs = self._run_pairs(specs, workers)
+            return pairs, len(pairs), 0
+
+        pairs: List[Optional[Tuple[EpisodeResult, EpisodeTrace]]] = [None] * len(specs)
+        owners: Dict[str, int] = {}  # cache key -> index into to_run
+        to_run: List[EpisodeSpec] = []
+        pending: List[Tuple[int, str]] = []  # (position, cache key) to resolve
+        hits = 0
+        for position, spec in enumerate(specs):
+            key = spec.cache_key()
+            cached = self._result_cache.lookup(key)
+            if cached is not None:
+                pairs[position] = (cached[0], cached[1])
+                hits += 1
+                continue
+            if key in owners:
+                # In-batch duplicate of a spec already queued: reuse its
+                # outcome once computed (counts as a hit — no work is done).
+                pending.append((position, key))
+                hits += 1
+                continue
+            owners[key] = len(to_run)
+            to_run.append(spec)
+            pending.append((position, key))
+        computed = self._run_pairs(to_run, workers)
+        for spec, (result, trace) in zip(to_run, computed):
+            self._result_cache.store(spec.cache_key(), result, trace)
+        for position, key in pending:
+            result, trace = computed[owners[key]]
+            pairs[position] = (result, trace)
+        return pairs, len(to_run), hits
 
     def run_specs(self, specs: Sequence[EpisodeSpec], method: str = "mixed") -> BatchOutcome:
         """Run explicit episode specs, preserving their order in the results."""
@@ -235,17 +344,32 @@ class BatchExecutor:
             # Worker processes resolve methods against a freshly imported
             # default registry: only the built-ins are guaranteed to exist
             # there (under a spawn start method, runtime registrations made
-            # in this process never do).  Fail here, not mid-batch.
-            for spec in specs:
-                if spec.method not in BUILTIN_METHODS:
-                    raise ValueError(
-                        f"method {spec.method!r} is registered in this process only; "
-                        f"the process backend can run built-in methods {BUILTIN_METHODS} "
-                        "— use backend='thread' for runtime-registered methods"
-                    )
+            # in this process never do).  Fail here, not mid-batch, and name
+            # every offender at once so mixed batches are fixed in one pass.
+            missing = sorted(
+                {spec.method for spec in specs if spec.method not in BUILTIN_METHODS}
+            )
+            if missing:
+                names = ", ".join(repr(name) for name in missing)
+                raise ValueError(
+                    f"methods [{names}] are registered in this process only; "
+                    f"the process backend can run built-in methods {BUILTIN_METHODS} "
+                    "— use backend='thread' for runtime-registered methods"
+                )
+        spatial_before = self._warm_pool.stats() if self._warm_pool is not None else {}
         start = time_module.perf_counter()
-        pairs = self._run_pairs(specs, workers)
+        pairs, num_unique, result_hits = self._run_memoized(specs, workers)
         wall_time = time_module.perf_counter() - start
+
+        spatial_hits = 0
+        spatial_misses = 0
+        if self._warm_pool is not None:
+            for key, value in self._warm_pool.stats().items():
+                delta = value - spatial_before.get(key, 0)
+                if key.endswith("_hits"):
+                    spatial_hits += delta
+                elif key.endswith("_builds"):
+                    spatial_misses += delta
 
         results = tuple(result for result, _ in pairs)
         summary = BatchSummary(
@@ -256,6 +380,10 @@ class BatchExecutor:
             episodes_per_second=len(results) / wall_time if wall_time > 0 else float("inf"),
             num_workers=workers,
             backend=self.backend,
+            num_unique_episodes=num_unique,
+            result_cache_hits=result_hits,
+            spatial_cache_hits=spatial_hits,
+            spatial_cache_misses=spatial_misses,
         )
         self._emit_summary(summary)
         return BatchOutcome(

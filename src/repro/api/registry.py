@@ -22,7 +22,7 @@ from repro.perception.bev import BEVRenderer
 from repro.perception.detector import DetectionNoiseModel, ObjectDetector
 from repro.perception.noise import GaussianImageNoise, NoNoise
 from repro.planning.waypoints import WaypointPath
-from repro.spatial import SpatialIndex, TimeGrid
+from repro.spatial import SpatialIndex, TimeGrid, current_spatial_provider
 from repro.vehicle.actions import Action
 from repro.vehicle.params import VehicleParams
 from repro.vehicle.state import VehicleState
@@ -151,12 +151,18 @@ class ControllerContext:
         precomputed occupancy grid + ESDF.
         """
         if self._spatial_index is None:
-            self._spatial_index = SpatialIndex.from_scenario(
-                self.scenario, vehicle_params=self.vehicle_params
-            )
-            timegrid = self.timegrid
-            if timegrid is not None:
-                self._spatial_index.attach_time_layer(timegrid)
+            provider = current_spatial_provider()
+            if provider is not None:
+                self._spatial_index = provider.spatial_index(
+                    self.scenario, self.vehicle_params
+                )
+            if self._spatial_index is None:
+                self._spatial_index = SpatialIndex.from_scenario(
+                    self.scenario, vehicle_params=self.vehicle_params
+                )
+            # Always (re)attach: a provider may hand back an index shared
+            # with earlier episodes whose time-layer spec differed.
+            self._spatial_index.attach_time_layer(self.timegrid)
         return self._spatial_index
 
     @property
@@ -172,13 +178,19 @@ class ControllerContext:
             self._timegrid_built = True
             spec = self.time_layer_spec
             if spec.enabled and self.scenario.dynamic_obstacles:
-                self._timegrid = TimeGrid.from_scenario(
-                    self.scenario,
-                    vehicle_params=self.vehicle_params,
-                    horizon=spec.horizon,
-                    slice_dt=spec.slice_dt,
-                    resolution=spec.resolution,
-                )
+                provider = current_spatial_provider()
+                if provider is not None:
+                    self._timegrid = provider.timegrid(
+                        self.scenario, self.vehicle_params, spec
+                    )
+                if self._timegrid is None:
+                    self._timegrid = TimeGrid.from_scenario(
+                        self.scenario,
+                        vehicle_params=self.vehicle_params,
+                        horizon=spec.horizon,
+                        slice_dt=spec.slice_dt,
+                        resolution=spec.resolution,
+                    )
         return self._timegrid
 
     @property

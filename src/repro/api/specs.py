@@ -11,6 +11,8 @@ result caching.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -149,6 +151,16 @@ class EpisodeSpec:
     def with_seed(self, seed: int) -> "EpisodeSpec":
         """A copy of this spec with the scenario seed replaced."""
         return replace(self, scenario=replace(self.scenario, seed=seed))
+
+    def cache_key(self) -> str:
+        """SHA-256 over the canonical JSON form of :meth:`to_dict`.
+
+        Episodes are deterministic functions of their spec, so equal keys
+        mean bitwise-equal results — the contract result memoization in
+        ``repro.serve`` (and any distributed cache) relies on.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def to_dict(self) -> Dict[str, Any]:
         return {

@@ -14,6 +14,7 @@ This is the paper's primary contribution (§III–IV):
 """
 
 from repro.core.baselines import COOnlyController, ILOnlyController
+from repro.core.determinism import check_hash_seed
 from repro.core.config import ICOILConfig
 from repro.core.controller import DrivingMode, ICOILController, ICOILStepInfo
 from repro.core.hsa import HSAModel, HSAReading
@@ -21,6 +22,7 @@ from repro.core.hsa import HSAModel, HSAReading
 __all__ = [
     "COOnlyController",
     "DrivingMode",
+    "check_hash_seed",
     "HSAModel",
     "HSAReading",
     "ICOILConfig",

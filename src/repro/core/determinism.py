@@ -1,0 +1,49 @@
+"""Guards for the repository's bitwise-determinism contract.
+
+Every reproduction artifact (episode results, serving caches, benchmark
+trajectories) assumes that equal inputs yield byte-equal outputs.  One
+silent way to break that across *interpreter invocations* is Python's hash
+randomization: with ``PYTHONHASHSEED`` unset, ``hash(str)`` — and therefore
+any iteration order or key derived from it — changes per process.  The
+repository's own serialization paths are hash-order independent (canonical
+JSON with sorted keys), but user extensions frequently are not, and cache
+keys compared across machines must not depend on per-process state.
+
+:func:`check_hash_seed` is called from the example entry points and the
+benchmark harness so the footgun is loud at the point of use instead of
+surfacing as an inexplicable cache miss or diff much later.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+__all__ = ["check_hash_seed"]
+
+
+def check_hash_seed(*, warn: bool = True) -> bool:
+    """Return ``True`` iff ``PYTHONHASHSEED`` pins hash randomization.
+
+    A pinned seed is any digit string (``"0"`` disables randomization
+    entirely, any other integer fixes it).  When unset — or set to the
+    explicit ``"random"`` — this returns ``False`` and, unless ``warn`` is
+    disabled, emits a loud :class:`RuntimeWarning` explaining the risk and
+    the fix.  It never raises: runs remain valid, only cross-invocation
+    reproducibility of hash-dependent extensions is at stake.
+    """
+    value = os.environ.get("PYTHONHASHSEED")
+    pinned = value is not None and value.isdigit()
+    if not pinned and warn:
+        warnings.warn(
+            "PYTHONHASHSEED is "
+            + (f"set to {value!r}" if value is not None else "unset")
+            + ": Python hash randomization varies per process, so any "
+            "hash-ordered iteration or derived key will differ between "
+            "invocations. The built-in pipelines use canonical (sorted) "
+            "serialization and are unaffected, but for byte-stable runs of "
+            "custom extensions launch with e.g. PYTHONHASHSEED=0.",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return pinned

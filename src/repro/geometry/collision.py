@@ -33,10 +33,14 @@ def closest_point_on_segment(point: np.ndarray, start: np.ndarray, end: np.ndarr
     start = np.asarray(start, dtype=float).reshape(2)
     end = np.asarray(end, dtype=float).reshape(2)
     direction = end - start
-    length_sq = float(direction @ direction)
+    # Explicit multiply-add dots (not ``@``): BLAS dot products may fuse
+    # differently, and this helper must stay bit-identical to the broadcast
+    # batch in _segment_point_distances for every input.
+    length_sq = float(direction[0] * direction[0] + direction[1] * direction[1])
     if length_sq <= 1e-18:
         return start.copy()
-    t = float(np.clip((point - start) @ direction / length_sq, 0.0, 1.0))
+    dot = (point[0] - start[0]) * direction[0] + (point[1] - start[1]) * direction[1]
+    t = float(np.clip(dot / length_sq, 0.0, 1.0))
     return start + t * direction
 
 
@@ -128,30 +132,47 @@ def polygon_polygon_collision(a: ConvexPolygon, b: ConvexPolygon) -> bool:
     return not bool(separated.any())
 
 
+def _segment_point_distances(
+    starts: np.ndarray, directions: np.ndarray, points: np.ndarray
+) -> np.ndarray:
+    """Distance from every point to every segment, shape ``(S, P)``.
+
+    One broadcast evaluation of the same arithmetic as
+    :func:`closest_point_on_segment` followed by ``hypot`` — elementwise IEEE
+    operations in the identical order, so each entry is bit-identical to the
+    scalar pairwise computation (this is what keeps the vectorized
+    :func:`polygon_polygon_distance` exactly equal to its historical loop,
+    a property the cross-backend determinism suite relies on).
+    """
+    length_sq = directions[:, 0] * directions[:, 0] + directions[:, 1] * directions[:, 1]
+    rel_x = points[None, :, 0] - starts[:, None, 0]
+    rel_y = points[None, :, 1] - starts[:, None, 1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = (rel_x * directions[:, None, 0] + rel_y * directions[:, None, 1]) / length_sq[:, None]
+        t = np.clip(t, 0.0, 1.0)
+    # Degenerate segments collapse to their start point (t = 0), matching the
+    # scalar helper's early return.
+    t = np.where(length_sq[:, None] <= 1e-18, 0.0, t)
+    closest_x = starts[:, None, 0] + t * directions[:, None, 0]
+    closest_y = starts[:, None, 1] + t * directions[:, None, 1]
+    return np.hypot(points[None, :, 0] - closest_x, points[None, :, 1] - closest_y)
+
+
 def polygon_polygon_distance(a: ConvexPolygon, b: ConvexPolygon) -> float:
     """Approximate minimum distance between two convex polygons (0 if overlapping).
 
     Exact for the vertex-to-edge case, which dominates for the box shapes used
-    in the parking world.
+    in the parking world.  Both vertex-to-edge sweeps run as one broadcast
+    batch per polygon; the result is bit-identical to the historical
+    per-pair Python loop (see :func:`_segment_point_distances`).
     """
     if polygon_polygon_collision(a, b):
         return 0.0
-    best = math.inf
-    vertices_a = a.vertices()
-    vertices_b = b.vertices()
-    for i in range(vertices_a.shape[0]):
-        start = vertices_a[i]
-        end = vertices_a[(i + 1) % vertices_a.shape[0]]
-        for point in vertices_b:
-            closest = closest_point_on_segment(point, start, end)
-            best = min(best, float(np.hypot(*(point - closest))))
-    for i in range(vertices_b.shape[0]):
-        start = vertices_b[i]
-        end = vertices_b[(i + 1) % vertices_b.shape[0]]
-        for point in vertices_a:
-            closest = closest_point_on_segment(point, start, end)
-            best = min(best, float(np.hypot(*(point - closest))))
-    return best
+    vertices_a = a._vertices
+    vertices_b = b._vertices
+    best_ab = _segment_point_distances(vertices_a, a.edges(), vertices_b).min()
+    best_ba = _segment_point_distances(vertices_b, b.edges(), vertices_a).min()
+    return float(min(best_ab, best_ba))
 
 
 def shapes_collide(a: Shape, b: Shape) -> bool:

@@ -182,7 +182,14 @@ class OrientedBox:
         return bool(abs(local[0]) <= self.length / 2.0 and abs(local[1]) <= self.width / 2.0)
 
     def to_polygon(self) -> "ConvexPolygon":
-        return ConvexPolygon(tuple(map(tuple, self.vertices())))
+        # Cached: the same box is converted once per collision/distance query
+        # along the simulator's hot path, and the box (a frozen dataclass) can
+        # never change after construction.  Equality/hash ignore the cache.
+        cached = self.__dict__.get("_polygon_cache")
+        if cached is None:
+            cached = ConvexPolygon(tuple(map(tuple, self.vertices())))
+            self.__dict__["_polygon_cache"] = cached
+        return cached
 
     def translated(self, dx: float, dy: float) -> "OrientedBox":
         return OrientedBox(self.center_x + dx, self.center_y + dy, self.length, self.width, self.heading)
@@ -239,9 +246,18 @@ class ConvexPolygon:
         return self._vertices.copy()
 
     def edges(self) -> np.ndarray:
-        """Edge vectors ``v[i+1] - v[i]`` including the closing edge."""
-        vertices = self._vertices
-        return np.roll(vertices, -1, axis=0) - vertices
+        """Edge vectors ``v[i+1] - v[i]`` including the closing edge.
+
+        The array is computed once and cached (vertices are immutable after
+        construction); callers must treat it as read-only.
+        """
+        cached = self.__dict__.get("_edges_cache")
+        if cached is None:
+            vertices = self._vertices
+            cached = np.roll(vertices, -1, axis=0) - vertices
+            cached.setflags(write=False)
+            self.__dict__["_edges_cache"] = cached
+        return cached
 
     def contains(self, point: np.ndarray) -> bool:
         point = np.asarray(point, dtype=float).reshape(2)

@@ -16,7 +16,7 @@ reproduces that architecture in-process:
   used by the experiments to extract per-frame traces.
 """
 
-from repro.middleware.bus import MessageBus, Subscription
+from repro.middleware.bus import MessageBus, ScopedBus, Subscription
 from repro.middleware.executor import Executor
 from repro.middleware.messages import (
     BEVImageMessage,
@@ -41,6 +41,7 @@ __all__ = [
     "Message",
     "MessageBus",
     "Node",
+    "ScopedBus",
     "Subscription",
     "TopicRecorder",
 ]

@@ -84,3 +84,41 @@ class MessageBus:
     def publish_count(self, topic: str) -> int:
         """Number of messages ever published on a topic."""
         return self._publish_counts.get(topic, 0)
+
+
+class ScopedBus:
+    """A scope-prefixed view of a shared :class:`MessageBus`.
+
+    Every topic name is prefixed with ``"<scope>/"`` on the way through, so
+    many producers can share one bus without their streams colliding — the
+    serving layer runs one scope per client session, publishing that
+    session's ``StepEvent`` stream on ``"<scope>/session/step"`` while
+    subscribers on other scopes see nothing.  The view is duck-type
+    compatible with :class:`MessageBus` for publish/subscribe consumers
+    (notably :class:`~repro.api.session.ParkingSession`).
+    """
+
+    def __init__(self, bus: MessageBus, scope: str) -> None:
+        if not scope:
+            raise ValueError("scope must be non-empty")
+        self.bus = bus
+        self.scope = scope
+
+    def scoped_topic(self, topic: str) -> str:
+        """The underlying bus topic this view maps ``topic`` onto."""
+        return f"{self.scope}/{topic}"
+
+    def subscribe(self, topic: str, handler: MessageHandler, subscriber: str = "anonymous") -> Subscription:
+        return self.bus.subscribe(self.scoped_topic(topic), handler, subscriber=subscriber)
+
+    def publish(self, topic: str, message: Message) -> Message:
+        return self.bus.publish(self.scoped_topic(topic), message)
+
+    def latest(self, topic: str) -> Optional[Message]:
+        return self.bus.latest(self.scoped_topic(topic))
+
+    def publish_count(self, topic: str) -> int:
+        return self.bus.publish_count(self.scoped_topic(topic))
+
+    def subscriber_count(self, topic: str) -> int:
+        return self.bus.subscriber_count(self.scoped_topic(topic))

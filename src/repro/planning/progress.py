@@ -66,6 +66,10 @@ class SegmentedPathFollower:
         self.switch_tolerance = switch_tolerance
         self.segments = split_into_segments(path)
         self._segment_index = 0
+        # Waypoint positions as one (N, 2) matrix: nearest-waypoint queries
+        # run every control frame, and a per-waypoint Python loop dominates
+        # the follower's cost on long reference paths.
+        self._positions = np.array([waypoint.position for waypoint in path.waypoints], dtype=float)
 
     # ------------------------------------------------------------------
     # Progress
@@ -100,8 +104,11 @@ class SegmentedPathFollower:
         """Index of the nearest waypoint restricted to the current segment."""
         position = np.asarray(position, dtype=float).reshape(2)
         segment = self.current_segment
-        indices = range(segment.start_index, segment.end_index + 1)
-        distances = [float(np.hypot(*(self.path[i].position - position))) for i in indices]
+        # One elementwise hypot over the segment's waypoints; bit-identical
+        # to the historical per-waypoint loop (same IEEE ops, and argmin
+        # breaks ties on the first index either way).
+        deltas = self._positions[segment.start_index : segment.end_index + 1] - position
+        distances = np.hypot(deltas[:, 0], deltas[:, 1])
         return segment.start_index + int(np.argmin(distances))
 
     # ------------------------------------------------------------------

@@ -1,0 +1,42 @@
+"""Fleet-scale batch serving: shared caches, warm workers, session service.
+
+The experiment harness runs episodes one at a time; serving a fleet of
+simulated vehicles (the deployment setting of §V) instead demands
+throughput.  This package supplies the three layers that deliver it:
+
+* :class:`repro.serve.cache.SpatialCache` — scenario rasters (occupancy,
+  ESDF, goal heuristics, time-grid slices) packed into named
+  ``multiprocessing.shared_memory`` segments keyed by the scenario's
+  byte-identical serialization, with refcounted attach/release and explicit
+  unlink,
+* :class:`repro.serve.pool.WarmPool` — a persistent pool of spawn workers,
+  each holding its policy instance and a
+  :class:`~repro.serve.cache.CachedSpatialProvider` over the shared cache;
+  ``BatchExecutor(backend="process")`` routes through it,
+* :class:`repro.serve.service.ServeApp` — an asyncio session service
+  multiplexing concurrent :class:`~repro.api.session.ParkingSession` runs
+  over one scoped middleware bus, streaming per-step events to each client.
+
+All layers preserve the repository's core invariant: cached or shared
+structures are byte-identical to locally built ones, so serving results are
+bitwise-equal to single-process runs.
+"""
+
+from repro.serve.cache import (
+    CachedSpatialProvider,
+    EpisodeResultCache,
+    SpatialCache,
+    spatial_cache_key,
+)
+from repro.serve.pool import WarmPool
+from repro.serve.service import ServeApp, SessionHandle
+
+__all__ = [
+    "CachedSpatialProvider",
+    "EpisodeResultCache",
+    "ServeApp",
+    "SessionHandle",
+    "SpatialCache",
+    "WarmPool",
+    "spatial_cache_key",
+]

@@ -1,0 +1,576 @@
+"""Shared-memory spatial caches and deterministic result memoization.
+
+Profiling the batch executor showed every worker rebuilding each scenario's
+occupancy grid, ESDF, goal heuristic and TimeGrid slices from scratch on
+every episode — redundant work, because all of them are deterministic
+functions of the scenario.  This module removes the redundancy at two
+levels:
+
+* :class:`SpatialCache` — a refcounted registry of
+  ``multiprocessing.shared_memory`` blocks, each packing one scenario's
+  precomputed rasters (arrays + a JSON manifest) under a key derived from
+  the scenario's byte-identical serialization
+  (:func:`~repro.world.scenario.scenario_fingerprint`).  The first process
+  to build a scenario publishes; every other process attaches read-only
+  views in microseconds.  Lifecycle is explicit: ``close()`` drops local
+  mappings, ``unlink()`` removes segments, and
+  :meth:`SpatialCache.cleanup_orphans` sweeps segments left behind by
+  killed workers.
+* :class:`CachedSpatialProvider` — the
+  :mod:`repro.spatial.provider` hook implementation used by warm workers
+  and the serving app: an in-process memo in front of the shared-memory
+  cache, with per-source hit statistics.
+* :class:`EpisodeResultCache` — memoization of whole episode outcomes by
+  :meth:`EpisodeSpec.cache_key`.  Episodes are deterministic, so a repeated
+  spec (the common case in a serving trace: many clients requesting the
+  same scenario/method) is answered from cache with the *same* bitwise
+  result the computation produced.
+
+Everything here is transparent by construction: caches only ever return
+byte-identical copies of what the local build would have produced, and the
+executor records hit rates in its throughput summaries so cached and
+computed episodes are never conflated silently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.spatial import SpatialIndex, TimeGrid
+from repro.vehicle.params import VehicleParams
+from repro.world.scenario import scenario_fingerprint
+
+try:  # pragma: no cover - exercised on platforms without POSIX shm
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    resource_tracker = None
+    shared_memory = None
+
+DEFAULT_PREFIX = "icoil-sc"
+
+# Manifest header: 8-byte little-endian length of the JSON manifest that
+# follows; array payloads start at the next multiple of this alignment.
+_HEADER_BYTES = 8
+_ALIGNMENT = 64
+
+
+# ---------------------------------------------------------------------------
+# Cache keys
+# ---------------------------------------------------------------------------
+def spatial_cache_key(
+    scenario,
+    vehicle_params: Optional[VehicleParams] = None,
+    *,
+    kind: str = "index",
+    extra: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Deterministic key for one scenario's spatial structures.
+
+    Combines the scenario fingerprint (byte-identical serialization) with
+    the vehicle geometry and any structure-specific knobs (``extra``), so a
+    key collision implies byte-identical rasters.
+    """
+    payload = {
+        "kind": kind,
+        "scenario": scenario_fingerprint(scenario),
+        "vehicle": asdict(vehicle_params or VehicleParams()),
+        "extra": extra or {},
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Array <-> shared-memory packing
+# ---------------------------------------------------------------------------
+def _pack_layout(arrays: Dict[str, np.ndarray], meta: Dict[str, Any]):
+    """``(manifest_bytes, offsets, total_size)`` for one segment layout."""
+    entries = []
+    offset = 0
+    sized = {name: np.ascontiguousarray(array) for name, array in arrays.items()}
+    # Manifest length depends on offsets, which depend on the manifest
+    # length; reserve the data start after a first manifest draft and then
+    # re-emit with final offsets (entry digits can only shrink the draft).
+    draft = {
+        "meta": meta,
+        "arrays": [
+            {"name": name, "dtype": array.dtype.str, "shape": list(array.shape), "offset": 0}
+            for name, array in sized.items()
+        ],
+    }
+    draft_len = len(json.dumps(draft, sort_keys=True, separators=(",", ":")).encode("utf-8"))
+    # Generous slack for the real offsets' extra digits.
+    data_start = _aligned(_HEADER_BYTES + draft_len + 16 * len(sized) + _ALIGNMENT)
+    offset = data_start
+    for name, array in sized.items():
+        offset = _aligned(offset)
+        entries.append(
+            {"name": name, "dtype": array.dtype.str, "shape": list(array.shape), "offset": offset}
+        )
+        offset += array.nbytes
+    manifest = json.dumps(
+        {"meta": meta, "arrays": entries}, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if _HEADER_BYTES + len(manifest) > data_start:  # pragma: no cover - slack is generous
+        raise RuntimeError("shared-memory manifest overflowed its reserved slack")
+    return manifest, entries, max(offset, data_start), sized
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+def _untrack(shm) -> None:
+    """Opt this handle out of resource_tracker auto-unlink.
+
+    Python registers every opened segment with the per-process resource
+    tracker, which unlinks them when that process exits — killing
+    cross-process reuse the moment the first worker retires (and producing
+    double-unlink warnings).  Segment lifecycle here is explicit
+    (``unlink()`` / :meth:`SpatialCache.cleanup_orphans`), so tracking is
+    disabled on every create *and* attach.
+    """
+    if resource_tracker is None:  # pragma: no cover
+        return
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary per platform
+        pass
+
+
+def _unlink_quietly(shm) -> bool:
+    """Unlink a segment whose handle was previously untracked.
+
+    ``SharedMemory.unlink`` always sends its own *unregister* to the
+    resource tracker; since :func:`_untrack` already removed the entry, that
+    second message would make the tracker log a spurious ``KeyError``.
+    Re-registering immediately before unlinking keeps the tracker's books
+    balanced.  Returns ``False`` when the segment was already gone (the
+    double-unlink case), ``True`` otherwise.
+    """
+    if resource_tracker is not None:
+        try:
+            resource_tracker.register(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        # Already unlinked elsewhere; drop the registration we just added.
+        _untrack(shm)
+        return False
+    return True
+
+
+def _safe_close(shm) -> None:
+    """Close a mapping, tolerating still-exported numpy views.
+
+    Consumers may legitimately outlive the cache handle (an index attached
+    earlier in the episode); closing then raises :class:`BufferError`.  The
+    mapping is released when the last view dies with the process — never a
+    correctness issue, only a deferred munmap.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        pass
+
+
+class _Segment:
+    """One mapped shared-memory block plus its parsed contents."""
+
+    def __init__(self, shm, arrays: Dict[str, np.ndarray], meta: Dict[str, Any], owner: bool):
+        self.shm = shm
+        self.arrays = arrays
+        self.meta = meta
+        self.owner = owner
+        self.refcount = 1
+
+
+class SpatialCache:
+    """Refcounted registry of shared-memory spatial segments.
+
+    One instance per process (workers and parents create their own); the
+    segments themselves are system-wide, named ``"<prefix>-<key16>"``.
+    ``publish`` creates a segment from local arrays (or attaches when a
+    racing process won), ``attach`` maps an existing segment read-only,
+    ``release``/``close`` drop local mappings, and ``unlink``/
+    ``unlink_all``/``cleanup_orphans`` remove segments from the system.
+    """
+
+    def __init__(self, prefix: str = DEFAULT_PREFIX) -> None:
+        if shared_memory is None:  # pragma: no cover
+            raise RuntimeError("multiprocessing.shared_memory is unavailable on this platform")
+        self.prefix = prefix
+        self._segments: Dict[str, _Segment] = {}
+        self._lock = threading.Lock()
+        self.publishes = 0
+        self.attaches = 0
+        self.misses = 0
+
+    def segment_name(self, key: str) -> str:
+        return f"{self.prefix}-{key[:16]}"
+
+    # ------------------------------------------------------------------
+    # Publish / attach
+    # ------------------------------------------------------------------
+    def publish(self, key: str, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]) -> bool:
+        """Write ``arrays`` + ``meta`` into a new segment for ``key``.
+
+        Returns ``True`` when this process created the segment, ``False``
+        when another process already published it (the existing segment is
+        attached instead — contents are byte-identical by the key
+        contract).  Either way the segment is afterwards mapped locally
+        with refcount 1 (or bumped if already mapped).
+        """
+        with self._lock:
+            segment = self._segments.get(key)
+            if segment is not None:
+                segment.refcount += 1
+                return False
+            manifest, entries, total, sized = _pack_layout(arrays, meta)
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=self.segment_name(key), create=True, size=max(total, 1)
+                )
+            except FileExistsError:
+                pass
+            else:
+                _untrack(shm)
+                shm.buf[:_HEADER_BYTES] = len(manifest).to_bytes(_HEADER_BYTES, "little")
+                shm.buf[_HEADER_BYTES : _HEADER_BYTES + len(manifest)] = manifest
+                views: Dict[str, np.ndarray] = {}
+                for entry in entries:
+                    source = sized[entry["name"]]
+                    view = np.ndarray(
+                        tuple(entry["shape"]),
+                        dtype=np.dtype(entry["dtype"]),
+                        buffer=shm.buf,
+                        offset=entry["offset"],
+                    )
+                    view[...] = source
+                    view.flags.writeable = False
+                    views[entry["name"]] = view
+                self._segments[key] = _Segment(shm, views, dict(meta), owner=True)
+                self.publishes += 1
+                return True
+        # Raced with another publisher: fall through to a plain attach.
+        self.attach(key)
+        return False
+
+    def attach(self, key: str) -> Optional[Tuple[Dict[str, np.ndarray], Dict[str, Any]]]:
+        """Map the segment for ``key`` read-only; ``None`` when absent.
+
+        Repeated attaches reuse the local mapping and bump its refcount;
+        :meth:`release` undoes one attach.
+        """
+        with self._lock:
+            segment = self._segments.get(key)
+            if segment is not None:
+                segment.refcount += 1
+                self.attaches += 1
+                return segment.arrays, segment.meta
+            try:
+                shm = shared_memory.SharedMemory(name=self.segment_name(key))
+            except FileNotFoundError:
+                self.misses += 1
+                return None
+            _untrack(shm)
+            manifest_len = int.from_bytes(bytes(shm.buf[:_HEADER_BYTES]), "little")
+            manifest = json.loads(
+                bytes(shm.buf[_HEADER_BYTES : _HEADER_BYTES + manifest_len]).decode("utf-8")
+            )
+            arrays: Dict[str, np.ndarray] = {}
+            for entry in manifest["arrays"]:
+                view = np.ndarray(
+                    tuple(entry["shape"]),
+                    dtype=np.dtype(entry["dtype"]),
+                    buffer=shm.buf,
+                    offset=entry["offset"],
+                )
+                view.flags.writeable = False
+                arrays[entry["name"]] = view
+            segment = _Segment(shm, arrays, manifest["meta"], owner=False)
+            self._segments[key] = segment
+            self.attaches += 1
+            return segment.arrays, segment.meta
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` is currently mapped in this process."""
+        with self._lock:
+            return key in self._segments
+
+    def refcount(self, key: str) -> int:
+        """Local attach count for ``key`` (0 when unmapped)."""
+        with self._lock:
+            segment = self._segments.get(key)
+            return segment.refcount if segment is not None else 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def release(self, key: str) -> int:
+        """Undo one attach; unmaps locally when the count reaches zero.
+
+        Returns the remaining local refcount.  The segment itself survives
+        in the system until :meth:`unlink`.
+        """
+        with self._lock:
+            segment = self._segments.get(key)
+            if segment is None:
+                return 0
+            segment.refcount -= 1
+            if segment.refcount > 0:
+                return segment.refcount
+            del self._segments[key]
+            segment.arrays = {}
+            _safe_close(segment.shm)
+            return 0
+
+    def close(self) -> None:
+        """Drop every local mapping (segments stay alive system-wide)."""
+        with self._lock:
+            for segment in self._segments.values():
+                segment.arrays = {}
+                _safe_close(segment.shm)
+            self._segments.clear()
+
+    def unlink(self, key: str) -> bool:
+        """Remove ``key``'s segment from the system; safe to call twice.
+
+        Closes any local mapping first.  Returns ``True`` when a segment
+        was actually removed.
+        """
+        with self._lock:
+            segment = self._segments.pop(key, None)
+        if segment is not None:
+            segment.arrays = {}
+            _safe_close(segment.shm)
+            return _unlink_quietly(segment.shm)
+        try:
+            shm = shared_memory.SharedMemory(name=self.segment_name(key))
+        except FileNotFoundError:
+            return False
+        _untrack(shm)
+        shm.close()
+        return _unlink_quietly(shm)
+
+    def unlink_all(self) -> int:
+        """Unlink every locally known segment; returns how many were removed."""
+        with self._lock:
+            keys = list(self._segments)
+        return sum(1 for key in keys if self.unlink(key))
+
+    @staticmethod
+    def cleanup_orphans(prefix: str = DEFAULT_PREFIX) -> List[str]:
+        """Unlink every system segment under ``prefix``; returns their names.
+
+        The sweep for segments whose owning worker died without teardown
+        (SIGKILL, OOM): names are discovered by scanning the system's shm
+        directory, so no in-process bookkeeping is required.
+        """
+        removed: List[str] = []
+        for name in _list_segment_names(prefix):
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue
+            _untrack(shm)
+            shm.close()
+            if _unlink_quietly(shm):
+                removed.append(name)
+        return removed
+
+
+def _list_segment_names(prefix: str) -> List[str]:
+    """Names of live shared-memory segments under ``prefix`` (best effort)."""
+    import os
+
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux fallback
+        return []
+    return sorted(name for name in os.listdir(shm_dir) if name.startswith(f"{prefix}-"))
+
+
+# ---------------------------------------------------------------------------
+# Provider: in-process memo + shared-memory attach
+# ---------------------------------------------------------------------------
+class CachedSpatialProvider:
+    """:mod:`repro.spatial.provider` implementation backed by the shm cache.
+
+    Resolution order per request: in-process memo → shared-memory attach →
+    local build.  Local builds are *published lazily*: the worker calls
+    :meth:`flush` after each episode, so the published segment includes the
+    goal heuristics and TimeGrid slices the episode actually materialised —
+    the expensive parts later attachers most want.
+    """
+
+    _STAT_KEYS = (
+        "index_memo_hits",
+        "index_shm_hits",
+        "index_builds",
+        "timegrid_memo_hits",
+        "timegrid_shm_hits",
+        "timegrid_builds",
+    )
+
+    def __init__(self, cache: Optional[SpatialCache] = None) -> None:
+        self.cache = cache or SpatialCache()
+        self._indexes: Dict[str, SpatialIndex] = {}
+        self._timegrids: Dict[str, TimeGrid] = {}
+        self._pending: Dict[str, Tuple[str, object]] = {}  # key -> ("index"|"timegrid", obj)
+        self._lock = threading.RLock()
+        self.stats: Dict[str, int] = {key: 0 for key in self._STAT_KEYS}
+
+    # -- provider protocol ---------------------------------------------
+    def spatial_index(self, scenario, vehicle_params) -> SpatialIndex:
+        key = spatial_cache_key(scenario, vehicle_params, kind="index")
+        with self._lock:
+            index = self._indexes.get(key)
+            if index is not None:
+                self.stats["index_memo_hits"] += 1
+                return index
+            attached = self.cache.attach(key)
+            if attached is not None:
+                arrays, meta = attached
+                index = SpatialIndex.from_arrays(
+                    scenario.lot,
+                    scenario.static_obstacles,
+                    arrays,
+                    meta,
+                    vehicle_params=vehicle_params,
+                )
+                self.stats["index_shm_hits"] += 1
+            else:
+                index = SpatialIndex.from_scenario(scenario, vehicle_params=vehicle_params)
+                self.stats["index_builds"] += 1
+                self._pending[key] = ("index", index)
+            self._indexes[key] = index
+            return index
+
+    def timegrid(self, scenario, vehicle_params, time_layer_spec) -> TimeGrid:
+        key = spatial_cache_key(
+            scenario, vehicle_params, kind="timegrid", extra=time_layer_spec.to_dict()
+        )
+        with self._lock:
+            grid = self._timegrids.get(key)
+            if grid is not None:
+                self.stats["timegrid_memo_hits"] += 1
+                return grid
+            grid = TimeGrid.from_scenario(
+                scenario,
+                vehicle_params=vehicle_params,
+                horizon=time_layer_spec.horizon,
+                slice_dt=time_layer_spec.slice_dt,
+                resolution=time_layer_spec.resolution,
+            )
+            attached = self.cache.attach(key)
+            if attached is not None:
+                grid.attach_slice_arrays(attached[0])
+                self.stats["timegrid_shm_hits"] += 1
+            else:
+                self.stats["timegrid_builds"] += 1
+                self._pending[key] = ("timegrid", grid)
+            self._timegrids[key] = grid
+            return grid
+
+    # -- publication ----------------------------------------------------
+    def flush(self) -> int:
+        """Publish every locally built structure; returns segments created.
+
+        Called between episodes (not during), so the exported arrays are
+        settled for the scenarios already served.
+        """
+        published = 0
+        with self._lock:
+            pending = list(self._pending.items())
+            self._pending.clear()
+        for key, (kind, structure) in pending:
+            if kind == "index":
+                arrays, meta = structure.export_arrays()
+            else:
+                arrays, meta = structure.export_slice_arrays()
+                if not arrays:
+                    continue  # nothing materialised yet; keep building locally
+            if self.cache.publish(key, arrays, meta):
+                published += 1
+        return published
+
+    # -- statistics ------------------------------------------------------
+    def stats_snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self.stats)
+
+    @staticmethod
+    def stats_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+        return {key: after.get(key, 0) - before.get(key, 0) for key in after}
+
+    def close(self, unlink: bool = False) -> None:
+        """Drop memos and local shm mappings; optionally unlink segments."""
+        with self._lock:
+            self._indexes.clear()
+            self._timegrids.clear()
+            self._pending.clear()
+        if unlink:
+            self.cache.unlink_all()
+        self.cache.close()
+
+
+# ---------------------------------------------------------------------------
+# Episode-result memoization
+# ---------------------------------------------------------------------------
+class EpisodeResultCache:
+    """Memoization of whole episode outcomes by spec cache key.
+
+    Episodes are bitwise-deterministic functions of their
+    :class:`~repro.api.specs.EpisodeSpec`, so a repeated spec can be
+    answered with the stored ``(result, trace, events)`` triple — the exact
+    objects (or copies thereof) the original computation produced.  Hit and
+    miss counters make the reuse auditable downstream (the executor and the
+    serving app both surface them).
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Tuple] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> Optional[Tuple]:
+        """Like :meth:`get` but for a precomputed spec cache key."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry
+
+    def store(self, key: str, result, trace, events: Optional[tuple] = None) -> None:
+        """Like :meth:`put` but for a precomputed spec cache key."""
+        with self._lock:
+            self._entries[key] = (result, trace, events)
+
+    def get(self, spec) -> Optional[Tuple]:
+        return self.lookup(spec.cache_key())
+
+    def put(self, spec, result, trace, events: Optional[tuple] = None) -> None:
+        self.store(spec.cache_key(), result, trace, events)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,283 @@
+"""The asyncio session service: concurrent episodes over one scoped bus.
+
+:class:`ServeApp` multiplexes many client sessions over a single
+:class:`~repro.middleware.bus.MessageBus`.  Each submitted
+:class:`~repro.api.specs.EpisodeSpec` gets its own bus scope
+(``client/<client_id>/<session_id>``), so its :class:`StepEvent` stream is
+isolated from every other session while still being observable by ordinary
+bus subscribers (recorders, dashboards) on the scoped topics.  Sessions
+execute on a bounded thread pool; step events are forwarded onto the event
+loop with ``call_soon_threadsafe``, so a client can ``async for`` over a
+session's steps while other sessions run concurrently.
+
+The service composes the caching layers from this package:
+
+* a process-wide :class:`~repro.serve.cache.CachedSpatialProvider`
+  (installed while the app is open) shares rasters between concurrent
+  sessions of the same scenario,
+* an :class:`~repro.serve.cache.EpisodeResultCache` answers repeated specs
+  by *replaying* the stored event stream — clients observe the same topics,
+  publish counts and bitwise-identical outcome, without recomputation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, Optional
+
+from repro.il.policy import ILPolicy
+from repro.middleware.bus import MessageBus, ScopedBus
+from repro.vehicle.params import VehicleParams
+
+from repro.api.events import EPISODE_TOPIC, STEP_TOPIC, EpisodeCompletedEvent, StepEvent
+from repro.api.session import ParkingSession, SessionOutcome
+from repro.api.specs import EpisodeSpec
+
+from repro.serve.cache import CachedSpatialProvider, EpisodeResultCache
+
+# Queue sentinel marking the end of a session's step stream.
+_DONE = object()
+
+
+@dataclass
+class SessionHandle:
+    """A client's view of one submitted session.
+
+    Consume the live step stream with ``async for event in handle.steps()``
+    and/or await the final :class:`~repro.api.session.SessionOutcome` via
+    :meth:`outcome` — the outcome resolves whether or not the stream is
+    drained.
+    """
+
+    session_id: int
+    client_id: str
+    scope: str
+    spec: EpisodeSpec
+    from_cache: bool = False
+    _queue: asyncio.Queue = field(repr=False, default_factory=asyncio.Queue)
+    _outcome: Optional[asyncio.Future] = field(repr=False, default=None)
+
+    @property
+    def step_topic(self) -> str:
+        """The shared-bus topic carrying this session's step events."""
+        return f"{self.scope}/{STEP_TOPIC}"
+
+    @property
+    def episode_topic(self) -> str:
+        """The shared-bus topic carrying this session's completion event."""
+        return f"{self.scope}/{EPISODE_TOPIC}"
+
+    async def steps(self) -> AsyncIterator[StepEvent]:
+        """Yield this session's step events in order until it completes."""
+        while True:
+            item = await self._queue.get()
+            if item is _DONE:
+                return
+            yield item
+
+    async def outcome(self) -> SessionOutcome:
+        """Wait for the session to finish and return its outcome."""
+        return await asyncio.shield(self._outcome)
+
+
+class ServeApp:
+    """Serve concurrent parking sessions to multiple clients.
+
+    Parameters
+    ----------
+    il_policy / vehicle_params:
+        Shared read-only inputs handed to every session.
+    max_concurrency:
+        Upper bound on sessions stepping simultaneously; further
+        submissions queue on the worker pool.
+    reuse_results:
+        When ``True`` (default), repeated specs replay the cached event
+        stream and outcome instead of recomputing — bitwise-identical by
+        the episode determinism contract.
+    bus:
+        The shared bus scopes are carved from; a private one is created
+        when not provided.  Pass your own to attach recorders/monitors.
+
+    Use as an async context manager: entering installs the shared spatial
+    provider, exiting restores the previous one and releases the worker
+    threads.
+    """
+
+    def __init__(
+        self,
+        *,
+        il_policy: Optional[ILPolicy] = None,
+        vehicle_params: Optional[VehicleParams] = None,
+        max_concurrency: int = 4,
+        reuse_results: bool = True,
+        bus: Optional[MessageBus] = None,
+    ) -> None:
+        if max_concurrency <= 0:
+            raise ValueError(f"max_concurrency must be positive, got {max_concurrency}")
+        self.il_policy = il_policy
+        self.vehicle_params = vehicle_params or VehicleParams()
+        self.max_concurrency = max_concurrency
+        self.bus = bus or MessageBus()
+        self._result_cache = EpisodeResultCache() if reuse_results else None
+        self._provider = CachedSpatialProvider()
+        self._previous_provider = None
+        self._threads: Optional[ThreadPoolExecutor] = None
+        self._session_counter = itertools.count()
+        self._open = False
+        self.sessions_started = 0
+        self.sessions_completed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open(self) -> "ServeApp":
+        """Install the shared spatial provider and start the worker pool."""
+        if self._open:
+            return self
+        from repro.spatial.provider import install_spatial_provider
+
+        self._previous_provider = install_spatial_provider(self._provider)
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.max_concurrency, thread_name_prefix="serve-session"
+        )
+        self._open = True
+        return self
+
+    def close(self) -> None:
+        """Stop accepting sessions, restore the provider, release workers."""
+        if not self._open:
+            return
+        self._open = False
+        from repro.spatial.provider import install_spatial_provider
+
+        install_spatial_provider(self._previous_provider)
+        self._previous_provider = None
+        if self._threads is not None:
+            self._threads.shutdown(wait=True)
+            self._threads = None
+
+    async def __aenter__(self) -> "ServeApp":
+        return self.open()
+
+    async def __aexit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Session execution
+    # ------------------------------------------------------------------
+    def submit(self, spec: EpisodeSpec, *, client_id: str = "client") -> SessionHandle:
+        """Start ``spec`` for ``client_id``; returns immediately with a handle.
+
+        Must be called from within a running event loop.
+        """
+        if not self._open:
+            raise RuntimeError("ServeApp is not open — use 'async with app:' or app.open()")
+        loop = asyncio.get_running_loop()
+        session_id = next(self._session_counter)
+        scope = f"client/{client_id}/{session_id}"
+        scoped = ScopedBus(self.bus, scope)
+        handle = SessionHandle(
+            session_id=session_id,
+            client_id=client_id,
+            scope=scope,
+            spec=spec,
+            _outcome=loop.create_future(),
+        )
+        self.sessions_started += 1
+
+        key = spec.cache_key() if self._result_cache is not None else None
+        cached = self._result_cache.lookup(key) if self._result_cache is not None else None
+        if cached is not None and cached[2] is not None:
+            handle.from_cache = True
+            self._replay(scoped, handle, *cached)
+            return handle
+
+        def _run_in_thread() -> SessionOutcome:
+            session = ParkingSession(
+                spec,
+                il_policy=self.il_policy,
+                vehicle_params=self.vehicle_params,
+                bus=scoped,
+            )
+            subscription = scoped.subscribe(
+                STEP_TOPIC,
+                lambda event: loop.call_soon_threadsafe(handle._queue.put_nowait, event),
+                subscriber=f"serve/{scope}",
+            )
+            try:
+                return session.run()
+            finally:
+                subscription.cancel()
+
+        future = loop.run_in_executor(self._threads, _run_in_thread)
+
+        def _on_done(fut: asyncio.Future) -> None:
+            # Runs on the loop thread, after every call_soon_threadsafe the
+            # worker issued — the sentinel lands behind the final event.
+            try:
+                outcome = fut.result()
+            except BaseException as exc:  # noqa: BLE001 - forwarded to the client
+                if not handle._outcome.done():
+                    handle._outcome.set_exception(exc)
+            else:
+                if self._result_cache is not None:
+                    self._result_cache.store(
+                        key, outcome.result, outcome.trace, outcome.events
+                    )
+                handle._outcome.set_result(outcome)
+            self.sessions_completed += 1
+            handle._queue.put_nowait(_DONE)
+
+        future.add_done_callback(_on_done)
+        return handle
+
+    def _replay(self, scoped: ScopedBus, handle: SessionHandle, result, trace, events) -> None:
+        """Re-publish a cached episode's stream on the handle's scope."""
+        for event in events:
+            # Enqueue the bus-stamped copy, exactly as the live path's
+            # subscriber sees it — sequences restart per scope, so a client
+            # cannot tell a replay from a fresh run.
+            handle._queue.put_nowait(scoped.publish(STEP_TOPIC, event))
+        scoped.publish(
+            EPISODE_TOPIC,
+            EpisodeCompletedEvent(
+                stamp=result.parking_time,
+                method=result.method,
+                seed=result.seed,
+                status=result.status,
+                parking_time=result.parking_time,
+                num_steps=result.num_steps,
+            ),
+        )
+        handle._outcome.set_result(SessionOutcome(result=result, trace=trace, events=events))
+        self.sessions_completed += 1
+        handle._queue.put_nowait(_DONE)
+
+    async def run_session(
+        self, spec: EpisodeSpec, *, client_id: str = "client"
+    ) -> SessionOutcome:
+        """Submit ``spec``, drain its stream, and return the outcome."""
+        handle = self.submit(spec, client_id=client_id)
+        async for _ in handle.steps():
+            pass
+        return await handle.outcome()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Serving counters: session totals, result reuse, spatial sharing."""
+        result_hits = self._result_cache.hits if self._result_cache is not None else 0
+        result_misses = self._result_cache.misses if self._result_cache is not None else 0
+        total = result_hits + result_misses
+        return {
+            "sessions_started": self.sessions_started,
+            "sessions_completed": self.sessions_completed,
+            "result_cache_hits": result_hits,
+            "result_cache_misses": result_misses,
+            "cache_hit_rate": result_hits / total if total else 0.0,
+            "spatial": self._provider.stats_snapshot(),
+        }

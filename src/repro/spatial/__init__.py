@@ -37,6 +37,12 @@ from repro.spatial.index import (
     SpatialIndex,
     oriented_box_distances,
 )
+from repro.spatial.provider import (
+    SpatialProvider,
+    clear_spatial_provider,
+    current_spatial_provider,
+    install_spatial_provider,
+)
 from repro.spatial.timegrid import CORRIDOR_SLICE, TimeGrid
 
 __all__ = [
@@ -47,6 +53,10 @@ __all__ = [
     "GoalHeuristic",
     "OccupancyGrid",
     "SpatialIndex",
+    "SpatialProvider",
     "TimeGrid",
+    "clear_spatial_provider",
+    "current_spatial_provider",
+    "install_spatial_provider",
     "oriented_box_distances",
 ]

@@ -83,6 +83,26 @@ class DistanceField:
         inside = np.minimum(inside, diameter)
         self.distance = np.where(occupied, -inside, outside)
 
+    @classmethod
+    def from_arrays(cls, grid: OccupancyGrid, distance: np.ndarray) -> "DistanceField":
+        """Wrap a precomputed distance raster without running the transform.
+
+        This is the attach path of the shared-memory spatial cache: the
+        ``distance`` array was produced by an identical :class:`DistanceField`
+        construction elsewhere (possibly in another process) and is reused
+        byte-for-byte.  The array may be a read-only view into a shared
+        buffer; queries never write to it.
+        """
+        field = cls.__new__(cls)
+        field.grid = grid
+        distance = np.asarray(distance)
+        if distance.shape != grid.occupied.shape:
+            raise ValueError(
+                f"distance shape {distance.shape} does not match grid shape {grid.occupied.shape}"
+            )
+        field.distance = distance
+        return field
+
     @property
     def resolution(self) -> float:
         return self.grid.resolution

@@ -118,6 +118,24 @@ class GoalHeuristic:
 
         self.distance = distance
 
+    @classmethod
+    def from_arrays(
+        cls, distance: np.ndarray, origin_x: float, origin_y: float, resolution: float
+    ) -> "GoalHeuristic":
+        """Wrap a precomputed distance-to-goal raster without re-flooding.
+
+        The attach path of the shared-memory spatial cache: ``distance`` was
+        produced by an identical Dijkstra flood elsewhere (possibly in
+        another process).  It may be a read-only shared view; :meth:`query`
+        never writes to it.
+        """
+        heuristic = cls.__new__(cls)
+        heuristic.resolution = float(resolution)
+        heuristic.origin_x = float(origin_x)
+        heuristic.origin_y = float(origin_y)
+        heuristic.distance = np.asarray(distance)
+        return heuristic
+
     def query(self, x: float, y: float) -> Optional[float]:
         """Distance-to-goal (m) at a world point, ``None`` when unreachable.
 

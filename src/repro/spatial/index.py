@@ -150,6 +150,69 @@ class SpatialIndex:
             resolution=resolution,
         )
 
+    @classmethod
+    def from_arrays(
+        cls,
+        lot: ParkingLot,
+        obstacles: Sequence[Obstacle],
+        arrays: Dict[str, np.ndarray],
+        meta: Dict[str, float],
+        vehicle_params: Optional[VehicleParams] = None,
+    ) -> "SpatialIndex":
+        """Reconstitute an index from :meth:`export_arrays` output.
+
+        The attach path of the shared-memory spatial cache: the occupancy
+        raster, the distance field and any exported goal heuristics are
+        adopted as-is (they may be read-only views into a shared buffer)
+        instead of being rebuilt.  ``lot`` and ``obstacles`` must describe
+        the same scene the arrays were built from — the cache key derived
+        from the scenario's deterministic serialization guarantees this.
+        """
+        index = cls.__new__(cls)
+        index.lot = lot
+        index.vehicle_params = vehicle_params or VehicleParams()
+        index.obstacles = tuple(obstacles)
+        index.heuristic_resolution = float(meta["heuristic_resolution"])
+        index.grid = OccupancyGrid(
+            meta["origin_x"], meta["origin_y"], meta["resolution"], arrays["occupied"]
+        )
+        index.field = DistanceField.from_arrays(index.grid, arrays["distance"])
+        index.obstacle_polygons = [obstacle.box.to_polygon() for obstacle in index.obstacles]
+        index._heuristics = {}
+        for name, array in arrays.items():
+            if name.startswith("heuristic:"):
+                _, key_x, key_y = name.split(":")
+                index._heuristics[(int(key_x), int(key_y))] = GoalHeuristic.from_arrays(
+                    array, index.grid.origin_x, index.grid.origin_y, index.heuristic_resolution
+                )
+        index._footprints = FootprintCache(index.vehicle_params)
+        index.time_layer = None
+        return index
+
+    def export_arrays(self) -> Tuple[Dict[str, np.ndarray], Dict[str, float]]:
+        """``(arrays, meta)`` capturing every precomputed raster of this index.
+
+        ``arrays`` maps stable names to the occupancy grid, the signed
+        distance field and every goal heuristic built so far; ``meta`` holds
+        the scalar geometry needed to re-wrap them.  Together with the
+        scenario (re-derivable from its serialized config) this is exactly
+        what :meth:`from_arrays` needs — the publish path of the
+        shared-memory spatial cache.
+        """
+        arrays: Dict[str, np.ndarray] = {
+            "occupied": self.grid.occupied,
+            "distance": self.field.distance,
+        }
+        for (key_x, key_y), heuristic in self._heuristics.items():
+            arrays[f"heuristic:{key_x}:{key_y}"] = heuristic.distance
+        meta = {
+            "origin_x": self.grid.origin_x,
+            "origin_y": self.grid.origin_y,
+            "resolution": self.grid.resolution,
+            "heuristic_resolution": self.heuristic_resolution,
+        }
+        return arrays, meta
+
     def attach_time_layer(self, time_layer) -> "SpatialIndex":
         """Install a :class:`~repro.spatial.timegrid.TimeGrid` on this index.
 

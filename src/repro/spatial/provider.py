@@ -1,0 +1,59 @@
+"""Process-wide provider hook for shared spatial structures.
+
+:class:`~repro.api.registry.ControllerContext` builds one
+:class:`~repro.spatial.index.SpatialIndex` (and optionally one
+:class:`~repro.spatial.timegrid.TimeGrid`) per episode.  Inside a warm
+serving worker that is pure waste: consecutive episodes usually replay the
+same handful of scenarios, and the rasters are deterministic functions of
+the scenario.  This module is the seam between the two layers: a *provider*
+installed here is consulted before any local build, letting
+``repro.serve`` substitute memoized or shared-memory-attached structures
+without ``repro.api`` importing ``repro.serve`` (which sits above it).
+
+A provider returning ``None`` (or no installed provider) means "build
+locally" — the hook can never change results, only skip redundant work,
+because provided structures are byte-identical to what the local build
+would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class SpatialProvider(Protocol):
+    """What an installed provider must answer; ``None`` means "build locally"."""
+
+    def spatial_index(self, scenario, vehicle_params):
+        ...
+
+    def timegrid(self, scenario, vehicle_params, time_layer_spec):
+        ...
+
+
+_PROVIDER: Optional[SpatialProvider] = None
+
+
+def install_spatial_provider(provider: Optional[SpatialProvider]) -> Optional[SpatialProvider]:
+    """Install ``provider`` process-wide; returns the previous one (or ``None``).
+
+    Callers that install a provider for a bounded scope (a serving app, a
+    warm worker's lifetime) should restore the returned previous provider
+    when done.
+    """
+    global _PROVIDER
+    previous = _PROVIDER
+    _PROVIDER = provider
+    return previous
+
+
+def current_spatial_provider() -> Optional[SpatialProvider]:
+    """The installed provider, or ``None`` when everything builds locally."""
+    return _PROVIDER
+
+
+def clear_spatial_provider() -> None:
+    """Remove any installed provider (mainly for tests)."""
+    global _PROVIDER
+    _PROVIDER = None

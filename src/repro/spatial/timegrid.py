@@ -225,6 +225,47 @@ class TimeGrid:
         return field
 
     # ------------------------------------------------------------------
+    # Shared-memory export / attach
+    # ------------------------------------------------------------------
+    def export_slice_arrays(self) -> Tuple[Dict[str, np.ndarray], Dict[str, list]]:
+        """``(arrays, meta)`` for every slice field materialised so far.
+
+        Slices are built lazily as queries touch them, so the export captures
+        whatever this episode (or its predecessors on the same grid) actually
+        needed — typically a small prefix of the horizon plus the corridor.
+        The publish path of the shared-memory spatial cache.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        for index, field in self._fields.items():
+            arrays[f"slice{index}:occupied"] = field.grid.occupied
+            arrays[f"slice{index}:distance"] = field.distance
+        return arrays, {"slices": sorted(self._fields)}
+
+    def attach_slice_arrays(self, arrays: Dict[str, np.ndarray]) -> int:
+        """Adopt precomputed slice fields from :meth:`export_slice_arrays`.
+
+        Returns the number of slices attached.  Missing slices keep the lazy
+        local build; the arrays were produced by an identical construction
+        (same scenario, same knobs), so attached and locally built fields are
+        byte-identical.  Arrays may be read-only shared views.
+        """
+        if self.empty:
+            return 0
+        origin_x, origin_y, _, _ = self._geometry
+        attached = 0
+        suffix = ":occupied"
+        for name, occupied in arrays.items():
+            if not name.startswith("slice") or not name.endswith(suffix):
+                continue
+            index = int(name[len("slice") : -len(suffix)])
+            grid = OccupancyGrid(origin_x, origin_y, self.resolution, occupied)
+            self._fields[index] = DistanceField.from_arrays(
+                grid, arrays[f"slice{index}:distance"]
+            )
+            attached += 1
+        return attached
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def _broadcast_times(self, times, count: int) -> np.ndarray:

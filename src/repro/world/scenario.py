@@ -24,6 +24,8 @@ in :mod:`repro.world.presets`.
 from __future__ import annotations
 
 import enum
+import hashlib
+import json
 import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
@@ -297,6 +299,20 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
         "start_pose": _pose_list(scenario.start_pose),
         "obstacles": obstacles,
     }
+
+
+def scenario_fingerprint(scenario: Scenario) -> str:
+    """SHA-256 over the canonical JSON form of :func:`scenario_to_dict`.
+
+    Because the dictionary is deterministic (and its floats round-trip
+    exactly through JSON), equal scenarios fingerprint identically across
+    runs and processes — the key contract of the shared-memory spatial
+    cache and of result memoization in the serving layer.
+    """
+    payload = json.dumps(
+        scenario_to_dict(scenario), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 # ---------------------------------------------------------------------------

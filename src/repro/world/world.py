@@ -14,7 +14,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.geometry.collision import distance_between, shapes_collide
+from repro.geometry.collision import distance_between
 from repro.geometry.se2 import SE2
 from repro.vehicle.actions import Action
 from repro.vehicle.kinematics import AckermannModel
@@ -88,6 +88,8 @@ class ParkingWorld:
         self._state = VehicleState.from_pose(scenario.start_pose)
         self._trajectory: List[VehicleState] = [self._state]
         self._actions: List[Action] = []
+        # Purely static scenes skip the per-step at_time advance entirely.
+        self._all_static = not any(obstacle.is_dynamic for obstacle in scenario.obstacles)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -119,15 +121,19 @@ class ParkingWorld:
 
     def current_obstacles(self) -> List[Obstacle]:
         """Obstacles advanced to the current simulation time."""
+        if self._all_static:
+            return list(self.scenario.obstacles)
         return [obstacle.at_time(self._time) for obstacle in self.scenario.obstacles]
 
     def min_obstacle_distance(self, state: Optional[VehicleState] = None) -> float:
         """Minimum footprint-to-obstacle distance at the current time."""
         state = state or self._state
         footprint = state.footprint(self.vehicle_params)
-        distances = [
-            distance_between(footprint, obstacle.box) for obstacle in self.current_obstacles()
-        ]
+        return self._min_distance(footprint, self.current_obstacles())
+
+    @staticmethod
+    def _min_distance(footprint, obstacles: List[Obstacle]) -> float:
+        distances = [distance_between(footprint, obstacle.box) for obstacle in obstacles]
         return min(distances) if distances else float("inf")
 
     def distance_to_goal(self, state: Optional[VehicleState] = None) -> float:
@@ -156,21 +162,29 @@ class ParkingWorld:
         self._time += self.dt
         self._trajectory.append(self._state)
         self._actions.append(action)
-        self._status = self._evaluate_status()
-        obstacles = tuple(self.current_obstacles())
+        # One obstacle advance and one footprint-distance sweep per step:
+        # the exact minimum distance doubles as the collision predicate
+        # (polygon_polygon_distance returns exactly 0.0 iff the SAT test
+        # overlaps), so the status check never repeats the geometry work.
+        obstacles = self.current_obstacles()
+        footprint = self._state.footprint(self.vehicle_params)
+        min_distance = self._min_distance(footprint, obstacles)
+        self._status = self._evaluate_status(footprint, collided=min_distance == 0.0)
         return StepResult(
             state=self._state,
             status=self._status,
             time=self._time,
-            obstacles=obstacles,
-            min_obstacle_distance=self.min_obstacle_distance(),
+            obstacles=tuple(obstacles),
+            min_obstacle_distance=min_distance,
         )
 
-    def _evaluate_status(self) -> EpisodeStatus:
-        footprint = self._state.footprint(self.vehicle_params)
-        for obstacle in self.current_obstacles():
-            if shapes_collide(footprint, obstacle.box):
-                return EpisodeStatus.COLLIDED
+    def _evaluate_status(self, footprint=None, collided: Optional[bool] = None) -> EpisodeStatus:
+        if footprint is None:
+            footprint = self._state.footprint(self.vehicle_params)
+        if collided is None:
+            collided = self._min_distance(footprint, self.current_obstacles()) == 0.0
+        if collided:
+            return EpisodeStatus.COLLIDED
         corners = footprint.vertices()
         bounds = self.scenario.lot.bounds
         if not all(bounds.contains(corner) for corner in corners):

@@ -85,7 +85,6 @@ class TestProcessBackend:
         from repro.api import ControlStep, EpisodeSpec, register_method
         from repro.vehicle.actions import Action
 
-        @register_method("process-only-probe", overwrite=True)
         def build_probe(context):
             class Controller:
                 def step(self, state, obstacles, lot, time=0.0):
@@ -93,11 +92,22 @@ class TestProcessBackend:
 
             return Controller()
 
+        register_method("process-only-probe", overwrite=True)(build_probe)
+        register_method("process-only-probe-2", overwrite=True)(build_probe)
+
         executor = BatchExecutor(backend="process", max_workers=2, summary_stream=None)
-        with pytest.raises(ValueError, match="registered in this process only"):
+        # Every unresolvable method is named in one error, not just the first.
+        with pytest.raises(ValueError, match="registered in this process only") as excinfo:
             executor.run_specs(
-                [EpisodeSpec(method="process-only-probe", max_steps=2) for _ in range(2)]
+                [
+                    EpisodeSpec(method="process-only-probe", max_steps=2),
+                    EpisodeSpec(method="process-only-probe-2", max_steps=2),
+                    EpisodeSpec(method="process-only-probe", max_steps=2),
+                ]
             )
+        message = str(excinfo.value)
+        assert "'process-only-probe'" in message
+        assert "'process-only-probe-2'" in message
         # The thread backend still runs it.
         outcome = BatchExecutor(backend="thread", summary_stream=None).run_specs(
             [EpisodeSpec(method="process-only-probe", max_steps=2)]

@@ -104,6 +104,69 @@ def test_groups_rows_by_event_and_sha(tmp_path):
     assert "aware_parked trajectory: 5 -> 6" in text
 
 
+def test_svg_trend_plots_written(tmp_path):
+    """--svg-dir renders one SHA-grouped chart per (file, event, metric)."""
+    throughput = tmp_path / "throughput.json"
+    _write_lines(
+        throughput,
+        [
+            {
+                "event": "serving_bench_summary",
+                "thread_eps": 8.0,
+                "process_eps": 40.0,
+                "sha": "aaa1111",
+            },
+            {
+                "event": "serving_bench_summary",
+                "thread_eps": 8.5,
+                "process_eps": 57.0,
+                "sha": "bbb2222",
+            },
+        ],
+    )
+    svg_dir = tmp_path / "svg"
+    code = report_trajectory.main(
+        [
+            "--planner", str(tmp_path / "absent.json"),
+            "--throughput", str(throughput),
+            "--out", str(tmp_path / "report.md"),
+            "--svg-dir", str(svg_dir),
+        ]
+    )
+    assert code == 0
+    chart = svg_dir / "throughput__serving_bench_summary__process_eps.svg"
+    assert chart.exists()
+    text = chart.read_text()
+    assert text.startswith("<svg")
+    assert "polyline" in text
+    assert "aaa1111" in text and "bbb2222" in text
+    # One chart per numeric metric of the event.
+    assert (svg_dir / "throughput__serving_bench_summary__thread_eps.svg").exists()
+
+
+def test_svg_multi_series_events_get_one_polyline_per_series(tmp_path):
+    planner = tmp_path / "planner.json"
+    _write_lines(
+        planner,
+        [
+            {"event": "dynamic_bench", "scenario": "legacy", "aware_parked": 5, "sha": "a1"},
+            {"event": "dynamic_bench", "scenario": "patrol", "aware_parked": 3, "sha": "a1"},
+            {"event": "dynamic_bench", "scenario": "legacy", "aware_parked": 6, "sha": "b2"},
+            {"event": "dynamic_bench", "scenario": "patrol", "aware_parked": 4, "sha": "b2"},
+        ],
+    )
+    series = report_trajectory._series_history(
+        report_trajectory.group_by_event(report_trajectory.load_lines(planner))[
+            "dynamic_bench"
+        ],
+        "aware_parked",
+    )
+    assert list(series) == ["legacy", "patrol"]
+    assert series["legacy"] == [("a1", 5.0), ("b2", 6.0)]
+    svg = report_trajectory.render_trend_svg("dynamic_bench: aware_parked", series)
+    assert svg.count("<polyline") == 2
+
+
 def test_unstamped_rows_keep_per_row_trends(tmp_path):
     planner = tmp_path / "planner.json"
     _write_lines(

@@ -1,0 +1,237 @@
+"""Lifecycle and byte-identity of the shared-memory spatial cache.
+
+The serving layer's correctness claim is that attaching a published segment
+yields arrays *byte-identical* to a local build — that is what lets the warm
+pool promise bitwise result parity.  These tests pin that claim plus the
+refcount/unlink lifecycle the pool's teardown relies on.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import (
+    CachedSpatialProvider,
+    EpisodeResultCache,
+    SpatialCache,
+    spatial_cache_key,
+)
+from repro.spatial import SpatialIndex, TimeGrid
+from repro.vehicle.params import VehicleParams
+from repro.world.scenario import ScenarioConfig, build_scenario
+
+
+@pytest.fixture
+def cache():
+    instance = SpatialCache(prefix=f"icoil-test-{os.getpid():x}")
+    yield instance
+    instance.unlink_all()
+    instance.close()
+    SpatialCache.cleanup_orphans(instance.prefix)
+
+
+def sample_arrays():
+    return {
+        "occupied": np.arange(12, dtype=np.int8).reshape(3, 4),
+        "distance": np.linspace(0.0, 1.0, 12).reshape(3, 4),
+    }
+
+
+class TestSegmentRoundTrip:
+    def test_publish_then_attach_returns_identical_bytes(self, cache):
+        arrays = sample_arrays()
+        meta = {"origin_x": -1.5, "origin_y": 2.0, "resolution": 0.25}
+        assert cache.publish("k" * 64, arrays, meta) is True
+
+        other = SpatialCache(prefix=cache.prefix)
+        attached = other.attach("k" * 64)
+        assert attached is not None
+        attached_arrays, attached_meta = attached
+        assert attached_meta == meta
+        for name, source in arrays.items():
+            view = attached_arrays[name]
+            assert view.dtype == source.dtype
+            assert view.shape == source.shape
+            assert view.tobytes() == source.tobytes()
+            assert not view.flags.writeable
+        other.close()
+
+    def test_attach_missing_key_counts_a_miss(self, cache):
+        assert cache.attach("f" * 64) is None
+        assert cache.misses == 1
+
+    def test_publish_same_key_twice_reuses_segment(self, cache):
+        key = "a" * 64
+        assert cache.publish(key, sample_arrays(), {}) is True
+        assert cache.publish(key, sample_arrays(), {}) is False
+        assert cache.refcount(key) == 2
+
+
+class TestRefcountLifecycle:
+    def test_attach_release_refcounts(self, cache):
+        key = "b" * 64
+        cache.publish(key, sample_arrays(), {})
+        assert cache.refcount(key) == 1
+        cache.attach(key)
+        cache.attach(key)
+        assert cache.refcount(key) == 3
+        assert cache.release(key) == 2
+        assert cache.release(key) == 1
+        assert cache.release(key) == 0
+        assert not cache.contains(key)
+        # The segment survives in the system until unlinked.
+        assert cache.attach(key) is not None
+
+    def test_release_unknown_key_is_noop(self, cache):
+        assert cache.release("c" * 64) == 0
+
+    def test_double_unlink_is_safe(self, cache):
+        key = "d" * 64
+        cache.publish(key, sample_arrays(), {})
+        assert cache.unlink(key) is True
+        assert cache.unlink(key) is False
+        assert cache.attach(key) is None
+
+    def test_close_drops_local_mappings_only(self, cache):
+        key = "e" * 64
+        cache.publish(key, sample_arrays(), {})
+        cache.close()
+        assert not cache.contains(key)
+        assert cache.attach(key) is not None
+
+
+class TestOrphanCleanup:
+    def test_cleanup_after_sigkilled_worker(self, tmp_path):
+        """Segments published by a killed process are swept by prefix."""
+        prefix = f"icoil-orphan-{os.getpid():x}"
+        script = tmp_path / "orphan_worker.py"
+        script.write_text(
+            "import sys, time\n"
+            "import numpy as np\n"
+            "from repro.serve.cache import SpatialCache\n"
+            f"cache = SpatialCache(prefix={prefix!r})\n"
+            "cache.publish('9' * 64, {'x': np.ones(8)}, {})\n"
+            "print('ready', flush=True)\n"
+            "time.sleep(60)\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        worker = subprocess.Popen(
+            [sys.executable, str(script)], stdout=subprocess.PIPE, env=env, text=True
+        )
+        try:
+            assert worker.stdout.readline().strip() == "ready"
+            worker.send_signal(signal.SIGKILL)
+            worker.wait(timeout=30)
+            # The worker never ran teardown: its segment is orphaned.
+            assert os.path.exists(f"/dev/shm/{prefix}-{'9' * 16}")
+            removed = SpatialCache.cleanup_orphans(prefix)
+            assert removed == [f"{prefix}-{'9' * 16}"]
+            assert not os.path.exists(f"/dev/shm/{prefix}-{'9' * 16}")
+            assert SpatialCache.cleanup_orphans(prefix) == []
+        finally:
+            if worker.poll() is None:
+                worker.kill()
+                worker.wait(timeout=30)
+            SpatialCache.cleanup_orphans(prefix)
+
+
+class TestProviderByteIdentity:
+    def test_attached_spatial_index_matches_local_build(self, cache):
+        scenario = build_scenario(
+            ScenarioConfig(scenario_name="perpendicular-easy", seed=11)
+        )
+        params = VehicleParams()
+        local = SpatialIndex.from_scenario(scenario, vehicle_params=params)
+        local.heuristic_to(2.0, 3.0)  # materialise one goal heuristic
+
+        producer = CachedSpatialProvider(cache)
+        built = producer.spatial_index(scenario, params)
+        built.heuristic_to(2.0, 3.0)
+        assert producer.stats["index_builds"] == 1
+        producer.flush()
+
+        consumer = CachedSpatialProvider(SpatialCache(prefix=cache.prefix))
+        attached = consumer.spatial_index(scenario, params)
+        assert consumer.stats["index_shm_hits"] == 1
+        assert attached.grid.occupied.tobytes() == local.grid.occupied.tobytes()
+        assert attached.field.distance.tobytes() == local.field.distance.tobytes()
+        # The heuristic materialised before publish comes back byte-identical
+        # (served from the attached arrays, not rebuilt).
+        local_h = local.heuristic_to(2.0, 3.0)
+        attached_h = attached.heuristic_to(2.0, 3.0)
+        assert attached_h.distance.tobytes() == local_h.distance.tobytes()
+        consumer.close()
+
+    def test_attached_timegrid_slices_match_local_build(self, cache):
+        scenario = build_scenario(
+            ScenarioConfig(scenario_name="perpendicular-easy", seed=7, num_dynamic_obstacles=2)
+        )
+        assert scenario.dynamic_obstacles, "fixture scenario must have dynamic obstacles"
+        params = VehicleParams()
+        local = TimeGrid.from_scenario(scenario, vehicle_params=params)
+        for index in (0, 1):
+            local.field_for_slice(index)
+
+        class _Spec:
+            horizon = local.horizon
+            slice_dt = local.slice_dt
+            resolution = local.resolution
+
+            @staticmethod
+            def to_dict():
+                return {"kind": "test-timegrid"}
+
+        producer = CachedSpatialProvider(cache)
+        built = producer.timegrid(scenario, params, _Spec)
+        for index in (0, 1):
+            built.field_for_slice(index)
+        producer.flush()
+
+        consumer = CachedSpatialProvider(SpatialCache(prefix=cache.prefix))
+        attached = consumer.timegrid(scenario, params, _Spec)
+        assert consumer.stats["timegrid_shm_hits"] == 1
+        for index in (0, 1):
+            local_field = local.field_for_slice(index)
+            attached_field = attached.field_for_slice(index)
+            assert (
+                attached_field.grid.occupied.tobytes() == local_field.grid.occupied.tobytes()
+            )
+            assert attached_field.distance.tobytes() == local_field.distance.tobytes()
+        consumer.close()
+
+
+class TestSpatialCacheKey:
+    def test_key_separates_kind_vehicle_and_extra(self):
+        scenario = build_scenario(ScenarioConfig(scenario_name="parallel-easy", seed=3))
+        base = spatial_cache_key(scenario)
+        assert base == spatial_cache_key(scenario)
+        assert base != spatial_cache_key(scenario, kind="timegrid")
+        assert base != spatial_cache_key(scenario, extra={"horizon": 5.0})
+        assert base != spatial_cache_key(scenario, VehicleParams(length=9.9))
+
+
+class TestEpisodeResultCache:
+    def test_get_put_and_counters(self):
+        from repro.api import EpisodeSpec
+
+        cache = EpisodeResultCache()
+        spec = EpisodeSpec(method="expert", max_steps=3)
+        assert cache.get(spec) is None
+        cache.put(spec, "result", "trace", events=("e",))
+        assert cache.get(spec) == ("result", "trace", ("e",))
+        assert len(cache) == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+        # Key-level API shares the same store.
+        assert cache.lookup(spec.cache_key()) == ("result", "trace", ("e",))
+        cache.clear()
+        assert cache.get(spec) is None

@@ -1,0 +1,150 @@
+"""Warm worker pool: parity, reuse, cache statistics, lifecycle.
+
+The pool's contract extends the executor backend contract: a persistent
+pool of spawn workers with shared-memory spatial caches must produce
+bitwise-identical, identically-ordered results to a cold process pool and
+to the thread backend — warmth and caching are pure throughput.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.api import BatchExecutor, BatchSpec, EpisodeSpec
+from repro.serve.pool import WarmPool
+from repro.world.scenario import DifficultyLevel, ScenarioConfig, SpawnMode
+
+
+def small_batch(num_seeds: int = 4, max_steps: int = 8) -> BatchSpec:
+    return BatchSpec(
+        method="expert",
+        seeds=tuple(range(num_seeds)),
+        difficulties=(DifficultyLevel.EASY,),
+        spawn_mode=SpawnMode.CLOSE,
+        scenario_name="perpendicular-easy",
+        max_steps=max_steps,
+    )
+
+
+def repeated_specs(copies: int = 3, max_steps: int = 8):
+    """Several episodes of one scenario — the shareable-raster case."""
+    spec = EpisodeSpec(
+        method="expert",
+        scenario=ScenarioConfig(scenario_name="perpendicular-easy", seed=2),
+        max_steps=max_steps,
+    )
+    # Distinct step caps keep the episode-result memo from collapsing them
+    # while the underlying scenario (and its rasters) stays identical.
+    return [spec] + [
+        EpisodeSpec(
+            method="expert",
+            scenario=ScenarioConfig(scenario_name="perpendicular-easy", seed=2),
+            max_steps=max_steps + extra,
+        )
+        for extra in range(1, copies)
+    ]
+
+
+class TestWarmPoolParity:
+    def test_warm_cold_and_thread_results_bitwise_identical(self):
+        spec = small_batch()
+        thread = BatchExecutor(backend="thread", max_workers=2, summary_stream=None).run(spec)
+        with BatchExecutor(backend="process", max_workers=2, summary_stream=None) as warm:
+            first = warm.run(spec)
+            second = warm.run(spec)  # same pool, now-warm caches
+        with BatchExecutor(backend="process", max_workers=2, summary_stream=None) as cold:
+            fresh = cold.run(spec)
+
+        for outcome in (first, second, fresh):
+            assert outcome.results == thread.results
+            assert [r.seed for r in outcome.results] == list(spec.seeds)
+            for trace, reference in zip(outcome.traces, thread.traces):
+                assert np.array_equal(trace.positions, reference.positions)
+                assert np.array_equal(trace.steering, reference.steering)
+
+    def test_second_batch_hits_spatial_cache(self):
+        with BatchExecutor(backend="process", max_workers=2, summary_stream=None) as executor:
+            first = executor.run_specs(repeated_specs())
+            second = executor.run_specs(repeated_specs())
+        stats = first.summary
+        assert stats.spatial_cache_misses > 0  # first contact builds
+        assert second.summary.spatial_cache_hits > 0  # warm workers reuse
+        assert second.summary.spatial_cache_misses == 0
+        assert 0.0 < second.summary.spatial_cache_hit_rate <= 1.0
+
+
+class TestResultReuse:
+    def test_repeated_specs_are_answered_from_the_memo(self):
+        spec = small_batch(num_seeds=2)
+        specs = list(spec.episode_specs())
+        executor = BatchExecutor(
+            backend="thread", max_workers=2, reuse_results=True, summary_stream=None
+        )
+        first = executor.run_specs(specs + specs)
+        assert first.summary.num_unique_episodes == 2
+        assert first.summary.result_cache_hits == 2
+        assert first.summary.cache_hit_rate == 0.5
+        # Duplicate positions carry the exact owner outcome.
+        assert first.results[0] == first.results[2]
+        assert first.results[1] == first.results[3]
+
+        second = executor.run_specs(specs)
+        assert second.summary.num_unique_episodes == 0
+        assert second.summary.result_cache_hits == 2
+        assert second.summary.cache_hit_rate == 1.0
+        assert second.results == first.results[:2]
+
+    def test_reuse_matches_fresh_computation_bitwise(self):
+        spec = small_batch(num_seeds=3)
+        reference = BatchExecutor(backend="thread", max_workers=2, summary_stream=None).run(spec)
+        memoized = BatchExecutor(
+            backend="thread", max_workers=2, reuse_results=True, summary_stream=None
+        )
+        memoized.run(spec)
+        replayed = memoized.run(spec)  # fully cache-served
+        assert replayed.summary.cache_hit_rate == 1.0
+        assert replayed.results == reference.results
+        for trace, fresh_trace in zip(replayed.traces, reference.traces):
+            assert np.array_equal(trace.positions, fresh_trace.positions)
+
+    def test_reuse_disabled_reports_all_unique(self):
+        executor = BatchExecutor(backend="thread", max_workers=2, summary_stream=None)
+        outcome = executor.run_specs(list(small_batch(num_seeds=2).episode_specs()))
+        assert outcome.summary.num_unique_episodes == 2
+        assert outcome.summary.result_cache_hits == 0
+        assert outcome.summary.cache_hit_rate == 0.0
+
+
+class TestPoolLifecycle:
+    def test_close_is_idempotent_and_sweeps_segments(self):
+        pool = WarmPool(2)
+        prefix = pool.shm_prefix
+        specs = repeated_specs(copies=2)
+        pairs = pool.run_specs(specs)
+        assert len(pairs) == 2
+        pool.close()
+        assert pool.closed
+        assert glob.glob(f"/dev/shm/{prefix}*") == []
+        pool.close()  # second close is a no-op
+
+    def test_closed_pool_rejects_work(self):
+        pool = WarmPool(1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run_specs(repeated_specs(copies=1))
+
+    def test_executor_recreates_pool_after_close(self):
+        spec = small_batch(num_seeds=2)
+        executor = BatchExecutor(backend="process", max_workers=2, summary_stream=None)
+        first = executor.run(spec)
+        executor.close()
+        second = executor.run(spec)  # transparently re-warms
+        executor.close()
+        assert first.results == second.results
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            WarmPool(0)

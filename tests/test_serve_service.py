@@ -1,0 +1,155 @@
+"""The asyncio session service: streaming, isolation, replay, parity."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.api import EpisodeSpec
+from repro.api.events import STEP_TOPIC
+from repro.api.session import run_episode_spec
+from repro.middleware import MessageBus
+from repro.serve import ServeApp
+from repro.world.scenario import ScenarioConfig
+
+
+def quick_spec(seed: int = 5, max_steps: int = 10) -> EpisodeSpec:
+    return EpisodeSpec(
+        method="expert",
+        scenario=ScenarioConfig(scenario_name="perpendicular-easy", seed=seed),
+        max_steps=max_steps,
+    )
+
+
+def serve(coroutine_factory):
+    """Run an async test body inside a fresh event loop."""
+    return asyncio.run(coroutine_factory())
+
+
+class TestStreaming:
+    def test_stream_matches_session_outcome(self):
+        async def body():
+            spec = quick_spec()
+            reference = run_episode_spec(spec)
+            async with ServeApp(max_concurrency=2) as app:
+                handle = app.submit(spec)
+                streamed = [event async for event in handle.steps()]
+                outcome = await handle.outcome()
+            assert len(streamed) == outcome.result.num_steps
+            assert [event.step_index for event in streamed] == list(range(len(streamed)))
+            assert outcome.result == reference.result
+            assert np.array_equal(outcome.trace.positions, reference.trace.positions)
+            assert outcome.events == reference.events
+
+        serve(lambda: body())
+
+    def test_outcome_resolves_without_draining_the_stream(self):
+        async def body():
+            async with ServeApp(max_concurrency=1) as app:
+                handle = app.submit(quick_spec())
+                outcome = await handle.outcome()
+            assert outcome.result.num_steps > 0
+
+        serve(lambda: body())
+
+    def test_concurrent_sessions_are_scope_isolated(self):
+        async def body():
+            bus = MessageBus()
+            async with ServeApp(max_concurrency=2, bus=bus) as app:
+                first = app.submit(quick_spec(seed=5), client_id="alpha")
+                second = app.submit(quick_spec(seed=6), client_id="beta")
+                outcome_a = await first.outcome()
+                outcome_b = await second.outcome()
+            assert first.scope != second.scope
+            assert first.scope.startswith("client/alpha/")
+            assert second.scope.startswith("client/beta/")
+            # Each session's steps land only on its own scoped topic.
+            assert bus.publish_count(first.step_topic) == outcome_a.result.num_steps
+            assert bus.publish_count(second.step_topic) == outcome_b.result.num_steps
+            assert bus.publish_count(STEP_TOPIC) == 0
+            assert bus.publish_count(first.episode_topic) == 1
+
+        serve(lambda: body())
+
+
+class TestReplay:
+    def test_repeated_spec_replays_cached_stream(self):
+        async def body():
+            bus = MessageBus()
+            spec = quick_spec(seed=9)
+            async with ServeApp(max_concurrency=1, bus=bus) as app:
+                live = app.submit(spec, client_id="x")
+                live_events = [event async for event in live.steps()]
+                live_outcome = await live.outcome()
+
+                replay = app.submit(spec, client_id="y")
+                replay_events = [event async for event in replay.steps()]
+                replay_outcome = await replay.outcome()
+
+            assert not live.from_cache
+            assert replay.from_cache
+            assert replay_events == live_events
+            assert replay_outcome.result == live_outcome.result
+            assert np.array_equal(
+                replay_outcome.trace.positions, live_outcome.trace.positions
+            )
+            # The replay re-publishes on its own scope: same counts as live.
+            assert bus.publish_count(replay.step_topic) == len(live_events)
+            assert bus.publish_count(replay.episode_topic) == 1
+            stats = app.stats()
+            assert stats["result_cache_hits"] == 1
+            assert stats["cache_hit_rate"] == 0.5
+
+        serve(lambda: body())
+
+    def test_reuse_disabled_always_recomputes(self):
+        async def body():
+            spec = quick_spec(seed=4)
+            async with ServeApp(max_concurrency=1, reuse_results=False) as app:
+                first = app.submit(spec)
+                await first.outcome()
+                second = app.submit(spec)
+                await second.outcome()
+                assert not second.from_cache
+                assert app.stats()["result_cache_hits"] == 0
+
+        serve(lambda: body())
+
+
+class TestLifecycle:
+    def test_submit_requires_open_app(self):
+        async def body():
+            app = ServeApp()
+            with pytest.raises(RuntimeError, match="not open"):
+                app.submit(quick_spec())
+
+        serve(lambda: body())
+
+    def test_run_session_convenience_wrapper(self):
+        async def body():
+            spec = quick_spec(seed=12)
+            reference = run_episode_spec(spec)
+            async with ServeApp(max_concurrency=2) as app:
+                outcome = await app.run_session(spec, client_id="solo")
+            assert outcome.result == reference.result
+            stats = app.stats()
+            assert stats["sessions_started"] == stats["sessions_completed"] == 1
+
+        serve(lambda: body())
+
+    def test_invalid_concurrency_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ServeApp(max_concurrency=0)
+
+    def test_provider_installed_only_while_open(self):
+        from repro.spatial import current_spatial_provider
+
+        async def body():
+            before = current_spatial_provider()
+            async with ServeApp() as app:
+                assert current_spatial_provider() is app._provider
+            assert current_spatial_provider() is before
+
+        serve(lambda: body())
