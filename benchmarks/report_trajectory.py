@@ -37,7 +37,7 @@ from typing import Dict, Iterable, List, Optional
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 # Columns promoted to the front of their table when present.
-_LEADING_COLUMNS = ("sha", "scenario", "method", "backend")
+_LEADING_COLUMNS = ("sha", "scenario", "method", "backend", "constraints", "jacobian_mode")
 
 # SHA value used for rows recorded before provenance stamping existed.
 _NO_SHA = "-"
@@ -100,7 +100,10 @@ def _per_sha_single(rows: List[dict], key: str) -> Optional[List[dict]]:
         if sha == _NO_SHA:
             unstamped += 1
             sha = f"{_NO_SHA}#{unstamped}"
-        series = (row.get("scenario"), row.get("method"), row.get("backend"))
+        series = tuple(
+            row.get(k)
+            for k in ("scenario", "method", "backend", "constraints", "jacobian_mode")
+        )
         groups.setdefault(sha, OrderedDict())[series] = row
     if any(len(series_map) > 1 for series_map in groups.values()):
         return None
@@ -160,7 +163,11 @@ _SVG_PALETTE = ("#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b"
 
 
 def _series_label(row: dict) -> str:
-    parts = [str(row[k]) for k in ("scenario", "method", "backend") if row.get(k)]
+    parts = [
+        str(row[k])
+        for k in ("scenario", "method", "backend", "constraints", "jacobian_mode")
+        if row.get(k)
+    ]
     return "/".join(parts) if parts else "all"
 
 
@@ -317,6 +324,10 @@ def render_report(planner_entries: List[dict], throughput_entries: List[dict]) -
                 "episodes_per_sec",
                 "aware_parked",
                 "process_eps",
+                "solve_speedup",
+                "mean_solve_ms",
+                "median_solve_speedup",
+                "batch_speedup",
             ):
                 trend = _trend(rows, key)
                 if trend is not None:

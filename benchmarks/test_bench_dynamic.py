@@ -15,19 +15,23 @@ context.  Episodes that terminate before the initial plan are surfaced as
 a distinct ``no_plan`` outcome instead of a silently clamped replan count.
 
 A second pass replays one recorded CO state sequence per patrol preset and
-re-solves every frame with both collision formulations — covering-circle
-hinges vs the ESDF-gradient field constraints — recording mean solve time
-and residual-stack size per arm (``co_esdf_bench`` events).
+re-solves every frame under four arms — (covering-circle hinges | the
+ESDF-gradient field constraints) x (finite-difference | analytic Jacobian)
+— recording mean solve time, residual-stack size and the per-constraints
+``solve_speedup`` of each arm over its FD counterpart (``co_esdf_bench``
+events, stamped with ``jacobian_mode`` and ``backend``), plus one
+``co_jacobian_summary`` line carrying the median analytic speedup.
 
 Unless ``ICOIL_BENCH_SMOKE=1``:
 
 * the time-aware arm must park **every** episode with zero collisions (the
-  18/18 target this revision's velocity-aware yield closed), and
+  18/18 target this revision's velocity-aware yield closed),
 * the ESDF arm's residual stack must be under half the circle arm's (the
   deterministic claim; measured ~6x smaller), with mean solve time no
-  worse than 2x as a loose guard against catastrophic regressions —
-  wall-clock parity (~0.9-1.0x measured) is recorded, not gated, so CI
-  timing noise cannot fail merges.
+  worse than 2x as a loose guard against catastrophic regressions,
+* the analytic arms must solve at least 3x faster than their FD
+  counterparts on every preset, and one full ESDF-driven episode per
+  Jacobian mode must end with the same outcome (parked/collided).
 """
 
 from __future__ import annotations
@@ -43,7 +47,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from bench_io import append_record  # noqa: E402
 
 from repro.api import ControllerContext, EpisodeSpec, TimeLayerSpec, default_registry
-from repro.co import CollisionConstraintSet, COController
+from repro.co import CollisionConstraintSet, COController, GaussNewtonSolver
 from repro.perception.detector import ObjectDetector
 from repro.world import DifficultyLevel, ScenarioConfig, SpawnMode, build_scenario
 from repro.world.world import ParkingWorld
@@ -165,55 +169,73 @@ def test_bench_dynamic_presets():
         )
 
 
-def _co_frames(preset: str, max_time: float = 45.0):
-    """One recorded CO state/detection sequence for a patrol preset."""
-    spec = _episode_spec(preset, 0, True)
-    scenario = build_scenario(spec.scenario)
-    context = ControllerContext(scenario, time_layer=spec.time_layer, dt=spec.dt)
-    detector = ObjectDetector()
+CO_ARMS = (
+    ("circle", "fd"),
+    ("circle", "analytic"),
+    ("esdf", "fd"),
+    ("esdf", "analytic"),
+)
+
+
+def _co_controller(context, use_field: bool, jacobian: str, dt: float) -> COController:
     constraint_set = CollisionConstraintSet(
         context.vehicle_params,
         spatial_index=context.spatial_index,
         timegrid=context.timegrid,
-        use_field_constraints=False,
+        use_field_constraints=use_field,
     )
     controller = COController(
         context.vehicle_params,
         horizon=context.icoil.horizon,
-        dt=spec.dt,
+        dt=dt,
         constraint_set=constraint_set,
+        solver=GaussNewtonSolver(jacobian=jacobian),
     )
     controller.set_reference_path(context.reference_path)
+    return controller
+
+
+def _co_frames(
+    preset: str,
+    use_field: bool = False,
+    jacobian: str = "analytic",
+    max_time: float = 45.0,
+):
+    """One CO-driven episode: its context, frame sequence and final status."""
+    spec = _episode_spec(preset, 0, True)
+    scenario = build_scenario(spec.scenario)
+    context = ControllerContext(scenario, time_layer=spec.time_layer, dt=spec.dt)
+    detector = ObjectDetector()
+    controller = _co_controller(context, use_field, jacobian, dt=spec.dt)
     world = ParkingWorld(scenario, context.vehicle_params, dt=spec.dt, time_limit=80.0)
     frames = []
     while not world.status.is_terminal and world.time < max_time:
         detections = detector.detect(world.state, world.current_obstacles(), time=world.time)
         frames.append((world.state, detections, world.time))
         world.step(controller.act(world.state, detections, time=world.time))
-    return context, frames
+    return context, frames, world.status
 
 
 def test_bench_co_esdf_solve_time():
-    """Circle-hinge vs ESDF-gradient CO on identical state sequences."""
+    """Four CO arms on identical state sequences: (circle | ESDF
+    constraints) x (finite-difference | analytic Jacobian).
+
+    Each arm replays the same recorded frames; ``solve_speedup`` is the
+    same-constraints FD arm's mean solve time over this arm's, so the
+    analytic arms carry the headline number.  The ESDF arms additionally
+    drive one full episode each (non-smoke) to check that swapping the
+    linearisation does not change the episode outcome.
+    """
     stride = 16 if SMOKE else 4
     summary = {}
+    outcomes = {}
     for preset in PATROL_PRESETS:
-        context, frames = _co_frames(preset)
+        context, frames, _ = _co_frames(preset)
         row = {}
-        for use_field in (False, True):
-            constraint_set = CollisionConstraintSet(
-                context.vehicle_params,
-                spatial_index=context.spatial_index,
-                timegrid=context.timegrid,
-                use_field_constraints=use_field,
+        for constraints, jacobian in CO_ARMS:
+            controller = _co_controller(
+                context, constraints == "esdf", jacobian, dt=0.1
             )
-            controller = COController(
-                context.vehicle_params,
-                horizon=context.icoil.horizon,
-                dt=0.1,
-                constraint_set=constraint_set,
-            )
-            controller.set_reference_path(context.reference_path)
             solve_times = []
             residuals = []
             for state, detections, frame_time in frames[::stride]:
@@ -221,40 +243,93 @@ def test_bench_co_esdf_solve_time():
                 info = controller.last_info
                 solve_times.append(info.solve_time)
                 residuals.append(info.collision_residuals)
-            row[use_field] = (
+            row[(constraints, jacobian)] = (
                 float(np.mean(solve_times)) * 1000.0,
                 float(np.mean(residuals)),
             )
-        circle_ms, circle_residuals = row[False]
-        esdf_ms, esdf_residuals = row[True]
-        summary[preset] = (circle_ms, esdf_ms, circle_residuals, esdf_residuals)
-        append_record(
-            BENCH_PLANNER,
-            {
+        statuses = None
+        if not SMOKE:
+            statuses = {
+                jacobian: _co_frames(preset, use_field=True, jacobian=jacobian)[2].value
+                for jacobian in ("fd", "analytic")
+            }
+        summary[preset] = row
+        outcomes[preset] = statuses
+        for (constraints, jacobian), (mean_ms, mean_residuals) in row.items():
+            fd_ms = row[(constraints, "fd")][0]
+            record = {
                 "event": "co_esdf_bench",
                 "scenario": preset,
+                "constraints": constraints,
+                "jacobian_mode": jacobian,
+                "backend": "numpy",
                 "frames": len(frames[::stride]),
-                "circle_mean_ms": round(circle_ms, 2),
-                "esdf_mean_ms": round(esdf_ms, 2),
-                "circle_residuals": round(circle_residuals, 1),
-                "esdf_residuals": round(esdf_residuals, 1),
-                "residual_shrink": round(circle_residuals / max(esdf_residuals, 1.0), 2),
-                "solve_speedup": round(circle_ms / max(esdf_ms, 1e-9), 2),
-            },
-        )
+                "mean_solve_ms": round(mean_ms, 3),
+                "collision_residuals": round(mean_residuals, 1),
+                "solve_speedup": round(fd_ms / max(mean_ms, 1e-9), 2),
+            }
+            if constraints == "esdf" and statuses is not None:
+                record["episode_status"] = statuses[jacobian]
+            append_record(BENCH_PLANNER, record)
+        circle_ms = row[("circle", "analytic")][0]
+        esdf_ms = row[("esdf", "analytic")][0]
         print(
-            f"\n{preset}: circle {circle_ms:.1f}ms/{circle_residuals:.0f} residuals vs "
-            f"esdf {esdf_ms:.1f}ms/{esdf_residuals:.0f} residuals"
+            f"\n{preset}: analytic circle {circle_ms:.2f}ms vs esdf {esdf_ms:.2f}ms "
+            f"(fd: {row[('circle', 'fd')][0]:.2f}/{row[('esdf', 'fd')][0]:.2f}ms)"
         )
+
+    analytic_speedups = [
+        summary[preset][(constraints, "fd")][0]
+        / max(summary[preset][(constraints, "analytic")][0], 1e-9)
+        for preset in PATROL_PRESETS
+        for constraints in ("circle", "esdf")
+    ]
+    append_record(
+        BENCH_PLANNER,
+        {
+            "event": "co_jacobian_summary",
+            "presets": len(PATROL_PRESETS),
+            "backend": "numpy",
+            "median_solve_speedup": round(float(np.median(analytic_speedups)), 2),
+            "mean_solve_ms": round(
+                float(
+                    np.mean(
+                        [summary[p][("esdf", "analytic")][0] for p in PATROL_PRESETS]
+                    )
+                ),
+                3,
+            ),
+            "outcomes_match": (
+                None
+                if SMOKE
+                else all(s["fd"] == s["analytic"] for s in outcomes.values())
+            ),
+        },
+    )
     if not SMOKE:
-        for preset, (circle_ms, esdf_ms, circle_residuals, esdf_residuals) in summary.items():
+        for preset, row in summary.items():
+            circle_residuals = row[("circle", "analytic")][1]
+            esdf_residuals = row[("esdf", "analytic")][1]
             assert esdf_residuals < circle_residuals / 2.0, (
                 f"{preset}: ESDF stack {esdf_residuals:.0f} not under half of "
                 f"{circle_residuals:.0f}"
             )
-            assert esdf_ms <= circle_ms * 2.0, (
-                f"{preset}: ESDF solve {esdf_ms:.1f}ms worse than 2x circle "
-                f"{circle_ms:.1f}ms"
+            assert row[("esdf", "analytic")][0] <= row[("circle", "analytic")][0] * 2.0, (
+                f"{preset}: ESDF solve {row[('esdf', 'analytic')][0]:.2f}ms worse "
+                f"than 2x circle {row[('circle', 'analytic')][0]:.2f}ms"
+            )
+            for constraints in ("circle", "esdf"):
+                speedup = row[(constraints, "fd")][0] / max(
+                    row[(constraints, "analytic")][0], 1e-9
+                )
+                assert speedup >= 3.0, (
+                    f"{preset}/{constraints}: analytic Jacobian only "
+                    f"{speedup:.2f}x over finite differences"
+                )
+            statuses = outcomes[preset]
+            assert statuses["fd"] == statuses["analytic"], (
+                f"{preset}: episode outcome changed with the analytic Jacobian "
+                f"({statuses['fd']} vs {statuses['analytic']})"
             )
 
 

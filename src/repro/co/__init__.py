@@ -11,12 +11,25 @@ to the reference waypoints (Eq. 4) subject to collision-avoidance constraints
   fields cannot see,
 * :mod:`repro.co.mpc` — the MPC problem container and its residual /
   penalty formulation,
-* :mod:`repro.co.solver` — a damped Gauss-Newton (sequential-convexification)
-  solver with box projection, standing in for CVXPY,
+* :mod:`repro.co.solver` — damped Gauss-Newton (sequential-convexification)
+  solvers with box projection, standing in for CVXPY: analytic-Jacobian by
+  default (finite differences kept as a reference oracle) plus a batched
+  variant that solves many problems as stacked tensors,
+* :mod:`repro.co.backend` — the array-namespace seam (NumPy built in,
+  CuPy pluggable) the batched solver runs on,
+* :mod:`repro.co.batch` — stacked evaluation of many MPC problems,
 * :mod:`repro.co.controller` — the frame-by-frame CO controller ``f_CO`` with
   warm starting and solve-time instrumentation.
 """
 
+from repro.co.backend import (
+    ArrayBackend,
+    clear_array_backend,
+    current_array_backend,
+    install_array_backend,
+    resolve_backend,
+)
+from repro.co.batch import ProblemBatch
 from repro.co.constraints import (
     CollisionConstraintSet,
     ControlBounds,
@@ -25,9 +38,11 @@ from repro.co.constraints import (
 )
 from repro.co.controller import COController, COSolveInfo
 from repro.co.mpc import MPCProblem
-from repro.co.solver import GaussNewtonSolver, SolverResult
+from repro.co.solver import BatchedGaussNewtonSolver, GaussNewtonSolver, SolverResult
 
 __all__ = [
+    "ArrayBackend",
+    "BatchedGaussNewtonSolver",
     "COController",
     "COSolveInfo",
     "CollisionConstraintSet",
@@ -36,5 +51,10 @@ __all__ = [
     "GaussNewtonSolver",
     "MPCProblem",
     "ObstaclePrediction",
+    "ProblemBatch",
     "SolverResult",
+    "clear_array_backend",
+    "current_array_backend",
+    "install_array_backend",
+    "resolve_backend",
 ]

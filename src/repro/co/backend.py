@@ -1,0 +1,108 @@
+"""Array-namespace seam for the CO solver stack.
+
+The batched Gauss-Newton solver expresses every tensor operation against an
+:class:`ArrayBackend` — a named array namespace (``numpy`` today) plus the
+handful of linear-algebra entry points the solver needs.  The seam follows
+the same provider pattern as :mod:`repro.spatial.provider`: a process-wide
+install hook that higher layers (serving, experiment drivers) can use to
+substitute an accelerator namespace without the solver importing them.
+
+NumPy ships with the repository and is always available.  CuPy is resolved
+lazily by name — ``resolve_backend("cupy")`` imports it on first use and
+raises a clear error when the module is absent, so no hard dependency is
+added.  The solver's kernels stick to the NumPy call surface (``clip``,
+``einsum``, ``linalg.solve`` on stacked operands, boolean masking, in-place
+item assignment), which CuPy implements verbatim; a JAX backend would need
+a thin functional adapter for the item assignments and is intentionally out
+of scope here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """A named array namespace plus the solver's linear-algebra surface."""
+
+    name: str
+    xp: Any = field(repr=False)
+
+    def asarray(self, values, dtype=float):
+        """Lift host data into the backend's array type."""
+        return self.xp.asarray(values, dtype=dtype)
+
+    def solve(self, matrices, rhs):
+        """Batched ``linalg.solve`` over ``(B, n, n)`` / ``(B, n)`` operands."""
+        if rhs.ndim == matrices.ndim - 1:
+            # Stacked vector right-hand sides need an explicit column axis.
+            return self.xp.linalg.solve(matrices, rhs[..., None])[..., 0]
+        return self.xp.linalg.solve(matrices, rhs)
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Bring a backend array back to host NumPy (copy-free when possible)."""
+        if isinstance(array, np.ndarray):
+            return array
+        getter = getattr(array, "get", None)
+        if getter is not None:  # CuPy device arrays
+            return np.asarray(getter())
+        return np.asarray(array)
+
+
+NUMPY_BACKEND = ArrayBackend(name="numpy", xp=np)
+
+_INSTALLED: Optional[ArrayBackend] = None
+
+
+def resolve_backend(backend=None) -> ArrayBackend:
+    """Normalise a backend argument to an :class:`ArrayBackend` instance.
+
+    ``None`` resolves to the process-wide installed backend (or NumPy when
+    none is installed); a string is looked up by name (``"numpy"`` built in,
+    ``"cupy"`` imported lazily); an :class:`ArrayBackend` passes through.
+    """
+    if backend is None:
+        return _INSTALLED or NUMPY_BACKEND
+    if isinstance(backend, ArrayBackend):
+        return backend
+    if isinstance(backend, str):
+        if backend == "numpy":
+            return NUMPY_BACKEND
+        if backend == "cupy":
+            try:
+                import cupy  # noqa: PLC0415 - optional accelerator import
+            except ImportError as error:
+                raise ValueError(
+                    "array backend 'cupy' requested but cupy is not installed"
+                ) from error
+            return ArrayBackend(name="cupy", xp=cupy)
+        raise ValueError(f"unknown array backend {backend!r} (expected 'numpy' or 'cupy')")
+    raise TypeError(f"backend must be None, a name, or an ArrayBackend, got {type(backend)}")
+
+
+def install_array_backend(backend) -> Optional[ArrayBackend]:
+    """Install a process-wide default backend; returns the previous one.
+
+    Callers installing for a bounded scope should restore the returned
+    previous value when done, mirroring
+    :func:`repro.spatial.provider.install_spatial_provider`.
+    """
+    global _INSTALLED
+    previous = _INSTALLED
+    _INSTALLED = None if backend is None else resolve_backend(backend)
+    return previous
+
+
+def current_array_backend() -> ArrayBackend:
+    """The installed backend, or the NumPy default."""
+    return _INSTALLED or NUMPY_BACKEND
+
+
+def clear_array_backend() -> None:
+    """Remove any installed backend (mainly for tests)."""
+    global _INSTALLED
+    _INSTALLED = None

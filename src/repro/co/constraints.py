@@ -253,7 +253,59 @@ class FieldConstraintStack:
         blocks = int(self.static_field is not None) + int(bool(self.dynamic_fields))
         return blocks * horizon * num_ego_circles
 
-    def _dynamic_values(self, ego_centers: np.ndarray) -> np.ndarray:
+    @staticmethod
+    def _bilinear(
+        values_at,
+        points: np.ndarray,
+        origin_x: float,
+        origin_y: float,
+        resolution: float,
+        nx: int,
+        ny: int,
+        with_gradients: bool,
+    ):
+        """Shared bilinear interpolation, optionally with its exact gradient.
+
+        ``values_at(iy, ix)`` gathers field samples at integer indices (the
+        caller closes over the plain 2D array or the layer-indexed tensor).
+        The value path performs the identical operations in the identical
+        order as the historical per-field queries, so adding the gradient
+        can never change a residual bit.  The gradient is the closed-form
+        derivative of the bilinear surface w.r.t. the world point, zeroed
+        where the query clamps to the grid edge (the clamped value is
+        locally constant there).
+        """
+        raw_u = (points[:, 0] - origin_x) / resolution - 0.5
+        raw_v = (points[:, 1] - origin_y) / resolution - 0.5
+        u = np.clip(raw_u, 0.0, nx - 1.0)
+        v = np.clip(raw_v, 0.0, ny - 1.0)
+        ix0 = np.floor(u).astype(int)
+        iy0 = np.floor(v).astype(int)
+        ix1 = np.minimum(ix0 + 1, nx - 1)
+        iy1 = np.minimum(iy0 + 1, ny - 1)
+        fx = u - ix0
+        fy = v - iy0
+        bottom_left = values_at(iy0, ix0)
+        bottom_right = values_at(iy0, ix1)
+        top_left = values_at(iy1, ix0)
+        top_right = values_at(iy1, ix1)
+        bottom = bottom_left * (1.0 - fx) + bottom_right * fx
+        top = top_left * (1.0 - fx) + top_right * fx
+        values = bottom * (1.0 - fy) + top * fy
+        if not with_gradients:
+            return values, None
+        gradients = np.empty((points.shape[0], 2))
+        gradients[:, 0] = (
+            (bottom_right - bottom_left) * (1.0 - fy) + (top_right - top_left) * fy
+        ) / resolution
+        gradients[:, 1] = (top - bottom) / resolution
+        inside_x = (raw_u >= 0.0) & (raw_u <= nx - 1.0)
+        inside_y = (raw_v >= 0.0) & (raw_v <= ny - 1.0)
+        gradients[:, 0] *= inside_x
+        gradients[:, 1] *= inside_y
+        return values, gradients
+
+    def _dynamic_values(self, ego_centers: np.ndarray, with_gradients: bool = False):
         """Layer-indexed bilinear clearance of all (stage, circle) points."""
         horizon, num_circles, _ = ego_centers.shape
         points = ego_centers.reshape(-1, 2)
@@ -261,76 +313,103 @@ class FieldConstraintStack:
         tensor = self._dynamic_tensor
         grid = self._dynamic_grid
         _, ny, nx = tensor.shape
-        u = (points[:, 0] - grid.origin_x) / grid.resolution - 0.5
-        v = (points[:, 1] - grid.origin_y) / grid.resolution - 0.5
-        u = np.clip(u, 0.0, nx - 1.0)
-        v = np.clip(v, 0.0, ny - 1.0)
-        ix0 = np.floor(u).astype(int)
-        iy0 = np.floor(v).astype(int)
-        ix1 = np.minimum(ix0 + 1, nx - 1)
-        iy1 = np.minimum(iy0 + 1, ny - 1)
-        fx = u - ix0
-        fy = v - iy0
-        bottom = tensor[layer, iy0, ix0] * (1.0 - fx) + tensor[layer, iy0, ix1] * fx
-        top = tensor[layer, iy1, ix0] * (1.0 - fx) + tensor[layer, iy1, ix1] * fx
-        return bottom * (1.0 - fy) + top * fy
+        return self._bilinear(
+            lambda iy, ix: tensor[layer, iy, ix],
+            points,
+            grid.origin_x,
+            grid.origin_y,
+            grid.resolution,
+            nx,
+            ny,
+            with_gradients,
+        )
 
-    def _static_values(self, points: np.ndarray) -> np.ndarray:
+    def _static_values(self, points: np.ndarray, with_gradients: bool = False):
         """Lean bilinear static-field query (same math as the generic one)."""
         origin_x, origin_y, resolution, nx, ny = self._static_geometry
         distance = self._static_distance
-        u = (points[:, 0] - origin_x) / resolution - 0.5
-        v = (points[:, 1] - origin_y) / resolution - 0.5
-        u = np.clip(u, 0.0, nx - 1.0)
-        v = np.clip(v, 0.0, ny - 1.0)
-        ix0 = np.floor(u).astype(int)
-        iy0 = np.floor(v).astype(int)
-        ix1 = np.minimum(ix0 + 1, nx - 1)
-        iy1 = np.minimum(iy0 + 1, ny - 1)
-        fx = u - ix0
-        fy = v - iy0
-        bottom = distance[iy0, ix0] * (1.0 - fx) + distance[iy0, ix1] * fx
-        top = distance[iy1, ix0] * (1.0 - fx) + distance[iy1, ix1] * fx
-        return bottom * (1.0 - fy) + top * fy
+        return self._bilinear(
+            lambda iy, ix: distance[iy, ix],
+            points,
+            origin_x,
+            origin_y,
+            resolution,
+            nx,
+            ny,
+            with_gradients,
+        )
 
-    def _clearances(self, ego_centers: np.ndarray) -> List[Tuple[np.ndarray, float]]:
-        """``(clearance_values, required)`` pairs for an ``(H, E, 2)`` batch."""
+    def _clearances(
+        self, ego_centers: np.ndarray, with_gradients: bool = False
+    ) -> List[Tuple[np.ndarray, Optional[np.ndarray], float]]:
+        """``(clearance_values, gradients, required)`` triples for an ``(H, E, 2)`` batch."""
         horizon = ego_centers.shape[0]
-        pairs: List[Tuple[np.ndarray, float]] = []
+        triples: List[Tuple[np.ndarray, Optional[np.ndarray], float]] = []
         if self.static_field is not None:
-            pairs.append(
-                (self._static_values(ego_centers.reshape(-1, 2)), self.static_clearance)
+            values, gradients = self._static_values(
+                ego_centers.reshape(-1, 2), with_gradients
             )
+            triples.append((values, gradients, self.static_clearance))
         if self.dynamic_fields:
             if len(self.dynamic_fields) < horizon:
                 raise ValueError(
                     "field stack has fewer dynamic slices than MPC stages "
                     f"({len(self.dynamic_fields)} < {horizon})"
                 )
-            pairs.append((self._dynamic_values(ego_centers), self.dynamic_clearance))
-        return pairs
+            values, gradients = self._dynamic_values(ego_centers, with_gradients)
+            triples.append((values, gradients, self.dynamic_clearance))
+        return triples
 
     def violations(self, ego_centers: np.ndarray) -> np.ndarray:
         """Stacked hinge violations ``max(0, required - field)`` for a rollout."""
         pairs = self._clearances(ego_centers)
         if not pairs:
             return np.zeros(0)
-        total = sum(values.shape[0] for values, _ in pairs)
+        total = sum(values.shape[0] for values, _, _ in pairs)
         out = np.empty(total)
         cursor = 0
-        for values, required in pairs:
+        for values, _, required in pairs:
             block = out[cursor : cursor + values.shape[0]]
             np.subtract(required, values, out=block)
             np.maximum(block, 0.0, out=block)
             cursor += values.shape[0]
         return out
 
+    def violations_with_gradients(
+        self, ego_centers: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Hinge violations plus their exact gradients w.r.t. the circle centres.
+
+        Returns ``(violations, gradients)`` where ``violations`` is bitwise
+        identical to :meth:`violations` and ``gradients[i]`` is
+        ``d violations[i] / d centre_i`` — the *negated* bilinear field
+        gradient where the hinge is active, zero elsewhere.  Row order is
+        the static block followed by the dynamic block, each raveled over
+        (stage, ego circle); this is the closed-form replacement for the
+        solver's finite-difference probing of the field.
+        """
+        pairs = self._clearances(ego_centers, with_gradients=True)
+        if not pairs:
+            return np.zeros(0), np.zeros((0, 2))
+        total = sum(values.shape[0] for values, _, _ in pairs)
+        out = np.empty(total)
+        gradients = np.zeros((total, 2))
+        cursor = 0
+        for values, field_gradients, required in pairs:
+            block = out[cursor : cursor + values.shape[0]]
+            np.subtract(required, values, out=block)
+            np.maximum(block, 0.0, out=block)
+            active = block > 0.0
+            gradients[cursor : cursor + values.shape[0]][active] = -field_gradients[active]
+            cursor += values.shape[0]
+        return out, gradients
+
     def min_clearance(self, ego_centers: np.ndarray) -> float:
         """Worst ``field - required`` margin over the horizon (inf when empty)."""
         pairs = self._clearances(ego_centers)
         if not pairs:
             return float("inf")
-        return float(min(float(values.min()) - required for values, required in pairs))
+        return float(min(float(values.min()) - required for values, _, required in pairs))
 
 
 class CollisionConstraintSet:

@@ -23,9 +23,10 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.co.backend import resolve_backend
 from repro.co.constraints import CollisionConstraintSet, ControlBounds, ObstaclePrediction
 from repro.co.mpc import MPCProblem
-from repro.co.solver import GaussNewtonSolver, SolverResult
+from repro.co.solver import BatchedGaussNewtonSolver, GaussNewtonSolver, SolverResult
 from repro.perception.detector import Detection
 from repro.spatial import SpatialIndex
 from repro.planning.progress import SegmentedPathFollower
@@ -52,6 +53,10 @@ class COSolveInfo:
     # ESDF-gradient formulation shrinks (the solve-time benchmark records
     # both formulations' numbers side by side).
     collision_residuals: int = 0
+    # How the convex subproblems were linearised ("analytic" or "fd") and
+    # which array backend evaluated them ("numpy", "cupy", ...).
+    jacobian_mode: str = "analytic"
+    backend: str = "numpy"
 
 
 class COController:
@@ -123,6 +128,77 @@ class COController:
         time: float = 0.0,
     ) -> Action:
         """Compute the driving command for the current frame."""
+        problem, warm_start, reference_speed = self._prepare(state, detections, time)
+        result = self.solver.solve(problem, initial_controls=warm_start)
+        return self._finalize(
+            state,
+            detections,
+            problem,
+            result,
+            reference_speed,
+            jacobian_mode=getattr(self.solver, "jacobian", "analytic"),
+            backend="numpy",
+        )
+
+    @staticmethod
+    def act_many(
+        controllers: Sequence["COController"],
+        states: Sequence[VehicleState],
+        detections_list: Optional[Sequence[Sequence[Detection]]] = None,
+        times: Optional[Sequence[float]] = None,
+        solver: Optional[BatchedGaussNewtonSolver] = None,
+        backend=None,
+    ) -> List[Action]:
+        """One batched MPC solve for a fleet of controllers.
+
+        Each controller prepares its own problem (reference extraction,
+        constraint build, warm start) exactly as :meth:`act` would; the
+        control sequences are then found by a single
+        :meth:`~repro.co.solver.BatchedGaussNewtonSolver.solve_many` call
+        and finalised per controller (warm-start update, diagnostics,
+        infeasibility fallback).
+        """
+        if len(states) != len(controllers):
+            raise ValueError(f"{len(states)} states for {len(controllers)} controllers")
+        if detections_list is None:
+            detections_list = [() for _ in controllers]
+        if times is None:
+            times = [0.0 for _ in controllers]
+        solver = solver or BatchedGaussNewtonSolver(backend=backend)
+        prepared = [
+            controller._prepare(state, detections, time)
+            for controller, state, detections, time in zip(
+                controllers, states, detections_list, times
+            )
+        ]
+        results = solver.solve_many(
+            [problem for problem, _, _ in prepared],
+            initial_controls=[warm for _, warm, _ in prepared],
+            backend=backend,
+        )
+        backend_name = resolve_backend(backend if backend is not None else solver.backend).name
+        return [
+            controller._finalize(
+                state,
+                detections,
+                problem,
+                result,
+                reference_speed,
+                jacobian_mode="analytic",
+                backend=backend_name,
+            )
+            for controller, state, detections, (problem, _, reference_speed), result in zip(
+                controllers, states, detections_list, prepared, results
+            )
+        ]
+
+    def _prepare(
+        self,
+        state: VehicleState,
+        detections: Sequence[Detection],
+        time: float,
+    ):
+        """Build this frame's MPC problem, warm start and reference speed."""
         if self._reference_path is None:
             raise RuntimeError("COController.act called before set_reference_path()")
 
@@ -147,15 +223,29 @@ class COController:
             ego_circle_radius=self.constraint_set.ego_circle_radius,
         )
         warm_start = self._shifted_warm_start(direction, reference_speed)
-        result = self.solver.solve(problem, initial_controls=warm_start)
+        return problem, warm_start, reference_speed
+
+    def _finalize(
+        self,
+        state: VehicleState,
+        detections: Sequence[Detection],
+        problem: MPCProblem,
+        result: SolverResult,
+        reference_speed: float,
+        jacobian_mode: str,
+        backend: str,
+    ) -> Action:
+        """Record diagnostics and convert a solver result into an action."""
         self._warm_start = result.controls
 
         num_ego_circles = int(np.size(self.constraint_set.ego_circle_offsets))
         collision_residuals = self.horizon * num_ego_circles * sum(
-            prediction.num_circles for prediction in predictions
+            prediction.num_circles for prediction in problem.obstacle_predictions
         )
-        if field_stack is not None:
-            collision_residuals += field_stack.num_residuals(self.horizon, num_ego_circles)
+        if problem.field_constraint is not None:
+            collision_residuals += problem.field_constraint.num_residuals(
+                self.horizon, num_ego_circles
+            )
         distances = self._obstacle_distances(state, detections)
         self._last_info = COSolveInfo(
             solve_time=result.solve_time,
@@ -167,6 +257,8 @@ class COController:
             horizon=self.horizon,
             reference_speed=reference_speed,
             collision_residuals=collision_residuals,
+            jacobian_mode=jacobian_mode,
+            backend=backend,
         )
 
         control = KinematicControl(

@@ -15,7 +15,7 @@ steering angle).  The problem couples:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -168,7 +168,10 @@ class MPCProblem:
         """
         if not self.obstacle_predictions and self.field_constraint is None:
             return np.zeros(0)
-        ego_centers = self._ego_circle_centers(states)
+        return self._violations_from_centers(self._ego_circle_centers(states))
+
+    def _violations_from_centers(self, ego_centers: np.ndarray) -> np.ndarray:
+        """Collision violations for precomputed ``(H, E, 2)`` circle centres."""
         violations = []
         if self.field_constraint is not None:
             violations.append(self.field_constraint.violations(ego_centers))
@@ -179,29 +182,204 @@ class MPCProblem:
             deltas = obstacle_centers[:, :, None, :] - ego_centers[:, None, :, :]
             distances = np.linalg.norm(deltas, axis=-1)
             violations.append(np.maximum(0.0, clearance - distances).ravel())
+        if not violations:
+            return np.zeros(0)
         return np.concatenate(violations)
+
+    # ------------------------------------------------------------------
+    # Analytic derivatives
+    # ------------------------------------------------------------------
+    def _smoothness_matrix(self) -> np.ndarray:
+        """Constant sparse Jacobian of the control-difference residuals."""
+        cached = getattr(self, "_smoothness_cache", None)
+        if cached is not None:
+            return cached
+        horizon = self.horizon
+        matrix = np.zeros((2 * (horizon - 1), 2 * horizon))
+        for step in range(horizon - 1):
+            for channel in range(2):
+                row = 2 * step + channel
+                matrix[row, 2 * step + channel] = -1.0
+                matrix[row, 2 * (step + 1) + channel] = 1.0
+        self._smoothness_cache = matrix
+        return matrix
+
+    def _center_jacobians(self, states: np.ndarray, sens_flat: np.ndarray) -> np.ndarray:
+        """``d centre_{h,e} / d u`` of shape ``(H, E, 2, 2H)``.
+
+        The circle centre is the rear-axle position plus a heading-aligned
+        offset, so its Jacobian chains the position rows of the rollout
+        sensitivities with the rotated offset times the heading row.
+        """
+        headings = states[1:, 2]
+        # d direction / d heading = (-sin, cos)
+        turn = np.stack([-np.sin(headings), np.cos(headings)], axis=1)
+        position_rows = sens_flat[:, 0:2, :]
+        heading_rows = sens_flat[:, 2, :]
+        return (
+            position_rows[:, None, :, :]
+            + self.ego_circle_offsets[None, :, None, None]
+            * turn[:, None, :, None]
+            * heading_rows[:, None, None, :]
+        )
+
+    def collision_rows(
+        self, states: np.ndarray, sens_flat: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Unweighted collision violations and their analytic Jacobian rows.
+
+        Parameters
+        ----------
+        states:
+            Rollout states of shape ``(H + 1, 4)``.
+        sens_flat:
+            Rollout sensitivities reshaped to ``(H, 4, 2H)`` (stage-major
+            rows of ``d s_{h+1} / d U``).
+
+        Returns
+        -------
+        (violations, jacobian):
+            ``violations`` matches :meth:`constraint_violations` bitwise;
+            ``jacobian`` has one row per violation entry (zero rows for
+            inactive hinges).  Field hinges chain the exact bilinear field
+            gradients; covering-circle hinges chain the unit delta
+            direction between the circle centres.
+        """
+        if not self.obstacle_predictions and self.field_constraint is None:
+            return np.zeros(0), np.zeros((0, self.num_variables))
+        ego_centers = self._ego_circle_centers(states)
+        center_jac = self._center_jacobians(states, sens_flat)
+        horizon, num_circles = ego_centers.shape[0], ego_centers.shape[1]
+        violation_parts: List[np.ndarray] = []
+        jacobian_parts: List[np.ndarray] = []
+        if self.field_constraint is not None:
+            violations, gradients = self.field_constraint.violations_with_gradients(
+                ego_centers
+            )
+            violation_parts.append(violations)
+            # Blocks of (H * E) rows (static, then dynamic when present).
+            blocks = violations.shape[0] // (horizon * num_circles)
+            per_block = gradients.reshape(blocks, horizon, num_circles, 2)
+            rows = np.einsum("bhek,hekn->bhen", per_block, center_jac)
+            jacobian_parts.append(rows.reshape(violations.shape[0], self.num_variables))
+        for prediction in self.obstacle_predictions:
+            clearance = prediction.required_clearance(float(self.ego_circle_radius))
+            obstacle_centers = prediction.circle_positions[: self.horizon]
+            deltas = obstacle_centers[:, :, None, :] - ego_centers[:, None, :, :]
+            distances = np.linalg.norm(deltas, axis=-1)
+            violations = np.maximum(0.0, clearance - distances)
+            violation_parts.append(violations.ravel())
+            # d violation / d centre = delta / distance where the hinge is
+            # active (the residual grows as the ego circle closes the gap).
+            safe = np.where(distances > 1e-12, distances, 1.0)
+            directions = np.where(
+                (violations > 0.0)[..., None], deltas / safe[..., None], 0.0
+            )
+            rows = np.einsum("hcek,hekn->hcen", directions, center_jac)
+            jacobian_parts.append(
+                rows.reshape(violations.size, self.num_variables)
+            )
+        return np.concatenate(violation_parts), np.concatenate(jacobian_parts)
+
+    def residuals_and_jacobian(self, controls: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Residual vector plus its analytic Jacobian in one rollout.
+
+        The residual values reproduce :meth:`residuals` bitwise (same
+        operations in the same order); the Jacobian chains the closed-form
+        rollout sensitivities of
+        :meth:`~repro.vehicle.kinematics.AckermannModel.rollout_with_sensitivities`
+        through every residual block, replacing the ~2H+1 rollouts of a
+        forward-difference Jacobian with exactly one.
+        """
+        controls = np.asarray(controls, dtype=float).reshape(self.horizon, 2)
+        states, sensitivities = self.model.rollout_with_sensitivities(
+            self.initial_state, controls
+        )
+        horizon = self.horizon
+        num_variables = self.num_variables
+        sens_flat = sensitivities.transpose(0, 2, 1, 3).reshape(horizon, 4, num_variables)
+        future = states[1:]
+
+        residual_parts: List[np.ndarray] = []
+        jacobian_parts: List[np.ndarray] = []
+        sqrt_position = np.sqrt(self.position_weight)
+        position_error = (future[:, :2] - self.reference_positions) * sqrt_position
+        residual_parts.append(position_error.ravel())
+        jacobian_parts.append(
+            (sens_flat[:, 0:2, :] * sqrt_position).reshape(2 * horizon, num_variables)
+        )
+        if self.reference_headings is not None:
+            sqrt_heading = np.sqrt(self.heading_weight)
+            heading_error = np.arctan2(
+                np.sin(future[:, 2] - self.reference_headings),
+                np.cos(future[:, 2] - self.reference_headings),
+            )
+            residual_parts.append(heading_error * sqrt_heading)
+            # The wrapped difference has unit derivative w.r.t. the heading
+            # almost everywhere, so the row is just the heading sensitivity.
+            jacobian_parts.append(sens_flat[:, 2, :] * sqrt_heading)
+        sqrt_control = np.sqrt(self.control_weight)
+        residual_parts.append(controls.ravel() * sqrt_control)
+        jacobian_parts.append(np.eye(num_variables) * sqrt_control)
+        if horizon > 1:
+            sqrt_smooth = np.sqrt(self.smoothness_weight)
+            residual_parts.append(np.diff(controls, axis=0).ravel() * sqrt_smooth)
+            jacobian_parts.append(self._smoothness_matrix() * sqrt_smooth)
+        if self.obstacle_predictions or self.field_constraint is not None:
+            violations, rows = self.collision_rows(states, sens_flat)
+            if violations.size:
+                sqrt_collision = np.sqrt(self.collision_weight)
+                residual_parts.append(violations * sqrt_collision)
+                jacobian_parts.append(rows * sqrt_collision)
+        return np.concatenate(residual_parts), np.concatenate(jacobian_parts, axis=0)
 
     def objective(self, controls: np.ndarray) -> float:
         """Scalar objective value (sum of squared residuals)."""
         residuals = self.residuals(controls)
         return float(residuals @ residuals)
 
-    def min_clearance(self, controls: np.ndarray) -> float:
-        """Minimum (distance - required_clearance) margin over the horizon."""
+    def clearance_margins(self, controls: np.ndarray) -> Dict[str, float]:
+        """Per-source clearance margins over the horizon.
+
+        Returns a mapping with a ``"field"`` entry when a field-constraint
+        stack is configured and a ``"circles"`` entry when covering-circle
+        predictions are, each the worst ``distance - required_clearance``
+        margin of that source.  Sources that are configured but empty (a
+        field stack with neither a static field nor dynamic slices) report
+        ``inf`` explicitly rather than disappearing, so callers can always
+        tell *which* formulation produced a margin.
+        """
+        margins: Dict[str, float] = {}
         if not self.obstacle_predictions and self.field_constraint is None:
-            return float("inf")
+            return margins
         states = self.rollout(controls)
         ego_centers = self._ego_circle_centers(states)
-        margins = []
         if self.field_constraint is not None:
-            margins.append(self.field_constraint.min_clearance(ego_centers))
-        for prediction in self.obstacle_predictions:
-            clearance = prediction.required_clearance(float(self.ego_circle_radius))
-            obstacle_centers = prediction.circle_positions[: self.horizon]
-            deltas = obstacle_centers[:, :, None, :] - ego_centers[:, None, :, :]
-            distances = np.linalg.norm(deltas, axis=-1)
-            margins.append(float(np.min(distances) - clearance))
-        return float(min(margins))
+            margins["field"] = self.field_constraint.min_clearance(ego_centers)
+        if self.obstacle_predictions:
+            circle_margins = []
+            for prediction in self.obstacle_predictions:
+                clearance = prediction.required_clearance(float(self.ego_circle_radius))
+                obstacle_centers = prediction.circle_positions[: self.horizon]
+                deltas = obstacle_centers[:, :, None, :] - ego_centers[:, None, :, :]
+                distances = np.linalg.norm(deltas, axis=-1)
+                circle_margins.append(float(np.min(distances) - clearance))
+            margins["circles"] = float(min(circle_margins))
+        return margins
+
+    def min_clearance(self, controls: np.ndarray) -> float:
+        """Minimum (distance - required_clearance) margin over the horizon.
+
+        ``inf`` when no collision source is configured; otherwise the worst
+        margin across the configured sources (see :meth:`clearance_margins`
+        for the per-source breakdown — a single configured source is
+        reported as itself instead of an unguarded ``min`` over whatever
+        happened to be present).
+        """
+        margins = self.clearance_margins(controls)
+        if not margins:
+            return float("inf")
+        return float(min(margins.values()))
 
     def is_feasible(self, controls: np.ndarray, tolerance: float = 1e-6) -> bool:
         """Whether the collision constraints hold along the rollout."""

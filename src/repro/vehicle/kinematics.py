@@ -176,6 +176,208 @@ class AckermannModel:
             row[3] = velocity
         return states
 
+    def rollout_with_sensitivities(
+        self, state: VehicleState, controls: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Rollout plus closed-form sensitivities of every state to every control.
+
+        The per-stage state-transition Jacobians of the bicycle update
+        (``A_h = ds_{h+1}/ds_h``, ``B_h = ds_{h+1}/du_h``) are accumulated
+        into the full tensor ``ds_h/du_j`` by the standard chain product
+        ``A_{h-1} ... A_{j+1} B_j``, so one call replaces the ~2H rollouts a
+        finite-difference Jacobian needs.  The actuator and velocity clips
+        are differentiated exactly: a clipped quantity contributes a zero
+        column, with the subgradient at the boundary itself taken from the
+        interior so a projected Gauss-Newton step can re-enter the box.
+
+        Parameters
+        ----------
+        state:
+            Initial state.
+        controls:
+            Array of shape ``(H, 2)`` with columns (acceleration, steer angle).
+
+        Returns
+        -------
+        (states, sensitivities):
+            ``states`` is the ``(H + 1, 4)`` rollout (bit-identical to
+            :meth:`rollout_controls_array`); ``sensitivities`` has shape
+            ``(H, H, 4, 2)`` with ``sensitivities[h, j]`` the Jacobian of
+            ``states[h + 1]`` w.r.t. control ``j`` (zero for ``j > h``).
+        """
+        controls = np.asarray(controls, dtype=float).reshape(-1, 2)
+        horizon = controls.shape[0]
+        states = self.rollout_controls_array(state, controls)
+        params = self.params
+        dt = self.dt
+        wheelbase = params.wheelbase
+
+        raw_accel = controls[:, 0]
+        raw_steer = controls[:, 1]
+        steer = np.clip(raw_steer, -params.max_steer, params.max_steer)
+        accel = np.clip(raw_accel, -params.max_deceleration, params.max_acceleration)
+        accel_free = (raw_accel >= -params.max_deceleration) & (
+            raw_accel <= params.max_acceleration
+        )
+        steer_free = (raw_steer >= -params.max_steer) & (raw_steer <= params.max_steer)
+        # Velocity clip activity: v_{h+1} = clip(v_h + a_h dt); where the clip
+        # engages, v_{h+1} is constant and its derivatives vanish.
+        pre_velocity = states[:-1, 3] + accel * dt
+        velocity_free = (pre_velocity >= -params.max_reverse_speed) & (
+            pre_velocity <= params.max_speed
+        )
+
+        next_velocity = states[1:, 3]
+        heading = states[:-1, 2]
+        cos_h = np.cos(heading)
+        sin_h = np.sin(heading)
+        tan_s = np.tan(steer)
+
+        sensitivities = np.zeros((horizon, horizon, 4, 2))
+        transition = np.eye(4)
+        for h in range(horizon):
+            free = float(velocity_free[h])
+            if h > 0:
+                # A_h: position picks up the *new* velocity through the clip
+                # and the *old* heading; heading picks up the new velocity.
+                transition[0, 2] = -next_velocity[h] * sin_h[h] * dt
+                transition[0, 3] = free * cos_h[h] * dt
+                transition[1, 2] = next_velocity[h] * cos_h[h] * dt
+                transition[1, 3] = free * sin_h[h] * dt
+                transition[2, 3] = free * tan_s[h] * dt / wheelbase
+                transition[3, 3] = free
+                np.matmul(transition, sensitivities[h - 1, :h], out=sensitivities[h, :h])
+            # B_h: acceleration enters through the velocity update, steering
+            # through the heading update only.
+            if accel_free[h] and velocity_free[h]:
+                gain = dt * dt
+                sensitivities[h, h, 0, 0] = gain * cos_h[h]
+                sensitivities[h, h, 1, 0] = gain * sin_h[h]
+                sensitivities[h, h, 2, 0] = gain * tan_s[h] / wheelbase
+                sensitivities[h, h, 3, 0] = dt
+            if steer_free[h]:
+                cos_steer = math.cos(steer[h])
+                sensitivities[h, h, 2, 1] = (
+                    next_velocity[h] * dt / (wheelbase * cos_steer * cos_steer)
+                )
+        return states, sensitivities
+
+    # ------------------------------------------------------------------
+    # Batched (array-backend) interface
+    # ------------------------------------------------------------------
+    def rollout_batch(self, initial_states: np.ndarray, controls: np.ndarray, xp=np):
+        """Roll out ``B`` independent control sequences as one tensor op chain.
+
+        Parameters
+        ----------
+        initial_states:
+            Array of shape ``(B, 4)`` with columns (x, y, heading, velocity).
+        controls:
+            Array of shape ``(B, H, 2)``.
+        xp:
+            Array namespace (NumPy by default; any namespace with the same
+            call surface, e.g. CuPy, works — see :mod:`repro.co.backend`).
+
+        Returns
+        -------
+        States of shape ``(B, H + 1, 4)``.  Matches ``B`` independent
+        :meth:`rollout_controls_array` calls to floating-point round-off
+        (the batched heading wrap uses ``mod`` instead of ``fmod``).
+        """
+        params = self.params
+        dt = self.dt
+        controls = xp.asarray(controls, dtype=float)
+        initial_states = xp.asarray(initial_states, dtype=float)
+        horizon = controls.shape[1]
+        accel = xp.clip(controls[:, :, 0], -params.max_deceleration, params.max_acceleration)
+        tan_s = xp.tan(xp.clip(controls[:, :, 1], -params.max_steer, params.max_steer))
+        states = xp.zeros((initial_states.shape[0], horizon + 1, 4))
+        states[:, 0] = initial_states
+        x = initial_states[:, 0]
+        y = initial_states[:, 1]
+        heading = initial_states[:, 2]
+        velocity = initial_states[:, 3]
+        for h in range(horizon):
+            velocity = xp.clip(
+                velocity + accel[:, h] * dt, -params.max_reverse_speed, params.max_speed
+            )
+            x = x + velocity * xp.cos(heading) * dt
+            y = y + velocity * xp.sin(heading) * dt
+            heading = (
+                xp.mod(heading + velocity / params.wheelbase * tan_s[:, h] * dt + math.pi, 2.0 * math.pi)
+                - math.pi
+            )
+            states[:, h + 1, 0] = x
+            states[:, h + 1, 1] = y
+            states[:, h + 1, 2] = heading
+            states[:, h + 1, 3] = velocity
+        return states
+
+    def rollout_batch_with_sensitivities(
+        self, initial_states: np.ndarray, controls: np.ndarray, xp=np
+    ):
+        """Batched :meth:`rollout_with_sensitivities`: ``(B, H+1, 4)`` states
+        plus a ``(B, H, H, 4, 2)`` sensitivity tensor."""
+        params = self.params
+        dt = self.dt
+        wheelbase = params.wheelbase
+        controls = xp.asarray(controls, dtype=float)
+        states = self.rollout_batch(initial_states, controls, xp=xp)
+        batch, horizon = controls.shape[0], controls.shape[1]
+
+        raw_accel = controls[:, :, 0]
+        raw_steer = controls[:, :, 1]
+        steer = xp.clip(raw_steer, -params.max_steer, params.max_steer)
+        accel = xp.clip(raw_accel, -params.max_deceleration, params.max_acceleration)
+        accel_free = (raw_accel >= -params.max_deceleration) & (
+            raw_accel <= params.max_acceleration
+        )
+        steer_free = (raw_steer >= -params.max_steer) & (raw_steer <= params.max_steer)
+        pre_velocity = states[:, :-1, 3] + accel * dt
+        velocity_free = (
+            (pre_velocity >= -params.max_reverse_speed) & (pre_velocity <= params.max_speed)
+        ).astype(float)
+
+        next_velocity = states[:, 1:, 3]
+        heading = states[:, :-1, 2]
+        cos_h = xp.cos(heading)
+        sin_h = xp.sin(heading)
+        tan_s = xp.tan(steer)
+        cos_s = xp.cos(steer)
+
+        sensitivities = xp.zeros((batch, horizon, horizon, 4, 2))
+        # One (B, 4, 4) transition buffer reused across steps; only the
+        # state-dependent entries are rewritten each iteration.
+        transition = xp.zeros((batch, 4, 4))
+        transition[:, 0, 0] = 1.0
+        transition[:, 1, 1] = 1.0
+        transition[:, 2, 2] = 1.0
+        for h in range(horizon):
+            free = velocity_free[:, h]
+            if h > 0:
+                transition[:, 0, 2] = -next_velocity[:, h] * sin_h[:, h] * dt
+                transition[:, 0, 3] = free * cos_h[:, h] * dt
+                transition[:, 1, 2] = next_velocity[:, h] * cos_h[:, h] * dt
+                transition[:, 1, 3] = free * sin_h[:, h] * dt
+                transition[:, 2, 3] = free * tan_s[:, h] * dt / wheelbase
+                transition[:, 3, 3] = free
+                # Broadcasted batched matmul: (B, 1, 4, 4) @ (B, h, 4, 2).
+                sensitivities[:, h, :h] = xp.matmul(
+                    transition[:, None], sensitivities[:, h - 1, :h]
+                )
+            accel_gain = free * accel_free[:, h].astype(float) * dt
+            sensitivities[:, h, h, 0, 0] = accel_gain * cos_h[:, h] * dt
+            sensitivities[:, h, h, 1, 0] = accel_gain * sin_h[:, h] * dt
+            sensitivities[:, h, h, 2, 0] = accel_gain * tan_s[:, h] * dt / wheelbase
+            sensitivities[:, h, h, 3, 0] = accel_gain
+            sensitivities[:, h, h, 2, 1] = (
+                steer_free[:, h].astype(float)
+                * next_velocity[:, h]
+                * dt
+                / (wheelbase * cos_s[:, h] * cos_s[:, h])
+            )
+        return states, sensitivities
+
     # ------------------------------------------------------------------
     # Conversions between the two interfaces
     # ------------------------------------------------------------------

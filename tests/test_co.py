@@ -172,6 +172,20 @@ class TestMPCProblem:
                 reference_headings=np.zeros(3),
             )
 
+    def test_clearance_margins_report_per_source(self, vehicle_params):
+        controls = np.tile([0.5, 0.0], (8, 1))
+        unconstrained = self._problem(vehicle_params)
+        assert unconstrained.clearance_margins(controls) == {}
+        assert unconstrained.min_clearance(controls) == float("inf")
+
+        with_circles = self._problem(vehicle_params, with_obstacle=True)
+        margins = with_circles.clearance_margins(controls)
+        assert set(margins) == {"circles"}
+        # The single configured source IS the overall minimum — no other
+        # source can silently shadow it.
+        assert with_circles.min_clearance(controls) == margins["circles"]
+        assert margins["circles"] < 0.0
+
 
 class TestGaussNewtonSolver:
     def test_tracks_straight_reference(self, vehicle_params):

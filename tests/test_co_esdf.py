@@ -166,16 +166,16 @@ class TestFieldConstraintStack:
         _, stack = self._stack(context)
         rng = np.random.RandomState(5)
         points = rng.rand(200, 2) * 60.0 - 5.0
-        np.testing.assert_array_equal(
-            stack._static_values(points), stack.static_field.clearance(points)
-        )
+        values, gradients = stack._static_values(points)
+        np.testing.assert_array_equal(values, stack.static_field.clearance(points))
+        assert gradients is None
 
     def test_fused_gather_matches_per_field_queries(self, patrol_context):
         _, context = patrol_context
         _, stack = self._stack(context)
         rng = np.random.RandomState(7)
         centers = rng.rand(10, 3, 2) * 30.0 + np.array([10.0, 0.0])
-        fused = stack._dynamic_values(centers)
+        fused, _ = stack._dynamic_values(centers)
         reference = np.concatenate(
             [stack.dynamic_fields[h].clearance(centers[h]) for h in range(10)]
         )
@@ -275,6 +275,36 @@ class TestMPCIntegration:
         scenario, context = patrol_context
         problem = self._problem(context, scenario, use_field=True)
         assert np.isfinite(problem.min_clearance(np.zeros((8, 2))))
+
+    def test_clearance_margins_name_the_field_source(self, patrol_context):
+        scenario, context = patrol_context
+        controls = np.zeros((8, 2))
+        field = self._problem(context, scenario, use_field=True)
+        margins = field.clearance_margins(controls)
+        assert "field" in margins
+        assert field.min_clearance(controls) == min(margins.values())
+        circle = self._problem(context, scenario, use_field=False)
+        assert "field" not in circle.clearance_margins(controls)
+
+    def test_analytic_jacobian_matches_fd_on_field_problem(self, patrol_context):
+        scenario, context = patrol_context
+        problem = self._problem(context, scenario, use_field=True)
+        controls = np.tile([0.3, 0.05], (8, 1))
+        residuals, jacobian = problem.residuals_and_jacobian(controls)
+        np.testing.assert_array_equal(residuals, problem.residuals(controls))
+        step = 1e-7
+        flat = controls.ravel()
+        numerical = np.zeros_like(jacobian)
+        for index in range(flat.shape[0]):
+            forward = flat.copy()
+            forward[index] += step
+            backward = flat.copy()
+            backward[index] -= step
+            numerical[:, index] = (
+                problem.residuals(forward.reshape(8, 2))
+                - problem.residuals(backward.reshape(8, 2))
+            ) / (2.0 * step)
+        np.testing.assert_allclose(jacobian, numerical, atol=5e-4)
 
 
 class TestCOControllerFieldPath:

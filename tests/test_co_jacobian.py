@@ -1,0 +1,295 @@
+"""Analytic CO Jacobians: correctness against numerical differentiation and
+bit-parity of the retained finite-difference solver path.
+
+Three layers of guarantees:
+
+* the rollout sensitivities of
+  :meth:`~repro.vehicle.kinematics.AckermannModel.rollout_with_sensitivities`
+  match central differences of the rollout (away from the clip kinks),
+* :meth:`~repro.co.mpc.MPCProblem.residuals_and_jacobian` reproduces the
+  residual vector bitwise and its Jacobian matches central differences of
+  :meth:`~repro.co.mpc.MPCProblem.residuals` for every residual block,
+* ``GaussNewtonSolver(jacobian="fd")`` reproduces the pre-analytic solver's
+  trajectories bit for bit (the FD path is the frozen reference oracle).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.co.constraints import FieldConstraintStack, ObstaclePrediction
+from repro.co.mpc import MPCProblem
+from repro.co.solver import GaussNewtonSolver
+from repro.spatial import DistanceField, OccupancyGrid
+from repro.vehicle.kinematics import AckermannModel
+from repro.vehicle.params import VehicleParams
+from repro.vehicle.state import VehicleState
+
+HORIZON = 6
+PARAMS = VehicleParams()
+MODEL = AckermannModel(PARAMS, dt=0.25)
+
+# Strategies that keep the sampled problems strictly inside the smooth
+# region: controls well within the box bounds and velocities that cannot
+# reach the speed clips within the horizon, so the central differences
+# below never straddle a clip kink.
+accelerations = st.floats(-0.8, 0.8)
+steers = st.floats(-0.5, 0.5)
+controls_strategy = st.lists(
+    st.tuples(accelerations, steers), min_size=HORIZON, max_size=HORIZON
+).map(np.array)
+state_strategy = st.builds(
+    VehicleState,
+    x=st.floats(-1.0, 1.0),
+    y=st.floats(-1.0, 1.0),
+    heading=st.floats(-1.0, 1.0),
+    velocity=st.floats(-0.5, 1.5),
+)
+
+
+def _numerical_jacobian(function, controls, step=1e-6):
+    """Central-difference Jacobian of a vector function of the controls."""
+    flat = controls.ravel()
+    base = function(controls)
+    jacobian = np.zeros((base.shape[0], flat.shape[0]))
+    for index in range(flat.shape[0]):
+        forward = flat.copy()
+        forward[index] += step
+        backward = flat.copy()
+        backward[index] -= step
+        jacobian[:, index] = (
+            function(forward.reshape(controls.shape))
+            - function(backward.reshape(controls.shape))
+        ) / (2.0 * step)
+    return jacobian
+
+
+def _tracking_problem(state, obstacle_predictions=(), field_constraint=None):
+    rng = np.random.default_rng(11)
+    references = np.cumsum(rng.uniform(0.05, 0.3, size=(HORIZON, 2)), axis=0)
+    headings = rng.uniform(-0.3, 0.3, size=HORIZON)
+    return MPCProblem(
+        model=MODEL,
+        initial_state=state,
+        reference_positions=references,
+        reference_headings=headings,
+        obstacle_predictions=list(obstacle_predictions),
+        field_constraint=field_constraint,
+    )
+
+
+class TestRolloutSensitivities:
+    @settings(max_examples=60, deadline=None)
+    @given(state=state_strategy, controls=controls_strategy)
+    def test_matches_central_differences(self, state, controls):
+        states, sensitivities = MODEL.rollout_with_sensitivities(state, controls)
+        np.testing.assert_array_equal(
+            states, MODEL.rollout_controls_array(state, controls)
+        )
+
+        def rollout_future(u):
+            return MODEL.rollout_controls_array(state, u)[1:].ravel()
+
+        numerical = _numerical_jacobian(rollout_future, controls)
+        # (H, H, 4, 2) -> rows (H * 4) x columns (H * 2), stage-major.
+        analytic = sensitivities.transpose(0, 2, 1, 3).reshape(
+            HORIZON * 4, HORIZON * 2
+        )
+        # Headings can wrap between the +/- step evaluations; exclude the
+        # rare wrapped rows rather than the whole example.
+        mismatch = np.abs(analytic - numerical)
+        assume(not np.any(mismatch > 1.0))
+        np.testing.assert_allclose(analytic, numerical, atol=5e-6)
+
+    def test_clipped_controls_have_zero_columns(self):
+        state = VehicleState(x=0.0, y=0.0, heading=0.0, velocity=0.5)
+        controls = np.zeros((HORIZON, 2))
+        controls[2] = [PARAMS.max_acceleration + 1.0, 0.0]  # accel clipped
+        controls[4] = [0.0, PARAMS.max_steer + 1.0]  # steer clipped
+        _, sensitivities = MODEL.rollout_with_sensitivities(state, controls)
+        assert np.all(sensitivities[:, 2, :, 0] == 0.0)
+        assert np.all(sensitivities[:, 4, :, 1] == 0.0)
+        # Unclipped columns stay live.
+        assert np.any(sensitivities[:, 0, :, 0] != 0.0)
+
+    def test_batched_rollout_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        batch = 8
+        # Deliberately includes out-of-box controls so the clips engage.
+        controls = rng.uniform(-3.0, 3.0, size=(batch, HORIZON, 2))
+        initial = rng.uniform(-1.0, 1.0, size=(batch, 4))
+        states = MODEL.rollout_batch(initial, controls)
+        _, sensitivities = MODEL.rollout_batch_with_sensitivities(initial, controls)
+        for index in range(batch):
+            state = VehicleState(*initial[index])
+            expected = MODEL.rollout_controls_array(state, controls[index])
+            np.testing.assert_allclose(states[index], expected, atol=1e-12)
+            _, expected_sens = MODEL.rollout_with_sensitivities(state, controls[index])
+            np.testing.assert_allclose(sensitivities[index], expected_sens, atol=1e-12)
+
+
+class TestResidualJacobian:
+    @settings(max_examples=40, deadline=None)
+    @given(state=state_strategy, controls=controls_strategy)
+    def test_tracking_blocks_match_central_differences(self, state, controls):
+        problem = _tracking_problem(state)
+        residuals, jacobian = problem.residuals_and_jacobian(controls)
+        np.testing.assert_array_equal(residuals, problem.residuals(controls))
+        numerical = _numerical_jacobian(problem.residuals, controls)
+        mismatch = np.abs(jacobian - numerical)
+        assume(not np.any(mismatch > 1.0))  # heading-wrap straddle
+        np.testing.assert_allclose(jacobian, numerical, atol=5e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(state=state_strategy, controls=controls_strategy)
+    def test_circle_hinge_block_matches_central_differences(self, state, controls):
+        rng = np.random.default_rng(17)
+        circles = np.tile(rng.uniform(0.5, 2.5, size=(1, 2, 2)), (HORIZON, 1, 1))
+        prediction = ObstaclePrediction(
+            circle_positions=circles, circle_radius=0.4, safety_margin=0.1
+        )
+        problem = _tracking_problem(state, obstacle_predictions=[prediction])
+        residuals, jacobian = problem.residuals_and_jacobian(controls)
+        np.testing.assert_array_equal(residuals, problem.residuals(controls))
+        # Keep every hinge strictly on one side of its kink so the central
+        # difference below is two-sided smooth.
+        states = problem.rollout(controls)
+        centers = problem._ego_circle_centers(states)
+        clearance = prediction.required_clearance(float(problem.ego_circle_radius))
+        deltas = circles[:, :, None, :] - centers[:, None, :, :]
+        distances = np.linalg.norm(deltas, axis=-1)
+        assume(np.all(np.abs(clearance - distances) > 1e-3))
+        numerical = _numerical_jacobian(problem.residuals, controls)
+        mismatch = np.abs(jacobian - numerical)
+        assume(not np.any(mismatch > 1.0))
+        np.testing.assert_allclose(jacobian, numerical, atol=5e-6)
+
+    def test_field_hinge_block_matches_central_differences(self):
+        # A single occupied block in a coarse grid: the ESDF is smooth away
+        # from cell boundaries and the hinge is active near the obstacle.
+        occupied = np.zeros((40, 40), dtype=bool)
+        occupied[18:22, 18:22] = True
+        grid = OccupancyGrid(origin_x=-5.0, origin_y=-5.0, resolution=0.25, occupied=occupied)
+        stack = FieldConstraintStack(
+            static_field=DistanceField(grid), static_clearance=1.2
+        )
+        state = VehicleState(x=-2.0, y=-0.4, heading=0.2, velocity=1.0)
+        problem = _tracking_problem(state, field_constraint=stack)
+        controls = np.tile([0.4, 0.1], (HORIZON, 1))
+        residuals, jacobian = problem.residuals_and_jacobian(controls)
+        np.testing.assert_array_equal(residuals, problem.residuals(controls))
+        numerical = _numerical_jacobian(problem.residuals, controls, step=1e-7)
+        np.testing.assert_allclose(jacobian, numerical, atol=1e-4)
+
+
+class _ReferenceGaussNewton:
+    """Verbatim copy of the pre-analytic solver loop (the frozen oracle)."""
+
+    def __init__(self, max_iterations=12, tolerance=1e-4, damping=1e-2,
+                 finite_difference_step=1e-4, max_line_search_steps=6):
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.damping = damping
+        self.finite_difference_step = finite_difference_step
+        self.max_line_search_steps = max_line_search_steps
+
+    def solve(self, problem, initial_controls=None):
+        horizon = problem.horizon
+        bounds = problem.bounds
+        if initial_controls is None:
+            controls = np.zeros((horizon, 2))
+        else:
+            controls = np.asarray(initial_controls, dtype=float).reshape(horizon, 2).copy()
+        controls = bounds.clip(controls)
+        residuals = problem.residuals(controls)
+        objective = float(residuals @ residuals)
+        converged = False
+        iteration = 0
+        damping = self.damping
+        for iteration in range(1, self.max_iterations + 1):
+            jacobian = self._jacobian(problem, controls, residuals)
+            gradient = jacobian.T @ residuals
+            hessian = jacobian.T @ jacobian
+            improved = False
+            for _ in range(self.max_line_search_steps):
+                regularised = hessian + damping * np.eye(hessian.shape[0])
+                try:
+                    step = np.linalg.solve(regularised, -gradient)
+                except np.linalg.LinAlgError:
+                    damping *= 10.0
+                    continue
+                candidate = bounds.clip(controls + step.reshape(horizon, 2))
+                candidate_residuals = problem.residuals(candidate)
+                candidate_objective = float(candidate_residuals @ candidate_residuals)
+                if candidate_objective < objective - 1e-12:
+                    relative = (objective - candidate_objective) / max(objective, 1e-9)
+                    controls = candidate
+                    residuals = candidate_residuals
+                    objective = candidate_objective
+                    damping = max(damping * 0.5, 1e-6)
+                    improved = True
+                    if relative < self.tolerance:
+                        converged = True
+                    break
+                damping *= 10.0
+            if not improved:
+                converged = True
+            if converged:
+                break
+        return controls, objective, iteration, converged
+
+    def _jacobian(self, problem, controls, residuals):
+        flat = controls.ravel()
+        jacobian = np.zeros((residuals.shape[0], flat.shape[0]))
+        step = self.finite_difference_step
+        for index in range(flat.shape[0]):
+            perturbed = flat.copy()
+            perturbed[index] += step
+            jacobian[:, index] = (
+                problem.residuals(perturbed.reshape(controls.shape)) - residuals
+            ) / step
+        return jacobian
+
+
+class TestFiniteDifferenceParity:
+    """``jacobian="fd"`` must stay bit-identical to the pre-analytic solver."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_fd_path_reproduces_reference_solver_bitwise(self, seed):
+        rng = np.random.default_rng(seed)
+        state = VehicleState(
+            x=rng.uniform(-1, 1),
+            y=rng.uniform(-1, 1),
+            heading=rng.uniform(-0.5, 0.5),
+            velocity=rng.uniform(-0.3, 0.8),
+        )
+        circles = np.tile(rng.uniform(1.0, 3.0, size=(1, 2, 2)), (HORIZON, 1, 1))
+        prediction = ObstaclePrediction(
+            circle_positions=circles, circle_radius=0.4, safety_margin=0.1
+        )
+        problem = _tracking_problem(state, obstacle_predictions=[prediction])
+        warm = rng.uniform(-0.3, 0.3, size=(HORIZON, 2))
+
+        result = GaussNewtonSolver(jacobian="fd").solve(problem, initial_controls=warm)
+        controls, objective, iterations, converged = _ReferenceGaussNewton().solve(
+            problem, initial_controls=warm
+        )
+        np.testing.assert_array_equal(result.controls, controls)
+        assert result.objective == objective
+        assert result.iterations == iterations
+        assert result.converged == converged
+
+    def test_analytic_is_default_and_validated(self):
+        assert GaussNewtonSolver().jacobian == "analytic"
+        with pytest.raises(ValueError, match="jacobian"):
+            GaussNewtonSolver(jacobian="autodiff")
+
+    def test_analytic_reaches_comparable_objective(self):
+        rng = np.random.default_rng(5)
+        state = VehicleState(x=0.0, y=0.0, heading=0.1, velocity=0.3)
+        problem = _tracking_problem(state)
+        warm = rng.uniform(-0.2, 0.2, size=(HORIZON, 2))
+        analytic = GaussNewtonSolver(jacobian="analytic").solve(problem, initial_controls=warm)
+        fd = GaussNewtonSolver(jacobian="fd").solve(problem, initial_controls=warm)
+        assert analytic.objective <= fd.objective * 1.05 + 1e-9
