@@ -328,6 +328,10 @@ def render_report(planner_entries: List[dict], throughput_entries: List[dict]) -
                 "mean_solve_ms",
                 "median_solve_speedup",
                 "batch_speedup",
+                "fleet_eps",
+                "speedup_vs_sequential",
+                "solves_per_tick",
+                "plan_cache_hit_rate",
             ):
                 trend = _trend(rows, key)
                 if trend is not None:

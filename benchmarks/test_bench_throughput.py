@@ -48,7 +48,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from bench_io import append_record  # noqa: E402
 
 from repro.api import BatchExecutor, EpisodeSpec
-from repro.world.scenario import ScenarioConfig, SpawnMode
+from repro.world.scenario import DifficultyLevel, ScenarioConfig, SpawnMode
 
 SMOKE = os.environ.get("ICOIL_BENCH_SMOKE") == "1"
 
@@ -239,6 +239,165 @@ def test_bench_serving_throughput():
         assert process_eps >= thread_eps, (
             f"smoke: warm serving ({process_eps:.2f} eps/s) fell below the "
             f"thread baseline ({thread_eps:.2f} eps/s)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fleet-step arm: lockstep batched CO solving vs per-episode sequential solves
+# ---------------------------------------------------------------------------
+# Where the warm-pool bench above measures *cache* leverage on repeated
+# traffic, this arm measures *batching* leverage on cache-cold traffic: a
+# fleet of unique CO episodes (distinct scenario seeds, so no spatial, plan
+# or result reuse between them) solved either one session at a time on the
+# warm pool (the pre-fleet serving path) or in lockstep ticks with one
+# stacked Gauss-Newton solve per tick (``backend="fleet"``).  Both arms run
+# the *same* specs with ``co_solver="batched"``, so the results are bitwise
+# identical and the speedup is attributable purely to cross-session
+# batching.  A replay pass over the fleet-process backend then shows the
+# cross-episode plan cache absorbing the hybrid-A* setup cost.
+FLEET_EPISODES = 8 if SMOKE else 64
+FLEET_STEPS = 10 if SMOKE else 40
+FLEET_WORKERS = 2
+FLEET_TARGET_SPEEDUP = 2.0
+
+
+def _fleet_specs():
+    return [
+        EpisodeSpec(
+            method="co",
+            scenario=ScenarioConfig(
+                difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.CLOSE, seed=seed
+            ),
+            co_solver="batched",
+            max_steps=FLEET_STEPS,
+        )
+        for seed in range(FLEET_EPISODES)
+    ]
+
+
+def test_bench_fleet_step_throughput():
+    specs = _fleet_specs()
+    warmup_spec = EpisodeSpec(
+        method="co",
+        scenario=ScenarioConfig(
+            difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.CLOSE, seed=9999
+        ),
+        co_solver="batched",
+        max_steps=4,
+    )
+
+    # --- sequential arm: the warm pool solving one session at a time ---
+    with BatchExecutor(
+        backend="process", max_workers=FLEET_WORKERS, summary_stream=None
+    ) as sequential:
+        sequential.run_specs([warmup_spec] * FLEET_WORKERS)  # spin-up, untimed
+        start = time.perf_counter()
+        sequential_outcome = sequential.run_specs(specs)
+        sequential_wall = time.perf_counter() - start
+    sequential_eps = len(specs) / sequential_wall
+    append_record(
+        BENCH_THROUGHPUT,
+        {
+            "event": "fleet_bench",
+            "backend": "process",
+            "workers": FLEET_WORKERS,
+            "episodes": len(specs),
+            "wall_time_s": round(sequential_wall, 4),
+            "episodes_per_sec": round(sequential_eps, 3),
+            "solves_per_tick": 1.0,
+            "smoke": SMOKE,
+        },
+    )
+
+    # --- fleet arm: one lockstep cohort, one stacked solve per tick ---
+    fleet = BatchExecutor(backend="fleet", summary_stream=None)
+    start = time.perf_counter()
+    fleet_outcome = fleet.run_specs(specs)
+    fleet_wall = time.perf_counter() - start
+    fleet_eps = len(specs) / fleet_wall
+    fleet_stats = dict(fleet.last_fleet_stats)
+    append_record(
+        BENCH_THROUGHPUT,
+        {
+            "event": "fleet_bench",
+            "backend": "fleet",
+            "workers": 1,
+            "episodes": len(specs),
+            "wall_time_s": round(fleet_wall, 4),
+            "episodes_per_sec": round(fleet_eps, 3),
+            "solves_per_tick": fleet_stats.get("solves_per_tick", 0.0),
+            "problems_per_solve": fleet_stats.get("problems_per_solve", 0.0),
+            "ragged_ticks": fleet_stats.get("ragged_ticks", 0),
+            "smoke": SMOKE,
+        },
+    )
+
+    # --- plan-cache pass: fleet-process cold then replayed ---
+    # The first pass publishes every scenario's hybrid-A* plan to shared
+    # memory as it searches; the replay answers the same queries from the
+    # cache, so its hit rate is the plan cache working end to end.
+    with BatchExecutor(
+        backend="fleet-process", max_workers=FLEET_WORKERS, summary_stream=None
+    ) as serving:
+        serving.run_specs([warmup_spec] * FLEET_WORKERS)
+        cold = serving.run_specs(specs)
+        cold_plan_rate = cold.summary.plan_cache_hit_rate or 0.0
+        start = time.perf_counter()
+        replay = serving.run_specs(specs)
+        replay_wall = time.perf_counter() - start
+        replay_plan_rate = replay.summary.plan_cache_hit_rate or 0.0
+    append_record(
+        BENCH_THROUGHPUT,
+        {
+            "event": "fleet_bench",
+            "backend": "fleet-process",
+            "workers": FLEET_WORKERS,
+            "episodes": len(specs),
+            "wall_time_s": round(replay_wall, 4),
+            "episodes_per_sec": round(len(specs) / replay_wall, 3),
+            "solves_per_tick": (replay.summary.solves_per_tick or 0.0),
+            "plan_cache_hit_rate": round(replay_plan_rate, 4),
+            "plan_cache_hit_rate_cold": round(cold_plan_rate, 4),
+            "smoke": SMOKE,
+        },
+    )
+    append_record(
+        BENCH_THROUGHPUT,
+        {
+            "event": "fleet_bench_summary",
+            "episodes": len(specs),
+            "sequential_eps": round(sequential_eps, 3),
+            "fleet_eps": round(fleet_eps, 3),
+            "speedup_vs_sequential": round(fleet_eps / sequential_eps, 2),
+            "solves_per_tick": fleet_stats.get("solves_per_tick", 0.0),
+            "plan_cache_hit_rate": round(replay_plan_rate, 4),
+            "smoke": SMOKE,
+        },
+    )
+    print(
+        f"\nfleet bench ({len(specs)} episodes): sequential warm pool "
+        f"{sequential_eps:.2f} eps/s, fleet {fleet_eps:.2f} eps/s "
+        f"({fleet_eps / sequential_eps:.2f}x, {fleet_stats.get('solves_per_tick', 0.0)} "
+        f"solves/tick), replay plan-cache hit rate {replay_plan_rate:.3f}"
+    )
+
+    # Bitwise parity across every arm before any rate means anything.
+    for arm in (fleet_outcome, cold, replay):
+        assert arm.results == sequential_outcome.results
+    for fleet_trace, sequential_trace in zip(fleet_outcome.traces, sequential_outcome.traces):
+        assert (
+            fleet_trace.positions.tobytes() == sequential_trace.positions.tobytes()
+        ), "fleet-stepped trace diverged from the sequential solve"
+
+    assert fleet_stats.get("solves_per_tick", 0.0) > 1.0, (
+        "fleet arm never batched across sessions"
+    )
+    assert replay_plan_rate > 0.0, "plan-cache replay never hit"
+    if not SMOKE:
+        assert fleet_eps >= FLEET_TARGET_SPEEDUP * sequential_eps, (
+            f"fleet stepping reached {fleet_eps:.2f} eps/s, below "
+            f"{FLEET_TARGET_SPEEDUP}x the sequential warm pool "
+            f"({sequential_eps:.2f} eps/s)"
         )
 
 

@@ -58,7 +58,11 @@ from repro.api.session import ParkingSession, SessionOutcome
 from repro.api.specs import BatchSpec, EpisodeSpec
 from repro.api.trace import EpisodeTrace
 
-BACKENDS = ("thread", "process")
+BACKENDS = ("thread", "process", "fleet", "fleet-process")
+
+# Backends whose episodes cross a process boundary (specs must round-trip
+# to_dict/from_dict and methods must exist in freshly imported workers).
+_PROCESS_BACKENDS = ("process", "fleet-process")
 
 
 @dataclass(frozen=True)
@@ -83,6 +87,11 @@ class BatchSummary:
     result_cache_hits: int = 0
     spatial_cache_hits: int = 0
     spatial_cache_misses: int = 0
+    # Fleet-backend telemetry (None on non-fleet backends): average CO
+    # problems answered per lockstep tick by the batched solver, and the
+    # cross-episode plan cache's hit rate.
+    solves_per_tick: Optional[float] = None
+    plan_cache_hit_rate: Optional[float] = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -104,22 +113,24 @@ class BatchSummary:
             if self.num_unique_episodes is not None
             else self.num_episodes
         )
-        return json.dumps(
-            {
-                "event": "batch_summary",
-                "method": self.method,
-                "episodes": self.num_episodes,
-                "successes": self.num_successes,
-                "wall_time_s": round(self.wall_time_s, 4),
-                "episodes_per_sec": round(self.episodes_per_second, 3),
-                "workers": self.num_workers,
-                "backend": self.backend,
-                "unique_episodes": unique,
-                "cache_hit_rate": round(self.cache_hit_rate, 4),
-                "spatial_hit_rate": round(self.spatial_cache_hit_rate, 4),
-            },
-            separators=(",", ":"),
-        )
+        data = {
+            "event": "batch_summary",
+            "method": self.method,
+            "episodes": self.num_episodes,
+            "successes": self.num_successes,
+            "wall_time_s": round(self.wall_time_s, 4),
+            "episodes_per_sec": round(self.episodes_per_second, 3),
+            "workers": self.num_workers,
+            "backend": self.backend,
+            "unique_episodes": unique,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "spatial_hit_rate": round(self.spatial_cache_hit_rate, 4),
+        }
+        if self.solves_per_tick is not None:
+            data["solves_per_tick"] = round(self.solves_per_tick, 3)
+        if self.plan_cache_hit_rate is not None:
+            data["plan_cache_hit_rate"] = round(self.plan_cache_hit_rate, 4)
+        return json.dumps(data, separators=(",", ":"))
 
 
 @dataclass(frozen=True)
@@ -198,7 +209,7 @@ class BatchExecutor:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
-        if backend == "process" and registry is not None and registry is not default_registry():
+        if backend in _PROCESS_BACKENDS and registry is not None and registry is not default_registry():
             raise ValueError(
                 "the process backend resolves methods against the default registry "
                 "rebuilt inside each worker; custom registry instances cannot cross "
@@ -212,6 +223,7 @@ class BatchExecutor:
         self.summary_stream = summary_stream
         self.bench_path = Path(bench_path) if bench_path is not None else None
         self._warm_pool = None
+        self._last_fleet_stats: Optional[Dict[str, float]] = None
         if reuse_results:
             from repro.serve.cache import EpisodeResultCache
 
@@ -251,6 +263,11 @@ class BatchExecutor:
         """The :class:`EpisodeResultCache` when ``reuse_results``, else ``None``."""
         return self._result_cache
 
+    @property
+    def last_fleet_stats(self) -> Optional[Dict[str, float]]:
+        """:class:`~repro.serve.fleet.FleetStats` dict of the last fleet batch."""
+        return self._last_fleet_stats
+
     def close(self) -> None:
         """Release the warm worker pool and its shared-memory segments."""
         if self._warm_pool is not None:
@@ -278,6 +295,24 @@ class BatchExecutor:
         """Run the specs on the configured backend, preserving order."""
         if not specs:
             return []
+        if self.backend == "fleet":
+            # Lockstep in-process: one batched CO solve per tick across the
+            # whole cohort (repro.serve layers above repro.api, hence lazy).
+            from repro.serve.fleet import run_specs_fleet
+
+            outcomes, stats = run_specs_fleet(
+                specs,
+                il_policy=self.il_policy,
+                vehicle_params=self.vehicle_params,
+                registry=self.registry,
+            )
+            self._last_fleet_stats = stats.to_dict()
+            return [(outcome.result, outcome.trace) for outcome in outcomes]
+        if self.backend == "fleet-process":
+            pool = self._ensure_warm_pool()
+            pairs = pool.run_specs_fleet(specs, cohorts=workers)
+            self._last_fleet_stats = pool.last_fleet_stats
+            return pairs
         if self.backend == "process" and workers > 1:
             return self._ensure_warm_pool().run_specs(specs)
         if workers == 1:
@@ -340,7 +375,8 @@ class BatchExecutor:
         for spec in specs:
             self.registry.factory_for(spec.method)
         workers = self._pool_size(len(specs))
-        if self.backend == "process" and workers > 1:
+        self._last_fleet_stats = None
+        if self.backend in _PROCESS_BACKENDS and (workers > 1 or self.backend == "fleet-process"):
             # Worker processes resolve methods against a freshly imported
             # default registry: only the built-ins are guaranteed to exist
             # there (under a spawn start method, runtime registrations made
@@ -363,13 +399,22 @@ class BatchExecutor:
 
         spatial_hits = 0
         spatial_misses = 0
+        plan_hits = 0
+        plan_builds = 0
         if self._warm_pool is not None:
             for key, value in self._warm_pool.stats().items():
                 delta = value - spatial_before.get(key, 0)
-                if key.endswith("_hits"):
+                if key.startswith("plan_"):
+                    if key.endswith("_hits"):
+                        plan_hits += delta
+                    elif key.endswith("_builds"):
+                        plan_builds += delta
+                elif key.endswith("_hits"):
                     spatial_hits += delta
                 elif key.endswith("_builds"):
                     spatial_misses += delta
+        plan_total = plan_hits + plan_builds
+        fleet_stats = self._last_fleet_stats
 
         results = tuple(result for result, _ in pairs)
         summary = BatchSummary(
@@ -384,6 +429,10 @@ class BatchExecutor:
             result_cache_hits=result_hits,
             spatial_cache_hits=spatial_hits,
             spatial_cache_misses=spatial_misses,
+            solves_per_tick=(
+                fleet_stats.get("solves_per_tick") if fleet_stats is not None else None
+            ),
+            plan_cache_hit_rate=plan_hits / plan_total if plan_total else None,
         )
         self._emit_summary(summary)
         return BatchOutcome(

@@ -62,6 +62,31 @@ class BaselineSessionController:
         info = self.controller.step(state, obstacles, lot, time=time)
         return ControlStep(action=info.action, mode=self.mode)
 
+    def step_split(
+        self,
+        state: VehicleState,
+        obstacles: Sequence[Obstacle],
+        lot: ParkingLot,
+        time: float = 0.0,
+    ):
+        """``(request, finish)`` form of :meth:`step` (see ``ParkingSession``).
+
+        Pure IL has no solve to externalise, so its request is ``None`` and
+        the whole step runs inside ``finish(None)``.
+        """
+        inner = getattr(self.controller, "step_split", None)
+        if inner is None:
+            return None, lambda result=None, **kwargs: self.step(
+                state, obstacles, lot, time=time
+            )
+        request, finish_info = inner(state, obstacles, lot, time=time)
+
+        def finish(result=None, **kwargs) -> ControlStep:
+            info = finish_info(result, **kwargs)
+            return ControlStep(action=info.action, mode=self.mode)
+
+        return request, finish
+
 
 class ICOILSessionController:
     """Adapter exposing the full iCOIL telemetry (mode, HSA, switches)."""
@@ -77,6 +102,29 @@ class ICOILSessionController:
         time: float = 0.0,
     ) -> ControlStep:
         info = self.controller.step(state, obstacles, lot, time=time)
+        return self._control_step(info)
+
+    def step_split(
+        self,
+        state: VehicleState,
+        obstacles: Sequence[Obstacle],
+        lot: ParkingLot,
+        time: float = 0.0,
+    ):
+        """``(request, finish)`` form of :meth:`step` (see ``ParkingSession``).
+
+        The request is ``None`` on IL frames (HSA kept the learned mode) and
+        this frame's MPC problem on CO frames.
+        """
+        request, finish_info = self.controller.step_split(state, obstacles, lot, time=time)
+
+        def finish(result=None, **kwargs) -> ControlStep:
+            return self._control_step(finish_info(result, **kwargs))
+
+        return request, finish
+
+    @staticmethod
+    def _control_step(info) -> ControlStep:
         return ControlStep(
             action=info.action,
             mode=info.mode.value,

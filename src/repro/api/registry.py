@@ -195,14 +195,29 @@ class ControllerContext:
 
     @property
     def expert(self) -> ExpertDriver:
-        """The scripted expert for this scenario, built on first access."""
+        """The scripted expert for this scenario, built on first access.
+
+        When the installed spatial provider also offers a cross-episode
+        plan cache (``plan_cache_for`` — duck-typed so this layer never
+        imports ``repro.serve``), the expert's hybrid-A* queries go through
+        it: warm workers replaying a scenario skip the search and attach
+        the byte-identical published plan.
+        """
         if self._expert is None:
+            provider = current_spatial_provider()
+            hook = getattr(provider, "plan_cache_for", None) if provider else None
+            plan_cache = (
+                hook(self.scenario, self.vehicle_params, self.time_layer_spec)
+                if hook is not None
+                else None
+            )
             self._expert = ExpertDriver(
                 self.scenario.lot,
                 self.scenario.obstacles,
                 self.vehicle_params,
                 spatial_index=self.spatial_index,
                 timegrid=self.timegrid,
+                plan_cache=plan_cache,
             )
         return self._expert
 

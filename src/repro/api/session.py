@@ -30,6 +30,25 @@ from repro.api.trace import EpisodeTrace
 StepListener = Callable[[StepEvent], None]
 
 
+@dataclass
+class PendingStep:
+    """One session step paused at its MPC solve.
+
+    ``begin_step`` runs everything up to (and excluding) the solve and
+    returns one of these; :meth:`ParkingSession.finish_step` consumes the
+    solver result and completes the frame.  ``request`` is ``None`` when the
+    frame has no solve to externalise (IL frames, the expert, or controllers
+    that do not implement ``step_split``) — in that case ``finish_step`` (or
+    ``complete_step``) is called with ``result=None``.
+    """
+
+    step_index: int
+    pre_step_state: object
+    request: object  # Optional[COSolveRequest]
+    finish: Callable  # (result, **kwargs) -> ControlStep
+    control: object = None  # pre-computed ControlStep for split-less controllers
+
+
 @dataclass(frozen=True)
 class SessionOutcome:
     """What one completed session produced."""
@@ -97,45 +116,154 @@ class ParkingSession:
         )
         return self.registry.create(self.spec.method, context)
 
-    def run(self) -> SessionOutcome:
-        """Run the episode to termination (or the step cap)."""
+    # ------------------------------------------------------------------
+    # Resumable stepping (the fleet-scheduler seam)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Build the world and controller; ready the session for stepping.
+
+        Idempotent within one episode: a second call is a no-op, so
+        :meth:`run` can be layered on top of external steppers.
+        """
+        if getattr(self, "_started", False):
+            return
         spec = self.spec
-        scenario = build_scenario(spec.scenario)
-        world = ParkingWorld(
-            scenario, self.vehicle_params, dt=spec.dt, time_limit=spec.time_limit
+        self._scenario = build_scenario(spec.scenario)
+        self._world = ParkingWorld(
+            self._scenario, self.vehicle_params, dt=spec.dt, time_limit=spec.time_limit
         )
-        controller = self.build_controller(scenario)
-        max_steps = spec.max_steps or int(spec.time_limit / spec.dt) + 5
+        self._controller = self.build_controller(self._scenario)
+        self._max_steps = spec.max_steps or int(spec.time_limit / spec.dt) + 5
+        self._events: List[StepEvent] = []
+        self._mode_switches = 0
+        self._step_index = 0
+        self._outcome: Optional[SessionOutcome] = None
+        self._batched_solver = None
+        self._started = True
 
-        events: List[StepEvent] = []
-        mode_switches = 0
-        for step_index in range(max_steps):
-            if world.status.is_terminal:
-                break
-            pre_step_state = world.state
-            control = controller.step(
-                pre_step_state, world.current_obstacles(), scenario.lot, time=world.time
+    @property
+    def finished(self) -> bool:
+        """True once the episode terminated (outcome available)."""
+        return getattr(self, "_outcome", None) is not None
+
+    @property
+    def outcome(self) -> SessionOutcome:
+        if self._outcome is None:
+            raise RuntimeError("episode has not finished yet")
+        return self._outcome
+
+    def begin_step(self) -> Optional[PendingStep]:
+        """Run one frame up to its MPC solve; ``None`` once the episode ends.
+
+        On ``None`` the outcome has been assembled and published (see
+        :attr:`outcome`).  Otherwise the returned :class:`PendingStep` must
+        be handed back to :meth:`finish_step` (with an externally computed
+        solver result) or :meth:`complete_step` (solve locally) before the
+        next ``begin_step`` call.
+        """
+        self.start()
+        if self._outcome is not None:
+            return None
+        if self._world.status.is_terminal or self._step_index >= self._max_steps:
+            self._finish_episode()
+            return None
+        pre_step_state = self._world.state
+        split = getattr(self._controller, "step_split", None)
+        if split is None:
+            control = self._controller.step(
+                pre_step_state,
+                self._world.current_obstacles(),
+                self._scenario.lot,
+                time=self._world.time,
             )
-            step_result = world.step(control.action)
-            if control.switched:
-                mode_switches += 1
-            event = StepEvent(
-                stamp=step_result.time,
-                step_index=step_index,
+            return PendingStep(
+                step_index=self._step_index,
                 pre_step_state=pre_step_state,
-                state=step_result.state,
-                action=control.action,
-                mode=control.mode,
-                uncertainty=control.uncertainty,
-                hsa_score=control.hsa_score,
-                switched=control.switched,
-                min_obstacle_distance=step_result.min_obstacle_distance,
-                status=step_result.status,
+                request=None,
+                finish=lambda result=None, **kwargs: control,
+                control=control,
             )
-            events.append(event)
-            self.bus.publish(STEP_TOPIC, event)
+        request, finish = split(
+            pre_step_state,
+            self._world.current_obstacles(),
+            self._scenario.lot,
+            time=self._world.time,
+        )
+        return PendingStep(
+            step_index=self._step_index,
+            pre_step_state=pre_step_state,
+            request=request,
+            finish=finish,
+        )
 
-        result = self._build_result(world, events, mode_switches)
+    def finish_step(self, pending: PendingStep, result=None, **finish_kwargs) -> StepEvent:
+        """Complete a frame begun by :meth:`begin_step`.
+
+        ``result`` is the solver result for ``pending.request`` (ignored when
+        the request was ``None``).  Advances the world, assembles and
+        publishes the frame's :class:`StepEvent`.
+        """
+        control = (
+            pending.control
+            if pending.control is not None
+            else pending.finish(result, **finish_kwargs)
+        )
+        step_result = self._world.step(control.action)
+        if control.switched:
+            self._mode_switches += 1
+        event = StepEvent(
+            stamp=step_result.time,
+            step_index=pending.step_index,
+            pre_step_state=pending.pre_step_state,
+            state=step_result.state,
+            action=control.action,
+            mode=control.mode,
+            uncertainty=control.uncertainty,
+            hsa_score=control.hsa_score,
+            switched=control.switched,
+            min_obstacle_distance=step_result.min_obstacle_distance,
+            status=step_result.status,
+        )
+        self._events.append(event)
+        self._step_index += 1
+        self.bus.publish(STEP_TOPIC, event)
+        return event
+
+    def complete_step(self, pending: PendingStep) -> StepEvent:
+        """Solve ``pending``'s request locally and finish the frame.
+
+        Scalar specs solve with the request's own :class:`GaussNewtonSolver`;
+        ``co_solver="batched"`` specs route through
+        :meth:`~repro.co.solver.BatchedGaussNewtonSolver.solve_many` as a
+        batch of one — bitwise identical to the same problem solved inside
+        any fleet cohort, because ``solve_many`` is invariant to batch
+        composition.
+        """
+        request = pending.request
+        if request is None:
+            return self.finish_step(pending, None)
+        if self.spec.co_solver == "batched":
+            result = self._solve_batched(request)
+            return self.finish_step(
+                pending, result, jacobian_mode="analytic", backend="numpy"
+            )
+        result = request.solver.solve(request.problem, initial_controls=request.warm_start)
+        return self.finish_step(pending, result)
+
+    def _solve_batched(self, request):
+        if self._batched_solver is None:
+            from repro.co.solver import BatchedGaussNewtonSolver
+
+            self._batched_solver = BatchedGaussNewtonSolver()
+        return self._batched_solver.solve_many(
+            [request.problem], initial_controls=[request.warm_start]
+        )[0]
+
+    def _finish_episode(self) -> None:
+        spec = self.spec
+        world = self._world
+        events = self._events
+        result = self._build_result(world, events, self._mode_switches)
         self.bus.publish(
             EPISODE_TOPIC,
             EpisodeCompletedEvent(
@@ -147,7 +275,24 @@ class ParkingSession:
                 num_steps=result.num_steps,
             ),
         )
-        return SessionOutcome(result=result, trace=self._build_trace(events), events=tuple(events))
+        self._outcome = SessionOutcome(
+            result=result, trace=self._build_trace(events), events=tuple(events)
+        )
+
+    def run(self) -> SessionOutcome:
+        """Run the episode to termination (or the step cap).
+
+        Each call runs a fresh episode (matching the pre-state-machine
+        behaviour); a partially stepped session resumes where it left off.
+        """
+        if getattr(self, "_started", False) and self._outcome is not None:
+            self._started = False
+        self.start()
+        while True:
+            pending = self.begin_step()
+            if pending is None:
+                return self.outcome
+            self.complete_step(pending)
 
     # ------------------------------------------------------------------
     # Assembly

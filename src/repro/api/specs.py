@@ -127,6 +127,18 @@ class EpisodeSpec:
         Dynamic-obstacle anticipation knobs (see :class:`TimeLayerSpec`).
     dt / time_limit / max_steps:
         Control period, episode time budget and an optional hard step cap.
+    co_solver:
+        Which Gauss-Newton path solves the episode's MPC problems:
+        ``"scalar"`` (default, the per-problem
+        :class:`~repro.co.solver.GaussNewtonSolver`) or ``"batched"``
+        (every solve routed through
+        :meth:`~repro.co.solver.BatchedGaussNewtonSolver.solve_many` — as a
+        batch of one in a standalone :meth:`~repro.api.session.ParkingSession.run`,
+        or stacked with other sessions' problems under the fleet stepper).
+        The two paths agree to round-off but not bitwise, so the solver
+        choice is part of the spec: the spec → result determinism contract
+        holds *per path*, and the batched path is additionally invariant to
+        batch composition (fleet-of-N ≡ N independent runs, bitwise).
     """
 
     method: str
@@ -137,6 +149,7 @@ class EpisodeSpec:
     dt: float = 0.1
     time_limit: float = 80.0
     max_steps: Optional[int] = None
+    co_solver: str = "scalar"
 
     def __post_init__(self) -> None:
         if not self.method:
@@ -147,6 +160,10 @@ class EpisodeSpec:
             raise ValueError(f"time_limit must be positive, got {self.time_limit}")
         if self.max_steps is not None and self.max_steps <= 0:
             raise ValueError(f"max_steps must be positive, got {self.max_steps}")
+        if self.co_solver not in ("scalar", "batched"):
+            raise ValueError(
+                f"co_solver must be 'scalar' or 'batched', got {self.co_solver!r}"
+            )
 
     def with_seed(self, seed: int) -> "EpisodeSpec":
         """A copy of this spec with the scenario seed replaced."""
@@ -163,7 +180,7 @@ class EpisodeSpec:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "method": self.method,
             "scenario": scenario_config_to_dict(self.scenario),
             "icoil": icoil_config_to_dict(self.icoil),
@@ -173,6 +190,11 @@ class EpisodeSpec:
             "time_limit": self.time_limit,
             "max_steps": self.max_steps,
         }
+        # Emitted sparsely so pre-existing specs keep their serialized form
+        # (and therefore their cache keys) unchanged.
+        if self.co_solver != "scalar":
+            data["co_solver"] = self.co_solver
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "EpisodeSpec":
@@ -185,6 +207,7 @@ class EpisodeSpec:
             dt=data.get("dt", 0.1),
             time_limit=data.get("time_limit", 80.0),
             max_steps=data.get("max_steps"),
+            co_solver=data.get("co_solver", "scalar"),
         )
 
 
@@ -220,10 +243,15 @@ class BatchSpec:
     dt: float = 0.1
     time_limit: float = 80.0
     max_steps: Optional[int] = None
+    co_solver: str = "scalar"
 
     def __post_init__(self) -> None:
         if not self.method:
             raise ValueError("method name must be non-empty")
+        if self.co_solver not in ("scalar", "batched"):
+            raise ValueError(
+                f"co_solver must be 'scalar' or 'batched', got {self.co_solver!r}"
+            )
         if not self.seeds:
             raise ValueError("a batch needs at least one seed")
         if not self.difficulties:
@@ -261,6 +289,7 @@ class BatchSpec:
                         dt=self.dt,
                         time_limit=self.time_limit,
                         max_steps=self.max_steps,
+                        co_solver=self.co_solver,
                     )
                 )
         return specs
@@ -282,6 +311,9 @@ class BatchSpec:
             "time_limit": self.time_limit,
             "max_steps": self.max_steps,
         }
+        if self.co_solver != "scalar":
+            data["co_solver"] = self.co_solver
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "BatchSpec":
@@ -302,4 +334,5 @@ class BatchSpec:
             dt=data.get("dt", 0.1),
             time_limit=data.get("time_limit", 80.0),
             max_steps=data.get("max_steps"),
+            co_solver=data.get("co_solver", "scalar"),
         )

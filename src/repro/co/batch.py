@@ -51,6 +51,36 @@ _WEIGHT_FIELDS = (
 )
 
 
+def structure_signature(problem: MPCProblem) -> Tuple:
+    """Hashable grouping key: problems with equal signatures co-batch.
+
+    Covers every field :meth:`ProblemBatch._validate_shared_structure`
+    checks, plus the collision-regime discriminator (field presence and —
+    for field-free problems — the total covering-circle count), so a cohort
+    grouped by this key always lands in a *stable* regime: the stacked fast
+    path for homogeneous field-free groups, the mixed path otherwise.
+    Including the circle count only when field-free keeps field-carrying
+    problems (whose regime is mixed regardless) in one group rather than
+    fragmenting them by obstacle count.
+    """
+    field_free = problem.field_constraint is None
+    circle_total = (
+        sum(pred.num_circles for pred in problem.obstacle_predictions)
+        if field_free
+        else None
+    )
+    return (
+        problem.horizon,
+        problem.model.dt,
+        tuple(getattr(problem.model.params, name) for name in _PARAM_FIELDS),
+        tuple(getattr(problem, name) for name in _WEIGHT_FIELDS),
+        problem.reference_headings is not None,
+        tuple(np.asarray(problem.ego_circle_offsets, dtype=float).ravel().tolist()),
+        field_free,
+        circle_total,
+    )
+
+
 class ProblemBatch:
     """``B`` independent MPC problems stacked onto one array backend."""
 

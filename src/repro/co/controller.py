@@ -38,6 +38,23 @@ from repro.vehicle.state import VehicleState
 
 
 @dataclass(frozen=True)
+class COSolveRequest:
+    """One frame's MPC solve, detached from the controller that needs it.
+
+    Produced by :meth:`COController.act_split`: ``problem`` and
+    ``warm_start`` are exactly what :meth:`COController.act` would hand its
+    own solver, and ``solver`` is that controller's scalar solver (the
+    bitwise reference for callers that solve locally).  A fleet scheduler
+    instead stacks many requests into one
+    :meth:`~repro.co.solver.BatchedGaussNewtonSolver.solve_many` call.
+    """
+
+    problem: MPCProblem
+    warm_start: np.ndarray
+    solver: GaussNewtonSolver
+
+
+@dataclass(frozen=True)
 class COSolveInfo:
     """Diagnostics from one CO step, consumed by HSA and the benchmarks."""
 
@@ -128,17 +145,50 @@ class COController:
         time: float = 0.0,
     ) -> Action:
         """Compute the driving command for the current frame."""
+        request, finish = self.act_split(state, detections, time=time)
+        result = self.solver.solve(request.problem, initial_controls=request.warm_start)
+        return finish(result)
+
+    def act_split(
+        self,
+        state: VehicleState,
+        detections: Sequence[Detection] = (),
+        time: float = 0.0,
+    ):
+        """Split :meth:`act` at the solve: ``(request, finish)``.
+
+        ``request`` carries this frame's problem + warm start; ``finish``
+        takes the :class:`~repro.co.solver.SolverResult` (however it was
+        obtained — the controller's own scalar solver, or one row of a
+        batched ``solve_many``) and completes the step: diagnostics,
+        warm-start update, infeasibility fallback.  ``finish(result)`` with
+        a result from ``request.solver`` is bitwise-identical to
+        :meth:`act`; an external caller that solved differently passes its
+        own ``jacobian_mode`` / ``backend`` labels for the diagnostics.
+        """
         problem, warm_start, reference_speed = self._prepare(state, detections, time)
-        result = self.solver.solve(problem, initial_controls=warm_start)
-        return self._finalize(
-            state,
-            detections,
-            problem,
-            result,
-            reference_speed,
-            jacobian_mode=getattr(self.solver, "jacobian", "analytic"),
-            backend="numpy",
-        )
+
+        def finish(
+            result: SolverResult,
+            jacobian_mode: Optional[str] = None,
+            backend: str = "numpy",
+        ) -> Action:
+            mode = (
+                jacobian_mode
+                if jacobian_mode is not None
+                else getattr(self.solver, "jacobian", "analytic")
+            )
+            return self._finalize(
+                state,
+                detections,
+                problem,
+                result,
+                reference_speed,
+                jacobian_mode=mode,
+                backend=backend,
+            )
+
+        return COSolveRequest(problem=problem, warm_start=warm_start, solver=self.solver), finish
 
     @staticmethod
     def act_many(

@@ -105,15 +105,39 @@ class COOnlyController:
         lot: ParkingLot,
         time: float = 0.0,
     ) -> BaselineStepInfo:
+        request, finish = self.step_split(state, obstacles, lot, time=time)
+        result = request.solver.solve(request.problem, initial_controls=request.warm_start)
+        return finish(result)
+
+    def step_split(
+        self,
+        state: VehicleState,
+        obstacles: Sequence[Obstacle],
+        lot: ParkingLot,
+        time: float = 0.0,
+    ):
+        """Split :meth:`step` at the MPC solve: ``(request, finish)``.
+
+        Every frame of this baseline is a CO frame, so the request is never
+        ``None``; ``finish`` accepts the solver result (from any bitwise-
+        equivalent solve path) and completes the step's bookkeeping.
+        """
         detections = self.detector.detect(state, obstacles, time=time)
         start = time_module.perf_counter()
-        action = self.co_controller.act(state, detections, time=time)
-        elapsed = time_module.perf_counter() - start
-        info = BaselineStepInfo(
-            action=action, inference_time=elapsed, co_solve_info=self.co_controller.last_info
-        )
-        self._history.append(info)
-        return info
+        request, finish_co = self.co_controller.act_split(state, detections, time=time)
+
+        def finish(result, jacobian_mode=None, backend: str = "numpy") -> BaselineStepInfo:
+            action = finish_co(result, jacobian_mode=jacobian_mode, backend=backend)
+            elapsed = time_module.perf_counter() - start
+            info = BaselineStepInfo(
+                action=action,
+                inference_time=elapsed,
+                co_solve_info=self.co_controller.last_info,
+            )
+            self._history.append(info)
+            return info
+
+        return request, finish
 
     def act(
         self,

@@ -127,6 +127,28 @@ class ICOILController:
         time: float = 0.0,
     ) -> ICOILStepInfo:
         """Run one full perception + decision + control cycle."""
+        request, finish = self.step_split(state, obstacles, lot, time=time)
+        if request is None:
+            return finish(None)
+        result = request.solver.solve(request.problem, initial_controls=request.warm_start)
+        return finish(result)
+
+    def step_split(
+        self,
+        state: VehicleState,
+        obstacles: Sequence[Obstacle],
+        lot: ParkingLot,
+        time: float = 0.0,
+    ):
+        """Split :meth:`step` at the MPC solve: ``(request, finish)``.
+
+        Runs perception, HSA and the mode decision now.  On a CO frame the
+        returned request is this frame's MPC problem and ``finish`` expects
+        its solver result; on an IL frame the request is ``None`` and
+        ``finish(None)`` completes the step immediately.  This is the seam
+        a fleet scheduler uses to gather every concurrent session's CO
+        problem into one batched solve per tick.
+        """
         image = self.renderer.render(state, obstacles, lot)
         il_start = time_module.perf_counter()
         il_action, probabilities = self.il_policy.predict_action(image)
@@ -150,25 +172,32 @@ class ICOILController:
         )
         switched = self._update_mode(reading)
 
-        co_info: Optional[COSolveInfo] = None
+        finish_co = None
+        request = None
         if self._mode is DrivingMode.CO:
-            action = self.co_controller.act(state, detections, time=time)
-            co_info = self.co_controller.last_info
-        else:
-            action = il_action
+            request, finish_co = self.co_controller.act_split(state, detections, time=time)
 
-        info = ICOILStepInfo(
-            mode=self._mode,
-            action=action,
-            hsa=reading,
-            il_probabilities=probabilities,
-            num_detections=len(detections),
-            il_inference_time=il_inference_time,
-            co_solve_info=co_info,
-            switched=switched,
-        )
-        self._history.append(info)
-        return info
+        def finish(result, jacobian_mode=None, backend: str = "numpy") -> ICOILStepInfo:
+            co_info: Optional[COSolveInfo] = None
+            if finish_co is not None:
+                action = finish_co(result, jacobian_mode=jacobian_mode, backend=backend)
+                co_info = self.co_controller.last_info
+            else:
+                action = il_action
+            info = ICOILStepInfo(
+                mode=self._mode,
+                action=action,
+                hsa=reading,
+                il_probabilities=probabilities,
+                num_detections=len(detections),
+                il_inference_time=il_inference_time,
+                co_solve_info=co_info,
+                switched=switched,
+            )
+            self._history.append(info)
+            return info
+
+        return request, finish
 
     def act(
         self,

@@ -75,12 +75,18 @@ class ExpertDriver:
         planner: Optional[HybridAStarPlanner] = None,
         spatial_index: Optional[SpatialIndex] = None,
         timegrid=None,
+        plan_cache=None,
     ) -> None:
         self.lot = lot
         self.obstacles = list(obstacles)
         self.vehicle_params = vehicle_params or VehicleParams()
         self.config = config or ExpertConfig()
         self.planner = planner or HybridAStarPlanner(self.vehicle_params)
+        # Optional cross-episode plan cache (duck-typed ``lookup``/``store``,
+        # see ``repro.serve.cache.ScenarioPlanCache``).  A hit returns the
+        # byte-identical PlannerResult the local search would have produced,
+        # so caching can only skip work, never change the demonstration.
+        self.plan_cache = plan_cache
         self._spatial_index = spatial_index
         self._timegrid = timegrid
         self._path: Optional[WaypointPath] = None
@@ -515,15 +521,25 @@ class ExpertDriver:
         if start.distance_to(staging) < 1.0:
             self._path = WaypointPath([Waypoint(start, 1)] + reverse_waypoints)
         else:
-            result = self.planner.plan(
-                start,
-                staging,
-                static_obstacles,
-                self.lot,
-                spatial_index=self.spatial_index,
-                timegrid=self.time_layer,
-                start_time=start_time,
+            result = (
+                self.plan_cache.lookup(start, start_time, self.planner)
+                if self.plan_cache is not None
+                else None
             )
+            if result is None:
+                result = self.planner.plan(
+                    start,
+                    staging,
+                    static_obstacles,
+                    self.lot,
+                    spatial_index=self.spatial_index,
+                    timegrid=self.time_layer,
+                    start_time=start_time,
+                )
+                if self.plan_cache is not None:
+                    # Unconditional: failures are memoized in-process (and
+                    # release the build claim); only successes publish.
+                    self.plan_cache.store(start, start_time, self.planner, result)
             if result.success and result.path is not None:
                 waypoints = result.path.waypoints + reverse_waypoints
                 self._path = WaypointPath(waypoints)

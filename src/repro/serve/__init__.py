@@ -15,7 +15,12 @@ throughput.  This package supplies the three layers that deliver it:
   ``BatchExecutor(backend="process")`` routes through it,
 * :class:`repro.serve.service.ServeApp` — an asyncio session service
   multiplexing concurrent :class:`~repro.api.session.ParkingSession` runs
-  over one scoped middleware bus, streaming per-step events to each client.
+  over one scoped middleware bus, streaming per-step events to each client,
+* :class:`repro.serve.fleet.FleetStepper` — lockstep fleet stepping that
+  answers every concurrent session's CO problem with **one** batched
+  Gauss-Newton solve per tick (``BatchExecutor(backend="fleet")`` and
+  ``"fleet-process"`` route through it), plus the cross-episode hybrid-A*
+  plan cache wired through :class:`~repro.serve.cache.CachedSpatialProvider`.
 
 All layers preserve the repository's core invariant: cached or shared
 structures are byte-identical to locally built ones, so serving results are
@@ -25,18 +30,24 @@ bitwise-equal to single-process runs.
 from repro.serve.cache import (
     CachedSpatialProvider,
     EpisodeResultCache,
+    ScenarioPlanCache,
     SpatialCache,
     spatial_cache_key,
 )
+from repro.serve.fleet import FleetStats, FleetStepper, run_specs_fleet
 from repro.serve.pool import WarmPool
 from repro.serve.service import ServeApp, SessionHandle
 
 __all__ = [
     "CachedSpatialProvider",
     "EpisodeResultCache",
+    "FleetStats",
+    "FleetStepper",
+    "ScenarioPlanCache",
     "ServeApp",
     "SessionHandle",
     "SpatialCache",
     "WarmPool",
+    "run_specs_fleet",
     "spatial_cache_key",
 ]

@@ -37,11 +37,15 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time as time_module
 from dataclasses import asdict
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.planning.hybrid_astar import PlannerResult
+from repro.planning.waypoints import Waypoint, WaypointPath
+from repro.geometry.se2 import SE2
 from repro.spatial import SpatialIndex, TimeGrid
 from repro.vehicle.params import VehicleParams
 from repro.world.scenario import scenario_fingerprint
@@ -209,6 +213,7 @@ class SpatialCache:
             raise RuntimeError("multiprocessing.shared_memory is unavailable on this platform")
         self.prefix = prefix
         self._segments: Dict[str, _Segment] = {}
+        self._claims: set = set()
         self._lock = threading.Lock()
         self.publishes = 0
         self.attaches = 0
@@ -216,6 +221,88 @@ class SpatialCache:
 
     def segment_name(self, key: str) -> str:
         return f"{self.prefix}-{key[:16]}"
+
+    def _claim_name(self, key: str) -> str:
+        # Shares the cache prefix so cleanup_orphans sweeps stale claims too.
+        return f"{self.prefix}-clm{key[:16]}"
+
+    # ------------------------------------------------------------------
+    # Build-in-progress coordination (claim segments)
+    # ------------------------------------------------------------------
+    def try_claim(self, key: str) -> bool:
+        """Atomically claim the build of ``key``'s segment.
+
+        A claim is a one-byte shared-memory segment whose *creation* is the
+        atomic test-and-set: exactly one process system-wide wins.  The
+        winner builds and publishes; everyone else can :meth:`wait_for` the
+        publication instead of duplicating the build.  Claims are explicit
+        state — release with :meth:`release_claim` after publishing (crashed
+        claimants are handled by ``wait_for``'s claim-liveness check being
+        bounded and by :meth:`cleanup_orphans`).
+        """
+        try:
+            shm = shared_memory.SharedMemory(name=self._claim_name(key), create=True, size=1)
+        except FileExistsError:
+            return False
+        _untrack(shm)
+        shm.close()
+        with self._lock:
+            self._claims.add(key)
+        return True
+
+    def release_claim(self, key: str, force: bool = False) -> bool:
+        """Drop a claim taken by this cache (any claim when ``force``)."""
+        with self._lock:
+            owned = key in self._claims
+            self._claims.discard(key)
+        if not owned and not force:
+            return False
+        try:
+            shm = shared_memory.SharedMemory(name=self._claim_name(key))
+        except FileNotFoundError:
+            return False
+        _untrack(shm)
+        shm.close()
+        return _unlink_quietly(shm)
+
+    def claim_held(self, key: str) -> bool:
+        """Whether *any* process currently claims ``key``'s build."""
+        try:
+            shm = shared_memory.SharedMemory(name=self._claim_name(key))
+        except FileNotFoundError:
+            return False
+        _untrack(shm)
+        shm.close()
+        return True
+
+    def release_claims(self) -> int:
+        """Release every claim held by this cache; returns how many."""
+        with self._lock:
+            keys = list(self._claims)
+        return sum(1 for key in keys if self.release_claim(key))
+
+    def wait_for(
+        self, key: str, timeout: float = 5.0, poll: float = 0.01
+    ) -> Optional[Tuple[Dict[str, np.ndarray], Dict[str, Any]]]:
+        """Wait (bounded) for another process to publish ``key``.
+
+        Polls :meth:`attach` while the claimant is alive (its claim segment
+        exists).  Returns the attached ``(arrays, meta)`` on publication, or
+        ``None`` when the claim vanished without a publication (claimant
+        died or chose not to publish) or the timeout elapsed — callers then
+        fall back to a local build, so coordination can delay but never
+        wedge an episode.
+        """
+        deadline = time_module.monotonic() + timeout
+        while True:
+            attached = self.attach(key)
+            if attached is not None:
+                return attached
+            if not self.claim_held(key):
+                return None
+            if time_module.monotonic() >= deadline:
+                return None
+            time_module.sleep(poll)
 
     # ------------------------------------------------------------------
     # Publish / attach
@@ -243,7 +330,6 @@ class SpatialCache:
                 pass
             else:
                 _untrack(shm)
-                shm.buf[:_HEADER_BYTES] = len(manifest).to_bytes(_HEADER_BYTES, "little")
                 shm.buf[_HEADER_BYTES : _HEADER_BYTES + len(manifest)] = manifest
                 views: Dict[str, np.ndarray] = {}
                 for entry in entries:
@@ -257,6 +343,12 @@ class SpatialCache:
                     view[...] = source
                     view.flags.writeable = False
                     views[entry["name"]] = view
+                # The segment is visible system-wide from the moment it is
+                # created, and ``wait_for`` polls attach while we write —
+                # so the manifest length goes in *last*: a zero header
+                # marks the segment in-progress and attach treats it as a
+                # miss instead of parsing half-written contents.
+                shm.buf[:_HEADER_BYTES] = len(manifest).to_bytes(_HEADER_BYTES, "little")
                 self._segments[key] = _Segment(shm, views, dict(meta), owner=True)
                 self.publishes += 1
                 return True
@@ -283,6 +375,12 @@ class SpatialCache:
                 return None
             _untrack(shm)
             manifest_len = int.from_bytes(bytes(shm.buf[:_HEADER_BYTES]), "little")
+            if manifest_len == 0:
+                # Publisher created the segment but has not finished
+                # writing it (the header goes in last): not published yet.
+                shm.close()
+                self.misses += 1
+                return None
             manifest = json.loads(
                 bytes(shm.buf[_HEADER_BYTES : _HEADER_BYTES + manifest_len]).decode("utf-8")
             )
@@ -334,7 +432,12 @@ class SpatialCache:
             return 0
 
     def close(self) -> None:
-        """Drop every local mapping (segments stay alive system-wide)."""
+        """Drop every local mapping (segments stay alive system-wide).
+
+        Also releases any build claims this cache still holds, so a closing
+        process can never leave other processes waiting on it.
+        """
+        self.release_claims()
         with self._lock:
             for segment in self._segments.values():
                 segment.arrays = {}
@@ -399,6 +502,108 @@ def _list_segment_names(prefix: str) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# Plan (de)serialization
+# ---------------------------------------------------------------------------
+_PLANNER_KNOBS = (
+    "xy_resolution",
+    "heading_resolution",
+    "step_size",
+    "reverse_penalty",
+    "switch_penalty",
+    "steer_penalty",
+    "safety_margin",
+    "max_expansions",
+    "goal_shot_distance",
+    "use_spatial",
+    "flood_after_expansions",
+    "plan_speed",
+    "reverse_plan_speed",
+    "wait_penalty",
+    "max_waits",
+)
+
+
+def planner_signature(planner) -> Dict[str, Any]:
+    """JSON-safe dictionary of every planner knob the plan depends on."""
+    signature = {name: getattr(planner, name) for name in _PLANNER_KNOBS}
+    signature["steer_angles"] = np.asarray(planner.steer_angles, dtype=float).tolist()
+    return signature
+
+
+def plan_to_arrays(result: PlannerResult) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Array form of a *successful* :class:`PlannerResult` (shm-packable)."""
+    if not result.success or result.path is None:
+        raise ValueError("only successful plans are serialized")
+    waypoints = result.path.waypoints
+    poses = np.array(
+        [[w.pose.x, w.pose.y, w.pose.theta] for w in waypoints], dtype=float
+    )
+    directions = np.array([w.direction for w in waypoints], dtype=np.int64)
+    arrays = {"poses": poses, "directions": directions}
+    if result.arrival_times is not None:
+        arrays["arrival_times"] = np.asarray(result.arrival_times, dtype=float)
+    meta = {
+        "kind": "plan",
+        "expanded_nodes": int(result.expanded_nodes),
+        "cost": float(result.cost),
+    }
+    return arrays, meta
+
+
+def plan_from_arrays(arrays: Dict[str, np.ndarray], meta: Dict[str, Any]) -> PlannerResult:
+    """Inverse of :func:`plan_to_arrays` — bit-for-bit (float64 end to end)."""
+    poses = np.asarray(arrays["poses"], dtype=float)
+    directions = np.asarray(arrays["directions"])
+    waypoints = [
+        Waypoint(SE2(float(x), float(y), float(theta)), int(direction))
+        for (x, y, theta), direction in zip(poses, directions)
+    ]
+    arrival = arrays.get("arrival_times")
+    return PlannerResult(
+        success=True,
+        path=WaypointPath(waypoints),
+        expanded_nodes=int(meta["expanded_nodes"]),
+        cost=float(meta["cost"]),
+        arrival_times=tuple(float(t) for t in arrival) if arrival is not None else None,
+    )
+
+
+class ScenarioPlanCache:
+    """Per-scenario handle of the cross-episode hybrid-A* plan cache.
+
+    Instances are what :meth:`CachedSpatialProvider.plan_cache_for` hands to
+    :class:`~repro.il.expert.ExpertDriver` (duck-typed — the expert never
+    imports ``repro.serve``).  The full cache key covers everything the plan
+    is a deterministic function of: the scenario fingerprint, the vehicle
+    geometry, the time-layer spec, every planner knob and the query's start
+    pose + start time — so a hit returns the byte-identical
+    :class:`~repro.planning.hybrid_astar.PlannerResult` the local search
+    would have produced.  Replans mid-episode key to distinct entries (their
+    start pose/time differ).
+    """
+
+    def __init__(self, provider: "CachedSpatialProvider", base_payload: Dict[str, Any]) -> None:
+        self._provider = provider
+        self._base = base_payload
+
+    def key_for(self, start: SE2, start_time: float, planner) -> str:
+        payload = dict(self._base)
+        payload["planner"] = planner_signature(planner)
+        payload["query"] = {
+            "start": [float(start.x), float(start.y), float(start.theta)],
+            "start_time": float(start_time),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def lookup(self, start: SE2, start_time: float, planner) -> Optional[PlannerResult]:
+        return self._provider._plan_lookup(self.key_for(start, start_time, planner))
+
+    def store(self, start: SE2, start_time: float, planner, result: PlannerResult) -> None:
+        self._provider._plan_store(self.key_for(start, start_time, planner), result)
+
+
+# ---------------------------------------------------------------------------
 # Provider: in-process memo + shared-memory attach
 # ---------------------------------------------------------------------------
 class CachedSpatialProvider:
@@ -415,15 +620,24 @@ class CachedSpatialProvider:
         "index_memo_hits",
         "index_shm_hits",
         "index_builds",
+        "index_claim_waits",
         "timegrid_memo_hits",
         "timegrid_shm_hits",
         "timegrid_builds",
+        "plan_memo_hits",
+        "plan_shm_hits",
+        "plan_builds",
+        "plan_claim_waits",
     )
 
-    def __init__(self, cache: Optional[SpatialCache] = None) -> None:
+    def __init__(
+        self, cache: Optional[SpatialCache] = None, claim_timeout: float = 5.0
+    ) -> None:
         self.cache = cache or SpatialCache()
+        self.claim_timeout = claim_timeout
         self._indexes: Dict[str, SpatialIndex] = {}
         self._timegrids: Dict[str, TimeGrid] = {}
+        self._plans: Dict[str, PlannerResult] = {}
         self._pending: Dict[str, Tuple[str, object]] = {}  # key -> ("index"|"timegrid", obj)
         self._lock = threading.RLock()
         self.stats: Dict[str, int] = {key: 0 for key in self._STAT_KEYS}
@@ -437,6 +651,13 @@ class CachedSpatialProvider:
                 self.stats["index_memo_hits"] += 1
                 return index
             attached = self.cache.attach(key)
+            if attached is None and not self.cache.try_claim(key):
+                # Another process is building this very scenario right now:
+                # wait (bounded) for its publication instead of duplicating
+                # the ESDF/heuristic build.  A vanished claim or a timeout
+                # falls through to the local build — never wedged.
+                self.stats["index_claim_waits"] += 1
+                attached = self.cache.wait_for(key, timeout=self.claim_timeout)
             if attached is not None:
                 arrays, meta = attached
                 index = SpatialIndex.from_arrays(
@@ -480,12 +701,61 @@ class CachedSpatialProvider:
             self._timegrids[key] = grid
             return grid
 
+    # -- plan cache ------------------------------------------------------
+    def plan_cache_for(self, scenario, vehicle_params, time_layer_spec=None) -> ScenarioPlanCache:
+        """A per-scenario plan-cache handle (see :class:`ScenarioPlanCache`).
+
+        ``repro.api`` discovers this method by ``getattr`` duck-typing on
+        the installed spatial provider, so providers without a plan cache
+        keep working and ``repro.api`` never imports ``repro.serve``.
+        """
+        base = {
+            "kind": "plan",
+            "scenario": scenario_fingerprint(scenario),
+            "vehicle": asdict(vehicle_params or VehicleParams()),
+            "time_layer": time_layer_spec.to_dict() if time_layer_spec is not None else None,
+        }
+        return ScenarioPlanCache(self, base)
+
+    def _plan_lookup(self, key: str) -> Optional[PlannerResult]:
+        with self._lock:
+            result = self._plans.get(key)
+            if result is not None:
+                self.stats["plan_memo_hits"] += 1
+                return result
+        attached = self.cache.attach(key)
+        if attached is None and not self.cache.try_claim(key):
+            # Same coordination as index builds: a racing process is already
+            # searching this exact query — wait for its (eager) publication.
+            with self._lock:
+                self.stats["plan_claim_waits"] += 1
+            attached = self.cache.wait_for(key, timeout=self.claim_timeout)
+        if attached is None:
+            return None
+        result = plan_from_arrays(*attached)
+        with self._lock:
+            self.stats["plan_shm_hits"] += 1
+            self._plans[key] = result
+        return result
+
+    def _plan_store(self, key: str, result: PlannerResult) -> None:
+        with self._lock:
+            self.stats["plan_builds"] += 1
+            self._plans[key] = result
+        # Plans are complete the moment the search returns, so publication
+        # is eager (unlike index/timegrid flush-time publication) — that is
+        # what makes the claim/wait coordination above effective.
+        if result.success and result.path is not None:
+            self.cache.publish(key, *plan_to_arrays(result))
+        self.cache.release_claim(key)
+
     # -- publication ----------------------------------------------------
     def flush(self) -> int:
         """Publish every locally built structure; returns segments created.
 
         Called between episodes (not during), so the exported arrays are
-        settled for the scenarios already served.
+        settled for the scenarios already served.  Releases this process's
+        build claims as the corresponding segments go live.
         """
         published = 0
         with self._lock:
@@ -500,6 +770,7 @@ class CachedSpatialProvider:
                     continue  # nothing materialised yet; keep building locally
             if self.cache.publish(key, arrays, meta):
                 published += 1
+            self.cache.release_claim(key)
         return published
 
     # -- statistics ------------------------------------------------------
@@ -516,6 +787,7 @@ class CachedSpatialProvider:
         with self._lock:
             self._indexes.clear()
             self._timegrids.clear()
+            self._plans.clear()
             self._pending.clear()
         if unlink:
             self.cache.unlink_all()

@@ -81,6 +81,34 @@ def _warm_run_spec(payload: dict) -> Tuple[EpisodeResult, EpisodeTrace, Dict[str
     return outcome.result, outcome.trace, delta
 
 
+def _warm_run_cohort(payloads):
+    """Fleet-step a whole cohort of specs inside this warm worker.
+
+    One task dispatch amortises IPC over the cohort, and inside the worker
+    every tick answers all of the cohort's CO problems with one batched
+    solve per structure group.  Returns the ordered ``(result, trace)``
+    pairs, the run's :class:`~repro.serve.fleet.FleetStats` dict and the
+    provider-stats delta.
+    """
+    from repro.serve.fleet import run_specs_fleet
+
+    provider: CachedSpatialProvider = _WORKER_STATE["provider"]
+    before = provider.stats_snapshot()
+    specs = [EpisodeSpec.from_dict(payload) for payload in payloads]
+    outcomes, stats = run_specs_fleet(
+        specs,
+        il_policy=_WORKER_STATE.get("il_policy"),
+        vehicle_params=_WORKER_STATE.get("vehicle_params"),
+    )
+    provider.flush()
+    delta = CachedSpatialProvider.stats_delta(before, provider.stats_snapshot())
+    return (
+        [(outcome.result, outcome.trace) for outcome in outcomes],
+        stats.to_dict(),
+        delta,
+    )
+
+
 class WarmPool:
     """A long-lived pool of spawn workers with shared spatial caches.
 
@@ -118,6 +146,7 @@ class WarmPool:
         )
         self._closed = False
         self._stats: Dict[str, int] = {}
+        self.last_fleet_stats: Dict[str, float] = {}
         # Guarantee segment cleanup even when close() is never called.
         self._finalizer = weakref.finalize(
             self, WarmPool._teardown, self._pool, self.shm_prefix
@@ -140,6 +169,57 @@ class WarmPool:
                 self._stats[key] = self._stats.get(key, 0) + value
         return [(result, trace) for result, trace, _ in outputs]
 
+    def run_specs_fleet(
+        self, specs: Sequence[EpisodeSpec], cohorts: Optional[int] = None
+    ) -> List[Tuple[EpisodeResult, EpisodeTrace]]:
+        """Fleet-step the specs in lockstep cohorts on the warm workers.
+
+        The specs are split into ``cohorts`` contiguous chunks (default: the
+        pool size), each shipped to one worker as a single task; inside a
+        worker the cohort advances tick-by-tick with one batched CO solve
+        per structure group per tick (see :mod:`repro.serve.fleet`).  Cohort
+        membership cannot change results — the batched solver is bitwise
+        invariant to batch composition — so order-preserving concatenation
+        of the chunk outputs equals per-spec sequential execution.
+        Aggregated fleet counters land in :attr:`last_fleet_stats`.
+        """
+        if self._closed:
+            raise RuntimeError("WarmPool is closed")
+        specs = list(specs)
+        if not specs:
+            self.last_fleet_stats = {}
+            return []
+        num_cohorts = min(len(specs), cohorts if cohorts is not None else self.max_workers)
+        num_cohorts = max(1, num_cohorts)
+        chunk, remainder = divmod(len(specs), num_cohorts)
+        chunks: List[List[dict]] = []
+        start = 0
+        for index in range(num_cohorts):
+            size = chunk + (1 if index < remainder else 0)
+            chunks.append([spec.to_dict() for spec in specs[start : start + size]])
+            start += size
+        outputs = list(self._pool.map(_warm_run_cohort, chunks, chunksize=1))
+        merged: Dict[str, float] = {}
+        pairs: List[Tuple[EpisodeResult, EpisodeTrace]] = []
+        for cohort_pairs, fleet_stats, delta in outputs:
+            pairs.extend(cohort_pairs)
+            for key, value in delta.items():
+                self._stats[key] = self._stats.get(key, 0) + value
+            for key, value in fleet_stats.items():
+                merged[key] = merged.get(key, 0) + value
+        # Re-derive the ratio metrics from the summed counters (averaging
+        # per-cohort ratios would weight small cohorts equally with large).
+        if merged.get("ticks"):
+            merged["solves_per_tick"] = round(
+                merged["batched_problems"] / merged["ticks"], 3
+            )
+        if merged.get("batched_calls"):
+            merged["problems_per_solve"] = round(
+                merged["batched_problems"] / merged["batched_calls"], 3
+            )
+        self.last_fleet_stats = merged
+        return pairs
+
     # ------------------------------------------------------------------
     # Statistics / lifecycle
     # ------------------------------------------------------------------
@@ -148,14 +228,28 @@ class WarmPool:
         return dict(self._stats)
 
     def spatial_hit_rate(self) -> float:
-        """Fraction of worker spatial requests served from memo or shm."""
+        """Fraction of worker spatial requests served from memo or shm.
+
+        Plan-cache counters (``plan_*``) are tracked separately — see
+        :meth:`plan_cache_hit_rate`.
+        """
         hits = sum(
-            value for key, value in self._stats.items() if key.endswith("_hits")
+            value
+            for key, value in self._stats.items()
+            if key.endswith("_hits") and not key.startswith("plan_")
         )
         builds = sum(
-            value for key, value in self._stats.items() if key.endswith("_builds")
+            value
+            for key, value in self._stats.items()
+            if key.endswith("_builds") and not key.startswith("plan_")
         )
         total = hits + builds
+        return hits / total if total else 0.0
+
+    def plan_cache_hit_rate(self) -> float:
+        """Fraction of hybrid-A* plan queries answered from memo or shm."""
+        hits = self._stats.get("plan_memo_hits", 0) + self._stats.get("plan_shm_hits", 0)
+        total = hits + self._stats.get("plan_builds", 0)
         return hits / total if total else 0.0
 
     @property

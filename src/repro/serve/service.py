@@ -129,6 +129,7 @@ class ServeApp:
         self._open = False
         self.sessions_started = 0
         self.sessions_completed = 0
+        self._fleet_stats: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -234,6 +235,119 @@ class ServeApp:
         future.add_done_callback(_on_done)
         return handle
 
+    def submit_fleet(
+        self, specs, *, client_id: str = "client"
+    ) -> "list[SessionHandle]":
+        """Start a cohort of specs stepped in lockstep by one fleet task.
+
+        Each spec still gets its own handle, bus scope and event stream —
+        clients cannot tell fleet stepping from :meth:`submit` (the batched
+        solver is bitwise invariant to batch composition, and scalar-spec
+        episodes solve per-session inside the tick).  Specs answered by the
+        result cache replay immediately; the rest advance together, every
+        tick answering all of the cohort's CO problems with one batched
+        solve per structure group.  Fleet counters land in
+        :meth:`stats` under ``"fleet"``.
+        """
+        if not self._open:
+            raise RuntimeError("ServeApp is not open — use 'async with app:' or app.open()")
+        loop = asyncio.get_running_loop()
+        handles: list[SessionHandle] = []
+        live: list[tuple] = []  # (handle, scoped bus, spec, cache key)
+        for spec in specs:
+            session_id = next(self._session_counter)
+            scope = f"client/{client_id}/{session_id}"
+            scoped = ScopedBus(self.bus, scope)
+            handle = SessionHandle(
+                session_id=session_id,
+                client_id=client_id,
+                scope=scope,
+                spec=spec,
+                _outcome=loop.create_future(),
+            )
+            self.sessions_started += 1
+            handles.append(handle)
+            key = spec.cache_key() if self._result_cache is not None else None
+            cached = (
+                self._result_cache.lookup(key) if self._result_cache is not None else None
+            )
+            if cached is not None and cached[2] is not None:
+                handle.from_cache = True
+                self._replay(scoped, handle, *cached)
+                continue
+            live.append((handle, scoped, spec, key))
+        if not live:
+            return handles
+
+        def _run_cohort() -> "list[SessionOutcome]":
+            from repro.serve.fleet import FleetStepper
+
+            sessions = []
+            subscriptions = []
+            for handle, scoped, spec, _ in live:
+                session = ParkingSession(
+                    spec,
+                    il_policy=self.il_policy,
+                    vehicle_params=self.vehicle_params,
+                    bus=scoped,
+                )
+                subscriptions.append(
+                    scoped.subscribe(
+                        STEP_TOPIC,
+                        lambda event, queue=handle._queue: loop.call_soon_threadsafe(
+                            queue.put_nowait, event
+                        ),
+                        subscriber=f"serve/{handle.scope}",
+                    )
+                )
+                sessions.append(session)
+            stepper = FleetStepper(sessions)
+            try:
+                return stepper.run()
+            finally:
+                for subscription in subscriptions:
+                    subscription.cancel()
+                self._merge_fleet_stats(stepper.stats.to_dict())
+
+        future = loop.run_in_executor(self._threads, _run_cohort)
+
+        def _on_done(fut: asyncio.Future) -> None:
+            try:
+                outcomes = fut.result()
+            except BaseException as exc:  # noqa: BLE001 - forwarded to every client
+                for handle, _, _, _ in live:
+                    if not handle._outcome.done():
+                        handle._outcome.set_exception(exc)
+                    self.sessions_completed += 1
+                    handle._queue.put_nowait(_DONE)
+            else:
+                for (handle, _, _, key), outcome in zip(live, outcomes):
+                    if self._result_cache is not None:
+                        self._result_cache.store(
+                            key, outcome.result, outcome.trace, outcome.events
+                        )
+                    handle._outcome.set_result(outcome)
+                    self.sessions_completed += 1
+                    handle._queue.put_nowait(_DONE)
+
+        future.add_done_callback(_on_done)
+        return handles
+
+    def _merge_fleet_stats(self, stats: Dict[str, float]) -> None:
+        for key, value in stats.items():
+            if key in ("solves_per_tick", "problems_per_solve"):
+                continue
+            self._fleet_stats[key] = self._fleet_stats.get(key, 0) + value
+        if self._fleet_stats.get("ticks"):
+            self._fleet_stats["solves_per_tick"] = round(
+                self._fleet_stats["batched_problems"] / self._fleet_stats["ticks"], 3
+            )
+        if self._fleet_stats.get("batched_calls"):
+            self._fleet_stats["problems_per_solve"] = round(
+                self._fleet_stats["batched_problems"] / self._fleet_stats["batched_calls"],
+                3,
+            )
+
     def _replay(self, scoped: ScopedBus, handle: SessionHandle, result, trace, events) -> None:
         """Re-publish a cached episode's stream on the handle's scope."""
         for event in events:
@@ -280,4 +394,5 @@ class ServeApp:
             "result_cache_misses": result_misses,
             "cache_hit_rate": result_hits / total if total else 0.0,
             "spatial": self._provider.stats_snapshot(),
+            "fleet": dict(self._fleet_stats),
         }

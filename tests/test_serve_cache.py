@@ -235,3 +235,273 @@ class TestEpisodeResultCache:
         assert cache.lookup(spec.cache_key()) == ("result", "trace", ("e",))
         cache.clear()
         assert cache.get(spec) is None
+
+
+class TestBuildClaims:
+    """Claim segments: the cross-process "I am building this" coordination."""
+
+    def test_try_claim_is_atomic_across_instances(self, cache):
+        sibling = SpatialCache(prefix=cache.prefix)
+        try:
+            assert cache.try_claim("k" * 64)
+            assert cache.claim_held("k" * 64)
+            assert not sibling.try_claim("k" * 64)
+            assert cache.release_claim("k" * 64)
+            assert not cache.claim_held("k" * 64)
+            assert sibling.try_claim("k" * 64)
+        finally:
+            sibling.release_claims()
+            sibling.close()
+
+    def test_release_claim_ignores_unowned_claims(self, cache):
+        sibling = SpatialCache(prefix=cache.prefix)
+        try:
+            assert sibling.try_claim("j" * 64)
+            # A cache that never took the claim cannot drop it...
+            assert not cache.release_claim("j" * 64)
+            assert cache.claim_held("j" * 64)
+            # ...unless it forces (the orphan-recovery path).
+            assert cache.release_claim("j" * 64, force=True)
+            assert not cache.claim_held("j" * 64)
+        finally:
+            sibling.release_claims()
+            sibling.close()
+
+    def test_wait_for_returns_arrays_published_under_a_claim(self, cache):
+        key = "a" * 64
+        waiter = SpatialCache(prefix=cache.prefix)
+        try:
+            assert cache.try_claim(key)
+            cache.publish(key, sample_arrays(), {"kind": "test"})
+            attached = waiter.wait_for(key, timeout=1.0)
+            assert attached is not None
+            arrays, meta = attached
+            assert arrays["occupied"].tobytes() == sample_arrays()["occupied"].tobytes()
+            assert meta["kind"] == "test"
+        finally:
+            waiter.close()
+
+    def test_wait_for_gives_up_when_claim_vanishes_unpublished(self, cache):
+        key = "b" * 64
+        waiter = SpatialCache(prefix=cache.prefix)
+        try:
+            assert cache.try_claim(key)
+            cache.release_claim(key)
+            # Claim gone, nothing published: the builder failed — fall back.
+            assert waiter.wait_for(key, timeout=5.0) is None
+        finally:
+            waiter.close()
+
+    def test_wait_for_times_out_while_claim_held(self, cache):
+        key = "c" * 64
+        waiter = SpatialCache(prefix=cache.prefix)
+        try:
+            assert cache.try_claim(key)
+            start = time.monotonic()
+            assert waiter.wait_for(key, timeout=0.2) is None
+            assert time.monotonic() - start < 5.0
+        finally:
+            waiter.close()
+
+    def test_close_releases_held_claims(self, cache):
+        sibling = SpatialCache(prefix=cache.prefix)
+        sibling.try_claim("d" * 64)
+        sibling.close()
+        assert not cache.claim_held("d" * 64)
+
+    def test_attach_treats_unfinished_segment_as_miss(self, cache):
+        # publish() writes the manifest-length header *last*; a waiter that
+        # maps the segment mid-write must see a miss, not parse garbage.
+        from multiprocessing import shared_memory
+
+        key = "e" * 64
+        shm = shared_memory.SharedMemory(
+            name=cache.segment_name(key), create=True, size=64
+        )
+        try:
+            assert bytes(shm.buf[:8]) == b"\x00" * 8  # zeroed header
+            assert cache.attach(key) is None
+            waiter = SpatialCache(prefix=cache.prefix)
+            try:
+                assert waiter.wait_for(key, timeout=0.1) is None
+            finally:
+                waiter.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_provider_waits_on_foreign_claim_then_builds_locally(self, cache):
+        scenario = build_scenario(
+            ScenarioConfig(scenario_name="perpendicular-easy", seed=11)
+        )
+        params = VehicleParams()
+        from repro.serve.cache import spatial_cache_key as key_fn
+
+        key = key_fn(scenario, params, kind="index")
+        assert cache.try_claim(key)  # simulate a racing builder that stalls
+        provider = CachedSpatialProvider(
+            SpatialCache(prefix=cache.prefix), claim_timeout=0.2
+        )
+        try:
+            index = provider.spatial_index(scenario, params)
+            assert index is not None
+            # The wait was counted, timed out, and the provider fell back to
+            # a local build instead of wedging the episode.
+            assert provider.stats["index_claim_waits"] == 1
+            assert provider.stats["index_builds"] == 1
+        finally:
+            provider.close()
+
+
+class TestPlanCache:
+    """The cross-episode hybrid-A* plan cache (memo -> shm -> search)."""
+
+    def _plan_result(self):
+        from repro.geometry.se2 import SE2
+        from repro.planning.hybrid_astar import PlannerResult
+        from repro.planning.waypoints import Waypoint, WaypointPath
+
+        waypoints = [
+            Waypoint(SE2(0.0, 0.0, 0.0), 1),
+            Waypoint(SE2(1.25, 0.5, 0.3), 1),
+            Waypoint(SE2(2.0, 1.0, -0.7), -1),
+        ]
+        return PlannerResult(
+            success=True,
+            path=WaypointPath(waypoints),
+            expanded_nodes=17,
+            cost=4.25,
+            arrival_times=(0.0, 0.4, 1.1),
+        )
+
+    def test_array_round_trip_is_byte_identical(self):
+        from repro.serve.cache import plan_from_arrays, plan_to_arrays
+
+        original = self._plan_result()
+        rebuilt = plan_from_arrays(*plan_to_arrays(original))
+        assert rebuilt.success and rebuilt.cost == original.cost
+        assert rebuilt.expanded_nodes == original.expanded_nodes
+        assert rebuilt.arrival_times == original.arrival_times
+        for rebuilt_wp, original_wp in zip(rebuilt.path.waypoints, original.path.waypoints):
+            assert rebuilt_wp.direction == original_wp.direction
+            assert rebuilt_wp.pose.x == original_wp.pose.x  # bitwise: float64 end to end
+            assert rebuilt_wp.pose.y == original_wp.pose.y
+            assert rebuilt_wp.pose.theta == original_wp.pose.theta
+
+    def test_key_covers_query_and_planner_knobs(self, cache):
+        from repro.geometry.se2 import SE2
+        from repro.planning.hybrid_astar import HybridAStarPlanner
+
+        scenario = build_scenario(ScenarioConfig(scenario_name="parallel-easy", seed=3))
+        params = VehicleParams()
+        provider = CachedSpatialProvider(cache)
+        try:
+            plans = provider.plan_cache_for(scenario, params)
+            planner = HybridAStarPlanner(params)
+            base = plans.key_for(SE2(1.0, 2.0, 0.5), 0.0, planner)
+            assert base == plans.key_for(SE2(1.0, 2.0, 0.5), 0.0, planner)
+            assert base != plans.key_for(SE2(1.0, 2.0, 0.6), 0.0, planner)
+            assert base != plans.key_for(SE2(1.0, 2.0, 0.5), 1.5, planner)
+            tweaked = HybridAStarPlanner(params)
+            tweaked.reverse_penalty = planner.reverse_penalty + 1.0
+            assert base != plans.key_for(SE2(1.0, 2.0, 0.5), 0.0, tweaked)
+        finally:
+            provider.close()
+
+    def test_hit_returns_byte_identical_plan_from_memo_and_shm(self, cache):
+        from repro.geometry.se2 import SE2
+        from repro.planning.hybrid_astar import HybridAStarPlanner
+
+        scenario = build_scenario(ScenarioConfig(scenario_name="parallel-easy", seed=3))
+        params = VehicleParams()
+        planner = HybridAStarPlanner(params)
+        start = SE2(1.0, 2.0, 0.5)
+        result = self._plan_result()
+
+        producer = CachedSpatialProvider(cache)
+        producer.plan_cache_for(scenario, params).store(start, 0.0, planner, result)
+        assert producer.stats["plan_builds"] == 1
+        memo_hit = producer.plan_cache_for(scenario, params).lookup(start, 0.0, planner)
+        assert memo_hit is result  # in-process memo returns the object itself
+        assert producer.stats["plan_memo_hits"] == 1
+
+        # A sibling process (fresh provider, no memo) attaches the published
+        # arrays and reconstructs the plan bit-for-bit.
+        consumer = CachedSpatialProvider(SpatialCache(prefix=cache.prefix))
+        try:
+            shm_hit = consumer.plan_cache_for(scenario, params).lookup(start, 0.0, planner)
+            assert shm_hit is not None
+            assert consumer.stats["plan_shm_hits"] == 1
+            for hit_wp, original_wp in zip(shm_hit.path.waypoints, result.path.waypoints):
+                assert hit_wp.pose.x == original_wp.pose.x
+                assert hit_wp.pose.theta == original_wp.pose.theta
+                assert hit_wp.direction == original_wp.direction
+        finally:
+            consumer.close()
+
+    def test_failed_plans_memoize_locally_without_publishing(self, cache):
+        from repro.geometry.se2 import SE2
+        from repro.planning.hybrid_astar import HybridAStarPlanner, PlannerResult
+
+        scenario = build_scenario(ScenarioConfig(scenario_name="parallel-easy", seed=3))
+        params = VehicleParams()
+        planner = HybridAStarPlanner(params)
+        start = SE2(9.0, 9.0, 0.0)
+        failure = PlannerResult(success=False, path=None, expanded_nodes=3)
+
+        provider = CachedSpatialProvider(cache)
+        plans = provider.plan_cache_for(scenario, params)
+        plans.store(start, 0.0, planner, failure)
+        key = plans.key_for(start, 0.0, planner)
+        assert cache.attach(key) is None  # never published
+        assert not cache.claim_held(key)  # claim released despite the failure
+        assert plans.lookup(start, 0.0, planner) is failure  # memoized locally
+
+        # A sibling sees nothing (and takes the build claim for itself).
+        sibling = CachedSpatialProvider(SpatialCache(prefix=cache.prefix))
+        try:
+            assert sibling.plan_cache_for(scenario, params).lookup(start, 0.0, planner) is None
+        finally:
+            sibling.cache.release_claims()
+            sibling.close()
+
+    def test_expert_episodes_reuse_plans_with_identical_traces(self, cache):
+        from repro.api import EpisodeSpec
+        from repro.api.session import run_episode_spec
+        from repro.spatial.provider import clear_spatial_provider, install_spatial_provider
+
+        spec = EpisodeSpec(
+            method="expert",
+            scenario=ScenarioConfig(scenario_name="perpendicular-easy", seed=11),
+            max_steps=12,
+        )
+        baseline = run_episode_spec(spec)  # no provider: plain search
+
+        provider = CachedSpatialProvider(cache)
+        install_spatial_provider(provider)
+        try:
+            first = run_episode_spec(spec)
+            builds = provider.stats["plan_builds"]
+            assert builds >= 1
+            second = run_episode_spec(spec)
+            # The replayed episode issues the same queries: all memo hits.
+            assert provider.stats["plan_builds"] == builds
+            assert provider.stats["plan_memo_hits"] >= builds
+            provider.flush()
+
+            # A sibling process replaying the scenario attaches the
+            # published plan instead of searching.
+            sibling = CachedSpatialProvider(SpatialCache(prefix=cache.prefix))
+            install_spatial_provider(sibling)
+            third = run_episode_spec(spec)
+            assert sibling.stats["plan_shm_hits"] >= 1
+            assert sibling.stats["plan_builds"] == 0
+            sibling.close()
+        finally:
+            clear_spatial_provider()
+            provider.close()
+
+        for outcome in (first, second, third):
+            assert outcome.result == baseline.result
+            assert outcome.trace.positions.tobytes() == baseline.trace.positions.tobytes()
+            assert outcome.events == baseline.events
