@@ -8,6 +8,13 @@ order them by raw line position.  :func:`append_record` stamps every record
 with the current git SHA (short form), letting
 ``benchmarks/report_trajectory.py`` group the trajectory by (event, SHA)
 instead of line order.
+
+Records of episode batches additionally carry a ``trace_digest`` — the
+batch-level digest of the per-episode trace hashes (see
+:func:`repro.api.trace.batch_trace_digest` and ``DETERMINISM.md``) — either
+passed pre-computed in the payload or derived here from the ``results=``
+keyword, so a revision whose numbers moved can be checked for *bitwise*
+behaviour changes, not just throughput ones.
 """
 
 from __future__ import annotations
@@ -15,6 +22,9 @@ from __future__ import annotations
 import json
 import subprocess
 from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.api.trace import batch_trace_digest
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -53,8 +63,18 @@ def current_sha() -> str:
     return _CACHED_SHA
 
 
-def append_record(path: Path, payload: dict) -> None:
-    """Append one SHA-stamped JSON record to a trajectory file."""
+def append_record(path: Path, payload: dict, results: Optional[Sequence] = None) -> None:
+    """Append one SHA-stamped JSON record to a trajectory file.
+
+    When ``results`` (a sequence of
+    :class:`~repro.api.results.EpisodeResult`) is given, the record is also
+    stamped with the batch's ``trace_digest``, unless the payload already
+    carries one.
+    """
     record = {**payload, "sha": current_sha()}
+    if results is not None and "trace_digest" not in record:
+        record["trace_digest"] = batch_trace_digest(
+            result.trace_hash for result in results
+        )
     with open(path, "a", encoding="utf-8") as handle:
         handle.write(json.dumps(record, separators=(",", ":")) + "\n")

@@ -36,8 +36,19 @@ from typing import Dict, Iterable, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.determinism import check_hash_seed  # noqa: E402
+
 # Columns promoted to the front of their table when present.
 _LEADING_COLUMNS = ("sha", "scenario", "method", "backend", "constraints", "jacobian_mode")
+
+# Hash-valued columns: truncated for display (the full values live in the
+# JSON lines), and always surfaced per revision so bitwise behaviour changes
+# are visible next to the throughput numbers they may explain.
+_DIGEST_COLUMNS = frozenset({"trace_digest"})
+_DIGEST_DISPLAY_CHARS = 12
 
 # SHA value used for rows recorded before provenance stamping existed.
 _NO_SHA = "-"
@@ -118,6 +129,13 @@ def _format_value(value) -> str:
     return str(value)
 
 
+def _display_value(column: str, value) -> str:
+    text = _format_value(value)
+    if column in _DIGEST_COLUMNS and len(text) > _DIGEST_DISPLAY_CHARS:
+        return text[:_DIGEST_DISPLAY_CHARS] + "…"
+    return text
+
+
 def markdown_table(rows: List[dict]) -> List[str]:
     """One markdown table over the union of the rows' keys (event dropped)."""
     columns: List[str] = []
@@ -134,7 +152,9 @@ def markdown_table(rows: List[dict]) -> List[str]:
     ]
     for row in rows:
         lines.append(
-            "| " + " | ".join(_format_value(row.get(column)) for column in columns) + " |"
+            "| "
+            + " | ".join(_display_value(column, row.get(column)) for column in columns)
+            + " |"
         )
     return lines
 
@@ -341,6 +361,7 @@ def render_report(planner_entries: List[dict], throughput_entries: List[dict]) -
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    check_hash_seed()
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--planner", type=Path, default=REPO_ROOT / "BENCH_planner.json",

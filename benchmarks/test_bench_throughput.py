@@ -138,6 +138,7 @@ def test_bench_serving_throughput():
             "spatial_hit_rate": 0.0,
             "smoke": SMOKE,
         },
+        results=thread_outcome.results,
     )
 
     # --- process arm: warm pool + shm spatial cache + result memo ---
@@ -192,6 +193,7 @@ def test_bench_serving_throughput():
             "warmup_s": round(warmup_s, 4),
             "smoke": SMOKE,
         },
+        results=list(cold.results) + list(warm.results),
     )
     append_record(
         BENCH_THROUGHPUT,
@@ -307,6 +309,7 @@ def test_bench_fleet_step_throughput():
             "solves_per_tick": 1.0,
             "smoke": SMOKE,
         },
+        results=sequential_outcome.results,
     )
 
     # --- fleet arm: one lockstep cohort, one stacked solve per tick ---
@@ -330,7 +333,13 @@ def test_bench_fleet_step_throughput():
             "ragged_ticks": fleet_stats.get("ragged_ticks", 0),
             "smoke": SMOKE,
         },
+        results=fleet_outcome.results,
     )
+    # The two arms ran identical specs, so their batch digests must agree —
+    # the bitwise-parity contract, checked on real benchmark traffic.
+    assert [r.trace_hash for r in fleet_outcome.results] == [
+        r.trace_hash for r in sequential_outcome.results
+    ], "fleet and sequential arms diverged bitwise on identical specs"
 
     # --- plan-cache pass: fleet-process cold then replayed ---
     # The first pass publishes every scenario's hybrid-A* plan to shared
@@ -360,6 +369,14 @@ def test_bench_fleet_step_throughput():
             "plan_cache_hit_rate_cold": round(cold_plan_rate, 4),
             "smoke": SMOKE,
         },
+        results=replay.results,
+    )
+    # Plan-cache hits must not change behaviour: the replayed batch is
+    # bitwise identical to the cold one and to the in-process fleet arm.
+    assert [r.trace_hash for r in replay.results] == [
+        r.trace_hash for r in cold.results
+    ] == [r.trace_hash for r in fleet_outcome.results], (
+        "fleet-process replay diverged bitwise from its cold run"
     )
     append_record(
         BENCH_THROUGHPUT,

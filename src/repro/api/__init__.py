@@ -44,7 +44,7 @@ from repro.api.registry import (
 from repro.api.results import EpisodeResult, MethodStatistics, aggregate_results
 from repro.api.session import ParkingSession, SessionOutcome, run_episode_spec
 from repro.api.specs import BatchSpec, EpisodeSpec, PerceptionOverrides, TimeLayerSpec
-from repro.api.trace import EpisodeTrace
+from repro.api.trace import EpisodeTrace, batch_trace_digest, episode_trace_hash
 
 # Importing the built-in methods installs them on the default registry.
 from repro.api import methods as _builtin_methods  # noqa: F401  (side-effect import)
@@ -73,7 +73,9 @@ __all__ = [
     "StepEvent",
     "TimeLayerSpec",
     "aggregate_results",
+    "batch_trace_digest",
     "default_registry",
+    "episode_trace_hash",
     "register_method",
     "run_episode_spec",
 ]

@@ -56,7 +56,7 @@ from repro.api.registry import ControllerRegistry, default_registry
 from repro.api.results import EpisodeResult
 from repro.api.session import ParkingSession, SessionOutcome
 from repro.api.specs import BatchSpec, EpisodeSpec
-from repro.api.trace import EpisodeTrace
+from repro.api.trace import EpisodeTrace, batch_trace_digest
 
 BACKENDS = ("thread", "process", "fleet", "fleet-process")
 
@@ -74,6 +74,11 @@ class BatchSummary:
     ``spatial_cache_hits`` / ``spatial_cache_misses`` aggregate the warm
     workers' spatial-structure requests (zero on the thread backend, which
     shares structures in-process implicitly).
+
+    ``trace_digest`` is SHA-256 over the ordered per-episode
+    ``trace_hash`` values — one value summarizing the bitwise identity of
+    the whole batch, so two runs of the same batch (on any backend) can be
+    compared with a single string.
     """
 
     method: str
@@ -92,6 +97,7 @@ class BatchSummary:
     # cross-episode plan cache's hit rate.
     solves_per_tick: Optional[float] = None
     plan_cache_hit_rate: Optional[float] = None
+    trace_digest: Optional[str] = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -130,6 +136,8 @@ class BatchSummary:
             data["solves_per_tick"] = round(self.solves_per_tick, 3)
         if self.plan_cache_hit_rate is not None:
             data["plan_cache_hit_rate"] = round(self.plan_cache_hit_rate, 4)
+        if self.trace_digest is not None:
+            data["trace_digest"] = self.trace_digest
         return json.dumps(data, separators=(",", ":"))
 
 
@@ -433,6 +441,9 @@ class BatchExecutor:
                 fleet_stats.get("solves_per_tick") if fleet_stats is not None else None
             ),
             plan_cache_hit_rate=plan_hits / plan_total if plan_total else None,
+            trace_digest=batch_trace_digest(result.trace_hash for result in results)
+            if results
+            else None,
         )
         self._emit_summary(summary)
         return BatchOutcome(

@@ -16,6 +16,7 @@ from typing import Callable, Dict, Optional, Protocol, Sequence, Tuple, runtime_
 
 from repro.co.controller import COController
 from repro.core.config import ICOILConfig
+from repro.core.determinism import derive_seed
 from repro.il.expert import ExpertDriver
 from repro.il.policy import ILPolicy
 from repro.perception.bev import BEVRenderer
@@ -112,6 +113,20 @@ class ControllerContext:
             return self.perception.detection_noise_std
         return self.scenario.config.resolved_detection_noise
 
+    def _perception_seed(self, domain: str) -> int:
+        """The seed for one perception component, honouring the compat flag.
+
+        Legacy derivation reuses the raw scenario seed for both components
+        (byte-compatible with every pinned trace, but it correlates the
+        noise streams with each other and with obstacle placement); domain
+        derivation gives each component its own stream via
+        :func:`~repro.core.determinism.derive_seed`.
+        """
+        config = self.scenario.config
+        if config.seed_derivation == "legacy":
+            return config.seed
+        return derive_seed(config.seed, domain)
+
     # -- lazy components ----------------------------------------------
     @property
     def has_renderer(self) -> bool:
@@ -129,7 +144,9 @@ class ControllerContext:
         if self._renderer is None:
             std = self.image_noise_std
             noise = GaussianImageNoise(std=std) if std > 0.0 else NoNoise()
-            self._renderer = BEVRenderer(noise=noise, seed=self.scenario.config.seed)
+            self._renderer = BEVRenderer(
+                noise=noise, seed=self._perception_seed("perception.render")
+            )
         return self._renderer
 
     @property
@@ -138,7 +155,7 @@ class ControllerContext:
         if self._detector is None:
             self._detector = ObjectDetector(
                 noise=DetectionNoiseModel.for_difficulty(self.detection_noise_std),
-                seed=self.scenario.config.seed,
+                seed=self._perception_seed("perception.detect"),
             )
         return self._detector
 

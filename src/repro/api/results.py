@@ -22,6 +22,12 @@ class EpisodeResult:
     ``parking_time`` is the total time from the starting point to the parking
     space; the task is failed if the vehicle cannot reach the goal within the
     time limit or collides with an obstacle (paper §V-D).
+
+    ``trace_hash`` is the canonical digest of the episode's step-event
+    stream (:func:`~repro.api.trace.episode_trace_hash`): equal hashes mean
+    the episodes replayed bitwise-identical trajectories, whatever backend
+    or process produced them.  Empty for results assembled outside the
+    session engine (e.g. hand-built fixtures).
     """
 
     method: str
@@ -33,6 +39,7 @@ class EpisodeResult:
     co_mode_fraction: float = 0.0
     num_mode_switches: int = 0
     min_obstacle_distance: float = float("inf")
+    trace_hash: str = ""
 
     @property
     def success(self) -> bool:

@@ -25,7 +25,7 @@ from repro.api.events import EPISODE_TOPIC, STEP_TOPIC, EpisodeCompletedEvent, S
 from repro.api.registry import ControllerRegistry, ControllerContext, default_registry
 from repro.api.results import EpisodeResult
 from repro.api.specs import EpisodeSpec
-from repro.api.trace import EpisodeTrace
+from repro.api.trace import EpisodeTrace, episode_trace_hash
 
 StepListener = Callable[[StepEvent], None]
 
@@ -316,6 +316,7 @@ class ParkingSession:
             co_mode_fraction=co_frames / max(1, len(events)),
             num_mode_switches=mode_switches,
             min_obstacle_distance=min_distance,
+            trace_hash=episode_trace_hash(events),
         )
 
     @staticmethod

@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import ICOILConfig
 from repro.world.scenario import (
+    SEED_DERIVATIONS,
     DifficultyLevel,
     ScenarioConfig,
     SpawnMode,
@@ -210,6 +211,11 @@ class EpisodeSpec:
             co_solver=data.get("co_solver", "scalar"),
         )
 
+    @property
+    def seed_derivation(self) -> str:
+        """The RNG-stream derivation mode of this episode's scenario."""
+        return self.scenario.seed_derivation
+
 
 # ---------------------------------------------------------------------------
 # Batch spec
@@ -225,8 +231,9 @@ class BatchSpec:
 
     ``scenario_name`` selects a registered scenario builder (see
     :mod:`repro.world.registry`); ``layout_params`` override individual
-    layout knobs of procedural presets.  Both are forwarded verbatim into
-    every expanded episode's :class:`ScenarioConfig`.
+    layout knobs of procedural presets.  Both — like ``seed_derivation``,
+    the RNG-stream compat flag (see ``DETERMINISM.md``) — are forwarded
+    verbatim into every expanded episode's :class:`ScenarioConfig`.
     """
 
     method: str
@@ -244,6 +251,7 @@ class BatchSpec:
     time_limit: float = 80.0
     max_steps: Optional[int] = None
     co_solver: str = "scalar"
+    seed_derivation: str = "legacy"
 
     def __post_init__(self) -> None:
         if not self.method:
@@ -251,6 +259,11 @@ class BatchSpec:
         if self.co_solver not in ("scalar", "batched"):
             raise ValueError(
                 f"co_solver must be 'scalar' or 'batched', got {self.co_solver!r}"
+            )
+        if self.seed_derivation not in SEED_DERIVATIONS:
+            raise ValueError(
+                f"seed_derivation must be one of {SEED_DERIVATIONS}, "
+                f"got {self.seed_derivation!r}"
             )
         if not self.seeds:
             raise ValueError("a batch needs at least one seed")
@@ -278,6 +291,7 @@ class BatchSpec:
                     seed=seed,
                     scenario_name=self.scenario_name,
                     layout_params=self.layout_params,
+                    seed_derivation=self.seed_derivation,
                 )
                 specs.append(
                     EpisodeSpec(
@@ -295,7 +309,7 @@ class BatchSpec:
         return specs
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "method": self.method,
             "seeds": list(self.seeds),
             "difficulties": [difficulty.value for difficulty in self.difficulties],
@@ -311,8 +325,14 @@ class BatchSpec:
             "time_limit": self.time_limit,
             "max_steps": self.max_steps,
         }
+        # Non-default knobs are emitted sparsely so pre-existing serialized
+        # batches keep their byte form.  (An early return here used to make
+        # the co_solver emission unreachable, silently dropping the field
+        # from every serialized batch.)
         if self.co_solver != "scalar":
             data["co_solver"] = self.co_solver
+        if self.seed_derivation != "legacy":
+            data["seed_derivation"] = self.seed_derivation
         return data
 
     @classmethod
@@ -335,4 +355,5 @@ class BatchSpec:
             time_limit=data.get("time_limit", 80.0),
             max_steps=data.get("max_steps"),
             co_solver=data.get("co_solver", "scalar"),
+            seed_derivation=data.get("seed_derivation", "legacy"),
         )

@@ -14,7 +14,13 @@ This is the paper's primary contribution (§III–IV):
 """
 
 from repro.core.baselines import COOnlyController, ILOnlyController
-from repro.core.determinism import check_hash_seed
+from repro.core.determinism import (
+    check_hash_seed,
+    derive_rng,
+    derive_seed,
+    require_matching_hash_seed,
+    verify_seed,
+)
 from repro.core.config import ICOILConfig
 from repro.core.controller import DrivingMode, ICOILController, ICOILStepInfo
 from repro.core.hsa import HSAModel, HSAReading
@@ -23,10 +29,14 @@ __all__ = [
     "COOnlyController",
     "DrivingMode",
     "check_hash_seed",
+    "derive_rng",
+    "derive_seed",
     "HSAModel",
     "HSAReading",
     "ICOILConfig",
     "ICOILController",
     "ICOILStepInfo",
     "ILOnlyController",
+    "require_matching_hash_seed",
+    "verify_seed",
 ]

@@ -1,25 +1,116 @@
-"""Guards for the repository's bitwise-determinism contract.
+"""The deterministic-replay contract: seeds, streams and interpreter guards.
 
 Every reproduction artifact (episode results, serving caches, benchmark
-trajectories) assumes that equal inputs yield byte-equal outputs.  One
-silent way to break that across *interpreter invocations* is Python's hash
-randomization: with ``PYTHONHASHSEED`` unset, ``hash(str)`` — and therefore
-any iteration order or key derived from it — changes per process.  The
-repository's own serialization paths are hash-order independent (canonical
-JSON with sorted keys), but user extensions frequently are not, and cache
-keys compared across machines must not depend on per-process state.
+trajectories) assumes that equal inputs yield byte-equal outputs.  This
+module holds the three primitives that turn that assumption into a checked
+contract:
 
-:func:`check_hash_seed` is called from the example entry points and the
-benchmark harness so the footgun is loud at the point of use instead of
-surfacing as an inexplicable cache miss or diff much later.
+* :func:`derive_seed` — SHA-256-based *domain-separated* seed derivation.
+  Historically every consumer of randomness (scenario build, spawn pose,
+  patrol phases, perception noise, weight init) seeded its own
+  ``np.random.default_rng`` with the same raw episode seed, silently
+  correlating streams that must be independent: perception noise was a
+  function of obstacle placement, and two same-shape layers initialised
+  with identical weights.  ``derive_seed(commitment, domain)`` gives every
+  subsystem its own stream keyed by a human-readable domain string, with
+  the guarantee that distinct ``(commitment, domain, salt)`` triples land
+  on uncorrelated seeds.  The canonical domain tree is documented in
+  ``DETERMINISM.md``.
+* :func:`check_hash_seed` / :func:`require_matching_hash_seed` — guards
+  against Python's per-process hash randomization, called from every entry
+  point (examples, the benchmark harness, report tooling) and from worker
+  initialisers, where a *mismatched* ``PYTHONHASHSEED`` must fail loudly
+  instead of surfacing as an inexplicable cross-worker diff much later.
+
+Seed derivation is pure ``hashlib`` over a canonical UTF-8 encoding, so the
+same inputs produce the same seed on every platform, interpreter and
+process — the property the golden-value tests in
+``tests/test_determinism_contract.py`` pin.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import warnings
+from typing import Optional, Union
 
-__all__ = ["check_hash_seed"]
+import numpy as np
+
+__all__ = [
+    "SEED_DOMAINS",
+    "check_hash_seed",
+    "derive_rng",
+    "derive_seed",
+    "require_matching_hash_seed",
+    "verify_seed",
+]
+
+# The canonical seed-domain tree (see DETERMINISM.md).  Nothing enforces
+# that a domain string appears here — user extensions mint their own — but
+# the built-in consumers all draw from these, and the contract tests assert
+# they stay pairwise uncorrelated.
+SEED_DOMAINS = (
+    "scenario.build",  # obstacle slot permutation, jitter and clutter draws
+    "scenario.patrol",  # patrol route placement, speeds and phases
+    "scenario.spawn",  # random start-pose sampling
+    "perception.render",  # BEV image noise
+    "perception.detect",  # detection jitter / dropouts / false positives
+    "nn.layer",  # per-layer weight init (suffixed with the layer index)
+)
+
+# Field separator of the canonical encoding: a control character that never
+# appears in seeds, domain names or salts, so ("ab", "c") and ("a", "bc")
+# cannot collide.
+_SEPARATOR = "\x1f"
+
+
+def _canonical(commitment: Union[int, str], domain: str, salt: Optional[str]) -> bytes:
+    if not domain:
+        raise ValueError("seed domain must be non-empty")
+    parts = [str(commitment), domain]
+    if salt is not None:
+        parts.append(str(salt))
+    return _SEPARATOR.join(parts).encode("utf-8")
+
+
+def derive_seed(
+    commitment: Union[int, str], domain: str, *, salt: Optional[str] = None
+) -> int:
+    """A deterministic 64-bit seed for ``domain``, bound to ``commitment``.
+
+    ``commitment`` is whatever identifies the run (an episode seed, a spec
+    cache key, a commit hash); ``domain`` names the consuming subsystem
+    (``"scenario.spawn"``, ``"perception.detect"``, …); ``salt``
+    disambiguates repeated draws inside one domain (a layer index, a retry
+    counter).  The result is the big-endian integer of the first 8 bytes of
+    ``SHA-256(commitment ␟ domain [␟ salt])``, so:
+
+    * equal inputs yield equal seeds on every platform and process,
+    * any change to any component yields an (effectively) independent seed,
+    * no two domains ever share a stream, however the commitments collide.
+    """
+    digest = hashlib.sha256(_canonical(commitment, domain, salt)).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def verify_seed(
+    commitment: Union[int, str], domain: str, seed: int, *, salt: Optional[str] = None
+) -> bool:
+    """``True`` iff ``seed`` is exactly ``derive_seed(commitment, domain)``.
+
+    The validation half of the contract: a distributed worker (or a replay
+    harness) can prove a submitted seed was honestly derived rather than
+    cherry-picked.
+    """
+    return derive_seed(commitment, domain, salt=salt) == int(seed)
+
+
+def derive_rng(
+    commitment: Union[int, str], domain: str, *, salt: Optional[str] = None
+) -> np.random.Generator:
+    """A :class:`numpy.random.Generator` seeded by :func:`derive_seed`."""
+    return np.random.default_rng(derive_seed(commitment, domain, salt=salt))
 
 
 def check_hash_seed(*, warn: bool = True) -> bool:
@@ -47,3 +138,29 @@ def check_hash_seed(*, warn: bool = True) -> bool:
             stacklevel=2,
         )
     return pinned
+
+
+def require_matching_hash_seed(expected: Optional[str]) -> None:
+    """Fail loudly if this process's ``PYTHONHASHSEED`` differs from ``expected``.
+
+    Worker initialisers call this with the *parent's* value: under the
+    ``spawn`` start method the environment is normally inherited, but a
+    custom multiprocessing context, a wrapper script or an ``os.environ``
+    mutation between pool creation and worker start can silently give
+    workers a different hash seed than the process that will compare their
+    outputs.  A mismatch raises immediately — at worker start-up, where the
+    traceback names the bad value — instead of surfacing later as a
+    cross-worker trace divergence.  Matching-but-unpinned values do not
+    re-warn here: the parent entry point already owns that advisory
+    (:func:`check_hash_seed`), and repeating it once per spawned worker
+    would only drown it out.
+    """
+    actual = os.environ.get("PYTHONHASHSEED")
+    if actual != expected:
+        raise RuntimeError(
+            f"PYTHONHASHSEED mismatch: this worker sees {actual!r} but its "
+            f"parent pool was created under {expected!r}; hash-dependent "
+            "iteration would differ between the processes whose outputs are "
+            "compared bitwise. Launch the whole fleet under one pinned value "
+            "(e.g. PYTHONHASHSEED=0)."
+        )

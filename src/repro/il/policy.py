@@ -23,6 +23,7 @@ from repro.nn import (
     Conv2D,
     Dense,
     Flatten,
+    LayerSeeder,
     MaxPool2D,
     ReLU,
     Sequential,
@@ -46,7 +47,11 @@ class ILPolicy:
     hidden_size:
         Width of the fully connected layers in the state-action network.
     seed:
-        Seed for weight initialisation (reproducible training).
+        Seed for weight initialisation (reproducible training).  Each
+        parameterised layer gets its own stream derived from this seed and
+        the layer's position (:class:`~repro.nn.layers.LayerSeeder`), so no
+        two layers share an init stream and the same seed reproduces the
+        same network bitwise everywhere.
     """
 
     def __init__(
@@ -63,7 +68,7 @@ class ILPolicy:
         self.action_space = action_space or ActionSpace()
         self.image_size = image_size
         self.image_channels = image_channels
-        rng = np.random.default_rng(seed)
+        seeder = LayerSeeder(seed)
 
         feature_size = image_size // 8
         flat_features = conv_channels[2] * feature_size * feature_size
@@ -72,24 +77,24 @@ class ILPolicy:
         self.network = Sequential(
             [
                 # Feature extraction network: 3 x (conv, ReLU, max-pool).
-                Conv2D(image_channels, conv_channels[0], kernel_size=3, padding=1, rng=rng),
+                Conv2D(image_channels, conv_channels[0], kernel_size=3, padding=1, rng=seeder.next_rng()),
                 ReLU(),
                 MaxPool2D(2),
-                Conv2D(conv_channels[0], conv_channels[1], kernel_size=3, padding=1, rng=rng),
+                Conv2D(conv_channels[0], conv_channels[1], kernel_size=3, padding=1, rng=seeder.next_rng()),
                 ReLU(),
                 MaxPool2D(2),
-                Conv2D(conv_channels[1], conv_channels[2], kernel_size=3, padding=1, rng=rng),
+                Conv2D(conv_channels[1], conv_channels[2], kernel_size=3, padding=1, rng=seeder.next_rng()),
                 ReLU(),
                 MaxPool2D(2),
                 Flatten(),
                 # State-action network: 4 fully connected layers + softmax.
-                Dense(flat_features, hidden_size, rng=rng),
+                Dense(flat_features, hidden_size, rng=seeder.next_rng()),
                 ReLU(),
-                Dense(hidden_size, hidden_size, rng=rng),
+                Dense(hidden_size, hidden_size, rng=seeder.next_rng()),
                 ReLU(),
-                Dense(hidden_size, hidden_size, rng=rng),
+                Dense(hidden_size, hidden_size, rng=seeder.next_rng()),
                 ReLU(),
-                Dense(hidden_size, num_classes, rng=rng),
+                Dense(hidden_size, num_classes, rng=seeder.next_rng()),
                 Softmax(),
             ]
         )

@@ -21,9 +21,11 @@ from repro.nn.layers import (
     Dropout,
     Flatten,
     Layer,
+    LayerSeeder,
     MaxPool2D,
     ReLU,
     Softmax,
+    seed_default_init,
 )
 from repro.nn.losses import CrossEntropyLoss, Loss, MeanSquaredErrorLoss
 from repro.nn.network import Sequential
@@ -38,6 +40,7 @@ __all__ = [
     "Dropout",
     "Flatten",
     "Layer",
+    "LayerSeeder",
     "Loss",
     "MaxPool2D",
     "MeanSquaredErrorLoss",
@@ -48,4 +51,5 @@ __all__ = [
     "Softmax",
     "load_parameters",
     "save_parameters",
+    "seed_default_init",
 ]

@@ -11,13 +11,62 @@ Every layer implements:
 
 Convolution and pooling are implemented with im2col-style stride tricks so
 that training the small IL network (32x32x3 inputs) finishes in seconds.
+
+Weight initialisation draws from an explicit ``rng`` when one is passed.
+Construction without one draws from a module-level default stream (seeded
+deterministically via the ``nn.layer`` domain, resettable with
+:func:`seed_default_init`): consecutive bare constructions consume that one
+stream, so two same-shape layers get *different* weights.  Historically
+every bare construction seeded its own fresh ``default_rng(0)``, which made
+every pair of same-shape layers in a network start bitwise identical.  For
+fully order-independent per-layer streams, thread a :class:`LayerSeeder`
+through construction instead (what :class:`~repro.il.policy.ILPolicy` does).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
+
+from repro.core.determinism import derive_rng
+
+
+class LayerSeeder:
+    """Issues one independent init generator per constructed layer.
+
+    Each call to :meth:`next_rng` derives a fresh
+    :class:`numpy.random.Generator` from ``(commitment, "nn.layer",
+    layer_index)`` via :func:`~repro.core.determinism.derive_seed`, so
+
+    * every layer's initial weights are an order-*indexed* but otherwise
+      independent function of the network seed (no shared stream: adding a
+      draw to one layer's init cannot shift any other layer's weights),
+    * two same-shape layers at different positions initialise differently,
+    * the same seed reproduces the same network bitwise on any platform.
+    """
+
+    def __init__(self, commitment: Union[int, str]) -> None:
+        self._commitment = commitment
+        self._index = 0
+
+    def next_rng(self) -> np.random.Generator:
+        rng = derive_rng(self._commitment, "nn.layer", salt=str(self._index))
+        self._index += 1
+        return rng
+
+
+_default_init_rng = derive_rng(0, "nn.layer", salt="default")
+
+
+def seed_default_init(seed: Union[int, str] = 0) -> None:
+    """Reset the module-level default init stream (bare constructions)."""
+    global _default_init_rng
+    _default_init_rng = derive_rng(seed, "nn.layer", salt="default")
+
+
+def _init_rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else _default_init_rng
 
 
 class Layer:
@@ -47,7 +96,7 @@ class Dense(Layer):
     def __init__(self, in_features: int, out_features: int, rng: Optional[np.random.Generator] = None) -> None:
         if in_features <= 0 or out_features <= 0:
             raise ValueError("Dense layer dimensions must be positive")
-        rng = rng or np.random.default_rng(0)
+        rng = _init_rng(rng)
         scale = np.sqrt(2.0 / in_features)
         self.weights = rng.normal(0.0, scale, size=(in_features, out_features))
         self.bias = np.zeros(out_features)
@@ -123,7 +172,7 @@ class Dropout(Layer):
         if not 0.0 <= rate < 1.0:
             raise ValueError(f"Dropout rate must lie in [0, 1), got {rate}")
         self.rate = rate
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
@@ -176,7 +225,7 @@ class Conv2D(Layer):
             raise ValueError("Conv2D channel counts must be positive")
         if kernel_size <= 0 or stride <= 0 or padding < 0:
             raise ValueError("Conv2D kernel_size/stride must be positive and padding non-negative")
-        rng = rng or np.random.default_rng(0)
+        rng = _init_rng(rng)
         fan_in = in_channels * kernel_size * kernel_size
         scale = np.sqrt(2.0 / fan_in)
         self.weights = rng.normal(0.0, scale, size=(out_channels, in_channels, kernel_size, kernel_size))

@@ -33,6 +33,7 @@ import weakref
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.determinism import require_matching_hash_seed
 from repro.il.policy import ILPolicy
 from repro.spatial.provider import install_spatial_provider
 from repro.vehicle.params import VehicleParams
@@ -53,9 +54,19 @@ _WORKER_STATE: Dict[str, object] = {}
 
 
 def _warm_worker_init(
-    il_policy: Optional[ILPolicy], vehicle_params: VehicleParams, shm_prefix: str
+    il_policy: Optional[ILPolicy],
+    vehicle_params: VehicleParams,
+    shm_prefix: str,
+    parent_hash_seed: Optional[str] = None,
 ) -> None:
-    """Cache shared read-only inputs and install the spatial provider."""
+    """Cache shared read-only inputs and install the spatial provider.
+
+    The first act is the determinism guard: a worker whose
+    ``PYTHONHASHSEED`` differs from the parent's fails at start-up (with
+    the offending values in the traceback) rather than producing results
+    the parent will compare bitwise against other workers'.
+    """
+    require_matching_hash_seed(parent_hash_seed)
     _WORKER_STATE["il_policy"] = il_policy
     _WORKER_STATE["vehicle_params"] = vehicle_params
     provider = CachedSpatialProvider(SpatialCache(prefix=shm_prefix))
@@ -142,7 +153,12 @@ class WarmPool:
             max_workers=max_workers,
             mp_context=multiprocessing.get_context("spawn"),
             initializer=_warm_worker_init,
-            initargs=(il_policy, vehicle_params, self.shm_prefix),
+            initargs=(
+                il_policy,
+                vehicle_params,
+                self.shm_prefix,
+                os.environ.get("PYTHONHASHSEED"),
+            ),
         )
         self._closed = False
         self._stats: Dict[str, int] = {}

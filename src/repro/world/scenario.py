@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.determinism import derive_rng
 from repro.geometry.collision import polygon_polygon_collision
 from repro.geometry.se2 import SE2
 from repro.geometry.shapes import AxisAlignedBox, OrientedBox
@@ -64,6 +65,40 @@ class SpawnMode(enum.Enum):
 
 
 LayoutParamValue = Union[bool, int, float, str]
+
+# Valid values of ScenarioConfig.seed_derivation (see DETERMINISM.md).
+SEED_DERIVATIONS = ("legacy", "domain")
+
+
+class ScenarioStreams:
+    """The per-domain RNG streams a scenario build draws from.
+
+    Under ``seed_derivation="domain"`` each construction concern gets its
+    own stream derived via
+    :func:`~repro.core.determinism.derive_seed` — obstacle placement
+    (``scenario.build``), patrol routes/speeds/phases (``scenario.patrol``)
+    and the random spawn pose (``scenario.spawn``) — so perturbing one
+    concern (e.g. adding a clutter draw) cannot shift any other, and
+    downstream consumers keyed on the same seed (perception noise) share
+    none of these streams.
+
+    Under the ``"legacy"`` default all three attributes alias **one**
+    ``np.random.default_rng(seed)`` generator, reproducing the historical
+    shared-stream draw order byte-for-byte.
+    """
+
+    build: np.random.Generator
+    patrol: np.random.Generator
+    spawn: np.random.Generator
+
+    def __init__(self, config: "ScenarioConfig") -> None:
+        if config.seed_derivation == "legacy":
+            shared = np.random.default_rng(config.seed)
+            self.build = self.patrol = self.spawn = shared
+        else:
+            self.build = derive_rng(config.seed, "scenario.build")
+            self.patrol = derive_rng(config.seed, "scenario.patrol")
+            self.spawn = derive_rng(config.seed, "scenario.spawn")
 
 
 def normalize_layout_params(params) -> Tuple[Tuple[str, LayoutParamValue], ...]:
@@ -101,6 +136,16 @@ class ScenarioConfig:
     An explicit ``image_noise_std`` / ``detection_noise_std`` (including
     ``0.0``) always wins over the difficulty-implied level; ``None`` means
     "use the level implied by the difficulty".
+
+    ``seed_derivation`` selects how the episode seed fans out into RNG
+    streams: ``"legacy"`` (default) reproduces the historical behaviour —
+    one shared ``default_rng(seed)`` stream for the whole scenario build
+    and the raw seed reused by the perception stack — byte-for-byte, so
+    pinned traces and spec cache keys stay valid; ``"domain"`` derives one
+    independent stream per subsystem via
+    :func:`~repro.core.determinism.derive_seed` (see
+    :class:`ScenarioStreams` and ``DETERMINISM.md``), making perception
+    noise independent of obstacle placement and the spawn draw.
     """
 
     difficulty: DifficultyLevel = DifficultyLevel.EASY
@@ -112,6 +157,7 @@ class ScenarioConfig:
     detection_noise_std: Optional[float] = None
     scenario_name: str = "legacy"
     layout_params: Tuple[Tuple[str, LayoutParamValue], ...] = ()
+    seed_derivation: str = "legacy"
 
     def __post_init__(self) -> None:
         if self.num_static_obstacles < 0:
@@ -124,6 +170,11 @@ class ScenarioConfig:
             raise ValueError("detection_noise_std must be non-negative")
         if not self.scenario_name:
             raise ValueError("scenario_name must be non-empty")
+        if self.seed_derivation not in SEED_DERIVATIONS:
+            raise ValueError(
+                f"seed_derivation must be one of {SEED_DERIVATIONS}, "
+                f"got {self.seed_derivation!r}"
+            )
         object.__setattr__(self, "layout_params", normalize_layout_params(self.layout_params))
 
     @property
@@ -154,8 +205,14 @@ class ScenarioConfig:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """A JSON-safe dictionary (enums as values, overrides as a dict)."""
-        return {
+        """A JSON-safe dictionary (enums as values, overrides as a dict).
+
+        ``seed_derivation`` is emitted only when it differs from the
+        ``"legacy"`` default: pre-existing serialized configs (and the spec
+        cache keys derived from them) predate the field, and a legacy config
+        must keep producing byte-identical payloads.
+        """
+        data = {
             "difficulty": self.difficulty.value,
             "spawn_mode": self.spawn_mode.value,
             "num_static_obstacles": self.num_static_obstacles,
@@ -166,6 +223,9 @@ class ScenarioConfig:
             "scenario_name": self.scenario_name,
             "layout_params": dict(self.layout_params),
         }
+        if self.seed_derivation != "legacy":
+            data["seed_derivation"] = self.seed_derivation
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioConfig":
@@ -348,12 +408,12 @@ def _build_legacy_scenario(config: ScenarioConfig, lot: Optional[ParkingLot] = N
     """The paper's fixed lot with deterministic obstacle slots.
 
     Obstacle placement is deterministic (fixed slots) so that difficulty
-    levels are comparable across methods; only the spawn pose uses the seed
-    when ``spawn_mode`` is random, matching the paper's protocol of random
-    starting points inside the spawn region.
+    levels are comparable across methods; only the patrol phases and the
+    spawn pose (when ``spawn_mode`` is random) draw randomness, matching the
+    paper's protocol of random starting points inside the spawn region.
     """
     lot = lot or default_parking_lot()
-    rng = np.random.default_rng(config.seed)
+    streams = ScenarioStreams(config)
 
     obstacles: List[Obstacle] = []
     num_static = min(config.num_static_obstacles, len(_STATIC_SLOTS))
@@ -369,7 +429,7 @@ def _build_legacy_scenario(config: ScenarioConfig, lot: Optional[ParkingLot] = N
                 f"dynamic-{index}",
                 waypoints,
                 speed=0.5 + 0.15 * index,
-                phase=float(rng.uniform(0.0, 10.0)),
+                phase=float(streams.patrol.uniform(0.0, 10.0)),
             )
         )
 
@@ -378,7 +438,7 @@ def _build_legacy_scenario(config: ScenarioConfig, lot: Optional[ParkingLot] = N
     elif config.spawn_mode is SpawnMode.REMOTE:
         start_pose = _REMOTE_SPAWN
     else:
-        start_pose = lot.sample_spawn_pose(rng)
+        start_pose = lot.sample_spawn_pose(streams.spawn)
 
     return Scenario(config=config, lot=lot, obstacles=tuple(obstacles), start_pose=start_pose)
 
@@ -414,7 +474,11 @@ def build_layout_scenario(layout: LotLayout, config: ScenarioConfig) -> Scenario
 
     Obstacle placement is seeded rejection sampling with a fixed draw order
     (slot permutation → per-slot jitter → clutter → patrol routes → random
-    spawn), so the same seed always yields the same scenario.  Every placed
+    spawn), so the same seed always yields the same scenario.  The draws
+    come from :class:`ScenarioStreams`: one shared stream under the legacy
+    derivation (preserving the historical byte order), or independent
+    ``scenario.build`` / ``scenario.patrol`` / ``scenario.spawn`` streams
+    under ``seed_derivation="domain"``.  Every placed
     obstacle — including each patrol route's swept corridor — is
     collision-free against the lot bounds, the goal space, the spawn
     keep-out regions and every previously placed obstacle (best-effort: a
@@ -424,7 +488,8 @@ def build_layout_scenario(layout: LotLayout, config: ScenarioConfig) -> Scenario
     generated: GeneratedLot = layout.build()
     lot = generated.lot
     aisle = generated.aisle
-    rng = np.random.default_rng(config.seed)
+    streams = ScenarioStreams(config)
+    rng = streams.build
 
     obstacles: List[Obstacle] = list(generated.structural)
     # Rejection sampling tests every candidate against all previously placed
@@ -534,7 +599,7 @@ def build_layout_scenario(layout: LotLayout, config: ScenarioConfig) -> Scenario
     for index in range(num_dynamic):
         crossing_x: Optional[float] = None
         for _attempt in range(40):
-            candidate = float(rng.uniform(aisle.min_x + 2.0, aisle.max_x - 2.0))
+            candidate = float(streams.patrol.uniform(aisle.min_x + 2.0, aisle.max_x - 2.0))
             if -2.0 <= candidate - generated.close_spawn.x <= 4.5:
                 continue
             if -2.0 <= candidate - generated.remote_spawn.x <= 4.5:
@@ -560,8 +625,8 @@ def build_layout_scenario(layout: LotLayout, config: ScenarioConfig) -> Scenario
             make_patrolling_obstacle(
                 f"dynamic-{index}",
                 waypoints,
-                speed=float(rng.uniform(0.4, 0.9)),
-                phase=float(rng.uniform(0.0, 10.0)),
+                speed=float(streams.patrol.uniform(0.4, 0.9)),
+                phase=float(streams.patrol.uniform(0.0, 10.0)),
             )
         )
 
@@ -571,7 +636,7 @@ def build_layout_scenario(layout: LotLayout, config: ScenarioConfig) -> Scenario
     elif config.spawn_mode is SpawnMode.REMOTE:
         start_pose = generated.remote_spawn
     else:
-        start_pose = lot.sample_spawn_pose(rng)
+        start_pose = lot.sample_spawn_pose(streams.spawn)
 
     return Scenario(
         config=config,

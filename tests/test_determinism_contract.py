@@ -1,0 +1,383 @@
+"""The deterministic-replay contract (see ``DETERMINISM.md``).
+
+Three layers are pinned here:
+
+1. **Seed derivation** — :func:`repro.core.determinism.derive_seed` is a
+   pure, cross-process-stable function of ``(commitment, domain, salt)``
+   with golden values frozen in this file, and distinct domains yield
+   statistically independent streams.
+2. **Compat flag** — ``seed_derivation="legacy"`` (the default) reproduces
+   the historical single-stream draw order byte for byte and leaves every
+   serialized spec, cache key and config payload unchanged; ``"domain"`` is
+   an explicit opt-in that round-trips through serialization.
+3. **The fleet-wide parity gate** — one :class:`BatchSpec` of ≥ 16 episodes
+   produces *identical* per-episode trace-hash lists on every executor
+   backend, and the hashes are invariant to cohort composition and to
+   result-memo replay.  This is the single asserted invariant CI's
+   ``determinism`` job runs.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    BACKENDS,
+    BatchExecutor,
+    BatchSpec,
+    batch_trace_digest,
+    episode_trace_hash,
+)
+from repro.api.events import StepEvent
+from repro.core.determinism import (
+    SEED_DOMAINS,
+    check_hash_seed,
+    derive_rng,
+    derive_seed,
+    require_matching_hash_seed,
+    verify_seed,
+)
+from repro.vehicle.actions import Action
+from repro.vehicle.state import VehicleState
+from repro.world.scenario import (
+    DifficultyLevel,
+    ScenarioConfig,
+    ScenarioStreams,
+    SpawnMode,
+)
+from repro.world.world import EpisodeStatus
+
+# Golden values: frozen the day derive_seed was introduced.  If any of these
+# change, every recorded trace hash and seeded experiment in the repo's
+# history silently stops being reproducible — never "fix" the goldens to
+# match new code.
+GOLDEN_SEEDS = {
+    (0, "scenario.build", None): 8256954910392175760,
+    (0, "scenario.patrol", None): 11399281134182976475,
+    ("0", "nn.layer", "0"): 12976349311423875925,
+}
+
+
+def parity_batch() -> BatchSpec:
+    """The ≥16-episode spec the fleet-wide gate runs on every backend."""
+    return BatchSpec(
+        method="expert",
+        seeds=tuple(range(16)),
+        difficulties=(DifficultyLevel.EASY,),
+        spawn_mode=SpawnMode.CLOSE,
+        scenario_name="perpendicular-easy",
+        max_steps=8,
+    )
+
+
+# ---------------------------------------------------------------------------
+# 1. Seed derivation
+# ---------------------------------------------------------------------------
+class TestDeriveSeed:
+    def test_golden_values(self):
+        for (commitment, domain, salt), expected in GOLDEN_SEEDS.items():
+            assert derive_seed(commitment, domain, salt=salt) == expected
+
+    def test_verify_seed(self):
+        assert verify_seed(0, "scenario.build", GOLDEN_SEEDS[(0, "scenario.build", None)])
+        assert not verify_seed(0, "scenario.build", 1)
+
+    def test_commitment_is_canonicalised_through_str(self):
+        # int and str commitments with the same text commit to the same seed,
+        # so callers can pass cache keys or raw seeds interchangeably.
+        assert derive_seed(7, "scenario.build") == derive_seed("7", "scenario.build")
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(0, "")
+
+    def test_output_fits_numpy_seed_range(self):
+        for domain in SEED_DOMAINS:
+            for commitment in (0, 1, 2**63, "spec-key"):
+                seed = derive_seed(commitment, domain)
+                assert 0 <= seed < 2**64
+                np.random.default_rng(seed)  # must be an accepted seed
+
+    def test_salt_and_domain_both_separate_streams(self):
+        base = derive_seed(5, "nn.layer")
+        assert derive_seed(5, "nn.layer", salt="0") != base
+        assert derive_seed(5, "nn.layer", salt="1") != derive_seed(5, "nn.layer", salt="0")
+        assert derive_seed(5, "scenario.build") != derive_seed(5, "scenario.patrol")
+
+    def test_stable_across_fresh_interpreters(self):
+        """The derivation must not depend on interpreter state or hash seed."""
+        code = (
+            "import sys; sys.path.insert(0, {src!r});"
+            "from repro.core.determinism import derive_seed;"
+            "print(derive_seed(0, 'scenario.build'))"
+        ).format(src=os.path.join(os.path.dirname(__file__), "..", "src"))
+        for hash_seed in ("1", "2"):
+            env = {**os.environ, "PYTHONHASHSEED": hash_seed}
+            output = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                check=True,
+                env=env,
+                timeout=60,
+            ).stdout.strip()
+            assert int(output) == GOLDEN_SEEDS[(0, "scenario.build", None)]
+
+    def test_domain_streams_are_uncorrelated(self):
+        draws = {
+            domain: derive_rng(0, domain).standard_normal(2048)
+            for domain in ("scenario.build", "scenario.patrol", "scenario.spawn")
+        }
+        domains = list(draws)
+        for i, first in enumerate(domains):
+            for second in domains[i + 1 :]:
+                correlation = float(np.corrcoef(draws[first], draws[second])[0, 1])
+                assert abs(correlation) < 0.1, (first, second, correlation)
+
+
+class TestHashSeedGuards:
+    def test_check_hash_seed_warns_but_never_raises_when_unpinned(self):
+        env_backup = os.environ.pop("PYTHONHASHSEED", None)
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                assert check_hash_seed() is False
+            assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+        finally:
+            if env_backup is not None:
+                os.environ["PYTHONHASHSEED"] = env_backup
+
+    def test_require_matching_hash_seed(self):
+        current = os.environ.get("PYTHONHASHSEED")
+        require_matching_hash_seed(current)  # parent's own value always passes
+        with pytest.raises(RuntimeError, match="PYTHONHASHSEED"):
+            require_matching_hash_seed("this-will-never-match")
+
+
+# ---------------------------------------------------------------------------
+# 2. Scenario streams and the compat flag
+# ---------------------------------------------------------------------------
+class TestScenarioStreams:
+    def test_legacy_mode_aliases_one_historical_stream(self):
+        config = ScenarioConfig(seed=11)  # seed_derivation defaults to legacy
+        streams = ScenarioStreams(config)
+        assert streams.build is streams.patrol is streams.spawn
+        # Byte-for-byte the historical draw order: one generator seeded with
+        # the raw scenario seed, consumed sequentially.
+        historical = np.random.default_rng(11)
+        interleaved = [
+            streams.build.uniform(),
+            streams.patrol.uniform(),
+            streams.spawn.uniform(),
+        ]
+        assert interleaved == [historical.uniform() for _ in range(3)]
+
+    def test_domain_mode_derives_independent_streams(self):
+        config = ScenarioConfig(seed=11, seed_derivation="domain")
+        streams = ScenarioStreams(config)
+        assert streams.build is not streams.patrol
+        assert streams.patrol is not streams.spawn
+        assert streams.build.uniform() == derive_rng(11, "scenario.build").uniform()
+        assert streams.patrol.uniform() == derive_rng(11, "scenario.patrol").uniform()
+        assert streams.spawn.uniform() == derive_rng(11, "scenario.spawn").uniform()
+
+    def test_invalid_derivation_rejected(self):
+        with pytest.raises(ValueError, match="seed_derivation"):
+            ScenarioConfig(seed=0, seed_derivation="quantum")
+        with pytest.raises(ValueError, match="seed_derivation"):
+            BatchSpec(method="expert", seeds=(0,), seed_derivation="quantum")
+
+
+class TestCompatFlagSerialization:
+    def test_legacy_payloads_and_cache_keys_are_unchanged(self):
+        """The default mode must not appear in any serialized form.
+
+        Pre-PR payloads, result-memo cache keys and BENCH records were
+        produced without the flag; emitting it for the default would orphan
+        every one of them.
+        """
+        config = ScenarioConfig(seed=3)
+        assert "seed_derivation" not in config.to_dict()
+        batch = BatchSpec(method="expert", seeds=(0, 1))
+        assert "seed_derivation" not in batch.to_dict()
+        for episode in batch.episode_specs():
+            assert "seed_derivation" not in episode.to_dict()["scenario"]
+            assert episode.seed_derivation == "legacy"
+
+    def test_domain_mode_round_trips(self):
+        batch = BatchSpec(method="expert", seeds=(0, 1), seed_derivation="domain")
+        assert batch.to_dict()["seed_derivation"] == "domain"
+        assert BatchSpec.from_dict(batch.to_dict()) == batch
+        episode = batch.episode_specs()[0]
+        assert episode.seed_derivation == "domain"
+        rebuilt = type(episode).from_dict(episode.to_dict())
+        assert rebuilt == episode
+        assert rebuilt.cache_key() != episode.with_seed(99).cache_key()
+
+    def test_domain_and_legacy_cache_keys_differ(self):
+        legacy = BatchSpec(method="expert", seeds=(0,)).episode_specs()[0]
+        domain = BatchSpec(
+            method="expert", seeds=(0,), seed_derivation="domain"
+        ).episode_specs()[0]
+        assert legacy.cache_key() != domain.cache_key()
+
+    def test_batch_co_solver_round_trips(self):
+        # Regression: an early return in BatchSpec.to_dict used to silently
+        # drop co_solver from every serialized batch.
+        batch = BatchSpec(method="expert", seeds=(0,), co_solver="batched")
+        assert batch.to_dict()["co_solver"] == "batched"
+        assert BatchSpec.from_dict(batch.to_dict()) == batch
+
+
+# ---------------------------------------------------------------------------
+# 3. Trace hashing
+# ---------------------------------------------------------------------------
+def _event(**overrides) -> StepEvent:
+    defaults = dict(
+        stamp=0.1,
+        step_index=0,
+        pre_step_state=VehicleState(x=1.0, y=2.0, heading=0.3, velocity=0.5, steer=0.1),
+        state=VehicleState(x=1.1, y=2.0, heading=0.3, velocity=0.6, steer=0.1),
+        action=Action(throttle=0.5, brake=0.0, steer=0.1, reverse=False),
+        mode="co",
+        uncertainty=0.2,
+        hsa_score=0.7,
+        switched=False,
+        min_obstacle_distance=3.5,
+        status=EpisodeStatus.RUNNING,
+    )
+    defaults.update(overrides)
+    return StepEvent(**defaults)
+
+
+class TestEpisodeTraceHash:
+    def test_deterministic_and_order_sensitive(self):
+        first = _event(step_index=0)
+        second = _event(step_index=1, stamp=0.2)
+        assert episode_trace_hash([first, second]) == episode_trace_hash([first, second])
+        assert episode_trace_hash([first, second]) != episode_trace_hash([second, first])
+
+    def test_every_field_is_load_bearing(self):
+        base = episode_trace_hash([_event()])
+        perturbed = [
+            _event(stamp=0.2),
+            _event(step_index=5),
+            _event(state=VehicleState(x=1.1000000001, y=2.0, heading=0.3, velocity=0.6, steer=0.1)),
+            _event(action=Action(throttle=0.5, brake=0.0, steer=0.1, reverse=True)),
+            _event(mode="il"),
+            _event(uncertainty=0.3),
+            _event(hsa_score=0.8),
+            _event(switched=True),
+            _event(min_obstacle_distance=3.6),
+            _event(status=EpisodeStatus.PARKED),
+        ]
+        hashes = [episode_trace_hash([event]) for event in perturbed]
+        assert base not in hashes
+        assert len(set(hashes)) == len(hashes)
+
+    def test_string_fields_are_length_prefixed(self):
+        # "ab" + "c" must not collide with "a" + "bc" across the mode/status
+        # boundary; length prefixes make the framing injective.
+        assert episode_trace_hash([_event(mode="ab")]) != episode_trace_hash([_event(mode="a")])
+
+    def test_batch_digest_is_injective_over_framing(self):
+        assert batch_trace_digest(["ab", "c"]) != batch_trace_digest(["a", "bc"])
+        assert batch_trace_digest([]) != batch_trace_digest([""])
+        assert batch_trace_digest(["x"]) == batch_trace_digest(iter(["x"]))
+
+
+# ---------------------------------------------------------------------------
+# 4. The fleet-wide parity gate (run by CI's `determinism` job)
+# ---------------------------------------------------------------------------
+class TestFleetWideParityGate:
+    def test_every_backend_produces_identical_trace_hashes(self):
+        """The contract's single asserted invariant, on a ≥16-episode batch."""
+        spec = parity_batch()
+        assert spec.num_episodes >= 16
+        hash_lists = {}
+        for backend in BACKENDS:
+            outcome = BatchExecutor(
+                backend=backend, max_workers=2, summary_stream=None
+            ).run(spec)
+            hashes = [result.trace_hash for result in outcome.results]
+            assert len(hashes) == spec.num_episodes
+            assert all(len(h) == 64 for h in hashes)
+            assert outcome.summary.trace_digest == batch_trace_digest(hashes)
+            hash_lists[backend] = hashes
+        assert len({tuple(hashes) for hashes in hash_lists.values()}) == 1, hash_lists
+
+    def test_hashes_invariant_to_cohort_composition(self):
+        """An episode's hash must not depend on what else ran in its batch."""
+        spec = parity_batch()
+        full = BatchExecutor(backend="fleet", max_workers=2, summary_stream=None).run(spec)
+        subset_spec = BatchSpec(
+            method=spec.method,
+            seeds=spec.seeds[3:7],
+            difficulties=spec.difficulties,
+            spawn_mode=spec.spawn_mode,
+            scenario_name=spec.scenario_name,
+            max_steps=spec.max_steps,
+        )
+        subset = BatchExecutor(backend="fleet", max_workers=2, summary_stream=None).run(
+            subset_spec
+        )
+        by_seed = {result.seed: result.trace_hash for result in full.results}
+        for result in subset.results:
+            assert result.trace_hash == by_seed[result.seed]
+
+    def test_hashes_invariant_to_result_memo_replay(self):
+        """Memo-served episodes carry the exact hashes of their cold run."""
+        spec = parity_batch()
+        executor = BatchExecutor(
+            backend="thread", max_workers=2, reuse_results=True, summary_stream=None
+        )
+        cold = executor.run(spec)
+        warm = executor.run(spec)
+        assert warm.summary.cache_hit_rate == 1.0
+        assert [r.trace_hash for r in warm.results] == [r.trace_hash for r in cold.results]
+        assert warm.summary.trace_digest == cold.summary.trace_digest
+
+    def test_domain_mode_holds_the_same_parity_contract(self):
+        """Opting into domain-separated streams keeps fleet-wide parity."""
+        spec = BatchSpec(
+            method="expert",
+            seeds=(0, 1, 2),
+            difficulties=(DifficultyLevel.EASY,),
+            spawn_mode=SpawnMode.CLOSE,
+            scenario_name="perpendicular-easy",
+            max_steps=8,
+            seed_derivation="domain",
+        )
+        legacy_spec = BatchSpec.from_dict({**spec.to_dict()})
+        assert legacy_spec == spec  # round-trip keeps the flag
+        hash_lists = []
+        for backend in ("thread", "process"):
+            outcome = BatchExecutor(
+                backend=backend, max_workers=2, summary_stream=None
+            ).run(spec)
+            hash_lists.append([result.trace_hash for result in outcome.results])
+        assert hash_lists[0] == hash_lists[1]
+
+    def test_domain_and_legacy_modes_diverge(self):
+        """The flag is load-bearing: the two modes replay different episodes."""
+
+        def run(derivation: str):
+            spec = BatchSpec(
+                method="expert",
+                seeds=(0,),
+                difficulties=(DifficultyLevel.EASY,),
+                spawn_mode=SpawnMode.RANDOM,  # spawn stream is consumed
+                scenario_name="legacy",
+                max_steps=8,
+                seed_derivation=derivation,
+            )
+            outcome = BatchExecutor(backend="thread", summary_stream=None).run(spec)
+            return outcome.results[0].trace_hash
+
+        assert run("legacy") != run("domain")

@@ -1,11 +1,13 @@
-"""Thread- vs process-backend equivalence of the BatchExecutor.
+"""Cross-backend equivalence of the BatchExecutor.
 
 The contract: identical specs produce bitwise-identical, identically-ordered
-``EpisodeResult`` sequences (and numerically identical traces) on both
-backends — the process pool merely buys multi-core scaling.  Specs cross the
-process boundary via their ``to_dict``/``from_dict`` round-trip, so these
-tests double as an end-to-end check of that serialization path under real
-multiprocessing.
+``EpisodeResult`` sequences (and numerically identical traces) on *every*
+backend — worker pools and fleet scheduling merely buy scaling.  The
+invariant is asserted fleet-wide through the episode trace hashes (see
+``DETERMINISM.md``): one hash list per backend, all of which must be equal.
+Specs cross the process boundary via their ``to_dict``/``from_dict``
+round-trip, so these tests double as an end-to-end check of that
+serialization path under real multiprocessing.
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.api import BatchExecutor, BatchSpec, ControllerRegistry
+from repro.api import BACKENDS, BatchExecutor, BatchSpec, ControllerRegistry
 from repro.world.scenario import DifficultyLevel, SpawnMode
 
 
@@ -33,9 +35,28 @@ def small_batch(num_seeds: int = 6, max_steps: int = 8) -> BatchSpec:
 
 class TestProcessBackend:
     def test_results_bitwise_identical_across_backends(self):
+        """One invariant over every backend: equal trace-hash lists.
+
+        Not a pairwise spot check — the per-episode ``trace_hash`` lists of
+        all executor backends are compared at once, and the full results
+        (which embed the hashes) must be equal too.
+        """
         spec = small_batch()
-        thread = BatchExecutor(backend="thread", max_workers=2, summary_stream=None).run(spec)
-        process = BatchExecutor(backend="process", max_workers=2, summary_stream=None).run(spec)
+        outcomes = {
+            backend: BatchExecutor(
+                backend=backend, max_workers=2, summary_stream=None
+            ).run(spec)
+            for backend in BACKENDS
+        }
+        hash_lists = {
+            backend: [result.trace_hash for result in outcome.results]
+            for backend, outcome in outcomes.items()
+        }
+        assert all(hashes and all(hashes) for hashes in hash_lists.values())
+        assert len({tuple(hashes) for hashes in hash_lists.values()}) == 1, hash_lists
+        assert len({outcome.summary.trace_digest for outcome in outcomes.values()}) == 1
+
+        thread, process = outcomes["thread"], outcomes["process"]
         assert thread.results == process.results
         assert [r.seed for r in process.results] == list(spec.seeds)
         for thread_trace, process_trace in zip(thread.traces, process.traces):

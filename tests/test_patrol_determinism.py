@@ -71,14 +71,17 @@ class TestPurity:
 
 
 class TestCrossBackendPatrolPositions:
-    def test_thread_and_process_traces_bitwise_identical(self):
-        """Patrol-bearing episodes are identical across executor backends.
+    def test_patrol_traces_bitwise_identical_on_every_backend(self):
+        """Patrol-bearing episodes are identical across *all* executor backends.
 
         ``min_obstacle_distance`` is a function of the patrol positions at
-        every step, so bitwise trace equality pins that both backends (and
-        hence the serialized-scenario rebuild inside each worker process)
-        sampled identical patrol trajectories.
+        every step and is folded into each episode's ``trace_hash``, so the
+        single asserted invariant — equal hash lists on every backend — pins
+        that every backend (including the serialized-scenario rebuild inside
+        each worker process) sampled identical patrol trajectories.
         """
+        from repro.api import BACKENDS
+
         spec = BatchSpec(
             method="expert",
             seeds=(5, 6),
@@ -87,8 +90,19 @@ class TestCrossBackendPatrolPositions:
             scenario_name="legacy",
             max_steps=40,
         )
-        thread = BatchExecutor(backend="thread", max_workers=2, summary_stream=None).run(spec)
-        process = BatchExecutor(backend="process", max_workers=2, summary_stream=None).run(spec)
+        outcomes = {
+            backend: BatchExecutor(
+                backend=backend, max_workers=2, summary_stream=None
+            ).run(spec)
+            for backend in BACKENDS
+        }
+        hash_lists = {
+            backend: [result.trace_hash for result in outcome.results]
+            for backend, outcome in outcomes.items()
+        }
+        assert len({tuple(hashes) for hashes in hash_lists.values()}) == 1, hash_lists
+
+        thread, process = outcomes["thread"], outcomes["process"]
         assert thread.results == process.results
         for thread_trace, process_trace in zip(thread.traces, process.traces):
             assert np.array_equal(
