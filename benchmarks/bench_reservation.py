@@ -1,0 +1,280 @@
+"""Contention micro-bench for the space-time reservation layer.
+
+Two arms, both appended to ``BENCH_planner.json`` (rendered by
+``benchmarks/report_trajectory.py``):
+
+* **Table-query latency** — the three query surfaces every planner layer
+  rides (`pose_clearance_at` batched broad phase, `conflicts_at` two-phase
+  schedule check, `time_to_conflict` horizon scan) timed on the
+  ``multi-ego-2`` table twice: bare (patrols only) and contended (two
+  rival-ego committed windows published on top).  The contended/bare ratio
+  is the per-claim query overhead multi-ego coordination pays.
+* **2-ego vs solo throughput** — the coordinated ``multi-ego-2`` cohort
+  (shared ledger, ``coordinate=True``) against the same two specs run
+  uncoordinated, reporting episodes/sec for each and the cohort's
+  deadlock rate (fraction of episodes that fail to park before the time
+  limit).  Coordination must never deadlock the fleet: the rate is
+  asserted at exactly 0.0 even in smoke mode, because the outcome is
+  deterministic; only wall-clock thresholds hide behind the smoke flag.
+
+Run through pytest (``python -m pytest benchmarks/bench_reservation.py``)
+or directly (``PYTHONPATH=src python benchmarks/bench_reservation.py``
+when the package is not installed).  As with the other benches,
+``ICOIL_BENCH_SMOKE=1`` keeps the code executed on every change while
+disabling the latency thresholds.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_io import append_record  # noqa: E402
+
+from repro.api import ControllerContext, EpisodeSpec, TimeLayerSpec
+from repro.geometry.se2 import SE2
+from repro.planning.reservation import Reservation, ReservationTable
+from repro.serve.fleet import run_specs_fleet
+from repro.vehicle.params import VehicleParams
+from repro.world.scenario import (
+    DifficultyLevel,
+    ScenarioConfig,
+    SpawnMode,
+    build_scenario,
+)
+from repro.world.world import EpisodeStatus
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PLANNER = REPO_ROOT / "BENCH_planner.json"
+SMOKE = os.environ.get("ICOIL_BENCH_SMOKE") == "1"
+REPEATS = 2 if SMOKE else 5
+QUERY_POSES = 64
+
+# Headline metrics shared with the summary record (filled by the arms).
+_HEADLINE: dict = {}
+
+
+# ---------------------------------------------------------------------------
+# Table construction
+# ---------------------------------------------------------------------------
+def build_table() -> ReservationTable:
+    """The table ego 0 of ``multi-ego-2`` builds: patrols, no rivals yet."""
+    config = ScenarioConfig(
+        scenario_name="multi-ego-2",
+        seed=3,
+        difficulty=DifficultyLevel.NORMAL,
+        spawn_mode=SpawnMode.CLOSE,
+        num_dynamic_obstacles=1,
+        layout_params={"ego_index": 0},
+    )
+    context = ControllerContext(
+        build_scenario(config), time_layer=TimeLayerSpec(enabled=True)
+    )
+    return context.reservations
+
+
+def rival_reservation(owner: str, y: float, direction: float) -> Reservation:
+    """A rival ego's committed window: one aisle traversal at ~2 m/s."""
+    params = VehicleParams()
+    xs = np.linspace(8.0, 38.0, 8) if direction > 0 else np.linspace(38.0, 8.0, 8)
+    heading = 0.0 if direction > 0 else math.pi
+    poses = tuple((float(x), y, heading) for x in xs)
+    times = tuple(float(2.0 * index) for index in range(len(poses)))
+    return Reservation(
+        owner=owner,
+        priority=0,
+        poses=poses,
+        times=times,
+        length=params.length,
+        width=params.width,
+        speed=2.0,
+        kind="ego",
+    )
+
+
+def contended_table() -> ReservationTable:
+    table = build_table()
+    table.add(rival_reservation("rival-0", 11.0, +1.0))
+    table.add(rival_reservation("rival-1", 13.5, -1.0))
+    return table
+
+
+def query_schedule(table: ReservationTable):
+    """A timed rear-axle pose schedule spanning the aisle and the horizon."""
+    xs = np.linspace(5.0, 40.0, QUERY_POSES)
+    poses = [SE2(float(x), 11.0, 0.0) for x in xs]
+    times = np.linspace(0.0, table.horizon, QUERY_POSES)
+    pose_array = np.array([[pose.x, pose.y, pose.theta] for pose in poses])
+    return poses, pose_array, times
+
+
+def _time_query(fn, iterations: int) -> float:
+    """Min-of-REPEATS microseconds per call, each repeat averaging a loop."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        begin = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        best = min(best, (time.perf_counter() - begin) / iterations)
+    return best * 1e6
+
+
+# ---------------------------------------------------------------------------
+# Arm 1: table-query latency, bare vs contended
+# ---------------------------------------------------------------------------
+def test_bench_reservation_query_latency():
+    iterations = 5 if SMOKE else 20
+    latencies = {}
+    for arm, table in (("bare", build_table()), ("contended", contended_table())):
+        poses, pose_array, times = query_schedule(table)
+        margin = table.yield_margin
+        queries = {
+            "pose_clearance_at": lambda: table.pose_clearance_at(
+                pose_array, times, margin=margin
+            ),
+            "conflicts_at": lambda: table.conflicts_at(poses, times, margin),
+            "time_to_conflict": lambda: table.time_to_conflict(
+                np.array([22.0, 11.0]), 0.0
+            ),
+        }
+        for query, fn in queries.items():
+            us_per_call = _time_query(fn, iterations)
+            latencies[(arm, query)] = us_per_call
+            append_record(
+                BENCH_PLANNER,
+                {
+                    "event": "reservation_query_bench",
+                    "arm": arm,
+                    "query": query,
+                    "poses": QUERY_POSES,
+                    "reservations": len(table.active()),
+                    "us_per_call": round(us_per_call, 1),
+                    "us_per_pose": round(us_per_call / QUERY_POSES, 2),
+                },
+            )
+
+    query_us = latencies[("contended", "conflicts_at")]
+    overhead = query_us / max(latencies[("bare", "conflicts_at")], 1e-9)
+    print(
+        f"\ncontended conflicts_at: {query_us:.0f} us/call "
+        f"({QUERY_POSES} poses, {overhead:.2f}x bare table)"
+    )
+    if not SMOKE:
+        # Generous ceilings: the batched broad phase proves typical
+        # schedules clear without touching the SAT narrow phase, so a full
+        # 64-pose conflict check must stay well under a control period.
+        assert query_us < 20_000.0, f"conflicts_at took {query_us:.0f} us"
+        assert overhead < 25.0, f"two rival claims cost {overhead:.2f}x"
+    _HEADLINE["query_us"] = query_us
+
+
+# ---------------------------------------------------------------------------
+# Arm 2: 2-ego coordinated cohort vs solo baseline
+# ---------------------------------------------------------------------------
+def _ego_spec(ego_index: int, spawn_mode: SpawnMode):
+    return EpisodeSpec(
+        method="expert",
+        scenario=ScenarioConfig(
+            scenario_name="multi-ego-2",
+            seed=3,
+            difficulty=DifficultyLevel.NORMAL,
+            spawn_mode=spawn_mode,
+            layout_params={"ego_index": ego_index},
+        ),
+        time_layer=TimeLayerSpec(enabled=True),
+        time_limit=120.0,
+    )
+
+
+def _cohort():
+    return [_ego_spec(0, SpawnMode.CLOSE), _ego_spec(1, SpawnMode.REMOTE)]
+
+
+def test_bench_reservation_contention():
+    rounds = 1 if SMOKE else 2
+    stats = {}
+    for arm, coordinate in (("solo", False), ("coordinated", True)):
+        wall = 0.0
+        outcomes = []
+        for _ in range(rounds):
+            begin = time.perf_counter()
+            round_outcomes, _ = run_specs_fleet(_cohort(), coordinate=coordinate)
+            wall += time.perf_counter() - begin
+            outcomes.extend(round_outcomes)
+        episodes = len(outcomes)
+        parked = sum(
+            1 for o in outcomes if o.result.status == EpisodeStatus.PARKED
+        )
+        eps = episodes / wall if wall > 0 else float("inf")
+        deadlock_rate = (episodes - parked) / episodes
+        stats[arm] = {"eps": eps, "deadlock_rate": deadlock_rate, "parked": parked}
+        append_record(
+            BENCH_PLANNER,
+            {
+                "event": "reservation_contention_bench",
+                "arm": arm,
+                "episodes": episodes,
+                "wall_s": round(wall, 3),
+                "episodes_per_sec": round(eps, 3),
+                "parked": parked,
+                "deadlock_rate": round(deadlock_rate, 3),
+            },
+            results=[o.result for o in outcomes],
+        )
+
+    solo_eps = stats["solo"]["eps"]
+    coordinated_eps = stats["coordinated"]["eps"]
+    deadlock_rate = stats["coordinated"]["deadlock_rate"]
+    throughput_ratio = coordinated_eps / solo_eps if solo_eps > 0 else float("inf")
+    print(
+        f"\n2-ego cohort: solo {solo_eps:.2f} eps, coordinated "
+        f"{coordinated_eps:.2f} eps ({throughput_ratio:.2f}x), "
+        f"deadlock rate {deadlock_rate:.2f}"
+    )
+    # Parking and deadlock behaviour is deterministic (see DETERMINISM.md),
+    # so these hold even in smoke mode; only wall-clock gates are skipped.
+    assert deadlock_rate == 0.0, f"coordinated cohort deadlock rate {deadlock_rate}"
+    assert stats["solo"]["deadlock_rate"] == 0.0
+    if not SMOKE:
+        # Yielding costs steps, not solver time: the coordinated cohort may
+        # drive longer episodes but must stay within 3x of solo throughput.
+        assert throughput_ratio > 1.0 / 3.0, (
+            f"coordination collapsed throughput to {throughput_ratio:.2f}x solo"
+        )
+    _HEADLINE.update(
+        solo_eps=solo_eps,
+        coordinated_eps=coordinated_eps,
+        deadlock_rate=deadlock_rate,
+    )
+
+
+def test_bench_reservation_summary():
+    """One summary record with the arms' headline metrics (runs last)."""
+    if "query_us" not in _HEADLINE:
+        test_bench_reservation_query_latency()
+    if "coordinated_eps" not in _HEADLINE:
+        test_bench_reservation_contention()
+    append_record(
+        BENCH_PLANNER,
+        {
+            "event": "reservation_bench_summary",
+            "query_us": round(_HEADLINE["query_us"], 1),
+            "solo_eps": round(_HEADLINE["solo_eps"], 3),
+            "coordinated_eps": round(_HEADLINE["coordinated_eps"], 3),
+            "deadlock_rate": round(_HEADLINE["deadlock_rate"], 3),
+        },
+    )
+
+
+def main() -> None:
+    test_bench_reservation_summary()
+
+
+if __name__ == "__main__":
+    main()

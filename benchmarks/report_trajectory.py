@@ -32,7 +32,7 @@ import json
 import sys
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Iterable, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -42,7 +42,16 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.core.determinism import check_hash_seed  # noqa: E402
 
 # Columns promoted to the front of their table when present.
-_LEADING_COLUMNS = ("sha", "scenario", "method", "backend", "constraints", "jacobian_mode")
+_LEADING_COLUMNS = (
+    "sha",
+    "scenario",
+    "method",
+    "backend",
+    "constraints",
+    "jacobian_mode",
+    "arm",
+    "query",
+)
 
 # Hash-valued columns: truncated for display (the full values live in the
 # JSON lines), and always surfaced per revision so bitwise behaviour changes
@@ -352,6 +361,9 @@ def render_report(planner_entries: List[dict], throughput_entries: List[dict]) -
                 "speedup_vs_sequential",
                 "solves_per_tick",
                 "plan_cache_hit_rate",
+                "query_us",
+                "coordinated_eps",
+                "deadlock_rate",
             ):
                 trend = _trend(rows, key)
                 if trend is not None:

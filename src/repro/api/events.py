@@ -19,6 +19,7 @@ from repro.world.world import EpisodeStatus
 # Bus topics used by the session engine.
 STEP_TOPIC = "session/step"
 EPISODE_TOPIC = "session/episode"
+RESERVATION_TOPIC = "session/reservation"
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,23 @@ class StepEvent(Message):
     switched: bool = False
     min_obstacle_distance: float = float("inf")
     status: EpisodeStatus = EpisodeStatus.RUNNING
+
+
+@dataclass(frozen=True)
+class ReservationEvent(Message):
+    """The session's committed space-time window, republished every step.
+
+    Published on :data:`RESERVATION_TOPIC` whenever a coordinated session
+    (one given a reservation owner and ledger) refreshes its committed
+    window on the shared :class:`~repro.planning.reservation.ReservationLedger`.
+    ``payload`` is the reservation's :meth:`~repro.planning.reservation.Reservation.to_dict`
+    form, so bus consumers (recorders, remote mirrors) can reconstruct it
+    float-exactly without importing the planner layer eagerly.
+    """
+
+    owner: str = ""
+    priority: int = 0
+    payload: Optional[dict] = None
 
 
 @dataclass(frozen=True)

@@ -44,6 +44,10 @@ class ExpertSessionController:
     ) -> ControlStep:
         return ControlStep(action=self.expert.act(state, time=time), mode="expert")
 
+    def committed_reservation(self, owner: str, priority: int, state, time: float):
+        """The expert's committed window (see ``ParkingSession`` coordination)."""
+        return self.expert.committed_reservation(owner, priority, state, time)
+
 
 class BaselineSessionController:
     """Adapter for the single-mode baselines (pure IL, pure CO)."""
@@ -147,7 +151,7 @@ def build_icoil(context: ControllerContext) -> ICOILSessionController:
         context.renderer,
         context.detector,
         context.icoil,
-        timegrid=context.timegrid,
+        timegrid=context.reservations,
     )
     controller.prepare(context.reference_path)
     return ICOILSessionController(controller)

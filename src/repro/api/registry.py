@@ -11,7 +11,7 @@ accepted — sessions, batches, experiments — without touching ``repro.eval``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.co.controller import COController
@@ -22,6 +22,7 @@ from repro.il.policy import ILPolicy
 from repro.perception.bev import BEVRenderer
 from repro.perception.detector import DetectionNoiseModel, ObjectDetector
 from repro.perception.noise import GaussianImageNoise, NoNoise
+from repro.planning.reservation import ReservationLedger, ReservationTable
 from repro.planning.waypoints import WaypointPath
 from repro.spatial import SpatialIndex, TimeGrid, current_spatial_provider
 from repro.vehicle.actions import Action
@@ -84,6 +85,9 @@ class ControllerContext:
         perception: Optional[PerceptionOverrides] = None,
         time_layer: Optional[TimeLayerSpec] = None,
         dt: float = 0.1,
+        reservation_ledger: Optional[ReservationLedger] = None,
+        reservation_owner: Optional[str] = None,
+        reservation_priority: int = 0,
     ) -> None:
         self.scenario = scenario
         self.il_policy = il_policy
@@ -92,6 +96,12 @@ class ControllerContext:
         self.perception = perception or PerceptionOverrides()
         self.time_layer_spec = time_layer or TimeLayerSpec()
         self.dt = dt
+        # Multi-ego coordination is a *session*-level opt-in (never a spec
+        # field): specs stay pure — their hashes, cache keys and solo trace
+        # hashes are untouched by fleet coordination wiring.
+        self.reservation_ledger = reservation_ledger
+        self.reservation_owner = reservation_owner
+        self.reservation_priority = reservation_priority
         self._renderer: Optional[BEVRenderer] = None
         self._detector: Optional[ObjectDetector] = None
         self._expert: Optional[ExpertDriver] = None
@@ -99,6 +109,8 @@ class ControllerContext:
         self._spatial_index: Optional[SpatialIndex] = None
         self._timegrid: Optional[TimeGrid] = None
         self._timegrid_built = False
+        self._reservations: Optional[ReservationTable] = None
+        self._reservations_built = False
 
     # -- resolved perception noise ------------------------------------
     @property
@@ -211,6 +223,32 @@ class ControllerContext:
         return self._timegrid
 
     @property
+    def reservations(self) -> Optional[ReservationTable]:
+        """The session's space-time reservation table, built on first access.
+
+        Wraps :attr:`timegrid` (the patrol reservation source) plus the
+        optional fleet ledger, scoped by this session's owner/priority.
+        Every temporal consumer — the expert's yield/brake policy, the
+        time-aware planner, the HSA time-to-conflict term and the CO
+        per-stage constraints — reads this one table.  ``None`` when there
+        is no time layer *and* no ledger (static solo episodes pay
+        nothing); with no ledger the table answers bit-identically to the
+        raw grid.
+        """
+        if not self._reservations_built:
+            self._reservations_built = True
+            grid = self.timegrid
+            if grid is not None or self.reservation_ledger is not None:
+                self._reservations = ReservationTable(
+                    grid,
+                    self.vehicle_params,
+                    ledger=self.reservation_ledger,
+                    owner=self.reservation_owner,
+                    priority=self.reservation_priority,
+                )
+        return self._reservations
+
+    @property
     def expert(self) -> ExpertDriver:
         """The scripted expert for this scenario, built on first access.
 
@@ -233,7 +271,7 @@ class ControllerContext:
                 self.scenario.obstacles,
                 self.vehicle_params,
                 spatial_index=self.spatial_index,
-                timegrid=self.timegrid,
+                timegrid=self.reservations,
                 plan_cache=plan_cache,
             )
         return self._expert
@@ -256,7 +294,7 @@ class ControllerContext:
             horizon=self.icoil.horizon,
             dt=self.dt,
             spatial_index=self.spatial_index,
-            timegrid=self.timegrid,
+            timegrid=self.reservations,
         )
 
     def require_policy(self, method: str) -> ILPolicy:

@@ -21,7 +21,14 @@ from repro.vehicle.params import VehicleParams
 from repro.world.scenario import build_scenario
 from repro.world.world import ParkingWorld
 
-from repro.api.events import EPISODE_TOPIC, STEP_TOPIC, EpisodeCompletedEvent, StepEvent
+from repro.api.events import (
+    EPISODE_TOPIC,
+    RESERVATION_TOPIC,
+    STEP_TOPIC,
+    EpisodeCompletedEvent,
+    ReservationEvent,
+    StepEvent,
+)
 from repro.api.registry import ControllerRegistry, ControllerContext, default_registry
 from repro.api.results import EpisodeResult
 from repro.api.specs import EpisodeSpec
@@ -80,6 +87,15 @@ class ParkingSession:
         Message bus for event streaming; a private bus is created when not
         provided.  Pass a shared bus to fan events into an existing node
         graph or recorder.
+    reservation_ledger / reservation_owner / reservation_priority:
+        Multi-ego coordination, strictly session-level opt-in (never spec
+        fields — specs stay pure, so cache keys and solo trace hashes are
+        untouched).  When a ledger *and* owner are given, the session's
+        controller sees peers' reservations through its
+        :class:`~repro.planning.reservation.ReservationTable` and, after
+        every step, publishes its own committed window back onto the
+        ledger (and as a :class:`ReservationEvent` on the bus).  Lower
+        ``(priority, owner)`` keys have right of way.
     """
 
     def __init__(
@@ -90,12 +106,18 @@ class ParkingSession:
         vehicle_params: Optional[VehicleParams] = None,
         registry: Optional[ControllerRegistry] = None,
         bus: Optional[MessageBus] = None,
+        reservation_ledger=None,
+        reservation_owner: Optional[str] = None,
+        reservation_priority: int = 0,
     ) -> None:
         self.spec = spec
         self.il_policy = il_policy
         self.vehicle_params = vehicle_params or VehicleParams()
         self.registry = registry or default_registry()
         self.bus = bus or MessageBus()
+        self.reservation_ledger = reservation_ledger
+        self.reservation_owner = reservation_owner
+        self.reservation_priority = reservation_priority
         # Fail fast on unknown methods, before any world construction.
         self.registry.factory_for(spec.method)
 
@@ -113,6 +135,9 @@ class ParkingSession:
             perception=self.spec.perception,
             time_layer=self.spec.time_layer,
             dt=self.spec.dt,
+            reservation_ledger=self.reservation_ledger,
+            reservation_owner=self.reservation_owner,
+            reservation_priority=self.reservation_priority,
         )
         return self.registry.create(self.spec.method, context)
 
@@ -140,6 +165,9 @@ class ParkingSession:
         self._outcome: Optional[SessionOutcome] = None
         self._batched_solver = None
         self._started = True
+        # Coordinated sessions stake their spawn pose before anyone moves,
+        # so a lower-priority peer's very first frame already sees it.
+        self._publish_reservation(self._world.state, self._world.time)
 
     @property
     def finished(self) -> bool:
@@ -227,7 +255,35 @@ class ParkingSession:
         self._events.append(event)
         self._step_index += 1
         self.bus.publish(STEP_TOPIC, event)
+        self._publish_reservation(step_result.state, step_result.time)
         return event
+
+    def _publish_reservation(self, state, time: float) -> None:
+        """Refresh this session's committed window on the shared ledger.
+
+        A no-op unless the session is coordinated (ledger + owner set) and
+        its controller exposes ``committed_reservation``.  Replacing the
+        owner's entry bumps the ledger version, which invalidates peers'
+        per-version reservation caches.
+        """
+        if self.reservation_ledger is None or self.reservation_owner is None:
+            return
+        committed = getattr(self._controller, "committed_reservation", None)
+        if committed is None:
+            return
+        reservation = committed(
+            self.reservation_owner, self.reservation_priority, state, time
+        )
+        self.reservation_ledger.publish(reservation)
+        self.bus.publish(
+            RESERVATION_TOPIC,
+            ReservationEvent(
+                stamp=time,
+                owner=reservation.owner,
+                priority=reservation.priority,
+                payload=reservation.to_dict(),
+            ),
+        )
 
     def complete_step(self, pending: PendingStep) -> StepEvent:
         """Solve ``pending``'s request locally and finish the frame.

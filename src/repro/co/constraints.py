@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.geometry.shapes import OrientedBox
 from repro.perception.detector import Detection
+from repro.planning.reservation import as_reservation_table
 from repro.spatial import DistanceField, FootprintCircles, SpatialIndex
 from repro.vehicle.params import VehicleParams
 from repro.world.obstacles import DynamicObstacle, Obstacle
@@ -451,10 +452,11 @@ class CollisionConstraintSet:
         # patrols get *exact* per-stage predictions (the patrol trajectory
         # is a pure function of time) instead of constant-velocity
         # extrapolation, which cannot see a ping-pong turn-around inside
-        # the horizon.
-        self.timegrid = timegrid
+        # the horizon.  Coerced to the reservation-table surface so the CO
+        # reads the same space-time object as the expert and the planner.
         if timegrid is None and spatial_index is not None:
-            self.timegrid = spatial_index.time_layer
+            timegrid = spatial_index.time_layer
+        self.timegrid = as_reservation_table(timegrid, self.vehicle_params)
         offsets, radius = ego_covering_circles(self.vehicle_params, num_ego_circles)
         self.ego_circle_offsets = offsets
         self.ego_circle_radius = radius
@@ -626,23 +628,17 @@ class CollisionConstraintSet:
         )
         dynamic_fields: Optional[Tuple[DistanceField, ...]] = None
         dynamic_allowance = 0.0
-        if patrol_covered and self.timegrid is not None and not self.timegrid.empty:
-            timegrid = self.timegrid
-            stage_times = start_time + dt * np.arange(1, horizon + 1, dtype=float)
-            indices = timegrid.slice_index(stage_times)
-            dynamic_fields = tuple(
-                timegrid.field_for_slice(int(index)) for index in indices
-            )
+        if patrol_covered and self.timegrid is not None:
             # The slice rasters are *swept* windows: each patrol footprint
             # is widened by its in-window travel plus the raster/bilinear
             # slack, so a large part of the moving standoff is already
             # baked into the field itself.  Demanding the full standoff on
             # top turns every crossing into an unsatisfiable wall the
-            # solver grinds against; keep only the part of the standoff
-            # the sweep does not cover (minimum obstacle speed keeps the
-            # discount conservative).
-            min_speed = min(obstacle.speed for obstacle in timegrid.obstacles)
-            dynamic_allowance = timegrid.slack + min_speed * timegrid.slice_dt / 2.0
+            # solver grinds against; the table's allowance is exactly the
+            # part of the standoff the sweep already covers.
+            dynamic_fields, dynamic_allowance = self.timegrid.stage_fields(
+                start_time, dt, horizon
+            )
         # The grid already rasterizes obstacles *inflated* by its
         # conservatism bound, so demanding the full covering radius on top
         # double-counts roughly one slack of margin — enough to make the

@@ -17,14 +17,13 @@ scenario-complexity model (Eq. 8) is calibrated against.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.co.backend import resolve_backend
-from repro.co.constraints import CollisionConstraintSet, ControlBounds, ObstaclePrediction
+from repro.co.constraints import CollisionConstraintSet, ControlBounds
 from repro.co.mpc import MPCProblem
 from repro.co.solver import BatchedGaussNewtonSolver, GaussNewtonSolver, SolverResult
 from repro.perception.detector import Detection

@@ -30,7 +30,6 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.co.backend import resolve_backend
 from repro.co.batch import ProblemBatch
 from repro.co.mpc import MPCProblem
 

@@ -21,8 +21,9 @@ from repro.co.controller import COController, COSolveInfo
 from repro.core.config import ICOILConfig
 from repro.core.hsa import HSAModel, HSAReading, hsa_obstacle_distances
 from repro.il.policy import ILPolicy
-from repro.perception.bev import BEVImage, BEVRenderer
-from repro.perception.detector import Detection, ObjectDetector
+from repro.perception.bev import BEVRenderer
+from repro.perception.detector import ObjectDetector
+from repro.planning.reservation import as_reservation_table
 from repro.planning.waypoints import WaypointPath
 from repro.vehicle.actions import Action
 from repro.vehicle.state import VehicleState
@@ -86,10 +87,15 @@ class ICOILController:
         self.renderer = renderer or BEVRenderer()
         self.detector = detector or ObjectDetector()
         self.config = config or ICOILConfig()
-        # Optional time-indexed dynamic layer: feeds the HSA complexity term
-        # a predicted time-to-conflict, so the switch to CO happens *before*
-        # a patrol crosses the path rather than once it is alongside.
-        self.timegrid = timegrid if timegrid is None or not timegrid.empty else None
+        # Optional space-time reservation table (raw TimeGrids are coerced):
+        # feeds the HSA complexity term a predicted time-to-conflict, so the
+        # switch to CO happens *before* a patrol — or a higher-priority
+        # ego's committed window — crosses the path rather than once it is
+        # alongside.  Kept even while empty: a table over a patrol-free lot
+        # turns live when a peer publishes a reservation.
+        self.timegrid = as_reservation_table(
+            timegrid, getattr(co_controller, "vehicle_params", None)
+        )
         self.hsa = HSAModel(self.config, num_classes=il_policy.action_space.num_classes)
         self._mode = DrivingMode.CO
         self._frames_since_switch = 0

@@ -2,9 +2,10 @@
 
 * :mod:`repro.eval.metrics` — re-exports the result/aggregate types from
   :mod:`repro.api.results` (success rate, average / max / min parking time),
-* :mod:`repro.eval.runner` — the legacy :class:`EpisodeRunner`, now a thin
-  deprecation shim over :class:`repro.api.ParkingSession` /
-  :class:`repro.api.BatchExecutor`,
+* :mod:`repro.eval.runner` — the legacy :class:`EpisodeRunner`, reduced to
+  the registry-backed ``build_controller`` convenience (its episode/batch
+  shims are gone: use :class:`repro.api.ParkingSession` /
+  :class:`repro.api.BatchExecutor`),
 * :mod:`repro.eval.training` — trains (and caches) the default IL policy used
   across experiments,
 * :mod:`repro.eval.experiments` — one entry point per table / figure of the

@@ -1,28 +1,25 @@
 """Episode runner: a thin compatibility layer over :mod:`repro.api`.
 
-:class:`EpisodeRunner` predates the session API and is kept as a
-deprecation shim: ``run_episode`` delegates to
-:class:`~repro.api.session.ParkingSession`, ``run_batch`` to
-:class:`~repro.api.executor.BatchExecutor`, and ``build_controller``
-resolves methods against the controller registry instead of the historical
-``if method == …`` chains.  New code should use :mod:`repro.api` directly.
+:class:`EpisodeRunner` predates the session API.  Its ``run_episode`` /
+``run_batch`` deprecation shims have been removed — run episodes through
+:class:`~repro.api.session.ParkingSession` (or
+:func:`~repro.api.session.run_episode_spec`) and batches through
+:class:`~repro.api.executor.BatchExecutor`.  What remains is the
+controller-building convenience used by benchmarks and experiments:
+``build_controller`` resolves methods against the controller registry
+instead of the historical ``if method == …`` chains.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional
 
-from repro.api.executor import BatchExecutor
 from repro.api.registry import ControllerContext, default_registry
-from repro.api.results import EpisodeResult
-from repro.api.session import ParkingSession
-from repro.api.specs import BatchSpec, EpisodeSpec
 from repro.api.trace import EpisodeTrace
 from repro.core.config import ICOILConfig
 from repro.il.policy import ILPolicy
 from repro.vehicle.params import VehicleParams
-from repro.world.scenario import Scenario, ScenarioConfig
+from repro.world.scenario import Scenario
 
 __all__ = ["EpisodeRunner", "EpisodeTrace", "SUPPORTED_METHODS"]
 
@@ -36,7 +33,7 @@ def __getattr__(name: str):
 
 
 class EpisodeRunner:
-    """Runs parking episodes for any registered method (legacy interface).
+    """Builds controllers for any registered method (legacy interface).
 
     Parameters
     ----------
@@ -48,7 +45,7 @@ class EpisodeRunner:
     dt:
         Control/simulation period (s).
     time_limit:
-        Episode time budget (s); exceeding it marks the episode failed.
+        Episode time budget (s); kept for constructor compatibility.
     """
 
     def __init__(
@@ -78,83 +75,3 @@ class EpisodeRunner:
             dt=self.dt,
         )
         return default_registry().create(method, context)
-
-    def _episode_spec(
-        self, method: str, scenario_config: ScenarioConfig, max_steps: Optional[int]
-    ) -> EpisodeSpec:
-        return EpisodeSpec(
-            method=method,
-            scenario=scenario_config,
-            icoil=self.config,
-            dt=self.dt,
-            time_limit=self.time_limit,
-            max_steps=max_steps,
-        )
-
-    # ------------------------------------------------------------------
-    # Running (deprecation shims)
-    # ------------------------------------------------------------------
-    def run_episode(
-        self,
-        method: str,
-        scenario_config: ScenarioConfig,
-        max_steps: Optional[int] = None,
-    ) -> Tuple[EpisodeResult, EpisodeTrace]:
-        """Run one episode and return its result and per-frame trace.
-
-        .. deprecated::
-            Use :class:`repro.api.ParkingSession` with an
-            :class:`repro.api.EpisodeSpec` instead.
-        """
-        warnings.warn(
-            "EpisodeRunner.run_episode is deprecated; use repro.api.ParkingSession",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        session = ParkingSession(
-            self._episode_spec(method, scenario_config, max_steps),
-            il_policy=self.il_policy,
-            vehicle_params=self.vehicle_params,
-        )
-        outcome = session.run()
-        return outcome.result, outcome.trace
-
-    def run_batch(
-        self,
-        method: str,
-        difficulty,
-        seeds: Sequence[int],
-        spawn_mode=None,
-        num_static_obstacles: int = 3,
-        num_dynamic_obstacles: Optional[int] = None,
-    ) -> List[EpisodeResult]:
-        """Run a batch of episodes over seeds for one method/difficulty.
-
-        .. deprecated::
-            Use :class:`repro.api.BatchExecutor` with a
-            :class:`repro.api.BatchSpec` instead.
-        """
-        from repro.world.scenario import SpawnMode
-
-        warnings.warn(
-            "EpisodeRunner.run_batch is deprecated; use repro.api.BatchExecutor",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        spec = BatchSpec(
-            method=method,
-            seeds=tuple(seeds),
-            difficulties=(difficulty,),
-            spawn_mode=spawn_mode or SpawnMode.RANDOM,
-            num_static_obstacles=num_static_obstacles,
-            num_dynamic_obstacles=num_dynamic_obstacles,
-            icoil=self.config,
-            dt=self.dt,
-            time_limit=self.time_limit,
-        )
-        executor = BatchExecutor(
-            il_policy=self.il_policy,
-            vehicle_params=self.vehicle_params,
-            summary_stream=None,
-        )
-        return executor.run_results(spec)

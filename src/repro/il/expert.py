@@ -24,14 +24,13 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.geometry.angles import normalize_angle
-from repro.geometry.collision import shapes_collide
 from repro.geometry.se2 import SE2
-from repro.geometry.shapes import OrientedBox
 from repro.il.envelope import BrakingEnvelope
 from repro.planning.hybrid_astar import HybridAStarPlanner
 from repro.planning.maneuvers import parallel_reverse_park, reverse_park_arc
 from repro.planning.progress import SegmentedPathFollower
 from repro.planning.reeds_shepp import shortest_reeds_shepp_path
+from repro.planning.reservation import Reservation, as_reservation_table
 from repro.planning.waypoints import Waypoint, WaypointPath
 from repro.spatial import SpatialIndex
 from repro.vehicle.actions import Action
@@ -115,12 +114,14 @@ class ExpertDriver:
         # down until ``_yield_grace_until`` (see :meth:`_yield_to_crossing`).
         self._yield_hold_start = None
         self._yield_grace_until = None
-        # Exact swept-corridor polygons of the patrols (lazy, per episode).
-        self._corridor_polygons_cache = None
+        # The injected time layer coerced to a ReservationTable, once.
+        self._reservation_table = None
         # Per-plan memo of waypoint corridor membership: the waypoints and
-        # the corridors are both fixed between replans, so each SAT verdict
-        # is computed once instead of every control frame.
+        # the corridors are both fixed between replans (and between ledger
+        # updates — see the version guard in :meth:`_yield_to_crossing`),
+        # so each SAT verdict is computed once instead of every frame.
         self._waypoint_reach_cache = {}
+        self._reach_cache_stamp = 0
 
     @property
     def spatial_index(self) -> Optional[SpatialIndex]:
@@ -142,19 +143,25 @@ class ExpertDriver:
 
     @property
     def time_layer(self):
-        """The time-indexed dynamic-obstacle layer, if one is available.
+        """The space-time reservation table, if one is available.
 
-        Injected by the session layer (shared with HSA and CO), or
-        discovered on the shared spatial index; ``None`` (or an *empty*
-        layer) means the expert plans against the static scene only — the
-        pre-time-layer behaviour.
+        The injected time layer (shared with HSA and CO via the session
+        layer, or discovered on the shared spatial index) coerced to a
+        :class:`~repro.planning.reservation.ReservationTable`; ``None``
+        (or an *empty* table) means the expert plans against the static
+        scene only — the pre-time-layer behaviour.  Emptiness is dynamic:
+        a table over a patrol-free lot turns live the moment a
+        higher-priority ego publishes a reservation.
         """
-        if self._timegrid is not None:
-            return None if self._timegrid.empty else self._timegrid
-        index = self.spatial_index
-        if index is not None and index.time_layer is not None:
-            return None if index.time_layer.empty else index.time_layer
-        return None
+        if self._reservation_table is None:
+            layer = self._timegrid
+            if layer is None:
+                index = self.spatial_index
+                layer = index.time_layer if index is not None else None
+            if layer is None:
+                return None
+            self._reservation_table = as_reservation_table(layer, self.vehicle_params)
+        return None if self._reservation_table.empty else self._reservation_table
 
     # ------------------------------------------------------------------
     # Reference path
@@ -224,68 +231,6 @@ class ExpertDriver:
         staging_score = float(index.pose_clearance(staging_array, margin=0.35).min())
         return min(sweep_score, staging_score)
 
-    def _schedule_conflicts(self, poses, times, margin: float = 0.1) -> bool:
-        """Two-phase check of a timed pose schedule against the time layer.
-
-        The conservative batched bound proves most schedules clear in one
-        query; only inconclusive poses run the exact SAT narrow phase at
-        their scheduled time (patrol motion is a pure function of time, so
-        beyond-horizon times are still checked exactly).  The broad phase
-        alone would flag patrols that merely drive *parallel* to the path a
-        couple of metres away — permanently, which would park the yield
-        logic forever.
-        """
-        timegrid = self.time_layer
-        if timegrid is None:
-            return False
-        pose_array = np.array([[pose.x, pose.y, pose.theta] for pose in poses])
-        times = np.asarray(times, dtype=float)
-        bounds = timegrid.pose_clearance_at(pose_array, times, margin=margin)
-        if float(bounds.min()) > 0.0:
-            return False
-        for pose, bound, pose_time in zip(poses, bounds, times):
-            if bound <= 0.0 and self.planner.dynamic_pose_in_collision(
-                pose, float(pose_time), timegrid, margin=margin
-            ):
-                return True
-        return False
-
-    def _schedule_conflicts_interval(
-        self, poses, lo_times, hi_times, margin: float = 0.1
-    ) -> bool:
-        """Conflict check over an arrival-time *interval* per pose.
-
-        Two point-hypothesis schedules (fast and slow tracking) can both
-        miss a patrol that threads between them; the sound question is
-        whether any arrival time inside ``[lo, hi]`` conflicts.  Sampling
-        at half the slice width gives complete coverage: the broad phase's
-        slice bound covers its whole window, and the exact narrow phase
-        inflates each patrol by half a window of its own travel.
-        """
-        timegrid = self.time_layer
-        if timegrid is None:
-            return False
-        half = timegrid.slice_dt / 2.0
-        sample_poses = []
-        sample_times = []
-        for pose, lo, hi in zip(poses, lo_times, hi_times):
-            span = max(0.0, float(hi) - float(lo))
-            count = int(math.ceil(span / half)) + 1
-            for index in range(count):
-                sample_poses.append(pose)
-                sample_times.append(min(float(hi), float(lo) + index * half))
-        pose_array = np.array([[pose.x, pose.y, pose.theta] for pose in sample_poses])
-        times = np.asarray(sample_times)
-        bounds = timegrid.pose_clearance_at(pose_array, times, margin=margin)
-        if float(bounds.min()) > 0.0:
-            return False
-        for pose, pose_time, bound in zip(sample_poses, sample_times, bounds):
-            if bound <= 0.0 and self.planner.dynamic_pose_in_collision(
-                pose, float(pose_time), timegrid, margin=margin
-            ):
-                return True
-        return False
-
     def _maneuver_predicted_conflict(
         self, staging: SE2, waypoints, start: Optional[SE2], start_time: float
     ) -> bool:
@@ -312,8 +257,10 @@ class ExpertDriver:
         # replans mid-episode carry a large start_time, and scaling it would
         # test the sweep at a wildly wrong clock.
         return any(
-            self._schedule_conflicts(
-                poses, start_time + travel * stretch + offset_array, margin=0.15
+            timegrid.conflicts_at(
+                poses,
+                start_time + travel * stretch + offset_array,
+                timegrid.maneuver_margin,
             )
             for stretch in (1.0, 1.5)
         )
@@ -573,6 +520,63 @@ class ExpertDriver:
         return self._path
 
     # ------------------------------------------------------------------
+    # Multi-ego coordination
+    # ------------------------------------------------------------------
+    def committed_reservation(
+        self, owner: str, priority: int, state: VehicleState, time: float
+    ) -> Reservation:
+        """The ego's committed window as a publishable :class:`Reservation`.
+
+        The next stretch of the reference path stamped with the same
+        ramp-from-current-speed arrival times the yield decision uses
+        (:meth:`_preview_times`), converted to body-centre poses.  With no
+        plan the reservation degenerates to the current pose held — which
+        is exactly what a parked (or still-planning) ego occupies, since a
+        reservation's final pose is held beyond its last stamp.  A
+        lower-priority ego sees this window through its own
+        :class:`~repro.planning.reservation.ReservationTable` and yields
+        with the very machinery it uses for patrols.
+        """
+        params = self.vehicle_params
+        offset = params.center_offset
+
+        def center(pose: SE2) -> tuple:
+            return (
+                float(pose.x + offset * math.cos(pose.theta)),
+                float(pose.y + offset * math.sin(pose.theta)),
+                float(pose.theta),
+            )
+
+        poses = [SE2(state.x, state.y, state.heading)]
+        stamps = np.asarray([0.0])
+        if self._path is not None and self._follower is not None:
+            nearest_index = self._follower.nearest_index_in_segment(state.position)
+            directions = [self._follower.current_direction]
+            steps = []
+            travelled = 0.0
+            previous = state.position
+            for waypoint in self._path.waypoints[nearest_index + 1 :]:
+                step = float(np.hypot(*(waypoint.position - previous)))
+                travelled += step
+                if travelled > 12.0:
+                    break
+                poses.append(waypoint.pose)
+                steps.append(step)
+                directions.append(waypoint.direction)
+                previous = waypoint.position
+            stamps = self._preview_times(steps, directions, max(abs(state.velocity), 0.3))
+        return Reservation(
+            owner=owner,
+            priority=priority,
+            poses=tuple(center(pose) for pose in poses),
+            times=tuple(float(time + stamp) for stamp in stamps),
+            length=params.length,
+            width=params.width,
+            speed=float(abs(state.velocity)),
+            kind="ego",
+        )
+
+    # ------------------------------------------------------------------
     # Control
     # ------------------------------------------------------------------
     def act(self, state: VehicleState, time: float = 0.0) -> Action:
@@ -743,6 +747,13 @@ class ExpertDriver:
         timegrid = self.time_layer
         if timegrid is None or self._path is None:
             return False
+        # Corridor membership memos are only valid for one reservation-set
+        # version: a higher-priority ego's committed window moves every
+        # step.  Solo episodes keep version 0 forever, so the guard never
+        # fires there and the memos live until the next replan as before.
+        if timegrid.version != self._reach_cache_stamp:
+            self._waypoint_reach_cache = {}
+            self._reach_cache_stamp = timegrid.version
         envelope = self._envelope
         schedule_speed = max(
             0.3,
@@ -800,12 +811,12 @@ class ExpertDriver:
         rest_offset = envelope.rest_offset(current_speed)
         # poses[0] is the live state (checked fresh); the rest are plan
         # waypoints whose verdicts are memoized until the next replan.
-        in_corridor = [not self._pose_outside_patrol_reach(poses[0])]
+        in_corridor = [not timegrid.outside_reach([poses[0]])]
         for relative, pose in enumerate(poses[1:]):
             key = nearest_index + 1 + relative
             cached = self._waypoint_reach_cache.get(key)
             if cached is None:
-                cached = self._pose_outside_patrol_reach(pose)
+                cached = timegrid.outside_reach([pose])
                 self._waypoint_reach_cache[key] = cached
             in_corridor.append(not cached)
         # A pose only counts as a re-decision point if, arriving there at
@@ -813,16 +824,9 @@ class ExpertDriver:
         # corridor entry — a free pose right at a corridor's lip commits
         # the ego just as surely as the corridor itself.
         schedule_stop = envelope.stop_distance(schedule_speed) + 0.3
-        committed = len(poses)
-        for index in range(len(poses)):
-            if offset_array[index] < rest_offset or in_corridor[index]:
-                continue
-            entry = next(
-                (k for k in range(index + 1, len(poses)) if in_corridor[k]), None
-            )
-            if entry is None or offset_array[entry] - offset_array[index] > schedule_stop:
-                committed = index + 1
-                break
+        committed = timegrid.first_safe_stop(
+            offset_array, in_corridor, rest_offset, schedule_stop
+        )
         # Bracket the true tracking profile: the flat-schedule stamps bound
         # the fastest possible arrival, the ramp-from-current-speed stamps
         # the slowest, and the interval check covers everything between —
@@ -845,8 +849,8 @@ class ExpertDriver:
         for index in range(len(poses) - 1):
             if directions[index + 1] != directions[index]:
                 hi[index] += 1.5
-        conflicted = self._schedule_conflicts_interval(
-            poses[:committed], lo[:committed], hi[:committed], margin=0.1
+        conflicted = timegrid.conflicts_in_window(
+            poses[:committed], lo[:committed], hi[:committed], timegrid.yield_margin
         )
         if not conflicted:
             # Forced-dwell check, regardless of the committed cutoff: a
@@ -868,11 +872,11 @@ class ExpertDriver:
                         and offset_array[stop] - offset_array[index] <= 1.5
                     ):
                         stop += 1
-                    if self._schedule_conflicts_interval(
+                    if timegrid.conflicts_in_window(
                         poses[index:stop],
                         lo[index:stop],
                         (hi[index:stop] + 2.0),
-                        margin=0.05,
+                        timegrid.dwell_margin,
                     ):
                         conflicted = True
                         break
@@ -887,7 +891,7 @@ class ExpertDriver:
         # mode started exactly like that), so keep moving and clear it.
         rest_count = int(np.searchsorted(offset_array, rest_offset))
         rest = poses[: rest_count + 1][-1]
-        if not self._pose_outside_patrol_reach(rest):
+        if not timegrid.outside_reach([rest]):
             return False
         return self._hold_with_patience(time, current_speed)
 
@@ -982,74 +986,21 @@ class ExpertDriver:
             index = stop
         return np.asarray(times)
 
-    def _corridor_polygons(self) -> list:
-        """Exact swept-corridor polygons of the patrols, built once.
-
-        A patrol's reachable set over all time is the union, over its
-        polyline segments, of the rectangle its box sweeps along the
-        segment (segment length plus box length, by box width), inflated
-        by the rotation slack at polyline corners.  Exactness matters: the
-        time layer's conservative corridor *field* over-covers by nearly
-        two metres of circle-and-slack slop, which is enough to make every
-        pose between two adjacent corridors look unsafe to wait at.
-        """
-        if self._corridor_polygons_cache is None:
-            polygons = []
-            timegrid = self.time_layer
-            if timegrid is not None:
-                for obstacle in timegrid.obstacles:
-                    box = obstacle.box
-                    if len(obstacle.waypoints) > 2:
-                        half_min = min(box.length, box.width) / 2.0
-                        slack = max(0.0, box.bounding_radius - half_min)
-                    else:
-                        slack = 0.0
-                    for (ax, ay), (bx, by) in zip(
-                        obstacle.waypoints[:-1], obstacle.waypoints[1:]
-                    ):
-                        segment = math.hypot(bx - ax, by - ay)
-                        polygons.append(
-                            OrientedBox(
-                                (ax + bx) / 2.0,
-                                (ay + by) / 2.0,
-                                segment + box.length + 2.0 * slack,
-                                box.width + 2.0 * slack,
-                                math.atan2(by - ay, bx - ax),
-                            ).to_polygon()
-                        )
-            self._corridor_polygons_cache = polygons
-        return self._corridor_polygons_cache
-
-    def _poses_outside_patrol_reach(self, poses, inflation: float = 0.0) -> bool:
-        """Whether the poses' bodies stay out of every patrol's corridor.
-
-        "Outside the corridor" means the ego could wait at the pose
-        *indefinitely* without any patrol ever touching it — exact SAT
-        against the swept-corridor polygons.
-        """
-        polygons = self._corridor_polygons()
-        if not polygons:
-            return True
-        for pose in poses:
-            footprint = self._pose_footprint(pose).inflated(inflation).to_polygon()
-            if any(shapes_collide(footprint, polygon) for polygon in polygons):
-                return False
-        return True
-
-    def _pose_outside_patrol_reach(self, pose: SE2) -> bool:
-        """Single-pose convenience wrapper of :meth:`_poses_outside_patrol_reach`."""
-        return self._poses_outside_patrol_reach([pose])
+    def _outside_reach(self, poses, inflation: float = 0.0) -> bool:
+        """Whether the poses' bodies stay out of every swept corridor."""
+        timegrid = self.time_layer
+        return timegrid is None or timegrid.outside_reach(poses, inflation=inflation)
 
     def _dwell_pose_outside_reach(
         self, nearest_index: int, preview_index: int, pose: SE2
     ) -> bool:
         """Memoized tracking-error-inflated membership of a gear-switch pose."""
         if preview_index == 0:
-            return self._poses_outside_patrol_reach([pose], inflation=0.3)
+            return self._outside_reach([pose], inflation=0.3)
         key = ("dwell", nearest_index + preview_index)
         cached = self._waypoint_reach_cache.get(key)
         if cached is None:
-            cached = self._poses_outside_patrol_reach([pose], inflation=0.3)
+            cached = self._outside_reach([pose], inflation=0.3)
             self._waypoint_reach_cache[key] = cached
         return cached
 
@@ -1062,6 +1013,9 @@ class ExpertDriver:
         patrol's sweep offers no safe hold, and every stop/go decision
         downstream degenerates into "cannot stop, cannot outrun".
         """
+        timegrid = self.time_layer
+        if timegrid is None:
+            return True
         poses = [
             SE2(
                 staging.x - back * math.cos(staging.theta),
@@ -1070,7 +1024,7 @@ class ExpertDriver:
             )
             for back in (0.0, 0.8)
         ]
-        return self._poses_outside_patrol_reach(poses, inflation=0.05)
+        return timegrid.outside_reach(poses, inflation=timegrid.dwell_margin)
 
     def _emergency_brake_for_patrol(
         self,
@@ -1146,11 +1100,9 @@ class ExpertDriver:
         stop_hit = False
         tau = step
         while tau <= horizon and not (continue_hit and stop_hit):
-            obstacles = [obstacle.box.to_polygon() for obstacle in timegrid.obstacles_at(time + tau)]
             if not continue_hit:
-                footprint = self._pose_footprint(pose_at(speed * tau)).to_polygon()
-                continue_hit = any(
-                    shapes_collide(footprint, polygon) for polygon in obstacles
+                continue_hit = timegrid.footprint_hits_at(
+                    pose_at(speed * tau), time + tau
                 )
             if not stop_hit:
                 if tau >= stop_time:
@@ -1158,24 +1110,11 @@ class ExpertDriver:
                 else:
                     fraction = tau / max(stop_time, 1e-6)
                     braked_offset = stop_distance * (2.0 - fraction) * fraction
-                footprint = self._pose_footprint(pose_at(braked_offset)).to_polygon()
-                stop_hit = any(
-                    shapes_collide(footprint, polygon) for polygon in obstacles
+                stop_hit = timegrid.footprint_hits_at(
+                    pose_at(braked_offset), time + tau
                 )
             tau += step
         return continue_hit and not stop_hit
-
-    def _pose_footprint(self, pose: SE2) -> OrientedBox:
-        """Body box at a rear-axle pose (same convention as ``state.footprint``)."""
-        params = self.vehicle_params
-        offset = params.center_offset
-        return OrientedBox(
-            pose.x + offset * math.cos(pose.theta),
-            pose.y + offset * math.sin(pose.theta),
-            params.length,
-            params.width,
-            pose.theta,
-        )
 
     def _pure_pursuit_steer(
         self, state: VehicleState, target: Waypoint, direction: int, lookahead: float

@@ -9,7 +9,7 @@ false positives.  The hard difficulty level increases all three.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np

@@ -10,11 +10,21 @@ those references:
 * :mod:`repro.planning.hybrid_astar` — a hybrid A* search over motion
   primitives with obstacle collision checking and a Reeds-Shepp goal shot,
 * :mod:`repro.planning.waypoints` — waypoint-path containers with
-  resampling, arc-length lookup and nearest-point queries.
+  resampling, arc-length lookup and nearest-point queries,
+* :mod:`repro.planning.reservation` — the space-time reservation table
+  unifying patrol prediction and committed ego windows behind one
+  conflict-query surface (yield, brake, wait, per-stage CO fields).
 """
 
 from repro.planning.hybrid_astar import HybridAStarPlanner, PlannerResult
 from repro.planning.reeds_shepp import ReedsSheppPath, ReedsSheppSegment, shortest_reeds_shepp_path
+from repro.planning.reservation import (
+    Reservation,
+    ReservationLedger,
+    ReservationSource,
+    ReservationTable,
+    as_reservation_table,
+)
 from repro.planning.waypoints import Waypoint, WaypointPath
 
 __all__ = [
@@ -22,7 +32,12 @@ __all__ = [
     "PlannerResult",
     "ReedsSheppPath",
     "ReedsSheppSegment",
+    "Reservation",
+    "ReservationLedger",
+    "ReservationSource",
+    "ReservationTable",
     "Waypoint",
     "WaypointPath",
+    "as_reservation_table",
     "shortest_reeds_shepp_path",
 ]

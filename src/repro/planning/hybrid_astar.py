@@ -34,6 +34,7 @@ from repro.geometry.collision import shapes_collide
 from repro.geometry.se2 import SE2
 from repro.geometry.shapes import OrientedBox
 from repro.planning.reeds_shepp import shortest_reeds_shepp_path
+from repro.planning.reservation import as_reservation_table
 from repro.planning.waypoints import Waypoint, WaypointPath
 from repro.spatial import FootprintCache, FootprintCircles, SpatialIndex
 from repro.vehicle.params import VehicleParams
@@ -218,6 +219,10 @@ class HybridAStarPlanner:
             index = SpatialIndex(lot, obstacles, self.vehicle_params)
         if timegrid is None and index is not None:
             timegrid = index.time_layer
+        # Raw TimeGrids coerce to the reservation-table surface, so the
+        # whole time-aware search speaks one conflict vocabulary — and a
+        # session-provided table brings other egos' committed windows along.
+        timegrid = as_reservation_table(timegrid, self.vehicle_params)
         if timegrid is not None and timegrid.empty:
             timegrid = None
         time_aware = timegrid is not None
@@ -577,13 +582,8 @@ class HybridAStarPlanner:
         slice represents rather than one instant.
         """
         margin_value = self.safety_margin if margin is None else margin
-        footprint = self._footprint(pose, margin_value).to_polygon()
-        half_window = timegrid.slice_dt / 2.0
-        for obstacle in timegrid.obstacles_at(time):
-            inflated = obstacle.box.inflated(obstacle.speed * half_window)
-            if shapes_collide(footprint, inflated.to_polygon()):
-                return True
-        return False
+        table = as_reservation_table(timegrid, self.vehicle_params)
+        return table.pose_conflicts(pose, time, margin_value)
 
     def _sweep_dynamic_bounds(self, pose: SE2, time: float, timegrid) -> np.ndarray:
         """Per-(primitive, fraction) clearance bounds against the time layer.

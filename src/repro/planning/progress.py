@@ -14,11 +14,10 @@ builder) share this logic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
-from repro.geometry.se2 import SE2
 from repro.planning.waypoints import Waypoint, WaypointPath
 
 

@@ -17,7 +17,6 @@ import math
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
-import numpy as np
 
 from repro.geometry.angles import normalize_angle
 from repro.geometry.se2 import SE2

@@ -1,0 +1,755 @@
+"""Space-time reservation layer: who occupies what space, when.
+
+iCOIL's temporal safety logic used to live in three places with three
+vocabularies: the expert's yield/dwell/emergency-brake heuristics read
+:class:`~repro.spatial.timegrid.TimeGrid` slice rasters directly, the
+time-aware hybrid A* carried its own narrow phase, and the CO constraint
+builder picked per-stage distance fields by hand.  This module gives them
+one shared abstraction:
+
+* a :class:`Reservation` is a typed claim on space over time — a body of
+  known dimensions traversing a timed center-pose polyline.  A patrol
+  obstacle and another ego's committed trajectory are the *same kind of
+  object*; only their ``kind`` and ``priority`` differ.
+* a :class:`ReservationLedger` is the shared bulletin board sessions
+  publish their committed windows to.  Visibility is priority-ordered
+  (strictly-higher-priority claims only), so a fleet of egos never forms a
+  yield cycle: vehicle ``k`` plans around vehicles ``0..k-1`` and is
+  invisible to them in return.
+* a :class:`ReservationTable` answers the temporal-safety queries every
+  layer shares — the two-phase conservative-then-exact conflict checks
+  (:meth:`~ReservationTable.conflicts_at`,
+  :meth:`~ReservationTable.conflicts_in_window`), swept-corridor
+  membership (:meth:`~ReservationTable.outside_reach`), the
+  committed-window cutoff (:meth:`~ReservationTable.first_safe_stop`),
+  the HSA's :meth:`~ReservationTable.time_to_conflict` and the CO's
+  per-stage :meth:`~ReservationTable.stage_fields` — over the union of a
+  TimeGrid's patrols and the ledger's visible ego reservations.
+
+The table is a drop-in for every ``timegrid=`` parameter in the planning
+stack: it exposes the TimeGrid query surface (``empty``, ``slice_dt``,
+``pose_clearance_at``, ``obstacles_at``, ``time_to_conflict``, …) and
+delegates the patrol part to the wrapped grid untouched, so a table with
+no ego reservations answers bit-identically to the raw grid.
+
+Determinism: reservations are always iterated in ``(priority, owner)``
+order, and a ledger keyed by owner replaces rather than accumulates — so
+conflict answers are invariant to publish order (see DETERMINISM.md).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.geometry.angles import normalize_angle
+from repro.geometry.collision import shapes_collide
+from repro.geometry.shapes import OrientedBox
+from repro.vehicle.params import VehicleParams
+
+__all__ = [
+    "Reservation",
+    "ReservationLedger",
+    "ReservationSource",
+    "ReservationTable",
+    "as_reservation_table",
+]
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A typed space-time claim: a body traversing a timed pose polyline.
+
+    ``poses`` are body-*center* poses ``(x, y, heading)`` and ``times`` the
+    matching non-decreasing arrival stamps (absolute episode time).  The
+    body holds its first pose before ``times[0]`` and its last pose forever
+    after ``times[-1]`` — a parked vehicle is simply a reservation whose
+    trajectory has ended.  ``speed`` bounds the body's travel rate and
+    feeds the same half-window inflation the TimeGrid narrow phase uses.
+    """
+
+    owner: str
+    priority: int
+    poses: Tuple[Tuple[float, float, float], ...]
+    times: Tuple[float, ...]
+    length: float
+    width: float
+    speed: float = 0.0
+    kind: str = "ego"
+
+    def __post_init__(self) -> None:
+        if not self.poses:
+            raise ValueError("Reservation requires at least one pose")
+        if len(self.poses) != len(self.times):
+            raise ValueError(
+                f"poses/times length mismatch: {len(self.poses)} vs {len(self.times)}"
+            )
+        if any(b < a for a, b in zip(self.times[:-1], self.times[1:])):
+            raise ValueError("Reservation times must be non-decreasing")
+        if self.length <= 0.0 or self.width <= 0.0:
+            raise ValueError("Reservation body dimensions must be positive")
+        if self.speed < 0.0:
+            raise ValueError(f"Reservation speed must be >= 0, got {self.speed}")
+
+    @property
+    def bounding_radius(self) -> float:
+        """Circumscribed-circle radius of the body box."""
+        return math.hypot(self.length, self.width) / 2.0
+
+    def _segment_index(self, time: float) -> int:
+        """Index of the pose at or before ``time`` (clamped to the ends)."""
+        index = int(np.searchsorted(np.asarray(self.times), time, side="right")) - 1
+        return min(max(index, 0), len(self.poses) - 1)
+
+    def pose_at(self, time: float) -> Tuple[float, float, float]:
+        """Interpolated center pose at ``time`` (ends held, heading stepped)."""
+        index = self._segment_index(time)
+        if index >= len(self.poses) - 1:
+            return self.poses[-1]
+        t0, t1 = self.times[index], self.times[index + 1]
+        if time <= t0:
+            return self.poses[index]
+        fraction = (time - t0) / max(1e-9, t1 - t0)
+        fraction = min(1.0, fraction)
+        x0, y0, heading = self.poses[index]
+        x1, y1, _ = self.poses[index + 1]
+        return (x0 + fraction * (x1 - x0), y0 + fraction * (y1 - y0), heading)
+
+    def box_at(self, time: float) -> OrientedBox:
+        """The body box at ``time``."""
+        x, y, heading = self.pose_at(time)
+        return OrientedBox(x, y, self.length, self.width, heading)
+
+    def centers_at(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized body-center positions, ``(N, 2)``, ends clamped."""
+        times = np.asarray(times, dtype=float).reshape(-1)
+        stamps = np.asarray(self.times, dtype=float)
+        coords = np.asarray([(x, y) for x, y, _ in self.poses], dtype=float)
+        return np.column_stack(
+            [
+                np.interp(times, stamps, coords[:, 0]),
+                np.interp(times, stamps, coords[:, 1]),
+            ]
+        )
+
+    def corridor_polygons(self) -> List:
+        """Exact-as-practical cover of everything the body ever occupies.
+
+        Per trajectory segment, the rectangle the box sweeps along the
+        chord (segment length plus box length, by box width), inflated by a
+        rotation cover when the body heading deviates from the chord:
+        ``bounding_radius * deviation`` for small deviations (an arc-length
+        bound on how far any corner strays from the chord-aligned box),
+        clamped at the circumscribed-circle inflation.  The last pose is
+        covered by its own box — the body rests there forever.
+        """
+        polygons = []
+        half_min = min(self.length, self.width) / 2.0
+        full_cover = max(0.0, self.bounding_radius - half_min)
+        for (ax, ay, atheta), (bx, by, btheta) in zip(self.poses[:-1], self.poses[1:]):
+            segment = math.hypot(bx - ax, by - ay)
+            if segment < 1e-9:
+                chord = atheta
+            else:
+                chord = math.atan2(by - ay, bx - ax)
+            # Headings aligned or anti-aligned with the chord sweep the
+            # chord-aligned box exactly (a box is symmetric under pi).
+            deviation = max(
+                abs(_acute_angle(atheta - chord)), abs(_acute_angle(btheta - chord))
+            )
+            slack = min(self.bounding_radius * deviation, full_cover)
+            polygons.append(
+                OrientedBox(
+                    (ax + bx) / 2.0,
+                    (ay + by) / 2.0,
+                    segment + self.length + 2.0 * slack,
+                    self.width + 2.0 * slack,
+                    chord,
+                ).to_polygon()
+            )
+        x, y, heading = self.poses[-1]
+        polygons.append(OrientedBox(x, y, self.length, self.width, heading).to_polygon())
+        return polygons
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload; round-trips byte-identically via :meth:`from_dict`."""
+        return {
+            "owner": self.owner,
+            "priority": self.priority,
+            "kind": self.kind,
+            "poses": [[x, y, heading] for x, y, heading in self.poses],
+            "times": list(self.times),
+            "length": self.length,
+            "width": self.width,
+            "speed": self.speed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Reservation":
+        return cls(
+            owner=str(payload["owner"]),
+            priority=int(payload["priority"]),
+            kind=str(payload.get("kind", "ego")),
+            poses=tuple((float(x), float(y), float(h)) for x, y, h in payload["poses"]),
+            times=tuple(float(t) for t in payload["times"]),
+            length=float(payload["length"]),
+            width=float(payload["width"]),
+            speed=float(payload["speed"]),
+        )
+
+
+def _acute_angle(angle: float) -> float:
+    """Fold an angle difference into ``[-pi/2, pi/2]`` (box pi-symmetry)."""
+    folded = normalize_angle(angle)
+    if folded > math.pi / 2.0:
+        folded -= math.pi
+    elif folded < -math.pi / 2.0:
+        folded += math.pi
+    return folded
+
+
+@runtime_checkable
+class ReservationSource(Protocol):
+    """Anything that publishes reservations (a TimeGrid, a ledger, …)."""
+
+    def reservations(self) -> Sequence[Reservation]: ...
+
+
+class ReservationLedger:
+    """Shared, thread-safe bulletin board of per-owner reservations.
+
+    One entry per owner — publishing replaces the owner's previous claim
+    (a committed window supersedes itself every control step).  ``version``
+    bumps on every mutation so consumers can invalidate caches keyed on the
+    ledger state.  Iteration order is always ``(priority, owner)``, making
+    every downstream answer independent of publish order.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_owner: Dict[str, Reservation] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        with self._lock:
+            return self._version
+
+    def publish(self, reservation: Reservation) -> None:
+        with self._lock:
+            self._by_owner[reservation.owner] = reservation
+            self._version += 1
+
+    def withdraw(self, owner: str) -> None:
+        with self._lock:
+            if self._by_owner.pop(owner, None) is not None:
+                self._version += 1
+
+    def reservations(self) -> Tuple[Reservation, ...]:
+        with self._lock:
+            items = tuple(self._by_owner.values())
+        return tuple(sorted(items, key=lambda r: (r.priority, r.owner)))
+
+
+@dataclass
+class _ReservationBody:
+    """Obstacle-shaped snapshot of a reservation at one instant.
+
+    Quacks like a :class:`~repro.world.obstacles.DynamicObstacle` advanced
+    to a time (``box``, ``speed``, ``obstacle_id``) so the exact narrow
+    phases treat patrols and reservations uniformly.
+    """
+
+    obstacle_id: str
+    box: OrientedBox
+    speed: float = 0.0
+    kind: str = "ego"
+
+
+class ReservationTable:
+    """Unified space-time conflict oracle over patrols + ego reservations.
+
+    Wraps an optional :class:`~repro.spatial.timegrid.TimeGrid` (the patrol
+    reservation source, whose slice rasters stay the broad phase) and an
+    optional :class:`ReservationLedger` of ego committed windows.  Exposes
+    the TimeGrid query surface so it drops into every ``timegrid=``
+    parameter of the planning stack; with no visible reservations every
+    answer is bit-identical to the wrapped grid's.
+
+    ``owner``/``priority`` scope ledger visibility: the table sees only
+    claims that outrank its own ``(priority, owner)`` key, never its own.
+    """
+
+    def __init__(
+        self,
+        timegrid=None,
+        vehicle_params: Optional[VehicleParams] = None,
+        *,
+        ledger: Optional[ReservationLedger] = None,
+        owner: Optional[str] = None,
+        priority: int = 0,
+    ) -> None:
+        self.timegrid = timegrid
+        if vehicle_params is None and timegrid is not None:
+            vehicle_params = getattr(timegrid, "vehicle_params", None)
+        self.vehicle_params = vehicle_params or VehicleParams()
+        self.ledger = ledger
+        self.owner = owner
+        self.priority = int(priority)
+        self._local: List[Reservation] = []
+        self._corridor_cache: Optional[Tuple[int, list]] = None
+        self._patrol_corridor_cache: Optional[list] = None
+
+    # ------------------------------------------------------------------
+    # Reservation membership
+    # ------------------------------------------------------------------
+    def add(self, reservation: Reservation) -> None:
+        """Attach a reservation directly (tests, single-process setups)."""
+        if any(entry.owner == reservation.owner for entry in self._local):
+            raise ValueError(f"duplicate reservation owner {reservation.owner!r}")
+        self._local.append(reservation)
+
+    def active(self) -> Tuple[Reservation, ...]:
+        """Visible reservations, sorted by ``(priority, owner)``.
+
+        A claim is visible when it outranks this table's own key — strict
+        priority-ordered visibility, so fleets cannot form yield cycles —
+        and is never the table's own published window.
+        """
+        merged = list(self._local)
+        if self.ledger is not None:
+            merged.extend(self.ledger.reservations())
+        if self.owner is not None:
+            own_key = (self.priority, self.owner)
+            merged = [entry for entry in merged if (entry.priority, entry.owner) < own_key]
+        merged.sort(key=lambda entry: (entry.priority, entry.owner))
+        return tuple(merged)
+
+    @property
+    def version(self) -> int:
+        """Monotone stamp of the visible-reservation set (cache key)."""
+        base = self.ledger.version if self.ledger is not None else 0
+        return base + len(self._local)
+
+    # ------------------------------------------------------------------
+    # TimeGrid-compatible surface
+    # ------------------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        """No patrols and no visible reservations: all queries trivially clear."""
+        grid_empty = self.timegrid is None or self.timegrid.empty
+        return grid_empty and not self.active()
+
+    @property
+    def slice_dt(self) -> float:
+        return self.timegrid.slice_dt if self.timegrid is not None else 0.8
+
+    @property
+    def horizon(self) -> float:
+        return self.timegrid.horizon if self.timegrid is not None else 40.0
+
+    @property
+    def resolution(self) -> float:
+        return self.timegrid.resolution if self.timegrid is not None else 0.4
+
+    @property
+    def slack(self) -> float:
+        if self.timegrid is not None:
+            return self.timegrid.slack
+        return self.resolution * math.sqrt(2.0)
+
+    @property
+    def obstacles(self) -> Tuple:
+        """The patrol obstacles (CO detection matching reads these)."""
+        return self.timegrid.obstacles if self.timegrid is not None else ()
+
+    @property
+    def conflict_threshold(self) -> float:
+        """Footprint-derived conflict ring (see ``TimeGrid.conflict_threshold``)."""
+        if self.timegrid is not None:
+            return self.timegrid.conflict_threshold
+        params = self.vehicle_params
+        return (
+            params.center_offset
+            + math.hypot(params.length, params.width) / 2.0
+            + self.slack
+        )
+
+    def _grid_live(self) -> bool:
+        return self.timegrid is not None and not self.timegrid.empty
+
+    def clearance_at(self, points: np.ndarray, times) -> np.ndarray:
+        """Conservative point clearance against patrols + reservations."""
+        points = np.asarray(points, dtype=float).reshape(-1, 2)
+        if self._grid_live():
+            bounds = self.timegrid.clearance_at(points, times)
+        else:
+            bounds = np.full(points.shape[0], np.inf)
+        reservations = self.active()
+        if reservations:
+            times = self._broadcast_times(times, points.shape[0])
+            half_window = self.slice_dt / 2.0
+            for entry in reservations:
+                distance = np.hypot(
+                    *(points - entry.centers_at(times)).T
+                )
+                bound = distance - entry.bounding_radius - entry.speed * half_window
+                bounds = np.minimum(bounds, bound)
+        return bounds
+
+    def pose_clearance_at(
+        self, poses: np.ndarray, times, margin: float = 0.0
+    ) -> np.ndarray:
+        """Conservative footprint-clearance lower bound at given times.
+
+        The patrol part delegates to the TimeGrid rasters untouched; each
+        visible reservation contributes a center-distance bound (query
+        half-diagonal at ``margin`` plus body circumscribed radius plus
+        half a window of body travel), so a strictly positive entry proves
+        the margin-inflated footprint clear of patrols *and* reservations
+        for the whole window containing that pose's time.
+        """
+        poses = np.asarray(poses, dtype=float).reshape(-1, 3)
+        if self._grid_live():
+            bounds = self.timegrid.pose_clearance_at(poses, times, margin=margin)
+        else:
+            bounds = np.full(poses.shape[0], np.inf)
+        reservations = self.active()
+        if reservations:
+            times = self._broadcast_times(times, poses.shape[0])
+            params = self.vehicle_params
+            offset = params.center_offset
+            centers = poses[:, :2] + offset * np.column_stack(
+                [np.cos(poses[:, 2]), np.sin(poses[:, 2])]
+            )
+            half_diagonal = (
+                math.hypot(params.length + 2.0 * margin, params.width + 2.0 * margin)
+                / 2.0
+            )
+            half_window = self.slice_dt / 2.0
+            for entry in reservations:
+                distance = np.hypot(*(centers - entry.centers_at(times)).T)
+                bound = (
+                    distance
+                    - half_diagonal
+                    - entry.bounding_radius
+                    - entry.speed * half_window
+                )
+                bounds = np.minimum(bounds, bound)
+        return bounds
+
+    def _broadcast_times(self, times, count: int) -> np.ndarray:
+        times = np.asarray(times, dtype=float).reshape(-1)
+        if times.shape[0] == 1 and count != 1:
+            times = np.full(count, float(times[0]))
+        if times.shape[0] != count:
+            raise ValueError(
+                f"times has {times.shape[0]} entries for {count} query points"
+            )
+        return times
+
+    def obstacles_at(self, time: float) -> List:
+        """Exact bodies at ``time``: patrol snapshots + reservation bodies."""
+        if self._grid_live():
+            bodies = list(self.timegrid.obstacles_at(time))
+        else:
+            bodies = []
+        for entry in self.active():
+            bodies.append(
+                _ReservationBody(
+                    obstacle_id=f"reservation:{entry.owner}",
+                    box=entry.box_at(float(time)),
+                    speed=entry.speed,
+                    kind=entry.kind,
+                )
+            )
+        return bodies
+
+    def obstacle_polygons_at(self, time: float, inflation: float = 0.0) -> List:
+        """Exact (optionally inflated) body polygons at ``time``."""
+        polygons = []
+        for body in self.obstacles_at(time):
+            box = body.box.inflated(inflation) if inflation > 0.0 else body.box
+            polygons.append(box.to_polygon())
+        return polygons
+
+    def time_to_conflict(
+        self,
+        position: np.ndarray,
+        start_time: float = 0.0,
+        threshold: Optional[float] = None,
+    ) -> Optional[float]:
+        """Seconds until any body is predicted within ``threshold`` (broad phase)."""
+        best: Optional[float] = None
+        if self._grid_live():
+            best = self.timegrid.time_to_conflict(position, start_time, threshold)
+        reservations = self.active()
+        if reservations and start_time < self.horizon:
+            ring = self.conflict_threshold if threshold is None else threshold
+            point = np.asarray(position, dtype=float).reshape(2)
+            half_window = self.slice_dt / 2.0
+            span = self.horizon - start_time
+            count = int(math.ceil(span / half_window)) + 1
+            for entry in reservations:
+                reach = entry.bounding_radius + entry.speed * half_window
+                for index in range(count):
+                    delay = min(span, index * half_window)
+                    x, y, _ = entry.pose_at(start_time + delay)
+                    if math.hypot(point[0] - x, point[1] - y) - reach < ring:
+                        if best is None or delay < best:
+                            best = delay
+                        break
+        return best
+
+    # ------------------------------------------------------------------
+    # Two-phase conflict queries (the expert's former private machinery)
+    # ------------------------------------------------------------------
+    def footprint(self, pose, margin: float = 0.0) -> OrientedBox:
+        """Margin-inflated ego body box at a rear-axle pose."""
+        params = self.vehicle_params
+        offset = params.center_offset
+        theta = pose.theta
+        return OrientedBox(
+            pose.x + offset * math.cos(theta),
+            pose.y + offset * math.sin(theta),
+            params.length + 2.0 * margin,
+            params.width + 2.0 * margin,
+            theta,
+        )
+
+    def pose_conflicts(self, pose, time: float, margin: float) -> bool:
+        """Exact narrow phase of one rear-axle pose around ``time``.
+
+        Bodies are taken at ``time`` and inflated by half a slice of their
+        own travel, covering the window the broad-phase slice represents —
+        the same convention the time-aware hybrid A* uses.
+        """
+        footprint = self.footprint(pose, margin).to_polygon()
+        half_window = self.slice_dt / 2.0
+        for body in self.obstacles_at(time):
+            inflated = body.box.inflated(body.speed * half_window)
+            if shapes_collide(footprint, inflated.to_polygon()):
+                return True
+        return False
+
+    def footprint_hits_at(self, pose, time: float) -> bool:
+        """Exact *instantaneous* body-vs-body hit test (no window inflation).
+
+        The emergency brake's oracle: patrol motion is an exact function of
+        time, so the next few seconds admit a direct prediction with no
+        margins to argue about.
+        """
+        footprint = self.footprint(pose, 0.0).to_polygon()
+        for polygon in self.obstacle_polygons_at(time):
+            if shapes_collide(footprint, polygon):
+                return True
+        return False
+
+    def conflicts_at(self, poses, times, margin: float) -> bool:
+        """Two-phase check of a timed rear-axle pose schedule.
+
+        The conservative batched bound proves most schedules clear in one
+        query; only inconclusive poses run the exact SAT narrow phase at
+        their scheduled time (body motion is a pure function of time, so
+        beyond-horizon times are still checked exactly).
+        """
+        if self.empty:
+            return False
+        pose_array = np.array([[pose.x, pose.y, pose.theta] for pose in poses])
+        times = np.asarray(times, dtype=float)
+        bounds = self.pose_clearance_at(pose_array, times, margin=margin)
+        if float(bounds.min()) > 0.0:
+            return False
+        for pose, bound, pose_time in zip(poses, bounds, times):
+            if bound <= 0.0 and self.pose_conflicts(pose, float(pose_time), margin):
+                return True
+        return False
+
+    def conflicts_in_window(self, poses, lo_times, hi_times, margin: float) -> bool:
+        """Conflict check over an arrival-time *interval* per pose.
+
+        Sampling at half the slice width gives complete coverage: the broad
+        phase's slice bound covers its whole window, and the exact narrow
+        phase inflates each body by half a window of its own travel.
+        """
+        if self.empty:
+            return False
+        half = self.slice_dt / 2.0
+        sample_poses = []
+        sample_times = []
+        for pose, lo, hi in zip(poses, lo_times, hi_times):
+            span = max(0.0, float(hi) - float(lo))
+            count = int(math.ceil(span / half)) + 1
+            for index in range(count):
+                sample_poses.append(pose)
+                sample_times.append(min(float(hi), float(lo) + index * half))
+        pose_array = np.array([[pose.x, pose.y, pose.theta] for pose in sample_poses])
+        times = np.asarray(sample_times)
+        bounds = self.pose_clearance_at(pose_array, times, margin=margin)
+        if float(bounds.min()) > 0.0:
+            return False
+        for pose, pose_time, bound in zip(sample_poses, sample_times, bounds):
+            if bound <= 0.0 and self.pose_conflicts(pose, float(pose_time), margin):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Swept corridors and the committed window
+    # ------------------------------------------------------------------
+    def corridor_polygons(self) -> list:
+        """Exact swept-corridor polygons of every body, over all time.
+
+        The patrol part (built once — patrols never change within an
+        episode) is the union, over each patrol's polyline segments, of the
+        rectangle its box sweeps along the segment, inflated by the
+        rotation slack at polyline corners.  The reservation part is
+        rebuilt whenever the ledger changes.
+        """
+        if self._patrol_corridor_cache is None:
+            polygons = []
+            if self._grid_live():
+                for obstacle in self.timegrid.obstacles:
+                    box = obstacle.box
+                    if len(obstacle.waypoints) > 2:
+                        half_min = min(box.length, box.width) / 2.0
+                        slack = max(0.0, box.bounding_radius - half_min)
+                    else:
+                        slack = 0.0
+                    for (ax, ay), (bx, by) in zip(
+                        obstacle.waypoints[:-1], obstacle.waypoints[1:]
+                    ):
+                        segment = math.hypot(bx - ax, by - ay)
+                        polygons.append(
+                            OrientedBox(
+                                (ax + bx) / 2.0,
+                                (ay + by) / 2.0,
+                                segment + box.length + 2.0 * slack,
+                                box.width + 2.0 * slack,
+                                math.atan2(by - ay, bx - ax),
+                            ).to_polygon()
+                        )
+            self._patrol_corridor_cache = polygons
+        stamp = self.version
+        if self._corridor_cache is None or self._corridor_cache[0] != stamp:
+            polygons = list(self._patrol_corridor_cache)
+            for entry in self.active():
+                polygons.extend(entry.corridor_polygons())
+            self._corridor_cache = (stamp, polygons)
+        return self._corridor_cache[1]
+
+    def outside_reach(self, poses, inflation: float = 0.0) -> bool:
+        """Whether the poses' bodies stay out of every swept corridor.
+
+        "Outside the corridor" means the ego could wait at the pose
+        *indefinitely* without any patrol — or any reserved trajectory —
+        ever touching it: exact SAT against the swept-corridor polygons.
+        """
+        polygons = self.corridor_polygons()
+        if not polygons:
+            return True
+        for pose in poses:
+            footprint = self.footprint(pose, 0.0).inflated(inflation).to_polygon()
+            if any(shapes_collide(footprint, polygon) for polygon in polygons):
+                return False
+        return True
+
+    def first_safe_stop(
+        self,
+        offsets: np.ndarray,
+        in_corridor: Sequence[bool],
+        rest_offset: float,
+        stop_distance: float,
+    ) -> int:
+        """Length of the *committed* prefix of a preview window.
+
+        The ego is only committed to the path up to the first pose, at or
+        beyond its braking point (``rest_offset``), where it could wait
+        indefinitely — outside every corridor — and from which, arriving at
+        schedule speed, it could still stop before the *next* corridor
+        entry (``stop_distance``).  Conflicts beyond that pose are not
+        actionable now: the ego can re-decide there, with the crossing
+        still ahead of it.
+        """
+        committed = len(offsets)
+        for index in range(len(offsets)):
+            if offsets[index] < rest_offset or in_corridor[index]:
+                continue
+            entry = next(
+                (k for k in range(index + 1, len(offsets)) if in_corridor[k]), None
+            )
+            if entry is None or offsets[entry] - offsets[index] > stop_distance:
+                committed = index + 1
+                break
+        return committed
+
+    # ------------------------------------------------------------------
+    # CO per-stage constraint inputs
+    # ------------------------------------------------------------------
+    def stage_fields(self, start_time: float, dt: float, horizon: int):
+        """Per-MPC-stage dynamic distance fields plus their travel allowance.
+
+        ``(fields, allowance)`` where ``fields[k]`` is the slice field
+        covering stage ``k+1``'s window and ``allowance`` the slack a
+        constraint may deduct (raster slack plus half a window of the
+        slowest patrol's travel).  ``(None, 0.0)`` when no patrols exist —
+        the CO's moving-obstacle constraints then fall back to predicted
+        detections alone.
+        """
+        if not self._grid_live():
+            return None, 0.0
+        grid = self.timegrid
+        stage_times = start_time + dt * np.arange(1, horizon + 1, dtype=float)
+        indices = grid.slice_index(stage_times)
+        fields = tuple(grid.field_for_slice(int(index)) for index in indices)
+        min_speed = min(obstacle.speed for obstacle in grid.obstacles)
+        allowance = grid.slack + min_speed * grid.slice_dt / 2.0
+        return fields, allowance
+
+    # ------------------------------------------------------------------
+    # Derived safety margins (formerly hard-coded in the expert)
+    # ------------------------------------------------------------------
+    @property
+    def yield_margin(self) -> float:
+        """Footprint margin of the yield's two-phase schedule checks.
+
+        A quarter raster cell: half the raster's own quantization error
+        (``slack / (2 * sqrt(2))``), so the margin tracks the layer's
+        spatial fidelity instead of a hard-coded constant — fine enough not
+        to manufacture phantom conflicts a cell away, coarse enough to
+        absorb sub-cell pose error.  Exactly ``0.1`` at the default 0.4 m
+        resolution, preserving the historical constant bit-for-bit.
+        """
+        return self.resolution / 4.0
+
+    @property
+    def dwell_margin(self) -> float:
+        """Margin of the forced-dwell launch-zone check (half the yield's).
+
+        The dwell check already inflates its membership test by the
+        tracking slop and extends its window by a flat dwell time; a
+        thinner footprint margin keeps the two inflations from compounding
+        into permanent conflicts at corridor mouths.
+        """
+        return self.yield_margin / 2.0
+
+    @property
+    def maneuver_margin(self) -> float:
+        """Margin of the final-maneuver sweep prediction (1.5x the yield's).
+
+        The sweep's arrival stamps are the roughest of the three checks
+        (straight-line travel estimate), so its footprint margin is widest.
+        """
+        return 1.5 * self.yield_margin
+
+
+def as_reservation_table(layer, vehicle_params=None) -> Optional[ReservationTable]:
+    """Coerce a raw time layer to a :class:`ReservationTable` (identity on tables)."""
+    if layer is None:
+        return None
+    if isinstance(layer, ReservationTable):
+        return layer
+    return ReservationTable(layer, vehicle_params)

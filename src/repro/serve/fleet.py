@@ -30,7 +30,7 @@ and every fragmentation is counted in :class:`FleetStats` and logged.
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.co.batch import structure_signature
@@ -203,6 +203,7 @@ def run_specs_fleet(
     registry: Optional[ControllerRegistry] = None,
     buses: Optional[Sequence] = None,
     solver: Optional[BatchedGaussNewtonSolver] = None,
+    coordinate: bool = False,
 ) -> Tuple[List[SessionOutcome], FleetStats]:
     """Build one session per spec and fleet-step them to completion.
 
@@ -210,10 +211,24 @@ def run_specs_fleet(
     can stream each episode's events to its own subscriber exactly as in
     sequential execution.  Returns the outcomes in spec order plus the run's
     :class:`FleetStats`.
+
+    ``coordinate=True`` makes the cohort a *multi-ego episode*: every
+    session shares one :class:`~repro.planning.reservation.ReservationLedger`,
+    spec ``i`` drives as owner ``"ego-i"`` with priority ``i`` (lower index
+    has right of way), and each session republishes its committed window
+    after every step.  Coordination is strictly session-level: the specs
+    themselves stay pure, so their cache keys and solo trace hashes are
+    untouched — which is also why coordinated outcomes must never be
+    answered from (or stored into) a spec-keyed result cache.
     """
     specs = list(specs)
     if buses is not None and len(buses) != len(specs):
         raise ValueError(f"{len(buses)} buses for {len(specs)} specs")
+    ledger = None
+    if coordinate:
+        from repro.planning.reservation import ReservationLedger
+
+        ledger = ReservationLedger()
     sessions = [
         ParkingSession(
             spec,
@@ -221,6 +236,9 @@ def run_specs_fleet(
             vehicle_params=vehicle_params,
             registry=registry,
             bus=buses[index] if buses is not None else None,
+            reservation_ledger=ledger,
+            reservation_owner=f"ego-{index}" if coordinate else None,
+            reservation_priority=index,
         )
         for index, spec in enumerate(specs)
     ]

@@ -236,7 +236,7 @@ class ServeApp:
         return handle
 
     def submit_fleet(
-        self, specs, *, client_id: str = "client"
+        self, specs, *, client_id: str = "client", coordinate: bool = False
     ) -> "list[SessionHandle]":
         """Start a cohort of specs stepped in lockstep by one fleet task.
 
@@ -248,10 +248,20 @@ class ServeApp:
         tick answering all of the cohort's CO problems with one batched
         solve per structure group.  Fleet counters land in
         :meth:`stats` under ``"fleet"``.
+
+        ``coordinate=True`` turns the cohort into one *multi-ego episode*:
+        the sessions share a
+        :class:`~repro.planning.reservation.ReservationLedger`, spec ``i``
+        drives as owner ``"ego-i"`` with priority ``i`` (lower index has
+        right of way), and each session republishes its committed window on
+        every step.  A coordinated episode's outcome depends on its peers,
+        not on the spec alone, so the cohort bypasses the spec-keyed result
+        cache entirely — no lookups, no stores.
         """
         if not self._open:
             raise RuntimeError("ServeApp is not open — use 'async with app:' or app.open()")
         loop = asyncio.get_running_loop()
+        use_cache = self._result_cache is not None and not coordinate
         handles: list[SessionHandle] = []
         live: list[tuple] = []  # (handle, scoped bus, spec, cache key)
         for spec in specs:
@@ -267,10 +277,8 @@ class ServeApp:
             )
             self.sessions_started += 1
             handles.append(handle)
-            key = spec.cache_key() if self._result_cache is not None else None
-            cached = (
-                self._result_cache.lookup(key) if self._result_cache is not None else None
-            )
+            key = spec.cache_key() if use_cache else None
+            cached = self._result_cache.lookup(key) if use_cache else None
             if cached is not None and cached[2] is not None:
                 handle.from_cache = True
                 self._replay(scoped, handle, *cached)
@@ -282,14 +290,22 @@ class ServeApp:
         def _run_cohort() -> "list[SessionOutcome]":
             from repro.serve.fleet import FleetStepper
 
+            ledger = None
+            if coordinate:
+                from repro.planning.reservation import ReservationLedger
+
+                ledger = ReservationLedger()
             sessions = []
             subscriptions = []
-            for handle, scoped, spec, _ in live:
+            for index, (handle, scoped, spec, _) in enumerate(live):
                 session = ParkingSession(
                     spec,
                     il_policy=self.il_policy,
                     vehicle_params=self.vehicle_params,
                     bus=scoped,
+                    reservation_ledger=ledger,
+                    reservation_owner=f"ego-{index}" if coordinate else None,
+                    reservation_priority=index,
                 )
                 subscriptions.append(
                     scoped.subscribe(
@@ -322,7 +338,7 @@ class ServeApp:
                     handle._queue.put_nowait(_DONE)
             else:
                 for (handle, _, _, key), outcome in zip(live, outcomes):
-                    if self._result_cache is not None:
+                    if self._result_cache is not None and key is not None:
                         self._result_cache.store(
                             key, outcome.result, outcome.trace, outcome.events
                         )

@@ -19,7 +19,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.geometry.collision import points_in_polygon
-from repro.geometry.shapes import AxisAlignedBox, OrientedBox
+from repro.geometry.shapes import OrientedBox
 from repro.world.obstacles import Obstacle
 from repro.world.parking_lot import ParkingLot
 

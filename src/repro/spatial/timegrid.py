@@ -387,6 +387,50 @@ class TimeGrid:
                 return max(0.0, window_start - start_time)
         return None
 
+    def reservations(self):
+        """The patrols as :class:`~repro.planning.reservation.Reservation` records.
+
+        The :class:`~repro.planning.reservation.ReservationSource` view of
+        this layer: each patrol becomes a corridor-level claim — its timed
+        center-pose polyline over one forward traversal, with the patrol's
+        body dimensions and speed — at priority ``-1`` (patrols outrank
+        every ego).  The slice rasters remain the *timing* authority for
+        patrol conflicts; this view exists so reservation-native consumers
+        can treat a patrol and a committed ego window as the same object.
+        """
+        from repro.planning.reservation import Reservation
+
+        records = []
+        for number, obstacle in enumerate(self.obstacles):
+            poses = []
+            times = []
+            elapsed = 0.0
+            waypoints = list(obstacle.waypoints)
+            for index, (x, y) in enumerate(waypoints):
+                if index == 0:
+                    ax, ay = waypoints[0]
+                    bx, by = waypoints[min(1, len(waypoints) - 1)]
+                else:
+                    ax, ay = waypoints[index - 1]
+                    bx, by = x, y
+                    elapsed += math.hypot(bx - ax, by - ay) / obstacle.speed
+                heading = math.atan2(by - ay, bx - ax)
+                poses.append((float(x), float(y), heading))
+                times.append(elapsed)
+            records.append(
+                Reservation(
+                    owner=obstacle.obstacle_id or f"patrol-{number}",
+                    priority=-1,
+                    kind="patrol",
+                    poses=tuple(poses),
+                    times=tuple(times),
+                    length=obstacle.box.length,
+                    width=obstacle.box.width,
+                    speed=obstacle.speed,
+                )
+            )
+        return tuple(records)
+
     @classmethod
     def from_scenario(
         cls,

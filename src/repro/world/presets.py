@@ -16,6 +16,9 @@ layout knobs on top of the preset (e.g. ``{"aisle_width": 8.5}``).
 | ``angled-easy``       | angled        | 60-degree echelon slots               |
 | ``angled-cluttered``  | angled        | 60-degree slots + 3 clutter obstacles |
 | ``dead-end-normal``   | dead_end      | cul-de-sac wall 10 m past the goal    |
+| ``multi-ego-2``       | perpendicular | two-ego lot: ``ego_index`` layout     |
+|                       |               | param picks this ego's goal slot; the |
+|                       |               | other ego's slot stays reserved       |
 
 (``legacy`` itself is registered in :mod:`repro.world.scenario` so the
 fixed-slot builder works even before this module is imported.)
@@ -60,3 +63,37 @@ _register_layout_preset(
 _register_layout_preset("angled-easy", lambda: angled_layout())
 _register_layout_preset("angled-cluttered", lambda: angled_layout(clutter=3))
 _register_layout_preset("dead-end-normal", lambda: dead_end_layout())
+
+
+# ---------------------------------------------------------------------------
+# Multi-ego preset: one lot, one scenario per ego
+# ---------------------------------------------------------------------------
+# Goal slots of the two egos, in priority order (ego 0 has right of way).
+_MULTI_EGO_GOAL_SLOTS = (2, 5)
+
+
+@register_scenario("multi-ego-2")
+def _build_multi_ego_two(config: ScenarioConfig) -> Scenario:
+    """Per-ego view of a shared two-vehicle lot (wide 8 m aisle).
+
+    The ``ego_index`` layout parameter (0 or 1) selects which of
+    :data:`_MULTI_EGO_GOAL_SLOTS` is *this* scenario's goal; the other
+    ego's slot is passed to :func:`build_layout_scenario` as reserved, so
+    it gets no parked car and keeps the same keep-outs as a goal.  Because
+    the exclusion union — not the goal choice — drives every placement
+    decision, the two ego views of one seed agree byte-for-byte on every
+    obstacle: the shared world a fleet episode steps both egos through.
+    """
+    overrides = dict(config.layout_overrides)
+    ego_index = int(overrides.pop("ego_index", 0))
+    if not 0 <= ego_index < len(_MULTI_EGO_GOAL_SLOTS):
+        raise ValueError(
+            f"ego_index must be between 0 and {len(_MULTI_EGO_GOAL_SLOTS) - 1}, "
+            f"got {ego_index}"
+        )
+    goal_slot = _MULTI_EGO_GOAL_SLOTS[ego_index]
+    reserved = tuple(slot for slot in _MULTI_EGO_GOAL_SLOTS if slot != goal_slot)
+    layout = perpendicular_layout(
+        aisle_width=8.0, goal_slot_index=goal_slot
+    ).with_overrides(overrides)
+    return build_layout_scenario(layout, config, reserved_slot_indices=reserved)

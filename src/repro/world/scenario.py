@@ -469,7 +469,11 @@ def _spawn_keepout(spawn_region: AxisAlignedBox) -> OrientedBox:
     )
 
 
-def build_layout_scenario(layout: LotLayout, config: ScenarioConfig) -> Scenario:
+def build_layout_scenario(
+    layout: LotLayout,
+    config: ScenarioConfig,
+    reserved_slot_indices: Tuple[int, ...] = (),
+) -> Scenario:
     """Instantiate a procedural scenario on a generated lot.
 
     Obstacle placement is seeded rejection sampling with a fixed draw order
@@ -484,12 +488,40 @@ def build_layout_scenario(layout: LotLayout, config: ScenarioConfig) -> Scenario
     keep-out regions and every previously placed obstacle (best-effort: a
     candidate that cannot be placed within its attempt budget is dropped or
     falls back to the aisle centre).
+
+    ``reserved_slot_indices`` marks slots that belong to *other* egos of a
+    multi-vehicle episode: they receive no parked car, and the keep-outs
+    that protect the goal (slot box, approach corridor, close-spawn
+    exclusions) are applied to every reserved slot exactly as to the goal
+    itself.  Because the exclusion set — not the goal choice — drives
+    every accept/reject decision and no extra random draw is made, two
+    configs that differ only in which of the union's slots is *the* goal
+    produce byte-identical obstacle sets: the shared world the per-ego
+    scenarios of a fleet episode must agree on.  An empty tuple (the
+    default) is byte-identical to the pre-multi-ego builder.
     """
     generated: GeneratedLot = layout.build()
     lot = generated.lot
     aisle = generated.aisle
     streams = ScenarioStreams(config)
     rng = streams.build
+
+    reserved = tuple(
+        sorted(
+            {
+                int(index)
+                for index in reserved_slot_indices
+                if int(index) != generated.goal_slot_index
+            }
+        )
+    )
+    for index in reserved:
+        if not 0 <= index < len(generated.slots):
+            raise ValueError(
+                f"reserved slot index {index} outside the slot row "
+                f"(num_slots={len(generated.slots)})"
+            )
+    reserved_slots = [generated.slots[index] for index in reserved]
 
     obstacles: List[Obstacle] = list(generated.structural)
     # Rejection sampling tests every candidate against all previously placed
@@ -507,24 +539,44 @@ def build_layout_scenario(layout: LotLayout, config: ScenarioConfig) -> Scenario
             polygon_polygon_collision(polygon, placed) for placed in placed_polygons
         )
 
-    goal_keepout = lot.goal_space.box.inflated(0.3).to_polygon()
+    goal_keepouts = [lot.goal_space.box.inflated(0.3).to_polygon()] + [
+        slot.box.inflated(0.3).to_polygon() for slot in reserved_slots
+    ]
     spawn_keepout = _spawn_keepout(lot.spawn_region).to_polygon()
     # Clutter never lands in the goal-approach corridor (slot mouth through
     # the aisle): a lot whose goal space is walled off by a pillar is not a
     # parking scenario.  Parked cars and patrol routes are exempt — they are
-    # the intended difficulty.
-    goal_pose = lot.goal_space.target_pose
-    approach_keepout = OrientedBox(
-        goal_pose.x + 6.0 * math.cos(goal_pose.theta),
-        goal_pose.y + 6.0 * math.sin(goal_pose.theta),
-        16.0,
-        6.5,
-        goal_pose.theta,
-    ).to_polygon()
+    # the intended difficulty.  Reserved slots get the same corridor.
+    def _approach_keepout(pose: SE2):
+        return OrientedBox(
+            pose.x + 6.0 * math.cos(pose.theta),
+            pose.y + 6.0 * math.sin(pose.theta),
+            16.0,
+            6.5,
+            pose.theta,
+        ).to_polygon()
 
-    # 1. Parked cars in a seeded permutation of the non-goal slots.
+    approach_keepouts = [_approach_keepout(lot.goal_space.target_pose)] + [
+        _approach_keepout(slot.pose) for slot in reserved_slots
+    ]
+    # Each reserved slot implies a peer ego spawning at that slot's
+    # close-spawn pose (the same derivation GeneratedLot uses for the goal
+    # slot); clutter and patrol placement keep clear of those spawns too.
+    aisle_mid_y = float((aisle.min_y + aisle.max_y) / 2.0)
+    reserved_spawns = [
+        SE2(
+            float(min(max(slot.pose.x - 8.0, aisle.min_x + 2.0), aisle.max_x - 2.0)),
+            aisle_mid_y,
+            0.0,
+        )
+        for slot in reserved_slots
+    ]
+
+    # 1. Parked cars in a seeded permutation of the non-goal, non-reserved
+    #    slots.
+    excluded_slots = {generated.goal_slot_index, *reserved}
     candidates = [
-        index for index in range(len(generated.slots)) if index != generated.goal_slot_index
+        index for index in range(len(generated.slots)) if index not in excluded_slots
     ]
     order = [candidates[int(position)] for position in rng.permutation(len(candidates))]
     target_parked = config.num_static_obstacles
@@ -549,7 +601,8 @@ def build_layout_scenario(layout: LotLayout, config: ScenarioConfig) -> Scenario
         car = make_parked_car(
             f"static-{parked}", x, y, heading, length=_PARKED_CAR_LENGTH, width=_PARKED_CAR_WIDTH
         )
-        if polygon_polygon_collision(car.box.to_polygon(), goal_keepout):
+        car_polygon = car.box.to_polygon()
+        if any(polygon_polygon_collision(car_polygon, keepout) for keepout in goal_keepouts):
             continue
         if collides_with_placed(car.box):
             continue
@@ -573,13 +626,21 @@ def build_layout_scenario(layout: LotLayout, config: ScenarioConfig) -> Scenario
             if not all(bounds.contains(vertex) for vertex in box.vertices()):
                 continue
             polygon = box.to_polygon()
-            if polygon_polygon_collision(polygon, approach_keepout):
+            if any(
+                polygon_polygon_collision(polygon, keepout)
+                for keepout in approach_keepouts
+            ):
                 continue
             if polygon_polygon_collision(polygon, spawn_keepout):
                 continue
             if math.hypot(center_x - generated.close_spawn.x, center_y - generated.close_spawn.y) < 4.0:
                 continue
             if math.hypot(center_x - generated.remote_spawn.x, center_y - generated.remote_spawn.y) < 4.0:
+                continue
+            if any(
+                math.hypot(center_x - spawn.x, center_y - spawn.y) < 4.0
+                for spawn in reserved_spawns
+            ):
                 continue
             if collides_with_placed(box, margin=0.3):
                 continue
@@ -595,7 +656,6 @@ def build_layout_scenario(layout: LotLayout, config: ScenarioConfig) -> Scenario
     #    corridor must be clear of every placed obstacle so patrols never
     #    drive through walls or clutter.
     num_dynamic = config.resolved_dynamic_obstacles
-    aisle_mid_y = float((aisle.min_y + aisle.max_y) / 2.0)
     for index in range(num_dynamic):
         crossing_x: Optional[float] = None
         for _attempt in range(40):
@@ -603,6 +663,8 @@ def build_layout_scenario(layout: LotLayout, config: ScenarioConfig) -> Scenario
             if -2.0 <= candidate - generated.close_spawn.x <= 4.5:
                 continue
             if -2.0 <= candidate - generated.remote_spawn.x <= 4.5:
+                continue
+            if any(-2.0 <= candidate - spawn.x <= 4.5 for spawn in reserved_spawns):
                 continue
             if lot.spawn_region.min_x - 2.0 <= candidate <= lot.spawn_region.max_x + 4.5:
                 continue

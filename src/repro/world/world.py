@@ -9,7 +9,7 @@ the episode has terminated (parked, collided, out of bounds, or timed out).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

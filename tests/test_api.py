@@ -323,16 +323,12 @@ class TestParkingSession:
         assert 0.0 <= outcome.result.co_mode_fraction <= 1.0
         assert outcome.trace.uncertainties.shape == (outcome.result.num_steps,)
 
-    def test_session_matches_legacy_runner(self, small_policy):
-        """The deprecation shim and the session API produce identical results."""
-        from repro.eval.runner import EpisodeRunner
-
+    def test_session_runs_are_repeatable(self, small_policy):
+        """Two sessions over the same spec produce identical results."""
         config = close_easy_config(seed=2)
         spec = EpisodeSpec(
             method="icoil", scenario=config, time_limit=10.0, max_steps=10
         )
-        api_result = ParkingSession(spec, il_policy=small_policy).run().result
-        runner = EpisodeRunner(il_policy=small_policy, time_limit=10.0)
-        with pytest.warns(DeprecationWarning):
-            legacy_result, _ = runner.run_episode("icoil", config, max_steps=10)
-        assert legacy_result == api_result
+        first = ParkingSession(spec, il_policy=small_policy).run().result
+        second = ParkingSession(spec, il_policy=small_policy).run().result
+        assert first == second

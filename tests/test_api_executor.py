@@ -77,22 +77,15 @@ class TestBatchExecutor:
         assert list(outcome) == list(outcome.results)
 
 
-class TestLegacyRunBatchShim:
-    def test_run_batch_delegates_to_executor(self):
-        from repro.eval.runner import EpisodeRunner
-
-        runner = EpisodeRunner(time_limit=70.0)
-        with pytest.warns(DeprecationWarning):
-            legacy = runner.run_batch(
-                "expert", DifficultyLevel.EASY, seeds=[0, 1], spawn_mode=SpawnMode.CLOSE
-            )
-        direct = BatchExecutor(summary_stream=None).run_results(
-            BatchSpec(
-                method="expert",
-                seeds=(0, 1),
-                difficulties=(DifficultyLevel.EASY,),
-                spawn_mode=SpawnMode.CLOSE,
-                time_limit=70.0,
-            )
+class TestBatchRepeatability:
+    def test_run_results_is_repeatable(self):
+        spec = BatchSpec(
+            method="expert",
+            seeds=(0, 1),
+            difficulties=(DifficultyLevel.EASY,),
+            spawn_mode=SpawnMode.CLOSE,
+            time_limit=70.0,
         )
-        assert legacy == direct
+        first = BatchExecutor(summary_stream=None).run_results(spec)
+        second = BatchExecutor(summary_stream=None).run_results(spec)
+        assert first == second

@@ -17,7 +17,6 @@ from repro.geometry.shapes import OrientedBox
 from repro.perception.detector import Detection
 from repro.planning.waypoints import WaypointPath
 from repro.vehicle.kinematics import AckermannModel
-from repro.vehicle.params import VehicleParams
 from repro.vehicle.state import VehicleState
 
 

@@ -17,7 +17,6 @@ from repro.core import (
 from repro.core.hsa import scenario_complexity, scenario_uncertainty
 from repro.il.expert import ExpertDriver
 from repro.vehicle.state import VehicleState
-from repro.world.world import ParkingWorld
 
 
 class TestScenarioUncertainty:

@@ -343,6 +343,34 @@ class TestFleetWideParityGate:
         assert [r.trace_hash for r in warm.results] == [r.trace_hash for r in cold.results]
         assert warm.summary.trace_digest == cold.summary.trace_digest
 
+    def test_multi_ego_scenario_holds_backend_parity(self):
+        """Both per-ego views of ``multi-ego-2`` ride the same gate.
+
+        Uncoordinated specs (no ledger — coordination is session-level
+        opt-in, never a spec field) must hash identically on every
+        backend, exactly like every other preset.
+        """
+        hash_lists = {}
+        for backend in BACKENDS:
+            per_backend = []
+            for ego_index in (0, 1):
+                spec = BatchSpec(
+                    method="expert",
+                    seeds=(0, 1, 2, 3),
+                    difficulties=(DifficultyLevel.NORMAL,),
+                    spawn_mode=SpawnMode.CLOSE,
+                    scenario_name="multi-ego-2",
+                    layout_params={"ego_index": ego_index},
+                    max_steps=8,
+                )
+                outcome = BatchExecutor(
+                    backend=backend, max_workers=2, summary_stream=None
+                ).run(spec)
+                per_backend.extend(result.trace_hash for result in outcome.results)
+            assert len(per_backend) == 8
+            hash_lists[backend] = per_backend
+        assert len({tuple(hashes) for hashes in hash_lists.values()}) == 1, hash_lists
+
     def test_domain_mode_holds_the_same_parity_contract(self):
         """Opting into domain-separated streams keeps fleet-wide parity."""
         spec = BatchSpec(

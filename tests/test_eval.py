@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.api import EpisodeSpec
+from repro.api.session import run_episode_spec
 from repro.eval import EpisodeResult, EpisodeRunner, aggregate_results, format_table2
 from repro.eval.experiments import Table2Row
 from repro.eval.metrics import MethodStatistics
@@ -57,37 +59,53 @@ class TestMetrics:
 
 
 class TestEpisodeRunner:
+    """Episode execution through :mod:`repro.api` (the shim-free path)."""
+
     def test_unknown_method_rejected(self, small_policy):
-        runner = EpisodeRunner(il_policy=small_policy)
         with pytest.raises(ValueError):
-            runner.run_episode("magic", ScenarioConfig())
+            run_episode_spec(EpisodeSpec(method="magic"), il_policy=small_policy)
 
     def test_il_method_requires_policy(self):
-        runner = EpisodeRunner(il_policy=None)
         with pytest.raises(ValueError):
-            runner.run_episode("il", ScenarioConfig())
+            run_episode_spec(EpisodeSpec(method="il"), il_policy=None)
+
+    def test_build_controller_resolves_registered_methods(self):
+        from repro.world.scenario import build_scenario
+
+        runner = EpisodeRunner()
+        config = ScenarioConfig(difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.CLOSE, seed=0)
+        controller = runner.build_controller("expert", build_scenario(config))
+        assert hasattr(controller, "step")
 
     def test_expert_episode_runs_and_traces(self):
-        runner = EpisodeRunner(time_limit=70.0)
         config = ScenarioConfig(difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.CLOSE, seed=0)
-        result, trace = runner.run_episode("expert", config)
+        outcome = run_episode_spec(
+            EpisodeSpec(method="expert", scenario=config, time_limit=70.0)
+        )
+        result, trace = outcome.result, outcome.trace
         assert result.method == "expert"
         assert result.status is EpisodeStatus.PARKED
         assert trace.num_frames == result.num_steps
         assert trace.positions.shape == (result.num_steps, 2)
 
     def test_il_episode_short_run(self, small_policy):
-        runner = EpisodeRunner(il_policy=small_policy, time_limit=10.0)
         config = ScenarioConfig(difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.CLOSE, seed=0)
-        result, trace = runner.run_episode("il", config, max_steps=20)
+        outcome = run_episode_spec(
+            EpisodeSpec(method="il", scenario=config, time_limit=10.0, max_steps=20),
+            il_policy=small_policy,
+        )
+        result, trace = outcome.result, outcome.trace
         assert result.num_steps <= 20
         assert len(trace.modes) == result.num_steps
         assert set(trace.modes) == {"il"}
 
     def test_icoil_episode_records_modes(self, small_policy):
-        runner = EpisodeRunner(il_policy=small_policy, time_limit=10.0)
         config = ScenarioConfig(difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.CLOSE, seed=0)
-        result, trace = runner.run_episode("icoil", config, max_steps=8)
+        outcome = run_episode_spec(
+            EpisodeSpec(method="icoil", scenario=config, time_limit=10.0, max_steps=8),
+            il_policy=small_policy,
+        )
+        result, trace = outcome.result, outcome.trace
         assert set(trace.modes) <= {"il", "co"}
         assert 0.0 <= result.co_mode_fraction <= 1.0
         assert trace.uncertainties.shape == (result.num_steps,)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.il import DemonstrationDataset, ExpertDriver, ILPolicy, ILTrainer, collect_demonstrations
 from repro.perception.bev import BEVRenderer
-from repro.vehicle.actions import Action, ActionSpace
+from repro.vehicle.actions import Action
 from repro.vehicle.state import VehicleState
 from repro.world.scenario import DifficultyLevel, ScenarioConfig, SpawnMode
 from repro.world.world import EpisodeStatus, ParkingWorld

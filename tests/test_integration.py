@@ -4,11 +4,9 @@ These tests run complete (but short) parking episodes and therefore take a
 few seconds each; they are the end-to-end safety net for the stack.
 """
 
-import numpy as np
-import pytest
 
-from repro.core.config import ICOILConfig
-from repro.eval import EpisodeRunner
+from repro.api import EpisodeSpec
+from repro.api.session import run_episode_spec
 from repro.metaverse import MoCAMPlatform, Topics
 from repro.world.scenario import DifficultyLevel, ScenarioConfig, SpawnMode, build_scenario
 from repro.world.world import EpisodeStatus
@@ -16,9 +14,12 @@ from repro.world.world import EpisodeStatus
 
 class TestFullEpisodes:
     def test_co_method_parks_on_easy_scenario(self, small_policy):
-        runner = EpisodeRunner(il_policy=small_policy, time_limit=80.0)
         config = ScenarioConfig(difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.CLOSE, seed=2)
-        result, trace = runner.run_episode("co", config)
+        outcome = run_episode_spec(
+            EpisodeSpec(method="co", scenario=config, time_limit=80.0),
+            il_policy=small_policy,
+        )
+        result, trace = outcome.result, outcome.trace
         assert result.status is EpisodeStatus.PARKED
         assert result.parking_time < 80.0
         # The maneuver must contain a reverse-driving phase.
@@ -27,16 +28,22 @@ class TestFullEpisodes:
     def test_icoil_with_untrained_policy_falls_back_to_co(self, small_policy):
         """An untrained IL policy has near-uniform outputs, so HSA should keep
         iCOIL in the CO mode and the episode should still succeed."""
-        runner = EpisodeRunner(il_policy=small_policy, time_limit=80.0)
         config = ScenarioConfig(difficulty=DifficultyLevel.EASY, spawn_mode=SpawnMode.CLOSE, seed=2)
-        result, trace = runner.run_episode("icoil", config)
+        outcome = run_episode_spec(
+            EpisodeSpec(method="icoil", scenario=config, time_limit=80.0),
+            il_policy=small_policy,
+        )
+        result = outcome.result
         assert result.status is EpisodeStatus.PARKED
         assert result.co_mode_fraction > 0.5
 
     def test_trace_lengths_consistent(self, small_policy):
-        runner = EpisodeRunner(il_policy=small_policy, time_limit=15.0)
         config = ScenarioConfig(difficulty=DifficultyLevel.NORMAL, spawn_mode=SpawnMode.CLOSE, seed=4)
-        result, trace = runner.run_episode("icoil", config, max_steps=30)
+        outcome = run_episode_spec(
+            EpisodeSpec(method="icoil", scenario=config, time_limit=15.0, max_steps=30),
+            il_policy=small_policy,
+        )
+        result, trace = outcome.result, outcome.trace
         assert trace.num_frames == result.num_steps
         for array in (trace.steering, trace.velocities, trace.uncertainties, trace.hsa_scores):
             assert array.shape == (result.num_steps,)

@@ -1,6 +1,5 @@
 """Unit tests for the individual MoCAM node-graph components."""
 
-import numpy as np
 import pytest
 
 from repro.co.controller import COController

@@ -234,8 +234,6 @@ class TestHybridAStar:
         from repro.geometry.collision import distance_between
 
         for waypoint in result.path.waypoints:
-            state_box = waypoint.pose
-            footprint = None
             # Use the planner's own footprint helper for the clearance check.
             footprint = planner._footprint(waypoint.pose)
             for obstacle in easy_scenario.static_obstacles:

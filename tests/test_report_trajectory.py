@@ -12,7 +12,6 @@ import json
 import sys
 from pathlib import Path
 
-import pytest
 
 _SCRIPT = Path(__file__).resolve().parents[1] / "benchmarks" / "report_trajectory.py"
 _spec = importlib.util.spec_from_file_location("report_trajectory", _SCRIPT)

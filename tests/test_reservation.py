@@ -1,0 +1,339 @@
+"""Tests for the space-time reservation layer (repro.planning.reservation).
+
+Two suites:
+
+* **Derived safety margins** — the yield/dwell/maneuver footprint margins
+  are derived from the time layer's raster resolution instead of the old
+  hard-coded ``0.1``; this pins the derived values (bit-for-bit at the
+  default 0.4 m resolution) on every registered lot preset so a resolution
+  or derivation change cannot slip through silently.
+* **Hypothesis invariants** — machine-checked contracts the planners rely
+  on: answers are invariant to reservation insertion/publish order, the
+  batched broad-phase clearance bound is conservative with respect to the
+  exact SAT narrow phase, and serialization round-trips byte-identically.
+
+The property suite runs under the same fixed, derandomized profile as
+``test_spatial_properties.py``; set ``HYPOTHESIS_PROFILE=dev`` locally for
+fresh random exploration.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+
+try:
+    from hypothesis import given, settings, strategies as st
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    pytest.skip("hypothesis is not installed", allow_module_level=True)
+
+from repro.api import ControllerContext, TimeLayerSpec
+from repro.geometry.se2 import SE2
+from repro.planning.reservation import (
+    Reservation,
+    ReservationLedger,
+    ReservationTable,
+)
+from repro.vehicle.params import VehicleParams
+from repro.world.scenario import (
+    DifficultyLevel,
+    ScenarioConfig,
+    SpawnMode,
+    build_scenario,
+)
+
+settings.register_profile("ci", derandomize=True, max_examples=25, deadline=None)
+settings.register_profile("dev", max_examples=50, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+
+
+# ---------------------------------------------------------------------------
+# Derived safety margins (satellite: the former hard-coded margin=0.1)
+# ---------------------------------------------------------------------------
+PRESETS = (
+    "perpendicular-easy",
+    "perpendicular-hard",
+    "parallel-easy",
+    "parallel-hard",
+    "angled-easy",
+    "angled-cluttered",
+    "dead-end-normal",
+    "multi-ego-2",
+)
+
+
+def preset_table(name: str) -> ReservationTable:
+    """The reservation table a session over ``name`` would build."""
+    config = ScenarioConfig(
+        scenario_name=name,
+        difficulty=DifficultyLevel.NORMAL,
+        spawn_mode=SpawnMode.CLOSE,
+        seed=3,
+        num_dynamic_obstacles=1,
+    )
+    context = ControllerContext(
+        build_scenario(config), time_layer=TimeLayerSpec(enabled=True)
+    )
+    table = context.reservations
+    assert table is not None and table.timegrid is not None
+    return table
+
+
+class TestDerivedMargins:
+    """The margins track the time layer's resolution, not a constant."""
+
+    @pytest.mark.parametrize("name", PRESETS)
+    def test_margins_pinned_on_preset(self, name):
+        """Every preset grid derives the historical constants bit-for-bit."""
+        table = preset_table(name)
+        assert table.resolution == 0.4
+        assert table.yield_margin == 0.1
+        assert table.dwell_margin == 0.05
+        assert table.maneuver_margin == 1.5 * 0.1
+
+    @pytest.mark.parametrize("name", PRESETS)
+    def test_margin_derivation_chain(self, name):
+        """yield = resolution/4, dwell = yield/2, maneuver = 1.5 * yield."""
+        table = preset_table(name)
+        assert table.yield_margin == table.resolution / 4.0
+        assert table.dwell_margin == table.yield_margin / 2.0
+        assert table.maneuver_margin == 1.5 * table.yield_margin
+        # The margin is half the raster's quantization slack scaled into a
+        # footprint inflation; it must stay strictly inside one cell.
+        assert 0.0 < table.yield_margin < table.resolution
+
+    def test_margins_scale_with_resolution(self):
+        """A coarser raster widens the margins proportionally."""
+        config = ScenarioConfig(
+            scenario_name="perpendicular-easy",
+            difficulty=DifficultyLevel.NORMAL,
+            spawn_mode=SpawnMode.CLOSE,
+            seed=3,
+            num_dynamic_obstacles=1,
+        )
+        context = ControllerContext(
+            build_scenario(config),
+            time_layer=TimeLayerSpec(enabled=True, resolution=0.8),
+        )
+        table = context.reservations
+        assert table.resolution == 0.8
+        assert table.yield_margin == 0.2
+        assert table.dwell_margin == 0.1
+        assert table.maneuver_margin == 1.5 * 0.2
+
+    def test_gridless_table_keeps_default_margins(self):
+        """With no grid the table falls back to the default 0.4 m raster."""
+        table = ReservationTable(None, VehicleParams())
+        assert table.resolution == 0.4
+        assert table.yield_margin == 0.1
+        assert table.dwell_margin == 0.05
+        assert table.maneuver_margin == 1.5 * 0.1
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def reservation_records(draw, owner: str, priority: int) -> Reservation:
+    """A finite-float reservation on a short timed polyline."""
+    count = draw(st.integers(1, 4))
+    poses = tuple(
+        (
+            draw(st.floats(0.0, 40.0)),
+            draw(st.floats(0.0, 20.0)),
+            draw(st.floats(-math.pi, math.pi)),
+        )
+        for _ in range(count)
+    )
+    start = draw(st.floats(0.0, 10.0))
+    gaps = [draw(st.floats(0.0, 4.0)) for _ in range(count - 1)]
+    times = [start]
+    for gap in gaps:
+        times.append(times[-1] + gap)
+    return Reservation(
+        owner=owner,
+        priority=priority,
+        poses=poses,
+        times=tuple(times),
+        length=draw(st.floats(1.0, 5.0)),
+        width=draw(st.floats(0.8, 2.5)),
+        speed=draw(st.floats(0.0, 2.0)),
+        kind=draw(st.sampled_from(["ego", "patrol"])),
+    )
+
+
+@st.composite
+def reservation_sets(draw, count_min=1, count_max=4):
+    count = draw(st.integers(count_min, count_max))
+    return [
+        draw(reservation_records(owner=f"ego-{index}", priority=index))
+        for index in range(count)
+    ]
+
+
+@st.composite
+def pose_schedules(draw, count_min=1, count_max=6):
+    count = draw(st.integers(count_min, count_max))
+    poses = [
+        SE2(
+            draw(st.floats(-5.0, 45.0)),
+            draw(st.floats(-5.0, 25.0)),
+            draw(st.floats(-math.pi, math.pi)),
+        )
+        for _ in range(count)
+    ]
+    times = sorted(draw(st.floats(0.0, 30.0)) for _ in range(count))
+    return poses, times
+
+
+# ---------------------------------------------------------------------------
+# Property: insertion / publish order never changes an answer
+# ---------------------------------------------------------------------------
+class TestOrderInvariance:
+    @given(entries=reservation_sets(count_min=2), data=st.data())
+    def test_table_add_order_is_irrelevant(self, entries, data):
+        shuffled = data.draw(st.permutations(entries))
+        forward, backward = ReservationTable(), ReservationTable()
+        for entry in entries:
+            forward.add(entry)
+        for entry in shuffled:
+            backward.add(entry)
+        assert forward.active() == backward.active()
+
+    @given(entries=reservation_sets(count_min=2), data=st.data())
+    def test_ledger_publish_order_is_irrelevant(self, entries, data):
+        shuffled = data.draw(st.permutations(entries))
+        first, second = ReservationLedger(), ReservationLedger()
+        for entry in entries:
+            first.publish(entry)
+        for entry in shuffled:
+            second.publish(entry)
+        assert first.reservations() == second.reservations()
+
+    @given(
+        entries=reservation_sets(count_min=2),
+        schedule=pose_schedules(),
+        data=st.data(),
+    )
+    def test_conflict_answers_invariant_under_order(self, entries, schedule, data):
+        """Batched bounds and the two-phase answer are bitwise order-free."""
+        shuffled = data.draw(st.permutations(entries))
+        forward, backward = ReservationTable(), ReservationTable()
+        for entry in entries:
+            forward.add(entry)
+        for entry in shuffled:
+            backward.add(entry)
+        poses, times = schedule
+        pose_array = np.array([[p.x, p.y, p.theta] for p in poses])
+        bounds_a = forward.pose_clearance_at(pose_array, times, margin=0.1)
+        bounds_b = backward.pose_clearance_at(pose_array, times, margin=0.1)
+        assert np.array_equal(bounds_a, bounds_b)
+        assert forward.conflicts_at(poses, times, margin=0.1) == backward.conflicts_at(
+            poses, times, margin=0.1
+        )
+
+    @given(entries=reservation_sets())
+    def test_republish_replaces_not_accumulates(self, entries):
+        ledger = ReservationLedger()
+        for entry in entries:
+            ledger.publish(entry)
+            ledger.publish(entry)
+        assert len(ledger.reservations()) == len(entries)
+
+
+# ---------------------------------------------------------------------------
+# Property: the broad phase is conservative w.r.t. the exact SAT phase
+# ---------------------------------------------------------------------------
+class TestConservatism:
+    @given(entries=reservation_sets(), schedule=pose_schedules())
+    def test_positive_bound_implies_no_exact_conflict(self, entries, schedule):
+        """A strictly positive clearance bound must prove SAT-clearance."""
+        table = ReservationTable()
+        for entry in entries:
+            table.add(entry)
+        poses, times = schedule
+        pose_array = np.array([[p.x, p.y, p.theta] for p in poses])
+        bounds = table.pose_clearance_at(pose_array, times, margin=0.1)
+        for pose, time, bound in zip(poses, times, bounds):
+            if bound > 0.0:
+                assert not table.pose_conflicts(pose, float(time), margin=0.1)
+
+    @given(entries=reservation_sets(), schedule=pose_schedules())
+    def test_two_phase_clear_verdict_agrees_with_exact(self, entries, schedule):
+        """conflicts_at == False implies the exact phase is clear everywhere."""
+        table = ReservationTable()
+        for entry in entries:
+            table.add(entry)
+        poses, times = schedule
+        if not table.conflicts_at(poses, times, margin=0.1):
+            for pose, time in zip(poses, times):
+                assert not table.pose_conflicts(pose, float(time), margin=0.1)
+
+    @given(entries=reservation_sets(count_min=1, count_max=2))
+    def test_reserved_pose_itself_is_never_clear(self, entries):
+        """Sitting exactly on a held reservation pose must conflict.
+
+        The ends are the unambiguous probes: the body holds its first pose
+        before ``times[0]`` and its last pose forever after ``times[-1]``
+        (interior stamps may repeat, making the pose there ambiguous).
+        """
+        table = ReservationTable(None, VehicleParams())
+        for entry in entries:
+            table.add(entry)
+        offset = table.vehicle_params.center_offset
+        for entry in entries:
+            probes = [
+                (entry.poses[0], entry.times[0] - 1.0),
+                (entry.poses[-1], entry.times[-1] + 1.0),
+            ]
+            for (x, y, theta), time in probes:
+                # A rear-axle pose whose body centre lands on the
+                # reservation centre overlaps it by construction.
+                pose = SE2(
+                    x - offset * math.cos(theta),
+                    y - offset * math.sin(theta),
+                    theta,
+                )
+                bound = float(
+                    table.pose_clearance_at(
+                        np.array([[pose.x, pose.y, pose.theta]]),
+                        [time],
+                        margin=0.0,
+                    )[0]
+                )
+                assert bound <= 0.0
+                assert table.pose_conflicts(pose, float(time), margin=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Property: serialization round-trips byte-identically
+# ---------------------------------------------------------------------------
+class TestSerializationRoundTrip:
+    @given(entry=reservation_records(owner="ego-7", priority=7))
+    def test_dict_round_trip_is_byte_identical(self, entry):
+        restored = Reservation.from_dict(entry.to_dict())
+        assert restored == entry
+
+    @given(entry=reservation_records(owner="ego-3", priority=3))
+    def test_json_round_trip_is_byte_identical(self, entry):
+        """Through an actual JSON wire: finite doubles survive exactly."""
+        restored = Reservation.from_dict(json.loads(json.dumps(entry.to_dict())))
+        assert restored == entry
+        assert restored.times == entry.times
+        assert restored.poses == entry.poses
+
+    def test_from_dict_defaults_kind(self):
+        payload = Reservation(
+            owner="a",
+            priority=0,
+            poses=((1.0, 2.0, 0.5),),
+            times=(0.0,),
+            length=4.0,
+            width=2.0,
+        ).to_dict()
+        payload.pop("kind")
+        assert Reservation.from_dict(payload).kind == "ego"

@@ -20,7 +20,7 @@ import pytest
 from repro.api import BatchExecutor, BatchSpec, EpisodeSpec
 from repro.core.config import ICOILConfig
 from repro.api.session import run_episode_spec
-from repro.serve import FleetStats, FleetStepper, run_specs_fleet
+from repro.serve import FleetStats, run_specs_fleet
 from repro.world.scenario import DifficultyLevel, ScenarioConfig, SpawnMode
 
 

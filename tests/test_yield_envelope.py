@@ -172,9 +172,11 @@ class TestExpertYieldPlumbing:
         scenario = build_scenario(spec.scenario)
         context = ControllerContext(scenario, time_layer=spec.time_layer, dt=spec.dt)
         expert = context.expert
-        polygons = expert._corridor_polygons()
-        assert polygons, "patrol presets must produce corridor polygons"
+        # The corridor machinery lives on the reservation table now; the
+        # expert reads it through its ``time_layer`` surface.
         timegrid = expert.time_layer
+        polygons = timegrid.corridor_polygons()
+        assert polygons, "patrol presets must produce corridor polygons"
         for obstacle in timegrid.obstacles:
             period = obstacle.period
             span = period if math.isfinite(period) else timegrid.horizon
@@ -189,5 +191,7 @@ class TestExpertYieldPlumbing:
         from repro.il.expert import ExpertDriver
 
         expert = ExpertDriver(easy_scenario.lot, easy_scenario.obstacles)
-        assert expert._corridor_polygons() == []
-        assert expert._pose_outside_patrol_reach(easy_scenario.start_pose)
+        # A patrol-free lot yields no live time layer: no corridors to
+        # stage against, and every pose is trivially outside patrol reach.
+        assert expert.time_layer is None
+        assert expert._outside_reach([easy_scenario.start_pose])
